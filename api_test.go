@@ -1,0 +1,266 @@
+package shiftgears_test
+
+import (
+	"strings"
+	"testing"
+
+	"shiftgears"
+)
+
+func TestParseAlgorithm(t *testing.T) {
+	cases := map[string]shiftgears.Algorithm{
+		"exponential": shiftgears.Exponential,
+		"exp":         shiftgears.Exponential,
+		"A":           shiftgears.AlgorithmA,
+		"a":           shiftgears.AlgorithmA,
+		"B":           shiftgears.AlgorithmB,
+		"C":           shiftgears.AlgorithmC,
+		"hybrid":      shiftgears.Hybrid,
+		"psl":         shiftgears.PSL,
+		"phasequeen":  shiftgears.PhaseQueen,
+		"queen":       shiftgears.PhaseQueen,
+		"multivalued": shiftgears.Multivalued,
+		"reduce":      shiftgears.Multivalued,
+	}
+	for in, want := range cases {
+		got, err := shiftgears.ParseAlgorithm(in)
+		if err != nil || got != want {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := shiftgears.ParseAlgorithm("zab"); err == nil {
+		t.Error("unknown algorithm name accepted")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	for alg, want := range map[shiftgears.Algorithm]string{
+		shiftgears.Exponential: "exponential",
+		shiftgears.AlgorithmA:  "A",
+		shiftgears.AlgorithmB:  "B",
+		shiftgears.AlgorithmC:  "C",
+		shiftgears.Hybrid:      "hybrid",
+		shiftgears.PSL:         "psl",
+		shiftgears.PhaseQueen:  "phasequeen",
+		shiftgears.Multivalued: "multivalued",
+	} {
+		if alg.String() != want {
+			t.Errorf("%v.String() = %q, want %q", int(alg), alg.String(), want)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []struct {
+		name string
+		cfg  shiftgears.Config
+	}{
+		{"unknown algorithm", shiftgears.Config{Algorithm: 0, N: 7, T: 2}},
+		{"exp resilience", shiftgears.Config{Algorithm: shiftgears.Exponential, N: 6, T: 2}},
+		{"A needs b", shiftgears.Config{Algorithm: shiftgears.AlgorithmA, N: 13, T: 4, B: 0}},
+		{"B resilience", shiftgears.Config{Algorithm: shiftgears.AlgorithmB, N: 12, T: 3, B: 2}},
+		{"C resilience", shiftgears.Config{Algorithm: shiftgears.AlgorithmC, N: 17, T: 3}},
+		{"hybrid small t", shiftgears.Config{Algorithm: shiftgears.Hybrid, N: 7, T: 2, B: 3}},
+		{"psl resilience", shiftgears.Config{Algorithm: shiftgears.PSL, N: 6, T: 2}},
+		{"queen resilience", shiftgears.Config{Algorithm: shiftgears.PhaseQueen, N: 12, T: 3}},
+		{"source range", shiftgears.Config{Algorithm: shiftgears.Exponential, N: 7, T: 2, Source: 9}},
+		{"faulty range", shiftgears.Config{Algorithm: shiftgears.Exponential, N: 7, T: 2, Faulty: []int{7}}},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := shiftgears.Validate(tc.cfg); err == nil {
+				t.Fatalf("Validate(%+v) succeeded, want error", tc.cfg)
+			}
+		})
+	}
+}
+
+func TestRunRejectsUnknownStrategy(t *testing.T) {
+	_, err := shiftgears.Run(shiftgears.Config{
+		Algorithm: shiftgears.Exponential, N: 7, T: 2,
+		Faulty: []int{1}, Strategy: "nope",
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown strategy") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunFaultFreeBasics(t *testing.T) {
+	res, err := shiftgears.Run(shiftgears.Config{
+		Algorithm: shiftgears.Hybrid, N: 13, T: 4, B: 3, SourceValue: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement || !res.Validity || res.DecisionValue != 9 {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.Rounds != 10 || res.PaperRoundBound != 10 {
+		t.Fatalf("rounds %d / bound %d, want 10", res.Rounds, res.PaperRoundBound)
+	}
+	if len(res.Processors) != 13 {
+		t.Fatalf("%d processor results", len(res.Processors))
+	}
+	for _, pr := range res.Processors {
+		if !pr.Correct || !pr.Decided || pr.Decision != 9 {
+			t.Fatalf("processor %+v", pr)
+		}
+	}
+	if res.MaxMessageBytes == 0 || res.TotalBytes == 0 || res.Messages == 0 {
+		t.Fatal("traffic stats empty")
+	}
+	if res.ResolveOps == 0 || res.PeakTreeNodes == 0 {
+		t.Fatal("local computation stats empty")
+	}
+	if len(res.GlobalDetections) != 0 {
+		t.Fatalf("fault-free run detected %v", res.GlobalDetections)
+	}
+	if res.Events != nil {
+		t.Fatal("events returned without CollectEvents")
+	}
+}
+
+func TestRunReportsFaultyProcessors(t *testing.T) {
+	res, err := shiftgears.Run(shiftgears.Config{
+		Algorithm: shiftgears.AlgorithmA, N: 13, T: 4, B: 3, SourceValue: 1,
+		Faulty: []int{0, 2, 5, 9}, Strategy: "splitbrain",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement {
+		t.Fatal("agreement lost")
+	}
+	if !res.Validity {
+		t.Fatal("validity must hold vacuously with a faulty source")
+	}
+	for _, pr := range res.Processors {
+		wantCorrect := pr.ID != 0 && pr.ID != 2 && pr.ID != 5 && pr.ID != 9
+		if pr.Correct != wantCorrect {
+			t.Fatalf("processor %d correctness = %v", pr.ID, pr.Correct)
+		}
+	}
+	// Split-brain equivocators get globally detected.
+	if len(res.GlobalDetections) == 0 {
+		t.Fatal("no global detections under splitbrain faults")
+	}
+	for p := range res.GlobalDetections {
+		if p != 0 && p != 2 && p != 5 && p != 9 {
+			t.Fatalf("global detection of correct processor %d", p)
+		}
+	}
+}
+
+func TestRunCollectEvents(t *testing.T) {
+	res, err := shiftgears.Run(shiftgears.Config{
+		Algorithm: shiftgears.AlgorithmB, N: 13, T: 3, B: 2, SourceValue: 1,
+		Faulty: []int{1}, Strategy: "noise", CollectEvents: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("no events collected")
+	}
+	// Events are sorted by round.
+	for i := 1; i < len(res.Events); i++ {
+		if res.Events[i].Round < res.Events[i-1].Round {
+			t.Fatal("events out of order")
+		}
+	}
+}
+
+func TestRunNonZeroSource(t *testing.T) {
+	res, err := shiftgears.Run(shiftgears.Config{
+		Algorithm: shiftgears.Exponential, N: 7, T: 2, Source: 4, SourceValue: 3,
+		Faulty: []int{0, 1}, Strategy: "garbage",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement || !res.Validity || res.DecisionValue != 3 {
+		t.Fatalf("agreement=%v validity=%v decision=%d", res.Agreement, res.Validity, res.DecisionValue)
+	}
+}
+
+func TestRunDefaultStrategyIsSplitBrain(t *testing.T) {
+	res, err := shiftgears.Run(shiftgears.Config{
+		Algorithm: shiftgears.Exponential, N: 7, T: 2, SourceValue: 1,
+		Faulty: []int{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement {
+		t.Fatal("agreement lost under the default strategy")
+	}
+}
+
+func TestRunParallelEngineIdentical(t *testing.T) {
+	cfg := shiftgears.Config{
+		Algorithm: shiftgears.Hybrid, N: 13, T: 4, B: 3, SourceValue: 1,
+		Faulty: []int{0, 3, 6, 9}, Strategy: "noise", Seed: 17,
+	}
+	seq, err := shiftgears.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallel = true
+	par, err := shiftgears.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.DecisionValue != par.DecisionValue || seq.Rounds != par.Rounds ||
+		seq.TotalBytes != par.TotalBytes || seq.MaxMessageBytes != par.MaxMessageBytes {
+		t.Fatalf("engines diverge: seq=%+v par=%+v", seq, par)
+	}
+	for i := range seq.Processors {
+		if seq.Processors[i].Decision != par.Processors[i].Decision {
+			t.Fatalf("processor %d decisions differ", i)
+		}
+	}
+}
+
+func TestRunExcessFaultsStillTerminates(t *testing.T) {
+	// Beyond-resilience runs forfeit guarantees but must not wedge or error.
+	res, err := shiftgears.Run(shiftgears.Config{
+		Algorithm: shiftgears.Exponential, N: 7, T: 2, SourceValue: 1,
+		Faulty: []int{0, 1, 2, 3}, Strategy: "splitbrain",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range res.Processors {
+		if pr.Correct && !pr.Decided {
+			t.Fatalf("correct processor %d hung", pr.ID)
+		}
+	}
+}
+
+func TestPaperRoundBoundsByAlgorithm(t *testing.T) {
+	// The Result's bound field must match the theorems.
+	cases := []struct {
+		cfg   shiftgears.Config
+		bound int
+	}{
+		{shiftgears.Config{Algorithm: shiftgears.Exponential, N: 13, T: 4}, 5},
+		{shiftgears.Config{Algorithm: shiftgears.AlgorithmA, N: 16, T: 5, B: 3}, 5 + 2 + 2*4},
+		{shiftgears.Config{Algorithm: shiftgears.AlgorithmB, N: 21, T: 5, B: 3}, 5 + 1 + 2},
+		{shiftgears.Config{Algorithm: shiftgears.AlgorithmC, N: 18, T: 3}, 4},
+		{shiftgears.Config{Algorithm: shiftgears.PSL, N: 13, T: 4}, 5},
+		{shiftgears.Config{Algorithm: shiftgears.PhaseQueen, N: 13, T: 3}, 9},
+		{shiftgears.Config{Algorithm: shiftgears.Multivalued, N: 13, T: 3}, 11},
+	}
+	for _, tc := range cases {
+		res, err := shiftgears.Run(tc.cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.cfg.Algorithm, err)
+		}
+		if res.PaperRoundBound != tc.bound {
+			t.Errorf("%v: bound = %d, want %d", tc.cfg.Algorithm, res.PaperRoundBound, tc.bound)
+		}
+		if res.Rounds > tc.bound {
+			t.Errorf("%v: ran %d rounds, beyond the paper bound %d", tc.cfg.Algorithm, res.Rounds, tc.bound)
+		}
+	}
+}

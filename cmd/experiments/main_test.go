@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExperimentsList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"E1", "E5", "E12", "F3"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %s:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestExperimentsSingleID(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-id", "F2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "### F2") {
+		t.Errorf("F2 output wrong:\n%s", out.String())
+	}
+}
+
+func TestExperimentsUnknownID(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-id", "E99"}, &out); err == nil {
+		t.Error("unknown id accepted")
+	}
+}

@@ -1,0 +1,131 @@
+// Command node runs ONE processor of a Byzantine agreement instance over a
+// real TCP mesh — one OS process (or machine) per processor. Every node of
+// the instance must be started with the same -n, -t, -b, -alg, and -addrs
+// list; node i listens on addrs[i].
+//
+// A 4-node Exponential instance on one host (4 terminals):
+//
+//	ADDRS=127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002,127.0.0.1:9003
+//	node -id 0 -n 4 -t 1 -alg exponential -addrs $ADDRS -value 1   # the source
+//	node -id 1 -n 4 -t 1 -alg exponential -addrs $ADDRS
+//	node -id 2 -n 4 -t 1 -alg exponential -addrs $ADDRS
+//	node -id 3 -n 4 -t 1 -alg exponential -addrs $ADDRS -byzantine splitbrain
+//
+// Each process prints its decision; correct nodes agree, and if node 0 is
+// correct they decide its value.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"shiftgears"
+	"shiftgears/internal/adversary"
+	"shiftgears/internal/core"
+	"shiftgears/internal/sim"
+	"shiftgears/internal/trace"
+	"shiftgears/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "node:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("node", flag.ContinueOnError)
+	var (
+		id        = fs.Int("id", 0, "this node's processor id")
+		n         = fs.Int("n", 4, "total processors")
+		t         = fs.Int("t", 1, "resilience")
+		b         = fs.Int("b", 3, "block parameter (A/B/hybrid)")
+		algName   = fs.String("alg", "exponential", "exponential | A | B | C | hybrid")
+		source    = fs.Int("source", 0, "source processor id")
+		value     = fs.Int("value", 1, "initial value (used by the source)")
+		addrsCS   = fs.String("addrs", "", "comma-separated listen addresses, index = id")
+		byzantine = fs.String("byzantine", "", "run THIS node Byzantine with the given strategy")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	alg, err := shiftgears.ParseAlgorithm(*algName)
+	if err != nil {
+		return err
+	}
+	var coreAlg core.Algorithm
+	switch alg {
+	case shiftgears.Exponential:
+		coreAlg = core.Exponential
+	case shiftgears.AlgorithmA:
+		coreAlg = core.AlgorithmA
+	case shiftgears.AlgorithmB:
+		coreAlg = core.AlgorithmB
+	case shiftgears.AlgorithmC:
+		coreAlg = core.AlgorithmC
+	case shiftgears.Hybrid:
+		coreAlg = core.Hybrid
+	default:
+		return fmt.Errorf("algorithm %v is not supported over the mesh (use the paper's algorithms)", alg)
+	}
+
+	addrs := strings.Split(*addrsCS, ",")
+	if len(addrs) != *n {
+		return fmt.Errorf("%d addresses for n=%d", len(addrs), *n)
+	}
+
+	plan, err := core.NewPlan(coreAlg, *n, *t, *b, *source)
+	if err != nil {
+		return err
+	}
+	env, err := core.NewEnv(plan)
+	if err != nil {
+		return err
+	}
+	log := trace.NewLog(*id)
+	rep, err := core.NewReplica(env, *id, shiftgears.Value(*value), log)
+	if err != nil {
+		return err
+	}
+
+	var proc sim.Processor = rep
+	if *byzantine != "" {
+		strat, err := adversary.New(*byzantine, plan.TotalRounds)
+		if err != nil {
+			return err
+		}
+		proc = adversary.NewProcessor(rep, strat, int64(*id), *n)
+		fmt.Fprintf(out, "node %d: BYZANTINE (%s)\n", *id, *byzantine)
+	}
+
+	node, err := transport.Listen(proc, *n, addrs[*id])
+	if err != nil {
+		return err
+	}
+	defer func() { _ = node.Close() }()
+	fmt.Fprintf(out, "node %d: listening on %s, connecting mesh...\n", *id, addrs[*id])
+	if err := node.Connect(addrs); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "node %d: mesh up, running %v for %d rounds\n", *id, coreAlg, plan.TotalRounds)
+
+	stats, err := node.Run(plan.TotalRounds)
+	if err != nil {
+		return err
+	}
+	if err := rep.Err(); err != nil {
+		return err
+	}
+	v, ok := rep.Decided()
+	if !ok {
+		return fmt.Errorf("node %d did not decide", *id)
+	}
+	fmt.Fprintf(out, "node %d: DECIDED %d  (rounds=%d, max message %dB, discovered faults %v)\n",
+		*id, v, stats.Rounds, stats.MaxPayload, rep.Faults().Members())
+	return nil
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// reservePorts grabs n ephemeral loopback ports and releases them, so the
+// node processes (goroutines here) can re-bind them moments later.
+func reservePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range listeners {
+		_ = ln.Close()
+	}
+	return addrs
+}
+
+func TestNodeEndToEnd(t *testing.T) {
+	const n = 4
+	addrs := reservePorts(t, n)
+	list := strings.Join(addrs, ",")
+
+	var wg sync.WaitGroup
+	outs := make([]strings.Builder, n)
+	errs := make([]error, n)
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			args := []string{
+				"-id", fmt.Sprint(id), "-n", "4", "-t", "1",
+				"-alg", "exponential", "-addrs", list, "-value", "7",
+			}
+			if id == 3 {
+				args = append(args, "-byzantine", "splitbrain")
+			}
+			errs[id] = run(args, &outs[id])
+		}(id)
+	}
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v\n%s", id, err, outs[id].String())
+		}
+	}
+	for id := 0; id < 3; id++ { // the correct nodes
+		if !strings.Contains(outs[id].String(), "DECIDED 7") {
+			t.Errorf("node %d did not decide 7:\n%s", id, outs[id].String())
+		}
+	}
+	if !strings.Contains(outs[3].String(), "BYZANTINE (splitbrain)") {
+		t.Error("byzantine banner missing")
+	}
+}
+
+func TestNodeValidation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-alg", "psl", "-addrs", "a,b,c,d"}, &out); err == nil {
+		t.Error("non-mesh algorithm accepted")
+	}
+	if err := run([]string{"-alg", "exponential", "-n", "4", "-addrs", "a,b"}, &out); err == nil {
+		t.Error("addrs/n mismatch accepted")
+	}
+	if err := run([]string{"-alg", "bogus"}, &out); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run([]string{"-alg", "exponential", "-n", "5", "-t", "2",
+		"-addrs", "a,b,c,d,e"}, &out); err == nil {
+		t.Error("bad resilience accepted")
+	}
+}

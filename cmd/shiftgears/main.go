@@ -1,0 +1,138 @@
+// Command shiftgears runs one Byzantine agreement instance and reports the
+// outcome: decisions, agreement/validity, rounds against the paper bound,
+// message sizes, and the fault-discovery timeline.
+//
+// Examples:
+//
+//	shiftgears -alg hybrid -n 13 -t 4 -b 3 -value 1 -faulty 0,2,5,9 -strategy splitbrain
+//	shiftgears -alg C -n 18 -t 3 -value 1 -faulty 4,7 -strategy noise -events
+//	shiftgears -alg B -n 21 -t 5 -b 2 -value 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"shiftgears"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "shiftgears:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("shiftgears", flag.ContinueOnError)
+	var (
+		algName  = fs.String("alg", "hybrid", "algorithm: exponential | A | B | C | hybrid | psl | phasequeen | multivalued")
+		n        = fs.Int("n", 13, "number of processors")
+		t        = fs.Int("t", 4, "resilience (max faults tolerated)")
+		b        = fs.Int("b", 3, "block parameter for A/B/hybrid")
+		source   = fs.Int("source", 0, "source processor id")
+		value    = fs.Int("value", 1, "source's initial value (0-255)")
+		faultyCS = fs.String("faulty", "", "comma-separated faulty processor ids (may include the source)")
+		strategy = fs.String("strategy", "splitbrain", "adversary strategy for faulty processors")
+		seed     = fs.Int64("seed", 0, "adversary randomness seed")
+		parallel = fs.Bool("parallel", false, "use the goroutine-per-processor engine")
+		events   = fs.Bool("events", false, "print the full protocol event timeline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	alg, err := shiftgears.ParseAlgorithm(*algName)
+	if err != nil {
+		return err
+	}
+	var faulty []int
+	if *faultyCS != "" {
+		for _, part := range strings.Split(*faultyCS, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad faulty id %q: %w", part, err)
+			}
+			faulty = append(faulty, id)
+		}
+	}
+
+	res, err := shiftgears.Run(shiftgears.Config{
+		Algorithm:     alg,
+		N:             *n,
+		T:             *t,
+		B:             *b,
+		Source:        *source,
+		SourceValue:   shiftgears.Value(*value),
+		Faulty:        faulty,
+		Strategy:      *strategy,
+		Seed:          *seed,
+		Parallel:      *parallel,
+		CollectEvents: *events,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "algorithm      %v  (n=%d, t=%d", res.Algorithm, res.N, res.T)
+	if res.B > 0 {
+		fmt.Fprintf(out, ", b=%d", res.B)
+	}
+	fmt.Fprintln(out, ")")
+	fmt.Fprintf(out, "rounds         %d  (paper bound %d)\n", res.Rounds, res.PaperRoundBound)
+	fmt.Fprintf(out, "agreement      %v\n", res.Agreement)
+	fmt.Fprintf(out, "validity       %v\n", res.Validity)
+	if res.Agreement {
+		fmt.Fprintf(out, "decision       %d\n", res.DecisionValue)
+	}
+	fmt.Fprintf(out, "max message    %d bytes\n", res.MaxMessageBytes)
+	fmt.Fprintf(out, "total traffic  %d messages, %d bytes\n", res.Messages, res.TotalBytes)
+	fmt.Fprintf(out, "local work     %d resolve ops, %d discovery reads, peak tree %d nodes\n",
+		res.ResolveOps, res.DiscoveryReads, res.PeakTreeNodes)
+
+	if len(res.GlobalDetections) > 0 {
+		ids := make([]int, 0, len(res.GlobalDetections))
+		for id := range res.GlobalDetections {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		fmt.Fprint(out, "globally detected faults:")
+		for _, id := range ids {
+			fmt.Fprintf(out, "  p%d@r%d", id, res.GlobalDetections[id])
+		}
+		fmt.Fprintln(out)
+	}
+
+	fmt.Fprintln(out, "\nper-processor decisions:")
+	for _, pr := range res.Processors {
+		role := "correct"
+		if !pr.Correct {
+			role = "FAULTY "
+		}
+		if pr.ID == *source {
+			role += " (source)"
+		}
+		decision := "-"
+		if pr.Decided {
+			decision = strconv.Itoa(int(pr.Decision))
+		}
+		fmt.Fprintf(out, "  p%-3d %-18s decision=%s", pr.ID, role, decision)
+		if len(pr.Discovered) > 0 {
+			fmt.Fprintf(out, "  L=%v", pr.Discovered)
+		}
+		fmt.Fprintln(out)
+	}
+
+	if *events {
+		fmt.Fprintln(out, "\nevent timeline:")
+		for _, ev := range res.Events {
+			fmt.Fprintf(out, "  round %2d  p%-3d %-9s target=%d %s\n", ev.Round, ev.PID, ev.Kind, ev.Target, ev.Note)
+		}
+	}
+	return nil
+}

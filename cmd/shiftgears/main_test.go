@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunCLIBasic(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-alg", "hybrid", "-n", "13", "-t", "4", "-b", "3",
+		"-value", "1", "-faulty", "0,2,5,9", "-strategy", "splitbrain",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"algorithm      hybrid", "agreement      true", "validity       true",
+		"rounds         10", "globally detected faults", "per-processor decisions",
+		"FAULTY  (source)",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunCLIEvents(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-alg", "B", "-n", "13", "-t", "3", "-b", "2", "-value", "1",
+		"-faulty", "1", "-strategy", "noise", "-events",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "event timeline:") {
+		t.Errorf("missing timeline:\n%s", out.String())
+	}
+}
+
+func TestRunCLIErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-alg", "bogus"}, &out); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+	if err := run([]string{"-alg", "B", "-n", "12", "-t", "3", "-b", "2"}, &out); err == nil {
+		t.Error("bad resilience accepted")
+	}
+	if err := run([]string{"-faulty", "x,y"}, &out); err == nil {
+		t.Error("unparsable faulty list accepted")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

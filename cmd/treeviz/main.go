@@ -1,0 +1,93 @@
+// Command treeviz renders an Information Gathering Tree in the style of the
+// paper's Figure 1, built from a real execution of the Exponential
+// Algorithm's gathering phase.
+//
+// Usage:
+//
+//	treeviz -n 5 -t 2                 # fault-free tree
+//	treeviz -n 5 -t 2 -liar 3         # processor 3 relays zeros
+//	treeviz -n 7 -t 2 -max 3 -values  # truncate fan-out, show stored values
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"shiftgears/internal/eigtree"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "treeviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("treeviz", flag.ContinueOnError)
+	var (
+		n      = fs.Int("n", 5, "number of processors")
+		t      = fs.Int("t", 2, "tree height (gathering rounds after round 1)")
+		liar   = fs.Int("liar", -1, "processor that relays zeros instead of the truth")
+		maxKid = fs.Int("max", 0, "truncate rendering to this many children per node (0 = all)")
+		values = fs.Bool("values", true, "show stored values")
+		repeat = fs.Bool("repeat", false, "use Algorithm C's tree with repetitions")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	enum, err := eigtree.NewEnum(*n, 0, *repeat, *t)
+	if err != nil {
+		return err
+	}
+	tree := eigtree.NewTree(enum)
+	tree.SetRoot(1)
+
+	// Simulate the gathering rounds: every processor truthfully relays its
+	// previous level, except the designated liar, which relays zeros.
+	for h := 1; h <= *t; h++ {
+		if _, err := tree.AddLevel(); err != nil {
+			return err
+		}
+		prev := enum.Size(h - 1)
+		truth := make([]eigtree.Value, prev)
+		lies := make([]eigtree.Value, prev)
+		for i := range truth {
+			truth[i] = 1
+		}
+		for q := 0; q < *n; q++ {
+			if q == 0 {
+				continue // the source halts after round 1
+			}
+			claim := truth
+			if q == *liar {
+				claim = lies
+			}
+			if err := tree.StoreFrom(q, claim); err != nil {
+				return err
+			}
+		}
+	}
+
+	fmt.Fprintf(out, "Information Gathering Tree after %d rounds (n=%d", *t+1, *n)
+	if *liar >= 0 {
+		fmt.Fprintf(out, ", p%d lies", *liar)
+	}
+	fmt.Fprintln(out, "):")
+	fmt.Fprintln(out)
+	fmt.Fprint(out, tree.Render(eigtree.RenderOptions{
+		MaxChildren: *maxKid,
+		ShowValues:  *values,
+	}))
+
+	res, err := tree.Resolve(eigtree.ResolveMajority, *t)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nresolve(s) = %d   (recursive majority over %d stored nodes)\n",
+		res.Root().Value(), tree.NodeCount())
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTreevizDefault(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Information Gathering Tree after 3 rounds", "the source said", "resolve(s) = 1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestTreevizLiarAndTruncation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "7", "-t", "2", "-liar", "3", "-max", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "p3 lies") || !strings.Contains(s, "more children") {
+		t.Errorf("missing liar/truncation markers:\n%s", s)
+	}
+	if !strings.Contains(s, "resolve(s) = 1") {
+		t.Errorf("one liar must not change the resolution:\n%s", s)
+	}
+}
+
+func TestTreevizRepeatMode(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "5", "-t", "2", "-repeat"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "the source said") {
+		t.Error("repeat-mode render failed")
+	}
+}
+
+func TestTreevizErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "300"}, &out); err == nil {
+		t.Error("n out of range accepted")
+	}
+	if err := run([]string{"-n", "5", "-t", "9"}, &out); err == nil {
+		t.Error("tree deeper than n−1 accepted without repeat")
+	}
+}

@@ -1,0 +1,37 @@
+// Package shiftgears is a full Go reproduction of Bar-Noy, Dolev, Dwork,
+// and Strong, "Shifting Gears: Changing Algorithms on the Fly to Expedite
+// Byzantine Agreement" (PODC 1987; Information and Computation 97, 1992).
+//
+// The package runs synchronous Byzantine agreement among n processors, up
+// to t of which behave arbitrarily, using any of the paper's algorithms:
+//
+//   - Exponential: information gathering with recursive majority voting
+//     (Section 3) — t+1 rounds, exponential messages, n ≥ 3t+1.
+//   - AlgorithmA: the Theorem 2 family — rounds t+2+2⌊(t−1)/(b−2)⌋,
+//     messages O(n^b), n ≥ 3t+1.
+//   - AlgorithmB: the Theorem 3 family — rounds t+1+⌊(t−1)/(b−1)⌋,
+//     messages O(n^b), n ≥ 4t+1.
+//   - AlgorithmC: the Dolev–Reischuk–Strong adaptation (Theorem 4) —
+//     t+1 rounds, O(n) messages, t ≤ ⌊√(n/2)⌋.
+//   - Hybrid: the Main Theorem — starts in A, shifts mid-execution into B
+//     and then into C, tolerating ⌊(n−1)/3⌋ faults at near-optimal rounds.
+//   - PSL: the original Pease–Shostak–Lamport oral-messages baseline.
+//   - PhaseQueen: the Berman–Garay–Perry style constant-message-size
+//     protocol referenced by the paper's Section 5.
+//
+// A minimal run:
+//
+//	res, err := shiftgears.Run(shiftgears.Config{
+//		Algorithm:   shiftgears.Hybrid,
+//		N:           13,
+//		T:           4,
+//		B:           3,
+//		SourceValue: 1,
+//		Faulty:      []int{2, 5, 7, 11},
+//		Strategy:    "splitbrain",
+//	})
+//
+// The Result reports every processor's decision, whether agreement and
+// validity held, exact round counts against the paper's bounds, message
+// sizes, and the fault-discovery timeline.
+package shiftgears

@@ -1,0 +1,56 @@
+// Adversaries sweeps the whole Byzantine strategy library against
+// Algorithm B and prints, for each strategy, whether agreement and validity
+// held, how fast the faults were globally detected, and how the Fault
+// Discovery Rule saw through each kind of lie.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"shiftgears"
+)
+
+func main() {
+	const (
+		n = 17
+		t = 4
+		b = 3
+	)
+	strategies := []string{
+		"silent", "crash", "omit", "garbage", "splitbrain",
+		"flip", "noise", "sleeper", "seesaw", "collude",
+	}
+	faulty := []int{0, 4, 8, 12} // the source and three colluders
+
+	fmt.Printf("Algorithm B(b=%d), n=%d, t=%d, faulty=%v (source included)\n\n", b, n, t, faulty)
+	fmt.Printf("%-11s %-6s %-6s %-8s %s\n", "strategy", "agree", "valid", "decision", "global detections (processor@round)")
+	for _, strat := range strategies {
+		res, err := shiftgears.Run(shiftgears.Config{
+			Algorithm: shiftgears.AlgorithmB, N: n, T: t, B: b,
+			SourceValue: 1, Faulty: faulty, Strategy: strat,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids := make([]int, 0, len(res.GlobalDetections))
+		for id := range res.GlobalDetections {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		detections := ""
+		for _, id := range ids {
+			detections += fmt.Sprintf("p%d@r%d ", id, res.GlobalDetections[id])
+		}
+		if detections == "" {
+			detections = "none (lies were consistent or silent — indistinguishable from crashes)"
+		}
+		fmt.Printf("%-11s %-6v %-6v %-8d %s\n", strat, res.Agreement, res.Validity, res.DecisionValue, detections)
+	}
+
+	fmt.Println("\nEvery strategy row must show agree=true: the paper's guarantees do not")
+	fmt.Println("depend on *how* the t processors misbehave. Equivocators (splitbrain,")
+	fmt.Println("noise, collude) get caught by the Fault Discovery Rule and masked;")
+	fmt.Println("consistent or silent liars never trigger it — and never need to.")
+}

@@ -1,0 +1,241 @@
+package shiftgears_test
+
+import (
+	"fmt"
+	"testing"
+
+	"shiftgears"
+)
+
+// integrationCase is one (algorithm, n, t, b) point of the sweep.
+type integrationCase struct {
+	alg     shiftgears.Algorithm
+	n, t, b int
+}
+
+func sweepCases(short bool) []integrationCase {
+	cases := []integrationCase{
+		{shiftgears.Exponential, 7, 2, 0},
+		{shiftgears.AlgorithmB, 13, 3, 2},
+		{shiftgears.AlgorithmA, 13, 4, 3},
+		{shiftgears.AlgorithmC, 18, 3, 0},
+		{shiftgears.Hybrid, 13, 4, 3},
+		{shiftgears.PSL, 7, 2, 0},
+		{shiftgears.PhaseQueen, 13, 3, 0},
+		{shiftgears.Multivalued, 13, 3, 0},
+	}
+	if short {
+		return cases
+	}
+	return append(cases,
+		integrationCase{shiftgears.Exponential, 10, 3, 0},
+		integrationCase{shiftgears.AlgorithmB, 17, 4, 3},
+		integrationCase{shiftgears.AlgorithmB, 21, 5, 2},
+		integrationCase{shiftgears.AlgorithmA, 16, 5, 3},
+		integrationCase{shiftgears.AlgorithmA, 16, 5, 4},
+		integrationCase{shiftgears.AlgorithmC, 9, 2, 0},
+		integrationCase{shiftgears.AlgorithmC, 32, 4, 0},
+		integrationCase{shiftgears.Hybrid, 10, 3, 3},
+		integrationCase{shiftgears.Hybrid, 16, 5, 3},
+		integrationCase{shiftgears.Hybrid, 16, 5, 4},
+		integrationCase{shiftgears.Hybrid, 19, 6, 3},
+		integrationCase{shiftgears.PSL, 10, 3, 0},
+		integrationCase{shiftgears.PhaseQueen, 17, 4, 0},
+		integrationCase{shiftgears.Multivalued, 17, 4, 0},
+	)
+}
+
+// faultSets builds the interesting fault placements for a case: none, a
+// single mid-ring fault, t faults avoiding the source, and t faults
+// including the source.
+func faultSets(n, t int) [][]int {
+	sets := [][]int{nil, {1}}
+	excl := make([]int, 0, t)
+	for i := 0; len(excl) < t; i++ {
+		id := (2*i + 1) % n
+		if id != 0 && !containsInt(excl, id) {
+			excl = append(excl, id)
+		}
+	}
+	incl := []int{0}
+	for i := 1; len(incl) < t; i++ {
+		id := (3*i + 2) % n
+		if id != 0 && !containsInt(incl, id) {
+			incl = append(incl, id)
+		}
+	}
+	return append(sets, excl, incl)
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+var allStrategies = []string{
+	"silent", "crash", "omit", "garbage", "splitbrain",
+	"flip", "noise", "sleeper", "seesaw", "collude",
+}
+
+// TestAgreementAndValidityAcrossTheBoard is the headline integration test:
+// every algorithm × every adversary strategy × every fault placement ×
+// several seeds must reach Byzantine agreement (all correct processors
+// decide one value) with validity (a correct source's value wins).
+func TestAgreementAndValidityAcrossTheBoard(t *testing.T) {
+	seeds := []int64{0, 1, 2}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, tc := range sweepCases(testing.Short()) {
+		tc := tc
+		t.Run(fmt.Sprintf("%v_n%d_t%d_b%d", tc.alg, tc.n, tc.t, tc.b), func(t *testing.T) {
+			for _, faulty := range faultSets(tc.n, tc.t) {
+				for _, strat := range allStrategies {
+					for _, seed := range seeds {
+						res, err := shiftgears.Run(shiftgears.Config{
+							Algorithm: tc.alg, N: tc.n, T: tc.t, B: tc.b,
+							SourceValue: 1, Faulty: faulty, Strategy: strat, Seed: seed,
+						})
+						if err != nil {
+							t.Fatalf("faulty=%v strat=%s seed=%d: %v", faulty, strat, seed, err)
+						}
+						if !res.Agreement {
+							t.Fatalf("faulty=%v strat=%s seed=%d: agreement violated", faulty, strat, seed)
+						}
+						if !res.Validity {
+							t.Fatalf("faulty=%v strat=%s seed=%d: validity violated (decision %d)",
+								faulty, strat, seed, res.DecisionValue)
+						}
+						if res.Rounds != res.PaperRoundBound && res.Rounds > res.PaperRoundBound {
+							t.Fatalf("faulty=%v strat=%s: %d rounds exceeds bound %d",
+								faulty, strat, res.Rounds, res.PaperRoundBound)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNoCorrectProcessorEverAccused asserts the soundness half of the Fault
+// Discovery Rule at the system level: across the sweep, every processor in
+// any correct replica's list is genuinely faulty.
+func TestNoCorrectProcessorEverAccused(t *testing.T) {
+	for _, tc := range sweepCases(true) {
+		if tc.alg == shiftgears.PSL || tc.alg == shiftgears.PhaseQueen || tc.alg == shiftgears.Multivalued {
+			continue // no fault lists in the baselines/extensions
+		}
+		for _, faulty := range faultSets(tc.n, tc.t) {
+			for _, strat := range allStrategies {
+				res, err := shiftgears.Run(shiftgears.Config{
+					Algorithm: tc.alg, N: tc.n, T: tc.t, B: tc.b,
+					SourceValue: 1, Faulty: faulty, Strategy: strat, Seed: 3,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				isFaulty := map[int]bool{}
+				for _, f := range faulty {
+					isFaulty[f] = true
+				}
+				for _, pr := range res.Processors {
+					if !pr.Correct {
+						continue
+					}
+					for _, accused := range pr.Discovered {
+						if !isFaulty[accused] {
+							t.Fatalf("%v strat=%s: correct %d accused correct %d",
+								tc.alg, strat, pr.ID, accused)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMessageSizeScaling verifies the paper's message-length claims on the
+// wire: Algorithm B's biggest payload is exactly the leaf count of its
+// round-b tree, Algorithm C's is n, PhaseQueen's is 1.
+func TestMessageSizeScaling(t *testing.T) {
+	for _, tc := range []struct {
+		cfg  shiftgears.Config
+		want int
+	}{
+		{shiftgears.Config{Algorithm: shiftgears.AlgorithmB, N: 13, T: 3, B: 2}, 12},
+		{shiftgears.Config{Algorithm: shiftgears.AlgorithmB, N: 17, T: 4, B: 3}, 16 * 15},
+		{shiftgears.Config{Algorithm: shiftgears.AlgorithmA, N: 13, T: 4, B: 3}, 12 * 11},
+		{shiftgears.Config{Algorithm: shiftgears.AlgorithmC, N: 18, T: 3}, 18},
+		{shiftgears.Config{Algorithm: shiftgears.PhaseQueen, N: 13, T: 3}, 1},
+		{shiftgears.Config{Algorithm: shiftgears.Exponential, N: 10, T: 3}, 9 * 8},
+	} {
+		res, err := shiftgears.Run(tc.cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.cfg.Algorithm, err)
+		}
+		if res.MaxMessageBytes != tc.want {
+			t.Errorf("%v n=%d: max message %dB, want %dB", tc.cfg.Algorithm, tc.cfg.N, res.MaxMessageBytes, tc.want)
+		}
+	}
+}
+
+// TestHybridRoundAdvantage measures the Main Theorem's point: at equal
+// resilience and message budget, the hybrid needs fewer rounds than
+// Algorithm A, and the advantage grows with t.
+func TestHybridRoundAdvantage(t *testing.T) {
+	prevSaving := -1
+	for _, tt := range []int{4, 6, 8, 10} {
+		n := 3*tt + 1
+		a, err := shiftgears.Run(shiftgears.Config{Algorithm: shiftgears.AlgorithmA, N: n, T: tt, B: 3, SourceValue: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := shiftgears.Run(shiftgears.Config{Algorithm: shiftgears.Hybrid, N: n, T: tt, B: 3, SourceValue: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		saving := a.Rounds - h.Rounds
+		if saving < 0 {
+			t.Errorf("t=%d: hybrid slower than A (%d vs %d)", tt, h.Rounds, a.Rounds)
+		}
+		if saving < prevSaving {
+			t.Errorf("t=%d: saving %d shrank from %d", tt, saving, prevSaving)
+		}
+		prevSaving = saving
+		if h.MaxMessageBytes > a.MaxMessageBytes {
+			t.Errorf("t=%d: hybrid messages larger than A's", tt)
+		}
+	}
+}
+
+// TestExponentialMatchesPSLDecisions cross-checks the paper's Exponential
+// Algorithm against the original PSL baseline on identical crash-fault
+// executions (differential testing of two independent implementations).
+func TestExponentialMatchesPSLDecisions(t *testing.T) {
+	for _, strat := range []string{"silent", "crash", "sleeper"} {
+		for seed := int64(0); seed < 3; seed++ {
+			a, err := shiftgears.Run(shiftgears.Config{
+				Algorithm: shiftgears.Exponential, N: 10, T: 3, SourceValue: 1,
+				Faulty: []int{2, 5, 8}, Strategy: strat, Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := shiftgears.Run(shiftgears.Config{
+				Algorithm: shiftgears.PSL, N: 10, T: 3, SourceValue: 1,
+				Faulty: []int{2, 5, 8}, Strategy: strat, Seed: seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.DecisionValue != b.DecisionValue {
+				t.Errorf("strat=%s seed=%d: Exponential decided %d, PSL %d",
+					strat, seed, a.DecisionValue, b.DecisionValue)
+			}
+		}
+	}
+}

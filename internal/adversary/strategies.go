@@ -1,0 +1,237 @@
+package adversary
+
+import (
+	"math/rand"
+
+	"shiftgears/internal/sim"
+)
+
+// Silent sends nothing at all: a pure omission fault. Receivers fall back
+// to the paper's default value, so Silent probes the default-value path.
+type Silent struct{}
+
+// Name implements Strategy.
+func (Silent) Name() string { return "silent" }
+
+// Mutate implements Strategy.
+func (Silent) Mutate(round, self, n int, honest [][]byte, rng *rand.Rand) [][]byte {
+	return nil
+}
+
+// Crash behaves honestly until its crash round, delivers that round's
+// message to only the lower half of the processors (the classic "crash in
+// the middle of a broadcast"), and is silent afterwards.
+type Crash struct {
+	// Round is the crash round.
+	Round int
+}
+
+// Name implements Strategy.
+func (c Crash) Name() string { return "crash" }
+
+// Mutate implements Strategy.
+func (c Crash) Mutate(round, self, n int, honest [][]byte, rng *rand.Rand) [][]byte {
+	switch {
+	case round < c.Round:
+		return honest
+	case round > c.Round || honest == nil:
+		return nil
+	default:
+		p := honestPayload(honest)
+		out := make([][]byte, n)
+		for j := 0; j < n/2; j++ {
+			out[j] = p
+		}
+		return out
+	}
+}
+
+// Omit delivers each round's honest message to odd destinations only, a
+// persistent partial-omission fault that makes receivers permanently
+// disagree about what it said.
+type Omit struct{}
+
+// Name implements Strategy.
+func (Omit) Name() string { return "omit" }
+
+// Mutate implements Strategy.
+func (Omit) Mutate(round, self, n int, honest [][]byte, rng *rand.Rand) [][]byte {
+	if honest == nil {
+		return nil
+	}
+	p := honestPayload(honest)
+	out := make([][]byte, n)
+	for j := 1; j < n; j += 2 {
+		out[j] = p
+	}
+	return out
+}
+
+// Garbage replaces each payload with random bytes — usually of the correct
+// length (parsing succeeds, contents are junk values), occasionally of a
+// wrong length (exercising the "inappropriate message → default" rule).
+type Garbage struct{}
+
+// Name implements Strategy.
+func (Garbage) Name() string { return "garbage" }
+
+// Mutate implements Strategy.
+func (Garbage) Mutate(round, self, n int, honest [][]byte, rng *rand.Rand) [][]byte {
+	if honest == nil {
+		return nil
+	}
+	base := honestPayload(honest)
+	out := make([][]byte, n)
+	for j := range out {
+		ln := len(base)
+		if rng.Intn(10) == 0 {
+			ln = rng.Intn(2*ln + 2)
+		}
+		p := make([]byte, ln)
+		for i := range p {
+			p[i] = byte(rng.Intn(256))
+		}
+		out[j] = p
+	}
+	return out
+}
+
+// SplitBrain is the classic two-faced adversary: even destinations get the
+// honest payload, odd destinations get every value flipped. A split-brain
+// source is the canonical driver of disagreement.
+type SplitBrain struct{}
+
+// Name implements Strategy.
+func (SplitBrain) Name() string { return "splitbrain" }
+
+// Mutate implements Strategy.
+func (SplitBrain) Mutate(round, self, n int, honest [][]byte, rng *rand.Rand) [][]byte {
+	if honest == nil {
+		return nil
+	}
+	p := honestPayload(honest)
+	q := flip(p)
+	out := make([][]byte, n)
+	for j := range out {
+		if j%2 == 0 {
+			out[j] = p
+		} else {
+			out[j] = q
+		}
+	}
+	return out
+}
+
+// Flip lies consistently: everyone receives the honest payload with every
+// value flipped. Consistent lies are the hardest to discover (the Fault
+// Discovery Rule sees agreement), probing the masking-free paths.
+type Flip struct{}
+
+// Name implements Strategy.
+func (Flip) Name() string { return "flip" }
+
+// Mutate implements Strategy.
+func (Flip) Mutate(round, self, n int, honest [][]byte, rng *rand.Rand) [][]byte {
+	if honest == nil {
+		return nil
+	}
+	return sim.Broadcast(n, flip(honestPayload(honest)))
+}
+
+// Noise flips each value byte independently with probability P, separately
+// per destination: incoherent lying that triggers fault discovery quickly.
+type Noise struct {
+	// P is the per-byte flip probability.
+	P float64
+}
+
+// Name implements Strategy.
+func (Noise) Name() string { return "noise" }
+
+// Mutate implements Strategy.
+func (s Noise) Mutate(round, self, n int, honest [][]byte, rng *rand.Rand) [][]byte {
+	if honest == nil {
+		return nil
+	}
+	base := honestPayload(honest)
+	out := make([][]byte, n)
+	for j := range out {
+		p := clone(base)
+		for i := range p {
+			if rng.Float64() < s.P {
+				p[i] ^= 1
+			}
+		}
+		out[j] = p
+	}
+	return out
+}
+
+// Sleeper behaves perfectly until WakeRound and then turns two-faced. It
+// probes the persistence machinery: faults that appear only after a
+// persistent value should have been obtained must not be able to destroy
+// it (Persistence Lemma).
+type Sleeper struct {
+	// WakeRound is the first Byzantine round.
+	WakeRound int
+}
+
+// Name implements Strategy.
+func (Sleeper) Name() string { return "sleeper" }
+
+// Mutate implements Strategy.
+func (s Sleeper) Mutate(round, self, n int, honest [][]byte, rng *rand.Rand) [][]byte {
+	if round < s.WakeRound {
+		return honest
+	}
+	return SplitBrain{}.Mutate(round, self, n, honest, rng)
+}
+
+// Seesaw alternates each round between claiming all zeros and all ones
+// (correct length, uniform but wrong content): a coherent-per-round,
+// incoherent-over-time liar.
+type Seesaw struct{}
+
+// Name implements Strategy.
+func (Seesaw) Name() string { return "seesaw" }
+
+// Mutate implements Strategy.
+func (Seesaw) Mutate(round, self, n int, honest [][]byte, rng *rand.Rand) [][]byte {
+	if honest == nil {
+		return nil
+	}
+	p := clone(honestPayload(honest))
+	v := byte(round % 2)
+	for i := range p {
+		p[i] = v
+	}
+	return sim.Broadcast(n, p)
+}
+
+// Collude splits destinations by thirds: the first third receives the
+// honest payload, the second third receives flipped values, the last third
+// receives nothing. Several colluding processors using this strategy keep
+// the correct processors' samples maximally unbalanced.
+type Collude struct{}
+
+// Name implements Strategy.
+func (Collude) Name() string { return "collude" }
+
+// Mutate implements Strategy.
+func (Collude) Mutate(round, self, n int, honest [][]byte, rng *rand.Rand) [][]byte {
+	if honest == nil {
+		return nil
+	}
+	p := honestPayload(honest)
+	q := flip(p)
+	out := make([][]byte, n)
+	for j := range out {
+		switch (3 * j) / n {
+		case 0:
+			out[j] = p
+		case 1:
+			out[j] = q
+		}
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+// Package baseline implements the comparison points of the paper's
+// introduction: the original Byzantine agreement algorithm of Pease,
+// Shostak, and Lamport (1980) — the algorithm the paper's Exponential
+// Algorithm simplifies — and an analytic model of Coan's families, whose
+// rounds-versus-message-length trade-off Algorithms A and B match without
+// exponential local computation.
+package baseline
+
+import (
+	"fmt"
+
+	"shiftgears/internal/eigtree"
+	"shiftgears/internal/sim"
+	"shiftgears/internal/trace"
+)
+
+// PSLReplica runs the oral-messages algorithm OM(t) of Pease, Shostak, and
+// Lamport in its exponential information-gathering form: t+1 rounds of
+// relaying, then a recursive majority vote in which — unlike the paper's
+// resolve — an internal node's own stored value votes alongside its
+// children's resolved values (lieutenant i's v_i in OM(m) is the value it
+// received directly from the sub-commander).
+//
+// The wire format is the historical, explicit one: each relayed value is
+// sent together with its full path of labels, so a round h+1 message costs
+// (h+2) bytes per tree node instead of the 1 byte of the paper's canonical
+// encoding. This is the "comparable complexity, cumbersome bookkeeping"
+// the paper contrasts itself against.
+type PSLReplica struct {
+	id      int
+	n, t    int
+	source  int
+	initial eigtree.Value
+
+	enum  *eigtree.Enum
+	tree  *eigtree.Tree
+	index []map[eigtree.Seq]int // per-level Seq → canonical index
+	log   *trace.Log
+
+	round    int
+	decided  bool
+	decision eigtree.Value
+	err      error
+
+	resolveOps int
+}
+
+var _ sim.Processor = (*PSLReplica)(nil)
+
+// NewPSLReplica builds one OM(t) participant. All replicas of a run may
+// share the enum (see NewPSLEnum).
+func NewPSLReplica(enum *eigtree.Enum, id, t int, initial eigtree.Value, log *trace.Log) (*PSLReplica, error) {
+	n := enum.N()
+	if n < 3*t+1 {
+		return nil, fmt.Errorf("baseline: OM(t) requires n ≥ 3t+1 (n=%d, t=%d)", n, t)
+	}
+	if id < 0 || id >= n {
+		return nil, fmt.Errorf("baseline: id %d out of range [0, %d)", id, n)
+	}
+	r := &PSLReplica{
+		id:      id,
+		n:       n,
+		t:       t,
+		source:  enum.Source(),
+		initial: initial,
+		enum:    enum,
+		log:     log,
+	}
+	if id != r.source {
+		r.tree = eigtree.NewTree(enum)
+		r.index = make([]map[eigtree.Seq]int, enum.MaxLevel()+1)
+		for h := 0; h <= enum.MaxLevel(); h++ {
+			m := make(map[eigtree.Seq]int, enum.Size(h))
+			for i, seq := range enum.Level(h) {
+				m[seq] = i
+			}
+			r.index[h] = m
+		}
+	}
+	return r, nil
+}
+
+// NewPSLEnum builds the enumeration OM(t) needs (levels 0..t, without
+// repetitions).
+func NewPSLEnum(n, source, t int) (*eigtree.Enum, error) {
+	return eigtree.NewEnum(n, source, false, t)
+}
+
+// ID implements sim.Processor.
+func (r *PSLReplica) ID() int { return r.id }
+
+// Decided returns the decision once made.
+func (r *PSLReplica) Decided() (eigtree.Value, bool) { return r.decision, r.decided }
+
+// Err reports an internal error (protocol bug, not Byzantine input).
+func (r *PSLReplica) Err() error { return r.err }
+
+// ResolveOps returns the recursive-majority work counter.
+func (r *PSLReplica) ResolveOps() int { return r.resolveOps }
+
+// Rounds returns the total rounds OM(t) runs: t+1.
+func (r *PSLReplica) Rounds() int { return r.t + 1 }
+
+// PrepareRound implements sim.Processor.
+func (r *PSLReplica) PrepareRound(round int) [][]byte {
+	if r.id == r.source {
+		if round != 1 {
+			return nil
+		}
+		r.decided, r.decision = true, r.initial
+		r.log.Add(1, trace.KindDecision, int(r.initial), "psl source")
+		return sim.Broadcast(r.n, []byte{byte(r.initial)})
+	}
+	if round == 1 || round > r.t+1 || r.decided || r.err != nil {
+		return nil
+	}
+	return sim.Broadcast(r.n, r.encodeLeaves())
+}
+
+// encodeLeaves serializes the deepest level with explicit paths:
+// [pathLen, path..., value] per node.
+func (r *PSLReplica) encodeLeaves() []byte {
+	h := r.tree.Levels() - 1
+	seqs := r.enum.Level(h)
+	vals := r.tree.LevelValues(h)
+	out := make([]byte, 0, len(seqs)*(h+3))
+	for i, seq := range seqs {
+		out = append(out, byte(len(seq)))
+		out = append(out, seq...)
+		out = append(out, byte(vals[i]))
+	}
+	return out
+}
+
+// DeliverRound implements sim.Processor.
+func (r *PSLReplica) DeliverRound(round int, inbox [][]byte) {
+	if r.id == r.source || r.decided || r.err != nil {
+		return
+	}
+	switch {
+	case round == 1:
+		v := eigtree.Default
+		if p := inbox[r.source]; len(p) == 1 {
+			v = eigtree.Value(p[0])
+		}
+		r.tree.SetRoot(v)
+		r.log.Add(1, trace.KindRootStored, int(v), "psl")
+	case round <= r.t+1:
+		if _, err := r.tree.AddLevel(); err != nil {
+			r.err = err
+			return
+		}
+		for q := 0; q < r.n; q++ {
+			if q == r.source {
+				continue
+			}
+			r.storeClaims(q, inbox[q])
+		}
+	}
+	if round == r.t+1 {
+		r.decideNow(round)
+	}
+}
+
+// storeClaims parses q's explicit-path message and stores each well-formed
+// claim at the child labelled q of the claimed node. Malformed records are
+// skipped (default values remain), per the original algorithm's treatment
+// of absent or improper messages.
+func (r *PSLReplica) storeClaims(q int, payload []byte) {
+	hNew := r.tree.Levels() - 1
+	hPrev := hNew - 1
+	claims := make([]eigtree.Value, r.enum.Size(hPrev))
+	seen := make([]bool, len(claims))
+	i := 0
+	for i < len(payload) {
+		pl := int(payload[i])
+		if pl != hPrev+1 || i+pl+2 > len(payload) {
+			break // malformed record: stop parsing, keep defaults
+		}
+		seq := eigtree.Seq(payload[i+1 : i+1+pl])
+		v := eigtree.Value(payload[i+1+pl])
+		if idx, ok := r.index[hPrev][seq]; ok && !seen[idx] {
+			claims[idx] = v
+			seen[idx] = true
+		}
+		i += pl + 2
+	}
+	complete := true
+	for _, s := range seen {
+		if !s {
+			complete = false
+			break
+		}
+	}
+	if !complete && i == 0 {
+		return // nothing usable; leave defaults in place
+	}
+	if err := r.tree.StoreFrom(q, claims); err != nil {
+		r.err = err
+	}
+}
+
+// decideNow performs OM's recursive majority. For lieutenant p evaluating
+// internal node α, the vote set is the children's recursively resolved
+// values — except that p's own branch α·p (p does not relay to itself in
+// OM) is replaced by the value p received directly from α's commander,
+// tree_p(α). The strict majority of those n−|α| votes wins; no majority
+// yields the default. The recursion only descends through labels ≠ p, so
+// nodes whose path contains p are never consulted.
+func (r *PSLReplica) decideNow(round int) {
+	deepest := r.tree.Levels() - 1
+	cur := make([]eigtree.Value, r.enum.Size(deepest))
+	copy(cur, r.tree.LevelValues(deepest))
+	for h := deepest - 1; h >= 0; h-- {
+		cc := r.enum.ChildCount(h)
+		stored := r.tree.LevelValues(h)
+		next := make([]eigtree.Value, r.enum.Size(h))
+		var counts [256]int
+		for i := range next {
+			selfChild, hasSelf := r.enum.ChildIndex(h, i, r.id)
+			if !hasSelf {
+				// p is on this node's path; the value is never consulted.
+				next[i] = eigtree.Default
+				continue
+			}
+			vote := func(k int) eigtree.Value {
+				if i*cc+k == selfChild {
+					return stored[i] // p's direct value from the commander
+				}
+				return cur[i*cc+k]
+			}
+			for k := 0; k < cc; k++ {
+				counts[vote(k)]++
+			}
+			r.resolveOps += cc
+			win := eigtree.Default
+			for k := 0; k < cc; k++ {
+				if 2*counts[vote(k)] > cc {
+					win = vote(k)
+					break
+				}
+			}
+			for k := 0; k < cc; k++ {
+				counts[vote(k)] = 0
+			}
+			next[i] = win
+		}
+		cur = next
+	}
+	r.decided, r.decision = true, cur[0]
+	r.log.Add(round, trace.KindDecision, int(cur[0]), "psl")
+}

@@ -1,0 +1,78 @@
+package consensus
+
+import (
+	"math/rand"
+
+	"shiftgears/internal/adversary"
+	"shiftgears/internal/sim"
+)
+
+// FaultyVector is a Byzantine processor for interactive consistency runs.
+// It keeps the multiplexing frames well-formed while lying about the
+// content: the adversary strategy is applied to each instance's honest
+// payload separately, and the (possibly per-destination, per-instance)
+// results are re-framed. Corrupting the framing itself would only ever look
+// like silence, so per-instance mutation is the strictly stronger
+// adversary.
+type FaultyVector struct {
+	shadow *VectorReplica
+	strat  adversary.Strategy
+	rng    *rand.Rand
+	n      int
+}
+
+var _ sim.Processor = (*FaultyVector)(nil)
+
+// NewFaultyVector wraps a shadow vector replica with a strategy.
+func NewFaultyVector(shadow *VectorReplica, strat adversary.Strategy, seed int64) *FaultyVector {
+	return &FaultyVector{
+		shadow: shadow,
+		strat:  strat,
+		rng:    rand.New(rand.NewSource(seed ^ int64(shadow.ID()+1)*0x517cc1b7)),
+		n:      shadow.env.n,
+	}
+}
+
+// ID implements sim.Processor.
+func (f *FaultyVector) ID() int { return f.shadow.ID() }
+
+// PrepareRound implements sim.Processor.
+func (f *FaultyVector) PrepareRound(round int) [][]byte {
+	honest := f.shadow.instancePayloads(round)
+	// Per instance: mutate the honest broadcast into per-destination
+	// payloads, then regroup by destination.
+	perDest := make([][][]byte, f.n) // destination → instance → frame
+	for j := 0; j < f.n; j++ {
+		perDest[j] = make([][]byte, f.n)
+	}
+	anything := false
+	for s := 0; s < f.n; s++ {
+		var outbox [][]byte
+		if honest[s] != nil {
+			outbox = sim.Broadcast(f.n, honest[s])
+		}
+		mutated := f.strat.Mutate(round, f.shadow.ID(), f.n, outbox, f.rng)
+		if mutated == nil {
+			continue
+		}
+		for j := 0; j < f.n; j++ {
+			if j < len(mutated) && mutated[j] != nil {
+				perDest[j][s] = mutated[j]
+				anything = true
+			}
+		}
+	}
+	if !anything {
+		return nil
+	}
+	out := make([][]byte, f.n)
+	for j := 0; j < f.n; j++ {
+		out[j] = EncodeFrames(perDest[j])
+	}
+	return out
+}
+
+// DeliverRound implements sim.Processor.
+func (f *FaultyVector) DeliverRound(round int, inbox [][]byte) {
+	f.shadow.DeliverRound(round, inbox)
+}

@@ -1,0 +1,46 @@
+package consensus
+
+import "testing"
+
+// FuzzDecodeFrames: the multiplexing decoder must never panic, and any
+// accepted payload must re-encode to an equivalent frame set.
+func FuzzDecodeFrames(f *testing.F) {
+	f.Add([]byte{1, 5, 0, 2, 7, 7}, 3)
+	f.Add([]byte{0, 0}, 2)
+	f.Add([]byte{255, 255, 255}, 1)
+	f.Fuzz(func(t *testing.T, payload []byte, n int) {
+		if n < 1 || n > 64 {
+			t.Skip()
+		}
+		frames := DecodeFrames(payload, n)
+		if frames == nil {
+			return // rejected: fine
+		}
+		if len(frames) != n {
+			t.Fatalf("accepted payload decoded to %d frames, want %d", len(frames), n)
+		}
+		// Round-trip: re-encoding and re-decoding must reproduce the frames.
+		re := DecodeFrames(EncodeFrames(frames), n)
+		if (re == nil) != (EncodeFrames(frames) == nil) {
+			t.Fatal("re-decode failed")
+		}
+		for i := range frames {
+			a, b := frames[i], []byte(nil)
+			if re != nil {
+				b = re[i]
+			}
+			if len(a) != len(b) {
+				// nil and empty both encode as "no message"; allow that.
+				if len(a) == 0 && len(b) == 0 {
+					continue
+				}
+				t.Fatalf("frame %d: %v vs %v", i, a, b)
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("frame %d byte %d mangled", i, j)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,227 @@
+// Package consensus builds interactive consistency — the original goal of
+// Pease, Shostak, and Lamport (1980), which the paper's introduction frames
+// Byzantine agreement within — by running n simultaneous instances of a
+// broadcast-agreement plan, one per source, multiplexed over the same
+// synchronous rounds. All correct processors end up agreeing on the full
+// vector of initial values, with the slot of every correct processor equal
+// to that processor's input.
+//
+// Vector agreement immediately yields multi-valued consensus: apply any
+// deterministic function to the agreed vector (Reduce picks the most
+// frequent value, giving the standard validity property when all correct
+// processors share an input).
+package consensus
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"shiftgears/internal/core"
+	"shiftgears/internal/eigtree"
+	"shiftgears/internal/sim"
+	"shiftgears/internal/trace"
+)
+
+// Vector is an agreed vector of initial values, indexed by processor id.
+type Vector []eigtree.Value
+
+// Reduce maps an agreed vector to a single consensus value: the most
+// frequent value, ties broken toward the smallest. If all correct
+// processors start with v, then v fills at least n−t > n/2 agreed slots
+// (every correct source's instance decides its input), so Reduce returns v
+// — the classical validity property of multi-valued consensus.
+func (v Vector) Reduce() eigtree.Value {
+	var counts [256]int
+	for _, val := range v {
+		counts[val]++
+	}
+	best := 0
+	for val := 1; val < 256; val++ {
+		if counts[val] > counts[best] {
+			best = val
+		}
+	}
+	return eigtree.Value(best)
+}
+
+// Env prepares the n per-source plans and their shared enumerations.
+type Env struct {
+	n     int
+	plans []*core.Plan
+	envs  []*core.Env
+}
+
+// NewEnv validates the configuration and compiles one plan per source. All
+// instances share (algorithm, n, t, b) and therefore the same round count.
+func NewEnv(alg core.Algorithm, n, t, b int) (*Env, error) {
+	e := &Env{n: n}
+	for s := 0; s < n; s++ {
+		plan, err := core.NewPlan(alg, n, t, b, s)
+		if err != nil {
+			return nil, fmt.Errorf("consensus: instance %d: %w", s, err)
+		}
+		env, err := core.NewEnv(plan)
+		if err != nil {
+			return nil, fmt.Errorf("consensus: instance %d: %w", s, err)
+		}
+		e.plans = append(e.plans, plan)
+		e.envs = append(e.envs, env)
+	}
+	return e, nil
+}
+
+// Rounds returns the shared schedule length.
+func (e *Env) Rounds() int { return e.plans[0].TotalRounds }
+
+// VectorReplica multiplexes one replica per instance over a single
+// processor's rounds. It implements sim.Processor; its wire format frames
+// each instance's payload with a uvarint length (0 = no message).
+type VectorReplica struct {
+	id    int
+	env   *Env
+	insts []*core.Replica
+	log   *trace.Log
+}
+
+var _ sim.Processor = (*VectorReplica)(nil)
+
+// NewVectorReplica creates processor id with the given input value (used by
+// the instance it sources). log may be nil.
+func NewVectorReplica(env *Env, id int, input eigtree.Value, log *trace.Log) (*VectorReplica, error) {
+	vr := &VectorReplica{id: id, env: env, log: log}
+	for s := 0; s < env.n; s++ {
+		rep, err := core.NewReplica(env.envs[s], id, input, nil)
+		if err != nil {
+			return nil, err
+		}
+		vr.insts = append(vr.insts, rep)
+	}
+	return vr, nil
+}
+
+// ID implements sim.Processor.
+func (vr *VectorReplica) ID() int { return vr.id }
+
+// Err returns the first internal error across instances.
+func (vr *VectorReplica) Err() error {
+	for _, rep := range vr.insts {
+		if err := rep.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decided returns the agreed vector once every instance has decided.
+func (vr *VectorReplica) Decided() (Vector, bool) {
+	out := make(Vector, len(vr.insts))
+	for s, rep := range vr.insts {
+		v, ok := rep.Decided()
+		if !ok {
+			return nil, false
+		}
+		out[s] = v
+	}
+	return out, true
+}
+
+// instancePayloads collects each instance's honest broadcast payload.
+func (vr *VectorReplica) instancePayloads(round int) [][]byte {
+	frames := make([][]byte, vr.env.n)
+	for s, rep := range vr.insts {
+		frames[s] = broadcastPayload(rep.PrepareRound(round))
+	}
+	return frames
+}
+
+// PrepareRound implements sim.Processor.
+func (vr *VectorReplica) PrepareRound(round int) [][]byte {
+	return sim.Broadcast(vr.env.n, EncodeFrames(vr.instancePayloads(round)))
+}
+
+// DeliverRound implements sim.Processor.
+func (vr *VectorReplica) DeliverRound(round int, inbox [][]byte) {
+	n := vr.env.n
+	perInstance := make([][][]byte, n)
+	for s := 0; s < n; s++ {
+		perInstance[s] = make([][]byte, n)
+	}
+	for q := 0; q < n; q++ {
+		frames := DecodeFrames(inbox[q], n)
+		if frames == nil {
+			continue // missing or malformed: all instances see silence from q
+		}
+		for s := 0; s < n; s++ {
+			perInstance[s][q] = frames[s]
+		}
+	}
+	for s, rep := range vr.insts {
+		rep.DeliverRound(round, perInstance[s])
+	}
+}
+
+// broadcastPayload extracts the (single) broadcast payload of an honest
+// outbox.
+func broadcastPayload(outbox [][]byte) []byte {
+	if outbox == nil {
+		return nil
+	}
+	for _, p := range outbox {
+		if p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+// EncodeFrames packs per-instance payloads into one wire payload:
+// uvarint(length) followed by the bytes, per instance in order; length 0
+// encodes "no message". A payload with no frames at all is nil.
+func EncodeFrames(frames [][]byte) []byte {
+	any := false
+	size := 0
+	var tmp [binary.MaxVarintLen64]byte
+	for _, f := range frames {
+		size += binary.PutUvarint(tmp[:], uint64(len(f))) + len(f)
+		if f != nil {
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	out := make([]byte, 0, size)
+	for _, f := range frames {
+		out = binary.AppendUvarint(out, uint64(len(f)))
+		out = append(out, f...)
+	}
+	return out
+}
+
+// DecodeFrames unpacks a wire payload into n per-instance payloads. It
+// returns nil when the payload is absent or malformed (wrong frame count,
+// truncated frame, or trailing bytes), in which case the caller treats the
+// sender as silent everywhere — the multiplexed analogue of the paper's
+// "inappropriate message → default" rule.
+func DecodeFrames(payload []byte, n int) [][]byte {
+	if payload == nil {
+		return nil
+	}
+	out := make([][]byte, n)
+	rest := payload
+	for s := 0; s < n; s++ {
+		ln, k := binary.Uvarint(rest)
+		if k <= 0 || uint64(len(rest)-k) < ln {
+			return nil
+		}
+		rest = rest[k:]
+		if ln > 0 {
+			out[s] = rest[:ln:ln]
+			rest = rest[ln:]
+		}
+	}
+	if len(rest) != 0 {
+		return nil
+	}
+	return out
+}

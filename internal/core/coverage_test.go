@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+
+	"shiftgears/internal/eigtree"
+)
+
+func TestSourcePreferredIsInitialValue(t *testing.T) {
+	plan := mustPlan(t, Exponential, 7, 2, 0)
+	env, err := NewEnv(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewReplica(env, plan.Source, 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Preferred() != 9 {
+		t.Fatalf("source preferred = %d, want its initial value", src.Preferred())
+	}
+}
+
+func TestNonZeroSourceAcrossAlgorithms(t *testing.T) {
+	// The source id is a free parameter everywhere (enumeration, plans,
+	// discovery); sweep it across all algorithms with adversarial load.
+	cases := []struct {
+		alg     Algorithm
+		n, t, b int
+	}{
+		{Exponential, 7, 2, 0},
+		{AlgorithmB, 13, 3, 2},
+		{AlgorithmA, 13, 4, 3},
+		{AlgorithmC, 18, 3, 0},
+		{Hybrid, 13, 4, 3},
+	}
+	for _, tc := range cases {
+		for _, source := range []int{1, tc.n / 2, tc.n - 1} {
+			plan, err := NewPlan(tc.alg, tc.n, tc.t, tc.b, source)
+			if err != nil {
+				t.Fatalf("%v source=%d: %v", tc.alg, source, err)
+			}
+			faulty := []int{source, (source + 3) % tc.n} // faulty source + one more
+			rr := runPlan(t, plan, 4, faulty, "splitbrain", 1, nil)
+			checkAgreementValidity(t, plan, rr, 4)
+		}
+	}
+}
+
+func TestEchoRoundWireSemantics(t *testing.T) {
+	// Drive one Algorithm C replica by hand through rounds 1..3 and verify
+	// the reorder-then-convert semantics on the wire: after round 3, the
+	// intermediate value for a processor equals the majority of the vector
+	// that processor broadcast.
+	plan := mustPlan(t, AlgorithmC, 9, 2, 0)
+	env, err := NewEnv(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReplica(env, 1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := 9
+	// Round 1: the source says 1.
+	inbox := make([][]byte, n)
+	inbox[0] = []byte{1}
+	_ = rep.PrepareRound(1)
+	rep.DeliverRound(1, inbox)
+	if rep.Preferred() != 1 {
+		t.Fatalf("root = %d", rep.Preferred())
+	}
+
+	// Round 2: everyone (except the halted source) echoes its root; give
+	// processor 5 a deviant claim.
+	inbox2 := make([][]byte, n)
+	for q := 1; q < n; q++ {
+		inbox2[q] = []byte{1}
+	}
+	inbox2[5] = []byte{7}
+	out := rep.PrepareRound(2)
+	if len(out[0]) != 1 || out[0][0] != 1 {
+		t.Fatalf("round-2 broadcast = %v, want the root", out[0])
+	}
+	rep.DeliverRound(2, inbox2)
+
+	// Round 3: everyone broadcasts its level-1 vector (9 values). Build
+	// vectors matching what each correct processor would hold; processor
+	// 5's vector is junk.
+	honest := make([]byte, n)
+	for q := 1; q < n; q++ {
+		honest[q] = 1
+	}
+	honest[5] = 7 // everyone stored 7 for processor 5
+	junk := make([]byte, n)
+	for i := range junk {
+		junk[i] = 9
+	}
+	inbox3 := make([][]byte, n)
+	for q := 1; q < n; q++ {
+		inbox3[q] = honest
+	}
+	inbox3[5] = junk
+	out3 := rep.PrepareRound(3)
+	if len(out3[0]) != n {
+		t.Fatalf("round-3 broadcast = %d bytes, want n", len(out3[0]))
+	}
+	rep.DeliverRound(3, inbox3)
+
+	// After reorder + shift_{3→2}, the intermediate value for q is the
+	// majority of the vector q sent: 1 for correct q, 9 for processor 5,
+	// 0 for the silent source.
+	lvl1 := rep.tree.LevelValues(1)
+	for q := 1; q < n; q++ {
+		want := eigtree.Value(1)
+		if q == 5 {
+			want = 9
+		}
+		if lvl1[q] != want {
+			t.Fatalf("intermediate[%d] = %d, want %d", q, lvl1[q], want)
+		}
+	}
+	if lvl1[0] != eigtree.Default {
+		t.Fatalf("source slot = %d, want default (source is silent)", lvl1[0])
+	}
+	// The final round just decided (t+1 = 3 rounds): majority of the
+	// intermediates is 1.
+	if v, ok := rep.Decided(); !ok || v != 1 {
+		t.Fatalf("decision = %d, %v", v, ok)
+	}
+}
+
+func TestResolutionLevelValues(t *testing.T) {
+	e, err := eigtree.NewEnum(5, 0, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := eigtree.NewTree(e)
+	tr.SetRoot(1)
+	if _, err := tr.AddLevel(); err != nil {
+		t.Fatal(err)
+	}
+	copy(tr.LevelValues(1), []eigtree.Value{2, 2, 2, 3})
+	res, err := tr.Resolve(eigtree.ResolveMajority, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := res.LevelValues(1)
+	if len(leaves) != 4 || leaves[0] != eigtree.CV(2) || leaves[3] != eigtree.CV(3) {
+		t.Fatalf("LevelValues = %v", leaves)
+	}
+	if eigtree.ResolveKind(42).String() == "" {
+		t.Fatal("unknown kind must render something")
+	}
+}

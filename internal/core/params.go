@@ -1,0 +1,87 @@
+package core
+
+import "fmt"
+
+// HybridParams are the derived quantities of the Main Theorem (Section 4.4).
+//
+// The hybrid shifts from Algorithm A into Algorithm B once it is "safe":
+// either a persistent value exists, or at least TAB faults have been
+// globally detected, which restores Corollary 1 (of the Hidden Fault Lemma)
+// for Algorithm B despite the fault count exceeding B's native resilience.
+// Likewise it shifts into Algorithm C once TAC faults are globally detected
+// or a persistent value exists. KAB and KBC are the round budgets that
+// guarantee those preconditions.
+type HybridParams struct {
+	// TAB is the global-detection threshold for the A→B shift: the least
+	// ℓ with n − 2t + ℓ > ⌊(n−1)/2⌋ (≈ ⌊t/2⌋ for n = 3t+1).
+	TAB int
+	// TAC is the threshold for the B→C shift: the least ℓ satisfying both
+	// n − t − (t−ℓ)² > n/2 and n − 2t + ℓ > n/2 (≈ t − √(n/2 − t)).
+	TAC int
+	// TBC = TAC − TAB is the number of additional detections the B phase
+	// must produce (0 when the A phase already reaches TAC).
+	TBC int
+	// KAB is the number of rounds of Algorithm A (including round 1) after
+	// which either a persistent value exists or TAB faults are globally
+	// detected: 2 + TAB + 2⌊(TAB−1)/(b−2)⌋, or 1 when TAB = 0.
+	KAB int
+	// KBC is the analogous budget for the B phase (entered at the end of
+	// B's round 1): 1 + TBC + ⌊TBC/(b−1)⌋, or 0 when TBC = 0.
+	KBC int
+	// CRounds = t − TAC + 1 rounds of Algorithm C finish the job (one
+	// extra round covers rediscovery of the source after the shift).
+	CRounds int
+	// Total = KAB + KBC + CRounds is the Theorem 1 round count.
+	Total int
+}
+
+// ComputeHybridParams derives the Main Theorem parameters for (n, t, b).
+func ComputeHybridParams(n, t, b int) (HybridParams, error) {
+	if n < 3*t+1 {
+		return HybridParams{}, fmt.Errorf("core: hybrid params need n ≥ 3t+1 (n=%d, t=%d)", n, t)
+	}
+	if b < 3 {
+		return HybridParams{}, fmt.Errorf("core: hybrid params need b ≥ 3 (b=%d)", b)
+	}
+
+	var hp HybridParams
+
+	// TAB: least ℓ ≥ 0 with n − 2t + ℓ > ⌊(n−1)/2⌋.
+	hp.TAB = (n-1)/2 + 1 - (n - 2*t)
+	if hp.TAB < 0 {
+		hp.TAB = 0
+	}
+	if hp.TAB > t {
+		hp.TAB = t
+	}
+
+	// TAC: least ℓ ∈ [0, t] with 2(n − t − (t−ℓ)²) > n and 2(n − 2t + ℓ) > n.
+	hp.TAC = t // degenerate fallback: C phase of a single round
+	for l := 0; l <= t; l++ {
+		d := t - l
+		if 2*(n-t-d*d) > n && 2*(n-2*t+l) > n {
+			hp.TAC = l
+			break
+		}
+	}
+	if hp.TAC < hp.TAB {
+		// The A phase already certifies more detections than the C shift
+		// needs; skip the B phase entirely.
+		hp.TAC = hp.TAB
+	}
+	hp.TBC = hp.TAC - hp.TAB
+
+	if hp.TAB == 0 {
+		hp.KAB = 1
+	} else {
+		hp.KAB = 2 + hp.TAB + 2*((hp.TAB-1)/(b-2))
+	}
+	if hp.TBC == 0 {
+		hp.KBC = 0
+	} else {
+		hp.KBC = 1 + hp.TBC + hp.TBC/(b-1)
+	}
+	hp.CRounds = t - hp.TAC + 1
+	hp.Total = hp.KAB + hp.KBC + hp.CRounds
+	return hp, nil
+}

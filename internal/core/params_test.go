@@ -1,0 +1,107 @@
+package core
+
+import "testing"
+
+func TestComputeHybridParamsKnownValues(t *testing.T) {
+	// Hand-computed instances of the Main Theorem's derivations.
+	cases := []struct {
+		n, t, b int
+		want    HybridParams
+	}{
+		// n=13, t=4, b=3: t_AB = ⌊t/2⌋ = 2; t_AC: (4−ℓ)² < 13/2−4 → ℓ≥3 and
+		// 2(13−8+ℓ)>13 → ℓ≥2 ⇒ 3; t_BC=1; k_AB=2+2+2⌊1/1⌋=6; k_BC=1+1+0=2;
+		// C rounds = 4−3+1 = 2; total 10.
+		{13, 4, 3, HybridParams{TAB: 2, TAC: 3, TBC: 1, KAB: 6, KBC: 2, CRounds: 2, Total: 10}},
+		// n=31, t=10, b=3: t_AB=5; (10−ℓ)² < 15.5−10 → ℓ≥8; t_BC=3;
+		// k_AB=2+5+2·4=15; k_BC=1+3+1=5; C=3; total 23.
+		{31, 10, 3, HybridParams{TAB: 5, TAC: 8, TBC: 3, KAB: 15, KBC: 5, CRounds: 3, Total: 23}},
+		// n=10, t=3, b=3: t_AB=⌊3/2⌋… (n−1)/2+1−(n−2t) = 4+1−4 = 1; t_AC:
+		// (3−ℓ)² < 5−3=2 → ℓ≥2, 2(10−6+ℓ)>10 → ℓ≥2 ⇒ 2; t_BC=1;
+		// k_AB=2+1+0=3; k_BC=1+1+0=2; C=2; total 7.
+		{10, 3, 3, HybridParams{TAB: 1, TAC: 2, TBC: 1, KAB: 3, KBC: 2, CRounds: 2, Total: 7}},
+	}
+	for _, tc := range cases {
+		got, err := ComputeHybridParams(tc.n, tc.t, tc.b)
+		if err != nil {
+			t.Fatalf("ComputeHybridParams(%d, %d, %d): %v", tc.n, tc.t, tc.b, err)
+		}
+		if got != tc.want {
+			t.Errorf("ComputeHybridParams(%d, %d, %d) = %+v, want %+v", tc.n, tc.t, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestComputeHybridParamsErrors(t *testing.T) {
+	if _, err := ComputeHybridParams(12, 4, 3); err == nil {
+		t.Error("n < 3t+1 accepted")
+	}
+	if _, err := ComputeHybridParams(13, 4, 2); err == nil {
+		t.Error("b < 3 accepted")
+	}
+}
+
+func TestHybridParamsInvariants(t *testing.T) {
+	// Over a parameter sweep, the derived thresholds satisfy the
+	// inequalities the Main Theorem's proof needs.
+	for tt := 3; tt <= 15; tt++ {
+		for extra := 0; extra <= 2; extra++ {
+			n := 3*tt + 1 + extra
+			for b := 3; b <= tt; b++ {
+				hp, err := ComputeHybridParams(n, tt, b)
+				if err != nil {
+					t.Fatalf("n=%d t=%d b=%d: %v", n, tt, b, err)
+				}
+				if hp.TAB < 0 || hp.TAB > tt || hp.TAC < hp.TAB || hp.TAC > tt {
+					t.Fatalf("n=%d t=%d b=%d: thresholds out of order: %+v", n, tt, b, hp)
+				}
+				if hp.TBC != hp.TAC-hp.TAB {
+					t.Fatalf("TBC mismatch: %+v", hp)
+				}
+				// Shift-to-B safety: n − 2t + TAB > ⌊(n−1)/2⌋ (Corollary 1
+				// restored after t_AB global detections).
+				if n-2*tt+hp.TAB <= (n-1)/2 {
+					t.Errorf("n=%d t=%d: B-shift condition fails: n−2t+TAB = %d ≤ %d",
+						n, tt, n-2*tt+hp.TAB, (n-1)/2)
+				}
+				// Shift-to-C safety: n − t − (t−TAC)² > n/2 and n − 2t + TAC > n/2.
+				d := tt - hp.TAC
+				if 2*(n-tt-d*d) <= n {
+					t.Errorf("n=%d t=%d: C-shift condition 1 fails with TAC=%d", n, tt, hp.TAC)
+				}
+				if 2*(n-2*tt+hp.TAC) <= n {
+					t.Errorf("n=%d t=%d: C-shift condition 2 fails with TAC=%d", n, tt, hp.TAC)
+				}
+				if hp.CRounds != tt-hp.TAC+1 || hp.CRounds < 1 {
+					t.Errorf("n=%d t=%d: CRounds = %d", n, tt, hp.CRounds)
+				}
+				if hp.Total != hp.KAB+hp.KBC+hp.CRounds {
+					t.Errorf("n=%d t=%d: total %d ≠ %d+%d+%d", n, tt, hp.Total, hp.KAB, hp.KBC, hp.CRounds)
+				}
+			}
+		}
+	}
+}
+
+func TestHybridParamsAsymptotics(t *testing.T) {
+	// Theorem 1's simplified form: rounds = t + O(t/b) + O(1). Check the
+	// overhead over t shrinks with b at fixed t, and is ≤ t/(b−2) +
+	// t/(2(b−1)) + 6 across a sweep.
+	const tt = 30
+	n := 3*tt + 1
+	prev := 1 << 30
+	for b := 3; b <= 12; b++ {
+		hp, err := ComputeHybridParams(n, tt, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		overhead := hp.Total - tt
+		if overhead > prev {
+			t.Errorf("b=%d: overhead %d grew from %d (should shrink with b)", b, overhead, prev)
+		}
+		prev = overhead
+		limit := tt/(b-2) + tt/(2*(b-1)) + 6
+		if overhead > limit {
+			t.Errorf("b=%d: overhead %d exceeds t/(b−2)+t/(2(b−1))+O(1) = %d", b, overhead, limit)
+		}
+	}
+}

@@ -1,0 +1,331 @@
+// Package core implements the paper's agreement algorithms: the
+// Exponential Algorithm (Section 3), Algorithms A and B — the two families
+// obtained by repeatedly applying the shift operator (Sections 4.1, 4.2) —
+// Algorithm C, the adaptation of Dolev–Reischuk–Strong early stopping
+// (Section 4.3), and the Hybrid Algorithm of the Main Theorem that shifts
+// from A to B to C mid-execution (Section 4.4).
+//
+// Every algorithm is compiled to a Plan: a fixed schedule of segments, each
+// being either a run of Information Gathering rounds ended by a shift
+// (tree collapse through a conversion function), or a run of Algorithm C's
+// echo rounds. A Replica executes a Plan as a sim.Processor.
+package core
+
+import (
+	"fmt"
+
+	"shiftgears/internal/eigtree"
+)
+
+// Algorithm identifies one of the paper's protocols.
+type Algorithm int
+
+const (
+	// Exponential is "Exponential Information Gathering with Recursive
+	// Majority Voting" (Section 3): n ≥ 3t+1, t+1 rounds, messages O(n^t).
+	Exponential Algorithm = iota + 1
+	// AlgorithmA is the family of Theorem 2: n ≥ 3t+1, parameter b,
+	// conversion by resolve', rounds ≤ t+2+2⌊(t−1)/(b−2)⌋, messages O(n^b).
+	AlgorithmA
+	// AlgorithmB is the family of Theorem 3: n ≥ 4t+1, parameter b,
+	// conversion by resolve, rounds t+1+⌊(t−1)/(b−1)⌋, messages O(n^b).
+	AlgorithmB
+	// AlgorithmC is the Dolev–Reischuk–Strong adaptation of Theorem 4:
+	// t ≤ ⌊√(n/2)⌋, t+1 rounds, messages O(n).
+	AlgorithmC
+	// Hybrid is the Main Theorem's algorithm: run A, shift into B, shift
+	// into C; resilience ⌊(n−1)/3⌋ with the round count of Theorem 1.
+	Hybrid
+)
+
+// String names the algorithm as the paper does.
+func (a Algorithm) String() string {
+	switch a {
+	case Exponential:
+		return "Exponential"
+	case AlgorithmA:
+		return "A"
+	case AlgorithmB:
+		return "B"
+	case AlgorithmC:
+		return "C"
+	case Hybrid:
+		return "Hybrid"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// SegmentKind distinguishes the two execution modes a plan is built from.
+type SegmentKind int
+
+const (
+	// SegGather runs Information Gathering rounds on a tree without
+	// repetitions and ends with a shift: tree(s) = conv(s), collapsing the
+	// tree to its root (shift_{k→1}, Section 4).
+	SegGather SegmentKind = iota + 1
+	// SegEcho runs Algorithm C rounds on the three-level tree with
+	// repetitions: per round, store leaves, discover, mask, reorder, and
+	// shift_{3→2}; the segment ends with shift_{2→1} (Section 4.3).
+	SegEcho
+)
+
+// Segment is one contiguous phase of a plan.
+type Segment struct {
+	Kind SegmentKind
+	// Rounds is the number of communication rounds in the segment
+	// (excluding round 1, which is the source broadcast shared by all
+	// plans).
+	Rounds int
+	// Conv is the conversion function applied by the shift ending a
+	// SegGather segment (resolve for B/Exponential, resolve' for A).
+	Conv eigtree.ResolveKind
+}
+
+// Plan is a compiled schedule for one algorithm at fixed (n, t, b).
+type Plan struct {
+	Algorithm Algorithm
+	N         int
+	T         int
+	B         int // block parameter; 0 when the algorithm has none
+	Source    int
+	Segments  []Segment
+	// TotalRounds includes round 1.
+	TotalRounds int
+	// MaxGatherLevel is the deepest tree level any gather segment builds,
+	// which determines enumeration depth and the O(n^b) message bound.
+	MaxGatherLevel int
+	// Hybrid holds the Main Theorem's derived parameters when
+	// Algorithm == Hybrid.
+	Hybrid *HybridParams
+}
+
+// MaxResilience returns the largest t the algorithm tolerates at system
+// size n: t_A = ⌊(n−1)/3⌋, t_B = ⌊(n−1)/4⌋, t_C = ⌊√(n/2)⌋ (paper
+// Sections 4.1–4.3). The hybrid matches Algorithm A.
+func MaxResilience(alg Algorithm, n int) int {
+	switch alg {
+	case Exponential, AlgorithmA, Hybrid:
+		return (n - 1) / 3
+	case AlgorithmB:
+		return (n - 1) / 4
+	case AlgorithmC:
+		t := isqrt(n / 2)
+		// Theorem 4 additionally needs n−2t > n/2, i.e. n > 4t, which binds
+		// only for t ≤ 2.
+		for t > 0 && n <= 4*t {
+			t--
+		}
+		return t
+	default:
+		return 0
+	}
+}
+
+// isqrt returns ⌊√x⌋.
+func isqrt(x int) int {
+	if x < 0 {
+		return 0
+	}
+	r := 0
+	for (r+1)*(r+1) <= x {
+		r++
+	}
+	return r
+}
+
+// NewPlan validates (n, t, b) for the algorithm and compiles its schedule.
+// Source is fixed to processor 0's id by NewPlanWithSource callers that
+// don't care; here it is an explicit argument for generality.
+func NewPlan(alg Algorithm, n, t, b, source int) (*Plan, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("core: n = %d; the problem requires at least 4 processors", n)
+	}
+	if t < 1 {
+		return nil, fmt.Errorf("core: t = %d; resilience must be at least 1", t)
+	}
+	if source < 0 || source >= n {
+		return nil, fmt.Errorf("core: source %d out of range [0, %d)", source, n)
+	}
+
+	p := &Plan{Algorithm: alg, N: n, T: t, B: b, Source: source}
+	switch alg {
+	case Exponential:
+		if n < 3*t+1 {
+			return nil, fmt.Errorf("core: Exponential Algorithm requires n ≥ 3t+1 (n=%d, t=%d)", n, t)
+		}
+		p.B = 0
+		p.Segments = []Segment{{Kind: SegGather, Rounds: t, Conv: eigtree.ResolveMajority}}
+
+	case AlgorithmA:
+		if n < 3*t+1 {
+			return nil, fmt.Errorf("core: Algorithm A requires n ≥ 3t+1 (n=%d, t=%d)", n, t)
+		}
+		if b < 3 || b > t {
+			return nil, fmt.Errorf("core: Algorithm A requires 2 < b ≤ t (b=%d, t=%d)", b, t)
+		}
+		if b == t {
+			// "If b = t, Algorithm A is exactly the Exponential Algorithm
+			// with resolve'."
+			p.Segments = []Segment{{Kind: SegGather, Rounds: t, Conv: eigtree.ResolveSupport}}
+			break
+		}
+		x, y := (t-1)/(b-2), (t-1)%(b-2)
+		for i := 0; i < x; i++ {
+			p.Segments = append(p.Segments, Segment{Kind: SegGather, Rounds: b, Conv: eigtree.ResolveSupport})
+		}
+		if y > 0 {
+			p.Segments = append(p.Segments, Segment{Kind: SegGather, Rounds: y + 2, Conv: eigtree.ResolveSupport})
+		}
+
+	case AlgorithmB:
+		if n < 4*t+1 {
+			return nil, fmt.Errorf("core: Algorithm B requires n ≥ 4t+1 (n=%d, t=%d)", n, t)
+		}
+		if b < 2 || b > t {
+			return nil, fmt.Errorf("core: Algorithm B requires 1 < b ≤ t (b=%d, t=%d)", b, t)
+		}
+		if b == t {
+			// "If b = t, then Algorithm B is just the Exponential Algorithm."
+			p.Segments = []Segment{{Kind: SegGather, Rounds: t, Conv: eigtree.ResolveMajority}}
+			break
+		}
+		x, y := (t-1)/(b-1), (t-1)%(b-1)
+		for i := 0; i < x; i++ {
+			p.Segments = append(p.Segments, Segment{Kind: SegGather, Rounds: b, Conv: eigtree.ResolveMajority})
+		}
+		if y > 0 {
+			p.Segments = append(p.Segments, Segment{Kind: SegGather, Rounds: y + 1, Conv: eigtree.ResolveMajority})
+		}
+
+	case AlgorithmC:
+		if 2*t*t > n {
+			return nil, fmt.Errorf("core: Algorithm C requires t ≤ ⌊√(n/2)⌋ (n=%d, t=%d)", n, t)
+		}
+		if n <= 4*t {
+			return nil, fmt.Errorf("core: Algorithm C requires n > 4t (n=%d, t=%d)", n, t)
+		}
+		p.B = 0
+		p.Segments = []Segment{{Kind: SegEcho, Rounds: t}}
+
+	case Hybrid:
+		if n < 3*t+1 {
+			return nil, fmt.Errorf("core: Hybrid requires n ≥ 3t+1 (n=%d, t=%d)", n, t)
+		}
+		if t < 3 {
+			return nil, fmt.Errorf("core: Hybrid requires t ≥ 3 (t=%d); use Exponential or A below that", t)
+		}
+		if b < 3 || b > t {
+			return nil, fmt.Errorf("core: Hybrid requires 2 < b ≤ t (b=%d, t=%d)", b, t)
+		}
+		hp, err := ComputeHybridParams(n, t, b)
+		if err != nil {
+			return nil, err
+		}
+		p.Hybrid = &hp
+		// Algorithm A phase: k_AB rounds including round 1.
+		if hp.TAB >= 1 {
+			xa, ya := (hp.TAB-1)/(b-2), (hp.TAB-1)%(b-2)
+			for i := 0; i < xa; i++ {
+				p.Segments = append(p.Segments, Segment{Kind: SegGather, Rounds: b, Conv: eigtree.ResolveSupport})
+			}
+			p.Segments = append(p.Segments, Segment{Kind: SegGather, Rounds: ya + 2, Conv: eigtree.ResolveSupport})
+		}
+		// Algorithm B phase: k_BC rounds, entered at the end of B's round 1.
+		if hp.TBC >= 1 {
+			xb, yb := hp.TBC/(b-1), hp.TBC%(b-1)
+			for i := 0; i < xb; i++ {
+				p.Segments = append(p.Segments, Segment{Kind: SegGather, Rounds: b, Conv: eigtree.ResolveMajority})
+			}
+			p.Segments = append(p.Segments, Segment{Kind: SegGather, Rounds: yb + 1, Conv: eigtree.ResolveMajority})
+		}
+		// Algorithm C phase: t − t_AC + 1 rounds from C's round 2 on.
+		p.Segments = append(p.Segments, Segment{Kind: SegEcho, Rounds: hp.CRounds})
+
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %d", int(alg))
+	}
+
+	p.TotalRounds = 1
+	for _, seg := range p.Segments {
+		p.TotalRounds += seg.Rounds
+		if seg.Kind == SegGather && seg.Rounds > p.MaxGatherLevel {
+			p.MaxGatherLevel = seg.Rounds
+		}
+	}
+	return p, nil
+}
+
+// NeedsGather reports whether any segment uses the tree without repetitions.
+func (p *Plan) NeedsGather() bool {
+	for _, s := range p.Segments {
+		if s.Kind == SegGather {
+			return true
+		}
+	}
+	return false
+}
+
+// NeedsEcho reports whether any segment uses Algorithm C's tree with
+// repetitions.
+func (p *Plan) NeedsEcho() bool {
+	for _, s := range p.Segments {
+		if s.Kind == SegEcho {
+			return true
+		}
+	}
+	return false
+}
+
+// PaperRoundBound returns the round count the paper states for the plan's
+// algorithm and parameters:
+//
+//	Exponential: t+1                       (Proposition 1)
+//	A:           t+2+2⌊(t−1)/(b−2)⌋        (Theorem 2, worst case)
+//	B:           t+1+⌊(t−1)/(b−1)⌋         (Theorem 3, worst case)
+//	C:           t+1                       (Theorem 4)
+//	Hybrid:      k_AB+k_BC+t−t_AC+1        (Theorem 1)
+func (p *Plan) PaperRoundBound() int {
+	switch p.Algorithm {
+	case Exponential, AlgorithmC:
+		return p.T + 1
+	case AlgorithmA:
+		if p.B == p.T {
+			return p.T + 1
+		}
+		return p.T + 2 + 2*((p.T-1)/(p.B-2))
+	case AlgorithmB:
+		if p.B == p.T {
+			return p.T + 1
+		}
+		return p.T + 1 + (p.T-1)/(p.B-1)
+	case Hybrid:
+		return p.Hybrid.Total
+	default:
+		return 0
+	}
+}
+
+// MessageBoundNodes returns the paper's bound on the largest message of the
+// plan, counted in values (one byte each): the number of leaves of the
+// deepest tree broadcast, O(n^b) for A/B, O(n^{t}) for the Exponential
+// Algorithm, and n for C (the intermediate vector).
+func (p *Plan) MessageBoundNodes() int {
+	maxMsg := 1
+	if p.NeedsEcho() {
+		maxMsg = p.N
+	}
+	if p.MaxGatherLevel > 0 {
+		// The largest gather broadcast carries the leaves of the level
+		// built in the segment's last round minus one (a round h+1 message
+		// describes the round-h tree's leaves): level MaxGatherLevel-1.
+		size := 1
+		for h := 0; h < p.MaxGatherLevel-1; h++ {
+			size *= p.N - 1 - h
+		}
+		if size > maxMsg {
+			maxMsg = size
+		}
+	}
+	return maxMsg
+}

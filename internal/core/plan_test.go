@@ -1,0 +1,315 @@
+package core
+
+import (
+	"testing"
+
+	"shiftgears/internal/eigtree"
+)
+
+func mustPlan(t *testing.T, alg Algorithm, n, tt, b int) *Plan {
+	t.Helper()
+	p, err := NewPlan(alg, n, tt, b, 0)
+	if err != nil {
+		t.Fatalf("NewPlan(%v, %d, %d, %d): %v", alg, n, tt, b, err)
+	}
+	return p
+}
+
+func TestAlgorithmString(t *testing.T) {
+	names := map[Algorithm]string{
+		Exponential: "Exponential", AlgorithmA: "A", AlgorithmB: "B",
+		AlgorithmC: "C", Hybrid: "Hybrid",
+	}
+	for alg, want := range names {
+		if alg.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(alg), alg.String(), want)
+		}
+	}
+}
+
+func TestMaxResilience(t *testing.T) {
+	cases := []struct {
+		alg  Algorithm
+		n    int
+		want int
+	}{
+		{Exponential, 4, 1}, {Exponential, 13, 4}, {AlgorithmA, 10, 3},
+		{Hybrid, 16, 5},
+		{AlgorithmB, 13, 3}, {AlgorithmB, 17, 4},
+		{AlgorithmC, 8, 1}, // √4 = 2 but n ≤ 4t rules out 2
+		{AlgorithmC, 9, 2}, // √4.5 → 2, 9 > 8
+		{AlgorithmC, 18, 3}, {AlgorithmC, 32, 4}, {AlgorithmC, 50, 5},
+	}
+	for _, tc := range cases {
+		if got := MaxResilience(tc.alg, tc.n); got != tc.want {
+			t.Errorf("MaxResilience(%v, %d) = %d, want %d", tc.alg, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	bad := []struct {
+		name    string
+		alg     Algorithm
+		n, t, b int
+	}{
+		{"n too small", Exponential, 3, 1, 0},
+		{"t zero", Exponential, 4, 0, 0},
+		{"exp resilience", Exponential, 9, 3, 0},
+		{"A resilience", AlgorithmA, 12, 4, 3},
+		{"A b too small", AlgorithmA, 13, 4, 2},
+		{"A b too large", AlgorithmA, 13, 4, 5},
+		{"B resilience", AlgorithmB, 12, 3, 2},
+		{"B b too small", AlgorithmB, 13, 3, 1},
+		{"B b too large", AlgorithmB, 13, 3, 4},
+		{"C resilience", AlgorithmC, 17, 3, 0},
+		{"C n ≤ 4t", AlgorithmC, 8, 2, 0},
+		{"hybrid resilience", Hybrid, 12, 4, 3},
+		{"hybrid t < 3", Hybrid, 7, 2, 3},
+		{"hybrid b < 3", Hybrid, 13, 4, 2},
+		{"hybrid b > t", Hybrid, 13, 4, 5},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewPlan(tc.alg, tc.n, tc.t, tc.b, 0); err == nil {
+				t.Fatalf("NewPlan(%v, %d, %d, %d) succeeded, want error", tc.alg, tc.n, tc.t, tc.b)
+			}
+		})
+	}
+	if _, err := NewPlan(Exponential, 7, 2, 0, 7); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if _, err := NewPlan(Algorithm(99), 7, 2, 0, 0); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestExponentialPlan(t *testing.T) {
+	p := mustPlan(t, Exponential, 13, 4, 0)
+	if p.TotalRounds != 5 || p.PaperRoundBound() != 5 {
+		t.Fatalf("rounds = %d, bound = %d, want 5", p.TotalRounds, p.PaperRoundBound())
+	}
+	if len(p.Segments) != 1 || p.Segments[0].Rounds != 4 || p.Segments[0].Conv != eigtree.ResolveMajority {
+		t.Fatalf("segments = %+v", p.Segments)
+	}
+	if p.MaxGatherLevel != 4 {
+		t.Fatalf("MaxGatherLevel = %d", p.MaxGatherLevel)
+	}
+	// Message bound: leaves of the 4-round tree = (n-1)(n-2)(n-3).
+	if got, want := p.MessageBoundNodes(), 12*11*10; got != want {
+		t.Fatalf("MessageBoundNodes = %d, want %d", got, want)
+	}
+}
+
+func TestAlgorithmBPlanSchedule(t *testing.T) {
+	// Theorem 3: rounds = t+1+⌊(t−1)/(b−1)⌋, one fewer when (b−1)|(t−1).
+	cases := []struct {
+		t, b       int
+		wantRounds int
+		wantSegs   []int
+	}{
+		{5, 2, 9, []int{2, 2, 2, 2}}, // x=4, y=0: 1+8 rounds ((b−1)|(t−1))
+		{5, 3, 7, []int{3, 3}},       // x=2, y=0: 1+6 rounds
+		{5, 4, 8, []int{4, 2}},       // x=1, y=1: 1+4+2 rounds
+		{5, 5, 6, []int{5}},          // b=t: Exponential
+		{4, 2, 7, []int{2, 2, 2}},    // x=3, y=0: 1+6 rounds
+		{4, 3, 6, []int{3, 2}},       // x=1, y=1: 1+3+2 rounds
+	}
+	// Note: wantRounds above is the paper's *worst-case formula*; the plan
+	// itself may use one fewer round when (b−1) divides (t−1). Check both.
+	for _, tc := range cases {
+		n := 4*tc.t + 1
+		p := mustPlan(t, AlgorithmB, n, tc.t, tc.b)
+		if len(p.Segments) != len(tc.wantSegs) {
+			t.Fatalf("t=%d b=%d: segments %+v, want lengths %v", tc.t, tc.b, p.Segments, tc.wantSegs)
+		}
+		total := 1
+		for i, s := range p.Segments {
+			if s.Rounds != tc.wantSegs[i] {
+				t.Fatalf("t=%d b=%d: segment %d has %d rounds, want %d", tc.t, tc.b, i, s.Rounds, tc.wantSegs[i])
+			}
+			if s.Conv != eigtree.ResolveMajority || s.Kind != SegGather {
+				t.Fatalf("t=%d b=%d: segment %d = %+v", tc.t, tc.b, i, s)
+			}
+			total += s.Rounds
+		}
+		if p.TotalRounds != total {
+			t.Fatalf("t=%d b=%d: TotalRounds %d ≠ sum %d", tc.t, tc.b, p.TotalRounds, total)
+		}
+		if p.TotalRounds > p.PaperRoundBound() {
+			t.Fatalf("t=%d b=%d: schedule %d exceeds Theorem 3 bound %d", tc.t, tc.b, p.TotalRounds, p.PaperRoundBound())
+		}
+		if tc.b == tc.t && p.TotalRounds != tc.t+1 {
+			t.Fatalf("b=t must collapse to the Exponential Algorithm's %d rounds", tc.t+1)
+		}
+		// The exact formula: t+1+⌊(t−1)/(b−1)⌋ minus 1 when (b−1)|(t−1).
+		want := tc.t + 1 + (tc.t-1)/(tc.b-1)
+		if tc.b < tc.t && (tc.t-1)%(tc.b-1) == 0 {
+			want--
+		}
+		if tc.b == tc.t {
+			want = tc.t + 1
+		}
+		if p.TotalRounds != want {
+			t.Fatalf("t=%d b=%d: rounds = %d, want %d", tc.t, tc.b, p.TotalRounds, want)
+		}
+	}
+}
+
+func TestAlgorithmAPlanSchedule(t *testing.T) {
+	// Theorem 2 / Section 4.2: round 1, ⌊(t−1)/(b−2)⌋ blocks of b rounds,
+	// and a final block of y+2 rounds when y = (t−1) mod (b−2) > 0.
+	cases := []struct {
+		t, b     int
+		wantSegs []int
+	}{
+		{4, 3, []int{3, 3, 3}},    // x=3, y=0
+		{5, 3, []int{3, 3, 3, 3}}, // x=4, y=0
+		{5, 4, []int{4, 4}},       // x=2, y=0
+		{6, 4, []int{4, 4, 3}},    // x=2, y=1 → final 3
+		{6, 5, []int{5, 4}},       // x=1, y=2 → final 4
+		{5, 5, []int{5}},          // b=t
+	}
+	for _, tc := range cases {
+		n := 3*tc.t + 1
+		p := mustPlan(t, AlgorithmA, n, tc.t, tc.b)
+		if len(p.Segments) != len(tc.wantSegs) {
+			t.Fatalf("t=%d b=%d: %d segments, want %d", tc.t, tc.b, len(p.Segments), len(tc.wantSegs))
+		}
+		for i, s := range p.Segments {
+			if s.Rounds != tc.wantSegs[i] || s.Conv != eigtree.ResolveSupport {
+				t.Fatalf("t=%d b=%d: segment %d = %+v, want %d rounds of resolve'", tc.t, tc.b, i, s, tc.wantSegs[i])
+			}
+		}
+		if p.TotalRounds > p.PaperRoundBound() {
+			t.Fatalf("t=%d b=%d: %d rounds exceed Theorem 2's %d", tc.t, tc.b, p.TotalRounds, p.PaperRoundBound())
+		}
+	}
+}
+
+func TestAlgorithmCPlan(t *testing.T) {
+	p := mustPlan(t, AlgorithmC, 18, 3, 0)
+	if p.TotalRounds != 4 || p.PaperRoundBound() != 4 {
+		t.Fatalf("C rounds = %d/%d, want t+1 = 4", p.TotalRounds, p.PaperRoundBound())
+	}
+	if len(p.Segments) != 1 || p.Segments[0].Kind != SegEcho || p.Segments[0].Rounds != 3 {
+		t.Fatalf("segments = %+v", p.Segments)
+	}
+	if p.MessageBoundNodes() != 18 {
+		t.Fatalf("C message bound = %d, want n", p.MessageBoundNodes())
+	}
+	if !p.NeedsEcho() || p.NeedsGather() {
+		t.Fatal("C needs only the echo enumeration")
+	}
+}
+
+func TestHybridPlanStructure(t *testing.T) {
+	p := mustPlan(t, Hybrid, 13, 4, 3)
+	hp := p.Hybrid
+	if hp == nil {
+		t.Fatal("hybrid plan missing params")
+	}
+	// Segments: A-phase gather (resolve'), B-phase gather (resolve), echo.
+	var aRounds, bRounds, cRounds int
+	phase := 0
+	for _, s := range p.Segments {
+		switch {
+		case s.Kind == SegGather && s.Conv == eigtree.ResolveSupport:
+			if phase != 0 {
+				t.Fatal("A segments after B/C phase")
+			}
+			aRounds += s.Rounds
+		case s.Kind == SegGather && s.Conv == eigtree.ResolveMajority:
+			if phase > 1 {
+				t.Fatal("B segments after C phase")
+			}
+			phase = 1
+			bRounds += s.Rounds
+		case s.Kind == SegEcho:
+			phase = 2
+			cRounds += s.Rounds
+		}
+	}
+	if 1+aRounds != hp.KAB {
+		t.Errorf("A phase rounds 1+%d ≠ KAB %d", aRounds, hp.KAB)
+	}
+	if bRounds != hp.KBC {
+		t.Errorf("B phase rounds %d ≠ KBC %d", bRounds, hp.KBC)
+	}
+	if cRounds != hp.CRounds {
+		t.Errorf("C phase rounds %d ≠ CRounds %d", cRounds, hp.CRounds)
+	}
+	if p.TotalRounds != hp.Total || p.PaperRoundBound() != hp.Total {
+		t.Errorf("total %d vs params %d", p.TotalRounds, hp.Total)
+	}
+	if !p.NeedsGather() || !p.NeedsEcho() {
+		t.Error("hybrid needs both enumerations")
+	}
+}
+
+func TestHybridMatchesTheorem1Formula(t *testing.T) {
+	// Theorem 1: rounds = t + 2⌊(t_AB−1)/(b−2)⌋ + ⌊t_BC/(b−1)⌋ + 4 when the
+	// B phase is non-empty.
+	for _, tc := range []struct{ n, t, b int }{
+		{13, 4, 3}, {16, 5, 3}, {19, 6, 3}, {22, 7, 3}, {31, 10, 3},
+		{16, 5, 4}, {19, 6, 4}, {31, 10, 4}, {31, 10, 5},
+	} {
+		p := mustPlan(t, Hybrid, tc.n, tc.t, tc.b)
+		hp := p.Hybrid
+		if hp.TBC >= 1 && hp.TAB >= 1 {
+			want := tc.t + 2*((hp.TAB-1)/(tc.b-2)) + hp.TBC/(tc.b-1) + 4
+			if p.TotalRounds != want {
+				t.Errorf("n=%d t=%d b=%d: rounds %d, Theorem 1 formula %d (params %+v)",
+					tc.n, tc.t, tc.b, p.TotalRounds, want, *hp)
+			}
+		}
+	}
+}
+
+func TestHybridDominatesAlgorithmA(t *testing.T) {
+	// The point of shifting (Section 4.4): the hybrid is faster than
+	// Algorithm A at the same resilience, message length, and space.
+	for _, tc := range []struct{ n, t, b int }{
+		{13, 4, 3}, {16, 5, 3}, {19, 6, 3}, {22, 7, 3}, {25, 8, 3},
+		{31, 10, 3}, {16, 5, 4}, {19, 6, 4}, {31, 10, 4},
+	} {
+		a := mustPlan(t, AlgorithmA, tc.n, tc.t, tc.b)
+		h := mustPlan(t, Hybrid, tc.n, tc.t, tc.b)
+		if h.TotalRounds > a.TotalRounds {
+			t.Errorf("n=%d t=%d b=%d: hybrid %d rounds > A %d rounds",
+				tc.n, tc.t, tc.b, h.TotalRounds, a.TotalRounds)
+		}
+		if h.MessageBoundNodes() > a.MessageBoundNodes() {
+			t.Errorf("n=%d t=%d b=%d: hybrid message bound exceeds A's", tc.n, tc.t, tc.b)
+		}
+	}
+}
+
+func TestPlanMessageBoundGrowsAsNPowB(t *testing.T) {
+	// For fixed t, the message bound of B(b) is Θ(n^b): the leaf count of a
+	// b-level tree, (n-1)(n-2)...(n-b+1)... — verify the closed form.
+	p := mustPlan(t, AlgorithmB, 21, 5, 3)
+	if got, want := p.MessageBoundNodes(), 20*19; got != want {
+		t.Fatalf("message bound = %d, want %d", got, want)
+	}
+	p4 := mustPlan(t, AlgorithmB, 21, 5, 4)
+	if got, want := p4.MessageBoundNodes(), 20*19*18; got != want {
+		t.Fatalf("message bound = %d, want %d", got, want)
+	}
+}
+
+func TestSegmentKindNames(t *testing.T) {
+	if kindName(SegGather) != "gathering" || kindName(SegEcho) != "echo (Algorithm C)" {
+		t.Fatal("segment kind names changed")
+	}
+}
+
+func TestIsqrt(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{-1, 0}, {0, 0}, {1, 1}, {3, 1}, {4, 2}, {8, 2}, {9, 3}, {100, 10}, {101, 10},
+	} {
+		if got := isqrt(tc.in); got != tc.want {
+			t.Errorf("isqrt(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package eigtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchTree builds a full random tree of the given shape.
+func benchTree(b *testing.B, n, depth int, repeat bool) *Tree {
+	b.Helper()
+	e, err := NewEnum(n, 0, repeat, depth)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := NewTree(e)
+	tr.SetRoot(1)
+	rng := rand.New(rand.NewSource(1))
+	for h := 1; h <= depth; h++ {
+		if _, err := tr.AddLevel(); err != nil {
+			b.Fatal(err)
+		}
+		lvl := tr.LevelValues(h)
+		for i := range lvl {
+			lvl[i] = Value(rng.Intn(3))
+		}
+	}
+	return tr
+}
+
+func BenchmarkEnumBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := NewEnum(21, 0, false, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResolveMajority(b *testing.B) {
+	tr := benchTree(b, 21, 3, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := tr.Resolve(ResolveMajority, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Root()
+	}
+	b.ReportMetric(float64(tr.NodeCount()), "nodes")
+}
+
+func BenchmarkResolveSupport(b *testing.B) {
+	tr := benchTree(b, 21, 3, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := tr.Resolve(ResolveSupport, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Root()
+	}
+}
+
+func BenchmarkStoreFrom(b *testing.B) {
+	e, err := NewEnum(21, 0, false, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := NewTree(e)
+	tr.SetRoot(1)
+	_, _ = tr.AddLevel()
+	_, _ = tr.AddLevel()
+	_, _ = tr.AddLevel()
+	claims := make([]Value, e.Size(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.StoreFrom(1+i%20, claims); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLeafPayload(b *testing.B) {
+	tr := benchTree(b, 21, 3, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p := tr.LeafPayload(); len(p) == 0 {
+			b.Fatal("empty payload")
+		}
+	}
+}
+
+func BenchmarkReorder(b *testing.B) {
+	tr := benchTree(b, 32, 2, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Reorder(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

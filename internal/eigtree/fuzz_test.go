@@ -1,0 +1,70 @@
+package eigtree
+
+import "testing"
+
+// FuzzDecodeClaim: DecodeClaim must never panic and must accept exactly the
+// payloads of the expected length.
+func FuzzDecodeClaim(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, 3)
+	f.Add([]byte{}, 0)
+	f.Add([]byte{255}, 2)
+	f.Add([]byte(nil), 5)
+	f.Fuzz(func(t *testing.T, payload []byte, want int) {
+		if want < 0 || want > 1<<16 {
+			t.Skip()
+		}
+		got := DecodeClaim(payload, want)
+		if payload == nil || len(payload) != want {
+			if got != nil {
+				t.Fatalf("malformed payload accepted: len=%d want=%d", len(payload), want)
+			}
+			return
+		}
+		if len(got) != want {
+			t.Fatalf("decoded %d values, want %d", len(got), want)
+		}
+		for i := range got {
+			if byte(got[i]) != payload[i] {
+				t.Fatalf("value %d mangled", i)
+			}
+		}
+	})
+}
+
+// FuzzResolveOnArbitraryLeaves: conversion must be total and in-range for
+// any leaf contents.
+func FuzzResolveOnArbitraryLeaves(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6}, true)
+	f.Add([]byte{0, 0, 0, 0, 0, 0}, false)
+	f.Fuzz(func(t *testing.T, leaves []byte, support bool) {
+		e, err := NewEnum(7, 0, false, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := NewTree(e)
+		tr.SetRoot(1)
+		if _, err := tr.AddLevel(); err != nil {
+			t.Fatal(err)
+		}
+		lvl := tr.LevelValues(1)
+		for i := range lvl {
+			if i < len(leaves) {
+				lvl[i] = Value(leaves[i])
+			}
+		}
+		kind := ResolveMajority
+		if support {
+			kind = ResolveSupport
+		}
+		res, err := tr.Resolve(kind, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cv := res.Root(); cv != Bottom && (cv < 0 || cv > 255) {
+			t.Fatalf("converted value %d out of range", cv)
+		}
+		if kind == ResolveMajority && res.Root() == Bottom {
+			t.Fatal("resolve (majority) can never produce ⊥")
+		}
+	})
+}

@@ -1,0 +1,77 @@
+package eigtree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderOptions control tree rendering.
+type RenderOptions struct {
+	// Name maps a processor id to a display name; nil uses "p<i>" with the
+	// source rendered as "s", matching the paper's Figure 1 convention.
+	Name func(id int) string
+	// MaxChildren truncates each node's child list in the rendering
+	// (0 = no limit); an ellipsis line marks the cut, as in Figure 1.
+	MaxChildren int
+	// ShowValues appends the stored value to each node.
+	ShowValues bool
+}
+
+// Render draws the Information Gathering Tree in the style of the paper's
+// Figure 1: every node reads as a chain of attributions ending in "the
+// source said".
+//
+//	└─ b said
+//	   └─ a said
+//	      └─ the source said  = 1
+func (t *Tree) Render(opts RenderOptions) string {
+	if len(t.levels) == 0 {
+		return "(empty tree)\n"
+	}
+	name := opts.Name
+	if name == nil {
+		src := t.enum.Source()
+		name = func(id int) string {
+			if id == src {
+				return "the source"
+			}
+			return fmt.Sprintf("p%d", id)
+		}
+	}
+	var b strings.Builder
+	if opts.ShowValues {
+		fmt.Fprintf(&b, "%s said  = %d\n", name(t.enum.Source()), t.levels[0][0])
+	} else {
+		fmt.Fprintf(&b, "%s said\n", name(t.enum.Source()))
+	}
+	t.render(&b, opts, name, 0, 0, "")
+	return b.String()
+}
+
+func (t *Tree) render(b *strings.Builder, opts RenderOptions, name func(int) string, h, idx int, indent string) {
+	if h+1 >= len(t.levels) {
+		return
+	}
+	cc := t.enum.ChildCount(h)
+	limit := cc
+	if opts.MaxChildren > 0 && opts.MaxChildren < cc {
+		limit = opts.MaxChildren
+	}
+	for k := 0; k < limit; k++ {
+		childIdx := idx*cc + k
+		label := t.enum.ChildLabel(h, idx, k)
+		connector, childIndent := "├─ ", indent+"│  "
+		if k == limit-1 && limit == cc {
+			connector, childIndent = "└─ ", indent+"   "
+		}
+		if opts.ShowValues {
+			fmt.Fprintf(b, "%s%s%s said  = %d\n", indent, connector, name(label), t.levels[h+1][childIdx])
+		} else {
+			fmt.Fprintf(b, "%s%s%s said\n", indent, connector, name(label))
+		}
+		t.render(b, opts, name, h+1, childIdx, childIndent)
+	}
+	if limit < cc {
+		fmt.Fprintf(b, "%s└─ … %d more children\n", indent, cc-limit)
+	}
+}

@@ -1,0 +1,80 @@
+package eigtree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderEmptyTree(t *testing.T) {
+	tr := buildTree(t, 5, 0, false, 2)
+	if got := tr.Render(RenderOptions{}); got != "(empty tree)\n" {
+		t.Fatalf("Render = %q", got)
+	}
+}
+
+func TestRenderRootOnly(t *testing.T) {
+	tr := buildTree(t, 5, 2, false, 2)
+	tr.SetRoot(4)
+	out := tr.Render(RenderOptions{ShowValues: true})
+	if !strings.Contains(out, "the source said  = 4") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestRenderFigureOneShape(t *testing.T) {
+	// A two-level tree renders one "X said" line per child, each chaining
+	// back to the source as in Figure 1.
+	tr := buildTree(t, 5, 0, false, 2)
+	tr.SetRoot(1)
+	mustAdd(t, tr)
+	for r := 1; r < 5; r++ {
+		_ = tr.StoreFrom(r, []Value{Value(r)})
+	}
+	out := tr.Render(RenderOptions{ShowValues: true})
+	for _, want := range []string{"p1 said  = 1", "p2 said  = 2", "p3 said  = 3", "p4 said  = 4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 5 { // root + 4 children
+		t.Fatalf("%d lines:\n%s", lines, out)
+	}
+}
+
+func TestRenderTruncation(t *testing.T) {
+	tr := buildTree(t, 10, 0, false, 1)
+	tr.SetRoot(0)
+	mustAdd(t, tr)
+	out := tr.Render(RenderOptions{MaxChildren: 3})
+	if !strings.Contains(out, "… 6 more children") {
+		t.Fatalf("no ellipsis in:\n%s", out)
+	}
+	if got := strings.Count(out, "said"); got != 4 { // root + 3 children
+		t.Fatalf("%d 'said' lines:\n%s", got, out)
+	}
+}
+
+func TestRenderCustomNames(t *testing.T) {
+	tr := buildTree(t, 4, 0, false, 1)
+	tr.SetRoot(0)
+	mustAdd(t, tr)
+	names := []string{"s", "a", "b", "z"}
+	out := tr.Render(RenderOptions{Name: func(id int) string { return names[id] }})
+	for _, want := range []string{"s said", "a said", "b said", "z said"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderThreeLevelsNesting(t *testing.T) {
+	tr := buildTree(t, 5, 0, false, 2)
+	tr.SetRoot(0)
+	mustAdd(t, tr)
+	mustAdd(t, tr)
+	out := tr.Render(RenderOptions{})
+	// Deepest entries are indented twice (two tree connectors deep).
+	if !strings.Contains(out, "│  ├─") && !strings.Contains(out, "   ├─") {
+		t.Fatalf("no nested indentation:\n%s", out)
+	}
+}

@@ -1,0 +1,206 @@
+package eigtree
+
+import "fmt"
+
+// ResolveKind selects one of the paper's two data conversion functions.
+type ResolveKind int
+
+const (
+	// ResolveMajority is `resolve` (Section 3): a leaf converts to its
+	// stored value; an internal node converts to the strict majority of its
+	// children's converted values, or to the default value when no majority
+	// exists. It is used by the Exponential Algorithm, Algorithm B, and
+	// Algorithm C.
+	ResolveMajority ResolveKind = iota + 1
+	// ResolveSupport is `resolve'` (Section 4.2): an internal node converts
+	// to the unique value of V occurring at least t+1 times among its
+	// children's converted values, or to ⊥ when no such unique value
+	// exists. It is used by Algorithm A.
+	ResolveSupport
+)
+
+// String returns the paper's name for the conversion function.
+func (k ResolveKind) String() string {
+	switch k {
+	case ResolveMajority:
+		return "resolve"
+	case ResolveSupport:
+		return "resolve'"
+	default:
+		return fmt.Sprintf("ResolveKind(%d)", int(k))
+	}
+}
+
+// Resolution holds the converted value of every node of a tree, computed
+// bottom-up in one pass. Keeping all intermediate converted values (rather
+// than just the root) serves Algorithm A's Fault Discovery Rule During
+// Conversion and Algorithm C's per-subtree shifts.
+type Resolution struct {
+	kind ResolveKind
+	enum *Enum
+	vals [][]CValue
+	ops  int
+}
+
+// Resolve applies the conversion function to the whole tree and returns the
+// converted values of every node. tparam is the protocol resilience t,
+// used only by ResolveSupport's t+1 threshold.
+func (t *Tree) Resolve(kind ResolveKind, tparam int) (*Resolution, error) {
+	if len(t.levels) == 0 {
+		return nil, fmt.Errorf("eigtree: Resolve on empty tree")
+	}
+	if kind != ResolveMajority && kind != ResolveSupport {
+		return nil, fmt.Errorf("eigtree: unknown resolve kind %d", int(kind))
+	}
+	res := &Resolution{
+		kind: kind,
+		enum: t.enum,
+		vals: make([][]CValue, len(t.levels)),
+	}
+
+	// Leaves convert to their stored values.
+	deepest := len(t.levels) - 1
+	leafVals := make([]CValue, len(t.levels[deepest]))
+	for i, v := range t.levels[deepest] {
+		leafVals[i] = CV(v)
+	}
+	res.vals[deepest] = leafVals
+	res.ops += len(leafVals)
+
+	// Internal levels, bottom-up. counts is reused across nodes and reset
+	// via the touched list to keep conversion allocation-free per node.
+	var counts [256]int
+	for h := deepest - 1; h >= 0; h-- {
+		cc := t.enum.ChildCount(h)
+		children := res.vals[h+1]
+		out := make([]CValue, t.enum.Size(h))
+		for i := range out {
+			var touched [8]int
+			tn := 0
+			bottom := 0
+			for k := 0; k < cc; k++ {
+				cv := children[i*cc+k]
+				if cv == Bottom {
+					bottom++
+					continue
+				}
+				if counts[cv] == 0 {
+					if tn < len(touched) {
+						touched[tn] = int(cv)
+					}
+					tn++
+				}
+				counts[cv]++
+			}
+			res.ops += cc
+
+			var cv CValue
+			switch kind {
+			case ResolveMajority:
+				cv = CV(Default)
+				for j := 0; j < tn && j < len(touched); j++ {
+					if 2*counts[touched[j]] > cc {
+						cv = CValue(touched[j])
+						break
+					}
+				}
+				if tn > len(touched) { // rare: many distinct values, rescan
+					cv = majorityRescan(children[i*cc:(i+1)*cc], cc)
+				}
+			case ResolveSupport:
+				cv = Bottom
+				found := 0
+				for j := 0; j < tn && j < len(touched); j++ {
+					if counts[touched[j]] >= tparam+1 {
+						found++
+						cv = CValue(touched[j])
+					}
+				}
+				if tn > len(touched) {
+					cv = supportRescan(children[i*cc:(i+1)*cc], tparam)
+				} else if found != 1 {
+					cv = Bottom
+				}
+			}
+			out[i] = cv
+
+			// Reset counts for the next node.
+			if tn <= len(touched) {
+				for j := 0; j < tn; j++ {
+					counts[touched[j]] = 0
+				}
+			} else {
+				for k := 0; k < cc; k++ {
+					if cv := children[i*cc+k]; cv != Bottom {
+						counts[cv] = 0
+					}
+				}
+			}
+		}
+		res.vals[h] = out
+	}
+	return res, nil
+}
+
+// majorityRescan recomputes the strict-majority winner for a node with many
+// distinct child values (slow path).
+func majorityRescan(children []CValue, cc int) CValue {
+	var counts [256]int
+	for _, cv := range children {
+		if cv != Bottom {
+			counts[cv]++
+		}
+	}
+	for v, c := range counts {
+		if 2*c > cc {
+			return CValue(v)
+		}
+	}
+	return CV(Default)
+}
+
+// supportRescan recomputes the resolve' winner on the slow path.
+func supportRescan(children []CValue, tparam int) CValue {
+	var counts [256]int
+	for _, cv := range children {
+		if cv != Bottom {
+			counts[cv]++
+		}
+	}
+	winner := Bottom
+	found := 0
+	for v, c := range counts {
+		if c >= tparam+1 {
+			found++
+			winner = CValue(v)
+		}
+	}
+	if found != 1 {
+		return Bottom
+	}
+	return winner
+}
+
+// Kind returns the conversion function that produced this resolution.
+func (r *Resolution) Kind() ResolveKind { return r.kind }
+
+// Enum returns the enumeration of the tree this resolution was computed on.
+func (r *Resolution) Enum() *Enum { return r.enum }
+
+// Root returns the converted value of the root, resolve(s).
+func (r *Resolution) Root() CValue { return r.vals[0][0] }
+
+// At returns the converted value of node idx at level h.
+func (r *Resolution) At(h, idx int) CValue { return r.vals[h][idx] }
+
+// Levels returns the number of levels in the resolution.
+func (r *Resolution) Levels() int { return len(r.vals) }
+
+// LevelValues returns the converted values of level h. The slice is the
+// resolution's backing storage; callers treat it as read-only.
+func (r *Resolution) LevelValues(h int) []CValue { return r.vals[h] }
+
+// Ops returns the number of child-value examinations performed, the
+// package's unit of local computation (it scales as nodes × fan-out, the
+// quantity behind the paper's O(n^{b+1}(t-1)/(b-2)) bounds).
+func (r *Resolution) Ops() int { return r.ops }

@@ -1,0 +1,349 @@
+package eigtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCValue(t *testing.T) {
+	if !Bottom.IsBottom() {
+		t.Error("Bottom.IsBottom() = false")
+	}
+	if CV(7).IsBottom() {
+		t.Error("CV(7).IsBottom() = true")
+	}
+	if Bottom.Value() != Default {
+		t.Errorf("Bottom.Value() = %d, want default", Bottom.Value())
+	}
+	if CV(9).Value() != 9 {
+		t.Errorf("CV(9).Value() = %d", CV(9).Value())
+	}
+}
+
+func TestResolveKindString(t *testing.T) {
+	if ResolveMajority.String() != "resolve" || ResolveSupport.String() != "resolve'" {
+		t.Fatalf("names: %q, %q", ResolveMajority, ResolveSupport)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	tr := buildTree(t, 5, 0, false, 2)
+	if _, err := tr.Resolve(ResolveMajority, 1); err == nil {
+		t.Error("Resolve on empty tree should fail")
+	}
+	tr.SetRoot(1)
+	if _, err := tr.Resolve(ResolveKind(0), 1); err == nil {
+		t.Error("Resolve with unknown kind should fail")
+	}
+}
+
+func TestResolveRootOnly(t *testing.T) {
+	// resolve of a leaf is the stored value (the one-level tree after a
+	// shift resolves to its root).
+	tr := buildTree(t, 5, 0, false, 2)
+	tr.SetRoot(3)
+	res, err := tr.Resolve(ResolveMajority, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Root() != CV(3) {
+		t.Fatalf("resolve(root) = %v, want 3", res.Root())
+	}
+}
+
+// fillLevel writes vals into the deepest level directly.
+func fillLevel(t *testing.T, tr *Tree, vals []Value) {
+	t.Helper()
+	lvl := tr.LevelValues(tr.Levels() - 1)
+	if len(lvl) != len(vals) {
+		t.Fatalf("level size %d, fill size %d", len(lvl), len(vals))
+	}
+	copy(lvl, vals)
+}
+
+func TestResolveMajorityTwoLevels(t *testing.T) {
+	// n=5, root has 4 children.
+	cases := []struct {
+		leaves []Value
+		want   CValue
+	}{
+		{[]Value{1, 1, 1, 0}, CV(1)}, // strict majority 3/4
+		{[]Value{1, 1, 0, 0}, CV(0)}, // tie: no majority → default
+		{[]Value{2, 2, 2, 2}, CV(2)}, // unanimity
+		{[]Value{1, 2, 3, 4}, CV(0)}, // all distinct → default
+		{[]Value{5, 5, 0, 0}, CV(0)}, // tie with default present
+		{[]Value{0, 0, 0, 9}, CV(0)}, // majority happens to be default
+	}
+	for _, tc := range cases {
+		tr := buildTree(t, 5, 0, false, 1)
+		tr.SetRoot(7)
+		mustAdd(t, tr)
+		fillLevel(t, tr, tc.leaves)
+		res, err := tr.Resolve(ResolveMajority, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Root() != tc.want {
+			t.Errorf("leaves %v: resolve = %v, want %v", tc.leaves, res.Root(), tc.want)
+		}
+	}
+}
+
+func TestResolveSupportTwoLevels(t *testing.T) {
+	// n=7 (root has 6 children), t=2: resolve' picks the unique value with
+	// ≥ t+1 = 3 occurrences, else ⊥.
+	cases := []struct {
+		leaves []Value
+		want   CValue
+	}{
+		{[]Value{1, 1, 1, 0, 0, 2}, CV(1)},  // only 1 reaches 3
+		{[]Value{1, 1, 1, 0, 0, 0}, Bottom}, // two values reach 3 → not unique
+		{[]Value{1, 1, 2, 2, 3, 3}, Bottom}, // nothing reaches 3
+		{[]Value{4, 4, 4, 4, 4, 4}, CV(4)},  // unanimity
+		{[]Value{0, 0, 0, 0, 1, 1}, CV(0)},  // default can win support too
+	}
+	for _, tc := range cases {
+		tr := buildTree(t, 7, 0, false, 1)
+		tr.SetRoot(9)
+		mustAdd(t, tr)
+		fillLevel(t, tr, tc.leaves)
+		res, err := tr.Resolve(ResolveSupport, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Root() != tc.want {
+			t.Errorf("leaves %v: resolve' = %v, want %v", tc.leaves, res.Root(), tc.want)
+		}
+	}
+}
+
+func TestResolveSupportBottomPropagation(t *testing.T) {
+	// ⊥ children do not count toward any value's support, and a node whose
+	// children are mostly ⊥ converts to ⊥.
+	// Build a 3-level tree with n=7, t=2: root, 6 children, 30 grandchildren.
+	tr := buildTree(t, 7, 0, false, 2)
+	tr.SetRoot(0)
+	mustAdd(t, tr)
+	mustAdd(t, tr)
+	// Each level-1 node has 5 children. Give every level-1 node the leaf
+	// pattern {1,1,2,2,3}: no value reaches t+1=3 → all level-1 convert to ⊥.
+	leaves := make([]Value, tr.Enum().Size(2))
+	for i := range leaves {
+		switch i % 5 {
+		case 0, 1:
+			leaves[i] = 1
+		case 2, 3:
+			leaves[i] = 2
+		default:
+			leaves[i] = 3
+		}
+	}
+	fillLevel(t, tr, leaves)
+	res, err := tr.Resolve(ResolveSupport, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tr.Enum().Size(1); i++ {
+		if !res.At(1, i).IsBottom() {
+			t.Fatalf("level-1 node %d = %v, want ⊥", i, res.At(1, i))
+		}
+	}
+	if !res.Root().IsBottom() {
+		t.Fatalf("root = %v, want ⊥ (all children ⊥)", res.Root())
+	}
+	if res.Root().Value() != Default {
+		t.Fatalf("⊥ must fall back to the default preferred value")
+	}
+}
+
+func TestResolveRecursiveMajority(t *testing.T) {
+	// Three levels, n=6: root (5 children), each with 4 grandchildren.
+	// Give 3 of the 5 subtrees unanimous value 1, the rest value 2:
+	// resolve(s) must be 1.
+	tr := buildTree(t, 6, 0, false, 2)
+	tr.SetRoot(0)
+	mustAdd(t, tr)
+	mustAdd(t, tr)
+	e := tr.Enum()
+	leaves := make([]Value, e.Size(2))
+	cc := e.ChildCount(1)
+	for i := 0; i < e.Size(1); i++ {
+		v := Value(2)
+		if i < 3 {
+			v = 1
+		}
+		for k := 0; k < cc; k++ {
+			leaves[i*cc+k] = v
+		}
+	}
+	fillLevel(t, tr, leaves)
+	res, err := tr.Resolve(ResolveMajority, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Root() != CV(1) {
+		t.Fatalf("resolve(s) = %v, want 1", res.Root())
+	}
+	if res.Levels() != 3 {
+		t.Fatalf("resolution levels = %d", res.Levels())
+	}
+	if res.Kind() != ResolveMajority || res.Enum() != e {
+		t.Fatal("resolution metadata wrong")
+	}
+}
+
+func TestResolveManyDistinctValuesSlowPath(t *testing.T) {
+	// More than 8 distinct child values forces the rescan path; results
+	// must match a straightforward recount.
+	tr := buildTree(t, 14, 0, false, 1)
+	tr.SetRoot(0)
+	mustAdd(t, tr)
+	leaves := make([]Value, 13)
+	for i := range leaves {
+		leaves[i] = Value(i) // 13 distinct values, no majority
+	}
+	fillLevel(t, tr, leaves)
+	res, err := tr.Resolve(ResolveMajority, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Root() != CV(Default) {
+		t.Fatalf("no-majority slow path = %v, want default", res.Root())
+	}
+
+	// Same for resolve': 13 distinct values, none reaches t+1=2... make one.
+	leaves[12] = 0
+	fillLevel(t, tr, leaves)
+	res, err = tr.Resolve(ResolveSupport, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Root() != CV(0) {
+		t.Fatalf("support slow path = %v, want 0", res.Root())
+	}
+}
+
+// TestResolveMatchesNaive cross-checks the optimized bottom-up pass against
+// a direct recursive implementation on random trees.
+func TestResolveMatchesNaive(t *testing.T) {
+	var naive func(e *Enum, levels [][]Value, kind ResolveKind, tparam, h, idx int) CValue
+	naive = func(e *Enum, levels [][]Value, kind ResolveKind, tparam, h, idx int) CValue {
+		if h == len(levels)-1 {
+			return CV(levels[h][idx])
+		}
+		cc := e.ChildCount(h)
+		counts := map[CValue]int{}
+		for k := 0; k < cc; k++ {
+			counts[naive(e, levels, kind, tparam, h+1, idx*cc+k)]++
+		}
+		if kind == ResolveMajority {
+			for v, c := range counts {
+				if 2*c > cc && !v.IsBottom() {
+					return v
+				}
+			}
+			// A ⊥ "majority" cannot occur for ResolveMajority inputs, but
+			// guard anyway.
+			return CV(Default)
+		}
+		winner, found := Bottom, 0
+		for v, c := range counts {
+			if !v.IsBottom() && c >= tparam+1 {
+				found++
+				winner = v
+			}
+		}
+		if found != 1 {
+			return Bottom
+		}
+		return winner
+	}
+
+	f := func(seed int64, kindBit bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(5)
+		depth := 1 + rng.Intn(2)
+		e, err := NewEnum(n, rng.Intn(n), false, depth)
+		if err != nil {
+			return false
+		}
+		tr := NewTree(e)
+		tr.SetRoot(Value(rng.Intn(4)))
+		levels := [][]Value{{tr.Root()}}
+		for h := 1; h <= depth; h++ {
+			if _, err := tr.AddLevel(); err != nil {
+				return false
+			}
+			lvl := tr.LevelValues(h)
+			for i := range lvl {
+				lvl[i] = Value(rng.Intn(4))
+			}
+			levels = append(levels, append([]Value(nil), lvl...))
+		}
+		kind := ResolveMajority
+		tparam := 1 + rng.Intn(3)
+		if kindBit {
+			kind = ResolveSupport
+		}
+		res, err := tr.Resolve(kind, tparam)
+		if err != nil {
+			return false
+		}
+		for h := 0; h <= depth; h++ {
+			for i := 0; i < e.Size(h); i++ {
+				if res.At(h, i) != naive(e, levels, kind, tparam, h, i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResolveOpsAccounting(t *testing.T) {
+	// Ops = leaves + Σ internal-node fan-out: for n=6, depth 2:
+	// 20 leaves + 5 nodes × 4 + 1 root × 5 = 45.
+	tr := buildTree(t, 6, 0, false, 2)
+	tr.SetRoot(0)
+	mustAdd(t, tr)
+	mustAdd(t, tr)
+	res, err := tr.Resolve(ResolveMajority, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops() != 20+20+5 {
+		t.Fatalf("Ops = %d, want 45", res.Ops())
+	}
+}
+
+func TestResolveDeterminism(t *testing.T) {
+	f := func(leafSeed int64) bool {
+		rng := rand.New(rand.NewSource(leafSeed))
+		tr := NewTree(mustEnumQuick(7, 0, false, 2))
+		tr.SetRoot(1)
+		_, _ = tr.AddLevel()
+		_, _ = tr.AddLevel()
+		lvl := tr.LevelValues(2)
+		for i := range lvl {
+			lvl[i] = Value(rng.Intn(3))
+		}
+		a, err1 := tr.Resolve(ResolveSupport, 2)
+		b, err2 := tr.Resolve(ResolveSupport, 2)
+		return err1 == nil && err2 == nil && a.Root() == b.Root()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustEnumQuick(n, source int, repeat bool, maxLevel int) *Enum {
+	e, err := NewEnum(n, source, repeat, maxLevel)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}

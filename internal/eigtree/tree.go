@@ -1,0 +1,202 @@
+package eigtree
+
+import "fmt"
+
+// Tree is one processor's Information Gathering Tree (paper Section 3).
+// Level h holds the values stored at sequences of length h+1 in the order
+// fixed by the Enum; level 0 is the root, whose value is the processor's
+// preferred value.
+//
+// A Tree grows one level per round of Information Gathering and collapses
+// back to a single root when a shift operator is applied (Section 4).
+type Tree struct {
+	enum   *Enum
+	levels [][]Value
+}
+
+// NewTree returns an empty tree (height -1 by the paper's convention: not
+// even the root has been stored yet).
+func NewTree(enum *Enum) *Tree {
+	return &Tree{enum: enum}
+}
+
+// Enum returns the enumeration that fixes this tree's shape.
+func (t *Tree) Enum() *Enum { return t.enum }
+
+// Levels returns the number of stored levels (root counts as one).
+func (t *Tree) Levels() int { return len(t.levels) }
+
+// Height returns the height of the tree: -1 when empty, 0 when only the
+// root is stored, and so on.
+func (t *Tree) Height() int { return len(t.levels) - 1 }
+
+// SetRoot stores the root value, resetting the tree to a single level.
+// It is used both for round 1 (the value received from the source) and for
+// the shift operator's collapse back to a one-level tree.
+func (t *Tree) SetRoot(v Value) {
+	t.levels = t.levels[:0]
+	t.levels = append(t.levels, []Value{v})
+}
+
+// Root returns the root value (the preferred value). It is Default on an
+// empty tree.
+func (t *Tree) Root() Value {
+	if len(t.levels) == 0 {
+		return Default
+	}
+	return t.levels[0][0]
+}
+
+// AddLevel appends a new deepest level initialized to the default value.
+// Entries are then filled in per sender with StoreFrom. It returns the new
+// level's index.
+func (t *Tree) AddLevel() (int, error) {
+	h := len(t.levels)
+	if h == 0 {
+		return 0, fmt.Errorf("eigtree: AddLevel on empty tree (root not set)")
+	}
+	if h > t.enum.MaxLevel() {
+		return 0, fmt.Errorf("eigtree: level %d exceeds enumeration depth %d", h, t.enum.MaxLevel())
+	}
+	t.levels = append(t.levels, make([]Value, t.enum.Size(h)))
+	return h, nil
+}
+
+// StoreFrom records processor r's round message into the deepest level:
+// claimed[i] is the value r claims to have stored at the node with index i
+// of the previous level, and it is written to the child labelled r of that
+// node (when that child exists). claimed must have exactly Size(H-1)
+// entries, where H is the deepest level; a nil claimed stands for a missing
+// or masked message and leaves the default values in place (the paper's
+// "default value is used if an inappropriate message is received").
+func (t *Tree) StoreFrom(r int, claimed []Value) error {
+	hNew := len(t.levels) - 1
+	if hNew < 1 {
+		return fmt.Errorf("eigtree: StoreFrom before AddLevel")
+	}
+	if claimed == nil {
+		return nil // missing message: keep defaults
+	}
+	if len(claimed) != t.enum.Size(hNew-1) {
+		return fmt.Errorf("eigtree: claim length %d, want %d", len(claimed), t.enum.Size(hNew-1))
+	}
+	level := t.levels[hNew]
+	for i := range claimed {
+		if ci, ok := t.enum.ChildIndex(hNew-1, i, r); ok {
+			level[ci] = claimed[i]
+		}
+	}
+	return nil
+}
+
+// ZeroSender overwrites with the default value every entry of the deepest
+// level that was contributed by processor r. It implements the Fault
+// Masking Rule for a processor discovered faulty in the round whose
+// messages were just stored ("the round k messages of these newly
+// discovered processors are also masked", Section 3).
+func (t *Tree) ZeroSender(r int) {
+	hNew := len(t.levels) - 1
+	if hNew < 1 {
+		return
+	}
+	level := t.levels[hNew]
+	for i := 0; i < t.enum.Size(hNew-1); i++ {
+		if ci, ok := t.enum.ChildIndex(hNew-1, i, r); ok {
+			level[ci] = Default
+		}
+	}
+}
+
+// ValueAt returns the stored value of node idx at level h.
+func (t *Tree) ValueAt(h, idx int) Value { return t.levels[h][idx] }
+
+// LevelValues returns the stored values of level h. The returned slice is
+// the tree's backing storage: callers within this module treat it as
+// read-only.
+func (t *Tree) LevelValues(h int) []Value { return t.levels[h] }
+
+// LeafPayload encodes the deepest level as a wire payload, one byte per
+// node in canonical order. This is exactly what a processor broadcasts in
+// the next round of Information Gathering, so payload length equals the
+// number of leaves — making the paper's message-length bounds observable.
+func (t *Tree) LeafPayload() []byte {
+	leaves := t.levels[len(t.levels)-1]
+	out := make([]byte, len(leaves))
+	for i, v := range leaves {
+		out[i] = byte(v)
+	}
+	return out
+}
+
+// DecodeClaim decodes a received payload that should describe `want` tree
+// nodes. It returns nil (missing message) when the payload is absent or of
+// the wrong length, per the paper's default-value rule.
+func DecodeClaim(payload []byte, want int) []Value {
+	if payload == nil || len(payload) != want {
+		return nil
+	}
+	out := make([]Value, want)
+	for i, b := range payload {
+		out[i] = Value(b)
+	}
+	return out
+}
+
+// Reorder applies Algorithm C's leaf reordering (Section 4.3): in a
+// three-level tree with repetitions it swaps the values stored at s·p·q and
+// s·q·p for all p ≠ q, so that afterwards the leaves of the subtree rooted
+// at s·q hold exactly the values received from q this round.
+func (t *Tree) Reorder() error {
+	if !t.enum.repeat {
+		return fmt.Errorf("eigtree: Reorder requires a tree with repetitions")
+	}
+	if len(t.levels) != 3 {
+		return fmt.Errorf("eigtree: Reorder requires exactly 3 levels, have %d", len(t.levels))
+	}
+	n := t.enum.n
+	leaves := t.levels[2]
+	for p := 0; p < n; p++ {
+		for q := p + 1; q < n; q++ {
+			leaves[p*n+q], leaves[q*n+p] = leaves[q*n+p], leaves[p*n+q]
+		}
+	}
+	return nil
+}
+
+// DropLeaves removes the deepest level (used by Algorithm C's shift from a
+// three-level to a two-level tree after conversion).
+func (t *Tree) DropLeaves() {
+	if len(t.levels) > 1 {
+		t.levels = t.levels[:len(t.levels)-1]
+	}
+}
+
+// SetLevelValues replaces the values of level h (used by Algorithm C to
+// install the converted intermediate values). The slice is copied.
+func (t *Tree) SetLevelValues(h int, vals []Value) error {
+	if h >= len(t.levels) || len(vals) != len(t.levels[h]) {
+		return fmt.Errorf("eigtree: SetLevelValues level %d size %d mismatch", h, len(vals))
+	}
+	copy(t.levels[h], vals)
+	return nil
+}
+
+// Clone returns a deep copy of the tree (used by adversary shadows and by
+// tests).
+func (t *Tree) Clone() *Tree {
+	c := &Tree{enum: t.enum, levels: make([][]Value, len(t.levels))}
+	for i, lvl := range t.levels {
+		c.levels[i] = append([]Value(nil), lvl...)
+	}
+	return c
+}
+
+// NodeCount returns the total number of stored nodes, the paper's measure
+// of local space.
+func (t *Tree) NodeCount() int {
+	total := 0
+	for _, lvl := range t.levels {
+		total += len(lvl)
+	}
+	return total
+}

@@ -1,0 +1,379 @@
+package eigtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildTree(t *testing.T, n, source int, repeat bool, maxLevel int) *Tree {
+	t.Helper()
+	return NewTree(mustEnum(t, n, source, repeat, maxLevel))
+}
+
+func TestTreeLifecycle(t *testing.T) {
+	tr := buildTree(t, 7, 0, false, 3)
+	if tr.Height() != -1 {
+		t.Fatalf("empty tree height = %d, want -1 (paper's convention)", tr.Height())
+	}
+	if tr.Root() != Default {
+		t.Fatalf("empty tree root = %d, want default", tr.Root())
+	}
+	tr.SetRoot(5)
+	if tr.Height() != 0 || tr.Root() != 5 {
+		t.Fatalf("after SetRoot: height=%d root=%d", tr.Height(), tr.Root())
+	}
+	if _, err := tr.AddLevel(); err != nil {
+		t.Fatalf("AddLevel: %v", err)
+	}
+	if tr.Height() != 1 || tr.Levels() != 2 {
+		t.Fatalf("after AddLevel: height=%d levels=%d", tr.Height(), tr.Levels())
+	}
+	// New level starts at defaults.
+	for i, v := range tr.LevelValues(1) {
+		if v != Default {
+			t.Fatalf("fresh level value[%d] = %d, want default", i, v)
+		}
+	}
+}
+
+func TestAddLevelErrors(t *testing.T) {
+	tr := buildTree(t, 5, 0, false, 1)
+	if _, err := tr.AddLevel(); err == nil {
+		t.Fatal("AddLevel on empty tree should fail")
+	}
+	tr.SetRoot(1)
+	if _, err := tr.AddLevel(); err != nil {
+		t.Fatalf("first AddLevel: %v", err)
+	}
+	if _, err := tr.AddLevel(); err == nil {
+		t.Fatal("AddLevel past enumeration depth should fail")
+	}
+}
+
+func TestStoreFromPlacesClaimsAtOwnChild(t *testing.T) {
+	// Processor r's claim for node α lands exactly at child α·r.
+	tr := buildTree(t, 6, 0, false, 2)
+	tr.SetRoot(9)
+	mustAdd(t, tr)
+	e := tr.Enum()
+	for r := 1; r < 6; r++ {
+		claims := []Value{Value(10 + r)}
+		if err := tr.StoreFrom(r, claims); err != nil {
+			t.Fatalf("StoreFrom(%d): %v", r, err)
+		}
+	}
+	for r := 1; r < 6; r++ {
+		idx, ok := e.ChildIndex(0, 0, r)
+		if !ok {
+			t.Fatalf("no child for %d", r)
+		}
+		if got := tr.ValueAt(1, idx); got != Value(10+r) {
+			t.Errorf("child of %d = %d, want %d", r, got, 10+r)
+		}
+	}
+}
+
+func TestStoreFromNilKeepsDefaults(t *testing.T) {
+	tr := buildTree(t, 5, 0, false, 2)
+	tr.SetRoot(1)
+	mustAdd(t, tr)
+	if err := tr.StoreFrom(2, nil); err != nil {
+		t.Fatalf("StoreFrom(nil): %v", err)
+	}
+	for i, v := range tr.LevelValues(1) {
+		if v != Default {
+			t.Fatalf("value[%d] = %d after nil claim, want default", i, v)
+		}
+	}
+}
+
+func TestStoreFromLengthMismatch(t *testing.T) {
+	tr := buildTree(t, 5, 0, false, 2)
+	tr.SetRoot(1)
+	mustAdd(t, tr)
+	if err := tr.StoreFrom(2, []Value{1, 2}); err == nil {
+		t.Fatal("StoreFrom with wrong claim length should fail")
+	}
+	if err := tr.StoreFrom(2, nil); err != nil {
+		t.Fatalf("nil claim must be accepted: %v", err)
+	}
+}
+
+func TestStoreFromSkipsIllegalChildren(t *testing.T) {
+	// At level 2, r's claim is only stored under nodes whose path does not
+	// already contain r.
+	tr := buildTree(t, 5, 0, false, 2)
+	tr.SetRoot(1)
+	mustAdd(t, tr)
+	mustAdd(t, tr)
+	e := tr.Enum()
+	claims := make([]Value, e.Size(1))
+	for i := range claims {
+		claims[i] = 7
+	}
+	if err := tr.StoreFrom(3, claims); err != nil {
+		t.Fatalf("StoreFrom: %v", err)
+	}
+	for i, seq := range e.Level(2) {
+		want := Default
+		if int(seq[len(seq)-1]) == 3 {
+			want = 7
+		}
+		if got := tr.ValueAt(2, i); got != want {
+			t.Errorf("node %v = %d, want %d", seq.Labels(), got, want)
+		}
+	}
+}
+
+func TestZeroSender(t *testing.T) {
+	tr := buildTree(t, 5, 0, false, 2)
+	tr.SetRoot(1)
+	mustAdd(t, tr)
+	for r := 1; r < 5; r++ {
+		if err := tr.StoreFrom(r, []Value{Value(r)}); err != nil {
+			t.Fatalf("StoreFrom: %v", err)
+		}
+	}
+	tr.ZeroSender(3)
+	e := tr.Enum()
+	for r := 1; r < 5; r++ {
+		idx, _ := e.ChildIndex(0, 0, r)
+		want := Value(r)
+		if r == 3 {
+			want = Default
+		}
+		if got := tr.ValueAt(1, idx); got != want {
+			t.Errorf("child %d = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestLeafPayloadAndDecodeRoundTrip(t *testing.T) {
+	tr := buildTree(t, 6, 1, false, 2)
+	tr.SetRoot(4)
+	payload := tr.LeafPayload()
+	if len(payload) != 1 || payload[0] != 4 {
+		t.Fatalf("root payload = %v", payload)
+	}
+	mustAdd(t, tr)
+	for r := 0; r < 6; r++ {
+		if r == 1 {
+			continue
+		}
+		_ = tr.StoreFrom(r, []Value{Value(r + 1)})
+	}
+	payload = tr.LeafPayload()
+	decoded := DecodeClaim(payload, len(payload))
+	if decoded == nil {
+		t.Fatal("DecodeClaim rejected a valid payload")
+	}
+	for i, v := range decoded {
+		if v != tr.ValueAt(1, i) {
+			t.Fatalf("decoded[%d] = %d, want %d", i, v, tr.ValueAt(1, i))
+		}
+	}
+}
+
+func TestDecodeClaimRejects(t *testing.T) {
+	if DecodeClaim(nil, 3) != nil {
+		t.Error("nil payload should decode to nil")
+	}
+	if DecodeClaim([]byte{1, 2}, 3) != nil {
+		t.Error("short payload should decode to nil")
+	}
+	if DecodeClaim([]byte{1, 2, 3, 4}, 3) != nil {
+		t.Error("long payload should decode to nil")
+	}
+	if got := DecodeClaim([]byte{1, 2, 3}, 3); got == nil {
+		t.Error("exact payload rejected")
+	}
+}
+
+func TestDecodeClaimProperty(t *testing.T) {
+	f := func(payload []byte) bool {
+		got := DecodeClaim(payload, 5)
+		if len(payload) != 5 {
+			return got == nil
+		}
+		for i := range payload {
+			if got[i] != Value(payload[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReorderSwapsTransposedLeaves(t *testing.T) {
+	// Reorder swaps tree(s·p·q) and tree(s·q·p) (paper Section 4.3).
+	n := 5
+	tr := buildTree(t, n, 0, true, 2)
+	tr.SetRoot(1)
+	mustAdd(t, tr)
+	mustAdd(t, tr)
+	// Fill leaves with a recognizable pattern: value(p, q) = p*n+q.
+	e := tr.Enum()
+	for q := 0; q < n; q++ {
+		claims := make([]Value, e.Size(1))
+		for p := 0; p < n; p++ {
+			claims[p] = Value(p*n + q)
+		}
+		if err := tr.StoreFrom(q, claims); err != nil {
+			t.Fatalf("StoreFrom: %v", err)
+		}
+	}
+	if err := tr.Reorder(); err != nil {
+		t.Fatalf("Reorder: %v", err)
+	}
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			if got, want := tr.ValueAt(2, p*n+q), Value(q*n+p); got != want {
+				t.Fatalf("post-reorder leaf (%d,%d) = %d, want %d", p, q, got, want)
+			}
+		}
+	}
+	// After reordering, the subtree rooted at s·q holds exactly the vector
+	// received from q ("the leaves in the subtree rooted at sq contain the
+	// values received from q").
+	for q := 0; q < n; q++ {
+		for p := 0; p < n; p++ {
+			if got, want := tr.ValueAt(2, q*n+p), Value(p*n+q); got != want {
+				t.Fatalf("subtree s·%d slot %d = %d, want q's claim %d", q, p, got, want)
+			}
+		}
+	}
+}
+
+func TestReorderErrors(t *testing.T) {
+	noRepeat := buildTree(t, 5, 0, false, 2)
+	noRepeat.SetRoot(1)
+	if err := noRepeat.Reorder(); err == nil {
+		t.Error("Reorder on a tree without repetitions should fail")
+	}
+	twoLevels := buildTree(t, 5, 0, true, 2)
+	twoLevels.SetRoot(1)
+	mustAdd(t, twoLevels)
+	if err := twoLevels.Reorder(); err == nil {
+		t.Error("Reorder on a two-level tree should fail")
+	}
+}
+
+func TestReorderIsInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(4)
+		e, err := NewEnum(n, rng.Intn(n), true, 2)
+		if err != nil {
+			return false
+		}
+		tr := NewTree(e)
+		tr.SetRoot(Value(rng.Intn(256)))
+		_, _ = tr.AddLevel()
+		_, _ = tr.AddLevel()
+		orig := make([]Value, e.Size(2))
+		for i := range orig {
+			orig[i] = Value(rng.Intn(256))
+			tr.LevelValues(2)[i] = orig[i]
+		}
+		if tr.Reorder() != nil || tr.Reorder() != nil {
+			return false
+		}
+		for i, v := range tr.LevelValues(2) {
+			if v != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropLeavesAndSetLevelValues(t *testing.T) {
+	tr := buildTree(t, 5, 0, true, 2)
+	tr.SetRoot(1)
+	mustAdd(t, tr)
+	mustAdd(t, tr)
+	if tr.Levels() != 3 {
+		t.Fatalf("levels = %d", tr.Levels())
+	}
+	vals := make([]Value, 5)
+	for i := range vals {
+		vals[i] = Value(i)
+	}
+	if err := tr.SetLevelValues(1, vals); err != nil {
+		t.Fatalf("SetLevelValues: %v", err)
+	}
+	vals[0] = 99 // caller's slice must have been copied
+	if tr.ValueAt(1, 0) == 99 {
+		t.Fatal("SetLevelValues aliased the caller's slice")
+	}
+	tr.DropLeaves()
+	if tr.Levels() != 2 {
+		t.Fatalf("levels after DropLeaves = %d", tr.Levels())
+	}
+	if err := tr.SetLevelValues(1, vals[:2]); err == nil {
+		t.Fatal("SetLevelValues with wrong size should fail")
+	}
+	tr.DropLeaves()
+	tr.DropLeaves() // dropping at the root is a no-op
+	if tr.Levels() != 1 {
+		t.Fatalf("levels = %d, want 1", tr.Levels())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tr := buildTree(t, 5, 0, false, 2)
+	tr.SetRoot(3)
+	mustAdd(t, tr)
+	c := tr.Clone()
+	tr.ZeroSender(1)
+	tr.SetRoot(7)
+	if c.Root() != 3 {
+		t.Fatalf("clone root changed to %d", c.Root())
+	}
+}
+
+func TestNodeCount(t *testing.T) {
+	tr := buildTree(t, 5, 0, false, 2)
+	tr.SetRoot(1)
+	if tr.NodeCount() != 1 {
+		t.Fatalf("NodeCount = %d, want 1", tr.NodeCount())
+	}
+	mustAdd(t, tr)
+	if tr.NodeCount() != 1+4 {
+		t.Fatalf("NodeCount = %d, want 5", tr.NodeCount())
+	}
+	mustAdd(t, tr)
+	if tr.NodeCount() != 1+4+12 {
+		t.Fatalf("NodeCount = %d, want 17", tr.NodeCount())
+	}
+}
+
+func TestCollapseViaSetRoot(t *testing.T) {
+	tr := buildTree(t, 5, 0, false, 2)
+	tr.SetRoot(1)
+	mustAdd(t, tr)
+	mustAdd(t, tr)
+	tr.SetRoot(2) // the shift operator's collapse
+	if tr.Levels() != 1 || tr.Root() != 2 {
+		t.Fatalf("after collapse: levels=%d root=%d", tr.Levels(), tr.Root())
+	}
+	// The tree can grow again from the collapsed state.
+	mustAdd(t, tr)
+	if tr.Levels() != 2 {
+		t.Fatalf("levels = %d", tr.Levels())
+	}
+}
+
+func mustAdd(t *testing.T, tr *Tree) {
+	t.Helper()
+	if _, err := tr.AddLevel(); err != nil {
+		t.Fatalf("AddLevel: %v", err)
+	}
+}

@@ -1,0 +1,46 @@
+// Package eigtree implements the Information Gathering Tree of Bar-Noy,
+// Dolev, Dwork, and Strong, "Shifting Gears: Changing Algorithms on the Fly
+// to Expedite Byzantine Agreement" (Information and Computation 97, 1992).
+//
+// The package provides the tree data structure itself (with and without
+// label repetitions), the canonical enumeration of tree levels used as the
+// wire format for round messages, and the two data-conversion functions of
+// the paper: resolve (recursive majority voting, Section 3) and resolve'
+// (unique value with at least t+1 support, Section 4.2).
+package eigtree
+
+// Value is an element of the finite value set V of the agreement problem.
+// The paper assumes 0 ∈ V and uses 0 as the default value stored for
+// missing or inappropriate messages; Default plays that role here.
+//
+// Values are one byte wide so that a tree level serializes to exactly one
+// byte per node, which makes the O(n^b) message-length bounds of Theorems
+// 2 and 3 directly observable as payload byte counts.
+type Value byte
+
+// Default is the distinguished default value 0 ∈ V (paper Section 2).
+const Default Value = 0
+
+// CValue is a converted value: either an ordinary Value or Bottom (⊥).
+// Bottom arises only during data conversion with resolve' (Section 4.2);
+// it is never stored in a tree and never sent in a message.
+type CValue int16
+
+// Bottom is ⊥, the "no unique supported value" result of resolve'.
+const Bottom CValue = -1
+
+// CV converts a plain value to a converted value.
+func CV(v Value) CValue { return CValue(v) }
+
+// IsBottom reports whether c is ⊥.
+func (c CValue) IsBottom() bool { return c == Bottom }
+
+// Value maps a converted value back into V, turning ⊥ into the default
+// value as prescribed by the paper ("if resolve'(s) = ⊥ for some correct
+// processor p, then p uses the default value as its new preferred value").
+func (c CValue) Value() Value {
+	if c == Bottom {
+		return Default
+	}
+	return Value(c)
+}

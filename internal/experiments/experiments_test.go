@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestIDsAndRegistry(t *testing.T) {
+	ids := IDs()
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "F1", "F2", "F3"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids[%d] = %s, want %s", i, ids[i], want[i])
+		}
+	}
+	if _, err := RunByID("E99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := &Table{
+		ID: "EX", Title: "Example", PaperClaim: "claim",
+		Headers: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}},
+		Notes:   []string{"note"},
+		Text:    "tree\n",
+	}
+	md := tab.Markdown()
+	for _, want := range []string{"### EX — Example", "*Paper claim:* claim", "| a | b |", "| 1 | 2 |", "```\ntree\n```", "- note"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestHumanize(t *testing.T) {
+	for in, want := range map[int]string{5: "5", 999: "999", 1500: "1.5k", 25000: "25k", 3000000: "3.0M"} {
+		if got := human(in); got != want {
+			t.Errorf("human(%d) = %q, want %q", in, got, want)
+		}
+	}
+	if humanF(2.5e9) != "2.5G" || humanF(1.5e13) != "15.0T" || humanF(12) != "12.0" {
+		t.Error("humanF formats")
+	}
+	if okFail(true) != "ok" || okFail(false) != "FAIL" {
+		t.Error("okFail")
+	}
+	if ks := sortedKeys(map[int]int{3: 1, 1: 1}); len(ks) != 2 || ks[0] != 1 {
+		t.Errorf("sortedKeys = %v", ks)
+	}
+}
+
+func TestFaultPlacements(t *testing.T) {
+	for _, n := range []int{7, 13, 21} {
+		for tt := 1; tt <= 5; tt++ {
+			incl := faultsIncludingSource(n, tt)
+			excl := faultsAvoidingSource(n, tt)
+			if len(incl) != tt || len(excl) != tt {
+				t.Fatalf("n=%d t=%d: sizes %d/%d", n, tt, len(incl), len(excl))
+			}
+			if incl[0] != 0 {
+				t.Fatal("incl must contain the source")
+			}
+			if member(excl, 0) {
+				t.Fatal("excl contains the source")
+			}
+			seen := map[int]bool{}
+			for _, id := range append(append([]int{}, incl...), excl...) {
+				if id < 0 || id >= n {
+					t.Fatalf("id %d out of range", id)
+				}
+				_ = seen
+			}
+			for i, id := range incl {
+				for _, other := range incl[i+1:] {
+					if id == other {
+						t.Fatalf("duplicate in %v", incl)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFigureExperiments runs the cheap figure generators fully.
+func TestFigureExperiments(t *testing.T) {
+	for _, id := range []string{"F1", "F2", "F3"} {
+		tab, err := RunByID(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if tab.ID != id {
+			t.Fatalf("%s returned id %s", id, tab.ID)
+		}
+		md := tab.Markdown()
+		if len(md) < 100 {
+			t.Fatalf("%s markdown suspiciously short:\n%s", id, md)
+		}
+	}
+}
+
+func TestF1ContainsTreeRendering(t *testing.T) {
+	tab, err := F1Tree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"the source said", "a said", "z said"} {
+		if !strings.Contains(tab.Text, want) {
+			t.Fatalf("F1 text missing %q:\n%s", want, tab.Text)
+		}
+	}
+}
+
+func TestF3SchedulePhasesSumToTotal(t *testing.T) {
+	tab, err := F3PlanHybrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		// columns: t, b, n, t_AB, t_AC, A phase "...= kab", B "...= kbc", C "...= c", total
+		kab := trailingInt(t, row[5])
+		kbc := trailingInt(t, row[6])
+		c := trailingInt(t, row[7])
+		total, _ := strconv.Atoi(row[8])
+		if kab+kbc+c != total {
+			t.Fatalf("row %v: %d+%d+%d ≠ %d", row, kab, kbc, c, total)
+		}
+	}
+}
+
+func trailingInt(t *testing.T, s string) int {
+	t.Helper()
+	parts := strings.Split(s, "=")
+	v, err := strconv.Atoi(strings.TrimSpace(parts[len(parts)-1]))
+	if err != nil {
+		t.Fatalf("bad cell %q", s)
+	}
+	return v
+}
+
+// TestE1Exponential runs the cheapest theorem experiment end to end and
+// checks its verdict columns.
+func TestE1Exponential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	tab, err := E1Exponential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[2] != row[3] {
+			t.Errorf("rounds %s ≠ t+1 %s", row[2], row[3])
+		}
+		if row[8] != "0" {
+			t.Errorf("violations = %s", row[8])
+		}
+	}
+}
+
+// TestE8Dynamics validates the per-block accounting table's checks all pass.
+func TestE8Dynamics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	tab, err := E8FaultDetection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[len(row)-1] == "FAIL" {
+			t.Errorf("block progress violated: %v", row)
+		}
+	}
+}
+
+// TestE10AblationShowsFailures checks that the paper variant never fails
+// and that at least one ablated variant does fail somewhere (the mechanisms
+// are load-bearing).
+func TestE10AblationShowsFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	tab, err := E10Ablation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ablatedFailures := 0
+	for _, row := range tab.Rows {
+		variant, agreeFail := row[3], row[5]
+		if variant == "paper (full rules)" {
+			if agreeFail != "0" {
+				t.Errorf("full rules failed agreement: %v", row)
+			}
+		} else {
+			n, _ := strconv.Atoi(agreeFail)
+			ablatedFailures += n
+		}
+	}
+	if ablatedFailures == 0 {
+		t.Error("no ablated variant ever failed — ablation shows nothing")
+	}
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+
+	"shiftgears"
+	"shiftgears/internal/consensus"
+	"shiftgears/internal/core"
+)
+
+// E11Vector measures interactive consistency — the Pease–Shostak–Lamport
+// goal the paper's problem statement descends from — built by multiplexing
+// n broadcast instances of a paper algorithm over the same rounds.
+func E11Vector() (*Table, error) {
+	tab := &Table{
+		ID:    "E11",
+		Title: "Interactive consistency over the paper's algorithms (extension)",
+		PaperClaim: "PSL 1980's interactive consistency (all correct processors agree on the vector of " +
+			"every processor's value) reduces to n parallel Byzantine broadcasts; the reproduction " +
+			"multiplexes n instances of a paper algorithm into the same synchronous rounds.",
+		Headers: []string{"engine", "n", "t", "b", "rounds", "max msg (bytes)", "1-instance msg", "multiplex factor", "vector agreement", "slot validity"},
+	}
+	type cfgT struct {
+		alg     shiftgears.Algorithm
+		coreAlg core.Algorithm
+		n, t, b int
+	}
+	for _, tc := range []cfgT{
+		{shiftgears.Exponential, core.Exponential, 7, 2, 0},
+		{shiftgears.Exponential, core.Exponential, 10, 3, 0},
+		{shiftgears.AlgorithmB, core.AlgorithmB, 13, 3, 2},
+		{shiftgears.Hybrid, core.Hybrid, 10, 3, 3},
+	} {
+		inputs := make([]shiftgears.Value, tc.n)
+		for i := range inputs {
+			inputs[i] = shiftgears.Value(i % 5)
+		}
+		res, err := shiftgears.RunVector(shiftgears.VectorConfig{
+			Algorithm: tc.alg, N: tc.n, T: tc.t, B: tc.b,
+			Inputs: inputs, Faulty: faultsIncludingSource(tc.n, tc.t), Strategy: "splitbrain",
+		})
+		if err != nil {
+			return nil, err
+		}
+		single, err := shiftgears.Run(shiftgears.Config{
+			Algorithm: tc.alg, N: tc.n, T: tc.t, B: tc.b, SourceValue: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		factor := float64(res.MaxMessageBytes) / float64(single.MaxMessageBytes)
+		tab.Rows = append(tab.Rows, []string{
+			tc.alg.String(), itoa(tc.n), itoa(tc.t), itoa(tc.b),
+			itoa(res.Rounds), human(res.MaxMessageBytes), human(single.MaxMessageBytes),
+			fmt.Sprintf("%.1f×", factor),
+			okFail(res.Agreement), okFail(res.SlotValidity),
+		})
+	}
+	tab.Notes = append(tab.Notes,
+		"Same round count as a single instance; messages grow by roughly n× plus framing — the classical "+
+			"cost of interactive consistency.",
+		"Reduce() over the agreed vector yields multi-valued consensus with each processor contributing "+
+			"its own input (see examples/vector).")
+	return tab, nil
+}
+
+// E12Multivalued measures the paper's Section 2 remark: converting a large
+// value domain to a binary agreement "at the cost of two rounds".
+func E12Multivalued() (*Table, error) {
+	tab := &Table{
+		ID:    "E12",
+		Title: "Large value domains: the two-round reduction (Section 2 remark)",
+		PaperClaim: "\"If |V| is very large we may apply techniques of Coan (1987) to convert the set to two " +
+			"elements, at the cost of two rounds.\" Implemented as a Turpin–Coan-style reduction feeding the " +
+			"phase protocol (n ≥ 4t+1).",
+		Headers: []string{"t", "n", "rounds", "binary engine rounds", "reduction cost", "max msg (bytes)", "adversarial runs", "violations"},
+	}
+	for _, t := range []int{2, 3, 4, 5} {
+		n := 4*t + 1
+		res, err := shiftgears.Run(shiftgears.Config{
+			Algorithm: shiftgears.Multivalued, N: n, T: t, SourceValue: 201,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !res.Agreement || res.DecisionValue != 201 {
+			return nil, fmt.Errorf("E12: t=%d failed validity (decision %d)", t, res.DecisionValue)
+		}
+		binary, err := shiftgears.Run(shiftgears.Config{
+			Algorithm: shiftgears.PhaseQueen, N: n, T: t, SourceValue: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		runs, viol, err := adversarySweep(shiftgears.Multivalued, n, t, 0, 1)
+		if err != nil {
+			return nil, err
+		}
+		tab.Rows = append(tab.Rows, []string{
+			itoa(t), itoa(n), itoa(res.Rounds), itoa(binary.Rounds),
+			itoa(res.Rounds - binary.Rounds),
+			itoa(res.MaxMessageBytes), itoa(runs), itoa(viol),
+		})
+	}
+	tab.Notes = append(tab.Notes,
+		"The reduction costs exactly two rounds over the binary engine, as the remark promises, and keeps "+
+			"every post-reduction message at one byte no matter how large the domain (here |V| = 256).",
+		"This variant inherits the binary engine's n ≥ 4t+1; Turpin and Coan's original threshold scheme "+
+			"achieves n ≥ 3t+1 (DESIGN.md).")
+	return tab, nil
+}
+
+// vectorFrameOverhead is referenced by tests to document the framing cost.
+func vectorFrameOverhead(n int, payloadLens []int) int {
+	frames := make([][]byte, n)
+	for i, ln := range payloadLens {
+		if i < n && ln > 0 {
+			frames[i] = make([]byte, ln)
+		}
+	}
+	return len(consensus.EncodeFrames(frames))
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"shiftgears/internal/core"
+	"shiftgears/internal/eigtree"
+)
+
+// F1Tree reproduces Figure 1: the Information Gathering Tree, rendered from
+// a real 3-round execution state.
+func F1Tree() (*Table, error) {
+	tab := &Table{
+		ID:    "F1",
+		Title: "The Information Gathering Tree (Figure 1)",
+		PaperClaim: "Node s·…·q·r stores \"the value that r says q says … the source said\"; no label " +
+			"repeats on a path (Section 3, Fig. 1).",
+	}
+	enum, err := eigtree.NewEnum(5, 0, false, 2)
+	if err != nil {
+		return nil, err
+	}
+	tr := eigtree.NewTree(enum)
+	tr.SetRoot(1)
+	if _, err := tr.AddLevel(); err != nil {
+		return nil, err
+	}
+	for q := 1; q < 5; q++ {
+		if err := tr.StoreFrom(q, []eigtree.Value{1}); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := tr.AddLevel(); err != nil {
+		return nil, err
+	}
+	claims := make([]eigtree.Value, enum.Size(1))
+	for q := 1; q < 5; q++ {
+		for i := range claims {
+			claims[i] = 1
+		}
+		if q == 3 { // a lying processor relays zeros
+			for i := range claims {
+				claims[i] = 0
+			}
+		}
+		if err := tr.StoreFrom(q, claims); err != nil {
+			return nil, err
+		}
+	}
+	names := []string{"the source", "a", "b", "z", "c"}
+	tab.Text = tr.Render(eigtree.RenderOptions{
+		Name:       func(id int) string { return names[id] },
+		ShowValues: true,
+	})
+	tab.Notes = append(tab.Notes,
+		"Rendered from a live 3-round gathering state (n=5): the root is what the source said; each deeper "+
+			"node chains one more attribution, here with processor z relaying zeros.",
+		"Regenerate with: go run ./cmd/treeviz -n 5 -t 2 -liar 3")
+	return tab, nil
+}
+
+// F2PlanB reproduces Figure 2: Algorithm B's block schedule across (t, b).
+func F2PlanB() (*Table, error) {
+	tab := &Table{
+		ID:    "F2",
+		Title: "Algorithm B(b) schedule (Figure 2)",
+		PaperClaim: "\"Execute the Exponential Algorithm for 1 round; DO ⌊(t−1)/(b−1)⌋ times: execute rounds 2 " +
+			"through b+1; tree(s) = resolve(s) OD; [partial block]; decide resolve(s).\"",
+		Headers: []string{"t", "b", "schedule (rounds per block)", "total rounds", "Thm 3 bound"},
+	}
+	for _, t := range []int{4, 5, 6, 7} {
+		n := 4*t + 1
+		for b := 2; b <= t && b <= 5; b++ {
+			plan, err := core.NewPlan(core.AlgorithmB, n, t, b, 0)
+			if err != nil {
+				return nil, err
+			}
+			tab.Rows = append(tab.Rows, []string{
+				itoa(t), itoa(b), scheduleString(plan), itoa(plan.TotalRounds), itoa(plan.PaperRoundBound()),
+			})
+		}
+	}
+	tab.Notes = append(tab.Notes,
+		"Each block gathers for the listed rounds and ends with shift_{k→1} via resolve; "+
+			"the optimized final block absorbs (t−1) mod (b−1).")
+	return tab, nil
+}
+
+// F3PlanHybrid reproduces Figure 3: the hybrid's three-phase schedule.
+func F3PlanHybrid() (*Table, error) {
+	tab := &Table{
+		ID:    "F3",
+		Title: "Hybrid schedule (Figure 3)",
+		PaperClaim: "\"Run Algorithm A for exactly k_AB rounds; tree(s)=resolve'(s); run Algorithm B for " +
+			"exactly k_BC rounds beginning with round 2; tree(s)=resolve(s); run Algorithm C for exactly " +
+			"t−t_AC+1 rounds beginning with round 2; decide resolve(s).\"",
+		Headers: []string{"t", "b", "n", "t_AB", "t_AC", "A phase", "B phase", "C phase", "total"},
+	}
+	for _, tc := range []struct{ t, b int }{{4, 3}, {5, 3}, {6, 3}, {8, 3}, {10, 3}, {6, 4}, {10, 4}} {
+		n := 3*tc.t + 1
+		plan, err := core.NewPlan(core.Hybrid, n, tc.t, tc.b, 0)
+		if err != nil {
+			return nil, err
+		}
+		hp := plan.Hybrid
+		var aSeg, bSeg, cSeg []string
+		for _, seg := range plan.Segments {
+			switch {
+			case seg.Kind == core.SegGather && seg.Conv == eigtree.ResolveSupport:
+				aSeg = append(aSeg, itoa(seg.Rounds))
+			case seg.Kind == core.SegGather:
+				bSeg = append(bSeg, itoa(seg.Rounds))
+			default:
+				cSeg = append(cSeg, itoa(seg.Rounds))
+			}
+		}
+		tab.Rows = append(tab.Rows, []string{
+			itoa(tc.t), itoa(tc.b), itoa(n), itoa(hp.TAB), itoa(hp.TAC),
+			fmt.Sprintf("1+[%s] = %d", strings.Join(aSeg, ","), hp.KAB),
+			fmt.Sprintf("[%s] = %d", strings.Join(bSeg, ","), hp.KBC),
+			fmt.Sprintf("[%s] = %d", strings.Join(cSeg, ","), hp.CRounds),
+			itoa(plan.TotalRounds),
+		})
+	}
+	tab.Notes = append(tab.Notes,
+		"A-phase blocks use resolve' (Algorithm A), B-phase blocks resolve (Algorithm B), the final phase "+
+			"is Algorithm C's echo rounds; the shifts land exactly at k_AB and k_AB+k_BC.")
+	return tab, nil
+}
+
+func scheduleString(plan *core.Plan) string {
+	var parts []string
+	for _, seg := range plan.Segments {
+		parts = append(parts, itoa(seg.Rounds))
+	}
+	return "1+[" + strings.Join(parts, ",") + "]"
+}

@@ -1,0 +1,156 @@
+// Package extensions implements follow-on protocols the paper's Section 5
+// ("Recent Results") points at — here the constant-message-size phase
+// protocol of Berman, Garay, and Perry, in its two-round-per-phase
+// n ≥ 4t+1 form (often called Phase Queen). It serves as the modern
+// comparison point: t+1 phases of two rounds with one-byte messages,
+// versus Algorithm C's t+1 rounds with O(n)-byte messages.
+package extensions
+
+import (
+	"fmt"
+
+	"shiftgears/internal/eigtree"
+	"shiftgears/internal/sim"
+	"shiftgears/internal/trace"
+)
+
+// QueenReplica is one participant of the broadcast variant of the phase
+// protocol: in round 1 the source broadcasts its value; every processor
+// (the source included — the phase protocol is a consensus protocol, so
+// unlike the paper's algorithms the source keeps participating) adopts the
+// received value as its preference and runs t+1 phases of two rounds each.
+//
+// Phase k has a designated queen (the k-th non-source processor id).
+// Round 1 of the phase: broadcast the preference; each processor computes
+// the most frequent value among the n slots (missing senders count as the
+// default) and its count. Round 2: the queen broadcasts her most frequent
+// value; a processor keeps its own value when its count exceeds n/2 + t,
+// and adopts the queen's otherwise. With n ≥ 4t+1, unanimity among correct
+// processors persists through any phase, and a phase with a correct queen
+// creates it; after t+1 phases some queen was correct.
+type QueenReplica struct {
+	id      int
+	n, t    int
+	source  int
+	initial eigtree.Value
+	queens  []int
+	log     *trace.Log
+
+	pref     eigtree.Value
+	maj      eigtree.Value
+	cnt      int
+	decided  bool
+	decision eigtree.Value
+}
+
+var _ sim.Processor = (*QueenReplica)(nil)
+
+// NewQueenReplica validates n ≥ 4t+1 and builds a participant.
+func NewQueenReplica(n, t, source, id int, initial eigtree.Value, log *trace.Log) (*QueenReplica, error) {
+	if n < 4*t+1 {
+		return nil, fmt.Errorf("extensions: phase protocol requires n ≥ 4t+1 (n=%d, t=%d)", n, t)
+	}
+	if t < 1 || source < 0 || source >= n || id < 0 || id >= n {
+		return nil, fmt.Errorf("extensions: bad parameters n=%d t=%d source=%d id=%d", n, t, source, id)
+	}
+	queens := make([]int, 0, t+1)
+	for p := 0; len(queens) < t+1; p++ {
+		if p != source {
+			queens = append(queens, p)
+		}
+	}
+	return &QueenReplica{
+		id: id, n: n, t: t, source: source,
+		initial: initial, queens: queens, log: log,
+	}, nil
+}
+
+// Rounds returns the protocol length: 1 + 2(t+1).
+func (r *QueenReplica) Rounds() int { return 1 + 2*(r.t+1) }
+
+// ID implements sim.Processor.
+func (r *QueenReplica) ID() int { return r.id }
+
+// Decided returns the decision once made.
+func (r *QueenReplica) Decided() (eigtree.Value, bool) { return r.decision, r.decided }
+
+// Err exists for interface parity with the other replicas; the phase
+// protocol has no internal failure modes.
+func (r *QueenReplica) Err() error { return nil }
+
+// phase returns, for a communication round ≥ 2, the phase index (0-based)
+// and whether the round is the exchange (first) round of the phase.
+func (r *QueenReplica) phase(round int) (int, bool) {
+	k := round - 2
+	return k / 2, k%2 == 0
+}
+
+// PrepareRound implements sim.Processor.
+func (r *QueenReplica) PrepareRound(round int) [][]byte {
+	if round == 1 {
+		if r.id == r.source {
+			return sim.Broadcast(r.n, []byte{byte(r.initial)})
+		}
+		return nil
+	}
+	if round > r.Rounds() || r.decided {
+		return nil
+	}
+	ph, exchange := r.phase(round)
+	if exchange {
+		return sim.Broadcast(r.n, []byte{byte(r.pref)})
+	}
+	if r.queens[ph] == r.id {
+		return sim.Broadcast(r.n, []byte{byte(r.maj)})
+	}
+	return nil
+}
+
+// DeliverRound implements sim.Processor.
+func (r *QueenReplica) DeliverRound(round int, inbox [][]byte) {
+	if r.decided {
+		return
+	}
+	if round == 1 {
+		r.pref = eigtree.Default
+		if p := inbox[r.source]; len(p) == 1 {
+			r.pref = eigtree.Value(p[0])
+		}
+		r.log.Add(1, trace.KindRootStored, int(r.pref), "queen")
+		return
+	}
+	if round > r.Rounds() {
+		return
+	}
+	ph, exchange := r.phase(round)
+	if exchange {
+		var counts [256]int
+		for q := 0; q < r.n; q++ {
+			v := eigtree.Default
+			if p := inbox[q]; len(p) == 1 {
+				v = eigtree.Value(p[0])
+			}
+			counts[v]++
+		}
+		r.maj, r.cnt = eigtree.Default, -1
+		for v := 0; v < 256; v++ {
+			if counts[v] > r.cnt {
+				r.maj, r.cnt = eigtree.Value(v), counts[v]
+			}
+		}
+		return
+	}
+	queenVal := eigtree.Default
+	if p := inbox[r.queens[ph]]; len(p) == 1 {
+		queenVal = eigtree.Value(p[0])
+	}
+	if 2*r.cnt > r.n+2*r.t { // cnt > n/2 + t
+		r.pref = r.maj
+	} else {
+		r.pref = queenVal
+	}
+	if round == r.Rounds() {
+		r.decided, r.decision = true, r.pref
+		r.log.Add(round, trace.KindDecision, int(r.pref), "queen")
+	}
+}

@@ -1,0 +1,310 @@
+package faults
+
+import (
+	"testing"
+
+	"shiftgears/internal/eigtree"
+)
+
+// twoLevel builds a two-level no-repetition tree over n processors with
+// source 0 and the given child values (length n-1, in ascending label
+// order 1..n-1).
+func twoLevel(t *testing.T, n int, children []eigtree.Value) *eigtree.Tree {
+	t.Helper()
+	e, err := eigtree.NewEnum(n, 0, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := eigtree.NewTree(e)
+	tr.SetRoot(1)
+	if _, err := tr.AddLevel(); err != nil {
+		t.Fatal(err)
+	}
+	copy(tr.LevelValues(1), children)
+	return tr
+}
+
+func TestDiscoverStoredNoMajorityAccusesParent(t *testing.T) {
+	// Root's children split 3/3: no majority → the root's processor (the
+	// source) is accused by clause 1.
+	tr := twoLevel(t, 7, []eigtree.Value{1, 1, 1, 0, 0, 0})
+	l := NewList(7)
+	newly, stats := DiscoverStored(tr, l, 2, 2)
+	if len(newly) != 1 || newly[0] != 0 {
+		t.Fatalf("accused %v, want [0] (the source)", newly)
+	}
+	if !l.Contains(0) {
+		t.Fatal("source not added to list")
+	}
+	if r, _ := l.DiscoveryRound(0); r != 2 {
+		t.Fatalf("discovery round = %d, want 2", r)
+	}
+	if stats.NodesChecked != 1 || stats.ChildReads != 6 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestDiscoverStoredDissentThreshold(t *testing.T) {
+	// n=10, t=3, root has 9 children. Majority value exists; the rule
+	// accuses only when MORE than t−|L| non-L children dissent.
+	for _, tc := range []struct {
+		dissenters int
+		want       bool
+	}{
+		{3, false}, // exactly t: allowed (up to t faulty children may lie)
+		{4, true},  // t+1: impossible for a correct parent
+	} {
+		children := make([]eigtree.Value, 9)
+		for i := range children {
+			if i < tc.dissenters {
+				children[i] = 1
+			}
+		}
+		tr := twoLevel(t, 10, children)
+		l := NewList(10)
+		newly, _ := DiscoverStored(tr, l, 3, 2)
+		if got := len(newly) == 1; got != tc.want {
+			t.Errorf("%d dissenters: accused=%v, want %v", tc.dissenters, newly, tc.want)
+		}
+	}
+}
+
+func TestDiscoverStoredBudgetShrinksWithList(t *testing.T) {
+	// With one processor already in L, budget is t−1: 3 dissenters now
+	// trigger (3 > 3−1) even though they didn't with an empty list.
+	children := make([]eigtree.Value, 9)
+	children[0], children[1], children[2] = 1, 1, 1
+	tr := twoLevel(t, 10, children)
+	l := NewList(10)
+	l.Add(9, 1) // 9's child (value 0) now agrees with the majority anyway
+	newly, _ := DiscoverStored(tr, l, 3, 2)
+	if len(newly) != 1 || newly[0] != 0 {
+		t.Fatalf("accused %v, want the source", newly)
+	}
+}
+
+func TestDiscoverStoredListedDissentersDoNotCount(t *testing.T) {
+	// Dissenting children corresponding to processors already in L are
+	// excluded from the dissent count.
+	children := make([]eigtree.Value, 9)
+	children[0], children[1], children[2], children[3] = 1, 1, 1, 1 // labels 1..4 dissent
+	tr := twoLevel(t, 10, children)
+	l := NewList(10)
+	l.Add(1, 1) // label 1's dissent no longer counts: 3 dissenters ≤ t−|L|=2? 3 > 2 → still accused
+	newly, _ := DiscoverStored(tr, l, 3, 2)
+	if len(newly) != 1 || newly[0] != 0 {
+		t.Fatalf("accused %v, want [0]", newly)
+	}
+	// With t=4 and all four dissenters listed: budget t−|L| = 0 and zero
+	// unlisted dissent → no accusation (the growing list absorbs exactly
+	// the dissent it explains).
+	l2 := NewList(10)
+	l2.Add(1, 1)
+	l2.Add(2, 1)
+	l2.Add(3, 1)
+	l2.Add(4, 1)
+	newly2, _ := DiscoverStored(tr, l2, 4, 2)
+	if len(newly2) != 0 {
+		t.Fatalf("accused %v with all dissenters listed, want none", newly2)
+	}
+}
+
+func TestDiscoverStoredSkipsAlreadyListedParent(t *testing.T) {
+	tr := twoLevel(t, 7, []eigtree.Value{1, 1, 1, 0, 0, 0})
+	l := NewList(7)
+	l.Add(0, 1)
+	newly, _ := DiscoverStored(tr, l, 2, 2)
+	if len(newly) != 0 {
+		t.Fatalf("re-accused a listed processor: %v", newly)
+	}
+}
+
+func TestDiscoverStoredDeeperLevelAccusesLastLabel(t *testing.T) {
+	// Three-level tree, n=7, t=2. Make node s·3's children split so that
+	// processor 3 is accused; all other parents unanimous.
+	e, err := eigtree.NewEnum(7, 0, false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := eigtree.NewTree(e)
+	tr.SetRoot(1)
+	if _, err := tr.AddLevel(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.LevelValues(1) {
+		tr.LevelValues(1)[i] = 1
+	}
+	if _, err := tr.AddLevel(); err != nil {
+		t.Fatal(err)
+	}
+	lvl2 := tr.LevelValues(2)
+	for i := range lvl2 {
+		lvl2[i] = 1
+	}
+	cc := e.ChildCount(1)
+	for i := 0; i < e.Size(1); i++ {
+		if e.LastLabel(1, i) == 3 {
+			// Children split 2/2/1: no strict majority → clause 1 fires.
+			vals := []eigtree.Value{0, 0, 1, 1, 2}
+			for k := 0; k < cc; k++ {
+				lvl2[i*cc+k] = vals[k]
+			}
+		}
+	}
+	l := NewList(7)
+	newly, stats := DiscoverStored(tr, l, 2, 3)
+	if len(newly) != 1 || newly[0] != 3 {
+		t.Fatalf("accused %v, want [3]", newly)
+	}
+	if stats.NodesChecked != e.Size(1) {
+		t.Fatalf("checked %d nodes, want %d", stats.NodesChecked, e.Size(1))
+	}
+}
+
+func TestDiscoverStoredNoFalseAccusationOnUnanimity(t *testing.T) {
+	tr := twoLevel(t, 7, []eigtree.Value{1, 1, 1, 1, 1, 1})
+	l := NewList(7)
+	if newly, _ := DiscoverStored(tr, l, 2, 2); len(newly) != 0 {
+		t.Fatalf("accused %v on unanimous children", newly)
+	}
+}
+
+func TestDiscoverStoredEmptyTree(t *testing.T) {
+	e, _ := eigtree.NewEnum(5, 0, false, 1)
+	tr := eigtree.NewTree(e)
+	tr.SetRoot(1)
+	if newly, _ := DiscoverStored(tr, NewList(5), 1, 1); newly != nil {
+		t.Fatalf("accused %v on rootless/one-level tree", newly)
+	}
+}
+
+func TestDiscoverStoredRepeatTreeIgnoresSourceSlot(t *testing.T) {
+	// Algorithm C's tree: the source's child slot is permanently default
+	// because the source halts after round 1; it must not count as dissent.
+	// n=9, t=2: children of root = 9 slots; s-slot 0, two (faulty,
+	// silent) slots 0, six slots 1. Dissent = 2 (not 3) ≤ t → no accusation.
+	e, err := eigtree.NewEnum(9, 0, true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := eigtree.NewTree(e)
+	tr.SetRoot(1)
+	if _, err := tr.AddLevel(); err != nil {
+		t.Fatal(err)
+	}
+	lvl := tr.LevelValues(1)
+	for i := range lvl {
+		lvl[i] = 1
+	}
+	lvl[0], lvl[1], lvl[3] = 0, 0, 0 // source slot + two silent faults
+	l := NewList(9)
+	if newly, _ := DiscoverStored(tr, l, 2, 2); len(newly) != 0 {
+		t.Fatalf("false accusation %v via the dead source slot", newly)
+	}
+	// A third real dissenter crosses the threshold.
+	lvl[5] = 0
+	if newly, _ := DiscoverStored(tr, l, 2, 2); len(newly) != 1 || newly[0] != 0 {
+		t.Fatalf("accused %v, want [0]", newly)
+	}
+}
+
+func TestDiscoverConvertedAccusesOnConvertedValues(t *testing.T) {
+	// Algorithm A's conversion-time rule: level-1 node s·3 gets children
+	// whose *converted* values split without majority → 3 accused.
+	e, err := eigtree.NewEnum(7, 0, false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := eigtree.NewTree(e)
+	tr.SetRoot(1)
+	_, _ = tr.AddLevel()
+	_, _ = tr.AddLevel()
+	lvl2 := tr.LevelValues(2)
+	for i := range lvl2 {
+		lvl2[i] = 1
+	}
+	cc := e.ChildCount(1)
+	for i := 0; i < e.Size(1); i++ {
+		if e.LastLabel(1, i) == 3 {
+			// Leaves under s·3: {1,1,2,2,3}: nothing reaches t+1=3 → those
+			// leaves convert to themselves; with no majority among them,
+			// clause 1 fires at s·3.
+			vals := []eigtree.Value{1, 1, 2, 2, 3}
+			for k := 0; k < cc; k++ {
+				lvl2[i*cc+k] = vals[k]
+			}
+		}
+	}
+	res, err := tr.Resolve(eigtree.ResolveSupport, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewList(7)
+	newly, stats := DiscoverConverted(res, l, 2, 4)
+	if len(newly) != 1 || newly[0] != 3 {
+		t.Fatalf("accused %v, want [3]", newly)
+	}
+	if stats.NodesChecked != 1+e.Size(1) {
+		t.Fatalf("checked %d nodes, want root+level1 = %d", stats.NodesChecked, 1+e.Size(1))
+	}
+	if r, _ := l.DiscoveryRound(3); r != 4 {
+		t.Fatalf("round = %d, want 4", r)
+	}
+}
+
+func TestDiscoverConvertedCleanTreeNoAccusations(t *testing.T) {
+	e, _ := eigtree.NewEnum(7, 0, false, 2)
+	tr := eigtree.NewTree(e)
+	tr.SetRoot(1)
+	_, _ = tr.AddLevel()
+	_, _ = tr.AddLevel()
+	for i := range tr.LevelValues(2) {
+		tr.LevelValues(2)[i] = 1
+	}
+	res, err := tr.Resolve(eigtree.ResolveSupport, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newly, _ := DiscoverConverted(res, NewList(7), 2, 3); len(newly) != 0 {
+		t.Fatalf("accused %v on a unanimous tree", newly)
+	}
+}
+
+func TestDiscoverConvertedSingleLevel(t *testing.T) {
+	e, _ := eigtree.NewEnum(7, 0, false, 1)
+	tr := eigtree.NewTree(e)
+	tr.SetRoot(1)
+	res, err := tr.Resolve(eigtree.ResolveSupport, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newly, _ := DiscoverConverted(res, NewList(7), 2, 2); newly != nil {
+		t.Fatalf("accused %v on a root-only resolution", newly)
+	}
+}
+
+func TestDiscoveryDeterministicOrder(t *testing.T) {
+	// Two parents trigger in one pass: accusations come out sorted.
+	e, _ := eigtree.NewEnum(8, 0, false, 2)
+	tr := eigtree.NewTree(e)
+	tr.SetRoot(1)
+	_, _ = tr.AddLevel()
+	_, _ = tr.AddLevel()
+	lvl2 := tr.LevelValues(2)
+	for i := range lvl2 {
+		lvl2[i] = 1
+	}
+	cc := e.ChildCount(1)
+	for i := 0; i < e.Size(1); i++ {
+		last := e.LastLabel(1, i)
+		if last == 5 || last == 2 {
+			for k := 0; k < cc; k++ {
+				lvl2[i*cc+k] = eigtree.Value(k % 3) // junk: no majority
+			}
+		}
+	}
+	newly, _ := DiscoverStored(tr, NewList(8), 2, 3)
+	if len(newly) != 2 || newly[0] != 2 || newly[1] != 5 {
+		t.Fatalf("accused %v, want [2 5]", newly)
+	}
+}

@@ -1,0 +1,129 @@
+// Package faults implements the fault bookkeeping of the paper: the lists
+// L_p of processors a correct processor has discovered to be faulty, the
+// Fault Discovery Rule applied during Information Gathering (Section 3),
+// the Fault Discovery Rule During Conversion used by Algorithm A
+// (Section 4.2), and the Fault Masking Rule.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"shiftgears/internal/eigtree"
+)
+
+// Discovery records one processor entering a list L_p.
+type Discovery struct {
+	// Processor is the discovered faulty processor.
+	Processor int
+	// Round is the communication round at whose end the discovery was made.
+	Round int
+}
+
+// List is L_p: the set of processors that one correct processor has
+// discovered to be faulty, together with the round of each discovery.
+// A processor in the list has its subsequent messages masked to the default
+// value (Fault Masking Rule). The zero value is not usable; use NewList.
+type List struct {
+	member []bool
+	log    []Discovery
+}
+
+// NewList returns an empty list over n processor ids.
+func NewList(n int) *List {
+	return &List{member: make([]bool, n)}
+}
+
+// Contains reports whether p has been discovered faulty.
+func (l *List) Contains(p int) bool {
+	return p >= 0 && p < len(l.member) && l.member[p]
+}
+
+// Len returns |L_p|.
+func (l *List) Len() int { return len(l.log) }
+
+// Add records the discovery of p at the end of the given round. It returns
+// false when p is already in the list (the rule only adds processors "not
+// already in L_p").
+func (l *List) Add(p, round int) bool {
+	if p < 0 || p >= len(l.member) || l.member[p] {
+		return false
+	}
+	l.member[p] = true
+	l.log = append(l.log, Discovery{Processor: p, Round: round})
+	return true
+}
+
+// Members returns the discovered processors in ascending id order.
+func (l *List) Members() []int {
+	out := make([]int, 0, len(l.log))
+	for p, in := range l.member {
+		if in {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Log returns the discovery log in discovery order.
+func (l *List) Log() []Discovery {
+	return append([]Discovery(nil), l.log...)
+}
+
+// DiscoveryRound returns the round p was discovered, if it was.
+func (l *List) DiscoveryRound(p int) (int, bool) {
+	for _, d := range l.log {
+		if d.Processor == p {
+			return d.Round, true
+		}
+	}
+	return 0, false
+}
+
+// String renders the list for traces.
+func (l *List) String() string {
+	return fmt.Sprintf("L%v", l.Members())
+}
+
+// snapshot captures membership and size at the start of a discovery pass:
+// the rule's thresholds use |L_p| as of the pass, and all accusations in a
+// pass are judged against the same snapshot so that the pass is independent
+// of node visiting order.
+type snapshot struct {
+	member []bool
+	size   int
+}
+
+func (l *List) snap() snapshot {
+	return snapshot{member: append([]bool(nil), l.member...), size: len(l.log)}
+}
+
+func (s snapshot) contains(p int) bool { return s.member[p] }
+
+// sortedUnique sorts and deduplicates accused ids for deterministic passes.
+func sortedUnique(ids []int) []int {
+	sort.Ints(ids)
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// majorityOf returns the value held by a strict majority of the cc slots of
+// vals, if any. Bottom (⊥) counts as an ordinary symbol, matching the
+// conversion-time rule's "majority value among the converted values".
+func majorityOf(vals []eigtree.CValue, cc int) (eigtree.CValue, bool) {
+	counts := make(map[eigtree.CValue]int, 4)
+	for _, v := range vals {
+		counts[v]++
+	}
+	for v, c := range counts {
+		if 2*c > cc {
+			return v, true
+		}
+	}
+	return 0, false
+}

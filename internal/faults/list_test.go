@@ -1,0 +1,108 @@
+package faults
+
+import (
+	"testing"
+
+	"shiftgears/internal/eigtree"
+)
+
+func TestListBasics(t *testing.T) {
+	l := NewList(5)
+	if l.Len() != 0 || l.Contains(2) {
+		t.Fatal("fresh list not empty")
+	}
+	if !l.Add(2, 3) {
+		t.Fatal("Add(2) returned false")
+	}
+	if l.Add(2, 4) {
+		t.Fatal("re-adding 2 must return false (rule adds only processors not already in L)")
+	}
+	if !l.Contains(2) || l.Len() != 1 {
+		t.Fatalf("after add: contains=%v len=%d", l.Contains(2), l.Len())
+	}
+	if r, ok := l.DiscoveryRound(2); !ok || r != 3 {
+		t.Fatalf("DiscoveryRound(2) = %d, %v", r, ok)
+	}
+	if _, ok := l.DiscoveryRound(4); ok {
+		t.Fatal("DiscoveryRound of undiscovered processor succeeded")
+	}
+}
+
+func TestListOutOfRange(t *testing.T) {
+	l := NewList(3)
+	if l.Add(-1, 1) || l.Add(3, 1) {
+		t.Fatal("out-of-range ids must not be added")
+	}
+	if l.Contains(-1) || l.Contains(3) {
+		t.Fatal("out-of-range Contains must be false")
+	}
+}
+
+func TestListMembersSortedAndLogOrdered(t *testing.T) {
+	l := NewList(8)
+	l.Add(5, 2)
+	l.Add(1, 3)
+	l.Add(3, 3)
+	members := l.Members()
+	if len(members) != 3 || members[0] != 1 || members[1] != 3 || members[2] != 5 {
+		t.Fatalf("Members() = %v, want [1 3 5]", members)
+	}
+	log := l.Log()
+	if len(log) != 3 || log[0] != (Discovery{5, 2}) || log[1] != (Discovery{1, 3}) || log[2] != (Discovery{3, 3}) {
+		t.Fatalf("Log() = %v", log)
+	}
+	// Log returns a copy.
+	log[0].Processor = 99
+	if l.Log()[0].Processor != 5 {
+		t.Fatal("Log() aliases internal storage")
+	}
+}
+
+func TestListString(t *testing.T) {
+	l := NewList(4)
+	l.Add(2, 1)
+	if l.String() != "L[2]" {
+		t.Fatalf("String() = %q", l.String())
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	l := NewList(4)
+	l.Add(1, 1)
+	s := l.snap()
+	l.Add(2, 2)
+	if !s.contains(1) || s.contains(2) || s.size != 1 {
+		t.Fatalf("snapshot sees later additions: %+v", s)
+	}
+}
+
+func TestSortedUnique(t *testing.T) {
+	got := sortedUnique([]int{3, 1, 3, 2, 1})
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("sortedUnique = %v", got)
+	}
+	if out := sortedUnique(nil); len(out) != 0 {
+		t.Fatalf("sortedUnique(nil) = %v", out)
+	}
+}
+
+func TestMajorityOf(t *testing.T) {
+	cv := func(v eigtree.Value) eigtree.CValue { return eigtree.CV(v) }
+	cases := []struct {
+		vals []eigtree.CValue
+		cc   int
+		want eigtree.CValue
+		ok   bool
+	}{
+		{[]eigtree.CValue{cv(1), cv(1), cv(0)}, 3, cv(1), true},
+		{[]eigtree.CValue{cv(1), cv(0)}, 2, 0, false},
+		{[]eigtree.CValue{eigtree.Bottom, eigtree.Bottom, cv(1)}, 3, eigtree.Bottom, true}, // ⊥ counts as a symbol
+		{[]eigtree.CValue{}, 0, 0, false},
+	}
+	for i, tc := range cases {
+		got, ok := majorityOf(tc.vals, tc.cc)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("case %d: majorityOf = %v, %v; want %v, %v", i, got, ok, tc.want, tc.ok)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package sim provides the synchronous system model of the paper's
+// Section 2: n processors on a fully reliable, complete network, computing
+// in lockstep rounds, where every correct processor can identify the sender
+// of each message it receives (ids are positions in the inbox).
+//
+// The engine has two execution modes that produce byte-identical runs: a
+// deterministic sequential mode, and a concurrent mode with one goroutine
+// per processor and a barrier between the send and receive halves of each
+// round. The concurrent mode is the "goroutines simulate synchronous
+// rounds" substrate; equality of the two modes is asserted by tests.
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Processor is one participant in the synchronous protocol. Implementations
+// must not retain or mutate the inbox slices they are handed; payloads may
+// be shared between receivers (the network is reliable, so one broadcast
+// buffer serves all destinations).
+type Processor interface {
+	// ID returns the processor's identifier in [0, n).
+	ID() int
+	// PrepareRound returns the payloads the processor sends in the given
+	// round (1-based): element j is the payload delivered to processor j,
+	// nil meaning no message. A nil outbox means no messages at all.
+	// A correct processor broadcasts, i.e. uses one payload for every
+	// destination; only faulty processors send diverging payloads.
+	PrepareRound(round int) [][]byte
+	// DeliverRound hands the processor everything sent to it this round:
+	// inbox[i] is the payload from processor i (nil if i sent nothing).
+	DeliverRound(round int, inbox [][]byte)
+}
+
+// RoundStats aggregates message traffic for one round.
+type RoundStats struct {
+	Round       int // 1-based round number
+	Messages    int // payloads delivered (self-delivery included)
+	Bytes       int // sum of payload lengths
+	MaxPayload  int // largest single payload, the paper's "message length"
+	DistinctSrc int // processors that sent at least one payload
+}
+
+// Stats aggregates message traffic over a run.
+type Stats struct {
+	Rounds     int
+	Messages   int
+	Bytes      int
+	MaxPayload int
+	PerRound   []RoundStats
+}
+
+// Network executes processors in synchronous rounds.
+type Network struct {
+	procs    []Processor
+	parallel bool
+	hook     func(round int)
+	stats    Stats
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// Parallel selects the goroutine-per-processor engine.
+func Parallel() Option { return func(nw *Network) { nw.parallel = true } }
+
+// WithRoundHook installs a callback invoked after each round completes
+// (all deliveries done). Used by traces and lemma-level tests to snapshot
+// protocol state at round boundaries.
+func WithRoundHook(h func(round int)) Option {
+	return func(nw *Network) { nw.hook = h }
+}
+
+// NewNetwork builds a network over the given processors, whose IDs must be
+// exactly 0..len(procs)-1 in order.
+func NewNetwork(procs []Processor, opts ...Option) (*Network, error) {
+	if len(procs) < 2 {
+		return nil, fmt.Errorf("sim: need at least 2 processors, have %d", len(procs))
+	}
+	for i, p := range procs {
+		if p == nil {
+			return nil, fmt.Errorf("sim: processor %d is nil", i)
+		}
+		if p.ID() != i {
+			return nil, fmt.Errorf("sim: processor at index %d reports id %d", i, p.ID())
+		}
+	}
+	nw := &Network{procs: procs}
+	for _, opt := range opts {
+		opt(nw)
+	}
+	return nw, nil
+}
+
+// Run executes rounds 1..rounds and returns traffic statistics.
+func (nw *Network) Run(rounds int) (*Stats, error) {
+	if rounds < 1 {
+		return nil, fmt.Errorf("sim: round count %d must be positive", rounds)
+	}
+	n := len(nw.procs)
+	outboxes := make([][][]byte, n)
+	inboxes := make([][][]byte, n)
+	for i := range inboxes {
+		inboxes[i] = make([][]byte, n)
+	}
+
+	nw.stats = Stats{PerRound: make([]RoundStats, 0, rounds)}
+	for r := 1; r <= rounds; r++ {
+		// Send half: collect every processor's outbox for this round.
+		if nw.parallel {
+			var wg sync.WaitGroup
+			for i, p := range nw.procs {
+				wg.Add(1)
+				go func(i int, p Processor) {
+					defer wg.Done()
+					outboxes[i] = p.PrepareRound(r)
+				}(i, p)
+			}
+			wg.Wait()
+		} else {
+			for i, p := range nw.procs {
+				outboxes[i] = p.PrepareRound(r)
+			}
+		}
+
+		rs := RoundStats{Round: r}
+		for i, out := range outboxes {
+			if out == nil {
+				for j := range nw.procs {
+					inboxes[j][i] = nil
+				}
+				continue
+			}
+			if len(out) != n {
+				return nil, fmt.Errorf("sim: round %d: processor %d outbox has %d entries, want %d", r, i, len(out), n)
+			}
+			sent := false
+			for j, payload := range out {
+				inboxes[j][i] = payload
+				if payload != nil {
+					sent = true
+					rs.Messages++
+					rs.Bytes += len(payload)
+					if len(payload) > rs.MaxPayload {
+						rs.MaxPayload = len(payload)
+					}
+				}
+			}
+			if sent {
+				rs.DistinctSrc++
+			}
+		}
+
+		// Receive half: deliver the complete round to every processor.
+		if nw.parallel {
+			var wg sync.WaitGroup
+			for i, p := range nw.procs {
+				wg.Add(1)
+				go func(i int, p Processor) {
+					defer wg.Done()
+					p.DeliverRound(r, inboxes[i])
+				}(i, p)
+			}
+			wg.Wait()
+		} else {
+			for i, p := range nw.procs {
+				p.DeliverRound(r, inboxes[i])
+			}
+		}
+
+		nw.stats.Rounds = r
+		nw.stats.Messages += rs.Messages
+		nw.stats.Bytes += rs.Bytes
+		if rs.MaxPayload > nw.stats.MaxPayload {
+			nw.stats.MaxPayload = rs.MaxPayload
+		}
+		nw.stats.PerRound = append(nw.stats.PerRound, rs)
+
+		if nw.hook != nil {
+			nw.hook(r)
+		}
+	}
+	out := nw.stats
+	out.PerRound = append([]RoundStats(nil), nw.stats.PerRound...)
+	return &out, nil
+}
+
+// Broadcast builds an outbox that sends the same payload to all n
+// destinations (the behavior of a correct processor).
+func Broadcast(n int, payload []byte) [][]byte {
+	if payload == nil {
+		return nil
+	}
+	out := make([][]byte, n)
+	for j := range out {
+		out[j] = payload
+	}
+	return out
+}

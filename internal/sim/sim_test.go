@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// echoProc broadcasts its id as a 1-byte payload every round and records
+// everything it receives.
+type echoProc struct {
+	id       int
+	n        int
+	mu       sync.Mutex
+	received [][]int // per round: sender ids whose payloads arrived
+	payloads [][]byte
+}
+
+func (p *echoProc) ID() int { return p.id }
+
+func (p *echoProc) PrepareRound(round int) [][]byte {
+	return Broadcast(p.n, []byte{byte(p.id), byte(round)})
+}
+
+func (p *echoProc) DeliverRound(round int, inbox [][]byte) {
+	var senders []int
+	var payloads []byte
+	for i, payload := range inbox {
+		if payload != nil {
+			senders = append(senders, i)
+			payloads = append(payloads, payload...)
+		}
+	}
+	p.mu.Lock()
+	p.received = append(p.received, senders)
+	p.payloads = append(p.payloads, payloads)
+	p.mu.Unlock()
+}
+
+func TestNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(nil); err == nil {
+		t.Error("empty processor list accepted")
+	}
+	if _, err := NewNetwork([]Processor{&echoProc{id: 0, n: 2}, nil}); err == nil {
+		t.Error("nil processor accepted")
+	}
+	if _, err := NewNetwork([]Processor{&echoProc{id: 1, n: 2}, &echoProc{id: 0, n: 2}}); err == nil {
+		t.Error("out-of-order ids accepted")
+	}
+	procs := []Processor{&echoProc{id: 0, n: 2}, &echoProc{id: 1, n: 2}}
+	nw, err := NewNetwork(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Run(0); err == nil {
+		t.Error("zero rounds accepted")
+	}
+}
+
+func TestNetworkDeliversAllToAll(t *testing.T) {
+	n := 5
+	procs := make([]Processor, n)
+	raw := make([]*echoProc, n)
+	for i := range procs {
+		raw[i] = &echoProc{id: i, n: n}
+		procs[i] = raw[i]
+	}
+	nw, err := NewNetwork(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := nw.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range raw {
+		if len(p.received) != 3 {
+			t.Fatalf("proc %d saw %d rounds", p.id, len(p.received))
+		}
+		for r, senders := range p.received {
+			if len(senders) != n {
+				t.Fatalf("proc %d round %d: %d senders (self-delivery must be included)", p.id, r+1, len(senders))
+			}
+		}
+	}
+	if stats.Rounds != 3 || stats.Messages != 3*n*n || stats.Bytes != 3*n*n*2 || stats.MaxPayload != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if len(stats.PerRound) != 3 || stats.PerRound[1].Round != 2 || stats.PerRound[0].DistinctSrc != n {
+		t.Fatalf("per-round stats = %+v", stats.PerRound)
+	}
+}
+
+// silentProc sends nothing.
+type silentProc struct{ id int }
+
+func (p *silentProc) ID() int                    { return p.id }
+func (p *silentProc) PrepareRound(int) [][]byte  { return nil }
+func (p *silentProc) DeliverRound(int, [][]byte) {}
+
+func TestNetworkNilOutboxes(t *testing.T) {
+	procs := []Processor{&silentProc{0}, &silentProc{1}, &silentProc{2}}
+	nw, err := NewNetwork(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := nw.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Messages != 0 || stats.Bytes != 0 || stats.MaxPayload != 0 {
+		t.Fatalf("stats = %+v, want all zero", stats)
+	}
+}
+
+// badProc returns a malformed outbox.
+type badProc struct{ id int }
+
+func (p *badProc) ID() int { return p.id }
+func (p *badProc) PrepareRound(int) [][]byte {
+	return [][]byte{{1}} // wrong length: n is 2
+}
+func (p *badProc) DeliverRound(int, [][]byte) {}
+
+func TestNetworkRejectsMalformedOutbox(t *testing.T) {
+	nw, err := NewNetwork([]Processor{&badProc{0}, &badProc{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Run(1); err == nil {
+		t.Fatal("malformed outbox not rejected")
+	}
+}
+
+func TestRoundHook(t *testing.T) {
+	var rounds []int
+	procs := []Processor{&silentProc{0}, &silentProc{1}}
+	nw, err := NewNetwork(procs, WithRoundHook(func(r int) { rounds = append(rounds, r) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 4 || rounds[0] != 1 || rounds[3] != 4 {
+		t.Fatalf("hook rounds = %v", rounds)
+	}
+}
+
+// perDestProc sends a distinct payload to each destination.
+type perDestProc struct {
+	id, n int
+	got   []byte
+}
+
+func (p *perDestProc) ID() int { return p.id }
+func (p *perDestProc) PrepareRound(round int) [][]byte {
+	out := make([][]byte, p.n)
+	for j := range out {
+		out[j] = []byte{byte(p.id*10 + j)}
+	}
+	return out
+}
+func (p *perDestProc) DeliverRound(round int, inbox [][]byte) {
+	p.got = nil
+	for _, payload := range inbox {
+		p.got = append(p.got, payload...)
+	}
+}
+
+func TestPerDestinationDelivery(t *testing.T) {
+	n := 3
+	raw := make([]*perDestProc, n)
+	procs := make([]Processor, n)
+	for i := range procs {
+		raw[i] = &perDestProc{id: i, n: n}
+		procs[i] = raw[i]
+	}
+	nw, err := NewNetwork(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	for j, p := range raw {
+		want := []byte{byte(0*10 + j), byte(1*10 + j), byte(2*10 + j)}
+		if fmt.Sprint(p.got) != fmt.Sprint(want) {
+			t.Fatalf("proc %d got %v, want %v", j, p.got, want)
+		}
+	}
+}
+
+func TestBroadcastHelper(t *testing.T) {
+	if Broadcast(3, nil) != nil {
+		t.Error("Broadcast(nil) should be nil")
+	}
+	out := Broadcast(3, []byte{7})
+	if len(out) != 3 {
+		t.Fatalf("len = %d", len(out))
+	}
+	for _, p := range out {
+		if len(p) != 1 || p[0] != 7 {
+			t.Fatalf("payload = %v", p)
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	run := func(parallel bool, rounds, n int) []string {
+		raw := make([]*echoProc, n)
+		procs := make([]Processor, n)
+		for i := range procs {
+			raw[i] = &echoProc{id: i, n: n}
+			procs[i] = raw[i]
+		}
+		var opts []Option
+		if parallel {
+			opts = append(opts, Parallel())
+		}
+		nw, err := NewNetwork(procs, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nw.Run(rounds); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, n)
+		for i, p := range raw {
+			out[i] = fmt.Sprint(p.payloads)
+		}
+		return out
+	}
+	f := func(roundsRaw, nRaw uint8) bool {
+		rounds := 1 + int(roundsRaw)%4
+		n := 2 + int(nRaw)%5
+		seqRes := run(false, rounds, n)
+		parRes := run(true, rounds, n)
+		for i := range seqRes {
+			if seqRes[i] != parRes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCopySafety(t *testing.T) {
+	procs := []Processor{&echoProc{id: 0, n: 2}, &echoProc{id: 1, n: 2}}
+	nw, err := NewNetwork(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := nw.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.PerRound[0].Messages = -1
+	s2, err := nw.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.PerRound[0].Messages == -1 {
+		t.Fatal("stats alias internal state across runs")
+	}
+}

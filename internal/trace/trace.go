@@ -1,0 +1,153 @@
+// Package trace records protocol events — shifts, fault discoveries,
+// conversions, decisions — so that the experiment harness can reconstruct
+// per-round timelines (which block detected which faults, when a persistent
+// value emerged, where the hybrid shifted gears).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies an event.
+type Kind int
+
+const (
+	// KindRootStored marks round 1: the value received from the source was
+	// stored at the root.
+	KindRootStored Kind = iota + 1
+	// KindLevelStored marks the end of an Information Gathering round.
+	KindLevelStored
+	// KindDiscovery marks a processor entering L_p.
+	KindDiscovery
+	// KindShift marks a shift operator application (tree collapse).
+	KindShift
+	// KindPhase marks the hybrid moving to the next constituent algorithm.
+	KindPhase
+	// KindDecision marks the irreversible decision.
+	KindDecision
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindRootStored:
+		return "root"
+	case KindLevelStored:
+		return "level"
+	case KindDiscovery:
+		return "discover"
+	case KindShift:
+		return "shift"
+	case KindPhase:
+		return "phase"
+	case KindDecision:
+		return "decide"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one protocol event at one processor.
+type Event struct {
+	Round  int
+	PID    int
+	Kind   Kind
+	Target int    // discovered processor, or decided/shifted value
+	Note   string // free-form detail ("resolve'", "A->B", ...)
+}
+
+// Log is an append-only per-processor event log. Each processor owns its
+// log exclusively (no locking needed; the round engine barriers writes).
+type Log struct {
+	pid    int
+	events []Event
+}
+
+// NewLog returns a log for one processor.
+func NewLog(pid int) *Log { return &Log{pid: pid} }
+
+// Add appends an event.
+func (l *Log) Add(round int, kind Kind, target int, note string) {
+	if l == nil {
+		return
+	}
+	l.events = append(l.events, Event{Round: round, PID: l.pid, Kind: kind, Target: target, Note: note})
+}
+
+// Events returns a copy of the recorded events.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	return append([]Event(nil), l.events...)
+}
+
+// Merge combines several logs into one chronologically sorted stream
+// (round, then pid, then insertion order).
+func Merge(logs ...*Log) []Event {
+	var all []Event
+	for _, l := range logs {
+		if l != nil {
+			all = append(all, l.events...)
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].Round != all[j].Round {
+			return all[i].Round < all[j].Round
+		}
+		return all[i].PID < all[j].PID
+	})
+	return all
+}
+
+// GlobalDetections returns, for each faulty processor that every log in
+// `correct` has discovered, the round by which the discovery became global
+// (the max over the individual discovery rounds). This is the paper's
+// notion of global detection.
+func GlobalDetections(correct []*Log) map[int]int {
+	if len(correct) == 0 {
+		return nil
+	}
+	counts := make(map[int]int)
+	latest := make(map[int]int)
+	for _, l := range correct {
+		for _, ev := range l.events {
+			if ev.Kind != KindDiscovery {
+				continue
+			}
+			counts[ev.Target]++
+			if ev.Round > latest[ev.Target] {
+				latest[ev.Target] = ev.Round
+			}
+		}
+	}
+	out := make(map[int]int)
+	for p, c := range counts {
+		if c == len(correct) {
+			out[p] = latest[p]
+		}
+	}
+	return out
+}
+
+// Timeline renders a merged event stream as one line per event, for the
+// CLI and the examples.
+func Timeline(events []Event) string {
+	var b strings.Builder
+	for _, ev := range events {
+		fmt.Fprintf(&b, "round %2d  p%-3d %-8s", ev.Round, ev.PID, ev.Kind)
+		switch ev.Kind {
+		case KindDiscovery:
+			fmt.Fprintf(&b, " faulty=%d", ev.Target)
+		case KindDecision, KindShift, KindRootStored:
+			fmt.Fprintf(&b, " value=%d", ev.Target)
+		}
+		if ev.Note != "" {
+			fmt.Fprintf(&b, "  (%s)", ev.Note)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindRootStored: "root", KindLevelStored: "level", KindDiscovery: "discover",
+		KindShift: "shift", KindPhase: "phase", KindDecision: "decide",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Error("unknown kind should render its number")
+	}
+}
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Add(1, KindDecision, 0, "") // must not panic
+	if l.Events() != nil {
+		t.Fatal("nil log has events")
+	}
+}
+
+func TestLogAddAndEvents(t *testing.T) {
+	l := NewLog(3)
+	l.Add(1, KindRootStored, 5, "")
+	l.Add(2, KindDiscovery, 1, "gathering")
+	events := l.Events()
+	if len(events) != 2 {
+		t.Fatalf("%d events", len(events))
+	}
+	if events[0].PID != 3 || events[0].Round != 1 || events[0].Target != 5 {
+		t.Fatalf("event 0 = %+v", events[0])
+	}
+	// Events returns a copy.
+	events[0].Target = 99
+	if l.Events()[0].Target == 99 {
+		t.Fatal("Events aliases internal storage")
+	}
+}
+
+func TestMergeSortsByRoundThenPID(t *testing.T) {
+	a := NewLog(2)
+	a.Add(2, KindShift, 1, "")
+	a.Add(1, KindRootStored, 1, "")
+	b := NewLog(1)
+	b.Add(2, KindShift, 0, "")
+	merged := Merge(a, b, nil)
+	if len(merged) != 3 {
+		t.Fatalf("%d merged events", len(merged))
+	}
+	if merged[0].Round != 1 || merged[1].PID != 1 || merged[2].PID != 2 {
+		t.Fatalf("merge order: %+v", merged)
+	}
+}
+
+func TestGlobalDetections(t *testing.T) {
+	a := NewLog(1)
+	a.Add(2, KindDiscovery, 7, "")
+	a.Add(3, KindDiscovery, 8, "")
+	b := NewLog(2)
+	b.Add(4, KindDiscovery, 7, "")
+	got := GlobalDetections([]*Log{a, b})
+	if len(got) != 1 {
+		t.Fatalf("global detections = %v, want only 7", got)
+	}
+	if got[7] != 4 {
+		t.Fatalf("7 became global at round %d, want 4 (the last discovery)", got[7])
+	}
+	if GlobalDetections(nil) != nil {
+		t.Fatal("no logs → nil")
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	l := NewLog(0)
+	l.Add(1, KindRootStored, 4, "")
+	l.Add(3, KindDiscovery, 2, "gathering")
+	l.Add(5, KindDecision, 4, "")
+	out := Timeline(l.Events())
+	for _, want := range []string{"round  1", "faulty=2", "value=4", "(gathering)", "decide"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	if got := len(strings.Split(strings.TrimSpace(out), "\n")); got != 3 {
+		t.Errorf("timeline has %d lines, want 3", got)
+	}
+}

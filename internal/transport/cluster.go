@@ -1,0 +1,88 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"shiftgears/internal/sim"
+)
+
+// Cluster runs a set of processors as transport Nodes over a real loopback
+// TCP mesh — the same lockstep execution as sim.Network, but every message
+// crosses an actual socket. It exists for tests, examples, and single-host
+// demonstrations; for multi-host deployments use cmd/node with one process
+// per processor.
+type Cluster struct {
+	nodes []*Node
+}
+
+// NewCluster listens on ephemeral loopback ports for every processor and
+// connects the full mesh.
+func NewCluster(procs []sim.Processor) (*Cluster, error) {
+	n := len(procs)
+	c := &Cluster{nodes: make([]*Node, n)}
+	addrs := make([]string, n)
+	for i, p := range procs {
+		if p.ID() != i {
+			c.Close()
+			return nil, fmt.Errorf("transport: processor at index %d reports id %d", i, p.ID())
+		}
+		node, err := Listen(p, n, "127.0.0.1:0")
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.nodes[i] = node
+		addrs[i] = node.Addr()
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i, node := range c.nodes {
+		wg.Add(1)
+		go func(i int, node *Node) {
+			defer wg.Done()
+			errs[i] = node.Connect(addrs)
+		}(i, node)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Run drives all nodes through the given number of rounds concurrently and
+// returns node 0's traffic statistics (all nodes see the same totals on a
+// correct mesh up to per-destination payload differences).
+func (c *Cluster) Run(rounds int) (*sim.Stats, error) {
+	var wg sync.WaitGroup
+	stats := make([]*sim.Stats, len(c.nodes))
+	errs := make([]error, len(c.nodes))
+	for i, node := range c.nodes {
+		wg.Add(1)
+		go func(i int, node *Node) {
+			defer wg.Done()
+			stats[i], errs[i] = node.Run(rounds)
+		}(i, node)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("transport: node %d: %w", i, err)
+		}
+	}
+	return stats[0], nil
+}
+
+// Close shuts every node down.
+func (c *Cluster) Close() {
+	for _, node := range c.nodes {
+		if node != nil {
+			_ = node.Close()
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package transport runs the synchronous protocols over a real TCP mesh.
+//
+// internal/sim executes all processors inside one process; this package
+// provides the deployment story: every processor is a Node owning a TCP
+// listener, fully connected to its peers, exchanging one frame per peer per
+// round. The synchronous model of the paper's Section 2 is realized as a
+// lockstep barrier — a node finishes round r only after it holds the
+// round-r frame of every peer — which is exactly the classical emulation of
+// a synchronous network on reliable FIFO channels. Byzantine behavior stays
+// at the payload layer (the same adversary wrappers work unchanged); the
+// transport itself is reliable, as the model requires.
+//
+// Frames are length-prefixed on persistent connections:
+//
+//	uvarint(round) uvarint(len+1) payload...   // len+1 = 0 encodes "no message"
+//
+// Each ordered pair of nodes uses one direction of a dedicated connection,
+// so per-destination (two-faced) payloads work naturally.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"shiftgears/internal/sim"
+)
+
+// dialRetry caps how long a node keeps retrying a peer's listener at
+// startup (peers may come up in any order).
+const dialRetry = 10 * time.Second
+
+// maxFrame bounds a frame payload (16 MiB), protecting against corrupt
+// length prefixes.
+const maxFrame = 16 << 20
+
+// Node runs one sim.Processor over the mesh.
+type Node struct {
+	proc  sim.Processor
+	id    int
+	n     int
+	ln    net.Listener
+	peers []*peer // indexed by peer id; nil at self
+	stats sim.Stats
+}
+
+// peer is one bidirectional link.
+type peer struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Listen opens the node's listener on addr (e.g. "127.0.0.1:9001"). The
+// returned node must then Connect before Run.
+func Listen(proc sim.Processor, n int, addr string) (*Node, error) {
+	if proc.ID() < 0 || proc.ID() >= n || n < 2 || n > 255 {
+		return nil, fmt.Errorf("transport: bad id/n: %d/%d", proc.ID(), n)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &Node{proc: proc, id: proc.ID(), n: n, ln: ln, peers: make([]*peer, n)}, nil
+}
+
+// Addr returns the listener's address (useful with ":0" ephemeral ports).
+func (nd *Node) Addr() string { return nd.ln.Addr().String() }
+
+// Connect establishes the full mesh: this node dials every peer with a
+// smaller id and accepts connections from every peer with a larger id.
+// addrs[i] is peer i's listen address (addrs[nd.id] is ignored).
+func (nd *Node) Connect(addrs []string) error {
+	if len(addrs) != nd.n {
+		return fmt.Errorf("transport: %d addrs for %d nodes", len(addrs), nd.n)
+	}
+	errc := make(chan error, 1)
+
+	// Accept side: peers with larger ids dial us; the first byte of a
+	// connection is the dialer's id.
+	expect := nd.n - 1 - nd.id
+	go func() {
+		for i := 0; i < expect; i++ {
+			conn, err := nd.ln.Accept()
+			if err != nil {
+				errc <- fmt.Errorf("transport: accept: %w", err)
+				return
+			}
+			var idb [1]byte
+			if _, err := io.ReadFull(conn, idb[:]); err != nil {
+				errc <- fmt.Errorf("transport: handshake read: %w", err)
+				return
+			}
+			id := int(idb[0])
+			if id <= nd.id || id >= nd.n || nd.peers[id] != nil {
+				errc <- fmt.Errorf("transport: bad handshake id %d at node %d", id, nd.id)
+				return
+			}
+			nd.peers[id] = newPeer(conn)
+		}
+		errc <- nil
+	}()
+
+	// Dial side: we dial peers with smaller ids, announcing our id.
+	for id := 0; id < nd.id; id++ {
+		conn, err := dialWithRetry(addrs[id])
+		if err != nil {
+			return fmt.Errorf("transport: dial peer %d: %w", id, err)
+		}
+		if _, err := conn.Write([]byte{byte(nd.id)}); err != nil {
+			return fmt.Errorf("transport: handshake write to %d: %w", id, err)
+		}
+		nd.peers[id] = newPeer(conn)
+	}
+	return <-errc
+}
+
+func newPeer(conn net.Conn) *peer {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true) // round latency matters more than throughput
+	}
+	return &peer{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+}
+
+func dialWithRetry(addr string) (net.Conn, error) {
+	deadline := time.Now().Add(dialRetry)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Run executes rounds 1..rounds in lockstep with the mesh and returns
+// traffic statistics (from this node's perspective: frames it received).
+func (nd *Node) Run(rounds int) (*sim.Stats, error) {
+	if rounds < 1 {
+		return nil, fmt.Errorf("transport: round count %d must be positive", rounds)
+	}
+	inbox := make([][]byte, nd.n)
+	nd.stats = sim.Stats{}
+
+	for r := 1; r <= rounds; r++ {
+		outbox := nd.proc.PrepareRound(r)
+		if outbox != nil && len(outbox) != nd.n {
+			return nil, fmt.Errorf("transport: round %d: outbox has %d entries, want %d", r, len(outbox), nd.n)
+		}
+
+		// Send our round-r frame to every peer (and deliver to self).
+		for id, p := range nd.peers {
+			var payload []byte
+			if outbox != nil {
+				payload = outbox[id]
+			}
+			if id == nd.id {
+				inbox[id] = payload
+				continue
+			}
+			if err := writeFrame(p.w, r, payload); err != nil {
+				return nil, fmt.Errorf("transport: round %d: send to %d: %w", r, id, err)
+			}
+		}
+		if outbox != nil {
+			inbox[nd.id] = outbox[nd.id]
+		} else {
+			inbox[nd.id] = nil
+		}
+
+		// Barrier: collect every peer's round-r frame. TCP is FIFO and each
+		// peer sends exactly one frame per round in order, so sequential
+		// reads suffice.
+		rs := sim.RoundStats{Round: r}
+		for id, p := range nd.peers {
+			if id == nd.id {
+				payload := inbox[id]
+				countPayload(&rs, payload)
+				continue
+			}
+			round, payload, err := readFrame(p.r)
+			if err != nil {
+				return nil, fmt.Errorf("transport: round %d: recv from %d: %w", r, id, err)
+			}
+			if round != r {
+				return nil, fmt.Errorf("transport: peer %d sent frame for round %d during round %d", id, round, r)
+			}
+			inbox[id] = payload
+			countPayload(&rs, payload)
+		}
+
+		nd.proc.DeliverRound(r, inbox)
+		nd.stats.Rounds = r
+		nd.stats.Messages += rs.Messages
+		nd.stats.Bytes += rs.Bytes
+		if rs.MaxPayload > nd.stats.MaxPayload {
+			nd.stats.MaxPayload = rs.MaxPayload
+		}
+		nd.stats.PerRound = append(nd.stats.PerRound, rs)
+	}
+	out := nd.stats
+	out.PerRound = append([]sim.RoundStats(nil), nd.stats.PerRound...)
+	return &out, nil
+}
+
+func countPayload(rs *sim.RoundStats, payload []byte) {
+	if payload == nil {
+		return
+	}
+	rs.Messages++
+	rs.Bytes += len(payload)
+	if len(payload) > rs.MaxPayload {
+		rs.MaxPayload = len(payload)
+	}
+}
+
+// Close shuts down the listener and all connections.
+func (nd *Node) Close() error {
+	err := nd.ln.Close()
+	for _, p := range nd.peers {
+		if p != nil {
+			if cerr := p.conn.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+	}
+	return err
+}
+
+// writeFrame emits one round frame; len+1 = 0 encodes a nil payload.
+func writeFrame(w *bufio.Writer, round int, payload []byte) error {
+	var tmp [binary.MaxVarintLen64]byte
+	k := binary.PutUvarint(tmp[:], uint64(round))
+	if _, err := w.Write(tmp[:k]); err != nil {
+		return err
+	}
+	ln := uint64(0)
+	if payload != nil {
+		ln = uint64(len(payload)) + 1
+	}
+	k = binary.PutUvarint(tmp[:], ln)
+	if _, err := w.Write(tmp[:k]); err != nil {
+		return err
+	}
+	if payload != nil {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// readFrame reads one round frame.
+func readFrame(r *bufio.Reader) (round int, payload []byte, err error) {
+	ru, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	ln, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	if ln == 0 {
+		return int(ru), nil, nil
+	}
+	size := ln - 1
+	if size > maxFrame {
+		return 0, nil, fmt.Errorf("frame of %d bytes exceeds limit", size)
+	}
+	payload = make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return int(ru), payload, nil
+}

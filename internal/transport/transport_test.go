@@ -1,0 +1,267 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+
+	"shiftgears/internal/adversary"
+	"shiftgears/internal/core"
+	"shiftgears/internal/eigtree"
+	"shiftgears/internal/sim"
+	"shiftgears/internal/trace"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := writeFrame(w, 7, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(w, 8, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(w, 9, []byte{}); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(&buf)
+	round, payload, err := readFrame(r)
+	if err != nil || round != 7 || !bytes.Equal(payload, []byte{1, 2, 3}) {
+		t.Fatalf("frame 1: %d %v %v", round, payload, err)
+	}
+	round, payload, err = readFrame(r)
+	if err != nil || round != 8 || payload != nil {
+		t.Fatalf("frame 2: %d %v %v (nil payload must survive)", round, payload, err)
+	}
+	round, payload, err = readFrame(r)
+	if err != nil || round != 9 || payload == nil || len(payload) != 0 {
+		t.Fatalf("frame 3: %d %v %v (empty non-nil payload must survive)", round, payload, err)
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	// Hand-craft a frame claiming a huge payload.
+	if err := writeFrame(w, 1, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[1] = 0xff // corrupt the length varint into a large value
+	raw = append(raw[:2], 0xff, 0xff, 0xff, 0x7f)
+	_, _, err := readFrame(bufio.NewReader(bytes.NewReader(raw)))
+	if err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+}
+
+// echoNode broadcasts one byte per round and records inboxes.
+type echoNode struct {
+	id, n int
+	seen  [][]byte
+}
+
+func (p *echoNode) ID() int { return p.id }
+func (p *echoNode) PrepareRound(round int) [][]byte {
+	if p.id == 2 {
+		// Per-destination payloads (a two-faced node) exercise the
+		// one-connection-per-pair property.
+		out := make([][]byte, p.n)
+		for j := range out {
+			out[j] = []byte{byte(10*p.id + j), byte(round)}
+		}
+		return out
+	}
+	return sim.Broadcast(p.n, []byte{byte(10 * p.id), byte(round)})
+}
+func (p *echoNode) DeliverRound(round int, inbox [][]byte) {
+	var flat []byte
+	for _, payload := range inbox {
+		flat = append(flat, payload...)
+	}
+	p.seen = append(p.seen, flat)
+}
+
+func TestClusterLockstepDelivery(t *testing.T) {
+	n := 4
+	procs := make([]sim.Processor, n)
+	raw := make([]*echoNode, n)
+	for i := range procs {
+		raw[i] = &echoNode{id: i, n: n}
+		procs[i] = raw[i]
+	}
+	cluster, err := NewCluster(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	stats, err := cluster.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 3 {
+		t.Fatalf("rounds = %d", stats.Rounds)
+	}
+	for i, p := range raw {
+		if len(p.seen) != 3 {
+			t.Fatalf("node %d saw %d rounds", i, len(p.seen))
+		}
+		for r, flat := range p.seen {
+			if len(flat) != 2*n {
+				t.Fatalf("node %d round %d: %d bytes, want %d", i, r+1, len(flat), 2*n)
+			}
+			// Node 2's per-destination payload carries our id.
+			if flat[2*2] != byte(10*2+i) {
+				t.Fatalf("node %d got %d from the two-faced node, want %d", i, flat[4], 10*2+i)
+			}
+		}
+	}
+}
+
+// TestByzantineAgreementOverTCP runs the paper's Algorithm B over real
+// sockets with a split-brain adversary: same guarantees as in-process.
+func TestByzantineAgreementOverTCP(t *testing.T) {
+	plan, err := core.NewPlan(core.AlgorithmB, 13, 3, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := core.NewEnv(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat, err := adversary.New("splitbrain", plan.TotalRounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := map[int]bool{0: true, 4: true, 8: true}
+	procs := make([]sim.Processor, plan.N)
+	reps := make([]*core.Replica, plan.N)
+	for id := 0; id < plan.N; id++ {
+		rep, err := core.NewReplica(env, id, 5, trace.NewLog(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps[id] = rep
+		if faulty[id] {
+			procs[id] = adversary.NewProcessor(rep, strat, 3, plan.N)
+		} else {
+			procs[id] = rep
+		}
+	}
+	cluster, err := NewCluster(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if _, err := cluster.Run(plan.TotalRounds); err != nil {
+		t.Fatal(err)
+	}
+
+	var common eigtree.Value
+	first := true
+	for id, rep := range reps {
+		if faulty[id] {
+			continue
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatalf("replica %d: %v", id, err)
+		}
+		v, ok := rep.Decided()
+		if !ok {
+			t.Fatalf("replica %d undecided", id)
+		}
+		if first {
+			common, first = v, false
+		} else if v != common {
+			t.Fatalf("disagreement over TCP: %d vs %d", v, common)
+		}
+	}
+}
+
+// TestTCPMatchesInProcess runs the same configuration on both engines and
+// compares decisions (transport must be behavior-preserving).
+func TestTCPMatchesInProcess(t *testing.T) {
+	build := func() ([]sim.Processor, []*core.Replica) {
+		plan, err := core.NewPlan(core.Exponential, 7, 2, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := core.NewEnv(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		strat, err := adversary.New("noise", plan.TotalRounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs := make([]sim.Processor, 7)
+		reps := make([]*core.Replica, 7)
+		for id := 0; id < 7; id++ {
+			rep, err := core.NewReplica(env, id, 3, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reps[id] = rep
+			if id == 2 || id == 5 {
+				procs[id] = adversary.NewProcessor(rep, strat, 9, 7)
+			} else {
+				procs[id] = rep
+			}
+		}
+		return procs, reps
+	}
+
+	procsA, repsA := build()
+	nw, err := sim.NewNetwork(procsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Run(3); err != nil {
+		t.Fatal(err)
+	}
+
+	procsB, repsB := build()
+	cluster, err := NewCluster(procsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if _, err := cluster.Run(3); err != nil {
+		t.Fatal(err)
+	}
+
+	for id := range repsA {
+		va, oka := repsA[id].Decided()
+		vb, okb := repsB[id].Decided()
+		if oka != okb || va != vb {
+			t.Fatalf("replica %d: in-process (%d,%v) vs TCP (%d,%v)", id, va, oka, vb, okb)
+		}
+	}
+}
+
+func TestListenValidation(t *testing.T) {
+	if _, err := Listen(&echoNode{id: 5, n: 4}, 4, "127.0.0.1:0"); err == nil {
+		t.Error("id ≥ n accepted")
+	}
+	if _, err := Listen(&echoNode{id: 0, n: 1}, 1, "127.0.0.1:0"); err == nil {
+		t.Error("n < 2 accepted")
+	}
+}
+
+func TestNodeRejectsBadOutbox(t *testing.T) {
+	procs := []sim.Processor{&badOutboxNode{0}, &badOutboxNode{1}}
+	cluster, err := NewCluster(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if _, err := cluster.Run(1); err == nil {
+		t.Fatal("malformed outbox accepted")
+	}
+}
+
+type badOutboxNode struct{ id int }
+
+func (p *badOutboxNode) ID() int                    { return p.id }
+func (p *badOutboxNode) PrepareRound(int) [][]byte  { return [][]byte{{1}, {2}, {3}} }
+func (p *badOutboxNode) DeliverRound(int, [][]byte) {}

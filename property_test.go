@@ -1,0 +1,150 @@
+package shiftgears_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"shiftgears"
+)
+
+// TestPropertyRandomizedAgreement is the randomized system-level property:
+// for random parameters, fault sets, strategies, and seeds within each
+// algorithm's resilience, agreement and validity always hold.
+func TestPropertyRandomizedAgreement(t *testing.T) {
+	algorithms := []shiftgears.Algorithm{
+		shiftgears.Exponential, shiftgears.AlgorithmA, shiftgears.AlgorithmB,
+		shiftgears.AlgorithmC, shiftgears.Hybrid, shiftgears.PSL, shiftgears.PhaseQueen,
+		shiftgears.Multivalued,
+	}
+	maxCount := 60
+	if testing.Short() {
+		maxCount = 15
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alg := algorithms[rng.Intn(len(algorithms))]
+
+		var n, tt, b int
+		switch alg {
+		case shiftgears.Exponential, shiftgears.PSL:
+			tt = 1 + rng.Intn(3) // 1..3
+			n = 3*tt + 1 + rng.Intn(2)
+		case shiftgears.AlgorithmA:
+			tt = 3 + rng.Intn(3) // 3..5
+			n = 3*tt + 1 + rng.Intn(2)
+			b = 3 + rng.Intn(tt-2) // 3..t
+		case shiftgears.AlgorithmB:
+			tt = 2 + rng.Intn(3) // 2..4
+			n = 4*tt + 1 + rng.Intn(2)
+			b = 2 + rng.Intn(tt-1) // 2..t
+		case shiftgears.AlgorithmC:
+			tt = 1 + rng.Intn(3) // 1..3
+			n = 2*tt*tt + rng.Intn(3)
+			if n <= 4*tt {
+				n = 4*tt + 1
+			}
+			if n < 2*tt*tt {
+				n = 2 * tt * tt
+			}
+		case shiftgears.Hybrid:
+			tt = 3 + rng.Intn(3) // 3..5
+			n = 3*tt + 1 + rng.Intn(2)
+			b = 3 + rng.Intn(tt-2)
+		case shiftgears.PhaseQueen, shiftgears.Multivalued:
+			tt = 1 + rng.Intn(3)
+			n = 4*tt + 1 + rng.Intn(2)
+		}
+
+		// Random fault set of size ≤ t (may include the source).
+		perm := rng.Perm(n)
+		faulty := perm[:rng.Intn(tt+1)]
+		strat := allStrategies[rng.Intn(len(allStrategies))]
+
+		res, err := shiftgears.Run(shiftgears.Config{
+			Algorithm: alg, N: n, T: tt, B: b,
+			SourceValue: shiftgears.Value(rng.Intn(4)),
+			Faulty:      faulty, Strategy: strat, Seed: rng.Int63(),
+			Parallel: rng.Intn(2) == 0,
+		})
+		if err != nil {
+			t.Logf("config rejected: alg=%v n=%d t=%d b=%d: %v", alg, n, tt, b, err)
+			return false
+		}
+		if !res.Agreement || !res.Validity {
+			t.Logf("violation: alg=%v n=%d t=%d b=%d faulty=%v strat=%s", alg, n, tt, b, faulty, strat)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: maxCount}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyParallelSequentialEquivalence: both engines produce the same
+// decisions and traffic on random configurations.
+func TestPropertyParallelSequentialEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tt := 3 + rng.Intn(2)
+		n := 3*tt + 1
+		faulty := rng.Perm(n)[:rng.Intn(tt+1)]
+		strat := allStrategies[rng.Intn(len(allStrategies))]
+		cfg := shiftgears.Config{
+			Algorithm: shiftgears.Hybrid, N: n, T: tt, B: 3,
+			SourceValue: 1, Faulty: faulty, Strategy: strat, Seed: rng.Int63(),
+		}
+		seq, err1 := shiftgears.Run(cfg)
+		cfg.Parallel = true
+		par, err2 := shiftgears.Run(cfg)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if seq.DecisionValue != par.DecisionValue || seq.TotalBytes != par.TotalBytes {
+			return false
+		}
+		for i := range seq.Processors {
+			if seq.Processors[i].Decision != par.Processors[i].Decision ||
+				seq.Processors[i].Decided != par.Processors[i].Decided {
+				return false
+			}
+		}
+		return true
+	}
+	count := 25
+	if testing.Short() {
+		count = 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: count}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDecisionDependsOnlyOnExecution: repeated runs of the same
+// configuration are bit-identical (the whole stack is deterministic).
+func TestPropertyDeterminism(t *testing.T) {
+	f := func(seed int64, stratIdx uint8) bool {
+		strat := allStrategies[int(stratIdx)%len(allStrategies)]
+		cfg := shiftgears.Config{
+			Algorithm: shiftgears.AlgorithmA, N: 13, T: 4, B: 3,
+			SourceValue: 2, Faulty: []int{0, 4, 8, 12}, Strategy: strat, Seed: seed,
+		}
+		a, err1 := shiftgears.Run(cfg)
+		b, err2 := shiftgears.Run(cfg)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if a.DecisionValue != b.DecisionValue || a.TotalBytes != b.TotalBytes || a.Messages != b.Messages {
+			return false
+		}
+		return true
+	}
+	count := 20
+	if testing.Short() {
+		count = 5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: count}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package shiftgears_test
+
+import (
+	"testing"
+
+	"shiftgears"
+)
+
+func TestRunVectorValidation(t *testing.T) {
+	if _, err := shiftgears.RunVector(shiftgears.VectorConfig{
+		Algorithm: shiftgears.PSL, N: 7, T: 2, Inputs: make([]shiftgears.Value, 7),
+	}); err == nil {
+		t.Error("PSL accepted for vector runs")
+	}
+	if _, err := shiftgears.RunVector(shiftgears.VectorConfig{
+		Algorithm: shiftgears.Exponential, N: 7, T: 2, Inputs: make([]shiftgears.Value, 5),
+	}); err == nil {
+		t.Error("wrong input count accepted")
+	}
+	if _, err := shiftgears.RunVector(shiftgears.VectorConfig{
+		Algorithm: shiftgears.Exponential, N: 7, T: 2,
+		Inputs: make([]shiftgears.Value, 7), Faulty: []int{9},
+	}); err == nil {
+		t.Error("out-of-range faulty id accepted")
+	}
+}
+
+func TestRunVectorInteractiveConsistency(t *testing.T) {
+	inputs := []shiftgears.Value{3, 1, 4, 1, 5, 9, 2}
+	res, err := shiftgears.RunVector(shiftgears.VectorConfig{
+		Algorithm: shiftgears.Exponential, N: 7, T: 2,
+		Inputs: inputs, Faulty: []int{1, 4}, Strategy: "splitbrain",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement || !res.SlotValidity {
+		t.Fatalf("agreement=%v slotValidity=%v", res.Agreement, res.SlotValidity)
+	}
+	for _, id := range []int{0, 2, 3, 5, 6} {
+		if res.AgreedVector[id] != inputs[id] {
+			t.Errorf("slot %d = %d, want %d", id, res.AgreedVector[id], inputs[id])
+		}
+	}
+	if len(res.Vectors) != 5 {
+		t.Errorf("%d correct vectors", len(res.Vectors))
+	}
+	if res.Rounds != 3 {
+		t.Errorf("rounds = %d, want t+1", res.Rounds)
+	}
+}
+
+func TestRunVectorConsensusValidity(t *testing.T) {
+	// All correct processors input 6 → consensus must be 6.
+	inputs := make([]shiftgears.Value, 7)
+	for i := range inputs {
+		inputs[i] = 6
+	}
+	res, err := shiftgears.RunVector(shiftgears.VectorConfig{
+		Algorithm: shiftgears.Exponential, N: 7, T: 2,
+		Inputs: inputs, Faulty: []int{2, 5}, Strategy: "garbage", Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement || res.Consensus != 6 {
+		t.Fatalf("consensus = %d (agreement %v), want 6", res.Consensus, res.Agreement)
+	}
+}
+
+func TestRunVectorParallelEngine(t *testing.T) {
+	inputs := []shiftgears.Value{1, 0, 1, 0, 1, 0, 1}
+	cfg := shiftgears.VectorConfig{
+		Algorithm: shiftgears.Exponential, N: 7, T: 2,
+		Inputs: inputs, Faulty: []int{3}, Strategy: "noise", Seed: 9,
+	}
+	seq, err := shiftgears.RunVector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallel = true
+	par, err := shiftgears.RunVector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Agreement || !par.Agreement {
+		t.Fatal("agreement lost")
+	}
+	for i := range seq.AgreedVector {
+		if seq.AgreedVector[i] != par.AgreedVector[i] {
+			t.Fatalf("engines diverge at slot %d", i)
+		}
+	}
+}
+
+func TestRunVectorWithHybrid(t *testing.T) {
+	n := 10
+	inputs := make([]shiftgears.Value, n)
+	for i := range inputs {
+		inputs[i] = shiftgears.Value(i % 2)
+	}
+	res, err := shiftgears.RunVector(shiftgears.VectorConfig{
+		Algorithm: shiftgears.Hybrid, N: n, T: 3, B: 3,
+		Inputs: inputs, Faulty: []int{0, 4, 8}, Strategy: "collude", Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement || !res.SlotValidity {
+		t.Fatalf("hybrid vector run: agreement=%v slotValidity=%v", res.Agreement, res.SlotValidity)
+	}
+}
