@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLogLoadSim(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-n", "7", "-t", "2", "-cmds", "28", "-window", "4", "-batch", "2",
+		"-faulty", "2,5",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "commands/tick") {
+		t.Fatalf("no throughput report:\n%s", out.String())
+	}
+	// 28 commands over 7 replicas: the 20 received by correct replicas
+	// must commit; the Byzantine receivers' may not.
+	if !strings.Contains(out.String(), "speedup") {
+		t.Fatalf("no speedup report:\n%s", out.String())
+	}
+}
+
+func TestLogLoadTCP(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-n", "4", "-t", "1", "-cmds", "8", "-window", "2", "-batch", "2", "-tcp",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "tcp") {
+		t.Fatalf("tcp mode not reported:\n%s", out.String())
+	}
+}
+
+func TestLogLoadValidation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-alg", "bogus"}, &out); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run([]string{"-cmds", "0"}, &out); err == nil {
+		t.Error("zero commands accepted")
+	}
+	if err := run([]string{"-faulty", "x"}, &out); err == nil {
+		t.Error("malformed faulty list accepted")
+	}
+	if err := run([]string{"-faulty", "9"}, &out); err == nil {
+		t.Error("out-of-range faulty id accepted")
+	}
+}

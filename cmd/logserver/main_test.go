@@ -1,0 +1,106 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// reservePorts grabs n ephemeral loopback ports and releases them, so the
+// logserver processes (goroutines here) can re-bind them moments later.
+func reservePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range listeners {
+		_ = ln.Close()
+	}
+	return addrs
+}
+
+func TestLogServerEndToEnd(t *testing.T) {
+	const n = 4
+	addrs := reservePorts(t, n)
+	list := strings.Join(addrs, ",")
+
+	cmds := []string{"11,12,13", "21", "", ""}
+	var wg sync.WaitGroup
+	outs := make([]strings.Builder, n)
+	errs := make([]error, n)
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			args := []string{
+				"-id", fmt.Sprint(id), "-n", "4", "-t", "1",
+				"-slots", "8", "-window", "2", "-batch", "2",
+				"-addrs", list, "-cmds", cmds[id],
+			}
+			if id == 3 {
+				args = append(args, "-byzantine", "splitbrain")
+			}
+			errs[id] = run(args, &outs[id])
+		}(id)
+	}
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("replica %d: %v\n%s", id, err, outs[id].String())
+		}
+	}
+
+	// Correct replicas print identical snapshots carrying every command a
+	// correct replica proposed.
+	var snapshot string
+	for id := 0; id < 3; id++ {
+		out := outs[id].String()
+		i := strings.Index(out, "snapshot")
+		if i < 0 {
+			t.Fatalf("replica %d printed no snapshot:\n%s", id, out)
+		}
+		if snapshot == "" {
+			snapshot = out[i:]
+			continue
+		}
+		if out[i:] != snapshot {
+			t.Fatalf("replica %d snapshot %q diverges from %q", id, out[i:], snapshot)
+		}
+	}
+	for _, cmd := range []string{"11", "12", "13", "21"} {
+		if !strings.Contains(snapshot, cmd) {
+			t.Errorf("snapshot %q misses command %s", snapshot, cmd)
+		}
+	}
+	if !strings.Contains(outs[3].String(), "BYZANTINE (splitbrain)") {
+		t.Error("byzantine banner missing")
+	}
+}
+
+func TestLogServerValidation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-alg", "bogus", "-addrs", "a,b,c,d"}, &out); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run([]string{"-n", "4", "-addrs", "a,b"}, &out); err == nil {
+		t.Error("addrs/n mismatch accepted")
+	}
+	if err := run([]string{"-addrs", "a,b,c,d", "-cmds", "300"}, &out); err == nil {
+		t.Error("out-of-range command accepted")
+	}
+	if err := run([]string{"-addrs", "a,b,c,d", "-cmds", "0"}, &out); err == nil {
+		t.Error("no-op command accepted")
+	}
+	if err := run([]string{"-addrs", "a,b,c,d", "-byzantine", "bogus"}, &out); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}

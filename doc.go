@@ -34,4 +34,30 @@
 // The Result reports every processor's decision, whether agreement and
 // validity held, exact round counts against the paper's bounds, message
 // sizes, and the fault-discovery timeline.
+//
+// # Multi-shot agreement: the replicated log
+//
+// Beyond single instances, the package serves streams of agreement as a
+// replicated state machine (internal/rsm): a log of slots, each slot one
+// agreement on a batch of client commands under a rotating source,
+// pipelined over a shared synchronous network. Any of the algorithms
+// above can run any slot:
+//
+//	rlog, err := shiftgears.NewReplicatedLog(shiftgears.LogConfig{
+//		Algorithm: shiftgears.Exponential,
+//		N:         7, T: 2,
+//		Slots: 14, Window: 4, BatchSize: 3,
+//		Faulty: []int{2, 5},
+//	})
+//	rlog.Submit(0, cmd) // queue a command at replica 0
+//	res, err := rlog.Run()
+//
+// Window pipelines that many slots concurrently (sim.Mux multiplexes
+// them over one network; over TCP, the frame header's instance id lets
+// one mesh carry the whole pipeline) and BatchSize amortizes each slot's
+// rounds over several commands, so throughput in commands per round
+// scales with both knobs. Every correct replica commits an identical log
+// even when slot sources are Byzantine. cmd/logserver deploys one
+// replica per process; cmd/logload generates synthetic load and reports
+// throughput.
 package shiftgears

@@ -1,9 +1,11 @@
-// Replicatedlog shows the classic downstream use of Byzantine agreement:
-// state-machine replication. Seven bank replicas apply a log of client
-// commands; each log slot is one Byzantine-agreement instance whose source
-// is the replica that received the command (rotating), so every replica
-// applies the same commands in the same order even though two replicas —
-// sometimes including the slot's source — are Byzantine.
+// Replicatedlog shows the classic downstream use of Byzantine agreement —
+// state-machine replication — on the real engine: shiftgears.ReplicatedLog
+// pipelines the log's slots (window 4) and batches commands (3 per slot),
+// so seven bank replicas commit a whole client workload in a fraction of
+// the rounds the one-agreement-per-command loop would need. Each slot is
+// sourced by a rotating replica; two replicas — sometimes including the
+// slot's source — are Byzantine, and every correct replica still applies
+// the same commands in the same order.
 package main
 
 import (
@@ -23,26 +25,44 @@ func deposit(account, amount int) command {
 	return command(account<<4 | amount)
 }
 
-func apply(balances []int, c command) {
-	if c == 0 {
-		return // no-op slot
-	}
-	balances[int(c)>>4] += int(c) & 0x0f
-}
-
 func main() {
 	const (
-		n = 7
-		t = 2
+		n     = 7
+		t     = 2
+		slots = 14
 	)
 	byzantine := map[int]bool{2: true, 5: true}
 
-	// The client workload: which replica received which command.
-	type request struct {
+	// Each replica maintains its own balances, fed by the engine's apply
+	// callback as entries commit.
+	balances := make([][]int, n)
+	for i := range balances {
+		balances[i] = make([]int, 16)
+	}
+
+	rlog, err := shiftgears.NewReplicatedLog(shiftgears.LogConfig{
+		Algorithm: shiftgears.Exponential,
+		N:         n, T: t,
+		Slots: slots, Window: 4, BatchSize: 3,
+		Faulty:   []int{2, 5},
+		Strategy: "splitbrain",
+		Seed:     7,
+	}, shiftgears.WithLogApply(func(replica int, e shiftgears.LogEntry) {
+		for _, c := range e.Commands {
+			balances[replica][int(c)>>4] += int(c) & 0x0f
+		}
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The client workload: which replica received which command. Replicas
+	// 2 and 5 receive requests too — they are Byzantine, so those
+	// commands may be burned (the clients would retry elsewhere).
+	requests := []struct {
 		receiver int
 		cmd      command
-	}
-	requests := []request{
+	}{
 		{0, deposit(1, 5)},
 		{1, deposit(1, 3)},
 		{2, deposit(2, 9)}, // received by a Byzantine replica!
@@ -50,48 +70,39 @@ func main() {
 		{4, deposit(3, 7)},
 		{5, deposit(1, 2)}, // Byzantine again
 		{6, deposit(3, 4)},
+		{0, deposit(4, 6)},
+		{3, deposit(4, 1)},
+		{6, deposit(1, 1)},
 	}
-
-	// Each replica maintains its own balances and applies the agreed value
-	// of every slot.
-	balances := make([][]int, n)
-	for i := range balances {
-		balances[i] = make([]int, 16)
-	}
-
-	fmt.Printf("replicated bank over Byzantine agreement (n=%d, t=%d, replicas 2 and 5 Byzantine)\n\n", n, t)
-	for slot, req := range requests {
-		var faulty []int
-		for id := range byzantine {
-			faulty = append(faulty, id)
-		}
-		res, err := shiftgears.Run(shiftgears.Config{
-			Algorithm:   shiftgears.Exponential,
-			N:           n,
-			T:           t,
-			Source:      req.receiver,
-			SourceValue: req.cmd,
-			Faulty:      faulty,
-			Strategy:    "splitbrain",
-			Seed:        int64(slot),
-		})
-		if err != nil {
+	for _, req := range requests {
+		if err := rlog.Submit(req.receiver, req.cmd); err != nil {
 			log.Fatal(err)
 		}
-		if !res.Agreement {
-			log.Fatalf("slot %d lost agreement", slot)
-		}
-		for id := 0; id < n; id++ {
-			if !byzantine[id] {
-				apply(balances[id], res.DecisionValue)
-			}
-		}
-		status := "committed"
-		if res.DecisionValue != req.cmd {
-			status = fmt.Sprintf("replaced by agreed value %d (source %d is Byzantine)", res.DecisionValue, req.receiver)
-		}
-		fmt.Printf("slot %d: source=replica %d  cmd=%3d  -> %s\n", slot, req.receiver, req.cmd, status)
 	}
+
+	fmt.Printf("replicated bank over pipelined Byzantine agreement (n=%d, t=%d, replicas 2 and 5 Byzantine)\n\n", n, t)
+	res, err := rlog.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Agreement {
+		log.Fatal("correct replicas committed diverging logs — agreement broken!")
+	}
+
+	for _, e := range res.Entries {
+		status := fmt.Sprintf("committed %v", e.Commands)
+		if len(e.Commands) == 0 {
+			status = "no-op (empty or burned batch)"
+		}
+		marker := ""
+		if byzantine[e.Source] {
+			marker = "  [Byzantine source]"
+		}
+		fmt.Printf("slot %2d: source=replica %d  -> %s%s\n", e.Slot, e.Source, status, marker)
+	}
+
+	fmt.Printf("\n%d commands committed in %d ticks; one agreement per command would need %d ticks (%.1fx speedup)\n",
+		res.Committed, res.Ticks, res.SequentialTicks, float64(res.SequentialTicks)/float64(res.Ticks))
 
 	// Every correct replica must hold identical balances.
 	fmt.Println("\nfinal balances at each correct replica (account: amount):")
@@ -114,5 +125,5 @@ func main() {
 		}
 	}
 	fmt.Println("\nall correct replicas agree on every slot, hence on the full state —")
-	fmt.Println("even for slots whose source equivocated (those commit a common no-op).")
+	fmt.Println("even slots whose source equivocated commit one common batch (often the no-op).")
 }

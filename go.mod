@@ -1,0 +1,3 @@
+module shiftgears
+
+go 1.24

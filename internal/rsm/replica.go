@@ -1,0 +1,282 @@
+package rsm
+
+import (
+	"fmt"
+	"sync"
+
+	"shiftgears/internal/adversary"
+	"shiftgears/internal/sim"
+)
+
+// Replica is one node's replicated-log engine. It owns the node's command
+// queue, schedules slots over a sim.Mux (window-pipelined), batches its
+// queued commands into the slots it sources, and commits entries in strict
+// slot order.
+//
+// A Replica is driven either by the in-process network (RunSim) or by a
+// TCP mesh (RunTCP, cmd/logserver); Submit may be called concurrently with
+// the run. Commands submitted after the node's last sourced slot has
+// started stay queued and never commit (Pending reports them).
+type Replica struct {
+	cfg    Config
+	id     int
+	protos []Protocol // per slot; position instances share them
+	mux    *sim.Mux
+	wrap   func(slot int, proc sim.Processor) sim.Processor
+	apply  func(Entry)
+
+	byzStrategy string
+	byzSeed     int64
+
+	mu         sync.Mutex
+	queue      []Value
+	slots      map[int]*slotInstance
+	pending    map[int]Entry // finished but waiting for in-order commit
+	commitNext int
+	entries    []Entry
+	snapshot   []Value
+	err        error
+
+	committed chan Entry
+}
+
+// ReplicaOption configures a Replica.
+type ReplicaOption func(*Replica)
+
+// WithApply installs a callback invoked once per committed entry, in slot
+// order, from the engine's driving goroutine.
+func WithApply(f func(Entry)) ReplicaOption {
+	return func(r *Replica) { r.apply = f }
+}
+
+// WithWrap installs a per-slot processor wrapper — the generic
+// fault-injection hook. Most callers want WithByzantine instead.
+func WithWrap(w func(slot int, proc sim.Processor) sim.Processor) ReplicaOption {
+	return func(r *Replica) { r.wrap = w }
+}
+
+// WithByzantine makes the replica Byzantine in every slot — including the
+// slots it sources — running the named adversary strategy (see
+// adversary.Names). Strategies are constructed eagerly per distinct slot
+// round count, so an unknown name fails NewReplica rather than the run.
+func WithByzantine(strategy string, seed int64) ReplicaOption {
+	return func(r *Replica) { r.byzStrategy, r.byzSeed = strategy, seed }
+}
+
+// NewReplica builds processor id's log engine. It eagerly compiles every
+// slot's protocol (the round schedule must be known up front — it is the
+// shared pipeline clock) but creates slot instances lazily, when a slot
+// enters the window, so sourced slots capture the queue at proposal time.
+func NewReplica(cfg Config, id int, opts ...ReplicaOption) (*Replica, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if id < 0 || id >= cfg.N {
+		return nil, fmt.Errorf("rsm: replica id %d out of range [0, %d)", id, cfg.N)
+	}
+	r := &Replica{
+		cfg:       cfg,
+		id:        id,
+		protos:    make([]Protocol, cfg.Slots),
+		slots:     make(map[int]*slotInstance),
+		pending:   make(map[int]Entry),
+		committed: make(chan Entry, cfg.Slots),
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	rounds := make([]int, cfg.Slots)
+	for slot := 0; slot < cfg.Slots; slot++ {
+		proto, err := cfg.Protocol(slot, slot%cfg.N)
+		if err != nil {
+			return nil, fmt.Errorf("rsm: slot %d: %w", slot, err)
+		}
+		if proto.Rounds() < 1 {
+			return nil, fmt.Errorf("rsm: slot %d: protocol reports %d rounds", slot, proto.Rounds())
+		}
+		r.protos[slot] = proto
+		rounds[slot] = proto.Rounds()
+	}
+	if r.byzStrategy != "" {
+		if r.wrap != nil {
+			return nil, fmt.Errorf("rsm: WithByzantine and WithWrap are mutually exclusive")
+		}
+		strats := make(map[int]adversary.Strategy)
+		for _, proto := range r.protos {
+			rds := proto.Rounds()
+			if _, ok := strats[rds]; !ok {
+				strat, err := adversary.New(r.byzStrategy, rds)
+				if err != nil {
+					return nil, err
+				}
+				strats[rds] = strat
+			}
+		}
+		seed := r.byzSeed
+		r.wrap = func(slot int, proc sim.Processor) sim.Processor {
+			strat := strats[r.protos[slot].Rounds()]
+			return adversary.NewProcessor(proc, strat, seed+int64(slot), cfg.N)
+		}
+	}
+	mux, err := sim.NewMux(sim.MuxConfig{
+		ID: id, N: cfg.N, Window: cfg.Window, Rounds: rounds,
+		Start:  r.startSlot,
+		Finish: r.finishSlot,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.mux = mux
+	return r, nil
+}
+
+// ID returns the replica's processor id.
+func (r *Replica) ID() int { return r.id }
+
+// Mux returns the replica's multiplexed schedule — the sim.Processor to
+// hand to sim.NewNetwork or transport.Listen.
+func (r *Replica) Mux() *sim.Mux { return r.mux }
+
+// TotalTicks returns the global tick count the full log needs.
+func (r *Replica) TotalTicks() int { return r.mux.TotalTicks() }
+
+// SlotRounds returns the round count of one slot's protocol.
+func (r *Replica) SlotRounds(slot int) int { return r.protos[slot].Rounds() }
+
+// Submit queues one command on this replica. The command rides in the next
+// slot this replica sources with a free batch position. NoOp (0) is not
+// submittable — it is the agreement default.
+func (r *Replica) Submit(cmd Value) error {
+	if cmd == NoOp {
+		return fmt.Errorf("rsm: command 0 is the reserved no-op")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.queue = append(r.queue, cmd)
+	return nil
+}
+
+// Pending returns the number of queued commands not yet proposed.
+func (r *Replica) Pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.queue)
+}
+
+// Committed returns the channel of committed entries, in slot order. It is
+// buffered for the full log and closed after the final slot commits.
+func (r *Replica) Committed() <-chan Entry { return r.committed }
+
+// Entries returns a copy of the committed log so far.
+func (r *Replica) Entries() []Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Entry(nil), r.entries...)
+}
+
+// Snapshot returns the applied state: every committed command, in commit
+// order — the sequence a state machine fed by Apply has consumed.
+func (r *Replica) Snapshot() []Value {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Value(nil), r.snapshot...)
+}
+
+// Err returns the first engine, schedule, or protocol error.
+func (r *Replica) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return r.err
+	}
+	return r.mux.Err()
+}
+
+// startSlot is the mux's lazy instance factory: it pops this replica's
+// batch from the queue when it is the slot's source and builds the
+// position replicas.
+func (r *Replica) startSlot(slot int) (sim.Instance, error) {
+	source := slot % r.cfg.N
+	batch := make([]Value, r.cfg.BatchSize)
+	if r.id == source {
+		r.mu.Lock()
+		take := len(r.queue)
+		if take > r.cfg.BatchSize {
+			take = r.cfg.BatchSize
+		}
+		copy(batch, r.queue[:take])
+		r.queue = r.queue[take:]
+		r.mu.Unlock()
+	}
+	si := &slotInstance{slot: slot, id: r.id, n: r.cfg.N, source: source}
+	for pos := 0; pos < r.cfg.BatchSize; pos++ {
+		rep, err := r.protos[slot].NewReplica(r.id, batch[pos])
+		if err != nil {
+			return nil, fmt.Errorf("rsm: slot %d position %d: %w", slot, pos, err)
+		}
+		si.reps = append(si.reps, rep)
+	}
+	r.mu.Lock()
+	r.slots[slot] = si
+	r.mu.Unlock()
+	var proc sim.Processor = si
+	if r.wrap != nil {
+		proc = r.wrap(slot, si)
+	}
+	return proc, nil
+}
+
+// finishSlot runs when a slot completes its last round: it assembles the
+// decided entry and flushes the in-order commit prefix.
+func (r *Replica) finishSlot(slot int) {
+	r.mu.Lock()
+	si := r.slots[slot]
+	delete(r.slots, slot)
+	if si == nil {
+		r.setErrLocked(fmt.Errorf("rsm: finished unknown slot %d", slot))
+		r.mu.Unlock()
+		return
+	}
+	if err := si.err(); err != nil {
+		r.setErrLocked(err)
+	}
+	entry, ok := si.entry()
+	if !ok {
+		r.setErrLocked(fmt.Errorf("rsm: slot %d finished undecided", slot))
+		r.mu.Unlock()
+		return
+	}
+	r.pending[slot] = entry
+	var ready []Entry
+	for {
+		e, have := r.pending[r.commitNext]
+		if !have {
+			break
+		}
+		delete(r.pending, r.commitNext)
+		r.entries = append(r.entries, e)
+		r.snapshot = append(r.snapshot, e.Commands...)
+		ready = append(ready, e)
+		r.commitNext++
+	}
+	final := r.commitNext == r.cfg.Slots
+	r.mu.Unlock()
+
+	// Callbacks and channel sends happen outside the lock; the channel is
+	// buffered for the full log, so sends never block.
+	for _, e := range ready {
+		if r.apply != nil {
+			r.apply(e)
+		}
+		r.committed <- e
+	}
+	if final {
+		close(r.committed)
+	}
+}
+
+func (r *Replica) setErrLocked(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}

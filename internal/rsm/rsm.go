@@ -1,0 +1,208 @@
+// Package rsm turns single-shot Byzantine agreement into a replicated
+// state machine: a log of slots, each slot one agreement on a batch of
+// client commands, pipelined over a shared synchronous network.
+//
+// The classic construction (Pease–Shostak–Lamport's interactive
+// consistency, DBFT-style slot sequencing) assigns every log slot a
+// rotating source processor. The source batches the client commands it has
+// received into the slot's agreement value; agreement guarantees every
+// correct replica commits the same batch in the same slot — even when the
+// source is Byzantine, in which case the slot commits some common batch
+// (typically all no-ops). Silent sources and unfilled batch positions
+// commit the default value 0, the no-op.
+//
+// Three amortizations make the log serve heavy traffic:
+//
+//   - Batching: one slot carries up to BatchSize commands, multiplexed as
+//     parallel single-value broadcast instances of the same protocol that
+//     share the slot's rounds, so the per-command round cost drops by the
+//     batch factor (the bit-complexity concern of King–Saia motivates
+//     keeping each instance's payload small).
+//   - Pipelining: up to Window slots run concurrently over the same
+//     network (sim.Mux); S equal-length slots of R rounds finish in
+//     R·⌈S/W⌉ global ticks instead of the sequential S·R.
+//   - One mesh: over TCP, the frame header's instance id lets a single
+//     connection mesh carry the whole pipeline (transport.Node.RunMux).
+//
+// The per-slot agreement protocol is pluggable (Protocol); the top-level
+// shiftgears package wires any of the paper's algorithms per slot.
+package rsm
+
+import (
+	"fmt"
+
+	"shiftgears/internal/consensus"
+	"shiftgears/internal/eigtree"
+	"shiftgears/internal/sim"
+)
+
+// Value is one client command; the agreement default 0 is the no-op.
+type Value = eigtree.Value
+
+// NoOp is the default value committed for unfilled batch positions and
+// slots whose source proposed nothing coherent.
+const NoOp = eigtree.Default
+
+// Entry is one committed log slot.
+type Entry struct {
+	// Slot is the log position; Source the processor that proposed it.
+	Slot, Source int
+	// Batch holds the agreed value of every batch position (NoOp for
+	// unfilled or burned positions).
+	Batch []Value
+	// Commands are the non-no-op values of Batch, in position order —
+	// what a state machine actually applies.
+	Commands []Value
+}
+
+// InstanceReplica is one processor's replica of a single-value agreement
+// instance — every protocol in this repository implements it.
+type InstanceReplica interface {
+	sim.Processor
+	// Decided returns the decision once the instance's rounds are done.
+	Decided() (Value, bool)
+	// Err reports an internal protocol error.
+	Err() error
+}
+
+// Protocol supplies the agreement machinery for one slot: the shared round
+// schedule and a replica factory. The BatchSize position instances of a
+// slot share one Protocol (same source, same schedule).
+type Protocol interface {
+	// Rounds is the instance's synchronous round count.
+	Rounds() int
+	// NewReplica builds processor id's replica. initial is the proposed
+	// value, used only when id is the slot's source.
+	NewReplica(id int, initial Value) (InstanceReplica, error)
+}
+
+// Config describes a replicated log. All replicas of one log must use
+// identical configurations or their slot schedules diverge.
+type Config struct {
+	// N is the number of replicas.
+	N int
+	// Slots is the total number of log slots the engine runs.
+	Slots int
+	// Window is the pipelining depth: how many slots run concurrently
+	// (1 = strictly sequential single-shot execution).
+	Window int
+	// BatchSize is the number of commands one slot can carry.
+	BatchSize int
+	// Protocol builds slot's agreement protocol; source = slot mod N.
+	Protocol func(slot, source int) (Protocol, error)
+}
+
+func (cfg Config) validate() error {
+	if cfg.N < 2 {
+		return fmt.Errorf("rsm: need at least 2 replicas, have %d", cfg.N)
+	}
+	if cfg.Slots < 1 {
+		return fmt.Errorf("rsm: slot count %d must be ≥ 1", cfg.Slots)
+	}
+	if cfg.Window < 1 {
+		return fmt.Errorf("rsm: window %d must be ≥ 1", cfg.Window)
+	}
+	if cfg.BatchSize < 1 {
+		return fmt.Errorf("rsm: batch size %d must be ≥ 1", cfg.BatchSize)
+	}
+	if cfg.Protocol == nil {
+		return fmt.Errorf("rsm: config needs a Protocol factory")
+	}
+	return nil
+}
+
+// slotInstance is one replica's view of one slot: BatchSize position
+// instances multiplexed over the slot's rounds with an inner frame per
+// position (uvarint length-prefixed, the interactive-consistency codec).
+// It implements sim.Processor, so adversary wrappers apply unchanged —
+// a Byzantine replica mangles the whole slot payload and receivers read
+// the malformed result as silence.
+type slotInstance struct {
+	slot, id, n, source int
+	reps                []InstanceReplica
+}
+
+// ID implements sim.Processor.
+func (si *slotInstance) ID() int { return si.id }
+
+// PrepareRound implements sim.Processor: it gathers every position's
+// outbox and packs one inner-framed payload per destination.
+func (si *slotInstance) PrepareRound(round int) [][]byte {
+	k := len(si.reps)
+	outs := make([][][]byte, k)
+	for p, rep := range si.reps {
+		outs[p] = rep.PrepareRound(round)
+	}
+	result := make([][]byte, si.n)
+	frames := make([][]byte, k)
+	any := false
+	for j := 0; j < si.n; j++ {
+		for p := range si.reps {
+			if outs[p] == nil {
+				frames[p] = nil
+			} else {
+				frames[p] = outs[p][j]
+			}
+		}
+		result[j] = consensus.EncodeFrames(frames)
+		if result[j] != nil {
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return result
+}
+
+// DeliverRound implements sim.Processor: it splits every sender's payload
+// back into per-position payloads (malformed → silence everywhere) and
+// delivers each position's inbox.
+func (si *slotInstance) DeliverRound(round int, inbox [][]byte) {
+	k := len(si.reps)
+	per := make([][][]byte, k)
+	for p := range per {
+		per[p] = make([][]byte, si.n)
+	}
+	for q, payload := range inbox {
+		fr := consensus.DecodeFrames(payload, k)
+		if fr == nil {
+			continue
+		}
+		for p := 0; p < k; p++ {
+			per[p][q] = fr[p]
+		}
+	}
+	for p, rep := range si.reps {
+		rep.DeliverRound(round, per[p])
+	}
+}
+
+// entry assembles the committed entry once every position has decided.
+func (si *slotInstance) entry() (Entry, bool) {
+	batch := make([]Value, len(si.reps))
+	for p, rep := range si.reps {
+		v, ok := rep.Decided()
+		if !ok {
+			return Entry{}, false
+		}
+		batch[p] = v
+	}
+	e := Entry{Slot: si.slot, Source: si.source, Batch: batch}
+	for _, v := range batch {
+		if v != NoOp {
+			e.Commands = append(e.Commands, v)
+		}
+	}
+	return e, true
+}
+
+// err returns the first position's internal protocol error.
+func (si *slotInstance) err() error {
+	for p, rep := range si.reps {
+		if err := rep.Err(); err != nil {
+			return fmt.Errorf("rsm: slot %d position %d: %w", si.slot, p, err)
+		}
+	}
+	return nil
+}

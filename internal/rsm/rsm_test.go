@@ -1,0 +1,374 @@
+package rsm
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"shiftgears/internal/core"
+	"shiftgears/internal/sim"
+)
+
+// coreProto adapts a compiled core plan to the slot Protocol.
+type coreProto struct {
+	env    *core.Env
+	rounds int
+}
+
+func (p coreProto) Rounds() int { return p.rounds }
+func (p coreProto) NewReplica(id int, initial Value) (InstanceReplica, error) {
+	return core.NewReplica(p.env, id, initial, nil)
+}
+
+// exponentialFactory builds slot protocols for the paper's Exponential
+// algorithm, caching the per-source plan (slots with the same source share
+// their read-only environment, as interactive consistency does).
+func exponentialFactory(t *testing.T, n, tt int) func(slot, source int) (Protocol, error) {
+	t.Helper()
+	cache := map[int]Protocol{}
+	return func(slot, source int) (Protocol, error) {
+		if p, ok := cache[source]; ok {
+			return p, nil
+		}
+		plan, err := core.NewPlan(core.Exponential, n, tt, 0, source)
+		if err != nil {
+			return nil, err
+		}
+		env, err := core.NewEnv(plan)
+		if err != nil {
+			return nil, err
+		}
+		p := coreProto{env: env, rounds: plan.TotalRounds}
+		cache[source] = p
+		return p, nil
+	}
+}
+
+// logSetup captures one whole-cluster test configuration.
+type logSetup struct {
+	cfg      Config
+	byz      map[int]bool
+	submit   map[int][]Value // per receiving replica, in order
+	strategy string
+}
+
+// build constructs the full replica set with fault injection and queued
+// submissions.
+func (s logSetup) build(t *testing.T) []*Replica {
+	t.Helper()
+	replicas := make([]*Replica, s.cfg.N)
+	for id := 0; id < s.cfg.N; id++ {
+		var opts []ReplicaOption
+		if s.byz[id] {
+			opts = append(opts, WithByzantine(s.strategy, 42))
+		}
+		r, err := NewReplica(s.cfg, id, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cmd := range s.submit[id] {
+			if err := r.Submit(cmd); err != nil {
+				t.Fatal(err)
+			}
+		}
+		replicas[id] = r
+	}
+	return replicas
+}
+
+// checkIdenticalLogs asserts the acceptance property: every correct
+// replica committed the same full log, and slots sourced by correct
+// replicas carry exactly the commands those replicas queued.
+func checkIdenticalLogs(t *testing.T, s logSetup, replicas []*Replica) []Entry {
+	t.Helper()
+	var ref []Entry
+	for id, r := range replicas {
+		if s.byz[id] {
+			continue
+		}
+		if err := r.Err(); err != nil {
+			t.Fatalf("replica %d: %v", id, err)
+		}
+		entries := r.Entries()
+		if len(entries) != s.cfg.Slots {
+			t.Fatalf("replica %d committed %d slots, want %d", id, len(entries), s.cfg.Slots)
+		}
+		if ref == nil {
+			ref = entries
+			continue
+		}
+		if !reflect.DeepEqual(entries, ref) {
+			t.Fatalf("replica %d log diverges:\n%v\nvs\n%v", id, entries, ref)
+		}
+	}
+
+	// Slots sourced by a correct replica commit its queue, in order, with
+	// no-op fill for unfilled positions (validity per batch position).
+	for slot := 0; slot < s.cfg.Slots; slot++ {
+		e := ref[slot]
+		if e.Slot != slot || e.Source != slot%s.cfg.N {
+			t.Fatalf("slot %d entry mislabeled: %+v", slot, e)
+		}
+		if s.byz[e.Source] {
+			continue
+		}
+		turn := slot / s.cfg.N // how many earlier slots this source owned
+		queue := s.submit[e.Source]
+		lo := turn * s.cfg.BatchSize
+		want := make([]Value, s.cfg.BatchSize)
+		for p := range want {
+			if lo+p < len(queue) {
+				want[p] = queue[lo+p]
+			}
+		}
+		if !reflect.DeepEqual(e.Batch, want) {
+			t.Fatalf("slot %d (source %d): batch %v, want %v", slot, e.Source, e.Batch, want)
+		}
+	}
+
+	// Committed channels drained and closed, snapshots identical.
+	var snap []Value
+	for id, r := range replicas {
+		if s.byz[id] {
+			continue
+		}
+		count := 0
+		for range r.Committed() {
+			count++
+		}
+		if count != s.cfg.Slots {
+			t.Fatalf("replica %d committed channel carried %d entries, want %d", id, count, s.cfg.Slots)
+		}
+		if snap == nil {
+			snap = r.Snapshot()
+		} else if !reflect.DeepEqual(snap, r.Snapshot()) {
+			t.Fatalf("replica %d snapshot diverges", id)
+		}
+	}
+	return ref
+}
+
+// sevenNodeSetup: n=7, t=2, replicas 2 and 5 Byzantine (replica 2 sources
+// slots 2 and 9 — the Byzantine-source case), replica 3 correct but
+// silent (no-op fill), mixed queue depths elsewhere.
+func sevenNodeSetup(t *testing.T, window int) logSetup {
+	t.Helper()
+	return logSetup{
+		cfg: Config{
+			N: 7, Slots: 14, Window: window, BatchSize: 3,
+			Protocol: exponentialFactory(t, 7, 2),
+		},
+		byz:      map[int]bool{2: true, 5: true},
+		strategy: "splitbrain",
+		submit: map[int][]Value{
+			0: {11, 12, 13, 14, 15, 16}, // both sourced slots full
+			1: {21, 22, 23, 24},         // second slot half-filled
+			2: {31, 32},                 // Byzantine receiver: may burn its slots
+			4: {41},
+			5: {51},
+			6: {61, 62, 63},
+		},
+	}
+}
+
+func TestCommitsIdenticalLogsSim(t *testing.T) {
+	s := sevenNodeSetup(t, 4)
+	replicas := s.build(t)
+	stats, err := RunSim(replicas, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sim.MuxTicks([]int{3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3, 3}, 4)
+	if stats.Rounds != want || stats.Rounds != replicas[0].TotalTicks() {
+		t.Fatalf("ran %d ticks, want %d", stats.Rounds, want)
+	}
+	ref := checkIdenticalLogs(t, s, replicas)
+
+	// Correct-but-silent replica 3: both its slots commit pure no-ops.
+	for _, slot := range []int{3, 10} {
+		if len(ref[slot].Commands) != 0 {
+			t.Fatalf("silent source slot %d committed %v", slot, ref[slot].Commands)
+		}
+	}
+	// Pipelining: 14 slots of 3 rounds in a window of 4 beat the
+	// sequential 42 ticks.
+	if seq := 14 * 3; stats.Rounds >= seq {
+		t.Fatalf("pipeline used %d ticks, sequential needs %d", stats.Rounds, seq)
+	}
+}
+
+func TestCommitsIdenticalLogsTCP(t *testing.T) {
+	s := logSetup{
+		cfg: Config{
+			N: 4, Slots: 8, Window: 2, BatchSize: 2,
+			Protocol: exponentialFactory(t, 4, 1),
+		},
+		byz:      map[int]bool{3: true}, // sources slots 3 and 7
+		strategy: "splitbrain",
+		submit: map[int][]Value{
+			0: {101, 102, 103, 104},
+			1: {111},
+			3: {131, 132},
+		},
+	}
+
+	tcpReplicas := s.build(t)
+	tcpStats, err := RunTCP(tcpReplicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpRef := checkIdenticalLogs(t, s, tcpReplicas)
+
+	// The TCP pipeline must commit exactly the log the in-process engine
+	// commits for the same configuration (transport is behavior-
+	// preserving, adversaries included).
+	simReplicas := s.build(t)
+	simStats, err := RunSim(simReplicas, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRef := checkIdenticalLogs(t, s, simReplicas)
+	if !reflect.DeepEqual(tcpRef, simRef) {
+		t.Fatalf("TCP log diverges from sim log:\n%v\nvs\n%v", tcpRef, simRef)
+	}
+	if tcpStats.Rounds != simStats.Rounds {
+		t.Fatalf("TCP ran %d ticks, sim %d", tcpStats.Rounds, simStats.Rounds)
+	}
+}
+
+// TestPipeliningPreservesLog: the same workload commits the same log at
+// window 1 (sequential single-shot) and window 4, in fewer ticks.
+func TestPipeliningPreservesLog(t *testing.T) {
+	seqSetup := sevenNodeSetup(t, 1)
+	seqReplicas := seqSetup.build(t)
+	seqStats, err := RunSim(seqReplicas, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqRef := checkIdenticalLogs(t, seqSetup, seqReplicas)
+
+	pipeSetup := sevenNodeSetup(t, 4)
+	pipeReplicas := pipeSetup.build(t)
+	pipeStats, err := RunSim(pipeReplicas, true) // parallel engine, same result
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeRef := checkIdenticalLogs(t, pipeSetup, pipeReplicas)
+
+	if !reflect.DeepEqual(seqRef, pipeRef) {
+		t.Fatal("window changes the committed log")
+	}
+	if pipeStats.Rounds >= seqStats.Rounds {
+		t.Fatalf("window 4 used %d ticks, window 1 used %d", pipeStats.Rounds, seqStats.Rounds)
+	}
+}
+
+func TestSubmitRejectsNoOp(t *testing.T) {
+	s := sevenNodeSetup(t, 2)
+	r, err := NewReplica(s.cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Submit(NoOp); err == nil {
+		t.Fatal("no-op accepted as a command")
+	}
+	if err := r.Submit(7); err != nil {
+		t.Fatal(err)
+	}
+	if r.Pending() != 1 {
+		t.Fatalf("pending = %d", r.Pending())
+	}
+}
+
+func TestWithByzantineValidation(t *testing.T) {
+	cfg := Config{N: 4, Slots: 2, Window: 1, BatchSize: 1, Protocol: exponentialFactory(t, 4, 1)}
+	if _, err := NewReplica(cfg, 0, WithByzantine("bogus", 1)); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	wrap := func(slot int, proc sim.Processor) sim.Processor { return proc }
+	if _, err := NewReplica(cfg, 0, WithByzantine("splitbrain", 1), WithWrap(wrap)); err == nil {
+		t.Error("WithByzantine combined with WithWrap accepted")
+	}
+	if _, err := NewReplica(cfg, 0, WithByzantine("crash", 1)); err != nil {
+		t.Error(err)
+	}
+}
+
+// brokenProto fails lazy position-replica construction — a mid-run
+// failure, since instances are built when their slot enters the window.
+type brokenProto struct{ Protocol }
+
+func (b brokenProto) NewReplica(id int, initial Value) (InstanceReplica, error) {
+	return nil, fmt.Errorf("boom")
+}
+
+// TestRunTCPSurfacesMidRunFailure: when one node dies mid-pipeline, the
+// mesh must tear down and report the error rather than deadlock peers in
+// the lockstep barrier.
+func TestRunTCPSurfacesMidRunFailure(t *testing.T) {
+	base := exponentialFactory(t, 4, 1)
+	mkCfg := func(failSlot int) Config {
+		return Config{
+			N: 4, Slots: 6, Window: 1, BatchSize: 1,
+			Protocol: func(slot, source int) (Protocol, error) {
+				p, err := base(slot, source)
+				if err != nil {
+					return nil, err
+				}
+				if slot == failSlot {
+					return brokenProto{p}, nil
+				}
+				return p, nil
+			},
+		}
+	}
+	replicas := make([]*Replica, 4)
+	for id := 0; id < 4; id++ {
+		failSlot := -1
+		if id == 0 {
+			failSlot = 3 // replica 0 dies when slot 3 enters its window
+		}
+		r, err := NewReplica(mkCfg(failSlot), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[id] = r
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunTCP(replicas)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("mid-run failure not surfaced")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunTCP deadlocked on a mid-run node failure")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	proto := exponentialFactory(t, 4, 1)
+	good := Config{N: 4, Slots: 2, Window: 1, BatchSize: 1, Protocol: proto}
+	bad := []Config{
+		{N: 1, Slots: 2, Window: 1, BatchSize: 1, Protocol: proto},
+		{N: 4, Slots: 0, Window: 1, BatchSize: 1, Protocol: proto},
+		{N: 4, Slots: 2, Window: 0, BatchSize: 1, Protocol: proto},
+		{N: 4, Slots: 2, Window: 1, BatchSize: 0, Protocol: proto},
+		{N: 4, Slots: 2, Window: 1, BatchSize: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewReplica(cfg, 0); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := NewReplica(good, 9); err == nil {
+		t.Error("out-of-range id accepted")
+	}
+	if _, err := NewReplica(good, 0); err != nil {
+		t.Error(err)
+	}
+}

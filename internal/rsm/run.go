@@ -1,0 +1,63 @@
+package rsm
+
+import (
+	"fmt"
+
+	"shiftgears/internal/sim"
+	"shiftgears/internal/transport"
+)
+
+// muxes validates the replica set and returns their schedules as
+// processors 0..n-1.
+func muxes(replicas []*Replica) ([]sim.Processor, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("rsm: no replicas")
+	}
+	procs := make([]sim.Processor, len(replicas))
+	for i, r := range replicas {
+		if r == nil {
+			return nil, fmt.Errorf("rsm: replica %d is nil", i)
+		}
+		if r.ID() != i {
+			return nil, fmt.Errorf("rsm: replica at index %d reports id %d", i, r.ID())
+		}
+		procs[i] = r.Mux()
+	}
+	return procs, nil
+}
+
+// RunSim drives a full replica set over the in-process synchronous
+// network until every slot has committed. The caller checks each correct
+// replica's Err and Entries afterwards.
+func RunSim(replicas []*Replica, parallel bool) (*sim.Stats, error) {
+	procs, err := muxes(replicas)
+	if err != nil {
+		return nil, err
+	}
+	var opts []sim.Option
+	if parallel {
+		opts = append(opts, sim.Parallel())
+	}
+	nw, err := sim.NewNetwork(procs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return nw.Run(replicas[0].TotalTicks())
+}
+
+// RunTCP drives a full replica set over a loopback TCP mesh — the same
+// lockstep pipeline as RunSim, with every frame crossing a real socket.
+// Multi-host deployments run one cmd/logserver process per replica
+// instead.
+func RunTCP(replicas []*Replica, opts ...transport.Option) (*sim.Stats, error) {
+	procs, err := muxes(replicas)
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := transport.NewCluster(procs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+	return cluster.RunMux()
+}

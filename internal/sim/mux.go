@@ -1,0 +1,352 @@
+// Instance-multiplexed execution: one Network (or one transport mesh)
+// drives many concurrent protocol instances. The Mux schedules instances
+// with a pipelining window — at every global tick the first `window`
+// unfinished instances each advance one local round — and speaks a framed
+// wire format that tags every sub-payload with its instance id and local
+// round:
+//
+//	uvarint(instance) uvarint(round) uvarint(len+1) payload...   // len+1 = 0 encodes "no message"
+//
+// The same section encoding is used inside a combined per-tick payload
+// (sim mode, where the Mux itself is the sim.Processor) and as the frame
+// header over TCP (transport mode, one frame per instance per tick). The
+// schedule is a pure function of the instance round counts and the window,
+// so every correct node runs instances in lockstep without coordination.
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Instance is one multiplexed sub-protocol: a processor-like participant
+// that runs for a fixed number of local rounds. Every sim.Processor is an
+// Instance.
+type Instance interface {
+	// PrepareRound returns the instance's outbox for its local round
+	// (1-based): nil, or one payload per destination as in Processor.
+	PrepareRound(round int) [][]byte
+	// DeliverRound hands the instance its local round's inbox.
+	DeliverRound(round int, inbox [][]byte)
+}
+
+// MuxConfig describes a processor's multiplexed schedule.
+type MuxConfig struct {
+	// ID is this processor's id; N the processor count.
+	ID, N int
+	// Window is the maximum number of concurrently running instances
+	// (1 = strictly sequential execution).
+	Window int
+	// Rounds holds every instance's local round count, indexed by instance
+	// id; its length is the total instance count. All processors must use
+	// identical Rounds and Window or the lockstep schedules diverge.
+	Rounds []int
+	// Start lazily constructs an instance when it enters the window. A
+	// late construction point lets instances capture state (e.g. a command
+	// queue) at their scheduled start rather than at setup time.
+	Start func(instance int) (Instance, error)
+	// Finish, if non-nil, is invoked when an instance completes its last
+	// round (before any later instance starts).
+	Finish func(instance int)
+}
+
+// running is one in-flight instance.
+type running struct {
+	inst  int
+	round int // current local round, 1-based
+	proc  Instance
+	out   [][]byte // outbox for the current tick (nil = silent)
+}
+
+// MuxFrame is one active instance's contribution to a tick.
+type MuxFrame struct {
+	Instance int
+	Round    int // local round, 1-based
+	// Outbox is nil (silent) or has one payload per destination.
+	Outbox [][]byte
+}
+
+// Mux multiplexes instances over a single processor's synchronous stream.
+// It implements Processor (combined-payload mode, for Network) and exposes
+// Outboxes/Deliver for drivers that frame instances individually (the TCP
+// transport).
+type Mux struct {
+	cfg      MuxConfig
+	next     int // next instance id not yet started
+	active   []*running
+	ticks    int
+	prepared bool
+	err      error
+}
+
+var _ Processor = (*Mux)(nil)
+
+// NewMux validates the configuration and builds the multiplexer.
+func NewMux(cfg MuxConfig) (*Mux, error) {
+	if cfg.ID < 0 || cfg.ID >= cfg.N || cfg.N < 2 {
+		return nil, fmt.Errorf("sim: mux id/n out of range: %d/%d", cfg.ID, cfg.N)
+	}
+	if cfg.Window < 1 {
+		return nil, fmt.Errorf("sim: mux window %d must be ≥ 1", cfg.Window)
+	}
+	if len(cfg.Rounds) == 0 {
+		return nil, fmt.Errorf("sim: mux needs at least one instance")
+	}
+	for inst, r := range cfg.Rounds {
+		if r < 1 {
+			return nil, fmt.Errorf("sim: instance %d has round count %d, want ≥ 1", inst, r)
+		}
+	}
+	if cfg.Start == nil {
+		return nil, fmt.Errorf("sim: mux needs a Start factory")
+	}
+	return &Mux{cfg: cfg}, nil
+}
+
+// MuxTicks returns the number of global ticks the greedy window schedule
+// needs: at every tick the first `window` unfinished instances advance one
+// round. With S equal-length instances of R rounds and window W this is
+// R·⌈S/W⌉ versus the sequential S·R.
+func MuxTicks(rounds []int, window int) int {
+	if window < 1 {
+		return 0
+	}
+	var active []int
+	next, ticks := 0, 0
+	for next < len(rounds) || len(active) > 0 {
+		for len(active) < window && next < len(rounds) {
+			active = append(active, rounds[next])
+			next++
+		}
+		ticks++
+		keep := active[:0]
+		for _, left := range active {
+			if left > 1 {
+				keep = append(keep, left-1)
+			}
+		}
+		active = keep
+	}
+	return ticks
+}
+
+// ID implements Processor.
+func (m *Mux) ID() int { return m.cfg.ID }
+
+// Ticks returns the number of completed global ticks.
+func (m *Mux) Ticks() int { return m.ticks }
+
+// TotalTicks returns the tick count the full schedule needs.
+func (m *Mux) TotalTicks() int { return MuxTicks(m.cfg.Rounds, m.cfg.Window) }
+
+// Done reports whether every instance has completed.
+func (m *Mux) Done() bool { return m.next == len(m.cfg.Rounds) && len(m.active) == 0 }
+
+// Err returns the first schedule or instance-construction error.
+func (m *Mux) Err() error { return m.err }
+
+// fill starts instances until the window is full or none remain.
+func (m *Mux) fill() error {
+	for len(m.active) < m.cfg.Window && m.next < len(m.cfg.Rounds) {
+		proc, err := m.cfg.Start(m.next)
+		if err != nil {
+			return fmt.Errorf("sim: start instance %d: %w", m.next, err)
+		}
+		m.active = append(m.active, &running{inst: m.next, round: 1, proc: proc})
+		m.next++
+	}
+	return nil
+}
+
+// Outboxes begins a tick: it fills the window (lazily constructing
+// instances) and prepares every active instance's outbox. Frames are in
+// increasing instance order — the canonical wire order.
+func (m *Mux) Outboxes() ([]MuxFrame, error) {
+	if m.err != nil {
+		return nil, m.err
+	}
+	if m.prepared {
+		return nil, m.fail(fmt.Errorf("sim: Outboxes called twice in tick %d", m.ticks+1))
+	}
+	if err := m.fill(); err != nil {
+		return nil, m.fail(err)
+	}
+	if len(m.active) == 0 {
+		return nil, m.fail(fmt.Errorf("sim: mux is done after %d ticks", m.ticks))
+	}
+	frames := make([]MuxFrame, len(m.active))
+	for k, ru := range m.active {
+		out := ru.proc.PrepareRound(ru.round)
+		if out != nil && len(out) != m.cfg.N {
+			return nil, m.fail(fmt.Errorf("sim: instance %d round %d: outbox has %d entries, want %d", ru.inst, ru.round, len(out), m.cfg.N))
+		}
+		ru.out = out
+		frames[k] = MuxFrame{Instance: ru.inst, Round: ru.round, Outbox: out}
+	}
+	m.prepared = true
+	return frames, nil
+}
+
+// Deliver completes a tick: in[sender][k] is the payload sender addressed
+// to the k-th active instance (in Outboxes order); in[sender] may be nil
+// when the sender was silent everywhere. It routes every instance's inbox,
+// advances local rounds, and retires finished instances.
+func (m *Mux) Deliver(in [][][]byte) error {
+	if m.err != nil {
+		return m.err
+	}
+	if !m.prepared {
+		return m.fail(fmt.Errorf("sim: Deliver without Outboxes in tick %d", m.ticks+1))
+	}
+	if len(in) != m.cfg.N {
+		return m.fail(fmt.Errorf("sim: Deliver got %d senders, want %d", len(in), m.cfg.N))
+	}
+	for i, payloads := range in {
+		if payloads != nil && len(payloads) != len(m.active) {
+			return m.fail(fmt.Errorf("sim: sender %d delivered %d instance payloads, want %d", i, len(payloads), len(m.active)))
+		}
+	}
+	for k, ru := range m.active {
+		inbox := make([][]byte, m.cfg.N)
+		for i, payloads := range in {
+			if payloads != nil {
+				inbox[i] = payloads[k]
+			}
+		}
+		ru.proc.DeliverRound(ru.round, inbox)
+	}
+
+	// Advance: bump local rounds, retire finished instances in order.
+	keep := m.active[:0]
+	for _, ru := range m.active {
+		ru.round++
+		ru.out = nil
+		if ru.round > m.cfg.Rounds[ru.inst] {
+			if m.cfg.Finish != nil {
+				m.cfg.Finish(ru.inst)
+			}
+			continue
+		}
+		keep = append(keep, ru)
+	}
+	m.active = keep
+	m.ticks++
+	m.prepared = false
+	return nil
+}
+
+func (m *Mux) fail(err error) error {
+	if m.err == nil {
+		m.err = err
+	}
+	return err
+}
+
+// PrepareRound implements Processor: one combined payload per destination,
+// holding a section per active instance. The tick argument is the global
+// round number and is not interpreted (the schedule is positional).
+func (m *Mux) PrepareRound(tick int) [][]byte {
+	frames, err := m.Outboxes()
+	if err != nil {
+		return nil
+	}
+	out := make([][]byte, m.cfg.N)
+	anyDest := false
+	for j := 0; j < m.cfg.N; j++ {
+		var buf []byte
+		any := false
+		for _, f := range frames {
+			var p []byte
+			if f.Outbox != nil {
+				p = f.Outbox[j]
+			}
+			if p != nil {
+				any = true
+			}
+			buf = AppendMuxSection(buf, f.Instance, f.Round, p)
+		}
+		if any {
+			out[j] = buf
+			anyDest = true
+		}
+	}
+	if !anyDest {
+		return nil
+	}
+	return out
+}
+
+// DeliverRound implements Processor: it splits every sender's combined
+// payload back into per-instance payloads and completes the tick. A
+// malformed or misaligned payload makes its sender silent for every
+// instance this tick — the multiplexed analogue of the paper's
+// "inappropriate message → default" rule.
+func (m *Mux) DeliverRound(tick int, inbox [][]byte) {
+	if m.err != nil {
+		return
+	}
+	in := make([][][]byte, len(inbox))
+	for i, payload := range inbox {
+		in[i] = m.decodeSections(payload)
+	}
+	_ = m.Deliver(in)
+}
+
+// AppendMuxSection appends one instance section to buf:
+// uvarint(instance) uvarint(round) uvarint(len+1) payload. A nil payload
+// is encoded as len+1 = 0 ("no message"); an empty non-nil payload as
+// len+1 = 1.
+func AppendMuxSection(buf []byte, instance, round int, payload []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(instance))
+	buf = binary.AppendUvarint(buf, uint64(round))
+	if payload == nil {
+		return binary.AppendUvarint(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(payload))+1)
+	return append(buf, payload...)
+}
+
+// decodeSections parses a combined payload against the current active set:
+// it must contain exactly one section per active instance, in order, with
+// matching instance ids and local rounds. nil payloads and any malformed
+// or misaligned encoding yield nil (silence everywhere).
+func (m *Mux) decodeSections(payload []byte) [][]byte {
+	if payload == nil {
+		return nil
+	}
+	out := make([][]byte, len(m.active))
+	rest := payload
+	for k, ru := range m.active {
+		inst, i := binary.Uvarint(rest)
+		if i <= 0 {
+			return nil
+		}
+		rest = rest[i:]
+		round, i := binary.Uvarint(rest)
+		if i <= 0 {
+			return nil
+		}
+		rest = rest[i:]
+		ln, i := binary.Uvarint(rest)
+		if i <= 0 {
+			return nil
+		}
+		rest = rest[i:]
+		if inst != uint64(ru.inst) || round != uint64(ru.round) {
+			return nil
+		}
+		if ln == 0 {
+			continue
+		}
+		size := ln - 1
+		if uint64(len(rest)) < size {
+			return nil
+		}
+		out[k] = rest[:size:size]
+		rest = rest[size:]
+	}
+	if len(rest) != 0 {
+		return nil
+	}
+	return out
+}

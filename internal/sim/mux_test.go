@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// tagInstance broadcasts [instance, round] every local round and records
+// every inbox it receives.
+type tagInstance struct {
+	mu     sync.Mutex
+	inst   int
+	n      int
+	rounds []int    // local rounds delivered, in order
+	seen   [][]byte // flattened inbox per local round
+}
+
+func (ti *tagInstance) PrepareRound(round int) [][]byte {
+	return Broadcast(ti.n, []byte{byte(ti.inst), byte(round)})
+}
+
+func (ti *tagInstance) DeliverRound(round int, inbox [][]byte) {
+	ti.mu.Lock()
+	defer ti.mu.Unlock()
+	ti.rounds = append(ti.rounds, round)
+	var flat []byte
+	for _, p := range inbox {
+		flat = append(flat, p...)
+	}
+	ti.seen = append(ti.seen, flat)
+}
+
+// buildMuxes wires n muxes over the same schedule and returns the per-node
+// instance tables for inspection.
+func buildMuxes(t *testing.T, n, window int, rounds []int) ([]Processor, [][]*tagInstance, [][]int) {
+	t.Helper()
+	procs := make([]Processor, n)
+	insts := make([][]*tagInstance, n)
+	finished := make([][]int, n)
+	for id := 0; id < n; id++ {
+		id := id
+		insts[id] = make([]*tagInstance, len(rounds))
+		m, err := NewMux(MuxConfig{
+			ID: id, N: n, Window: window, Rounds: rounds,
+			Start: func(inst int) (Instance, error) {
+				ti := &tagInstance{inst: inst, n: n}
+				insts[id][inst] = ti
+				return ti, nil
+			},
+			Finish: func(inst int) { finished[id] = append(finished[id], inst) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[id] = m
+	}
+	return procs, insts, finished
+}
+
+func TestMuxTicks(t *testing.T) {
+	cases := []struct {
+		rounds []int
+		window int
+		want   int
+	}{
+		{[]int{3, 3, 3, 3}, 1, 12}, // sequential
+		{[]int{3, 3, 3, 3}, 2, 6},  // two at a time
+		{[]int{3, 3, 3, 3}, 4, 3},  // all at once
+		{[]int{3, 3, 3, 3}, 8, 3},  // window larger than load
+		{[]int{5, 1, 2}, 2, 5},     // staggered: 1 finishes, 2 slides in
+		{[]int{2}, 3, 2},
+	}
+	for _, c := range cases {
+		if got := MuxTicks(c.rounds, c.window); got != c.want {
+			t.Errorf("MuxTicks(%v, %d) = %d, want %d", c.rounds, c.window, got, c.want)
+		}
+	}
+}
+
+func TestMuxPipelinesInstances(t *testing.T) {
+	const n, window = 4, 2
+	rounds := []int{3, 3, 3, 3, 3, 3}
+	procs, insts, finished := buildMuxes(t, n, window, rounds)
+
+	nw, err := NewNetwork(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks := MuxTicks(rounds, window)
+	stats, err := nw.Run(ticks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != ticks {
+		t.Fatalf("ran %d ticks, want %d", stats.Rounds, ticks)
+	}
+
+	for id := 0; id < n; id++ {
+		if mux := procs[id].(*Mux); !mux.Done() || mux.Err() != nil {
+			t.Fatalf("node %d: done=%v err=%v", id, mux.Done(), mux.Err())
+		}
+		if len(finished[id]) != len(rounds) {
+			t.Fatalf("node %d finished %v", id, finished[id])
+		}
+		for k, inst := range finished[id] {
+			if inst != k {
+				t.Fatalf("node %d finish order %v, want identity", id, finished[id])
+			}
+		}
+		for inst, ti := range insts[id] {
+			if len(ti.rounds) != rounds[inst] {
+				t.Fatalf("node %d instance %d ran rounds %v", id, inst, ti.rounds)
+			}
+			for r := 0; r < rounds[inst]; r++ {
+				if ti.rounds[r] != r+1 {
+					t.Fatalf("node %d instance %d local rounds %v", id, inst, ti.rounds)
+				}
+				// Every sender's broadcast for this instance and round must
+				// arrive intact: n copies of [instance, round].
+				want := bytes.Repeat([]byte{byte(inst), byte(r + 1)}, n)
+				if !bytes.Equal(ti.seen[r], want) {
+					t.Fatalf("node %d instance %d round %d inbox %v, want %v", id, inst, r+1, ti.seen[r], want)
+				}
+			}
+		}
+	}
+}
+
+// TestMuxStaggeredWindow checks the greedy schedule with unequal round
+// counts: short instances retire and later ones slide into the window.
+func TestMuxStaggeredWindow(t *testing.T) {
+	const n, window = 3, 2
+	rounds := []int{4, 1, 2, 1}
+	procs, insts, _ := buildMuxes(t, n, window, rounds)
+	nw, err := NewNetwork(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Run(MuxTicks(rounds, window)); err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < n; id++ {
+		for inst, ti := range insts[id] {
+			if len(ti.rounds) != rounds[inst] {
+				t.Fatalf("node %d instance %d delivered %d rounds, want %d", id, inst, len(ti.rounds), rounds[inst])
+			}
+		}
+	}
+}
+
+func TestMuxParallelMatchesSequential(t *testing.T) {
+	rounds := []int{2, 2, 2, 2}
+	run := func(parallel bool) [][]*tagInstance {
+		procs, insts, _ := buildMuxes(t, 3, 2, rounds)
+		var opts []Option
+		if parallel {
+			opts = append(opts, Parallel())
+		}
+		nw, err := NewNetwork(procs, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nw.Run(MuxTicks(rounds, 2)); err != nil {
+			t.Fatal(err)
+		}
+		return insts
+	}
+	seq, par := run(false), run(true)
+	for id := range seq {
+		for inst := range seq[id] {
+			for r := range seq[id][inst].seen {
+				if !bytes.Equal(seq[id][inst].seen[r], par[id][inst].seen[r]) {
+					t.Fatalf("node %d instance %d round %d: engines diverge", id, inst, r+1)
+				}
+			}
+		}
+	}
+}
+
+func TestMuxSectionCodec(t *testing.T) {
+	var buf []byte
+	buf = AppendMuxSection(buf, 7, 2, []byte{1, 2, 3})
+	buf = AppendMuxSection(buf, 8, 1, nil)
+	buf = AppendMuxSection(buf, 9, 4, []byte{})
+
+	m := &Mux{cfg: MuxConfig{N: 2}, active: []*running{
+		{inst: 7, round: 2}, {inst: 8, round: 1}, {inst: 9, round: 4},
+	}}
+	got := m.decodeSections(buf)
+	if got == nil {
+		t.Fatal("well-formed sections rejected")
+	}
+	if !bytes.Equal(got[0], []byte{1, 2, 3}) {
+		t.Fatalf("section 0 = %v", got[0])
+	}
+	if got[1] != nil {
+		t.Fatalf("nil payload not preserved: %v", got[1])
+	}
+	if got[2] == nil || len(got[2]) != 0 {
+		t.Fatalf("empty payload not preserved: %v", got[2])
+	}
+
+	// Instance mismatch, round mismatch, truncation, trailing garbage: all
+	// must read as silence.
+	bad := [][]byte{
+		AppendMuxSection(AppendMuxSection(nil, 6, 2, []byte{1}), 8, 1, nil), // wrong instance
+		AppendMuxSection(AppendMuxSection(nil, 7, 3, []byte{1}), 8, 1, nil), // wrong round
+		buf[:len(buf)-1],                       // truncated
+		append(append([]byte{}, buf...), 0xff), // trailing byte
+		{0xff},                                 // truncated uvarint
+		AppendMuxSection(nil, 7, 2, []byte{1}), // too few sections
+	}
+	for i, p := range bad {
+		if res := m.decodeSections(p); res != nil {
+			t.Errorf("malformed payload %d accepted: %v", i, res)
+		}
+	}
+	if m.decodeSections(nil) != nil {
+		t.Error("nil payload must decode to silence")
+	}
+}
+
+func TestMuxValidation(t *testing.T) {
+	start := func(int) (Instance, error) { return &tagInstance{n: 2}, nil }
+	bad := []MuxConfig{
+		{ID: 0, N: 2, Window: 0, Rounds: []int{1}, Start: start},
+		{ID: 2, N: 2, Window: 1, Rounds: []int{1}, Start: start},
+		{ID: 0, N: 2, Window: 1, Rounds: nil, Start: start},
+		{ID: 0, N: 2, Window: 1, Rounds: []int{0}, Start: start},
+		{ID: 0, N: 2, Window: 1, Rounds: []int{1}},
+	}
+	for i, cfg := range bad {
+		if _, err := NewMux(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestMuxStartFailureSurfaces(t *testing.T) {
+	m, err := NewMux(MuxConfig{
+		ID: 0, N: 2, Window: 1, Rounds: []int{1},
+		Start: func(inst int) (Instance, error) { return nil, fmt.Errorf("boom") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Outboxes(); err == nil {
+		t.Fatal("factory failure not surfaced")
+	}
+	if m.Err() == nil {
+		t.Fatal("Err() empty after factory failure")
+	}
+}

@@ -18,7 +18,7 @@ type Cluster struct {
 
 // NewCluster listens on ephemeral loopback ports for every processor and
 // connects the full mesh.
-func NewCluster(procs []sim.Processor) (*Cluster, error) {
+func NewCluster(procs []sim.Processor, opts ...Option) (*Cluster, error) {
 	n := len(procs)
 	c := &Cluster{nodes: make([]*Node, n)}
 	addrs := make([]string, n)
@@ -27,7 +27,7 @@ func NewCluster(procs []sim.Processor) (*Cluster, error) {
 			c.Close()
 			return nil, fmt.Errorf("transport: processor at index %d reports id %d", i, p.ID())
 		}
-		node, err := Listen(p, n, "127.0.0.1:0")
+		node, err := Listen(p, n, "127.0.0.1:0", opts...)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -55,27 +55,49 @@ func NewCluster(procs []sim.Processor) (*Cluster, error) {
 	return c, nil
 }
 
-// Run drives all nodes through the given number of rounds concurrently and
-// returns node 0's traffic statistics (all nodes see the same totals on a
-// correct mesh up to per-destination payload differences).
-func (c *Cluster) Run(rounds int) (*sim.Stats, error) {
+// runAll drives every node concurrently. The first node to fail tears
+// the mesh down (closing all connections), which unblocks peers stuck in
+// the lockstep barrier waiting for the failed node's frames; that first
+// error is the one reported.
+func (c *Cluster) runAll(run func(*Node) (*sim.Stats, error)) (*sim.Stats, error) {
 	var wg sync.WaitGroup
 	stats := make([]*sim.Stats, len(c.nodes))
-	errs := make([]error, len(c.nodes))
+	var once sync.Once
+	var firstErr error
+	var firstNode int
 	for i, node := range c.nodes {
 		wg.Add(1)
 		go func(i int, node *Node) {
 			defer wg.Done()
-			stats[i], errs[i] = node.Run(rounds)
+			var err error
+			stats[i], err = run(node)
+			if err != nil {
+				once.Do(func() {
+					firstNode, firstErr = i, err
+					c.Close()
+				})
+			}
 		}(i, node)
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("transport: node %d: %w", i, err)
-		}
+	if firstErr != nil {
+		return nil, fmt.Errorf("transport: node %d: %w", firstNode, firstErr)
 	}
 	return stats[0], nil
+}
+
+// Run drives all nodes through the given number of rounds concurrently and
+// returns node 0's traffic statistics: the frames node 0 received (all
+// nodes see the same totals on a correct mesh up to per-destination
+// payload differences).
+func (c *Cluster) Run(rounds int) (*sim.Stats, error) {
+	return c.runAll(func(node *Node) (*sim.Stats, error) { return node.Run(rounds) })
+}
+
+// RunMux drives every node's multiplexed schedule concurrently (all
+// processors must be *sim.Mux) and returns node 0's traffic statistics.
+func (c *Cluster) RunMux() (*sim.Stats, error) {
+	return c.runAll(func(node *Node) (*sim.Stats, error) { return node.RunMux() })
 }
 
 // Close shuts every node down.

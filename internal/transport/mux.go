@@ -1,0 +1,100 @@
+package transport
+
+import (
+	"fmt"
+
+	"shiftgears/internal/sim"
+)
+
+// RunMux drives the node's processor — which must be a *sim.Mux — through
+// its full multiplexed schedule: at every global tick the node exchanges
+// one frame per active instance with every peer, each frame carrying the
+// instance id and local round in its header, so one TCP mesh pipelines
+// many concurrent agreement instances. All nodes of the mesh must run
+// identical schedules (same Rounds and Window); a peer frame whose
+// instance or round disagrees with the local schedule is a protocol error.
+func (nd *Node) RunMux() (*sim.Stats, error) {
+	m, ok := nd.proc.(*sim.Mux)
+	if !ok {
+		return nil, fmt.Errorf("transport: RunMux needs a *sim.Mux processor, have %T", nd.proc)
+	}
+	nd.stats = sim.Stats{}
+	in := make([][][]byte, nd.n)
+
+	for !m.Done() {
+		frames, err := m.Outboxes()
+		if err != nil {
+			return nil, err
+		}
+		tick := m.Ticks() + 1
+
+		// Send half: one frame per active instance per peer, one flush per
+		// peer per tick; self-delivery is direct.
+		for id, p := range nd.peers {
+			if id == nd.id {
+				self := make([][]byte, len(frames))
+				for k, f := range frames {
+					if f.Outbox != nil {
+						self[k] = f.Outbox[id]
+					}
+				}
+				in[id] = self
+				continue
+			}
+			for _, f := range frames {
+				var payload []byte
+				if f.Outbox != nil {
+					payload = f.Outbox[id]
+				}
+				if err := writeFrame(p.w, f.Instance, f.Round, payload); err != nil {
+					return nil, fmt.Errorf("transport: tick %d: send instance %d to %d: %w", tick, f.Instance, id, err)
+				}
+			}
+			if err := p.w.Flush(); err != nil {
+				return nil, fmt.Errorf("transport: tick %d: send to %d: %w", tick, id, err)
+			}
+		}
+
+		// Barrier: collect every peer's frames for exactly the active set,
+		// in instance order (TCP is FIFO, peers send in the same order).
+		rs := sim.RoundStats{Round: tick}
+		for id, p := range nd.peers {
+			if id == nd.id {
+				for _, payload := range in[id] {
+					countPayload(&rs, payload)
+				}
+				continue
+			}
+			got := make([][]byte, len(frames))
+			for k, f := range frames {
+				instance, round, payload, err := readFrame(p.r)
+				if err != nil {
+					return nil, fmt.Errorf("transport: tick %d: recv from %d: %w", tick, id, err)
+				}
+				if instance != f.Instance || round != f.Round {
+					return nil, fmt.Errorf("transport: peer %d sent frame (instance %d, round %d), want (instance %d, round %d)", id, instance, round, f.Instance, f.Round)
+				}
+				got[k] = payload
+				countPayload(&rs, payload)
+			}
+			in[id] = got
+		}
+
+		if err := m.Deliver(in); err != nil {
+			return nil, err
+		}
+		nd.stats.Rounds = tick
+		nd.stats.Messages += rs.Messages
+		nd.stats.Bytes += rs.Bytes
+		if rs.MaxPayload > nd.stats.MaxPayload {
+			nd.stats.MaxPayload = rs.MaxPayload
+		}
+		nd.stats.PerRound = append(nd.stats.PerRound, rs)
+	}
+	if err := m.Err(); err != nil {
+		return nil, err
+	}
+	out := nd.stats
+	out.PerRound = append([]sim.RoundStats(nil), nd.stats.PerRound...)
+	return &out, nil
+}

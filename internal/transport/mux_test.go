@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"shiftgears/internal/sim"
+)
+
+// muxTag broadcasts [instance, round] per local round and records inboxes
+// (the transport twin of the sim package's mux test instance).
+type muxTag struct {
+	mu   sync.Mutex
+	inst int
+	n    int
+	seen [][]byte
+}
+
+func (ti *muxTag) PrepareRound(round int) [][]byte {
+	return sim.Broadcast(ti.n, []byte{byte(ti.inst), byte(round)})
+}
+
+func (ti *muxTag) DeliverRound(round int, inbox [][]byte) {
+	ti.mu.Lock()
+	defer ti.mu.Unlock()
+	var flat []byte
+	for _, p := range inbox {
+		flat = append(flat, p...)
+	}
+	ti.seen = append(ti.seen, flat)
+}
+
+func buildTagMuxes(t *testing.T, n, window int, rounds []int) ([]sim.Processor, [][]*muxTag) {
+	t.Helper()
+	procs := make([]sim.Processor, n)
+	insts := make([][]*muxTag, n)
+	for id := 0; id < n; id++ {
+		id := id
+		insts[id] = make([]*muxTag, len(rounds))
+		m, err := sim.NewMux(sim.MuxConfig{
+			ID: id, N: n, Window: window, Rounds: rounds,
+			Start: func(inst int) (sim.Instance, error) {
+				ti := &muxTag{inst: inst, n: n}
+				insts[id][inst] = ti
+				return ti, nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[id] = m
+	}
+	return procs, insts
+}
+
+// TestMuxOverTCPMatchesSim pipelines the same multiplexed schedule over a
+// loopback mesh and over the in-process network; every instance must see
+// byte-identical inboxes in both modes.
+func TestMuxOverTCPMatchesSim(t *testing.T) {
+	const n, window = 4, 2
+	rounds := []int{2, 3, 2, 3, 2}
+
+	simProcs, simInsts := buildTagMuxes(t, n, window, rounds)
+	nw, err := sim.NewNetwork(simProcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks := sim.MuxTicks(rounds, window)
+	if _, err := nw.Run(ticks); err != nil {
+		t.Fatal(err)
+	}
+
+	tcpProcs, tcpInsts := buildTagMuxes(t, n, window, rounds)
+	cluster, err := NewCluster(tcpProcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	stats, err := cluster.RunMux()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != ticks {
+		t.Fatalf("TCP mux ran %d ticks, want %d", stats.Rounds, ticks)
+	}
+
+	for id := 0; id < n; id++ {
+		for inst := range rounds {
+			a, b := simInsts[id][inst], tcpInsts[id][inst]
+			if len(a.seen) != len(b.seen) {
+				t.Fatalf("node %d instance %d: %d sim rounds vs %d TCP rounds", id, inst, len(a.seen), len(b.seen))
+			}
+			for r := range a.seen {
+				if !bytes.Equal(a.seen[r], b.seen[r]) {
+					t.Fatalf("node %d instance %d round %d: sim %v vs TCP %v", id, inst, r+1, a.seen[r], b.seen[r])
+				}
+			}
+		}
+	}
+}
+
+// TestRunMuxRequiresMuxProcessor: a plain processor cannot drive the
+// multiplexed schedule.
+func TestRunMuxRequiresMuxProcessor(t *testing.T) {
+	procs := []sim.Processor{&echoNode{id: 0, n: 2}, &echoNode{id: 1, n: 2}}
+	cluster, err := NewCluster(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if _, err := cluster.nodes[0].RunMux(); err == nil {
+		t.Fatal("RunMux accepted a non-mux processor")
+	}
+}

@@ -12,10 +12,13 @@
 //
 // Frames are length-prefixed on persistent connections:
 //
-//	uvarint(round) uvarint(len+1) payload...   // len+1 = 0 encodes "no message"
+//	uvarint(instance) uvarint(round) uvarint(len+1) payload...   // len+1 = 0 encodes "no message"
 //
-// Each ordered pair of nodes uses one direction of a dedicated connection,
-// so per-destination (two-faced) payloads work naturally.
+// The instance field lets one mesh carry a whole pipeline of concurrent
+// agreement instances (see Node.RunMux and sim.Mux); single-instance runs
+// use instance 0. Each ordered pair of nodes uses one direction of a
+// dedicated connection, so per-destination (two-faced) payloads work
+// naturally.
 package transport
 
 import (
@@ -29,9 +32,9 @@ import (
 	"shiftgears/internal/sim"
 )
 
-// dialRetry caps how long a node keeps retrying a peer's listener at
-// startup (peers may come up in any order).
-const dialRetry = 10 * time.Second
+// defaultDialRetry caps how long a node keeps retrying a peer's listener
+// at startup (peers may come up in any order); WithDialRetry overrides it.
+const defaultDialRetry = 10 * time.Second
 
 // maxFrame bounds a frame payload (16 MiB), protecting against corrupt
 // length prefixes.
@@ -39,12 +42,23 @@ const maxFrame = 16 << 20
 
 // Node runs one sim.Processor over the mesh.
 type Node struct {
-	proc  sim.Processor
-	id    int
-	n     int
-	ln    net.Listener
-	peers []*peer // indexed by peer id; nil at self
-	stats sim.Stats
+	proc      sim.Processor
+	id        int
+	n         int
+	ln        net.Listener
+	peers     []*peer // indexed by peer id; nil at self
+	stats     sim.Stats
+	dialRetry time.Duration
+}
+
+// Option configures a Node.
+type Option func(*Node)
+
+// WithDialRetry sets how long Connect keeps retrying an unreachable peer
+// listener before giving up (default 10s). Tests and fast-failing
+// deployments use a short window instead of inheriting the fixed default.
+func WithDialRetry(d time.Duration) Option {
+	return func(nd *Node) { nd.dialRetry = d }
 }
 
 // peer is one bidirectional link.
@@ -56,7 +70,7 @@ type peer struct {
 
 // Listen opens the node's listener on addr (e.g. "127.0.0.1:9001"). The
 // returned node must then Connect before Run.
-func Listen(proc sim.Processor, n int, addr string) (*Node, error) {
+func Listen(proc sim.Processor, n int, addr string, opts ...Option) (*Node, error) {
 	if proc.ID() < 0 || proc.ID() >= n || n < 2 || n > 255 {
 		return nil, fmt.Errorf("transport: bad id/n: %d/%d", proc.ID(), n)
 	}
@@ -64,7 +78,11 @@ func Listen(proc sim.Processor, n int, addr string) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	return &Node{proc: proc, id: proc.ID(), n: n, ln: ln, peers: make([]*peer, n)}, nil
+	nd := &Node{proc: proc, id: proc.ID(), n: n, ln: ln, peers: make([]*peer, n), dialRetry: defaultDialRetry}
+	for _, opt := range opts {
+		opt(nd)
+	}
+	return nd, nil
 }
 
 // Addr returns the listener's address (useful with ":0" ephemeral ports).
@@ -106,7 +124,7 @@ func (nd *Node) Connect(addrs []string) error {
 
 	// Dial side: we dial peers with smaller ids, announcing our id.
 	for id := 0; id < nd.id; id++ {
-		conn, err := dialWithRetry(addrs[id])
+		conn, err := dialWithRetry(addrs[id], nd.dialRetry)
 		if err != nil {
 			return fmt.Errorf("transport: dial peer %d: %w", id, err)
 		}
@@ -125,10 +143,19 @@ func newPeer(conn net.Conn) *peer {
 	return &peer{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
 }
 
-func dialWithRetry(addr string) (net.Conn, error) {
-	deadline := time.Now().Add(dialRetry)
+func dialWithRetry(addr string, retry time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(retry)
+	timeout := time.Second
+	if timeout > retry {
+		timeout = retry
+	}
+	// A non-positive per-attempt timeout would mean "no timeout" to
+	// net.DialTimeout; clamp so tiny retry windows still fail fast.
+	if timeout < 50*time.Millisecond {
+		timeout = 50 * time.Millisecond
+	}
 	for {
-		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		conn, err := net.DialTimeout("tcp", addr, timeout)
 		if err == nil {
 			return conn, nil
 		}
@@ -164,7 +191,10 @@ func (nd *Node) Run(rounds int) (*sim.Stats, error) {
 				inbox[id] = payload
 				continue
 			}
-			if err := writeFrame(p.w, r, payload); err != nil {
+			if err := writeFrame(p.w, 0, r, payload); err != nil {
+				return nil, fmt.Errorf("transport: round %d: send to %d: %w", r, id, err)
+			}
+			if err := p.w.Flush(); err != nil {
 				return nil, fmt.Errorf("transport: round %d: send to %d: %w", r, id, err)
 			}
 		}
@@ -184,9 +214,12 @@ func (nd *Node) Run(rounds int) (*sim.Stats, error) {
 				countPayload(&rs, payload)
 				continue
 			}
-			round, payload, err := readFrame(p.r)
+			instance, round, payload, err := readFrame(p.r)
 			if err != nil {
 				return nil, fmt.Errorf("transport: round %d: recv from %d: %w", r, id, err)
+			}
+			if instance != 0 {
+				return nil, fmt.Errorf("transport: peer %d sent frame for instance %d in single-instance mode", id, instance)
 			}
 			if round != r {
 				return nil, fmt.Errorf("transport: peer %d sent frame for round %d during round %d", id, round, r)
@@ -233,10 +266,15 @@ func (nd *Node) Close() error {
 	return err
 }
 
-// writeFrame emits one round frame; len+1 = 0 encodes a nil payload.
-func writeFrame(w *bufio.Writer, round int, payload []byte) error {
+// writeFrame emits one frame (without flushing the writer); len+1 = 0
+// encodes a nil payload. Single-instance runs use instance 0.
+func writeFrame(w *bufio.Writer, instance, round int, payload []byte) error {
 	var tmp [binary.MaxVarintLen64]byte
-	k := binary.PutUvarint(tmp[:], uint64(round))
+	k := binary.PutUvarint(tmp[:], uint64(instance))
+	if _, err := w.Write(tmp[:k]); err != nil {
+		return err
+	}
+	k = binary.PutUvarint(tmp[:], uint64(round))
 	if _, err := w.Write(tmp[:k]); err != nil {
 		return err
 	}
@@ -253,29 +291,33 @@ func writeFrame(w *bufio.Writer, round int, payload []byte) error {
 			return err
 		}
 	}
-	return w.Flush()
+	return nil
 }
 
-// readFrame reads one round frame.
-func readFrame(r *bufio.Reader) (round int, payload []byte, err error) {
+// readFrame reads one frame.
+func readFrame(r *bufio.Reader) (instance, round int, payload []byte, err error) {
+	iu, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, 0, nil, err
+	}
 	ru, err := binary.ReadUvarint(r)
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	ln, err := binary.ReadUvarint(r)
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	if ln == 0 {
-		return int(ru), nil, nil
+		return int(iu), int(ru), nil, nil
 	}
 	size := ln - 1
 	if size > maxFrame {
-		return 0, nil, fmt.Errorf("frame of %d bytes exceeds limit", size)
+		return 0, 0, nil, fmt.Errorf("frame of %d bytes exceeds limit", size)
 	}
 	payload = make([]byte, size)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
-	return int(ru), payload, nil
+	return int(iu), int(ru), payload, nil
 }

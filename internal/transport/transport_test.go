@@ -3,7 +3,10 @@ package transport
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
+	"net"
 	"testing"
+	"time"
 
 	"shiftgears/internal/adversary"
 	"shiftgears/internal/core"
@@ -15,43 +18,60 @@ import (
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	w := bufio.NewWriter(&buf)
-	if err := writeFrame(w, 7, []byte{1, 2, 3}); err != nil {
+	if err := writeFrame(w, 0, 7, []byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeFrame(w, 8, nil); err != nil {
+	if err := writeFrame(w, 3, 8, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeFrame(w, 9, []byte{}); err != nil {
+	if err := writeFrame(w, 300, 9, []byte{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
 		t.Fatal(err)
 	}
 	r := bufio.NewReader(&buf)
-	round, payload, err := readFrame(r)
-	if err != nil || round != 7 || !bytes.Equal(payload, []byte{1, 2, 3}) {
-		t.Fatalf("frame 1: %d %v %v", round, payload, err)
+	instance, round, payload, err := readFrame(r)
+	if err != nil || instance != 0 || round != 7 || !bytes.Equal(payload, []byte{1, 2, 3}) {
+		t.Fatalf("frame 1: %d %d %v %v", instance, round, payload, err)
 	}
-	round, payload, err = readFrame(r)
-	if err != nil || round != 8 || payload != nil {
-		t.Fatalf("frame 2: %d %v %v (nil payload must survive)", round, payload, err)
+	instance, round, payload, err = readFrame(r)
+	if err != nil || instance != 3 || round != 8 || payload != nil {
+		t.Fatalf("frame 2: %d %d %v %v (nil payload must survive)", instance, round, payload, err)
 	}
-	round, payload, err = readFrame(r)
-	if err != nil || round != 9 || payload == nil || len(payload) != 0 {
-		t.Fatalf("frame 3: %d %v %v (empty non-nil payload must survive)", round, payload, err)
+	instance, round, payload, err = readFrame(r)
+	if err != nil || instance != 300 || round != 9 || payload == nil || len(payload) != 0 {
+		t.Fatalf("frame 3: %d %d %v %v (empty non-nil payload must survive)", instance, round, payload, err)
 	}
 }
 
 func TestFrameRejectsOversize(t *testing.T) {
+	// Hand-craft a frame header claiming a payload beyond maxFrame: the
+	// reader must reject it before allocating, protecting against corrupt
+	// length prefixes.
+	raw := binary.AppendUvarint(nil, 0)                 // instance
+	raw = binary.AppendUvarint(raw, 1)                  // round
+	raw = binary.AppendUvarint(raw, uint64(maxFrame)+2) // len+1 → maxFrame+1 bytes
+	_, _, _, err := readFrame(bufio.NewReader(bytes.NewReader(raw)))
+	if err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+}
+
+func TestFrameRejectsTruncation(t *testing.T) {
 	var buf bytes.Buffer
 	w := bufio.NewWriter(&buf)
-	// Hand-craft a frame claiming a huge payload.
-	if err := writeFrame(w, 1, []byte{1}); err != nil {
+	if err := writeFrame(w, 1, 2, []byte{9, 9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
 		t.Fatal(err)
 	}
 	raw := buf.Bytes()
-	raw[1] = 0xff // corrupt the length varint into a large value
-	raw = append(raw[:2], 0xff, 0xff, 0xff, 0x7f)
-	_, _, err := readFrame(bufio.NewReader(bytes.NewReader(raw)))
-	if err == nil {
-		t.Fatal("oversize frame accepted")
+	for cut := 1; cut < len(raw); cut++ {
+		if _, _, _, err := readFrame(bufio.NewReader(bytes.NewReader(raw[:cut]))); err == nil {
+			t.Fatalf("frame truncated to %d bytes accepted", cut)
+		}
 	}
 }
 
@@ -236,6 +256,107 @@ func TestTCPMatchesInProcess(t *testing.T) {
 		if oka != okb || va != vb {
 			t.Fatalf("replica %d: in-process (%d,%v) vs TCP (%d,%v)", id, va, oka, vb, okb)
 		}
+	}
+}
+
+// rawPeerRun wires a 2-node mesh where peer 1 is a hand-driven socket, so
+// tests can inject arbitrary frames into node 0's single-instance Run.
+func rawPeerRun(t *testing.T, frame []byte) error {
+	t.Helper()
+	node, err := Listen(&echoNode{id: 0, n: 2}, 2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = node.Close() }()
+
+	conns := make(chan net.Conn, 1)
+	done := make(chan error, 1)
+	go func() {
+		conn, err := net.Dial("tcp", node.Addr())
+		if err != nil {
+			done <- err
+			return
+		}
+		conns <- conn                                    // closed by the test after Run returns
+		if _, err := conn.Write([]byte{1}); err != nil { // handshake: we are id 1
+			done <- err
+			return
+		}
+		_, err = conn.Write(frame)
+		done <- err
+	}()
+	defer func() {
+		select {
+		case conn := <-conns:
+			_ = conn.Close()
+		default:
+		}
+	}()
+
+	if err := node.Connect([]string{node.Addr(), "unused"}); err != nil {
+		t.Fatal(err)
+	}
+	_, runErr := node.Run(1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	return runErr
+}
+
+// TestRunRejectsInstanceMismatch: a frame tagged with a non-zero instance
+// id must fail a single-instance run (round/instance mismatch handling).
+func TestRunRejectsInstanceMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := writeFrame(w, 5, 1, []byte{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rawPeerRun(t, buf.Bytes()); err == nil {
+		t.Fatal("instance mismatch accepted")
+	}
+}
+
+// TestRunRejectsRoundMismatch: a frame for the wrong round must fail the
+// lockstep barrier.
+func TestRunRejectsRoundMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := writeFrame(w, 0, 9, []byte{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rawPeerRun(t, buf.Bytes()); err == nil {
+		t.Fatal("round mismatch accepted")
+	}
+}
+
+// TestDialRetryOption: a short retry window fails fast instead of
+// inheriting the 10s default startup window.
+func TestDialRetryOption(t *testing.T) {
+	// Reserve a port and close it so nothing is listening there.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	_ = ln.Close()
+
+	node, err := Listen(&echoNode{id: 1, n: 2}, 2, "127.0.0.1:0", WithDialRetry(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = node.Close() }()
+	start := time.Now()
+	if err := node.Connect([]string{dead, node.Addr()}); err == nil {
+		t.Fatal("connect to dead peer succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("connect took %v despite a 50ms retry window", elapsed)
 	}
 }
 

@@ -1,0 +1,329 @@
+package shiftgears
+
+import (
+	"fmt"
+
+	"shiftgears/internal/baseline"
+	"shiftgears/internal/core"
+	"shiftgears/internal/eigtree"
+	"shiftgears/internal/extensions"
+	"shiftgears/internal/rsm"
+	"shiftgears/internal/sim"
+)
+
+// LogEntry is one committed slot of a replicated log.
+type LogEntry = rsm.Entry
+
+// LogConfig describes a replicated log: a pipeline of agreement slots,
+// each slot batching client commands under a rotating source, executed by
+// any of the package's algorithms.
+type LogConfig struct {
+	// Algorithm runs every slot; SlotAlgorithm, when non-nil, overrides it
+	// per slot (the pipeline handles mixed round counts).
+	Algorithm     Algorithm
+	SlotAlgorithm func(slot int) Algorithm
+	// N, T, B as in Config; every slot shares them.
+	N, T, B int
+	// Slots is the log length; Window the pipelining depth (default 1);
+	// BatchSize the commands per slot (default 1).
+	Slots, Window, BatchSize int
+	// Faulty lists Byzantine replicas; Strategy and Seed drive them as in
+	// Config. Faulty replicas are Byzantine in every slot, including the
+	// slots they source.
+	Faulty   []int
+	Strategy string
+	Seed     int64
+	// Parallel selects the goroutine-per-processor sim engine; TCP runs
+	// the whole pipeline over a loopback TCP mesh instead.
+	Parallel bool
+	TCP      bool
+}
+
+// LogResult reports a completed replicated-log run.
+type LogResult struct {
+	// Entries is the committed log of a correct replica (all correct
+	// replicas hold the same one when Agreement is true).
+	Entries []LogEntry
+	// Agreement: every correct replica committed an identical log.
+	Agreement bool
+	// Committed counts the commands in the agreed log.
+	Committed int
+	// Ticks is the number of global synchronous rounds the pipeline used;
+	// SequentialTicks is what window 1 would have used (the sum of every
+	// slot's round count) — the pipelining denominator.
+	Ticks, SequentialTicks int
+
+	// Traffic counters. In sim mode they aggregate every delivery
+	// cluster-wide (one combined multi-slot payload per sender per tick);
+	// in TCP mode they count only the per-slot frames replica 0 received,
+	// so the two modes' numbers are not directly comparable.
+	MaxMessageBytes, TotalBytes, Messages int
+}
+
+// ReplicatedLog is multi-shot agreement as a service: Submit commands to
+// any replica, Run the pipeline, read the identical committed logs.
+type ReplicatedLog struct {
+	cfg      LogConfig
+	faulty   map[int]bool
+	replicas []*rsm.Replica
+	ran      bool
+}
+
+// LogOption configures a ReplicatedLog.
+type LogOption func(*logOptions)
+
+type logOptions struct {
+	apply func(replica int, e LogEntry)
+}
+
+// WithLogApply installs a state-machine callback invoked once per replica
+// per committed entry, in slot order (Byzantine replicas included — their
+// shadow state is equally deterministic; filter by replica id if
+// unwanted).
+func WithLogApply(f func(replica int, e LogEntry)) LogOption {
+	return func(o *logOptions) { o.apply = f }
+}
+
+// SlotProtocol builds the rsm agreement machinery for one slot: the given
+// algorithm with the given parameters and source. It is the bridge
+// between this package's algorithm catalog and internal/rsm, exported for
+// cmd/logserver-style deployments that wire rsm.Config directly.
+func SlotProtocol(alg Algorithm, n, t, b, source int) (rsm.Protocol, error) {
+	info, err := buildPlanInfo(Config{Algorithm: alg, N: n, T: t, B: b, Source: source})
+	if err != nil {
+		return nil, err
+	}
+	switch alg {
+	case PSL:
+		enum, err := baseline.NewPSLEnum(n, source, t)
+		if err != nil {
+			return nil, err
+		}
+		return pslSlotProtocol{enum: enum, t: t, rounds: info.rounds}, nil
+	case PhaseQueen:
+		return queenSlotProtocol{n: n, t: t, source: source, rounds: info.rounds}, nil
+	case Multivalued:
+		return reducerSlotProtocol{n: n, t: t, source: source, rounds: info.rounds}, nil
+	default:
+		env, err := core.NewEnv(info.plan)
+		if err != nil {
+			return nil, err
+		}
+		return coreSlotProtocol{env: env, rounds: info.rounds}, nil
+	}
+}
+
+type coreSlotProtocol struct {
+	env    *core.Env
+	rounds int
+}
+
+func (p coreSlotProtocol) Rounds() int { return p.rounds }
+func (p coreSlotProtocol) NewReplica(id int, initial Value) (rsm.InstanceReplica, error) {
+	return core.NewReplica(p.env, id, initial, nil)
+}
+
+type pslSlotProtocol struct {
+	enum      *eigtree.Enum
+	t, rounds int
+}
+
+func (p pslSlotProtocol) Rounds() int { return p.rounds }
+func (p pslSlotProtocol) NewReplica(id int, initial Value) (rsm.InstanceReplica, error) {
+	return baseline.NewPSLReplica(p.enum, id, p.t, initial, nil)
+}
+
+type queenSlotProtocol struct {
+	n, t, source, rounds int
+}
+
+func (p queenSlotProtocol) Rounds() int { return p.rounds }
+func (p queenSlotProtocol) NewReplica(id int, initial Value) (rsm.InstanceReplica, error) {
+	return extensions.NewQueenReplica(p.n, p.t, p.source, id, initial, nil)
+}
+
+type reducerSlotProtocol struct {
+	n, t, source, rounds int
+}
+
+func (p reducerSlotProtocol) Rounds() int { return p.rounds }
+func (p reducerSlotProtocol) NewReplica(id int, initial Value) (rsm.InstanceReplica, error) {
+	return extensions.NewReducerReplica(p.n, p.t, p.source, id, initial, nil)
+}
+
+// NewReplicatedLog validates the configuration and builds every replica's
+// engine. Submit commands, then Run.
+func NewReplicatedLog(cfg LogConfig, opts ...LogOption) (*ReplicatedLog, error) {
+	if cfg.Window == 0 {
+		cfg.Window = 1
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 1
+	}
+	if cfg.Slots < 1 {
+		return nil, fmt.Errorf("shiftgears: log needs at least 1 slot, have %d", cfg.Slots)
+	}
+	if cfg.SlotAlgorithm == nil && cfg.Algorithm == 0 {
+		return nil, fmt.Errorf("shiftgears: log needs an Algorithm")
+	}
+	faulty := make(map[int]bool, len(cfg.Faulty))
+	for _, f := range cfg.Faulty {
+		if f < 0 || f >= cfg.N {
+			return nil, fmt.Errorf("shiftgears: faulty id %d out of range [0, %d)", f, cfg.N)
+		}
+		faulty[f] = true
+	}
+	stratName := cfg.Strategy
+	if stratName == "" {
+		stratName = "splitbrain"
+	}
+
+	var o logOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+
+	algFor := func(slot int) Algorithm {
+		if cfg.SlotAlgorithm != nil {
+			return cfg.SlotAlgorithm(slot)
+		}
+		return cfg.Algorithm
+	}
+
+	// One protocol per slot, shared by all in-process replicas (the
+	// compiled plans and enumerations are read-only); slots with the same
+	// (algorithm, source) pair share one compilation.
+	protos := make([]rsm.Protocol, cfg.Slots)
+	type protoKey struct {
+		alg    Algorithm
+		source int
+	}
+	cache := make(map[protoKey]rsm.Protocol)
+	for slot := 0; slot < cfg.Slots; slot++ {
+		key := protoKey{algFor(slot), slot % cfg.N}
+		proto, ok := cache[key]
+		if !ok {
+			var err error
+			proto, err = SlotProtocol(key.alg, cfg.N, cfg.T, cfg.B, key.source)
+			if err != nil {
+				return nil, fmt.Errorf("shiftgears: slot %d: %w", slot, err)
+			}
+			cache[key] = proto
+		}
+		protos[slot] = proto
+	}
+	rcfg := rsm.Config{
+		N: cfg.N, Slots: cfg.Slots, Window: cfg.Window, BatchSize: cfg.BatchSize,
+		Protocol: func(slot, source int) (rsm.Protocol, error) { return protos[slot], nil },
+	}
+
+	l := &ReplicatedLog{cfg: cfg, faulty: faulty, replicas: make([]*rsm.Replica, cfg.N)}
+	for id := 0; id < cfg.N; id++ {
+		var ropts []rsm.ReplicaOption
+		if o.apply != nil {
+			id := id
+			ropts = append(ropts, rsm.WithApply(func(e LogEntry) { o.apply(id, e) }))
+		}
+		if faulty[id] {
+			ropts = append(ropts, rsm.WithByzantine(stratName, cfg.Seed))
+		}
+		rep, err := rsm.NewReplica(rcfg, id, ropts...)
+		if err != nil {
+			return nil, err
+		}
+		l.replicas[id] = rep
+	}
+	return l, nil
+}
+
+// Submit queues a command at the given replica — the replica that
+// "received the client request". It rides in the next slot that replica
+// sources with a free batch position.
+func (l *ReplicatedLog) Submit(receiver int, cmd Value) error {
+	if receiver < 0 || receiver >= l.cfg.N {
+		return fmt.Errorf("shiftgears: receiver %d out of range [0, %d)", receiver, l.cfg.N)
+	}
+	return l.replicas[receiver].Submit(cmd)
+}
+
+// Replica exposes one replica's engine (its Committed channel, Snapshot,
+// and Pending count).
+func (l *ReplicatedLog) Replica(id int) *rsm.Replica { return l.replicas[id] }
+
+// Run executes the full pipeline — in-process, or over a loopback TCP
+// mesh with LogConfig.TCP — and reports the committed logs. It can run
+// once.
+func (l *ReplicatedLog) Run() (*LogResult, error) {
+	if l.ran {
+		return nil, fmt.Errorf("shiftgears: log already ran")
+	}
+	l.ran = true
+
+	var stats *sim.Stats
+	var err error
+	if l.cfg.TCP {
+		stats, err = rsm.RunTCP(l.replicas)
+	} else {
+		stats, err = rsm.RunSim(l.replicas, l.cfg.Parallel)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res := &LogResult{
+		Agreement:       true,
+		Ticks:           stats.Rounds,
+		MaxMessageBytes: stats.MaxPayload,
+		TotalBytes:      stats.Bytes,
+		Messages:        stats.Messages,
+	}
+	// SequentialTicks is the window-1 schedule: slots back to back.
+	seq := 0
+	for slot := 0; slot < l.cfg.Slots; slot++ {
+		seq += l.replicas[0].SlotRounds(slot)
+	}
+	res.SequentialTicks = seq
+
+	var ref []LogEntry
+	for id, rep := range l.replicas {
+		if l.faulty[id] {
+			continue
+		}
+		if err := rep.Err(); err != nil {
+			return nil, fmt.Errorf("shiftgears: replica %d: %w", id, err)
+		}
+		entries := rep.Entries()
+		if ref == nil {
+			ref = entries
+			continue
+		}
+		if !equalLogs(ref, entries) {
+			res.Agreement = false
+		}
+	}
+	res.Entries = ref
+	for _, e := range ref {
+		res.Committed += len(e.Commands)
+	}
+	if len(ref) != l.cfg.Slots {
+		res.Agreement = false
+	}
+	return res, nil
+}
+
+func equalLogs(a, b []LogEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Slot != b[i].Slot || a[i].Source != b[i].Source || len(a[i].Batch) != len(b[i].Batch) {
+			return false
+		}
+		for p := range a[i].Batch {
+			if a[i].Batch[p] != b[i].Batch[p] {
+				return false
+			}
+		}
+	}
+	return true
+}

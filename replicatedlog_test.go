@@ -1,0 +1,200 @@
+package shiftgears_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"shiftgears"
+)
+
+// TestReplicatedLogEndToEnd is the bank example as a test: seven replicas,
+// two Byzantine (one of them a slot source), batched and pipelined, with a
+// per-replica state machine fed by the apply callback.
+func TestReplicatedLogEndToEnd(t *testing.T) {
+	var mu sync.Mutex
+	balances := make(map[int][]int) // replica → account balances
+	log, err := shiftgears.NewReplicatedLog(shiftgears.LogConfig{
+		Algorithm: shiftgears.Exponential,
+		N:         7, T: 2,
+		Slots: 14, Window: 4, BatchSize: 3,
+		Faulty:   []int{2, 5},
+		Strategy: "splitbrain",
+		Seed:     7,
+	}, shiftgears.WithLogApply(func(replica int, e shiftgears.LogEntry) {
+		mu.Lock()
+		defer mu.Unlock()
+		if balances[replica] == nil {
+			balances[replica] = make([]int, 16)
+		}
+		for _, cmd := range e.Commands {
+			balances[replica][int(cmd)>>4] += int(cmd) & 0x0f
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deposit := func(account, amount int) shiftgears.Value {
+		return shiftgears.Value(account<<4 | amount)
+	}
+	submissions := map[int][]shiftgears.Value{
+		0: {deposit(1, 5), deposit(1, 3)},
+		1: {deposit(2, 9)},
+		2: {deposit(2, 1)}, // received by a Byzantine replica
+		3: {deposit(3, 7), deposit(1, 2), deposit(3, 4), deposit(2, 2)},
+		6: {deposit(4, 8)},
+	}
+	for receiver, cmds := range submissions {
+		for _, cmd := range cmds {
+			if err := log.Submit(receiver, cmd); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	res, err := log.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement {
+		t.Fatal("correct replicas committed diverging logs")
+	}
+	if len(res.Entries) != 14 {
+		t.Fatalf("committed %d slots, want 14", len(res.Entries))
+	}
+	if res.Ticks >= res.SequentialTicks {
+		t.Fatalf("pipeline used %d ticks, sequential bound is %d", res.Ticks, res.SequentialTicks)
+	}
+
+	// Commands received by correct replicas all commit (enough slots and
+	// batch positions for every queue).
+	correctSubmitted := 0
+	for receiver, cmds := range submissions {
+		if receiver != 2 && receiver != 5 {
+			correctSubmitted += len(cmds)
+		}
+	}
+	if res.Committed < correctSubmitted {
+		t.Fatalf("committed %d commands, want ≥ %d", res.Committed, correctSubmitted)
+	}
+
+	// Every correct replica's state machine ended identical.
+	var ref []int
+	for id := 0; id < 7; id++ {
+		if id == 2 || id == 5 {
+			continue
+		}
+		if ref == nil {
+			ref = balances[id]
+			continue
+		}
+		if !reflect.DeepEqual(ref, balances[id]) {
+			t.Fatalf("replica %d balances %v diverge from %v", id, balances[id], ref)
+		}
+	}
+}
+
+// TestReplicatedLogOverTCP runs the same engine with every frame crossing
+// a loopback socket.
+func TestReplicatedLogOverTCP(t *testing.T) {
+	log, err := shiftgears.NewReplicatedLog(shiftgears.LogConfig{
+		Algorithm: shiftgears.Exponential,
+		N:         4, T: 1,
+		Slots: 4, Window: 2, BatchSize: 2,
+		Faulty: []int{3},
+		TCP:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cmd := range []shiftgears.Value{10, 20, 30} {
+		if err := log.Submit(i%3, cmd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := log.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement || len(res.Entries) != 4 {
+		t.Fatalf("agreement=%v slots=%d", res.Agreement, len(res.Entries))
+	}
+	if res.Committed < 3 {
+		t.Fatalf("committed %d commands, want ≥ 3", res.Committed)
+	}
+}
+
+// TestReplicatedLogMixedAlgorithms shifts gears across the log itself:
+// different slots run different algorithms (with different round counts),
+// and the pipeline staggers them correctly.
+func TestReplicatedLogMixedAlgorithms(t *testing.T) {
+	algs := []shiftgears.Algorithm{
+		shiftgears.Exponential, shiftgears.PSL, shiftgears.PhaseQueen,
+		shiftgears.Multivalued, shiftgears.Exponential, shiftgears.PhaseQueen,
+	}
+	log, err := shiftgears.NewReplicatedLog(shiftgears.LogConfig{
+		SlotAlgorithm: func(slot int) shiftgears.Algorithm { return algs[slot] },
+		Algorithm:     shiftgears.Exponential, // unused when SlotAlgorithm is set
+		N:             5, T: 1,
+		Slots: 6, Window: 2, BatchSize: 2,
+		Faulty: []int{4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for receiver := 0; receiver < 4; receiver++ {
+		if err := log.Submit(receiver, shiftgears.Value(100+receiver)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := log.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement || len(res.Entries) != 6 {
+		t.Fatalf("agreement=%v slots=%d", res.Agreement, len(res.Entries))
+	}
+	// Slots 0..3 are sourced by correct replicas 0..3: each must commit
+	// its receiver's command.
+	for slot := 0; slot < 4; slot++ {
+		e := res.Entries[slot]
+		if len(e.Commands) != 1 || e.Commands[0] != shiftgears.Value(100+slot) {
+			t.Fatalf("slot %d committed %v, want [%d]", slot, e.Commands, 100+slot)
+		}
+	}
+}
+
+func TestReplicatedLogValidation(t *testing.T) {
+	if _, err := shiftgears.NewReplicatedLog(shiftgears.LogConfig{N: 4, T: 1}); err == nil {
+		t.Error("zero slots accepted")
+	}
+	if _, err := shiftgears.NewReplicatedLog(shiftgears.LogConfig{N: 4, T: 1, Slots: 2}); err == nil {
+		t.Error("missing algorithm accepted")
+	}
+	if _, err := shiftgears.NewReplicatedLog(shiftgears.LogConfig{
+		Algorithm: shiftgears.Exponential, N: 4, T: 1, Slots: 2, Faulty: []int{9},
+	}); err == nil {
+		t.Error("out-of-range faulty id accepted")
+	}
+	if _, err := shiftgears.NewReplicatedLog(shiftgears.LogConfig{
+		Algorithm: shiftgears.Exponential, N: 4, T: 1, Slots: 2, Faulty: []int{1}, Strategy: "bogus",
+	}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	log, err := shiftgears.NewReplicatedLog(shiftgears.LogConfig{
+		Algorithm: shiftgears.Exponential, N: 4, T: 1, Slots: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Submit(9, 1); err == nil {
+		t.Error("out-of-range receiver accepted")
+	}
+	if _, err := log.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Run(); err == nil {
+		t.Error("second Run accepted")
+	}
+}
