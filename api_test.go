@@ -221,6 +221,34 @@ func TestRunParallelEngineIdentical(t *testing.T) {
 	}
 }
 
+// TestRunStatefulStrategyPerProcessor: Run must build one strategy
+// instance per faulty processor. A stateful strategy (stutter keeps the
+// previous round's payload) shared across faulty processors races under
+// the Parallel engine's concurrent PrepareRound calls — this test fails
+// under -race against the shared-instance code — and mixes the
+// processors' payload histories, so the engines would also diverge.
+func TestRunStatefulStrategyPerProcessor(t *testing.T) {
+	cfg := shiftgears.Config{
+		Algorithm: shiftgears.Hybrid, N: 13, T: 4, B: 3, SourceValue: 1,
+		Faulty: []int{1, 4, 7, 10}, Strategy: "stutter", Seed: 23,
+	}
+	seq, err := shiftgears.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallel = true
+	par, err := shiftgears.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Agreement || !par.Agreement {
+		t.Fatal("agreement lost under the stutter strategy")
+	}
+	if seq.DecisionValue != par.DecisionValue || seq.TotalBytes != par.TotalBytes {
+		t.Fatalf("per-processor strategy state diverges across engines: seq=%+v par=%+v", seq, par)
+	}
+}
+
 func TestRunExcessFaultsStillTerminates(t *testing.T) {
 	// Beyond-resilience runs forfeit guarantees but must not wedge or error.
 	res, err := shiftgears.Run(shiftgears.Config{

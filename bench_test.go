@@ -343,6 +343,75 @@ func BenchmarkRSMThroughputTCP(b *testing.B) {
 	}
 }
 
+// BenchmarkGearedThroughput pits the static Hybrid log against the two
+// built-in gear policies on an identical Byzantine workload (n=13, t=3,
+// three silent sources, saturated queues). The static log pays Hybrid's 7
+// rounds for every slot; Downshift drops to Algorithm B's 4 rounds once a
+// burned slot convicts a source, and Blacklist gives convicted sources
+// one-round no-op slots — so both geared logs commit the same commands in
+// fewer synchronous ticks, which the "ticks" metric (and the asserted
+// comparison) makes visible.
+func BenchmarkGearedThroughput(b *testing.B) {
+	const (
+		n, t, blk     = 13, 3, 3
+		slots         = 39
+		window, batch = 4, 2
+		commands      = 52
+	)
+	run := func(b *testing.B, policy shiftgears.GearPolicy) *shiftgears.LogResult {
+		cfg := shiftgears.LogConfig{
+			N: n, T: t, B: blk,
+			Slots: slots, Window: window, BatchSize: batch,
+			Faulty: []int{2, 5, 8}, Strategy: "silent", Seed: 7,
+		}
+		if policy == nil {
+			cfg.Algorithm = shiftgears.Hybrid
+		} else {
+			cfg.GearPolicy = policy
+		}
+		log, err := shiftgears.NewReplicatedLog(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for c := 0; c < commands; c++ {
+			if err := log.Submit(c%n, shiftgears.Value(1+c%255)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		res, err := log.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Agreement {
+			b.Fatal("agreement lost")
+		}
+		return res
+	}
+	staticTicks := 0
+	for _, mode := range []struct {
+		name   string
+		policy shiftgears.GearPolicy
+	}{
+		{"static-hybrid", nil},
+		{"downshift", shiftgears.Downshift{}},
+		{"blacklist", shiftgears.Blacklist{}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var last *shiftgears.LogResult
+			for i := 0; i < b.N; i++ {
+				last = run(b, mode.policy)
+			}
+			if mode.policy == nil {
+				staticTicks = last.Ticks
+			} else if staticTicks > 0 && last.Ticks >= staticTicks {
+				b.Fatalf("%s saved nothing: %d ticks vs static %d", mode.name, last.Ticks, staticTicks)
+			}
+			b.ReportMetric(float64(last.Ticks), "ticks")
+			b.ReportMetric(float64(last.Committed)/float64(last.Ticks), "cmds/tick")
+		})
+	}
+}
+
 // BenchmarkEngineParallelVsSequential contrasts the two round engines on
 // the same workload (the goroutine engine pays synchronization for
 // per-processor parallelism).

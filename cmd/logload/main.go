@@ -7,6 +7,13 @@
 //
 //	logload -n 7 -t 2 -cmds 96 -window 1 -batch 1    # sequential single-shot
 //	logload -n 7 -t 2 -cmds 96 -window 4 -batch 4    # pipelined + batched
+//
+// With -gears the log shifts algorithms on the fly: each slot's protocol
+// is picked when the slot enters the pipeline window, from what the
+// committed prefix has revealed about the adversary:
+//
+//	logload -n 13 -t 3 -alg hybrid -gears downshift -faulty 2 -strategy silent
+//	logload -n 13 -t 3 -alg hybrid -gears blacklist -faulty 2,5,8 -strategy silent
 package main
 
 import (
@@ -35,6 +42,7 @@ func run(args []string, out io.Writer) error {
 		t        = fs.Int("t", 2, "resilience")
 		b        = fs.Int("b", 3, "block parameter (A/B/hybrid)")
 		algName  = fs.String("alg", "exponential", "per-slot algorithm")
+		gears    = fs.String("gears", "", "gear policy (blacklist, downshift): pick each slot's algorithm on the fly; -alg is the base/high gear")
 		cmds     = fs.Int("cmds", 96, "commands to submit")
 		window   = fs.Int("window", 4, "pipelining depth")
 		batch    = fs.Int("batch", 4, "commands per slot")
@@ -50,6 +58,9 @@ func run(args []string, out io.Writer) error {
 	alg, err := shiftgears.ParseAlgorithm(*algName)
 	if err != nil {
 		return err
+	}
+	if alg == shiftgears.NoOpSlot {
+		return fmt.Errorf("noop is a policy-assigned gear, not a base algorithm (it would discard every command)")
 	}
 	if *cmds < 1 {
 		return fmt.Errorf("need at least 1 command")
@@ -74,13 +85,30 @@ func run(args []string, out io.Writer) error {
 	slotsPerSource := (perReplica + *batch - 1) / *batch
 	slots := *n * slotsPerSource
 
-	log, err := shiftgears.NewReplicatedLog(shiftgears.LogConfig{
+	lcfg := shiftgears.LogConfig{
 		Algorithm: alg,
 		N:         *n, T: *t, B: *b,
 		Slots: slots, Window: *window, BatchSize: *batch,
 		Faulty: faulty, Strategy: *strategy, Seed: *seed,
 		Parallel: *parallel, TCP: *tcp,
-	})
+	}
+	if *gears != "" {
+		policy, err := shiftgears.ParseGearPolicy(*gears)
+		if err != nil {
+			return err
+		}
+		// -alg is the gear the log starts in; the policy picks the rest.
+		switch p := policy.(type) {
+		case shiftgears.Downshift:
+			p.High = alg
+			policy = p
+		case shiftgears.Blacklist:
+			p.Base = alg
+			policy = p
+		}
+		lcfg.GearPolicy = policy
+	}
+	log, err := shiftgears.NewReplicatedLog(lcfg)
 	if err != nil {
 		return err
 	}
@@ -94,8 +122,12 @@ func run(args []string, out io.Writer) error {
 	if *tcp {
 		mode = "tcp"
 	}
+	algDesc := alg.String()
+	if *gears != "" {
+		algDesc = fmt.Sprintf("%s gears from %s", *gears, alg)
+	}
 	fmt.Fprintf(out, "logload: %d commands over %d replicas (%s, %s), %d slots, window %d, batch %d\n",
-		*cmds, *n, alg, mode, slots, *window, *batch)
+		*cmds, *n, algDesc, mode, slots, *window, *batch)
 
 	start := time.Now()
 	res, err := log.Run()
@@ -114,5 +146,11 @@ func run(args []string, out io.Writer) error {
 		res.Committed, res.Ticks, res.SequentialTicks, speedup)
 	fmt.Fprintf(out, "logload: %.2f commands/tick, %.0f commands/sec, %d msgs, %d bytes, max frame %dB, wall %v\n",
 		perTick, perSec, res.Messages, res.TotalBytes, res.MaxMessageBytes, elapsed.Round(time.Millisecond))
+	if *gears != "" {
+		fmt.Fprintf(out, "logload: gear schedule %s\n", shiftgears.GearRuns(res.Gears))
+	}
+	if res.Pending > 0 {
+		fmt.Fprintf(out, "logload: WARNING: %d commands never got a slot (log too short, or a gear policy no-op'd their slots)\n", res.Pending)
+	}
 	return nil
 }

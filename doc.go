@@ -60,4 +60,21 @@
 // even when slot sources are Byzantine. cmd/logserver deploys one
 // replica per process; cmd/logload generates synthetic load and reports
 // throughput.
+//
+// # Gear policies: shifting algorithms across the log
+//
+// A LogConfig.GearPolicy makes the per-slot algorithm a runtime
+// decision: each slot's gear is picked when the slot enters the pipeline
+// window, as a function of the committed prefix at that tick. Downshift
+// starts in a high gear and drops to a cheaper one once committed
+// entries evidence enough faulty sources; Blacklist gives sources
+// convicted by the prefix (a sourced slot committed all no-ops despite a
+// saturated workload) one-round NoOpSlot slots thereafter.
+//
+// The determinism contract: Pick must be pure in (slot, source, prefix).
+// Correct replicas hold identical committed prefixes at a slot's start
+// tick under the lockstep schedule, so a pure policy produces the same
+// gear schedule on every correct replica; an impure or replica-dependent
+// policy diverges and is surfaced as the round-mismatch protocol error
+// (TCP) or a schedule-divergence error (in-process), never masked.
 package shiftgears

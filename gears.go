@@ -1,0 +1,213 @@
+package shiftgears
+
+// Gear policies: dynamic per-slot algorithm selection for the replicated
+// log — the paper's thesis applied to the log itself. A static log fixes
+// every slot's algorithm when the log is built; a geared log picks each
+// slot's algorithm at the moment the slot enters the pipeline window,
+// from what the committed prefix has revealed about the adversary. Early
+// slots run a conservative gear; once faults expose themselves in the
+// committed log, later slots shift down to cheaper gears and the whole
+// log finishes in fewer synchronous ticks.
+
+import (
+	"fmt"
+	"strings"
+
+	"shiftgears/internal/rsm"
+)
+
+// GearPolicy picks a slot's algorithm when the slot enters the pipeline
+// window.
+//
+// Determinism contract: Pick must be a pure function of its arguments —
+// no clocks, randomness, counters, or per-replica state — because every
+// replica evaluates it independently. Under the lockstep schedule all
+// correct replicas hold identical committed prefixes at a slot's start
+// tick, so a pure Pick yields identical gear schedules on every correct
+// replica and the pipeline never desynchronizes. A divergent (impure or
+// replica-dependent) policy is detected, not masked: over TCP the mesh
+// fails fast with the frame round-mismatch protocol error ("peer sent
+// frame (instance, round), want ..."), and the in-process engines stop
+// with a schedule-divergence error as soon as one replica's pipeline
+// finishes while another's is still running.
+type GearPolicy interface {
+	// Name identifies the policy in configs and reports.
+	Name() string
+	// Pick returns the algorithm for slot. prefix is the log's committed
+	// prefix at the slot's start tick: entries 0..k-1 for some k ≤ slot,
+	// in slot order.
+	Pick(slot, source int, prefix []LogEntry) Algorithm
+}
+
+// GearLister is an optional GearPolicy extension: a policy that can
+// enumerate every algorithm it might return implements it so that
+// NewReplicatedLog rejects an inadmissible gear at construction time —
+// e.g. Downshift's default AlgorithmB low gear needs n ≥ 4t+1 — instead
+// of failing mid-run, with committed work discarded, when the shift
+// first fires. Both built-in policies implement it.
+type GearLister interface {
+	Gears() []Algorithm
+}
+
+// burnedSources returns the sources the committed prefix convicts: those
+// with at least one sourced slot that committed all no-ops. Under a
+// saturated workload (every correct replica has commands queued — the
+// regime the built-in policies are written for) a correct source always
+// fills at least one batch position, so an all-no-op slot convicts its
+// source as faulty.
+func burnedSources(prefix []LogEntry) map[int]bool {
+	burned := make(map[int]bool)
+	for _, e := range prefix {
+		if len(e.Commands) == 0 {
+			burned[e.Source] = true
+		}
+	}
+	return burned
+}
+
+// Downshift starts every slot in a high gear and drops to a cheaper low
+// gear once the committed prefix evidences enough faulty sources. It is
+// the paper's shift applied across slots instead of within one instance:
+// the high gear pays for resilience against a still-hidden adversary;
+// once MinEvidence sources have burned a slot (committed all no-ops
+// despite the saturated workload — see burnedSources), the adversary is
+// out in the open and the remaining slots run the low gear's shorter
+// round schedule.
+//
+// The zero value downshifts from Hybrid to AlgorithmB after one burned
+// source; at n=13, t=3, b=3 that is 7 rounds down to 4 per slot. Both
+// gears must be admissible at the log's (N, T) — AlgorithmB needs
+// n ≥ 4t+1 — or slot construction fails.
+type Downshift struct {
+	// High is the gear before enough faults are evidenced (default Hybrid).
+	High Algorithm
+	// Low is the gear after (default AlgorithmB).
+	Low Algorithm
+	// MinEvidence is the number of distinct burned sources that triggers
+	// the shift (default 1).
+	MinEvidence int
+}
+
+// Name implements GearPolicy.
+func (Downshift) Name() string { return "downshift" }
+
+// gears resolves the zero-value defaults.
+func (d Downshift) gears() (high, low Algorithm, min int) {
+	high, low, min = d.High, d.Low, d.MinEvidence
+	if high == 0 {
+		high = Hybrid
+	}
+	if low == 0 {
+		low = AlgorithmB
+	}
+	if min == 0 {
+		min = 1
+	}
+	return high, low, min
+}
+
+// Gears implements GearLister.
+func (d Downshift) Gears() []Algorithm {
+	high, low, _ := d.gears()
+	return []Algorithm{high, low}
+}
+
+// Pick implements GearPolicy.
+func (d Downshift) Pick(slot, source int, prefix []LogEntry) Algorithm {
+	high, low, min := d.gears()
+	if len(burnedSources(prefix)) >= min {
+		return low
+	}
+	return high
+}
+
+// Blacklist runs the base gear everywhere except slots sourced by a
+// processor the committed prefix has already convicted (a sourced slot
+// committed all no-ops despite the saturated workload — see
+// burnedSources): convicted sources get NoOpSlot, a one-round
+// zero-message slot, thereafter. This is Ben-Or–Dolev–Hoch's "a node
+// caught cheating is ignored thereafter" carried across log slots: the
+// log stops paying agreement rounds for sources that have proven they
+// propose nothing.
+//
+// The zero value blacklists against a Hybrid base gear.
+type Blacklist struct {
+	// Base is the gear for unconvicted sources (default Hybrid).
+	Base Algorithm
+}
+
+// Name implements GearPolicy.
+func (Blacklist) Name() string { return "blacklist" }
+
+// gears resolves the zero-value default.
+func (b Blacklist) gears() (base Algorithm) {
+	base = b.Base
+	if base == 0 {
+		base = Hybrid
+	}
+	return base
+}
+
+// Gears implements GearLister.
+func (b Blacklist) Gears() []Algorithm {
+	return []Algorithm{b.gears(), NoOpSlot}
+}
+
+// Pick implements GearPolicy.
+func (b Blacklist) Pick(slot, source int, prefix []LogEntry) Algorithm {
+	if burnedSources(prefix)[source] {
+		return NoOpSlot
+	}
+	return b.gears()
+}
+
+// GearRuns compresses a per-slot gear schedule (LogResult.Gears) into
+// run-length form: "hybrid×4 B×35" for a downshift at slot 4.
+func GearRuns(gears []Algorithm) string {
+	var b strings.Builder
+	for i := 0; i < len(gears); {
+		j := i
+		for j < len(gears) && gears[j] == gears[i] {
+			j++
+		}
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s×%d", gears[i], j-i)
+		i = j
+	}
+	return b.String()
+}
+
+// ParseGearPolicy resolves a CLI name to a built-in gear policy with its
+// default gears.
+func ParseGearPolicy(s string) (GearPolicy, error) {
+	switch s {
+	case "downshift":
+		return Downshift{}, nil
+	case "blacklist":
+		return Blacklist{}, nil
+	default:
+		return nil, fmt.Errorf("shiftgears: unknown gear policy %q (known: blacklist, downshift)", s)
+	}
+}
+
+// noopSlotProtocol is the NoOpSlot gear's rsm machinery: one round, no
+// messages, every replica decides the no-op.
+type noopSlotProtocol struct{}
+
+func (noopSlotProtocol) Rounds() int { return 1 }
+func (noopSlotProtocol) NewReplica(id int, initial Value) (rsm.InstanceReplica, error) {
+	return &noopReplica{id: id}, nil
+}
+
+// noopReplica trivially satisfies agreement: all replicas decide NoOp
+// regardless of traffic (its inbox is ignored, so Byzantine senders
+// cannot influence it).
+type noopReplica struct{ id int }
+
+func (r *noopReplica) ID() int                                { return r.id }
+func (r *noopReplica) PrepareRound(round int) [][]byte        { return nil }
+func (r *noopReplica) DeliverRound(round int, inbox [][]byte) {}
+func (r *noopReplica) Decided() (Value, bool)                 { return rsm.NoOp, true }
+func (r *noopReplica) Err() error                             { return nil }

@@ -1,0 +1,329 @@
+package shiftgears_test
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"shiftgears"
+)
+
+// gearedWorkload builds a 13-replica log under a saturated workload with
+// t silent Byzantine sources — the regime the built-in gear policies are
+// written for — and runs it.
+func gearedWorkload(t *testing.T, policy shiftgears.GearPolicy, tcp bool) *shiftgears.LogResult {
+	t.Helper()
+	cfg := shiftgears.LogConfig{
+		N: 13, T: 3, B: 3,
+		Slots: 39, Window: 4, BatchSize: 2,
+		Faulty: []int{2, 5, 8}, Strategy: "silent", Seed: 7,
+		TCP: tcp,
+	}
+	if policy == nil {
+		cfg.Algorithm = shiftgears.Hybrid
+	} else {
+		cfg.GearPolicy = policy
+	}
+	l, err := shiftgears.NewReplicatedLog(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 52; c++ {
+		if err := l.Submit(c%13, shiftgears.Value(1+c%255)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement {
+		t.Fatal("correct replicas committed diverging logs")
+	}
+	return res
+}
+
+// TestGearPoliciesBeatStaticHybrid is the acceptance property: under
+// Byzantine sources, both built-in gear policies finish the same workload
+// in fewer ticks than the static Hybrid log while committing exactly the
+// same commands per slot, and the TCP mesh reproduces the sim schedule
+// tick for tick.
+func TestGearPoliciesBeatStaticHybrid(t *testing.T) {
+	static := gearedWorkload(t, nil, false)
+	for _, tc := range []struct {
+		name   string
+		policy shiftgears.GearPolicy
+	}{
+		{"blacklist", shiftgears.Blacklist{}},
+		{"downshift", shiftgears.Downshift{}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sim := gearedWorkload(t, tc.policy, false)
+			if sim.Ticks >= static.Ticks {
+				t.Fatalf("%s used %d ticks, static hybrid %d", tc.name, sim.Ticks, static.Ticks)
+			}
+			if len(sim.Entries) != len(static.Entries) {
+				t.Fatalf("committed %d slots, want %d", len(sim.Entries), len(static.Entries))
+			}
+			// The gear shift changes how fast slots agree, never on what:
+			// every slot commits the same commands as the static log.
+			for slot := range static.Entries {
+				s, g := static.Entries[slot].Commands, sim.Entries[slot].Commands
+				if len(s) != len(g) {
+					t.Fatalf("slot %d: static commits %v, geared %v", slot, s, g)
+				}
+				for i := range s {
+					if s[i] != g[i] {
+						t.Fatalf("slot %d command %d: static %v, geared %v", slot, i, s, g)
+					}
+				}
+			}
+			tcp := gearedWorkload(t, tc.policy, true)
+			if tcp.Ticks != sim.Ticks {
+				t.Fatalf("TCP used %d ticks, sim %d", tcp.Ticks, sim.Ticks)
+			}
+			for slot := range sim.Entries {
+				if len(tcp.Entries[slot].Commands) != len(sim.Entries[slot].Commands) {
+					t.Fatalf("slot %d: TCP commits %v, sim %v", slot, tcp.Entries[slot].Commands, sim.Entries[slot].Commands)
+				}
+			}
+		})
+	}
+}
+
+// TestGearScheduleReported: LogResult.Gears records the per-slot picks —
+// the static algorithm everywhere, or the policy's shifts.
+func TestGearScheduleReported(t *testing.T) {
+	static := gearedWorkload(t, nil, false)
+	for slot, g := range static.Gears {
+		if g != shiftgears.Hybrid {
+			t.Fatalf("static slot %d reports gear %v", slot, g)
+		}
+	}
+
+	bl := gearedWorkload(t, shiftgears.Blacklist{}, false)
+	noops := 0
+	for slot, g := range bl.Gears {
+		switch g {
+		case shiftgears.Hybrid:
+		case shiftgears.NoOpSlot:
+			noops++
+			if src := slot % 13; src != 2 && src != 5 && src != 8 {
+				t.Fatalf("correct source %d blacklisted at slot %d", src, slot)
+			}
+		default:
+			t.Fatalf("blacklist picked unexpected gear %v for slot %d", g, slot)
+		}
+	}
+	// Each faulty source's later slots (second and third of three) shift
+	// once its first burned slot commits.
+	if noops != 6 {
+		t.Fatalf("blacklisted %d slots, want 6", noops)
+	}
+
+	ds := gearedWorkload(t, shiftgears.Downshift{}, false)
+	shifted := -1
+	for slot, g := range ds.Gears {
+		if g == shiftgears.AlgorithmB && shifted < 0 {
+			shifted = slot
+		}
+		if g == shiftgears.Hybrid && shifted >= 0 {
+			t.Fatalf("downshift flapped back to hybrid at slot %d", slot)
+		}
+	}
+	if shifted < 0 {
+		t.Fatal("downshift never shifted")
+	}
+}
+
+// TestGearPolicyPurity: the built-in policies are pure functions of their
+// arguments — same prefix, same pick.
+func TestGearPolicyPurity(t *testing.T) {
+	prefix := []shiftgears.LogEntry{
+		{Slot: 0, Source: 0, Batch: []shiftgears.Value{7}, Commands: []shiftgears.Value{7}},
+		{Slot: 1, Source: 1, Batch: []shiftgears.Value{0}},
+		{Slot: 2, Source: 2, Batch: []shiftgears.Value{0}},
+	}
+	for _, policy := range []shiftgears.GearPolicy{
+		shiftgears.Downshift{}, shiftgears.Downshift{MinEvidence: 3},
+		shiftgears.Blacklist{}, shiftgears.Blacklist{Base: shiftgears.PSL},
+	} {
+		a := policy.Pick(9, 1, prefix)
+		b := policy.Pick(9, 1, prefix)
+		if a != b {
+			t.Fatalf("%s is impure: %v then %v", policy.Name(), a, b)
+		}
+	}
+	// Semantics: source 1 burned slot 1, so Blacklist no-ops its slots and
+	// Downshift (2 burned sources ≥ MinEvidence 1) picks the low gear.
+	if g := (shiftgears.Blacklist{}).Pick(14, 1, prefix); g != shiftgears.NoOpSlot {
+		t.Fatalf("burned source not blacklisted: %v", g)
+	}
+	if g := (shiftgears.Blacklist{}).Pick(13, 0, prefix); g != shiftgears.Hybrid {
+		t.Fatalf("clean source blacklisted: %v", g)
+	}
+	if g := (shiftgears.Downshift{}).Pick(3, 3, prefix); g != shiftgears.AlgorithmB {
+		t.Fatalf("downshift with evidence stayed high: %v", g)
+	}
+	if g := (shiftgears.Downshift{MinEvidence: 3}).Pick(3, 3, prefix); g != shiftgears.Hybrid {
+		t.Fatalf("downshift shifted below MinEvidence: %v", g)
+	}
+}
+
+// impurePolicy violates the determinism contract: its picks depend on a
+// shared call counter, so different replicas resolve different gears.
+type impurePolicy struct{ calls atomic.Int64 }
+
+func (p *impurePolicy) Name() string { return "impure" }
+func (p *impurePolicy) Pick(slot, source int, prefix []shiftgears.LogEntry) shiftgears.Algorithm {
+	// Alternates between gears with different round counts (2 vs 5 at
+	// n=5, t=1), so the replicas' slot schedules disagree.
+	if p.calls.Add(1)%2 == 0 {
+		return shiftgears.PhaseQueen
+	}
+	return shiftgears.Exponential
+}
+
+// TestImpureGearPolicyDetected: a policy that breaks the determinism
+// contract surfaces as a schedule error — never as silently diverging
+// committed logs.
+func TestImpureGearPolicyDetected(t *testing.T) {
+	l, err := shiftgears.NewReplicatedLog(shiftgears.LogConfig{
+		GearPolicy: &impurePolicy{},
+		N:          5, T: 1,
+		Slots: 6, Window: 2, BatchSize: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Run(); err == nil {
+		t.Fatal("impure gear policy not surfaced")
+	} else if !strings.Contains(err.Error(), "divergence") && !strings.Contains(err.Error(), "mux is done") {
+		t.Fatalf("impure-policy error unclear: %v", err)
+	}
+}
+
+// TestParseGearPolicy covers the CLI surface.
+func TestParseGearPolicy(t *testing.T) {
+	for _, name := range []string{"blacklist", "downshift"} {
+		p, err := shiftgears.ParseGearPolicy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != name {
+			t.Fatalf("ParseGearPolicy(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := shiftgears.ParseGearPolicy("bogus"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+// TestInadmissibleGearRejectedAtConstruction: a policy whose enumerated
+// gears include one the cluster parameters cannot run (Downshift's
+// default AlgorithmB low gear needs n ≥ 4t+1) must fail NewReplicatedLog
+// — not abort mid-run, discarding committed work, when the shift first
+// fires.
+func TestInadmissibleGearRejectedAtConstruction(t *testing.T) {
+	_, err := shiftgears.NewReplicatedLog(shiftgears.LogConfig{
+		GearPolicy: shiftgears.Downshift{}, // high gear Hybrid fits n=11, t=3; low gear AlgorithmB needs n ≥ 4t+1 = 13
+		N:          11, T: 3, B: 3, Slots: 11,
+	})
+	if err == nil {
+		t.Fatal("inadmissible low gear accepted at construction")
+	}
+	if !strings.Contains(err.Error(), "inadmissible") || !strings.Contains(err.Error(), "4t+1") {
+		t.Fatalf("inadmissible-gear error unclear: %v", err)
+	}
+
+	// The same cluster is fine once the gears fit its parameters.
+	if _, err := shiftgears.NewReplicatedLog(shiftgears.LogConfig{
+		GearPolicy: shiftgears.Downshift{High: shiftgears.Exponential, Low: shiftgears.PhaseQueen},
+		N:          13, T: 3, Slots: 13,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shiftgears.NewReplicatedLog(shiftgears.LogConfig{
+		GearPolicy: shiftgears.Blacklist{Base: shiftgears.Exponential},
+		N:          7, T: 2, Slots: 7,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoOpSlotIsLogOnly: the NoOpSlot gear parses from the CLI but is
+// rejected by single-shot Run.
+func TestNoOpSlotIsLogOnly(t *testing.T) {
+	alg, err := shiftgears.ParseAlgorithm("noop")
+	if err != nil || alg != shiftgears.NoOpSlot {
+		t.Fatalf("ParseAlgorithm(noop) = %v, %v", alg, err)
+	}
+	if alg.String() != "noop" {
+		t.Fatalf("NoOpSlot.String() = %q", alg.String())
+	}
+	if _, err := shiftgears.Run(shiftgears.Config{Algorithm: shiftgears.NoOpSlot, N: 4, T: 1}); err == nil {
+		t.Fatal("single-shot Run accepted the noop gear")
+	}
+	// Nor may it be a static log algorithm: every slot would discard its
+	// source's commands while still reporting agreement.
+	if _, err := shiftgears.NewReplicatedLog(shiftgears.LogConfig{
+		Algorithm: shiftgears.NoOpSlot, N: 4, T: 1, Slots: 4,
+	}); err == nil {
+		t.Fatal("static log accepted the noop gear")
+	}
+	if _, err := shiftgears.NewReplicatedLog(shiftgears.LogConfig{
+		Algorithm: shiftgears.Exponential, N: 4, T: 1, Slots: 4,
+		SlotAlgorithm: func(slot int) shiftgears.Algorithm { return shiftgears.NoOpSlot },
+	}); err == nil {
+		t.Fatal("static SlotAlgorithm accepted the noop gear")
+	}
+}
+
+// TestPendingReportsUncommittedCommands: commands that never get a slot
+// — the log is too short, or a gear policy no-op'd the slots they were
+// waiting for — must be visible in LogResult.Pending, since Agreement
+// alone says nothing about their loss.
+func TestPendingReportsUncommittedCommands(t *testing.T) {
+	l, err := shiftgears.NewReplicatedLog(shiftgears.LogConfig{
+		Algorithm: shiftgears.Exponential,
+		N:         4, T: 1, Slots: 4, BatchSize: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replica 0 sources exactly one slot with one batch position; two of
+	// its three commands can never commit.
+	for c := 0; c < 3; c++ {
+		if err := l.Submit(0, shiftgears.Value(1+c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement {
+		t.Fatal("agreement lost")
+	}
+	if res.Committed != 1 || res.Pending != 2 {
+		t.Fatalf("Committed=%d Pending=%d, want 1 and 2", res.Committed, res.Pending)
+	}
+}
+
+// TestAllFaultyLogFails: a log with every replica faulty must fail with
+// an explicit error, not report Agreement=false over a nil log.
+func TestAllFaultyLogFails(t *testing.T) {
+	l, err := shiftgears.NewReplicatedLog(shiftgears.LogConfig{
+		Algorithm: shiftgears.Exponential,
+		N:         4, T: 1, Slots: 2,
+		Faulty: []int{0, 1, 2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Run(); err == nil {
+		t.Fatal("all-faulty log ran without error")
+	} else if !strings.Contains(err.Error(), "no correct replicas") {
+		t.Fatalf("all-faulty error unclear: %v", err)
+	}
+}

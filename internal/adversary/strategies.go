@@ -208,6 +208,33 @@ func (Seesaw) Mutate(round, self, n int, honest [][]byte, rng *rand.Rand) [][]by
 	return sim.Broadcast(n, p)
 }
 
+// Stutter replays with a one-round lag: every round it broadcasts the
+// honest payload of the round before (silence in the first round it acts
+// in). Receivers see well-formed but stale protocol messages — the
+// adversarial analogue of a node stuck one round behind the lockstep.
+//
+// Stutter is stateful: it remembers the previous honest payload, so one
+// instance must serve exactly one faulty processor in one protocol
+// instance. Sharing an instance across processors (or across pipelined
+// slots) mixes their payload histories and races under concurrent
+// engines — construct via New per processor, per slot.
+type Stutter struct {
+	prev []byte
+}
+
+// Name implements Strategy.
+func (*Stutter) Name() string { return "stutter" }
+
+// Mutate implements Strategy.
+func (s *Stutter) Mutate(round, self, n int, honest [][]byte, rng *rand.Rand) [][]byte {
+	p := s.prev
+	s.prev = clone(honestPayload(honest))
+	if p == nil {
+		return nil
+	}
+	return sim.Broadcast(n, p)
+}
+
 // Collude splits destinations by thirds: the first third receives the
 // honest payload, the second third receives flipped values, the last third
 // receives nothing. Several colluding processors using this strategy keep

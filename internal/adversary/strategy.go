@@ -135,6 +135,8 @@ func New(name string, totalRounds int) (Strategy, error) {
 		return Noise{P: 0.3}, nil
 	case "sleeper":
 		return Sleeper{WakeRound: wake}, nil
+	case "stutter":
+		return &Stutter{}, nil
 	case "seesaw":
 		return Seesaw{}, nil
 	case "collude":
@@ -148,7 +150,7 @@ func New(name string, totalRounds int) (Strategy, error) {
 func Names() []string {
 	names := []string{
 		"silent", "crash", "omit", "garbage", "splitbrain",
-		"flip", "noise", "sleeper", "seesaw", "collude",
+		"flip", "noise", "sleeper", "stutter", "seesaw", "collude",
 	}
 	sort.Strings(names)
 	return names

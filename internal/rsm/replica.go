@@ -18,17 +18,18 @@ import (
 // the run. Commands submitted after the node's last sourced slot has
 // started stay queued and never commit (Pending reports them).
 type Replica struct {
-	cfg    Config
-	id     int
-	protos []Protocol // per slot; position instances share them
-	mux    *sim.Mux
-	wrap   func(slot int, proc sim.Processor) sim.Processor
-	apply  func(Entry)
+	cfg   Config
+	id    int
+	mux   *sim.Mux
+	wrap  func(slot int, proc sim.Processor) sim.Processor
+	apply func(Entry)
 
 	byzStrategy string
 	byzSeed     int64
 
 	mu         sync.Mutex
+	protos     []Protocol    // per slot; static: filled at construction, gear: resolved lazily
+	gearErrs   map[int]error // per-slot gear resolution failures, surfaced by startSlot
 	queue      []Value
 	slots      map[int]*slotInstance
 	pending    map[int]Entry // finished but waiting for in-order commit
@@ -57,8 +58,10 @@ func WithWrap(w func(slot int, proc sim.Processor) sim.Processor) ReplicaOption 
 
 // WithByzantine makes the replica Byzantine in every slot — including the
 // slots it sources — running the named adversary strategy (see
-// adversary.Names). Strategies are constructed eagerly per distinct slot
-// round count, so an unknown name fails NewReplica rather than the run.
+// adversary.Names). The name is validated eagerly, so an unknown name
+// fails NewReplica rather than the run; a fresh strategy instance is then
+// constructed per slot, so stateful strategies never leak state across
+// slots (or, with window > 1, across interleaved slots).
 func WithByzantine(strategy string, seed int64) ReplicaOption {
 	return func(r *Replica) { r.byzStrategy, r.byzSeed = strategy, seed }
 }
@@ -78,6 +81,7 @@ func NewReplica(cfg Config, id int, opts ...ReplicaOption) (*Replica, error) {
 		cfg:       cfg,
 		id:        id,
 		protos:    make([]Protocol, cfg.Slots),
+		gearErrs:  make(map[int]error),
 		slots:     make(map[int]*slotInstance),
 		pending:   make(map[int]Entry),
 		committed: make(chan Entry, cfg.Slots),
@@ -85,49 +89,85 @@ func NewReplica(cfg Config, id int, opts ...ReplicaOption) (*Replica, error) {
 	for _, opt := range opts {
 		opt(r)
 	}
-	rounds := make([]int, cfg.Slots)
-	for slot := 0; slot < cfg.Slots; slot++ {
-		proto, err := cfg.Protocol(slot, slot%cfg.N)
-		if err != nil {
-			return nil, fmt.Errorf("rsm: slot %d: %w", slot, err)
+	mcfg := sim.MuxConfig{
+		ID: id, N: cfg.N, Window: cfg.Window,
+		Start:  r.startSlot,
+		Finish: r.finishSlot,
+	}
+	if cfg.GearProtocol != nil {
+		mcfg.Instances = cfg.Slots
+		mcfg.RoundsFor = r.resolveSlot
+	} else {
+		rounds := make([]int, cfg.Slots)
+		for slot := 0; slot < cfg.Slots; slot++ {
+			proto, err := cfg.Protocol(slot, slot%cfg.N)
+			if err != nil {
+				return nil, fmt.Errorf("rsm: slot %d: %w", slot, err)
+			}
+			if proto.Rounds() < 1 {
+				return nil, fmt.Errorf("rsm: slot %d: protocol reports %d rounds", slot, proto.Rounds())
+			}
+			r.protos[slot] = proto
+			rounds[slot] = proto.Rounds()
 		}
-		if proto.Rounds() < 1 {
-			return nil, fmt.Errorf("rsm: slot %d: protocol reports %d rounds", slot, proto.Rounds())
-		}
-		r.protos[slot] = proto
-		rounds[slot] = proto.Rounds()
+		mcfg.Rounds = rounds
 	}
 	if r.byzStrategy != "" {
 		if r.wrap != nil {
 			return nil, fmt.Errorf("rsm: WithByzantine and WithWrap are mutually exclusive")
 		}
-		strats := make(map[int]adversary.Strategy)
-		for _, proto := range r.protos {
-			rds := proto.Rounds()
-			if _, ok := strats[rds]; !ok {
-				strat, err := adversary.New(r.byzStrategy, rds)
-				if err != nil {
-					return nil, err
-				}
-				strats[rds] = strat
-			}
+		if _, err := adversary.New(r.byzStrategy, 1); err != nil {
+			return nil, err
 		}
 		seed := r.byzSeed
 		r.wrap = func(slot int, proc sim.Processor) sim.Processor {
-			strat := strats[r.protos[slot].Rounds()]
+			// The name was validated above; construct a fresh strategy per
+			// slot so stateful strategies keep per-slot state.
+			strat, err := adversary.New(r.byzStrategy, r.SlotRounds(slot))
+			if err != nil {
+				r.setErr(err)
+				return proc
+			}
 			return adversary.NewProcessor(proc, strat, seed+int64(slot), cfg.N)
 		}
 	}
-	mux, err := sim.NewMux(sim.MuxConfig{
-		ID: id, N: cfg.N, Window: cfg.Window, Rounds: rounds,
-		Start:  r.startSlot,
-		Finish: r.finishSlot,
-	})
+	mux, err := sim.NewMux(mcfg)
 	if err != nil {
 		return nil, err
 	}
 	r.mux = mux
 	return r, nil
+}
+
+// resolveSlot is the mux's lazy round resolver for gear-scheduled logs: it
+// invokes GearProtocol with the committed prefix at the slot's start tick
+// and caches the resolved protocol. A resolution failure is recorded and
+// surfaced by startSlot (which runs immediately after, in the same fill).
+func (r *Replica) resolveSlot(slot int) int {
+	r.mu.Lock()
+	if p := r.protos[slot]; p != nil {
+		r.mu.Unlock()
+		return p.Rounds()
+	}
+	prefix := append([]Entry(nil), r.entries...)
+	r.mu.Unlock()
+	// The callback (and its protocol compilation) runs unlocked so user
+	// code may consult the replica's public API (Pending, Entries,
+	// SlotRounds) without deadlocking on r.mu. Each slot resolves from
+	// its replica's single drive goroutine, so this cannot race with
+	// itself — only with Submit and readers, which the copy handles.
+	proto, err := r.cfg.GearProtocol(slot, slot%r.cfg.N, prefix)
+	if err == nil && proto.Rounds() < 1 {
+		err = fmt.Errorf("gear protocol reports %d rounds", proto.Rounds())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err != nil {
+		r.gearErrs[slot] = err
+		return 1
+	}
+	r.protos[slot] = proto
+	return proto.Rounds()
 }
 
 // ID returns the replica's processor id.
@@ -137,11 +177,26 @@ func (r *Replica) ID() int { return r.id }
 // hand to sim.NewNetwork or transport.Listen.
 func (r *Replica) Mux() *sim.Mux { return r.mux }
 
-// TotalTicks returns the global tick count the full log needs.
+// TotalTicks returns the global tick count the full log needs, or 0 when
+// slot protocols resolve lazily (GearProtocol): the schedule is not known
+// up front, so the log is driven until every slot commits instead.
 func (r *Replica) TotalTicks() int { return r.mux.TotalTicks() }
 
-// SlotRounds returns the round count of one slot's protocol.
-func (r *Replica) SlotRounds(slot int) int { return r.protos[slot].Rounds() }
+// SlotRounds returns the round count of one slot's protocol, or 0 when a
+// gear-scheduled slot has not been resolved yet (it resolves when the
+// slot enters the pipeline window).
+func (r *Replica) SlotRounds(slot int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p := r.protos[slot]; p != nil {
+		return p.Rounds()
+	}
+	return 0
+}
+
+// faultInjected reports whether the replica runs a fault-injection
+// wrapper — its errors are shadow-state artifacts, not engine failures.
+func (r *Replica) faultInjected() bool { return r.wrap != nil }
 
 // Submit queues one command on this replica. The command rides in the next
 // slot this replica sources with a free batch position. NoOp (0) is not
@@ -196,9 +251,23 @@ func (r *Replica) Err() error {
 // batch from the queue when it is the slot's source and builds the
 // position replicas.
 func (r *Replica) startSlot(slot int) (sim.Instance, error) {
+	r.mu.Lock()
+	proto, gearErr := r.protos[slot], r.gearErrs[slot]
+	r.mu.Unlock()
+	if gearErr != nil {
+		return nil, fmt.Errorf("rsm: slot %d: %w", slot, gearErr)
+	}
 	source := slot % r.cfg.N
 	batch := make([]Value, r.cfg.BatchSize)
-	if r.id == source {
+	// A fault-injected replica in a gear-scheduled log proposes no-op
+	// batches for the slots it sources (its queue stays pending): its
+	// shadow then commits all-no-op self-sourced entries, matching what
+	// omission-class strategies (silent, crash, omit) make the correct
+	// replicas commit, so its gear schedule stays in lockstep with
+	// theirs. Value-inventing strategies can still diverge the shadow's
+	// prefix; the drive loops detect and surface that.
+	gearedFaulty := r.cfg.GearProtocol != nil && r.wrap != nil
+	if r.id == source && !gearedFaulty {
 		r.mu.Lock()
 		take := len(r.queue)
 		if take > r.cfg.BatchSize {
@@ -210,7 +279,7 @@ func (r *Replica) startSlot(slot int) (sim.Instance, error) {
 	}
 	si := &slotInstance{slot: slot, id: r.id, n: r.cfg.N, source: source}
 	for pos := 0; pos < r.cfg.BatchSize; pos++ {
-		rep, err := r.protos[slot].NewReplica(r.id, batch[pos])
+		rep, err := proto.NewReplica(r.id, batch[pos])
 		if err != nil {
 			return nil, fmt.Errorf("rsm: slot %d position %d: %w", slot, pos, err)
 		}
@@ -279,4 +348,27 @@ func (r *Replica) setErrLocked(err error) {
 	if r.err == nil {
 		r.err = err
 	}
+}
+
+func (r *Replica) setErr(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.setErrLocked(err)
+}
+
+// scheduleKey fingerprints the configuration facts every replica of one
+// log must share for the lockstep pipeline to stay aligned.
+func (r *Replica) scheduleKey() string {
+	if r.cfg.GearProtocol != nil {
+		return fmt.Sprintf("n=%d slots=%d window=%d batch=%d rounds=gear",
+			r.cfg.N, r.cfg.Slots, r.cfg.Window, r.cfg.BatchSize)
+	}
+	r.mu.Lock()
+	rounds := make([]int, r.cfg.Slots)
+	for slot, p := range r.protos {
+		rounds[slot] = p.Rounds()
+	}
+	r.mu.Unlock()
+	return fmt.Sprintf("n=%d slots=%d window=%d batch=%d rounds=%v",
+		r.cfg.N, r.cfg.Slots, r.cfg.Window, r.cfg.BatchSize, rounds)
 }

@@ -89,7 +89,23 @@ type Config struct {
 	// BatchSize is the number of commands one slot can carry.
 	BatchSize int
 	// Protocol builds slot's agreement protocol; source = slot mod N.
+	// Exactly one of Protocol and GearProtocol must be set.
 	Protocol func(slot, source int) (Protocol, error)
+	// GearProtocol resolves slot's agreement protocol lazily, at the tick
+	// the slot enters the pipeline window, from the committed log prefix
+	// visible at that tick — the paper's gear shift applied to the log:
+	// later slots may run a different (cheaper) algorithm once earlier
+	// slots have exposed the adversary.
+	//
+	// Determinism contract: GearProtocol must be a pure function of its
+	// arguments (no clocks, randomness, or per-replica state). Under the
+	// lockstep schedule every correct replica holds an identical committed
+	// prefix at a slot's start tick, so a pure GearProtocol yields
+	// identical schedules. A divergent one is detected, not masked: over
+	// TCP the mesh fails fast with the frame instance/round mismatch
+	// protocol error, and RunSim stops with a schedule-divergence error as
+	// soon as one replica's pipeline finishes while another's is running.
+	GearProtocol func(slot, source int, prefix []Entry) (Protocol, error)
 }
 
 func (cfg Config) validate() error {
@@ -105,8 +121,11 @@ func (cfg Config) validate() error {
 	if cfg.BatchSize < 1 {
 		return fmt.Errorf("rsm: batch size %d must be ≥ 1", cfg.BatchSize)
 	}
-	if cfg.Protocol == nil {
-		return fmt.Errorf("rsm: config needs a Protocol factory")
+	if cfg.Protocol == nil && cfg.GearProtocol == nil {
+		return fmt.Errorf("rsm: config needs a Protocol or GearProtocol factory")
+	}
+	if cfg.Protocol != nil && cfg.GearProtocol != nil {
+		return fmt.Errorf("rsm: Protocol and GearProtocol are mutually exclusive")
 	}
 	return nil
 }

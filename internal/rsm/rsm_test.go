@@ -3,9 +3,12 @@ package rsm
 import (
 	"fmt"
 	"reflect"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"shiftgears/internal/adversary"
 	"shiftgears/internal/core"
 	"shiftgears/internal/sim"
 )
@@ -23,11 +26,16 @@ func (p coreProto) NewReplica(id int, initial Value) (InstanceReplica, error) {
 
 // exponentialFactory builds slot protocols for the paper's Exponential
 // algorithm, caching the per-source plan (slots with the same source share
-// their read-only environment, as interactive consistency does).
+// their read-only environment, as interactive consistency does). The
+// cache is locked because tests share one factory across a replica set,
+// and over TCP each node resolves its slots from its own goroutine.
 func exponentialFactory(t *testing.T, n, tt int) func(slot, source int) (Protocol, error) {
 	t.Helper()
+	var mu sync.Mutex
 	cache := map[int]Protocol{}
 	return func(slot, source int) (Protocol, error) {
+		mu.Lock()
+		defer mu.Unlock()
 		if p, ok := cache[source]; ok {
 			return p, nil
 		}
@@ -370,5 +378,472 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if _, err := NewReplica(good, 0); err != nil {
 		t.Error(err)
+	}
+}
+
+// noopProto is a one-round, zero-message slot protocol (the "blacklisted
+// slot" gear) for schedule tests.
+type noopProto struct{}
+
+func (noopProto) Rounds() int { return 1 }
+func (noopProto) NewReplica(id int, initial Value) (InstanceReplica, error) {
+	return &noopRep{id: id}, nil
+}
+
+type noopRep struct{ id int }
+
+func (r *noopRep) ID() int                                { return r.id }
+func (r *noopRep) PrepareRound(round int) [][]byte        { return nil }
+func (r *noopRep) DeliverRound(round int, inbox [][]byte) {}
+func (r *noopRep) Decided() (Value, bool)                 { return NoOp, true }
+func (r *noopRep) Err() error                             { return nil }
+
+// gearSetup builds a replica set whose slot protocols resolve lazily:
+// slots sourced by a source already convicted in the committed prefix (a
+// sourced slot committed no commands) run the one-round noop protocol,
+// everything else the given base factory.
+func gearSetup(t *testing.T, n, tt, slots, window int, base func(slot, source int) (Protocol, error)) Config {
+	t.Helper()
+	return Config{
+		N: n, Slots: slots, Window: window, BatchSize: 2,
+		GearProtocol: func(slot, source int, prefix []Entry) (Protocol, error) {
+			for _, e := range prefix {
+				if e.Source == source && len(e.Commands) == 0 {
+					return noopProto{}, nil
+				}
+			}
+			return base(slot, source)
+		},
+	}
+}
+
+// TestGearProtocolResolvesFromPrefix: a gear-scheduled log resolves each
+// slot's protocol from the committed prefix at the slot's start tick, all
+// correct replicas resolve identically, and the shifted schedule beats
+// the static one in ticks while committing the same commands.
+func TestGearProtocolResolvesFromPrefix(t *testing.T) {
+	const n, tt, slots, window = 4, 1, 12, 2
+	base := exponentialFactory(t, n, tt)
+
+	submit := map[int][]Value{
+		0: {11, 12, 13, 14, 15, 16},
+		1: {21, 22, 23, 24, 25, 26},
+		2: {31, 32, 33, 34, 35, 36},
+		// replica 3 silent: its slots burn, convicting it for the policy.
+	}
+	build := func(geared bool) []*Replica {
+		var cfg Config
+		if geared {
+			cfg = gearSetup(t, n, tt, slots, window, base)
+		} else {
+			cfg = Config{N: n, Slots: slots, Window: window, BatchSize: 2, Protocol: base}
+		}
+		replicas := make([]*Replica, n)
+		for id := 0; id < n; id++ {
+			r, err := NewReplica(cfg, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cmd := range submit[id] {
+				if err := r.Submit(cmd); err != nil {
+					t.Fatal(err)
+				}
+			}
+			replicas[id] = r
+		}
+		return replicas
+	}
+
+	geared := build(true)
+	gearStats, err := RunSim(geared, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := build(false)
+	staticStats, err := RunSim(static, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ref []Entry
+	for id, r := range geared {
+		if err := r.Err(); err != nil {
+			t.Fatalf("geared replica %d: %v", id, err)
+		}
+		entries := r.Entries()
+		if len(entries) != slots {
+			t.Fatalf("geared replica %d committed %d slots, want %d", id, len(entries), slots)
+		}
+		if ref == nil {
+			ref = entries
+		} else if !reflect.DeepEqual(entries, ref) {
+			t.Fatalf("geared replica %d log diverges", id)
+		}
+	}
+
+	// Slot 3 (source 3's first) runs the base gear and burns; slots 7 and
+	// 11 resolve after that burn commits and must have shifted to the
+	// one-round gear.
+	for _, slot := range []int{7, 11} {
+		if rounds := geared[0].SlotRounds(slot); rounds != 1 {
+			t.Fatalf("slot %d ran %d rounds, want the 1-round blacklist gear", slot, rounds)
+		}
+		if len(ref[slot].Commands) != 0 {
+			t.Fatalf("blacklisted slot %d committed %v", slot, ref[slot].Commands)
+		}
+	}
+	// The shift must not change what commits: correct sources' slots carry
+	// the same batches as the static log.
+	staticRef := static[0].Entries()
+	for slot := range ref {
+		if !reflect.DeepEqual(ref[slot].Batch, staticRef[slot].Batch) {
+			t.Fatalf("slot %d: geared batch %v, static batch %v", slot, ref[slot].Batch, staticRef[slot].Batch)
+		}
+	}
+	if gearStats.Rounds >= staticStats.Rounds {
+		t.Fatalf("geared log used %d ticks, static %d", gearStats.Rounds, staticStats.Rounds)
+	}
+}
+
+// TestGearProtocolTCPMatchesSim: the same gear-scheduled log commits the
+// same entries in the same number of ticks over the TCP mesh.
+func TestGearProtocolTCPMatchesSim(t *testing.T) {
+	const n, tt, slots, window = 4, 1, 8, 2
+	base := exponentialFactory(t, n, tt)
+	build := func() []*Replica {
+		cfg := gearSetup(t, n, tt, slots, window, base)
+		replicas := make([]*Replica, n)
+		for id := 0; id < n; id++ {
+			r, err := NewReplica(cfg, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id != 3 { // replica 3 stays silent and gets convicted
+				for _, cmd := range []Value{Value(10*id + 1), Value(10*id + 2), Value(10*id + 3)} {
+					if err := r.Submit(cmd); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			replicas[id] = r
+		}
+		return replicas
+	}
+
+	tcpReplicas := build()
+	tcpStats, err := RunTCP(tcpReplicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simReplicas := build()
+	simStats, err := RunSim(simReplicas, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tcpReplicas[0].Entries(), simReplicas[0].Entries()) {
+		t.Fatal("TCP geared log diverges from sim geared log")
+	}
+	if tcpStats.Rounds != simStats.Rounds {
+		t.Fatalf("TCP ran %d ticks, sim %d", tcpStats.Rounds, simStats.Rounds)
+	}
+	if rounds := tcpReplicas[0].SlotRounds(7); rounds != 1 {
+		t.Fatalf("slot 7 ran %d rounds over TCP, want 1", rounds)
+	}
+}
+
+// divergentGearConfig gives replica divergeID a shorter protocol for slot
+// 1 than everyone else — an impure gear policy's signature.
+func divergentGearConfig(t *testing.T, base func(slot, source int) (Protocol, error), n, slots, divergeID, id int) Config {
+	t.Helper()
+	return Config{
+		N: n, Slots: slots, Window: 1, BatchSize: 1,
+		GearProtocol: func(slot, source int, prefix []Entry) (Protocol, error) {
+			if slot == 1 && id == divergeID {
+				return noopProto{}, nil
+			}
+			return base(slot, source)
+		},
+	}
+}
+
+// TestGearDivergenceSurfacesSim: a divergent gear schedule stops the sim
+// drive loop with a schedule-divergence error instead of hanging or
+// silently committing diverging logs.
+func TestGearDivergenceSurfacesSim(t *testing.T) {
+	const n, slots = 4, 3
+	base := exponentialFactory(t, n, 1)
+	replicas := make([]*Replica, n)
+	for id := 0; id < n; id++ {
+		r, err := NewReplica(divergentGearConfig(t, base, n, slots, 0, id), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[id] = r
+	}
+	_, err := RunSim(replicas, false)
+	if err == nil {
+		t.Fatal("divergent gear schedule not surfaced")
+	}
+	if !strings.Contains(err.Error(), "divergence") {
+		t.Fatalf("divergence error unclear: %v", err)
+	}
+}
+
+// TestGearDivergenceSurfacesTCP: the same divergence fails fast over TCP
+// with the frame instance/round mismatch protocol error.
+func TestGearDivergenceSurfacesTCP(t *testing.T) {
+	const n, slots = 4, 3
+	base := exponentialFactory(t, n, 1)
+	replicas := make([]*Replica, n)
+	for id := 0; id < n; id++ {
+		r, err := NewReplica(divergentGearConfig(t, base, n, slots, 0, id), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[id] = r
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunTCP(replicas)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("divergent gear schedule not surfaced over TCP")
+		}
+		if !strings.Contains(err.Error(), "sent frame") {
+			t.Fatalf("want the frame round-mismatch protocol error, got: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunTCP hung on a divergent gear schedule")
+	}
+}
+
+// TestRunSimSurfacesFactoryError: a slot factory failing mid-run (its
+// slot enters the window after the pipeline started) must fail RunSim
+// with that error promptly — not leave the replica silently mute for the
+// rest of the run.
+func TestRunSimSurfacesFactoryError(t *testing.T) {
+	base := exponentialFactory(t, 4, 1)
+	mkCfg := func(failSlot int) Config {
+		return Config{
+			N: 4, Slots: 6, Window: 1, BatchSize: 1,
+			Protocol: func(slot, source int) (Protocol, error) {
+				p, err := base(slot, source)
+				if err != nil {
+					return nil, err
+				}
+				if slot == failSlot {
+					return brokenProto{p}, nil
+				}
+				return p, nil
+			},
+		}
+	}
+	replicas := make([]*Replica, 4)
+	for id := 0; id < 4; id++ {
+		failSlot := -1
+		if id == 2 {
+			failSlot = 3
+		}
+		r, err := NewReplica(mkCfg(failSlot), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[id] = r
+	}
+	_, err := RunSim(replicas, false)
+	if err == nil {
+		t.Fatal("poisoned factory did not fail the run")
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("run failed without the factory's error: %v", err)
+	}
+}
+
+// TestRunRejectsMismatchedSchedules: replica sets whose configurations
+// disagree on the lockstep schedule (slot count, window, or per-slot
+// rounds) are rejected with a clear error before any tick runs.
+func TestRunRejectsMismatchedSchedules(t *testing.T) {
+	exp := exponentialFactory(t, 4, 1)
+	short := func(slot, source int) (Protocol, error) { return noopProto{}, nil }
+
+	build := func(cfg Config, id int) *Replica {
+		r, err := NewReplica(cfg, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	base := Config{N: 4, Slots: 4, Window: 2, BatchSize: 1, Protocol: exp}
+
+	cases := []struct {
+		name string
+		odd  Config // replica 2's configuration
+	}{
+		{"slots", Config{N: 4, Slots: 6, Window: 2, BatchSize: 1, Protocol: exp}},
+		{"window", Config{N: 4, Slots: 4, Window: 3, BatchSize: 1, Protocol: exp}},
+		{"rounds", Config{N: 4, Slots: 4, Window: 2, BatchSize: 1, Protocol: short}},
+	}
+	for _, c := range cases {
+		replicas := []*Replica{build(base, 0), build(base, 1), build(c.odd, 2), build(base, 3)}
+		_, err := RunSim(replicas, false)
+		if err == nil {
+			t.Errorf("%s mismatch accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "schedule") {
+			t.Errorf("%s mismatch error unclear: %v", c.name, err)
+		}
+		if _, err := RunTCP(replicas); err == nil {
+			t.Errorf("%s mismatch accepted over TCP", c.name)
+		}
+	}
+
+	// Replica count must match every replica's configured N.
+	small := []*Replica{build(base, 0), build(base, 1)}
+	if _, err := RunSim(small, false); err == nil {
+		t.Error("short replica set accepted")
+	}
+}
+
+// TestGearProtocolMayTouchReplica: the GearProtocol callback is user
+// code and may consult its replica's public API (Pending, Entries,
+// SlotRounds) while deciding a gear. The resolver must not hold the
+// replica's lock across the callback — this test deadlocks if it does.
+func TestGearProtocolMayTouchReplica(t *testing.T) {
+	const n, slots = 4, 3
+	base := exponentialFactory(t, n, 1)
+	replicas := make([]*Replica, n)
+	for id := 0; id < n; id++ {
+		id := id
+		cfg := Config{
+			N: n, Slots: slots, Window: 1, BatchSize: 1,
+			GearProtocol: func(slot, source int, prefix []Entry) (Protocol, error) {
+				r := replicas[id]
+				_ = r.Pending()
+				_ = r.Entries()
+				_ = r.SlotRounds(slot)
+				return base(slot, source)
+			},
+		}
+		r, err := NewReplica(cfg, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[id] = r
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunSim(replicas, false)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunSim deadlocked on a replica-touching gear callback")
+	}
+}
+
+// TestRunRejectsAllFaultInjected: a replica set with every replica
+// fault-injected has no trustworthy schedule or error reporter — the
+// drive loops must reject it up front, not spin forever on a wedge.
+func TestRunRejectsAllFaultInjected(t *testing.T) {
+	cfg := Config{N: 4, Slots: 4, Window: 2, BatchSize: 1, Protocol: exponentialFactory(t, 4, 1)}
+	replicas := make([]*Replica, 4)
+	for id := 0; id < 4; id++ {
+		r, err := NewReplica(cfg, id, WithByzantine("silent", 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[id] = r
+	}
+	_, err := RunSim(replicas, false)
+	if err == nil {
+		t.Fatal("all-fault-injected set accepted")
+	}
+	if !strings.Contains(err.Error(), "no correct replicas") {
+		t.Fatalf("all-fault-injected error unclear: %v", err)
+	}
+}
+
+// TestStaticWedgeBlamesReplicaNotGears: on a statically configured log a
+// fault-injected replica whose slot factory fails wedges its mux; the
+// run must stop at the static schedule's end blaming the wedged replica
+// (with its factory error), not gear policies the config does not use.
+func TestStaticWedgeBlamesReplicaNotGears(t *testing.T) {
+	base := exponentialFactory(t, 4, 1)
+	mkCfg := func(failSlot int) Config {
+		return Config{
+			N: 4, Slots: 6, Window: 1, BatchSize: 1,
+			Protocol: func(slot, source int) (Protocol, error) {
+				p, err := base(slot, source)
+				if err != nil {
+					return nil, err
+				}
+				if slot == failSlot {
+					return brokenProto{p}, nil
+				}
+				return p, nil
+			},
+		}
+	}
+	replicas := make([]*Replica, 4)
+	for id := 0; id < 4; id++ {
+		failSlot := -1
+		var opts []ReplicaOption
+		if id == 2 {
+			failSlot = 3
+			opts = append(opts, WithByzantine("silent", 1))
+		}
+		r, err := NewReplica(mkCfg(failSlot), id, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[id] = r
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunSim(replicas, false)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("wedged fault-injected replica not surfaced")
+		}
+		if strings.Contains(err.Error(), "gear policies") {
+			t.Fatalf("static wedge blamed on gear policies: %v", err)
+		}
+		if !strings.Contains(err.Error(), "wedged") || !strings.Contains(err.Error(), "boom") {
+			t.Fatalf("wedge error missing the replica's factory error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunSim spun on a wedged static schedule")
+	}
+}
+
+// TestByzantineStrategyFreshPerSlot: the fault-injection wrapper must
+// construct a fresh strategy per slot — a stateful strategy (stutter)
+// shared across pipelined slots would mix their payload histories.
+func TestByzantineStrategyFreshPerSlot(t *testing.T) {
+	cfg := Config{N: 4, Slots: 2, Window: 2, BatchSize: 1, Protocol: exponentialFactory(t, 4, 1)}
+	r, err := NewReplica(cfg, 0, WithByzantine("stutter", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	si0 := &slotInstance{slot: 0, id: 0, n: 4, source: 0}
+	si1 := &slotInstance{slot: 1, id: 0, n: 4, source: 1}
+	p0, ok0 := r.wrap(0, si0).(*adversary.Processor)
+	p1, ok1 := r.wrap(1, si1).(*adversary.Processor)
+	if !ok0 || !ok1 {
+		t.Fatal("wrap did not produce adversary processors")
+	}
+	if p0.Strategy() == p1.Strategy() {
+		t.Fatal("one strategy instance shared across slots")
 	}
 }

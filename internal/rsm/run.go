@@ -8,12 +8,31 @@ import (
 )
 
 // muxes validates the replica set and returns their schedules as
-// processors 0..n-1.
+// processors 0..n-1. Beyond ids, it checks that every replica was built
+// against the same lockstep schedule (N, Slots, Window, BatchSize, and —
+// for statically configured logs — every slot's round count): mismatched
+// configurations would not fail fast on their own, they would silently
+// desynchronize the pipeline. Gear-scheduled logs resolve round counts at
+// runtime, so only the shape is checked here; a divergent GearProtocol is
+// caught by the drive loops instead.
 func muxes(replicas []*Replica) ([]sim.Processor, error) {
 	if len(replicas) == 0 {
 		return nil, fmt.Errorf("rsm: no replicas")
 	}
+	correct := 0
+	for _, r := range replicas {
+		if r != nil && !r.faultInjected() {
+			correct++
+		}
+	}
+	// An all-fault-injected set has no replica whose errors or schedule
+	// the drive loops trust: a wedge could spin forever with nothing to
+	// report. It is also meaningless — there is no correct log to read.
+	if correct == 0 {
+		return nil, fmt.Errorf("rsm: no correct replicas: every replica is fault-injected")
+	}
 	procs := make([]sim.Processor, len(replicas))
+	var refKey string
 	for i, r := range replicas {
 		if r == nil {
 			return nil, fmt.Errorf("rsm: replica %d is nil", i)
@@ -21,14 +40,27 @@ func muxes(replicas []*Replica) ([]sim.Processor, error) {
 		if r.ID() != i {
 			return nil, fmt.Errorf("rsm: replica at index %d reports id %d", i, r.ID())
 		}
+		if r.cfg.N != len(replicas) {
+			return nil, fmt.Errorf("rsm: replica %d is configured for %d replicas, running %d", i, r.cfg.N, len(replicas))
+		}
+		key := r.scheduleKey()
+		if i == 0 {
+			refKey = key
+		} else if key != refKey {
+			return nil, fmt.Errorf("rsm: replica %d schedule (%s) differs from replica 0 (%s): all replicas must share identical Window/Slots/rounds configurations", i, key, refKey)
+		}
 		procs[i] = r.Mux()
 	}
 	return procs, nil
 }
 
 // RunSim drives a full replica set over the in-process synchronous
-// network until every slot has committed. The caller checks each correct
-// replica's Err and Entries afterwards.
+// network until every slot has committed. Engine errors surface promptly:
+// a replica whose mux or protocol fails (e.g. a poisoned slot factory)
+// stops the run with that error instead of leaving the replica silently
+// mute, and replicas finishing at different ticks — the signature of a
+// divergent gear schedule — stop the run with a divergence error. The
+// caller still checks each correct replica's Err and Entries afterwards.
 func RunSim(replicas []*Replica, parallel bool) (*sim.Stats, error) {
 	procs, err := muxes(replicas)
 	if err != nil {
@@ -42,13 +74,84 @@ func RunSim(replicas []*Replica, parallel bool) (*sim.Stats, error) {
 	if err != nil {
 		return nil, err
 	}
-	return nw.Run(replicas[0].TotalTicks())
+	// A statically configured log's schedule length is known up front —
+	// bound the run by it so a wedged replica (e.g. a fault-injected one
+	// whose slot factory failed) cannot spin the loop past the schedule.
+	// Gear-scheduled logs report 0 (unknown) and run until the predicate
+	// stops them.
+	maxTicks := replicas[0].TotalTicks()
+	geared := replicas[0].cfg.GearProtocol != nil
+	var runErr error
+	stats, err := nw.RunUntil(maxTicks, func(round int) bool {
+		done := 0
+		for _, r := range replicas {
+			// Fault-injected replicas run shadow state; their errors are
+			// not engine failures and are ignored, as Run callers do.
+			if !r.faultInjected() {
+				if rerr := r.Err(); rerr != nil {
+					runErr = rerr
+					return true
+				}
+			}
+			if r.Mux().Done() {
+				done++
+			}
+		}
+		if done == len(replicas) {
+			return true
+		}
+		if done > 0 {
+			if geared {
+				runErr = fmt.Errorf("rsm: schedule divergence after %d ticks: %d of %d replicas finished early (gear policies must be identical pure functions of the committed prefix)", round, done, len(replicas))
+			} else {
+				runErr = wedgeErr(replicas, round)
+			}
+			return true
+		}
+		return false
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	// A bounded run that exhausted its schedule without every replica
+	// finishing wedged without diverging (e.g. every replica stalled the
+	// same way); report it rather than returning a short log.
+	for _, r := range replicas {
+		if !r.Mux().Done() {
+			return nil, wedgeErr(replicas, stats.Rounds)
+		}
+	}
+	return stats, nil
+}
+
+// wedgeErr describes replicas stuck short of their static schedule,
+// preferring a stuck replica's own error (a fault-injected replica's
+// failed slot factory, say) over the generic description.
+func wedgeErr(replicas []*Replica, round int) error {
+	stuck := 0
+	for _, r := range replicas {
+		if !r.Mux().Done() {
+			stuck++
+		}
+	}
+	for _, r := range replicas {
+		if !r.Mux().Done() {
+			if rerr := r.Err(); rerr != nil {
+				return fmt.Errorf("rsm: replica %d wedged after %d ticks: %w", r.ID(), round, rerr)
+			}
+		}
+	}
+	return fmt.Errorf("rsm: %d of %d replicas wedged after %d ticks of the static schedule", stuck, len(replicas), round)
 }
 
 // RunTCP drives a full replica set over a loopback TCP mesh — the same
 // lockstep pipeline as RunSim, with every frame crossing a real socket.
 // Multi-host deployments run one cmd/logserver process per replica
-// instead.
+// instead. A divergent gear schedule fails fast with the transport's
+// frame instance/round mismatch error.
 func RunTCP(replicas []*Replica, opts ...transport.Option) (*sim.Stats, error) {
 	procs, err := muxes(replicas)
 	if err != nil {

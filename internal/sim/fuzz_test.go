@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// gearMixedMux builds a mux decode target whose active window mixes gears:
+// instances at very different local rounds and round counts, the shape a
+// gear-scheduled log (1-round no-op slots interleaved with 7-round hybrid
+// slots) puts on the wire.
+func gearMixedMux() *Mux {
+	return &Mux{cfg: MuxConfig{N: 3}, active: []*running{
+		{inst: 4, round: 5, rounds: 7},
+		{inst: 6, round: 1, rounds: 1},
+		{inst: 7, round: 2, rounds: 4},
+	}}
+}
+
+// FuzzMuxDecodeSections hammers the section decoder with arbitrary
+// payloads against a gear-mixed active set: it must never panic, must
+// reject anything that is not exactly one well-formed section per active
+// instance (in order, matching ids and rounds), and must round-trip what
+// it accepts.
+func FuzzMuxDecodeSections(f *testing.F) {
+	// Seed 1: the canonical well-formed gear-mixed stream.
+	good := AppendMuxSection(nil, 4, 5, []byte{1, 2, 3})
+	good = AppendMuxSection(good, 6, 1, nil)
+	good = AppendMuxSection(good, 7, 2, []byte{})
+	f.Add(good)
+	// Seed 2: sections in the wrong order (a divergent schedule's wire
+	// shape: the sender ran the no-op slot first).
+	swapped := AppendMuxSection(nil, 6, 1, nil)
+	swapped = AppendMuxSection(swapped, 4, 5, []byte{1, 2, 3})
+	swapped = AppendMuxSection(swapped, 7, 2, []byte{})
+	f.Add(swapped)
+	// Seed 3: right instances, wrong local rounds (the sender's gear gave
+	// the slot a different round count).
+	lagged := AppendMuxSection(nil, 4, 6, []byte{1, 2, 3})
+	lagged = AppendMuxSection(lagged, 6, 2, nil)
+	lagged = AppendMuxSection(lagged, 7, 3, []byte{})
+	f.Add(lagged)
+	// Seed 4: truncated mid-payload; Seed 5: trailing garbage.
+	f.Add(good[:len(good)-2])
+	f.Add(append(append([]byte{}, good...), 0x01))
+	// Seed 6: huge declared length (len+1 overflow probe).
+	f.Add([]byte{4, 5, 0xff, 0xff, 0xff, 0xff, 0x0f})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		m := gearMixedMux()
+		out := m.decodeSections(payload)
+		if out == nil {
+			return // rejected as silence: always legal
+		}
+		if len(out) != len(m.active) {
+			t.Fatalf("accepted payload decoded to %d sections, want %d", len(out), len(m.active))
+		}
+		// Round-trip: re-encoding the decoded sections against the same
+		// active set must reproduce an accepted, equal decoding.
+		var re []byte
+		for k, ru := range m.active {
+			re = AppendMuxSection(re, ru.inst, ru.round, out[k])
+		}
+		again := m.decodeSections(re)
+		if again == nil {
+			t.Fatalf("re-encoded accepted payload rejected: %x", re)
+		}
+		for k := range out {
+			if !bytes.Equal(out[k], again[k]) {
+				t.Fatalf("section %d round-trip mismatch: %x vs %x", k, out[k], again[k])
+			}
+		}
+	})
+}

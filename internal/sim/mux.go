@@ -40,7 +40,20 @@ type MuxConfig struct {
 	// Rounds holds every instance's local round count, indexed by instance
 	// id; its length is the total instance count. All processors must use
 	// identical Rounds and Window or the lockstep schedules diverge.
+	// Exactly one of Rounds and RoundsFor must be set.
 	Rounds []int
+	// RoundsFor resolves an instance's local round count lazily, when the
+	// instance enters the window — the gear-shifting hook: the count may
+	// depend on state established by already-finished instances (e.g. a
+	// replicated log's committed prefix). It must return ≥ 1 and must be
+	// the same pure function on every node, or the lockstep schedules
+	// diverge: over TCP the mesh fails fast with the frame instance/round
+	// mismatch error; in sim mode the drive loop stops with a divergence
+	// error when one node's schedule finishes before another's.
+	RoundsFor func(instance int) int
+	// Instances is the total instance count when RoundsFor is set; ignored
+	// with Rounds (len(Rounds) is the count).
+	Instances int
 	// Start lazily constructs an instance when it enters the window. A
 	// late construction point lets instances capture state (e.g. a command
 	// queue) at their scheduled start rather than at setup time.
@@ -52,10 +65,11 @@ type MuxConfig struct {
 
 // running is one in-flight instance.
 type running struct {
-	inst  int
-	round int // current local round, 1-based
-	proc  Instance
-	out   [][]byte // outbox for the current tick (nil = silent)
+	inst   int
+	round  int // current local round, 1-based
+	rounds int // total local rounds (static or lazily resolved)
+	proc   Instance
+	out    [][]byte // outbox for the current tick (nil = silent)
 }
 
 // MuxFrame is one active instance's contribution to a tick.
@@ -71,12 +85,13 @@ type MuxFrame struct {
 // Outboxes/Deliver for drivers that frame instances individually (the TCP
 // transport).
 type Mux struct {
-	cfg      MuxConfig
-	next     int // next instance id not yet started
-	active   []*running
-	ticks    int
-	prepared bool
-	err      error
+	cfg       MuxConfig
+	instances int // total instance count
+	next      int // next instance id not yet started
+	active    []*running
+	ticks     int
+	prepared  bool
+	err       error
 }
 
 var _ Processor = (*Mux)(nil)
@@ -89,7 +104,14 @@ func NewMux(cfg MuxConfig) (*Mux, error) {
 	if cfg.Window < 1 {
 		return nil, fmt.Errorf("sim: mux window %d must be ≥ 1", cfg.Window)
 	}
-	if len(cfg.Rounds) == 0 {
+	instances := len(cfg.Rounds)
+	if cfg.RoundsFor != nil {
+		if cfg.Rounds != nil {
+			return nil, fmt.Errorf("sim: mux takes Rounds or RoundsFor, not both")
+		}
+		instances = cfg.Instances
+	}
+	if instances < 1 {
 		return nil, fmt.Errorf("sim: mux needs at least one instance")
 	}
 	for inst, r := range cfg.Rounds {
@@ -100,7 +122,7 @@ func NewMux(cfg MuxConfig) (*Mux, error) {
 	if cfg.Start == nil {
 		return nil, fmt.Errorf("sim: mux needs a Start factory")
 	}
-	return &Mux{cfg: cfg}, nil
+	return &Mux{cfg: cfg, instances: instances}, nil
 }
 
 // MuxTicks returns the number of global ticks the greedy window schedule
@@ -136,23 +158,41 @@ func (m *Mux) ID() int { return m.cfg.ID }
 // Ticks returns the number of completed global ticks.
 func (m *Mux) Ticks() int { return m.ticks }
 
-// TotalTicks returns the tick count the full schedule needs.
-func (m *Mux) TotalTicks() int { return MuxTicks(m.cfg.Rounds, m.cfg.Window) }
+// TotalTicks returns the tick count the full schedule needs, or 0 when
+// round counts resolve lazily (the schedule is not known up front; drive
+// the mux until Done instead).
+func (m *Mux) TotalTicks() int {
+	if m.cfg.RoundsFor != nil {
+		return 0
+	}
+	return MuxTicks(m.cfg.Rounds, m.cfg.Window)
+}
 
 // Done reports whether every instance has completed.
-func (m *Mux) Done() bool { return m.next == len(m.cfg.Rounds) && len(m.active) == 0 }
+func (m *Mux) Done() bool { return m.next == m.instances && len(m.active) == 0 }
 
 // Err returns the first schedule or instance-construction error.
 func (m *Mux) Err() error { return m.err }
 
-// fill starts instances until the window is full or none remain.
+// fill starts instances until the window is full or none remain. With
+// RoundsFor, an instance's round count is resolved here — at the moment
+// the instance enters the window, before its factory runs.
 func (m *Mux) fill() error {
-	for len(m.active) < m.cfg.Window && m.next < len(m.cfg.Rounds) {
+	for len(m.active) < m.cfg.Window && m.next < m.instances {
+		var rounds int
+		if m.cfg.RoundsFor != nil {
+			rounds = m.cfg.RoundsFor(m.next)
+			if rounds < 1 {
+				return fmt.Errorf("sim: instance %d resolved round count %d, want ≥ 1", m.next, rounds)
+			}
+		} else {
+			rounds = m.cfg.Rounds[m.next]
+		}
 		proc, err := m.cfg.Start(m.next)
 		if err != nil {
 			return fmt.Errorf("sim: start instance %d: %w", m.next, err)
 		}
-		m.active = append(m.active, &running{inst: m.next, round: 1, proc: proc})
+		m.active = append(m.active, &running{inst: m.next, round: 1, rounds: rounds, proc: proc})
 		m.next++
 	}
 	return nil
@@ -221,7 +261,7 @@ func (m *Mux) Deliver(in [][][]byte) error {
 	for _, ru := range m.active {
 		ru.round++
 		ru.out = nil
-		if ru.round > m.cfg.Rounds[ru.inst] {
+		if ru.round > ru.rounds {
 			if m.cfg.Finish != nil {
 				m.cfg.Finish(ru.inst)
 			}

@@ -224,17 +224,136 @@ func TestMuxSectionCodec(t *testing.T) {
 
 func TestMuxValidation(t *testing.T) {
 	start := func(int) (Instance, error) { return &tagInstance{n: 2}, nil }
+	roundsFor := func(int) int { return 1 }
 	bad := []MuxConfig{
 		{ID: 0, N: 2, Window: 0, Rounds: []int{1}, Start: start},
 		{ID: 2, N: 2, Window: 1, Rounds: []int{1}, Start: start},
 		{ID: 0, N: 2, Window: 1, Rounds: nil, Start: start},
 		{ID: 0, N: 2, Window: 1, Rounds: []int{0}, Start: start},
 		{ID: 0, N: 2, Window: 1, Rounds: []int{1}},
+		{ID: 0, N: 2, Window: 1, Rounds: []int{1}, RoundsFor: roundsFor, Instances: 1, Start: start},
+		{ID: 0, N: 2, Window: 1, RoundsFor: roundsFor, Start: start}, // missing Instances
 	}
 	for i, cfg := range bad {
 		if _, err := NewMux(cfg); err == nil {
 			t.Errorf("config %d accepted: %+v", i, cfg)
 		}
+	}
+	if _, err := NewMux(MuxConfig{ID: 0, N: 2, Window: 1, RoundsFor: roundsFor, Instances: 3, Start: start}); err != nil {
+		t.Errorf("lazy-rounds config rejected: %v", err)
+	}
+}
+
+// TestMuxLazyRounds: RoundsFor resolves an instance's round count at the
+// moment the instance enters the window — not before — and the resulting
+// schedule is byte-identical to the equivalent static Rounds schedule.
+func TestMuxLazyRounds(t *testing.T) {
+	const n, window = 3, 2
+	rounds := []int{4, 1, 2, 3}
+
+	build := func(lazy bool, resolved *[][]int) []Processor {
+		procs := make([]Processor, n)
+		for id := 0; id < n; id++ {
+			id := id
+			cfg := MuxConfig{
+				ID: id, N: n, Window: window,
+				Start: func(inst int) (Instance, error) {
+					return &tagInstance{inst: inst, n: n}, nil
+				},
+			}
+			if lazy {
+				cfg.Instances = len(rounds)
+				cfg.RoundsFor = func(inst int) int {
+					(*resolved)[id] = append((*resolved)[id], inst)
+					return rounds[inst]
+				}
+			} else {
+				cfg.Rounds = rounds
+			}
+			m, err := NewMux(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			procs[id] = m
+		}
+		return procs
+	}
+
+	resolved := make([][]int, n)
+	lazyProcs := build(true, &resolved)
+
+	// Nothing resolves before the first tick (lazy, not eager).
+	for id := range resolved {
+		if len(resolved[id]) != 0 {
+			t.Fatalf("node %d resolved %v before any tick", id, resolved[id])
+		}
+	}
+	nw, err := NewNetwork(lazyProcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MuxTicks(rounds, window)
+	stats, err := nw.Run(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != want {
+		t.Fatalf("lazy schedule ran %d ticks, want %d", stats.Rounds, want)
+	}
+	for id := 0; id < n; id++ {
+		m := lazyProcs[id].(*Mux)
+		if !m.Done() || m.Err() != nil {
+			t.Fatalf("node %d: done=%v err=%v", id, m.Done(), m.Err())
+		}
+		// Instances resolve in schedule order, each exactly once.
+		if len(resolved[id]) != len(rounds) {
+			t.Fatalf("node %d resolved %v", id, resolved[id])
+		}
+		for k, inst := range resolved[id] {
+			if inst != k {
+				t.Fatalf("node %d resolution order %v, want identity", id, resolved[id])
+			}
+		}
+		if m.TotalTicks() != 0 {
+			t.Fatalf("lazy mux claims TotalTicks %d, want 0 (unknown)", m.TotalTicks())
+		}
+	}
+
+	// With RoundsFor resolving lazily, instance 2's count could have
+	// depended on instance 1's outcome: it resolves strictly after
+	// instance 1 finished (rounds[1]=1, window 2 → instance 2 enters at
+	// tick 2).
+	// The wire behavior must match the static schedule exactly.
+	staticProcs := build(false, nil)
+	nw2, err := NewNetwork(staticProcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats2, err := nw2.Run(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Rounds != stats.Rounds || stats2.Bytes != stats.Bytes || stats2.Messages != stats.Messages {
+		t.Fatalf("lazy and static schedules diverge: %+v vs %+v", stats, stats2)
+	}
+}
+
+// TestMuxLazyRoundsInvalid: a RoundsFor returning < 1 fails the tick with
+// a schedule error rather than wedging the window.
+func TestMuxLazyRoundsInvalid(t *testing.T) {
+	m, err := NewMux(MuxConfig{
+		ID: 0, N: 2, Window: 1, Instances: 2,
+		RoundsFor: func(inst int) int { return -inst }, // instance 0 → 0: invalid
+		Start:     func(inst int) (Instance, error) { return &tagInstance{inst: inst, n: 2}, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Outboxes(); err == nil {
+		t.Fatal("invalid resolved round count not surfaced")
+	}
+	if m.Err() == nil {
+		t.Fatal("Err() empty after invalid resolution")
 	}
 }
 

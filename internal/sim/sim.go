@@ -98,6 +98,22 @@ func (nw *Network) Run(rounds int) (*Stats, error) {
 	if rounds < 1 {
 		return nil, fmt.Errorf("sim: round count %d must be positive", rounds)
 	}
+	return nw.run(rounds, nil)
+}
+
+// RunUntil executes rounds until stop reports true, checked after every
+// completed round (all deliveries done). maxRounds bounds the run as a
+// safety net against a stop predicate that never fires; maxRounds ≤ 0
+// means unbounded. Drive loops whose length is not known up front — a
+// mux whose round counts resolve lazily — use this instead of Run.
+func (nw *Network) RunUntil(maxRounds int, stop func(round int) bool) (*Stats, error) {
+	if stop == nil {
+		return nil, fmt.Errorf("sim: RunUntil needs a stop predicate")
+	}
+	return nw.run(maxRounds, stop)
+}
+
+func (nw *Network) run(maxRounds int, stop func(round int) bool) (*Stats, error) {
 	n := len(nw.procs)
 	outboxes := make([][][]byte, n)
 	inboxes := make([][][]byte, n)
@@ -105,8 +121,12 @@ func (nw *Network) Run(rounds int) (*Stats, error) {
 		inboxes[i] = make([][]byte, n)
 	}
 
-	nw.stats = Stats{PerRound: make([]RoundStats, 0, rounds)}
-	for r := 1; r <= rounds; r++ {
+	capHint := 0
+	if maxRounds > 0 {
+		capHint = maxRounds
+	}
+	nw.stats = Stats{PerRound: make([]RoundStats, 0, capHint)}
+	for r := 1; maxRounds <= 0 || r <= maxRounds; r++ {
 		// Send half: collect every processor's outbox for this round.
 		if nw.parallel {
 			var wg sync.WaitGroup
@@ -179,6 +199,9 @@ func (nw *Network) Run(rounds int) (*Stats, error) {
 
 		if nw.hook != nil {
 			nw.hook(r)
+		}
+		if stop != nil && stop(r) {
+			break
 		}
 	}
 	out := nw.stats

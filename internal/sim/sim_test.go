@@ -268,3 +268,51 @@ func TestStatsCopySafety(t *testing.T) {
 		t.Fatal("stats alias internal state across runs")
 	}
 }
+
+// TestRunUntil: the open-ended drive loop stops the round after its
+// predicate fires, honors the maxRounds safety bound, and rejects a nil
+// predicate.
+func TestRunUntil(t *testing.T) {
+	mk := func() (*Network, *echoProc) {
+		a, b := &echoProc{id: 0, n: 2}, &echoProc{id: 1, n: 2}
+		nw, err := NewNetwork([]Processor{a, b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nw, a
+	}
+
+	nw, a := mk()
+	stats, err := nw.RunUntil(0, func(round int) bool { return round == 5 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 5 || len(a.received) != 5 {
+		t.Fatalf("ran %d rounds (proc saw %d), want 5", stats.Rounds, len(a.received))
+	}
+
+	// The predicate runs after deliveries: round 1's inbox is complete
+	// even when stopping immediately.
+	nw, a = mk()
+	if _, err := nw.RunUntil(0, func(int) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.received) != 1 || len(a.received[0]) != 2 {
+		t.Fatalf("first round not fully delivered before stop: %v", a.received)
+	}
+
+	// maxRounds bounds a predicate that never fires.
+	nw, _ = mk()
+	stats, err = nw.RunUntil(3, func(int) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 3 {
+		t.Fatalf("unbounded predicate ran %d rounds, want maxRounds=3", stats.Rounds)
+	}
+
+	nw, _ = mk()
+	if _, err := nw.RunUntil(0, nil); err == nil {
+		t.Fatal("nil stop predicate accepted")
+	}
+}

@@ -58,7 +58,12 @@ func NewCluster(procs []sim.Processor, opts ...Option) (*Cluster, error) {
 // runAll drives every node concurrently. The first node to fail tears
 // the mesh down (closing all connections), which unblocks peers stuck in
 // the lockstep barrier waiting for the failed node's frames; that first
-// error is the one reported.
+// error is the one reported. A node that completes its schedule also
+// closes its own connections: on an aligned mesh every node finishes the
+// same tick and nothing is left to exchange, while on a divergent mesh —
+// one node's (gear-resolved) schedule ending before the others' — the
+// stragglers' pending reads fail with a teardown error instead of
+// blocking forever on frames that will never come.
 func (c *Cluster) runAll(run func(*Node) (*sim.Stats, error)) (*sim.Stats, error) {
 	var wg sync.WaitGroup
 	stats := make([]*sim.Stats, len(c.nodes))
@@ -76,6 +81,8 @@ func (c *Cluster) runAll(run func(*Node) (*sim.Stats, error)) (*sim.Stats, error
 					firstNode, firstErr = i, err
 					c.Close()
 				})
+			} else {
+				_ = node.Close()
 			}
 		}(i, node)
 	}

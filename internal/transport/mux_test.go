@@ -2,8 +2,10 @@ package transport
 
 import (
 	"bytes"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"shiftgears/internal/sim"
 )
@@ -111,5 +113,134 @@ func TestRunMuxRequiresMuxProcessor(t *testing.T) {
 	defer cluster.Close()
 	if _, err := cluster.nodes[0].RunMux(); err == nil {
 		t.Fatal("RunMux accepted a non-mux processor")
+	}
+}
+
+// TestRunMuxLazyRoundsMatchesStatic: a mesh whose round counts resolve
+// lazily (RoundsFor) behaves identically to the static schedule — the
+// wire format carries instance+round already, so nothing changes on the
+// frames.
+func TestRunMuxLazyRoundsMatchesStatic(t *testing.T) {
+	const n, window = 3, 2
+	rounds := []int{2, 1, 3}
+
+	procs := make([]sim.Processor, n)
+	insts := make([][]*muxTag, n)
+	for id := 0; id < n; id++ {
+		id := id
+		insts[id] = make([]*muxTag, len(rounds))
+		m, err := sim.NewMux(sim.MuxConfig{
+			ID: id, N: n, Window: window,
+			Instances: len(rounds),
+			RoundsFor: func(inst int) int { return rounds[inst] },
+			Start: func(inst int) (sim.Instance, error) {
+				ti := &muxTag{inst: inst, n: n}
+				insts[id][inst] = ti
+				return ti, nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[id] = m
+	}
+	cluster, err := NewCluster(procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	stats, err := cluster.RunMux()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sim.MuxTicks(rounds, window); stats.Rounds != want {
+		t.Fatalf("lazy mesh ran %d ticks, want %d", stats.Rounds, want)
+	}
+	for id := 0; id < n; id++ {
+		for inst, ti := range insts[id] {
+			if len(ti.seen) != rounds[inst] {
+				t.Fatalf("node %d instance %d saw %d rounds, want %d", id, inst, len(ti.seen), rounds[inst])
+			}
+		}
+	}
+}
+
+// TestRunMuxDivergentLazyRoundsFailsFast: nodes resolving different round
+// counts for the same instance — a divergent gear policy — must fail the
+// mesh loudly, not deadlock. Mid-schedule divergence hits the frame
+// instance/round mismatch check; divergence that ends one node's schedule
+// early surfaces as a teardown error when the finished node closes its
+// connections and the stragglers' reads fail.
+func TestRunMuxDivergentLazyRoundsFailsFast(t *testing.T) {
+	cases := []struct {
+		name string
+		// divergent round count node 0 resolves for instance 1 (others use
+		// 3); followup is the round count of a trailing third instance, 0
+		// meaning no third instance.
+		rounds, followup int
+	}{
+		// Node 0 still has instance 2 after the mismatch: its frames for
+		// instance 2 arrive while peers expect instance 1 → header check.
+		{"mid-schedule mismatch", 1, 3},
+		// Instance 1 is last: node 0 finishes early and closes; peers'
+		// reads fail instead of blocking forever.
+		{"early finish", 1, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			const n = 3
+			instances := 2
+			if c.followup > 0 {
+				instances = 3
+			}
+			procs := make([]sim.Processor, n)
+			for id := 0; id < n; id++ {
+				id := id
+				m, err := sim.NewMux(sim.MuxConfig{
+					ID: id, N: n, Window: 1,
+					Instances: instances,
+					RoundsFor: func(inst int) int {
+						switch {
+						case inst == 1 && id == 0:
+							return c.rounds
+						case inst == 2:
+							return c.followup
+						default:
+							return 3
+						}
+					},
+					Start: func(inst int) (sim.Instance, error) {
+						return &muxTag{inst: inst, n: n}, nil
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				procs[id] = m
+			}
+			cluster, err := NewCluster(procs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cluster.Close()
+			done := make(chan error, 1)
+			go func() {
+				_, err := cluster.RunMux()
+				done <- err
+			}()
+			select {
+			case err := <-done:
+				if err == nil {
+					t.Fatal("divergent schedules not surfaced")
+				}
+				if !strings.Contains(err.Error(), "sent frame") &&
+					!strings.Contains(err.Error(), "recv from") &&
+					!strings.Contains(err.Error(), "send") {
+					t.Fatalf("divergence error unclear: %v", err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("divergent schedules deadlocked the mesh")
+			}
+		})
 	}
 }

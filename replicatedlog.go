@@ -2,6 +2,7 @@ package shiftgears
 
 import (
 	"fmt"
+	"sync"
 
 	"shiftgears/internal/baseline"
 	"shiftgears/internal/core"
@@ -22,6 +23,12 @@ type LogConfig struct {
 	// per slot (the pipeline handles mixed round counts).
 	Algorithm     Algorithm
 	SlotAlgorithm func(slot int) Algorithm
+	// GearPolicy, when non-nil, overrides both: each slot's algorithm is
+	// picked dynamically, at the tick the slot enters the pipeline
+	// window, as a pure function of the committed prefix (see GearPolicy
+	// for the determinism contract). Built-in policies: Downshift,
+	// Blacklist.
+	GearPolicy GearPolicy
 	// N, T, B as in Config; every slot shares them.
 	N, T, B int
 	// Slots is the log length; Window the pipelining depth (default 1);
@@ -52,6 +59,17 @@ type LogResult struct {
 	// SequentialTicks is what window 1 would have used (the sum of every
 	// slot's round count) — the pipelining denominator.
 	Ticks, SequentialTicks int
+	// Gears is the per-slot algorithm the log actually ran: the static
+	// configuration, or the gear policy's resolved picks.
+	Gears []Algorithm
+	// Pending counts commands still queued at correct replicas when the
+	// log ended: they never got a slot, because the log ran out of slots
+	// — or because a gear policy no-op'd the slots they were waiting for
+	// (Blacklist convicts any source whose sourced slot committed all
+	// no-ops, so outside its saturated-workload regime a correct but
+	// momentarily idle source loses its later commands). Agreement is
+	// about the committed prefix; check Pending for liveness.
+	Pending int
 
 	// Traffic counters. In sim mode they aggregate every delivery
 	// cluster-wide (one combined multi-slot payload per sender per tick);
@@ -67,6 +85,9 @@ type ReplicatedLog struct {
 	faulty   map[int]bool
 	replicas []*rsm.Replica
 	ran      bool
+
+	gearMu sync.Mutex
+	gears  []Algorithm // per-slot resolved algorithm (replica 0's picks)
 }
 
 // LogOption configures a ReplicatedLog.
@@ -89,6 +110,9 @@ func WithLogApply(f func(replica int, e LogEntry)) LogOption {
 // between this package's algorithm catalog and internal/rsm, exported for
 // cmd/logserver-style deployments that wire rsm.Config directly.
 func SlotProtocol(alg Algorithm, n, t, b, source int) (rsm.Protocol, error) {
+	if alg == NoOpSlot {
+		return noopSlotProtocol{}, nil
+	}
 	info, err := buildPlanInfo(Config{Algorithm: alg, N: n, T: t, B: b, Source: source})
 	if err != nil {
 		return nil, err
@@ -163,8 +187,22 @@ func NewReplicatedLog(cfg LogConfig, opts ...LogOption) (*ReplicatedLog, error) 
 	if cfg.Slots < 1 {
 		return nil, fmt.Errorf("shiftgears: log needs at least 1 slot, have %d", cfg.Slots)
 	}
-	if cfg.SlotAlgorithm == nil && cfg.Algorithm == 0 {
-		return nil, fmt.Errorf("shiftgears: log needs an Algorithm")
+	if cfg.SlotAlgorithm == nil && cfg.Algorithm == 0 && cfg.GearPolicy == nil {
+		return nil, fmt.Errorf("shiftgears: log needs an Algorithm, SlotAlgorithm, or GearPolicy")
+	}
+	// A policy that enumerates its gears gets them validated now: an
+	// inadmissible gear (Downshift's default AlgorithmB low gear needs
+	// n ≥ 4t+1) is a configuration error, not something to discover
+	// mid-run when the shift first fires.
+	if gl, ok := cfg.GearPolicy.(GearLister); ok {
+		for _, alg := range gl.Gears() {
+			if alg == NoOpSlot {
+				continue
+			}
+			if _, err := buildPlanInfo(Config{Algorithm: alg, N: cfg.N, T: cfg.T, B: cfg.B}); err != nil {
+				return nil, fmt.Errorf("shiftgears: gear policy %s: gear %v inadmissible: %w", cfg.GearPolicy.Name(), alg, err)
+			}
+		}
 	}
 	faulty := make(map[int]bool, len(cfg.Faulty))
 	for _, f := range cfg.Faulty {
@@ -183,42 +221,89 @@ func NewReplicatedLog(cfg LogConfig, opts ...LogOption) (*ReplicatedLog, error) 
 		opt(&o)
 	}
 
-	algFor := func(slot int) Algorithm {
-		if cfg.SlotAlgorithm != nil {
-			return cfg.SlotAlgorithm(slot)
-		}
-		return cfg.Algorithm
+	l := &ReplicatedLog{
+		cfg: cfg, faulty: faulty,
+		replicas: make([]*rsm.Replica, cfg.N),
+		gears:    make([]Algorithm, cfg.Slots),
 	}
 
-	// One protocol per slot, shared by all in-process replicas (the
-	// compiled plans and enumerations are read-only); slots with the same
-	// (algorithm, source) pair share one compilation.
-	protos := make([]rsm.Protocol, cfg.Slots)
+	rcfg := rsm.Config{
+		N: cfg.N, Slots: cfg.Slots, Window: cfg.Window, BatchSize: cfg.BatchSize,
+	}
 	type protoKey struct {
 		alg    Algorithm
 		source int
 	}
-	cache := make(map[protoKey]rsm.Protocol)
-	for slot := 0; slot < cfg.Slots; slot++ {
-		key := protoKey{algFor(slot), slot % cfg.N}
-		proto, ok := cache[key]
-		if !ok {
-			var err error
-			proto, err = SlotProtocol(key.alg, cfg.N, cfg.T, cfg.B, key.source)
-			if err != nil {
-				return nil, fmt.Errorf("shiftgears: slot %d: %w", slot, err)
+	if cfg.GearPolicy == nil {
+		algFor := func(slot int) Algorithm {
+			if cfg.SlotAlgorithm != nil {
+				return cfg.SlotAlgorithm(slot)
 			}
-			cache[key] = proto
+			return cfg.Algorithm
 		}
-		protos[slot] = proto
-	}
-	rcfg := rsm.Config{
-		N: cfg.N, Slots: cfg.Slots, Window: cfg.Window, BatchSize: cfg.BatchSize,
-		Protocol: func(slot, source int) (rsm.Protocol, error) { return protos[slot], nil },
+		// One protocol per slot, shared by all in-process replicas (the
+		// compiled plans and enumerations are read-only); slots with the
+		// same (algorithm, source) pair share one compilation.
+		protos := make([]rsm.Protocol, cfg.Slots)
+		cache := make(map[protoKey]rsm.Protocol)
+		for slot := 0; slot < cfg.Slots; slot++ {
+			key := protoKey{algFor(slot), slot % cfg.N}
+			// A statically no-op'd slot silently discards its source's
+			// commands while the run still reports agreement; only a gear
+			// policy, reacting to evidence in the prefix, may assign it.
+			if key.alg == NoOpSlot {
+				return nil, fmt.Errorf("shiftgears: slot %d: noop is a policy-assigned gear, not a static algorithm; use a GearPolicy (Blacklist) to assign it", slot)
+			}
+			proto, ok := cache[key]
+			if !ok {
+				var err error
+				proto, err = SlotProtocol(key.alg, cfg.N, cfg.T, cfg.B, key.source)
+				if err != nil {
+					return nil, fmt.Errorf("shiftgears: slot %d: %w", slot, err)
+				}
+				cache[key] = proto
+			}
+			protos[slot] = proto
+			l.gears[slot] = key.alg
+		}
+		rcfg.Protocol = func(slot, source int) (rsm.Protocol, error) { return protos[slot], nil }
 	}
 
-	l := &ReplicatedLog{cfg: cfg, faulty: faulty, replicas: make([]*rsm.Replica, cfg.N)}
+	// mkGearProtocol builds one replica's lazy slot resolver. The cache is
+	// per replica (replicas resolve concurrently under the parallel and
+	// TCP engines); compilations stay cheap because slots repeating an
+	// (algorithm, source) pair share them within the replica. Replica 0's
+	// picks are recorded as the log's gear schedule — the policy is a pure
+	// function of the committed prefix, so every correct replica picks
+	// identically.
+	mkGearProtocol := func(id int) func(slot, source int, prefix []rsm.Entry) (rsm.Protocol, error) {
+		cache := make(map[protoKey]rsm.Protocol)
+		return func(slot, source int, prefix []rsm.Entry) (rsm.Protocol, error) {
+			alg := cfg.GearPolicy.Pick(slot, source, prefix)
+			if id == 0 {
+				l.gearMu.Lock()
+				l.gears[slot] = alg
+				l.gearMu.Unlock()
+			}
+			key := protoKey{alg, source}
+			proto, ok := cache[key]
+			if !ok {
+				var err error
+				proto, err = SlotProtocol(alg, cfg.N, cfg.T, cfg.B, source)
+				if err != nil {
+					return nil, fmt.Errorf("shiftgears: slot %d gear %v: %w", slot, alg, err)
+				}
+				cache[key] = proto
+			}
+			return proto, nil
+		}
+	}
+
 	for id := 0; id < cfg.N; id++ {
+		idcfg := rcfg
+		if cfg.GearPolicy != nil {
+			idcfg.GearProtocol = mkGearProtocol(id)
+		}
 		var ropts []rsm.ReplicaOption
 		if o.apply != nil {
 			id := id
@@ -227,7 +312,7 @@ func NewReplicatedLog(cfg LogConfig, opts ...LogOption) (*ReplicatedLog, error) 
 		if faulty[id] {
 			ropts = append(ropts, rsm.WithByzantine(stratName, cfg.Seed))
 		}
-		rep, err := rsm.NewReplica(rcfg, id, ropts...)
+		rep, err := rsm.NewReplica(idcfg, id, ropts...)
 		if err != nil {
 			return nil, err
 		}
@@ -257,6 +342,9 @@ func (l *ReplicatedLog) Run() (*LogResult, error) {
 	if l.ran {
 		return nil, fmt.Errorf("shiftgears: log already ran")
 	}
+	if len(l.faulty) == l.cfg.N {
+		return nil, fmt.Errorf("shiftgears: no correct replicas: all %d replicas are configured faulty", l.cfg.N)
+	}
 	l.ran = true
 
 	var stats *sim.Stats
@@ -277,12 +365,17 @@ func (l *ReplicatedLog) Run() (*LogResult, error) {
 		TotalBytes:      stats.Bytes,
 		Messages:        stats.Messages,
 	}
-	// SequentialTicks is the window-1 schedule: slots back to back.
+	// SequentialTicks is the window-1 schedule: slots back to back. Every
+	// slot is resolved once the run completes, so SlotRounds is exact for
+	// geared logs too.
 	seq := 0
 	for slot := 0; slot < l.cfg.Slots; slot++ {
 		seq += l.replicas[0].SlotRounds(slot)
 	}
 	res.SequentialTicks = seq
+	l.gearMu.Lock()
+	res.Gears = append([]Algorithm(nil), l.gears...)
+	l.gearMu.Unlock()
 
 	var ref []LogEntry
 	for id, rep := range l.replicas {
@@ -292,6 +385,7 @@ func (l *ReplicatedLog) Run() (*LogResult, error) {
 		if err := rep.Err(); err != nil {
 			return nil, fmt.Errorf("shiftgears: replica %d: %w", id, err)
 		}
+		res.Pending += rep.Pending()
 		entries := rep.Entries()
 		if ref == nil {
 			ref = entries

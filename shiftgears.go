@@ -39,6 +39,12 @@ const (
 	// one bit, decided by the phase protocol (n ≥ 4t+1). Messages after
 	// the reduction are one byte regardless of |V|.
 	Multivalued
+	// NoOpSlot is the replicated log's degenerate gear: a one-round,
+	// zero-message slot in which every replica decides the no-op without
+	// agreement machinery. Gear policies assign it to slots whose source
+	// the committed prefix has already convicted (Blacklist); it is not a
+	// single-shot agreement algorithm and Run rejects it.
+	NoOpSlot
 )
 
 // String names the algorithm.
@@ -60,6 +66,8 @@ func (a Algorithm) String() string {
 		return "phasequeen"
 	case Multivalued:
 		return "multivalued"
+	case NoOpSlot:
+		return "noop"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -84,6 +92,8 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 		return PhaseQueen, nil
 	case "multivalued", "reduce":
 		return Multivalued, nil
+	case "noop":
+		return NoOpSlot, nil
 	default:
 		return 0, fmt.Errorf("shiftgears: unknown algorithm %q", s)
 	}
@@ -230,6 +240,8 @@ func buildPlanInfo(cfg Config) (planInfo, error) {
 			return planInfo{}, err
 		}
 		return planInfo{rounds: plan.TotalRounds, paperBound: plan.PaperRoundBound(), plan: plan}, nil
+	case NoOpSlot:
+		return planInfo{}, fmt.Errorf("shiftgears: noop is a replicated-log gear, not a single-shot algorithm")
 	default:
 		return planInfo{}, fmt.Errorf("shiftgears: unknown algorithm %v", cfg.Algorithm)
 	}
@@ -268,13 +280,6 @@ func Run(cfg Config) (*Result, error) {
 	if stratName == "" {
 		stratName = "splitbrain"
 	}
-	var strat adversary.Strategy
-	if len(faulty) > 0 {
-		strat, err = adversary.New(stratName, info.rounds)
-		if err != nil {
-			return nil, err
-		}
-	}
 
 	// Build replicas; faulty ones are wrapped shadow copies.
 	replicas := make([]protocol, cfg.N)
@@ -312,6 +317,13 @@ func Run(cfg Config) (*Result, error) {
 		}
 		replicas[id] = rep
 		if faulty[id] {
+			// One strategy instance per faulty processor: stateful
+			// strategies (stutter) keep per-processor state and never race
+			// under the Parallel engine's concurrent PrepareRound calls.
+			strat, err := adversary.New(stratName, info.rounds)
+			if err != nil {
+				return nil, err
+			}
 			procs[id] = adversary.NewProcessor(rep, strat, cfg.Seed, cfg.N)
 		} else {
 			procs[id] = rep
