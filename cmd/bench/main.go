@@ -1,0 +1,216 @@
+// Command bench runs the replicated log's throughput matrix — window ×
+// batch × N × gear policy, over both the in-process engine and a loopback
+// TCP mesh — and writes a BENCH_*.json trajectory file, so every change
+// to the engine leaves a comparable perf record:
+//
+//	bench -out BENCH_4.json          # the full matrix (~seconds)
+//	bench -short -out bench.json     # CI smoke: two small cases
+//
+// Per case it records committed commands, ticks, cmds/tick, wall time,
+// message/byte totals, and the heap allocation count across the run
+// (runtime.MemStats.Mallocs delta) — the allocs/tick trend is the mux hot
+// path's scorecard. See the README's Performance section for the schema
+// and the current numbers.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"shiftgears"
+)
+
+// Case is one cell of the throughput matrix.
+type Case struct {
+	Name     string `json:"name"`
+	Mode     string `json:"mode"` // "sim" or "tcp"
+	N        int    `json:"n"`
+	T        int    `json:"t"`
+	Window   int    `json:"window"`
+	Batch    int    `json:"batch"`
+	Workers  int    `json:"workers,omitempty"`
+	Alg      string `json:"alg"`
+	Gears    string `json:"gears,omitempty"`
+	Faulty   []int  `json:"faulty,omitempty"`
+	Strategy string `json:"strategy,omitempty"`
+	Cmds     int    `json:"cmds"`
+}
+
+// Result is a Case plus its measurements.
+type Result struct {
+	Case
+	Slots           int     `json:"slots"`
+	Ticks           int     `json:"ticks"`
+	SequentialTicks int     `json:"sequential_ticks"`
+	Committed       int     `json:"committed"`
+	CmdsPerTick     float64 `json:"cmds_per_tick"`
+	Messages        int     `json:"messages"`
+	Bytes           int     `json:"bytes"`
+	MaxMessageBytes int     `json:"max_message_bytes"`
+	Allocs          uint64  `json:"allocs"`
+	AllocsPerTick   float64 `json:"allocs_per_tick"`
+	WallMS          float64 `json:"wall_ms"`
+}
+
+// File is the BENCH_*.json schema ("shiftgears-bench/v1").
+type File struct {
+	Schema    string   `json:"schema"`
+	Generated string   `json:"generated"`
+	Go        string   `json:"go"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+// matrix returns the cases to run. The full matrix sweeps the levers the
+// engine claims matter — window (pipelining), batch (amortization), N
+// (mesh size), workers (per-replica parallelism), gears (algorithm
+// shifting) — in both execution modes; short mode is a two-case CI smoke.
+func matrix(short bool) []Case {
+	if short {
+		return []Case{
+			{Name: "smoke-sim", Mode: "sim", N: 4, T: 1, Window: 2, Batch: 2, Alg: "exponential", Cmds: 16},
+			{Name: "smoke-tcp", Mode: "tcp", N: 4, T: 1, Window: 2, Batch: 2, Alg: "exponential", Cmds: 16},
+		}
+	}
+	cases := []Case{
+		// The pipelining/batching ladder: same workload, wider gears.
+		{Name: "seq", Mode: "sim", N: 7, T: 2, Window: 1, Batch: 1, Alg: "exponential", Cmds: 96},
+		{Name: "batched", Mode: "sim", N: 7, T: 2, Window: 1, Batch: 4, Alg: "exponential", Cmds: 96},
+		{Name: "pipelined", Mode: "sim", N: 7, T: 2, Window: 4, Batch: 1, Alg: "exponential", Cmds: 96},
+		{Name: "both", Mode: "sim", N: 7, T: 2, Window: 4, Batch: 4, Alg: "exponential", Cmds: 96},
+		{Name: "wide", Mode: "sim", N: 7, T: 2, Window: 8, Batch: 4, Alg: "exponential", Cmds: 192},
+		{Name: "wide-workers", Mode: "sim", N: 7, T: 2, Window: 8, Batch: 4, Workers: 4, Alg: "exponential", Cmds: 192},
+		// Mesh size.
+		{Name: "n4", Mode: "sim", N: 4, T: 1, Window: 4, Batch: 4, Alg: "exponential", Cmds: 64},
+		{Name: "n13", Mode: "sim", N: 13, T: 3, Window: 4, Batch: 4, Alg: "exponential", Cmds: 104},
+		// Gear policies under faults: static hybrid vs shifting down.
+		{Name: "hybrid-static", Mode: "sim", N: 13, T: 3, Window: 4, Batch: 2, Alg: "hybrid", Cmds: 52,
+			Faulty: []int{2, 5, 8}, Strategy: "silent"},
+		{Name: "hybrid-downshift", Mode: "sim", N: 13, T: 3, Window: 4, Batch: 2, Alg: "hybrid", Gears: "downshift", Cmds: 52,
+			Faulty: []int{2, 5, 8}, Strategy: "silent"},
+		// The TCP mesh: every frame crosses a real socket.
+		{Name: "tcp-seq", Mode: "tcp", N: 4, T: 1, Window: 1, Batch: 1, Alg: "exponential", Cmds: 32},
+		{Name: "tcp-both", Mode: "tcp", N: 4, T: 1, Window: 4, Batch: 4, Alg: "exponential", Cmds: 32},
+		{Name: "tcp-n7", Mode: "tcp", N: 7, T: 2, Window: 4, Batch: 4, Alg: "exponential", Cmds: 96},
+	}
+	return cases
+}
+
+// runCase builds and runs one log and measures it.
+func runCase(c Case) (Result, error) {
+	// The busiest replica gets ⌈cmds/n⌉ commands and needs ⌈that/batch⌉
+	// sourced slots; sources rotate, so the log is n times that (the
+	// cmd/logload sizing rule).
+	perReplica := (c.Cmds + c.N - 1) / c.N
+	slots := c.N * ((perReplica + c.Batch - 1) / c.Batch)
+
+	alg, err := shiftgears.ParseAlgorithm(c.Alg)
+	if err != nil {
+		return Result{}, err
+	}
+	lcfg := shiftgears.LogConfig{
+		Algorithm: alg,
+		N:         c.N, T: c.T, B: 3,
+		Slots: slots, Window: c.Window, BatchSize: c.Batch, Workers: c.Workers,
+		Faulty: c.Faulty, Strategy: c.Strategy,
+		TCP: c.Mode == "tcp",
+	}
+	if c.Gears != "" {
+		policy, err := shiftgears.ParseGearPolicy(c.Gears)
+		if err != nil {
+			return Result{}, err
+		}
+		lcfg.GearPolicy = shiftgears.GearPolicyWithBase(policy, alg)
+	}
+	log, err := shiftgears.NewReplicatedLog(lcfg)
+	if err != nil {
+		return Result{}, err
+	}
+	for i := 0; i < c.Cmds; i++ {
+		if err := log.Submit(i%c.N, shiftgears.Value(1+i%255)); err != nil {
+			return Result{}, err
+		}
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := log.Run()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return Result{}, err
+	}
+	if !res.Agreement {
+		return Result{}, fmt.Errorf("case %s: correct replicas committed diverging logs", c.Name)
+	}
+
+	allocs := after.Mallocs - before.Mallocs
+	return Result{
+		Case:            c,
+		Slots:           slots,
+		Ticks:           res.Ticks,
+		SequentialTicks: res.SequentialTicks,
+		Committed:       res.Committed,
+		CmdsPerTick:     float64(res.Committed) / float64(res.Ticks),
+		Messages:        res.Messages,
+		Bytes:           res.TotalBytes,
+		MaxMessageBytes: res.MaxMessageBytes,
+		Allocs:          allocs,
+		AllocsPerTick:   float64(allocs) / float64(res.Ticks),
+		WallMS:          float64(elapsed.Microseconds()) / 1000,
+	}, nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	var (
+		outPath = fs.String("out", "", "write the bench JSON to this file (default stdout only)")
+		short   = fs.Bool("short", false, "CI smoke: two small cases")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	file := File{
+		Schema:    "shiftgears-bench/v1",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+	}
+	for _, c := range matrix(*short) {
+		res, err := runCase(c)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "bench: %-18s %s n=%-2d window=%d batch=%d %6.2f cmds/tick %7d allocs %8.1fms\n",
+			res.Name, res.Mode, res.N, res.Window, res.Batch, res.CmdsPerTick, res.Allocs, res.WallMS)
+		file.Results = append(file.Results, res)
+	}
+
+	blob, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "bench: wrote %s (%d cases)\n", *outPath, len(file.Results))
+	} else {
+		_, err = out.Write(blob)
+		return err
+	}
+	return nil
+}

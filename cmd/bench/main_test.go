@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBenchShortWritesValidJSON runs the CI smoke matrix end to end and
+// validates the emitted trajectory file against the schema the README
+// documents.
+func TestBenchShortWritesValidJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-short", "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cmds/tick") {
+		t.Fatalf("no per-case summary printed:\n%s", buf.String())
+	}
+
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file File
+	if err := json.Unmarshal(blob, &file); err != nil {
+		t.Fatalf("bench JSON does not parse: %v", err)
+	}
+	if file.Schema != "shiftgears-bench/v1" {
+		t.Fatalf("schema = %q", file.Schema)
+	}
+	if len(file.Results) != 2 {
+		t.Fatalf("short matrix ran %d cases, want 2", len(file.Results))
+	}
+	modes := map[string]bool{}
+	for _, r := range file.Results {
+		modes[r.Mode] = true
+		if r.Committed != r.Cmds {
+			t.Fatalf("case %s committed %d of %d commands", r.Name, r.Committed, r.Cmds)
+		}
+		if r.Ticks < 1 || r.CmdsPerTick <= 0 {
+			t.Fatalf("case %s has empty measurements: %+v", r.Name, r)
+		}
+		if r.Allocs == 0 || r.WallMS <= 0 {
+			t.Fatalf("case %s has empty cost measurements: %+v", r.Name, r)
+		}
+	}
+	if !modes["sim"] || !modes["tcp"] {
+		t.Fatalf("short matrix must cover both modes, got %v", modes)
+	}
+}
+
+// TestBenchRejectsBadFlags: flag errors surface instead of running a
+// half-configured matrix.
+func TestBenchRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &buf); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

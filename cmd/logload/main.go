@@ -50,6 +50,7 @@ func run(args []string, out io.Writer) error {
 		strategy = fs.String("strategy", "splitbrain", "adversary strategy")
 		seed     = fs.Int64("seed", 1, "adversary seed")
 		parallel = fs.Bool("parallel", false, "goroutine-per-processor sim engine")
+		workers  = fs.Int("workers", 0, "per-replica slot worker pool (0 = sequential)")
 		tcp      = fs.Bool("tcp", false, "run over a loopback TCP mesh")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -88,7 +89,7 @@ func run(args []string, out io.Writer) error {
 	lcfg := shiftgears.LogConfig{
 		Algorithm: alg,
 		N:         *n, T: *t, B: *b,
-		Slots: slots, Window: *window, BatchSize: *batch,
+		Slots: slots, Window: *window, BatchSize: *batch, Workers: *workers,
 		Faulty: faulty, Strategy: *strategy, Seed: *seed,
 		Parallel: *parallel, TCP: *tcp,
 	}
@@ -98,15 +99,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		// -alg is the gear the log starts in; the policy picks the rest.
-		switch p := policy.(type) {
-		case shiftgears.Downshift:
-			p.High = alg
-			policy = p
-		case shiftgears.Blacklist:
-			p.Base = alg
-			policy = p
-		}
-		lcfg.GearPolicy = policy
+		lcfg.GearPolicy = shiftgears.GearPolicyWithBase(policy, alg)
 	}
 	log, err := shiftgears.NewReplicatedLog(lcfg)
 	if err != nil {

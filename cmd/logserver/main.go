@@ -121,8 +121,12 @@ func run(args []string, out io.Writer) error {
 
 	stats, err := node.RunMux()
 	if err != nil {
+		// Seal the replica so any Committed consumers unblock with the
+		// log cut short, then surface the mesh error.
+		rep.Abort(err)
 		return err
 	}
+	rep.Abort(nil)
 	if err := rep.Err(); err != nil {
 		return err
 	}

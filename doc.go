@@ -59,7 +59,21 @@
 // scales with both knobs. Every correct replica commits an identical log
 // even when slot sources are Byzantine. cmd/logserver deploys one
 // replica per process; cmd/logload generates synthetic load and reports
-// throughput.
+// throughput; cmd/bench records the full throughput matrix as a
+// BENCH_*.json trajectory file.
+//
+// # Ordering on the concurrent TCP drive loop
+//
+// The TCP drive loops (transport.Node.Run and RunMux) overlap their send
+// and receive halves: one writer goroutine per peer pushes the tick's
+// frames while the node's own goroutine reads, so the mesh cannot
+// deadlock when a tick's payload exceeds the kernel socket buffers. The
+// bytes are unchanged: within a tick each peer connection carries the
+// frames in increasing instance order with a single flush, and tick t's
+// writes complete before tick t+1's begin, so receivers read exactly the
+// sequential loop's stream — only the interleaving across connections
+// differs. The lockstep barrier (finish tick t only once every peer's
+// tick-t frames arrived) is untouched.
 //
 // # Gear policies: shifting algorithms across the log
 //

@@ -192,6 +192,22 @@ func ParseGearPolicy(s string) (GearPolicy, error) {
 	}
 }
 
+// GearPolicyWithBase returns the policy with its base/high gear replaced
+// by alg — the "-alg is the gear the log starts in" convention the CLIs
+// share. Policies without a base-gear knob are returned unchanged.
+func GearPolicyWithBase(policy GearPolicy, alg Algorithm) GearPolicy {
+	switch p := policy.(type) {
+	case Downshift:
+		p.High = alg
+		return p
+	case Blacklist:
+		p.Base = alg
+		return p
+	default:
+		return policy
+	}
+}
+
 // noopSlotProtocol is the NoOpSlot gear's rsm machinery: one round, no
 // messages, every replica decides the no-op.
 type noopSlotProtocol struct{}

@@ -107,9 +107,13 @@ func flip(p []byte) []byte {
 }
 
 // New constructs a strategy by name. totalRounds lets round-dependent
-// strategies (crash, sleeper) scale to the plan length. Use Names for the
-// full catalog.
+// strategies (crash, sleeper) scale to the plan length and must be ≥ 1 —
+// a strategy built against a nonsensical round count would silently
+// never fire. Use Names for the full catalog.
 func New(name string, totalRounds int) (Strategy, error) {
+	if totalRounds < 1 {
+		return nil, fmt.Errorf("adversary: strategy %q needs a round count ≥ 1, have %d", name, totalRounds)
+	}
 	mid := totalRounds/2 + 1
 	if mid < 2 {
 		mid = 2

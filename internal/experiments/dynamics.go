@@ -23,13 +23,6 @@ func runCore(plan *core.Plan, opts core.Options, faulty []int, strat string, see
 	for _, f := range faulty {
 		isFaulty[f] = true
 	}
-	var st adversary.Strategy
-	if len(faulty) > 0 {
-		st, err = adversary.New(strat, plan.TotalRounds)
-		if err != nil {
-			return nil, err
-		}
-	}
 	reps := make([]*core.Replica, plan.N)
 	procs := make([]sim.Processor, plan.N)
 	for id := 0; id < plan.N; id++ {
@@ -39,6 +32,13 @@ func runCore(plan *core.Plan, opts core.Options, faulty []int, strat string, see
 		}
 		reps[id] = rep
 		if isFaulty[id] {
+			// One strategy instance per faulty processor: stateful
+			// strategies (stutter) carry per-processor state, and sharing
+			// one instance would mix the processors' payload histories.
+			st, err := adversary.New(strat, plan.TotalRounds)
+			if err != nil {
+				return nil, err
+			}
 			procs[id] = adversary.NewProcessor(rep, st, seed, plan.N)
 		} else {
 			procs[id] = rep

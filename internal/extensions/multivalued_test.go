@@ -135,7 +135,7 @@ func TestReducerConstantMessagesAfterReduction(t *testing.T) {
 		reps[id] = rep
 		procs[id] = rep
 	}
-	nw, err := sim.NewNetwork(procs)
+	nw, err := sim.NewNetwork(procs, sim.WithPerRoundStats())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -38,7 +38,8 @@ type Replica struct {
 	snapshot   []Value
 	err        error
 
-	committed chan Entry
+	committed       chan Entry
+	committedClosed bool
 }
 
 // ReplicaOption configures a Replica.
@@ -90,7 +91,7 @@ func NewReplica(cfg Config, id int, opts ...ReplicaOption) (*Replica, error) {
 		opt(r)
 	}
 	mcfg := sim.MuxConfig{
-		ID: id, N: cfg.N, Window: cfg.Window,
+		ID: id, N: cfg.N, Window: cfg.Window, Workers: cfg.Workers,
 		Start:  r.startSlot,
 		Finish: r.finishSlot,
 	}
@@ -118,17 +119,6 @@ func NewReplica(cfg Config, id int, opts ...ReplicaOption) (*Replica, error) {
 		}
 		if _, err := adversary.New(r.byzStrategy, 1); err != nil {
 			return nil, err
-		}
-		seed := r.byzSeed
-		r.wrap = func(slot int, proc sim.Processor) sim.Processor {
-			// The name was validated above; construct a fresh strategy per
-			// slot so stateful strategies keep per-slot state.
-			strat, err := adversary.New(r.byzStrategy, r.SlotRounds(slot))
-			if err != nil {
-				r.setErr(err)
-				return proc
-			}
-			return adversary.NewProcessor(proc, strat, seed+int64(slot), cfg.N)
 		}
 	}
 	mux, err := sim.NewMux(mcfg)
@@ -196,7 +186,7 @@ func (r *Replica) SlotRounds(slot int) int {
 
 // faultInjected reports whether the replica runs a fault-injection
 // wrapper — its errors are shadow-state artifacts, not engine failures.
-func (r *Replica) faultInjected() bool { return r.wrap != nil }
+func (r *Replica) faultInjected() bool { return r.wrap != nil || r.byzStrategy != "" }
 
 // Submit queues one command on this replica. The command rides in the next
 // slot this replica sources with a free batch position. NoOp (0) is not
@@ -266,7 +256,7 @@ func (r *Replica) startSlot(slot int) (sim.Instance, error) {
 	// replicas commit, so its gear schedule stays in lockstep with
 	// theirs. Value-inventing strategies can still diverge the shadow's
 	// prefix; the drive loops detect and surface that.
-	gearedFaulty := r.cfg.GearProtocol != nil && r.wrap != nil
+	gearedFaulty := r.cfg.GearProtocol != nil && r.faultInjected()
 	if r.id == source && !gearedFaulty {
 		r.mu.Lock()
 		take := len(r.queue)
@@ -289,11 +279,29 @@ func (r *Replica) startSlot(slot int) (sim.Instance, error) {
 	r.slots[slot] = si
 	r.mu.Unlock()
 	var proc sim.Processor = si
-	if r.wrap != nil {
+	switch {
+	case r.byzStrategy != "":
+		// A fresh strategy per slot, so stateful strategies keep per-slot
+		// state (and, with window > 1, never race across interleaved
+		// slots). A strategy that rejects the slot's resolved round count
+		// fails the slot — and with it the run — rather than silently
+		// running the slot unwrapped: a "faulty" replica that quietly
+		// behaves honestly would make fault-injection tests pass
+		// vacuously.
+		strat, err := newStrategy(r.byzStrategy, r.SlotRounds(slot))
+		if err != nil {
+			return nil, fmt.Errorf("rsm: slot %d: byzantine wrapper: %w", slot, err)
+		}
+		proc = adversary.NewProcessor(si, strat, r.byzSeed+int64(slot), r.cfg.N)
+	case r.wrap != nil:
 		proc = r.wrap(slot, si)
 	}
 	return proc, nil
 }
+
+// newStrategy constructs a slot's adversary strategy; a seam so tests can
+// inject strategies that reject their resolved round count.
+var newStrategy = adversary.New
 
 // finishSlot runs when a slot completes its last round: it assembles the
 // decided entry and flushes the in-order commit prefix.
@@ -331,16 +339,45 @@ func (r *Replica) finishSlot(slot int) {
 	final := r.commitNext == r.cfg.Slots
 	r.mu.Unlock()
 
-	// Callbacks and channel sends happen outside the lock; the channel is
-	// buffered for the full log, so sends never block.
+	// Apply callbacks run outside the lock (they may consult the
+	// replica's public API). Channel sends take the lock again so they
+	// cannot race an Abort's close — they still never block, because the
+	// channel is buffered for the full log.
 	for _, e := range ready {
 		if r.apply != nil {
 			r.apply(e)
 		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.committedClosed {
+		return
+	}
+	for _, e := range ready {
 		r.committed <- e
 	}
 	if final {
 		close(r.committed)
+		r.committedClosed = true
+	}
+}
+
+// Abort ends the replica's run: it records err (when non-nil, retrievable
+// via Err) and closes the Committed channel, so consumers ranging over it
+// observe end-of-log instead of hanging forever on a run that died short
+// of its final slot. The drive loops (RunSim, RunTCP) abort every replica
+// when a run ends early; external drive loops (cmd/logserver-style
+// deployments) should do the same when transport.Node.RunMux fails.
+// Abort is idempotent and safe to call after a normal completion.
+func (r *Replica) Abort(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err != nil {
+		r.setErrLocked(err)
+	}
+	if !r.committedClosed {
+		close(r.committed)
+		r.committedClosed = true
 	}
 }
 

@@ -88,6 +88,12 @@ type Config struct {
 	Window int
 	// BatchSize is the number of commands one slot can carry.
 	BatchSize int
+	// Workers bounds the per-tick worker pool that runs the window's
+	// active slots concurrently inside each replica (0 or 1 =
+	// sequential). Purely an execution detail: the schedule and the wire
+	// bytes are identical at any worker count, so replicas of one log may
+	// even use different values.
+	Workers int
 	// Protocol builds slot's agreement protocol; source = slot mod N.
 	// Exactly one of Protocol and GearProtocol must be set.
 	Protocol func(slot, source int) (Protocol, error)

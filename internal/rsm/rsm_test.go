@@ -836,14 +836,201 @@ func TestByzantineStrategyFreshPerSlot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	si0 := &slotInstance{slot: 0, id: 0, n: 4, source: 0}
-	si1 := &slotInstance{slot: 1, id: 0, n: 4, source: 1}
-	p0, ok0 := r.wrap(0, si0).(*adversary.Processor)
-	p1, ok1 := r.wrap(1, si1).(*adversary.Processor)
+	proc0, err := r.startSlot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc1, err := r.startSlot(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, ok0 := proc0.(*adversary.Processor)
+	p1, ok1 := proc1.(*adversary.Processor)
 	if !ok0 || !ok1 {
-		t.Fatal("wrap did not produce adversary processors")
+		t.Fatal("startSlot did not produce adversary processors")
 	}
 	if p0.Strategy() == p1.Strategy() {
 		t.Fatal("one strategy instance shared across slots")
+	}
+}
+
+// TestWorkersParallelWithStatefulAdversaries drives the fully
+// parallelized stack — the goroutine-per-replica network engine AND the
+// per-instance worker pool inside each replica's mux — with a stateful
+// adversary strategy ("stutter" replays its previous round's payload, so
+// it carries mutable state between rounds). Each slot owns a fresh
+// strategy instance and the pool never runs one slot's rounds
+// concurrently with themselves, so under -race this must be clean, and
+// the committed logs must match the sequential engines' exactly.
+func TestWorkersParallelWithStatefulAdversaries(t *testing.T) {
+	run := func(workers int, parallel bool) []Entry {
+		s := sevenNodeSetup(t, 4)
+		s.strategy = "stutter"
+		s.cfg.Workers = workers
+		replicas := s.build(t)
+		if _, err := RunSim(replicas, parallel); err != nil {
+			t.Fatal(err)
+		}
+		return checkIdenticalLogs(t, s, replicas)
+	}
+	seq := run(0, false)
+	par := run(4, true)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("worker pool diverges from sequential:\n%v\nvs\n%v", par, seq)
+	}
+}
+
+// TestAbortClosesCommittedOnWedge: an aborted run must not leak
+// Committed consumers. A poisoned slot factory wedges the run mid-log;
+// consumers ranging over every replica's Committed channel (the
+// documented consumption pattern) must unblock with the log cut short
+// and the error retrievable via Err — before the fix they hung forever.
+func TestAbortClosesCommittedOnWedge(t *testing.T) {
+	base := exponentialFactory(t, 4, 1)
+	mkCfg := func(failSlot int) Config {
+		return Config{
+			N: 4, Slots: 6, Window: 1, BatchSize: 1,
+			Protocol: func(slot, source int) (Protocol, error) {
+				p, err := base(slot, source)
+				if err != nil {
+					return nil, err
+				}
+				if slot == failSlot {
+					return brokenProto{p}, nil
+				}
+				return p, nil
+			},
+		}
+	}
+	replicas := make([]*Replica, 4)
+	for id := 0; id < 4; id++ {
+		failSlot := -1
+		if id == 2 {
+			failSlot = 3
+		}
+		r, err := NewReplica(mkCfg(failSlot), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[id] = r
+	}
+
+	// Consumers attach before the run, as examples/replicatedlog does.
+	drained := make(chan int, len(replicas))
+	var wg sync.WaitGroup
+	for id, r := range replicas {
+		wg.Add(1)
+		go func(id int, r *Replica) {
+			defer wg.Done()
+			count := 0
+			for range r.Committed() {
+				count++
+			}
+			drained <- count
+		}(id, r)
+	}
+
+	if _, err := RunSim(replicas, false); err == nil {
+		t.Fatal("poisoned factory did not fail the run")
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Committed consumers still hanging after an aborted run")
+	}
+	close(drained)
+	for count := range drained {
+		if count >= 6 {
+			t.Fatalf("consumer drained %d entries from a log that wedged at slot 3", count)
+		}
+	}
+	for _, r := range replicas {
+		if r.Err() == nil {
+			t.Fatalf("replica %d has no retrievable error after the abort", r.ID())
+		}
+	}
+}
+
+// roundCountRejector stands in for a strategy whose constructor rejects
+// the slot's resolved round count; rejectingNew is swapped into the
+// newStrategy seam.
+func rejectingNew(name string, totalRounds int) (adversary.Strategy, error) {
+	return nil, fmt.Errorf("strategy %q rejects %d rounds", name, totalRounds)
+}
+
+// TestByzantineWrapperFailureFailsSlot: when a slot's adversary strategy
+// cannot be built, the slot's Start must fail — and with it the run —
+// instead of silently running the slot unwrapped. Before the fix the
+// error was recorded but the "faulty" replica quietly behaved honestly,
+// so fault-injection tests passed vacuously.
+func TestByzantineWrapperFailureFailsSlot(t *testing.T) {
+	orig := newStrategy
+	newStrategy = rejectingNew
+	defer func() { newStrategy = orig }()
+
+	s := logSetup{
+		cfg: Config{
+			N: 4, Slots: 4, Window: 1, BatchSize: 1,
+			Protocol: exponentialFactory(t, 4, 1),
+		},
+		byz:      map[int]bool{3: true},
+		strategy: "splitbrain",
+		submit:   map[int][]Value{0: {11}, 1: {21}},
+	}
+	replicas := s.build(t)
+	_, err := RunSim(replicas, false)
+	if err == nil {
+		t.Fatal("run completed with a faulty replica silently running honest slots")
+	}
+	if !strings.Contains(err.Error(), "byzantine wrapper") || !strings.Contains(err.Error(), "rejects 2 rounds") {
+		t.Fatalf("slot failure not surfaced with the strategy error: %v", err)
+	}
+}
+
+// TestPreRunRejectionClosesCommitted: a run rejected before its first
+// tick (mismatched schedules here) must still seal every replica, so
+// Committed consumers attached before the run unblock.
+func TestPreRunRejectionClosesCommitted(t *testing.T) {
+	exp := exponentialFactory(t, 4, 1)
+	replicas := make([]*Replica, 4)
+	for id := 0; id < 4; id++ {
+		window := 1
+		if id == 3 {
+			window = 2 // schedule mismatch: rejected by muxes()
+		}
+		r, err := NewReplica(Config{
+			N: 4, Slots: 4, Window: window, BatchSize: 1, Protocol: exp,
+		}, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[id] = r
+	}
+	var wg sync.WaitGroup
+	for _, r := range replicas {
+		wg.Add(1)
+		go func(r *Replica) {
+			defer wg.Done()
+			for range r.Committed() {
+			}
+		}(r)
+	}
+	if _, err := RunSim(replicas, false); err == nil {
+		t.Fatal("mismatched schedules accepted")
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Committed consumers still hanging after a pre-run rejection")
+	}
+	for _, r := range replicas {
+		if r.Err() == nil {
+			t.Fatalf("replica %d has no retrievable error after the rejection", r.ID())
+		}
 	}
 }

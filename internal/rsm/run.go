@@ -64,8 +64,31 @@ func muxes(replicas []*Replica) ([]sim.Processor, error) {
 func RunSim(replicas []*Replica, parallel bool) (*sim.Stats, error) {
 	procs, err := muxes(replicas)
 	if err != nil {
+		finishRun(replicas, err)
 		return nil, err
 	}
+	stats, err := runSim(replicas, procs, parallel)
+	finishRun(replicas, err)
+	return stats, err
+}
+
+// finishRun seals every replica after a drive loop ends — including runs
+// rejected before their first tick: on failure it records the run error
+// and closes the Committed channels, so consumers ranging over them
+// unblock (the leak this fixes: an aborted run used to leave every
+// consumer hanging forever); on success it closes any channel a normal
+// completion did not — a fault-injected replica whose shadow state
+// diverged from the agreed log never commits its final slot, but its run
+// is over all the same.
+func finishRun(replicas []*Replica, err error) {
+	for _, r := range replicas {
+		if r != nil {
+			r.Abort(err)
+		}
+	}
+}
+
+func runSim(replicas []*Replica, procs []sim.Processor, parallel bool) (*sim.Stats, error) {
 	var opts []sim.Option
 	if parallel {
 		opts = append(opts, sim.Parallel())
@@ -155,12 +178,16 @@ func wedgeErr(replicas []*Replica, round int) error {
 func RunTCP(replicas []*Replica, opts ...transport.Option) (*sim.Stats, error) {
 	procs, err := muxes(replicas)
 	if err != nil {
+		finishRun(replicas, err)
 		return nil, err
 	}
 	cluster, err := transport.NewCluster(procs, opts...)
 	if err != nil {
+		finishRun(replicas, err)
 		return nil, err
 	}
 	defer cluster.Close()
-	return cluster.RunMux()
+	stats, err := cluster.RunMux()
+	finishRun(replicas, err)
+	return stats, err
 }

@@ -48,7 +48,7 @@ func FuzzMuxDecodeSections(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		m := gearMixedMux()
-		out := m.decodeSections(payload)
+		out := m.decodeSections(make([][]byte, len(m.active)), payload)
 		if out == nil {
 			return // rejected as silence: always legal
 		}
@@ -61,7 +61,7 @@ func FuzzMuxDecodeSections(f *testing.F) {
 		for k, ru := range m.active {
 			re = AppendMuxSection(re, ru.inst, ru.round, out[k])
 		}
-		again := m.decodeSections(re)
+		again := m.decodeSections(make([][]byte, len(m.active)), re)
 		if again == nil {
 			t.Fatalf("re-encoded accepted payload rejected: %x", re)
 		}

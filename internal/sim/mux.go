@@ -17,6 +17,8 @@ package sim
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // Instance is one multiplexed sub-protocol: a processor-like participant
@@ -61,6 +63,17 @@ type MuxConfig struct {
 	// Finish, if non-nil, is invoked when an instance completes its last
 	// round (before any later instance starts).
 	Finish func(instance int)
+	// Workers bounds the worker pool that fans the per-instance
+	// PrepareRound/DeliverRound calls of a tick across goroutines (0 or 1
+	// = sequential). Instances are independent — the schedule, ordering
+	// callbacks (Start, Finish), and the wire format stay strictly
+	// sequential — so parallelism here changes wall-clock only, never
+	// bytes. It pays only when the per-instance round work is heavy
+	// enough to amortize the per-tick goroutine coordination (wide
+	// windows of expensive protocol computation); for light instances the
+	// sequential loop is faster — measure with cmd/bench before turning
+	// it on.
+	Workers int
 }
 
 // running is one in-flight instance.
@@ -92,6 +105,17 @@ type Mux struct {
 	ticks     int
 	prepared  bool
 	err       error
+
+	// Per-tick scratch, owned by the Mux and reused across ticks so the
+	// hot path stays allocation-free at steady state. Receivers must not
+	// retain payloads past their DeliverRound (the sim.Processor
+	// contract), which is exactly what makes the reuse sound.
+	frames      []MuxFrame // Outboxes result
+	combined    [][]byte   // PrepareRound result, one per destination
+	sectionBufs [][]byte   // backing arrays for combined payloads
+	inboxes     [][][]byte // Deliver scratch, one inbox per active slot
+	decoded     [][][]byte // DeliverRound scratch, one section set per sender
+	sectionSets [][][]byte // backing arrays for decoded section sets
 }
 
 var _ Processor = (*Mux)(nil)
@@ -122,7 +146,42 @@ func NewMux(cfg MuxConfig) (*Mux, error) {
 	if cfg.Start == nil {
 		return nil, fmt.Errorf("sim: mux needs a Start factory")
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("sim: mux worker count %d must be ≥ 0", cfg.Workers)
+	}
 	return &Mux{cfg: cfg, instances: instances}, nil
+}
+
+// forEachActive applies fn to every active instance: sequentially, or —
+// with Workers > 1 — fanned across a bounded pool of goroutines pulling
+// slots from a shared counter. fn must touch only its own slot's state.
+func (m *Mux) forEachActive(fn func(k int, ru *running)) {
+	workers := m.cfg.Workers
+	if workers > len(m.active) {
+		workers = len(m.active)
+	}
+	if workers <= 1 {
+		for k, ru := range m.active {
+			fn(k, ru)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(m.active) {
+					return
+				}
+				fn(k, m.active[k])
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // MuxTicks returns the number of global ticks the greedy window schedule
@@ -200,7 +259,10 @@ func (m *Mux) fill() error {
 
 // Outboxes begins a tick: it fills the window (lazily constructing
 // instances) and prepares every active instance's outbox. Frames are in
-// increasing instance order — the canonical wire order.
+// increasing instance order — the canonical wire order. The returned
+// slice is scratch owned by the Mux, valid until the next Outboxes call
+// (drivers finish a tick — including any concurrent sends — before
+// beginning the next, so the reuse is invisible to them).
 func (m *Mux) Outboxes() ([]MuxFrame, error) {
 	if m.err != nil {
 		return nil, m.err
@@ -214,14 +276,18 @@ func (m *Mux) Outboxes() ([]MuxFrame, error) {
 	if len(m.active) == 0 {
 		return nil, m.fail(fmt.Errorf("sim: mux is done after %d ticks", m.ticks))
 	}
-	frames := make([]MuxFrame, len(m.active))
+	m.forEachActive(func(k int, ru *running) {
+		ru.out = ru.proc.PrepareRound(ru.round)
+	})
+	if cap(m.frames) < len(m.active) {
+		m.frames = make([]MuxFrame, len(m.active))
+	}
+	frames := m.frames[:len(m.active)]
 	for k, ru := range m.active {
-		out := ru.proc.PrepareRound(ru.round)
-		if out != nil && len(out) != m.cfg.N {
-			return nil, m.fail(fmt.Errorf("sim: instance %d round %d: outbox has %d entries, want %d", ru.inst, ru.round, len(out), m.cfg.N))
+		if ru.out != nil && len(ru.out) != m.cfg.N {
+			return nil, m.fail(fmt.Errorf("sim: instance %d round %d: outbox has %d entries, want %d", ru.inst, ru.round, len(ru.out), m.cfg.N))
 		}
-		ru.out = out
-		frames[k] = MuxFrame{Instance: ru.inst, Round: ru.round, Outbox: out}
+		frames[k] = MuxFrame{Instance: ru.inst, Round: ru.round, Outbox: ru.out}
 	}
 	m.prepared = true
 	return frames, nil
@@ -246,15 +312,27 @@ func (m *Mux) Deliver(in [][][]byte) error {
 			return m.fail(fmt.Errorf("sim: sender %d delivered %d instance payloads, want %d", i, len(payloads), len(m.active)))
 		}
 	}
-	for k, ru := range m.active {
-		inbox := make([][]byte, m.cfg.N)
+	if len(m.inboxes) < len(m.active) {
+		grown := make([][][]byte, len(m.active))
+		copy(grown, m.inboxes)
+		m.inboxes = grown
+	}
+	for k := range m.active {
+		if len(m.inboxes[k]) != m.cfg.N {
+			m.inboxes[k] = make([][]byte, m.cfg.N)
+		}
+		inbox := m.inboxes[k]
 		for i, payloads := range in {
 			if payloads != nil {
 				inbox[i] = payloads[k]
+			} else {
+				inbox[i] = nil
 			}
 		}
-		ru.proc.DeliverRound(ru.round, inbox)
 	}
+	m.forEachActive(func(k int, ru *running) {
+		ru.proc.DeliverRound(ru.round, m.inboxes[k])
+	})
 
 	// Advance: bump local rounds, retire finished instances in order.
 	keep := m.active[:0]
@@ -284,16 +362,23 @@ func (m *Mux) fail(err error) error {
 
 // PrepareRound implements Processor: one combined payload per destination,
 // holding a section per active instance. The tick argument is the global
-// round number and is not interpreted (the schedule is positional).
+// round number and is not interpreted (the schedule is positional). The
+// returned outbox and its payloads are scratch owned by the Mux, reused
+// every tick — receivers must consume them within their DeliverRound (the
+// Processor contract).
 func (m *Mux) PrepareRound(tick int) [][]byte {
 	frames, err := m.Outboxes()
 	if err != nil {
 		return nil
 	}
-	out := make([][]byte, m.cfg.N)
+	if len(m.combined) != m.cfg.N {
+		m.combined = make([][]byte, m.cfg.N)
+		m.sectionBufs = make([][]byte, m.cfg.N)
+	}
+	out := m.combined
 	anyDest := false
 	for j := 0; j < m.cfg.N; j++ {
-		var buf []byte
+		buf := m.sectionBufs[j][:0]
 		any := false
 		for _, f := range frames {
 			var p []byte
@@ -305,9 +390,12 @@ func (m *Mux) PrepareRound(tick int) [][]byte {
 			}
 			buf = AppendMuxSection(buf, f.Instance, f.Round, p)
 		}
+		m.sectionBufs[j] = buf // keep the (possibly grown) backing array
 		if any {
 			out[j] = buf
 			anyDest = true
+		} else {
+			out[j] = nil
 		}
 	}
 	if !anyDest {
@@ -325,9 +413,16 @@ func (m *Mux) DeliverRound(tick int, inbox [][]byte) {
 	if m.err != nil {
 		return
 	}
-	in := make([][][]byte, len(inbox))
+	if len(m.decoded) < len(inbox) {
+		m.decoded = make([][][]byte, len(inbox))
+		m.sectionSets = make([][][]byte, len(inbox))
+	}
+	in := m.decoded[:len(inbox)]
 	for i, payload := range inbox {
-		in[i] = m.decodeSections(payload)
+		if len(m.sectionSets[i]) < len(m.active) {
+			m.sectionSets[i] = make([][]byte, len(m.active))
+		}
+		in[i] = m.decodeSections(m.sectionSets[i][:len(m.active)], payload)
 	}
 	_ = m.Deliver(in)
 }
@@ -346,15 +441,19 @@ func AppendMuxSection(buf []byte, instance, round int, payload []byte) []byte {
 	return append(buf, payload...)
 }
 
-// decodeSections parses a combined payload against the current active set:
-// it must contain exactly one section per active instance, in order, with
+// decodeSections parses a combined payload against the current active set
+// into out, which must hold one slot per active instance: the payload
+// must contain exactly one section per active instance, in order, with
 // matching instance ids and local rounds. nil payloads and any malformed
-// or misaligned encoding yield nil (silence everywhere).
-func (m *Mux) decodeSections(payload []byte) [][]byte {
+// or misaligned encoding yield nil (silence everywhere). The returned
+// sections alias the payload; out is caller-owned scratch.
+func (m *Mux) decodeSections(out [][]byte, payload []byte) [][]byte {
 	if payload == nil {
 		return nil
 	}
-	out := make([][]byte, len(m.active))
+	for k := range out {
+		out[k] = nil
+	}
 	rest := payload
 	for k, ru := range m.active {
 		inst, i := binary.Uvarint(rest)

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchInstance broadcasts a fixed prebuilt outbox every round and reads
+// its inbox without allocating — so the benchmarks below measure the
+// mux/network machinery, not the instances.
+type benchInstance struct {
+	out  [][]byte
+	sink int
+}
+
+func (bi *benchInstance) PrepareRound(round int) [][]byte { return bi.out }
+
+func (bi *benchInstance) DeliverRound(round int, inbox [][]byte) {
+	for _, p := range inbox {
+		bi.sink += len(p)
+	}
+}
+
+// buildBenchMuxes builds n muxes running `window` concurrent instances of
+// `rounds` local rounds each, every instance broadcasting a payload of
+// the given size.
+func buildBenchMuxes(n, window, instances, rounds, payload, workers int) ([]Processor, error) {
+	roundCounts := make([]int, instances)
+	for i := range roundCounts {
+		roundCounts[i] = rounds
+	}
+	procs := make([]Processor, n)
+	for id := 0; id < n; id++ {
+		out := Broadcast(n, make([]byte, payload))
+		m, err := NewMux(MuxConfig{
+			ID: id, N: n, Window: window, Rounds: roundCounts, Workers: workers,
+			Start: func(inst int) (Instance, error) {
+				return &benchInstance{out: out}, nil
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		procs[id] = m
+	}
+	return procs, nil
+}
+
+// BenchmarkMuxTick measures one global tick of the full in-process hot
+// path — every node's PrepareRound (window × AppendMuxSection into the
+// reused backing array) plus every node's DeliverRound (decodeSections
+// into reused scratch, per-instance routing) — at a steady-state window.
+// allocs/op is allocs per tick per cluster; before the scratch-buffer
+// reuse it grew with O(N·window) fresh buffers per tick.
+func BenchmarkMuxTick(b *testing.B) {
+	for _, bc := range []struct{ n, window, payload int }{
+		{4, 4, 64},
+		{7, 8, 64},
+		{7, 8, 1024},
+	} {
+		b.Run(fmt.Sprintf("n=%d/window=%d/payload=%d", bc.n, bc.window, bc.payload), func(b *testing.B) {
+			// One instance per window lane, each living b.N rounds, so the
+			// active set is stable and every iteration is one tick.
+			procs, err := buildBenchMuxes(bc.n, bc.window, bc.window, b.N, bc.payload, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nw, err := NewNetwork(procs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if _, err := nw.Run(b.N); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkMuxTickWorkers is BenchmarkMuxTick with the per-instance
+// worker pool engaged — the wall-clock comparison for wide windows.
+func BenchmarkMuxTickWorkers(b *testing.B) {
+	procs, err := buildBenchMuxes(7, 8, 8, b.N, 1024, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw, err := NewNetwork(procs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := nw.Run(b.N); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAppendMuxSection measures the section encoder against a
+// reused backing array — steady state must be zero-alloc.
+func BenchmarkAppendMuxSection(b *testing.B) {
+	payload := make([]byte, 256)
+	buf := AppendMuxSection(nil, 12, 3, payload) // pre-grow
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendMuxSection(buf[:0], 12, 3, payload)
+	}
+	_ = buf
+}
+
+// BenchmarkMuxDecodeSections measures the section decoder against reused
+// scratch — steady state must be zero-alloc (sections alias the payload).
+func BenchmarkMuxDecodeSections(b *testing.B) {
+	m := &Mux{cfg: MuxConfig{N: 3}, active: []*running{
+		{inst: 0, round: 2}, {inst: 1, round: 1}, {inst: 2, round: 4},
+	}}
+	var payload []byte
+	payload = AppendMuxSection(payload, 0, 2, make([]byte, 128))
+	payload = AppendMuxSection(payload, 1, 1, nil)
+	payload = AppendMuxSection(payload, 2, 4, make([]byte, 256))
+	scratch := make([][]byte, len(m.active))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.decodeSections(scratch, payload) == nil {
+			b.Fatal("well-formed payload rejected")
+		}
+	}
+}

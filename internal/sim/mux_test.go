@@ -188,7 +188,7 @@ func TestMuxSectionCodec(t *testing.T) {
 	m := &Mux{cfg: MuxConfig{N: 2}, active: []*running{
 		{inst: 7, round: 2}, {inst: 8, round: 1}, {inst: 9, round: 4},
 	}}
-	got := m.decodeSections(buf)
+	got := m.decodeSections(make([][]byte, len(m.active)), buf)
 	if got == nil {
 		t.Fatal("well-formed sections rejected")
 	}
@@ -213,11 +213,11 @@ func TestMuxSectionCodec(t *testing.T) {
 		AppendMuxSection(nil, 7, 2, []byte{1}), // too few sections
 	}
 	for i, p := range bad {
-		if res := m.decodeSections(p); res != nil {
+		if res := m.decodeSections(make([][]byte, len(m.active)), p); res != nil {
 			t.Errorf("malformed payload %d accepted: %v", i, res)
 		}
 	}
-	if m.decodeSections(nil) != nil {
+	if m.decodeSections(make([][]byte, len(m.active)), nil) != nil {
 		t.Error("nil payload must decode to silence")
 	}
 }
@@ -370,5 +370,56 @@ func TestMuxStartFailureSurfaces(t *testing.T) {
 	}
 	if m.Err() == nil {
 		t.Fatal("Err() empty after factory failure")
+	}
+}
+
+// TestMuxWorkersMatchSequential: the per-instance worker pool is purely an
+// execution detail — the same schedule at Workers 0 and Workers 3, over
+// the parallel network engine, must deliver byte-identical inboxes. Run
+// with -race this also exercises concurrent PrepareRound/DeliverRound
+// across the window's instances.
+func TestMuxWorkersMatchSequential(t *testing.T) {
+	const n, window = 4, 3
+	rounds := []int{2, 3, 1, 4, 2, 3}
+	run := func(workers int) [][]*tagInstance {
+		procs := make([]Processor, n)
+		insts := make([][]*tagInstance, n)
+		for id := 0; id < n; id++ {
+			id := id
+			insts[id] = make([]*tagInstance, len(rounds))
+			m, err := NewMux(MuxConfig{
+				ID: id, N: n, Window: window, Rounds: rounds, Workers: workers,
+				Start: func(inst int) (Instance, error) {
+					ti := &tagInstance{inst: inst, n: n}
+					insts[id][inst] = ti
+					return ti, nil
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			procs[id] = m
+		}
+		nw, err := NewNetwork(procs, Parallel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nw.Run(MuxTicks(rounds, window)); err != nil {
+			t.Fatal(err)
+		}
+		return insts
+	}
+	seq, par := run(0), run(3)
+	for id := range seq {
+		for inst := range seq[id] {
+			if len(seq[id][inst].seen) != len(par[id][inst].seen) {
+				t.Fatalf("node %d instance %d: %d vs %d rounds", id, inst, len(seq[id][inst].seen), len(par[id][inst].seen))
+			}
+			for r := range seq[id][inst].seen {
+				if !bytes.Equal(seq[id][inst].seen[r], par[id][inst].seen[r]) {
+					t.Fatalf("node %d instance %d round %d: worker pool diverges from sequential", id, inst, r+1)
+				}
+			}
+		}
 	}
 }

@@ -42,7 +42,11 @@ type RoundStats struct {
 	DistinctSrc int // processors that sent at least one payload
 }
 
-// Stats aggregates message traffic over a run.
+// Stats aggregates message traffic over a run. PerRound is populated only
+// when the driver asked for it (WithPerRoundStats, or the transport's
+// option of the same name): the aggregate counters are always-on and
+// O(1), while a per-round trail grows with the schedule — unbounded
+// memory on long logs.
 type Stats struct {
 	Rounds     int
 	Messages   int
@@ -55,6 +59,7 @@ type Stats struct {
 type Network struct {
 	procs    []Processor
 	parallel bool
+	perRound bool
 	hook     func(round int)
 	stats    Stats
 }
@@ -64,6 +69,12 @@ type Option func(*Network)
 
 // Parallel selects the goroutine-per-processor engine.
 func Parallel() Option { return func(nw *Network) { nw.parallel = true } }
+
+// WithPerRoundStats records a RoundStats entry per round in the run's
+// Stats. Off by default: aggregate totals are always maintained, but the
+// per-round trail is one entry per tick forever — unbounded memory when
+// the schedule is long (a replicated log's whole lifetime).
+func WithPerRoundStats() Option { return func(nw *Network) { nw.perRound = true } }
 
 // WithRoundHook installs a callback invoked after each round completes
 // (all deliveries done). Used by traces and lemma-level tests to snapshot
@@ -121,11 +132,10 @@ func (nw *Network) run(maxRounds int, stop func(round int) bool) (*Stats, error)
 		inboxes[i] = make([][]byte, n)
 	}
 
-	capHint := 0
-	if maxRounds > 0 {
-		capHint = maxRounds
+	nw.stats = Stats{}
+	if nw.perRound && maxRounds > 0 {
+		nw.stats.PerRound = make([]RoundStats, 0, maxRounds)
 	}
-	nw.stats = Stats{PerRound: make([]RoundStats, 0, capHint)}
 	for r := 1; maxRounds <= 0 || r <= maxRounds; r++ {
 		// Send half: collect every processor's outbox for this round.
 		if nw.parallel {
@@ -195,7 +205,9 @@ func (nw *Network) run(maxRounds int, stop func(round int) bool) (*Stats, error)
 		if rs.MaxPayload > nw.stats.MaxPayload {
 			nw.stats.MaxPayload = rs.MaxPayload
 		}
-		nw.stats.PerRound = append(nw.stats.PerRound, rs)
+		if nw.perRound {
+			nw.stats.PerRound = append(nw.stats.PerRound, rs)
+		}
 
 		if nw.hook != nil {
 			nw.hook(r)

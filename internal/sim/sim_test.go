@@ -66,7 +66,7 @@ func TestNetworkDeliversAllToAll(t *testing.T) {
 		raw[i] = &echoProc{id: i, n: n}
 		procs[i] = raw[i]
 	}
-	nw, err := NewNetwork(procs)
+	nw, err := NewNetwork(procs, WithPerRoundStats())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +251,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 
 func TestStatsCopySafety(t *testing.T) {
 	procs := []Processor{&echoProc{id: 0, n: 2}, &echoProc{id: 1, n: 2}}
-	nw, err := NewNetwork(procs)
+	nw, err := NewNetwork(procs, WithPerRoundStats())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,5 +314,37 @@ func TestRunUntil(t *testing.T) {
 	nw, _ = mk()
 	if _, err := nw.RunUntil(0, nil); err == nil {
 		t.Fatal("nil stop predicate accepted")
+	}
+}
+
+// TestPerRoundStatsOptIn: the per-round trail is opt-in — it grows one
+// entry per tick forever, unbounded memory on long logs — while the
+// aggregate counters are always on.
+func TestPerRoundStatsOptIn(t *testing.T) {
+	run := func(opts ...Option) *Stats {
+		procs := []Processor{&echoProc{id: 0, n: 2}, &echoProc{id: 1, n: 2}}
+		nw, err := NewNetwork(procs, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := nw.Run(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	off := run()
+	if len(off.PerRound) != 0 {
+		t.Fatalf("per-round stats recorded by default: %d entries", len(off.PerRound))
+	}
+	if off.Rounds != 3 || off.Messages == 0 || off.Bytes == 0 {
+		t.Fatalf("aggregates missing without the per-round trail: %+v", off)
+	}
+	on := run(WithPerRoundStats())
+	if len(on.PerRound) != 3 {
+		t.Fatalf("opt-in per-round stats carried %d entries, want 3", len(on.PerRound))
+	}
+	if on.Messages != off.Messages || on.Bytes != off.Bytes {
+		t.Fatalf("aggregates differ with the trail on: %+v vs %+v", on, off)
 	}
 }

@@ -6,6 +6,149 @@ import (
 	"shiftgears/internal/sim"
 )
 
+// sendJob is one tick's worth of frames for one peer: the writer emits
+// every frame in order, then flushes, so each peer connection carries one
+// coalesced burst per tick.
+type sendJob struct {
+	frames []sim.MuxFrame
+	peer   int
+}
+
+// writerPool runs one persistent writer goroutine per remote peer so the
+// send and receive halves of a tick overlap. The old drive loop wrote all
+// frames to every peer before reading any; once a tick's payload outgrew
+// the kernel socket buffers every node of the mesh blocked in Flush while
+// its peers blocked in Flush — a distributed deadlock the lockstep
+// barrier could never escape. With per-peer writers each node's reads
+// drain its peers' sockets while its own writes are in flight, so the
+// cycle cannot form: a reader blocked on peer p waits only for p's
+// dedicated writer, which writes regardless of what p's other
+// connections are doing.
+//
+// Ordering guarantee: within a tick, frames to one peer are written in
+// increasing instance order and flushed once; across ticks, tick t's
+// writes complete (wait returns) before tick t+1's are dispatched. Each
+// connection therefore carries exactly the byte stream of the sequential
+// loop — receivers still read frames in instance order, tick by tick —
+// only the interleaving across connections changed.
+type writerPool struct {
+	nd   *Node
+	jobs []chan sendJob // per peer; nil at self
+	errs []chan error   // per peer, cap 1; nil at self
+}
+
+func newWriterPool(nd *Node) *writerPool {
+	wp := &writerPool{
+		nd:   nd,
+		jobs: make([]chan sendJob, nd.n),
+		errs: make([]chan error, nd.n),
+	}
+	for id, p := range nd.peers {
+		if id == nd.id {
+			continue
+		}
+		jobs := make(chan sendJob)
+		errs := make(chan error, 1)
+		wp.jobs[id], wp.errs[id] = jobs, errs
+		go func(p *peer) {
+			for job := range jobs {
+				errs <- wp.send(p, job)
+			}
+		}(p)
+	}
+	return wp
+}
+
+// send writes one tick's frames to one peer and flushes.
+func (wp *writerPool) send(p *peer, job sendJob) error {
+	for _, f := range job.frames {
+		var payload []byte
+		if f.Outbox != nil {
+			payload = f.Outbox[job.peer]
+		}
+		if err := writeFrame(p.w, f.Instance, f.Round, payload); err != nil {
+			return fmt.Errorf("send instance %d to %d: %w", f.Instance, job.peer, err)
+		}
+	}
+	if err := p.w.Flush(); err != nil {
+		return fmt.Errorf("send to %d: %w", job.peer, err)
+	}
+	return nil
+}
+
+// dispatch hands every writer its tick's frames. The job channels are
+// unbuffered, but each writer is guaranteed idle here: wait consumed its
+// previous error before the caller dispatched again.
+func (wp *writerPool) dispatch(frames []sim.MuxFrame) {
+	for id, jobs := range wp.jobs {
+		if jobs != nil {
+			jobs <- sendJob{frames: frames, peer: id}
+		}
+	}
+}
+
+// wait joins the tick: it collects every writer's result and returns the
+// first failure.
+func (wp *writerPool) wait() error {
+	var first error
+	for _, errs := range wp.errs {
+		if errs == nil {
+			continue
+		}
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// close stops the writers. Any writer still mid-tick parks its result in
+// its buffered error channel and exits; none can leak.
+func (wp *writerPool) close() {
+	for _, jobs := range wp.jobs {
+		if jobs != nil {
+			close(jobs)
+		}
+	}
+}
+
+// abortTick unblocks the tick after a read failure: a writer may be stuck
+// in Flush toward a peer that stopped reading (mesh going down in the
+// large-payload regime), and joining it would hang this node forever —
+// with the cluster teardown that would free it only firing once this
+// node returns its error. Closing the peer connections fails those
+// writes promptly, so wait() is guaranteed to return.
+func (wp *writerPool) abortTick() {
+	for _, p := range wp.nd.peers {
+		if p != nil {
+			_ = p.conn.Close()
+		}
+	}
+}
+
+// exchange runs one tick's overlapped halves: it hands the writers the
+// tick's frames, runs the read half concurrently in this goroutine, and
+// joins the writers — tearing the connections down first when the read
+// half failed, so the join cannot hang on a writer blocked in Flush
+// toward a peer that stopped reading. The read error wins (it usually
+// names the root cause: the mesh going down); label names the tick in a
+// send error.
+func (wp *writerPool) exchange(label string, frames []sim.MuxFrame, read func() error) error {
+	wp.dispatch(frames)
+	readErr := read()
+	if readErr != nil {
+		wp.abortTick()
+	}
+	sendErr := wp.wait()
+	if readErr != nil {
+		return readErr
+	}
+	if sendErr != nil {
+		return fmt.Errorf("transport: %s: %w", label, sendErr)
+	}
+	return nil
+}
+
 // RunMux drives the node's processor — which must be a *sim.Mux — through
 // its full multiplexed schedule: at every global tick the node exchanges
 // one frame per active instance with every peer, each frame carrying the
@@ -13,6 +156,11 @@ import (
 // many concurrent agreement instances. All nodes of the mesh must run
 // identical schedules (same Rounds and Window); a peer frame whose
 // instance or round disagrees with the local schedule is a protocol error.
+//
+// Sends and receives overlap: one writer goroutine per peer pushes the
+// tick's frames while this goroutine reads, so the mesh cannot deadlock
+// when a tick's payload exceeds the kernel socket buffers (see
+// writerPool for the ordering guarantees).
 func (nd *Node) RunMux() (*sim.Stats, error) {
 	m, ok := nd.proc.(*sim.Mux)
 	if !ok {
@@ -20,6 +168,9 @@ func (nd *Node) RunMux() (*sim.Stats, error) {
 	}
 	nd.stats = sim.Stats{}
 	in := make([][][]byte, nd.n)
+	self := make([][]byte, 0)
+	wp := newWriterPool(nd)
+	defer wp.close()
 
 	for !m.Done() {
 		frames, err := m.Outboxes()
@@ -28,56 +179,50 @@ func (nd *Node) RunMux() (*sim.Stats, error) {
 		}
 		tick := m.Ticks() + 1
 
-		// Send half: one frame per active instance per peer, one flush per
-		// peer per tick; self-delivery is direct.
-		for id, p := range nd.peers {
-			if id == nd.id {
-				self := make([][]byte, len(frames))
-				for k, f := range frames {
-					if f.Outbox != nil {
-						self[k] = f.Outbox[id]
-					}
-				}
-				in[id] = self
-				continue
+		// Self-delivery is direct; the writers push to the peers while the
+		// read closure below collects from them (writerPool.exchange).
+		self = self[:0]
+		for _, f := range frames {
+			var payload []byte
+			if f.Outbox != nil {
+				payload = f.Outbox[nd.id]
 			}
-			for _, f := range frames {
-				var payload []byte
-				if f.Outbox != nil {
-					payload = f.Outbox[id]
-				}
-				if err := writeFrame(p.w, f.Instance, f.Round, payload); err != nil {
-					return nil, fmt.Errorf("transport: tick %d: send instance %d to %d: %w", tick, f.Instance, id, err)
-				}
-			}
-			if err := p.w.Flush(); err != nil {
-				return nil, fmt.Errorf("transport: tick %d: send to %d: %w", tick, id, err)
-			}
+			self = append(self, payload)
 		}
+		in[nd.id] = self
 
 		// Barrier: collect every peer's frames for exactly the active set,
 		// in instance order (TCP is FIFO, peers send in the same order).
 		rs := sim.RoundStats{Round: tick}
-		for id, p := range nd.peers {
-			if id == nd.id {
-				for _, payload := range in[id] {
+		err = wp.exchange(fmt.Sprintf("tick %d", tick), frames, func() error {
+			for id, p := range nd.peers {
+				if id == nd.id {
+					for _, payload := range in[id] {
+						countPayload(&rs, payload)
+					}
+					continue
+				}
+				// Reuse the peer's slice across ticks (like self above):
+				// Deliver consumes it within the tick, and the payloads
+				// themselves are fresh from readFrame.
+				got := in[id][:0]
+				for _, f := range frames {
+					instance, round, payload, err := readFrame(p.r)
+					if err != nil {
+						return fmt.Errorf("transport: tick %d: recv from %d: %w", tick, id, err)
+					}
+					if instance != f.Instance || round != f.Round {
+						return fmt.Errorf("transport: peer %d sent frame (instance %d, round %d), want (instance %d, round %d)", id, instance, round, f.Instance, f.Round)
+					}
+					got = append(got, payload)
 					countPayload(&rs, payload)
 				}
-				continue
+				in[id] = got
 			}
-			got := make([][]byte, len(frames))
-			for k, f := range frames {
-				instance, round, payload, err := readFrame(p.r)
-				if err != nil {
-					return nil, fmt.Errorf("transport: tick %d: recv from %d: %w", tick, id, err)
-				}
-				if instance != f.Instance || round != f.Round {
-					return nil, fmt.Errorf("transport: peer %d sent frame (instance %d, round %d), want (instance %d, round %d)", id, instance, round, f.Instance, f.Round)
-				}
-				got[k] = payload
-				countPayload(&rs, payload)
-			}
-			in[id] = got
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 
 		if err := m.Deliver(in); err != nil {
@@ -89,7 +234,9 @@ func (nd *Node) RunMux() (*sim.Stats, error) {
 		if rs.MaxPayload > nd.stats.MaxPayload {
 			nd.stats.MaxPayload = rs.MaxPayload
 		}
-		nd.stats.PerRound = append(nd.stats.PerRound, rs)
+		if nd.perRound {
+			nd.stats.PerRound = append(nd.stats.PerRound, rs)
+		}
 	}
 	if err := m.Err(); err != nil {
 		return nil, err

@@ -244,3 +244,27 @@ func TestRunMuxDivergentLazyRoundsFailsFast(t *testing.T) {
 		})
 	}
 }
+
+// TestRunMuxPerRoundStatsOptIn: the transport's per-round trail mirrors
+// the sim network's — opt-in via WithPerRoundStats, aggregates always on.
+func TestRunMuxPerRoundStatsOptIn(t *testing.T) {
+	const n, window = 3, 2
+	rounds := []int{2, 2, 2}
+	procs, _ := buildTagMuxes(t, n, window, rounds)
+	cluster, err := NewCluster(procs, WithPerRoundStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	stats, err := cluster.RunMux()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sim.MuxTicks(rounds, window)
+	if len(stats.PerRound) != want {
+		t.Fatalf("opt-in per-round stats carried %d entries, want %d", len(stats.PerRound), want)
+	}
+	if stats.Messages == 0 || stats.Bytes == 0 {
+		t.Fatalf("aggregates missing: %+v", stats)
+	}
+}

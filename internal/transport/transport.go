@@ -49,6 +49,8 @@ type Node struct {
 	peers     []*peer // indexed by peer id; nil at self
 	stats     sim.Stats
 	dialRetry time.Duration
+	sockBuf   int
+	perRound  bool
 }
 
 // Option configures a Node.
@@ -59,6 +61,25 @@ type Option func(*Node)
 // deployments use a short window instead of inheriting the fixed default.
 func WithDialRetry(d time.Duration) Option {
 	return func(nd *Node) { nd.dialRetry = d }
+}
+
+// WithWriteBufferSize clamps every peer connection's kernel send buffer
+// (SO_SNDBUF) to the given byte count (0 keeps the OS default). Tests use
+// tiny send buffers to reproduce back-pressure regimes — per-tick
+// payloads larger than the kernel can absorb — without gigabyte
+// payloads; the OS may round the value up to its floor. The receive
+// buffer is left alone: shrinking SO_RCVBUF after the TCP window scale
+// is negotiated can wedge a live connection at the kernel level.
+func WithWriteBufferSize(bytes int) Option {
+	return func(nd *Node) { nd.sockBuf = bytes }
+}
+
+// WithPerRoundStats records a RoundStats entry per round/tick in the
+// run's Stats. Off by default: aggregate totals are always maintained,
+// but the per-round trail grows with the schedule and is unbounded
+// memory on long logs.
+func WithPerRoundStats() Option {
+	return func(nd *Node) { nd.perRound = true }
 }
 
 // peer is one bidirectional link.
@@ -117,7 +138,7 @@ func (nd *Node) Connect(addrs []string) error {
 				errc <- fmt.Errorf("transport: bad handshake id %d at node %d", id, nd.id)
 				return
 			}
-			nd.peers[id] = newPeer(conn)
+			nd.peers[id] = newPeer(conn, nd.sockBuf)
 		}
 		errc <- nil
 	}()
@@ -131,14 +152,17 @@ func (nd *Node) Connect(addrs []string) error {
 		if _, err := conn.Write([]byte{byte(nd.id)}); err != nil {
 			return fmt.Errorf("transport: handshake write to %d: %w", id, err)
 		}
-		nd.peers[id] = newPeer(conn)
+		nd.peers[id] = newPeer(conn, nd.sockBuf)
 	}
 	return <-errc
 }
 
-func newPeer(conn net.Conn) *peer {
+func newPeer(conn net.Conn, sockBuf int) *peer {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		_ = tc.SetNoDelay(true) // round latency matters more than throughput
+		if sockBuf > 0 {
+			_ = tc.SetWriteBuffer(sockBuf)
+		}
 	}
 	return &peer{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
 }
@@ -168,12 +192,18 @@ func dialWithRetry(addr string, retry time.Duration) (net.Conn, error) {
 
 // Run executes rounds 1..rounds in lockstep with the mesh and returns
 // traffic statistics (from this node's perspective: frames it received).
+// Sends and receives overlap — one writer goroutine per peer (see
+// writerPool) — so the mesh cannot deadlock when a round's payload
+// exceeds the kernel socket buffers.
 func (nd *Node) Run(rounds int) (*sim.Stats, error) {
 	if rounds < 1 {
 		return nil, fmt.Errorf("transport: round count %d must be positive", rounds)
 	}
 	inbox := make([][]byte, nd.n)
 	nd.stats = sim.Stats{}
+	frame := make([]sim.MuxFrame, 1)
+	wp := newWriterPool(nd)
+	defer wp.close()
 
 	for r := 1; r <= rounds; r++ {
 		outbox := nd.proc.PrepareRound(r)
@@ -181,23 +211,10 @@ func (nd *Node) Run(rounds int) (*sim.Stats, error) {
 			return nil, fmt.Errorf("transport: round %d: outbox has %d entries, want %d", r, len(outbox), nd.n)
 		}
 
-		// Send our round-r frame to every peer (and deliver to self).
-		for id, p := range nd.peers {
-			var payload []byte
-			if outbox != nil {
-				payload = outbox[id]
-			}
-			if id == nd.id {
-				inbox[id] = payload
-				continue
-			}
-			if err := writeFrame(p.w, 0, r, payload); err != nil {
-				return nil, fmt.Errorf("transport: round %d: send to %d: %w", r, id, err)
-			}
-			if err := p.w.Flush(); err != nil {
-				return nil, fmt.Errorf("transport: round %d: send to %d: %w", r, id, err)
-			}
-		}
+		// Our round-r frame rides as instance 0; self-delivery is direct,
+		// the writers push to the peers while the read closure collects
+		// from them (writerPool.exchange).
+		frame[0] = sim.MuxFrame{Instance: 0, Round: r, Outbox: outbox}
 		if outbox != nil {
 			inbox[nd.id] = outbox[nd.id]
 		} else {
@@ -208,24 +225,29 @@ func (nd *Node) Run(rounds int) (*sim.Stats, error) {
 		// peer sends exactly one frame per round in order, so sequential
 		// reads suffice.
 		rs := sim.RoundStats{Round: r}
-		for id, p := range nd.peers {
-			if id == nd.id {
-				payload := inbox[id]
+		err := wp.exchange(fmt.Sprintf("round %d", r), frame, func() error {
+			for id, p := range nd.peers {
+				if id == nd.id {
+					countPayload(&rs, inbox[id])
+					continue
+				}
+				instance, round, payload, err := readFrame(p.r)
+				if err != nil {
+					return fmt.Errorf("transport: round %d: recv from %d: %w", r, id, err)
+				}
+				if instance != 0 {
+					return fmt.Errorf("transport: peer %d sent frame for instance %d in single-instance mode", id, instance)
+				}
+				if round != r {
+					return fmt.Errorf("transport: peer %d sent frame for round %d during round %d", id, round, r)
+				}
+				inbox[id] = payload
 				countPayload(&rs, payload)
-				continue
 			}
-			instance, round, payload, err := readFrame(p.r)
-			if err != nil {
-				return nil, fmt.Errorf("transport: round %d: recv from %d: %w", r, id, err)
-			}
-			if instance != 0 {
-				return nil, fmt.Errorf("transport: peer %d sent frame for instance %d in single-instance mode", id, instance)
-			}
-			if round != r {
-				return nil, fmt.Errorf("transport: peer %d sent frame for round %d during round %d", id, round, r)
-			}
-			inbox[id] = payload
-			countPayload(&rs, payload)
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 
 		nd.proc.DeliverRound(r, inbox)
@@ -235,7 +257,9 @@ func (nd *Node) Run(rounds int) (*sim.Stats, error) {
 		if rs.MaxPayload > nd.stats.MaxPayload {
 			nd.stats.MaxPayload = rs.MaxPayload
 		}
-		nd.stats.PerRound = append(nd.stats.PerRound, rs)
+		if nd.perRound {
+			nd.stats.PerRound = append(nd.stats.PerRound, rs)
+		}
 	}
 	out := nd.stats
 	out.PerRound = append([]sim.RoundStats(nil), nd.stats.PerRound...)

@@ -34,6 +34,11 @@ type LogConfig struct {
 	// Slots is the log length; Window the pipelining depth (default 1);
 	// BatchSize the commands per slot (default 1).
 	Slots, Window, BatchSize int
+	// Workers bounds each replica's per-tick slot worker pool: the
+	// window's active slots prepare and consume their rounds concurrently
+	// (0 or 1 = sequential). Wire bytes and schedules are identical at
+	// any worker count.
+	Workers int
 	// Faulty lists Byzantine replicas; Strategy and Seed drive them as in
 	// Config. Faulty replicas are Byzantine in every slot, including the
 	// slots they source.
@@ -229,6 +234,7 @@ func NewReplicatedLog(cfg LogConfig, opts ...LogOption) (*ReplicatedLog, error) 
 
 	rcfg := rsm.Config{
 		N: cfg.N, Slots: cfg.Slots, Window: cfg.Window, BatchSize: cfg.BatchSize,
+		Workers: cfg.Workers,
 	}
 	type protoKey struct {
 		alg    Algorithm

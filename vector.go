@@ -75,14 +75,6 @@ func RunVector(cfg VectorConfig) (*VectorResult, error) {
 	if stratName == "" {
 		stratName = "splitbrain"
 	}
-	var strat adversary.Strategy
-	if len(faulty) > 0 {
-		strat, err = adversary.New(stratName, env.Rounds())
-		if err != nil {
-			return nil, err
-		}
-	}
-
 	replicas := make([]*consensus.VectorReplica, cfg.N)
 	procs := make([]sim.Processor, cfg.N)
 	for id := 0; id < cfg.N; id++ {
@@ -92,6 +84,14 @@ func RunVector(cfg VectorConfig) (*VectorResult, error) {
 		}
 		replicas[id] = rep
 		if faulty[id] {
+			// One strategy instance per faulty processor: stateful
+			// strategies (stutter) carry per-processor state, and sharing
+			// one instance would mix the processors' payload histories —
+			// and race under the parallel engine.
+			strat, err := adversary.New(stratName, env.Rounds())
+			if err != nil {
+				return nil, err
+			}
 			procs[id] = consensus.NewFaultyVector(rep, strat, cfg.Seed)
 		} else {
 			procs[id] = rep
