@@ -1,10 +1,10 @@
 // Command bench runs the replicated log's throughput matrix — window ×
-// batch × N × gear policy, over both the in-process engine and a loopback
-// TCP mesh — and writes a BENCH_*.json trajectory file, so every change
-// to the engine leaves a comparable perf record:
+// batch × N × gear policy × fabric (the in-process router, the chaos
+// network, a loopback TCP mesh) — and writes a BENCH_*.json trajectory
+// file, so every change to the engine leaves a comparable perf record:
 //
-//	bench -out BENCH_4.json          # the full matrix (~seconds)
-//	bench -short -out bench.json     # CI smoke: two small cases
+//	bench -out BENCH_5.json          # the full matrix (~seconds)
+//	bench -short -out bench.json     # CI smoke: three small cases
 //
 // Per case it records committed commands, ticks, cmds/tick, wall time,
 // message/byte totals, and the heap allocation count across the run
@@ -28,7 +28,8 @@ import (
 // Case is one cell of the throughput matrix.
 type Case struct {
 	Name     string `json:"name"`
-	Mode     string `json:"mode"` // "sim" or "tcp"
+	Mode     string `json:"mode"` // fabric: "sim", "mem", or "tcp"
+	Chaos    bool   `json:"chaos,omitempty"`
 	N        int    `json:"n"`
 	T        int    `json:"t"`
 	Window   int    `json:"window"`
@@ -57,7 +58,9 @@ type Result struct {
 	WallMS          float64 `json:"wall_ms"`
 }
 
-// File is the BENCH_*.json schema ("shiftgears-bench/v1").
+// File is the BENCH_*.json schema ("shiftgears-bench/v2": v1 plus the
+// fabric dimension in mode/chaos, with traffic counters now
+// fabric-uniform — frames delivered to all hosted replicas).
 type File struct {
 	Schema    string   `json:"schema"`
 	Generated string   `json:"generated"`
@@ -75,11 +78,12 @@ func main() {
 // matrix returns the cases to run. The full matrix sweeps the levers the
 // engine claims matter — window (pipelining), batch (amortization), N
 // (mesh size), workers (per-replica parallelism), gears (algorithm
-// shifting) — in both execution modes; short mode is a two-case CI smoke.
+// shifting), across the three fabrics; short mode is a three-case CI smoke.
 func matrix(short bool) []Case {
 	if short {
 		return []Case{
 			{Name: "smoke-sim", Mode: "sim", N: 4, T: 1, Window: 2, Batch: 2, Alg: "exponential", Cmds: 16},
+			{Name: "smoke-mem", Mode: "mem", Chaos: true, N: 4, T: 1, Window: 2, Batch: 2, Alg: "exponential", Cmds: 16},
 			{Name: "smoke-tcp", Mode: "tcp", N: 4, T: 1, Window: 2, Batch: 2, Alg: "exponential", Cmds: 16},
 		}
 	}
@@ -99,12 +103,32 @@ func matrix(short bool) []Case {
 			Faulty: []int{2, 5, 8}, Strategy: "silent"},
 		{Name: "hybrid-downshift", Mode: "sim", N: 13, T: 3, Window: 4, Batch: 2, Alg: "hybrid", Gears: "downshift", Cmds: 52,
 			Faulty: []int{2, 5, 8}, Strategy: "silent"},
+		// The mem fabric: the chaos network at zero faults must price like
+		// sim (same drive loop, routing plus a fault filter), and with a
+		// representative adverse schedule it prices the chaos machinery.
+		{Name: "mem-both", Mode: "mem", N: 7, T: 2, Window: 4, Batch: 4, Alg: "exponential", Cmds: 96},
+		{Name: "mem-chaos", Mode: "mem", Chaos: true, N: 7, T: 2, Window: 4, Batch: 4, Alg: "exponential", Cmds: 96},
 		// The TCP mesh: every frame crosses a real socket.
 		{Name: "tcp-seq", Mode: "tcp", N: 4, T: 1, Window: 1, Batch: 1, Alg: "exponential", Cmds: 32},
 		{Name: "tcp-both", Mode: "tcp", N: 4, T: 1, Window: 4, Batch: 4, Alg: "exponential", Cmds: 32},
 		{Name: "tcp-n7", Mode: "tcp", N: 7, T: 2, Window: 4, Batch: 4, Alg: "exponential", Cmds: 96},
 	}
 	return cases
+}
+
+// chaosPlan is the representative adverse schedule of the mem-chaos
+// cases: one victim's outbound links drop frames and a partition
+// isolates it for a window that heals.
+func chaosPlan(n int) *shiftgears.Chaos {
+	victim := n - 1
+	return &shiftgears.Chaos{
+		Seed:    1,
+		Victims: []int{victim},
+		Drop:    0.3,
+		Partitions: []shiftgears.ChaosPartition{
+			{From: 4, Until: 10, Group: []int{victim}},
+		},
+	}
 }
 
 // runCase builds and runs one log and measures it.
@@ -124,7 +148,10 @@ func runCase(c Case) (Result, error) {
 		N:         c.N, T: c.T, B: 3,
 		Slots: slots, Window: c.Window, BatchSize: c.Batch, Workers: c.Workers,
 		Faulty: c.Faulty, Strategy: c.Strategy,
-		TCP: c.Mode == "tcp",
+		Fabric: c.Mode,
+	}
+	if c.Chaos {
+		lcfg.Chaos = chaosPlan(c.N)
 	}
 	if c.Gears != "" {
 		policy, err := shiftgears.ParseGearPolicy(c.Gears)
@@ -177,14 +204,14 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
 		outPath = fs.String("out", "", "write the bench JSON to this file (default stdout only)")
-		short   = fs.Bool("short", false, "CI smoke: two small cases")
+		short   = fs.Bool("short", false, "CI smoke: three small cases")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	file := File{
-		Schema:    "shiftgears-bench/v1",
+		Schema:    "shiftgears-bench/v2",
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Go:        runtime.Version(),
 	}

@@ -30,16 +30,22 @@ func TestBenchShortWritesValidJSON(t *testing.T) {
 	if err := json.Unmarshal(blob, &file); err != nil {
 		t.Fatalf("bench JSON does not parse: %v", err)
 	}
-	if file.Schema != "shiftgears-bench/v1" {
+	if file.Schema != "shiftgears-bench/v2" {
 		t.Fatalf("schema = %q", file.Schema)
 	}
-	if len(file.Results) != 2 {
-		t.Fatalf("short matrix ran %d cases, want 2", len(file.Results))
+	if len(file.Results) != 3 {
+		t.Fatalf("short matrix ran %d cases, want 3", len(file.Results))
 	}
 	modes := map[string]bool{}
 	for _, r := range file.Results {
 		modes[r.Mode] = true
-		if r.Committed != r.Cmds {
+		if r.Chaos {
+			// The chaos victim's dropped proposals become no-ops; the
+			// rest of the workload must still land.
+			if r.Committed == 0 || r.Committed > r.Cmds {
+				t.Fatalf("chaos case %s committed %d of %d commands", r.Name, r.Committed, r.Cmds)
+			}
+		} else if r.Committed != r.Cmds {
 			t.Fatalf("case %s committed %d of %d commands", r.Name, r.Committed, r.Cmds)
 		}
 		if r.Ticks < 1 || r.CmdsPerTick <= 0 {
@@ -49,8 +55,8 @@ func TestBenchShortWritesValidJSON(t *testing.T) {
 			t.Fatalf("case %s has empty cost measurements: %+v", r.Name, r)
 		}
 	}
-	if !modes["sim"] || !modes["tcp"] {
-		t.Fatalf("short matrix must cover both modes, got %v", modes)
+	if !modes["sim"] || !modes["mem"] || !modes["tcp"] {
+		t.Fatalf("short matrix must cover all three fabrics, got %v", modes)
 	}
 }
 

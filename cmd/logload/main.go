@@ -14,6 +14,13 @@
 //
 //	logload -n 13 -t 3 -alg hybrid -gears downshift -faulty 2 -strategy silent
 //	logload -n 13 -t 3 -alg hybrid -gears blacklist -faulty 2,5,8 -strategy silent
+//
+// -fabric selects the substrate (sim, mem, tcp). The mem fabric runs the
+// same drive loop over a deterministic chaos network — seeded drops on
+// victim links, partitions that heal, crash windows — so adverse
+// schedules are reproducible load tests:
+//
+//	logload -n 7 -t 2 -fabric mem -seed 1 -victims 5 -drop 0.3 -partition 5@4:10
 package main
 
 import (
@@ -49,9 +56,17 @@ func run(args []string, out io.Writer) error {
 		faultyCS = fs.String("faulty", "", "comma-separated Byzantine replica ids")
 		strategy = fs.String("strategy", "splitbrain", "adversary strategy")
 		seed     = fs.Int64("seed", 1, "adversary seed")
-		parallel = fs.Bool("parallel", false, "goroutine-per-processor sim engine")
+		parallel = fs.Bool("parallel", false, "goroutine-per-replica drive loop")
 		workers  = fs.Int("workers", 0, "per-replica slot worker pool (0 = sequential)")
-		tcp      = fs.Bool("tcp", false, "run over a loopback TCP mesh")
+		fabricCS = fs.String("fabric", "sim", "fabric to run over: sim | mem | tcp")
+		tcp      = fs.Bool("tcp", false, "shorthand for -fabric tcp")
+		victims  = fs.String("victims", "", "mem fabric: comma-separated nodes whose outbound links lose frames")
+		drop     = fs.Float64("drop", 0, "mem fabric: per-frame drop probability on victim links")
+		late     = fs.Float64("late", 0, "mem fabric: per-frame probability a victim frame misses the synchrony bound")
+		delay    = fs.Float64("delay", 0, "mem fabric: per-frame within-bound delay probability (must be invisible)")
+		reorder  = fs.Bool("reorder", false, "mem fabric: shuffle within-tick delivery order (must be invisible)")
+		partCS   = fs.String("partition", "", "mem fabric: partitions as ids@from:until (e.g. 2,5@4:10), comma-free ranges, semicolon-separated")
+		crashCS  = fs.String("crash", "", "mem fabric: crash windows as id@from:until, semicolon-separated")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,17 +81,9 @@ func run(args []string, out io.Writer) error {
 	if *cmds < 1 {
 		return fmt.Errorf("need at least 1 command")
 	}
-	var faulty []int
-	for _, field := range strings.Split(*faultyCS, ",") {
-		field = strings.TrimSpace(field)
-		if field == "" {
-			continue
-		}
-		id, err := strconv.Atoi(field)
-		if err != nil {
-			return fmt.Errorf("faulty id %q: %w", field, err)
-		}
-		faulty = append(faulty, id)
+	faulty, err := parseIDs(*faultyCS)
+	if err != nil {
+		return fmt.Errorf("faulty ids %q: %w", *faultyCS, err)
 	}
 
 	// Round-robin distribution: the busiest replica gets ⌈cmds/n⌉
@@ -86,12 +93,28 @@ func run(args []string, out io.Writer) error {
 	slotsPerSource := (perReplica + *batch - 1) / *batch
 	slots := *n * slotsPerSource
 
+	fabricName := *fabricCS
+	if *tcp {
+		if fabricName != "sim" && fabricName != "tcp" {
+			return fmt.Errorf("-tcp conflicts with -fabric %s", fabricName)
+		}
+		fabricName = "tcp"
+	}
 	lcfg := shiftgears.LogConfig{
 		Algorithm: alg,
 		N:         *n, T: *t, B: *b,
 		Slots: slots, Window: *window, BatchSize: *batch, Workers: *workers,
 		Faulty: faulty, Strategy: *strategy, Seed: *seed,
-		Parallel: *parallel, TCP: *tcp,
+		Parallel: *parallel, Fabric: fabricName,
+	}
+	if fabricName == "mem" {
+		chaos, err := parseChaos(*seed, *victims, *drop, *late, *delay, *reorder, *partCS, *crashCS)
+		if err != nil {
+			return err
+		}
+		lcfg.Chaos = chaos
+	} else if *victims != "" || *drop != 0 || *late != 0 || *delay != 0 || *reorder || *partCS != "" || *crashCS != "" {
+		return fmt.Errorf("chaos flags need -fabric mem")
 	}
 	if *gears != "" {
 		policy, err := shiftgears.ParseGearPolicy(*gears)
@@ -111,10 +134,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	mode := "sim"
-	if *tcp {
-		mode = "tcp"
-	}
+	mode := fabricName
 	algDesc := alg.String()
 	if *gears != "" {
 		algDesc = fmt.Sprintf("%s gears from %s", *gears, alg)
@@ -142,8 +162,90 @@ func run(args []string, out io.Writer) error {
 	if *gears != "" {
 		fmt.Fprintf(out, "logload: gear schedule %s\n", shiftgears.GearRuns(res.Gears))
 	}
+	if len(res.ChaosVictims) > 0 {
+		fmt.Fprintf(out, "logload: chaos victims %v excluded from the agreement check (their links were faulted)\n", res.ChaosVictims)
+	}
 	if res.Pending > 0 {
 		fmt.Fprintf(out, "logload: WARNING: %d commands never got a slot (log too short, or a gear policy no-op'd their slots)\n", res.Pending)
 	}
 	return nil
+}
+
+// parseChaos assembles the mem fabric's fault plan from the chaos flags.
+func parseChaos(seed int64, victimsCS string, drop, late, delay float64, reorder bool, partCS, crashCS string) (*shiftgears.Chaos, error) {
+	victims, err := parseIDs(victimsCS)
+	if err != nil {
+		return nil, fmt.Errorf("victims: %w", err)
+	}
+	chaos := &shiftgears.Chaos{
+		Seed: seed, Victims: victims,
+		Drop: drop, Late: late, Delay: delay, Reorder: reorder,
+	}
+	for _, spec := range splitSpecs(partCS) {
+		ids, from, until, err := parseWindowSpec(spec)
+		if err != nil {
+			return nil, fmt.Errorf("partition %q: %w", spec, err)
+		}
+		chaos.Partitions = append(chaos.Partitions, shiftgears.ChaosPartition{From: from, Until: until, Group: ids})
+	}
+	for _, spec := range splitSpecs(crashCS) {
+		ids, from, until, err := parseWindowSpec(spec)
+		if err != nil {
+			return nil, fmt.Errorf("crash %q: %w", spec, err)
+		}
+		for _, id := range ids {
+			chaos.Crashes = append(chaos.Crashes, shiftgears.ChaosCrash{Node: id, From: from, Until: until})
+		}
+	}
+	return chaos, nil
+}
+
+func splitSpecs(s string) []string {
+	var out []string
+	for _, field := range strings.Split(s, ";") {
+		if field = strings.TrimSpace(field); field != "" {
+			out = append(out, field)
+		}
+	}
+	return out
+}
+
+// parseWindowSpec parses "ids@from:until" (e.g. "2,5@4:10").
+func parseWindowSpec(spec string) (ids []int, from, until int, err error) {
+	at := strings.SplitN(spec, "@", 2)
+	if len(at) != 2 {
+		return nil, 0, 0, fmt.Errorf("want ids@from:until")
+	}
+	ids, err = parseIDs(at[0])
+	if err != nil || len(ids) == 0 {
+		return nil, 0, 0, fmt.Errorf("bad ids %q", at[0])
+	}
+	var window [2]int
+	ticks := strings.SplitN(at[1], ":", 2)
+	if len(ticks) != 2 {
+		return nil, 0, 0, fmt.Errorf("want ids@from:until")
+	}
+	for i, f := range ticks {
+		window[i], err = strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("tick %q: %w", f, err)
+		}
+	}
+	return ids, window[0], window[1], nil
+}
+
+func parseIDs(s string) ([]int, error) {
+	var ids []int
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		id, err := strconv.Atoi(field)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
 }

@@ -52,3 +52,44 @@ func TestLogLoadValidation(t *testing.T) {
 		t.Error("out-of-range faulty id accepted")
 	}
 }
+
+func TestLogLoadMemFabric(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-n", "7", "-t", "2", "-cmds", "28", "-window", "4", "-batch", "2",
+		"-fabric", "mem", "-seed", "1", "-victims", "5", "-drop", "0.3",
+		"-partition", "5@4:10",
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "mem") {
+		t.Fatalf("mem mode not reported:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "chaos victims [5]") {
+		t.Fatalf("chaos victims not reported:\n%s", out.String())
+	}
+}
+
+func TestLogLoadChaosFlagValidation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-drop", "0.5"}, &out); err == nil {
+		t.Error("chaos flags without -fabric mem accepted")
+	}
+	if err := run([]string{"-fabric", "mem", "-partition", "5@4"}, &out); err == nil {
+		t.Error("malformed partition spec accepted")
+	}
+	if err := run([]string{"-fabric", "mem", "-crash", "x@1:2"}, &out); err == nil {
+		t.Error("malformed crash spec accepted")
+	}
+	if err := run([]string{"-fabric", "bogus"}, &out); err == nil {
+		t.Error("unknown fabric accepted")
+	}
+}
+
+func TestLogLoadTCPFabricConflict(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-tcp", "-fabric", "mem"}, &out); err == nil {
+		t.Error("-tcp with -fabric mem accepted")
+	}
+}

@@ -26,7 +26,9 @@ import (
 	"time"
 
 	"shiftgears"
+	"shiftgears/internal/fabric"
 	"shiftgears/internal/rsm"
+	"shiftgears/internal/sim"
 	"shiftgears/internal/transport"
 )
 
@@ -107,7 +109,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	node, err := transport.Listen(rep.Mux(), *n, addrs[*id], transport.WithDialRetry(*retry))
+	node, err := transport.ListenNode(*id, *n, addrs[*id], transport.WithDialRetry(*retry))
 	if err != nil {
 		return err
 	}
@@ -119,7 +121,12 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "replica %d: mesh up, running %d slots (%s, window %d, batch %d)\n",
 		*id, *slots, alg, *window, *batch)
 
-	stats, err := node.RunMux()
+	// This process is one node of the mesh: the fabric runtime drives the
+	// replica's schedule over it, exactly the loop every other fabric runs.
+	mesh := transport.JoinMesh(node)
+	defer func() { _ = mesh.Close() }()
+	stats, err := fabric.Run(mesh, []*sim.Mux{rep.Mux()},
+		fabric.WithMaxTicks(rep.TotalTicks()))
 	if err != nil {
 		// Seal the replica so any Committed consumers unblock with the
 		// log cut short, then surface the mesh error.

@@ -62,18 +62,50 @@
 // throughput; cmd/bench records the full throughput matrix as a
 // BENCH_*.json trajectory file.
 //
-// # Ordering on the concurrent TCP drive loop
+// # One mux, many fabrics
 //
-// The TCP drive loops (transport.Node.Run and RunMux) overlap their send
-// and receive halves: one writer goroutine per peer pushes the tick's
-// frames while the node's own goroutine reads, so the mesh cannot
-// deadlock when a tick's payload exceeds the kernel socket buffers. The
-// bytes are unchanged: within a tick each peer connection carries the
-// frames in increasing instance order with a single flush, and tick t's
-// writes complete before tick t+1's begin, so receivers read exactly the
-// sequential loop's stream — only the interleaving across connections
-// differs. The lockstep barrier (finish tick t only once every peer's
-// tick-t frames arrived) is untouched.
+// The pipeline runs over interchangeable substrates behind a single
+// drive loop. internal/fabric splits the responsibilities:
+//
+//   - The runtime (fabric.Run) owns everything schedule-shaped: window
+//     advance and lazy gear resolution through sim.Mux.Outboxes and
+//     Deliver, cross-node frame validation, completion and divergence
+//     detection, teardown on error, traffic statistics, and the
+//     reusable per-tick scratch that keeps the hot path
+//     allocation-free. It is the only mux drive loop in the tree.
+//   - A fabric (the fabric.Fabric interface) owns one tick's message
+//     motion: given every hosted node's frames it fills every hosted
+//     node's inboxes and returns — the lockstep barrier. Ordering
+//     within the tick is fabric business and must be invisible;
+//     positional delivery, error promptness, and never deadlocking on a
+//     partial failure are the fabric's obligations.
+//
+// Three fabrics ship: fabric.Sim (the in-process router — zero-copy
+// positional routing, the reference behavior), fabric.Mem (Sim plus a
+// deterministic, seeded per-link fault plan: drops and late frames on
+// victim links, partitions that heal, crash windows, plus
+// within-bound delay and reordering that the barrier must provably
+// absorb), and transport.Mesh (a real TCP mesh — every node of the
+// cluster over loopback via NewMesh, or one node per OS process via
+// JoinMesh, which is how cmd/logserver deploys). Writing a new fabric
+// means implementing four methods; the drive loop, gear shifting,
+// abort semantics, and statistics come for free. LogConfig.Fabric
+// ("sim", "mem", "tcp") and LogConfig.Chaos select the substrate at the
+// public API; a zero-fault mem run is byte-identical to sim (asserted
+// by the fabric-equivalence property test).
+//
+// # Ordering on the concurrent TCP exchange
+//
+// The TCP paths (transport.Node.Run and the Mesh fabric's per-tick
+// exchange) overlap their send and receive halves: one writer goroutine
+// per peer pushes the tick's frames while the node's reader collects,
+// so the mesh cannot deadlock when a tick's payload exceeds the kernel
+// socket buffers. The bytes are unchanged: within a tick each peer
+// connection carries the frames in increasing instance order with a
+// single flush, and tick t's writes complete before tick t+1's begin,
+// so receivers read exactly the sequential loop's stream — only the
+// interleaving across connections differs. The lockstep barrier (finish
+// tick t only once every peer's tick-t frames arrived) is untouched.
 //
 // # Gear policies: shifting algorithms across the log
 //
@@ -89,6 +121,9 @@
 // Correct replicas hold identical committed prefixes at a slot's start
 // tick under the lockstep schedule, so a pure policy produces the same
 // gear schedule on every correct replica; an impure or replica-dependent
-// policy diverges and is surfaced as the round-mismatch protocol error
-// (TCP) or a schedule-divergence error (in-process), never masked.
+// policy diverges and is surfaced, never masked: the fabric runtime
+// compares the hosted schedules every tick and stops with a
+// schedule-divergence error, and in a multi-process mesh — where no
+// runtime sees more than its own schedule — the wire-level frame
+// instance/round mismatch check catches it instead.
 package shiftgears

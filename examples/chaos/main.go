@@ -1,0 +1,88 @@
+// Chaos drives the replicated log over the fault-injecting in-memory
+// fabric: the same engine, the same drive loop, but the network drops a
+// victim's frames and partitions it away for a window that heals mid-log
+// — the adverse schedules DBFT- and King–Saia-style evaluations run
+// agreement under. The run demonstrates the fault-model boundary the
+// paper draws: as long as the apparently-faulty set (chaos victims plus
+// Byzantine replicas) stays within the resilience t, every slot still
+// commits and the unaffected replicas agree byte for byte; the victim's
+// own log is degraded and excluded, exactly like a faulty processor's.
+//
+// The plan is seeded and per-link deterministic, so this adverse run is
+// exactly reproducible — rerun it and the same frames drop at the same
+// ticks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"shiftgears"
+)
+
+func main() {
+	const (
+		n      = 7
+		t      = 2
+		slots  = 14
+		victim = 5
+	)
+
+	// Node 5 is honest but unlucky: 30% of its outbound frames drop, and
+	// ticks 4-9 it is partitioned away entirely. One Byzantine replica
+	// (node 2) misbehaves at the payload layer at the same time — chaos
+	// at the network layer composes with the paper's adversary, and
+	// together they stay within t = 2.
+	chaos := &shiftgears.Chaos{
+		Seed:    1,
+		Victims: []int{victim},
+		Drop:    0.3,
+		Partitions: []shiftgears.ChaosPartition{
+			{From: 4, Until: 10, Group: []int{victim}},
+		},
+	}
+
+	rlog, err := shiftgears.NewReplicatedLog(shiftgears.LogConfig{
+		Algorithm: shiftgears.Exponential,
+		N:         n, T: t,
+		Slots: slots, Window: 4, BatchSize: 2,
+		Faulty: []int{2}, Strategy: "splitbrain", Seed: 7,
+		Fabric: "mem",
+		Chaos:  chaos,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for c := 0; c < 28; c++ {
+		if err := rlog.Submit(c%n, shiftgears.Value(1+c)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	res, err := rlog.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Agreement {
+		log.Fatal("chaos broke agreement among unaffected correct replicas")
+	}
+	if len(res.Entries) != slots {
+		log.Fatalf("committed %d of %d slots", len(res.Entries), slots)
+	}
+
+	fmt.Printf("chaos fabric: %d slots committed in %d ticks, %d commands survived\n",
+		len(res.Entries), res.Ticks, res.Committed)
+	fmt.Printf("chaos victims %v excluded from the agreement check (Byzantine: [2])\n",
+		res.ChaosVictims)
+	for _, e := range res.Entries {
+		marker := ""
+		switch {
+		case e.Source == victim:
+			marker = "  <- chaos victim's slot: whatever survived its links"
+		case e.Source == 2:
+			marker = "  <- Byzantine source: burned"
+		}
+		fmt.Printf("  slot %2d (source %d) committed %v%s\n", e.Slot, e.Source, e.Commands, marker)
+	}
+	fmt.Println("every slot committed; the fault model held with chaos inside the bound")
+}

@@ -1,0 +1,78 @@
+// Package fabric is the transport-agnostic drive runtime for multiplexed
+// lockstep schedules: one mux drive loop (Run) written once against a
+// small exchange contract (Fabric), with interchangeable substrates
+// underneath — the in-process router (Sim), a fault-injecting chaos
+// network (Mem), and the TCP mesh (transport.Mesh).
+//
+// The split of responsibilities:
+//
+//   - The runtime (Run) owns the schedule: window advance and lazy gear
+//     resolution via sim.Mux.Outboxes/Deliver, cross-node frame
+//     validation, teardown on error, per-tick statistics, and the
+//     reusable per-tick scratch that keeps the hot path allocation-free.
+//   - A Fabric owns one tick's message motion: given every local node's
+//     framed outboxes, it fills every local node's inboxes and returns —
+//     the lockstep barrier. It guarantees nothing about ordering beyond
+//     the positional contract below; delivery order within a tick is
+//     fabric business and must be invisible to the runtime.
+//
+// A fabric may host every node of the cluster in-process (Sim, Mem, the
+// loopback transport.NewMesh) or a single node of a multi-process
+// deployment (transport.JoinMesh); Local reports which. Writing a new
+// fabric means implementing the four methods — no drive loop.
+package fabric
+
+import (
+	"errors"
+
+	"shiftgears/internal/sim"
+)
+
+// Fabric is one lockstep exchange substrate.
+//
+// The Exchange contract, per tick:
+//
+//   - outs[k] holds local node Local()[k]'s frames for this tick, in
+//     increasing instance order. outs[k] == nil means node k is wedged
+//     (its schedule stopped advancing but the cluster's has not): an
+//     in-process fabric delivers silence on its behalf; a fabric that
+//     physically cannot carry a silent node (a real mesh, whose peers
+//     block waiting for its frames) fails the tick with ErrWedged.
+//   - The fabric fills ins[k][i][f] with the payload sender i addressed
+//     to node k's f-th frame — writing every slot, nil for silence — and
+//     returns only when node k holds the complete tick (the synchronous
+//     barrier). ins[k][i] may instead be set to nil when sender i was
+//     silent everywhere.
+//   - Errors surface promptly: a fabric whose tick cannot complete (a
+//     peer died, a read failed) must tear itself down far enough that
+//     every local node's Exchange returns, never deadlock.
+//
+// The runtime validates frame alignment across local nodes before
+// Exchange, so in-process fabrics may route positionally; a distributed
+// fabric must validate the frames it reads off the wire against the
+// local schedule itself (the transport mesh's instance/round check).
+type Fabric interface {
+	// N returns the cluster size.
+	N() int
+	// Local returns the globally-identified nodes this fabric exchanges
+	// for, in ascending order: all of 0..N-1 for in-process fabrics, a
+	// single id for one node of a multi-process mesh.
+	Local() []int
+	// Exchange runs one lockstep tick as described above.
+	Exchange(tick int, outs [][]sim.MuxFrame, ins [][][][]byte) error
+	// Close tears the fabric down; it must be safe to call twice and
+	// must unblock any Exchange still in flight.
+	Close() error
+}
+
+// ErrDiverged tags errors caused by local nodes disagreeing on the
+// lockstep schedule — frames misaligned across nodes within a tick, or
+// one node's schedule finishing while another's still runs. Under the
+// mux determinism contract this is always a bug in the caller's lazy
+// round resolution (an impure gear policy), never message corruption.
+var ErrDiverged = errors.New("lockstep schedules diverged across nodes")
+
+// ErrWedged tags a tick that failed because a wedged node (outs[k] ==
+// nil) cannot be carried by this fabric: a real mesh's peers would block
+// forever waiting for frames the node will never produce.
+var ErrWedged = errors.New("wedged node on a fabric that cannot mute")

@@ -1,0 +1,439 @@
+package fabric_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"shiftgears/internal/fabric"
+	"shiftgears/internal/sim"
+)
+
+// tagInstance broadcasts [instance, round] every local round and records
+// every inbox it receives.
+type tagInstance struct {
+	mu     sync.Mutex
+	inst   int
+	n      int
+	rounds []int    // local rounds delivered, in order
+	seen   [][]byte // flattened inbox per local round
+}
+
+func (ti *tagInstance) PrepareRound(round int) [][]byte {
+	return sim.Broadcast(ti.n, []byte{byte(ti.inst), byte(round)})
+}
+
+func (ti *tagInstance) DeliverRound(round int, inbox [][]byte) {
+	ti.mu.Lock()
+	defer ti.mu.Unlock()
+	ti.rounds = append(ti.rounds, round)
+	var flat []byte
+	for _, p := range inbox {
+		flat = append(flat, p...)
+	}
+	ti.seen = append(ti.seen, flat)
+}
+
+// buildMuxes wires n muxes over the same schedule and returns the per-node
+// instance tables for inspection.
+func buildMuxes(t *testing.T, n, window, workers int, rounds []int) ([]*sim.Mux, [][]*tagInstance, [][]int) {
+	t.Helper()
+	muxes := make([]*sim.Mux, n)
+	insts := make([][]*tagInstance, n)
+	finished := make([][]int, n)
+	for id := 0; id < n; id++ {
+		id := id
+		insts[id] = make([]*tagInstance, len(rounds))
+		m, err := sim.NewMux(sim.MuxConfig{
+			ID: id, N: n, Window: window, Rounds: rounds, Workers: workers,
+			Start: func(inst int) (sim.Instance, error) {
+				ti := &tagInstance{inst: inst, n: n}
+				insts[id][inst] = ti
+				return ti, nil
+			},
+			Finish: func(inst int) { finished[id] = append(finished[id], inst) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		muxes[id] = m
+	}
+	return muxes, insts, finished
+}
+
+func newSim(t *testing.T, n int) *fabric.Sim {
+	t.Helper()
+	f, err := fabric.NewSim(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRunPipelinesInstances(t *testing.T) {
+	const n, window = 4, 2
+	rounds := []int{3, 3, 3, 3, 3, 3}
+	muxes, insts, finished := buildMuxes(t, n, window, 0, rounds)
+
+	ticks := sim.MuxTicks(rounds, window)
+	stats, err := fabric.Run(newSim(t, n), muxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != ticks {
+		t.Fatalf("ran %d ticks, want %d", stats.Rounds, ticks)
+	}
+
+	for id := 0; id < n; id++ {
+		if m := muxes[id]; !m.Done() || m.Err() != nil {
+			t.Fatalf("node %d: done=%v err=%v", id, m.Done(), m.Err())
+		}
+		if len(finished[id]) != len(rounds) {
+			t.Fatalf("node %d finished %v", id, finished[id])
+		}
+		for k, inst := range finished[id] {
+			if inst != k {
+				t.Fatalf("node %d finish order %v, want identity", id, finished[id])
+			}
+		}
+		for inst, ti := range insts[id] {
+			if len(ti.rounds) != rounds[inst] {
+				t.Fatalf("node %d instance %d ran rounds %v", id, inst, ti.rounds)
+			}
+			for r := 0; r < rounds[inst]; r++ {
+				if ti.rounds[r] != r+1 {
+					t.Fatalf("node %d instance %d local rounds %v", id, inst, ti.rounds)
+				}
+				// Every sender's broadcast for this instance and round must
+				// arrive intact: n copies of [instance, round].
+				want := bytes.Repeat([]byte{byte(inst), byte(r + 1)}, n)
+				if !bytes.Equal(ti.seen[r], want) {
+					t.Fatalf("node %d instance %d round %d inbox %v, want %v", id, inst, r+1, ti.seen[r], want)
+				}
+			}
+		}
+	}
+}
+
+// TestRunStaggeredWindow checks the greedy schedule with unequal round
+// counts: short instances retire and later ones slide into the window.
+func TestRunStaggeredWindow(t *testing.T) {
+	const n, window = 3, 2
+	rounds := []int{4, 1, 2, 1}
+	muxes, insts, _ := buildMuxes(t, n, window, 0, rounds)
+	if _, err := fabric.Run(newSim(t, n), muxes); err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < n; id++ {
+		for inst, ti := range insts[id] {
+			if len(ti.rounds) != rounds[inst] {
+				t.Fatalf("node %d instance %d delivered %d rounds, want %d", id, inst, len(ti.rounds), rounds[inst])
+			}
+		}
+	}
+}
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	rounds := []int{2, 2, 2, 2}
+	run := func(parallel bool) [][]*tagInstance {
+		muxes, insts, _ := buildMuxes(t, 3, 2, 0, rounds)
+		var opts []fabric.Option
+		if parallel {
+			opts = append(opts, fabric.WithParallel())
+		}
+		if _, err := fabric.Run(newSim(t, 3), muxes, opts...); err != nil {
+			t.Fatal(err)
+		}
+		return insts
+	}
+	seq, par := run(false), run(true)
+	for id := range seq {
+		for inst := range seq[id] {
+			for r := range seq[id][inst].seen {
+				if !bytes.Equal(seq[id][inst].seen[r], par[id][inst].seen[r]) {
+					t.Fatalf("node %d instance %d round %d: engines diverge", id, inst, r+1)
+				}
+			}
+		}
+	}
+}
+
+// TestRunLazyRounds: RoundsFor resolves an instance's round count at the
+// moment the instance enters the window — not before — and the resulting
+// schedule is byte-identical to the equivalent static Rounds schedule.
+func TestRunLazyRounds(t *testing.T) {
+	const n, window = 3, 2
+	rounds := []int{4, 1, 2, 3}
+
+	build := func(lazy bool, resolved *[][]int) []*sim.Mux {
+		muxes := make([]*sim.Mux, n)
+		for id := 0; id < n; id++ {
+			id := id
+			cfg := sim.MuxConfig{
+				ID: id, N: n, Window: window,
+				Start: func(inst int) (sim.Instance, error) {
+					return &tagInstance{inst: inst, n: n}, nil
+				},
+			}
+			if lazy {
+				cfg.Instances = len(rounds)
+				cfg.RoundsFor = func(inst int) int {
+					(*resolved)[id] = append((*resolved)[id], inst)
+					return rounds[inst]
+				}
+			} else {
+				cfg.Rounds = rounds
+			}
+			m, err := sim.NewMux(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			muxes[id] = m
+		}
+		return muxes
+	}
+
+	resolved := make([][]int, n)
+	lazyMuxes := build(true, &resolved)
+
+	// Nothing resolves before the first tick (lazy, not eager).
+	for id := range resolved {
+		if len(resolved[id]) != 0 {
+			t.Fatalf("node %d resolved %v before any tick", id, resolved[id])
+		}
+	}
+	want := sim.MuxTicks(rounds, window)
+	stats, err := fabric.Run(newSim(t, n), lazyMuxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != want {
+		t.Fatalf("lazy schedule ran %d ticks, want %d", stats.Rounds, want)
+	}
+	for id := 0; id < n; id++ {
+		m := lazyMuxes[id]
+		if !m.Done() || m.Err() != nil {
+			t.Fatalf("node %d: done=%v err=%v", id, m.Done(), m.Err())
+		}
+		// Instances resolve in schedule order, each exactly once.
+		if len(resolved[id]) != len(rounds) {
+			t.Fatalf("node %d resolved %v", id, resolved[id])
+		}
+		for k, inst := range resolved[id] {
+			if inst != k {
+				t.Fatalf("node %d resolution order %v, want identity", id, resolved[id])
+			}
+		}
+		if m.TotalTicks() != 0 {
+			t.Fatalf("lazy mux claims TotalTicks %d, want 0 (unknown)", m.TotalTicks())
+		}
+	}
+
+	// The wire behavior must match the static schedule exactly.
+	staticMuxes := build(false, nil)
+	stats2, err := fabric.Run(newSim(t, n), staticMuxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Rounds != stats.Rounds || stats2.Bytes != stats.Bytes || stats2.Messages != stats.Messages {
+		t.Fatalf("lazy and static schedules diverge: %+v vs %+v", stats, stats2)
+	}
+}
+
+// TestRunWorkersMatchSequential: the per-instance worker pool is purely an
+// execution detail — the same schedule at Workers 0 and Workers 3, over
+// the parallel runtime, must deliver byte-identical inboxes. Run with
+// -race this also exercises concurrent PrepareRound/DeliverRound across
+// the window's instances.
+func TestRunWorkersMatchSequential(t *testing.T) {
+	const n, window = 4, 3
+	rounds := []int{2, 3, 1, 4, 2, 3}
+	run := func(workers int) [][]*tagInstance {
+		muxes, insts, _ := buildMuxes(t, n, window, workers, rounds)
+		if _, err := fabric.Run(newSim(t, n), muxes, fabric.WithParallel()); err != nil {
+			t.Fatal(err)
+		}
+		return insts
+	}
+	seq, par := run(0), run(3)
+	for id := range seq {
+		for inst := range seq[id] {
+			if len(seq[id][inst].seen) != len(par[id][inst].seen) {
+				t.Fatalf("node %d instance %d: %d vs %d rounds", id, inst, len(seq[id][inst].seen), len(par[id][inst].seen))
+			}
+			for r := range seq[id][inst].seen {
+				if !bytes.Equal(seq[id][inst].seen[r], par[id][inst].seen[r]) {
+					t.Fatalf("node %d instance %d round %d: worker pool diverges from sequential", id, inst, r+1)
+				}
+			}
+		}
+	}
+}
+
+// TestRunDivergenceSurfaces: local schedules disagreeing on an
+// instance's round count fail with ErrDiverged — at the first misaligned
+// tick (mid-schedule) or at the first partial finish (tail divergence).
+func TestRunDivergenceSurfaces(t *testing.T) {
+	for _, c := range []struct {
+		name     string
+		rounds   int // node 0's resolved count for instance 1 (others: 3)
+		followup int // trailing third instance's count, 0 = none
+	}{
+		{"mid-schedule mismatch", 1, 3},
+		{"early finish", 1, 0},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			const n = 3
+			instances := 2
+			if c.followup > 0 {
+				instances = 3
+			}
+			muxes := make([]*sim.Mux, n)
+			for id := 0; id < n; id++ {
+				id := id
+				m, err := sim.NewMux(sim.MuxConfig{
+					ID: id, N: n, Window: 1, Instances: instances,
+					RoundsFor: func(inst int) int {
+						switch {
+						case inst == 1 && id == 0:
+							return c.rounds
+						case inst == 2:
+							return c.followup
+						default:
+							return 3
+						}
+					},
+					Start: func(inst int) (sim.Instance, error) {
+						return &tagInstance{inst: inst, n: n}, nil
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				muxes[id] = m
+			}
+			_, err := fabric.Run(newSim(t, n), muxes)
+			if !errors.Is(err, fabric.ErrDiverged) {
+				t.Fatalf("divergence not classified: %v", err)
+			}
+		})
+	}
+}
+
+// TestRunAdvisoryErrorsMute: an advisory node whose mux wedges is muted —
+// the run continues and completes for everyone else, the wedged mux
+// keeps its error, and nothing deadlocks. A non-advisory wedge kills the
+// run with the factory's error.
+func TestRunAdvisoryErrorsMute(t *testing.T) {
+	const n = 4
+	rounds := []int{2, 2, 2}
+	build := func(failNode int) []*sim.Mux {
+		muxes := make([]*sim.Mux, n)
+		for id := 0; id < n; id++ {
+			id := id
+			m, err := sim.NewMux(sim.MuxConfig{
+				ID: id, N: n, Window: 1, Rounds: rounds,
+				Start: func(inst int) (sim.Instance, error) {
+					if id == failNode && inst == 1 {
+						return nil, fmt.Errorf("boom")
+					}
+					return &tagInstance{inst: inst, n: n}, nil
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			muxes[id] = m
+		}
+		return muxes
+	}
+
+	// Advisory: the run completes for the other three nodes.
+	muxes := build(2)
+	advisory := []bool{false, false, true, false}
+	stats, err := fabric.Run(newSim(t, n), muxes, fabric.WithAdvisoryErrors(advisory))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sim.MuxTicks(rounds, 1); stats.Rounds != want {
+		t.Fatalf("muted run took %d ticks, want %d", stats.Rounds, want)
+	}
+	for id, m := range muxes {
+		if id == 2 {
+			if m.Err() == nil || m.Done() {
+				t.Fatalf("muted node lost its wedge: done=%v err=%v", m.Done(), m.Err())
+			}
+			continue
+		}
+		if !m.Done() || m.Err() != nil {
+			t.Fatalf("node %d: done=%v err=%v", id, m.Done(), m.Err())
+		}
+	}
+
+	// Non-advisory: the wedge is fatal and carries the factory error.
+	muxes = build(2)
+	_, err = fabric.Run(newSim(t, n), muxes)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("non-advisory wedge not surfaced with its cause: %v", err)
+	}
+}
+
+// TestRunMaxTicksStopsWedgedSchedule: a bounded run whose schedule
+// cannot complete (every node's last instance wedged... here simulated by
+// muting all-but-running) stops at the bound instead of spinning.
+func TestRunMaxTicksStopsWedgedSchedule(t *testing.T) {
+	const n = 3
+	// Instances that run 5 rounds against a bound of 3 ticks.
+	muxes, _, _ := buildMuxes(t, n, 1, 0, []int{5})
+	stats, err := fabric.Run(newSim(t, n), muxes, fabric.WithMaxTicks(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 3 {
+		t.Fatalf("bounded run took %d ticks, want 3", stats.Rounds)
+	}
+	for _, m := range muxes {
+		if m.Done() {
+			t.Fatal("5-round schedule done after 3 ticks")
+		}
+	}
+}
+
+// TestRunTickHookStopsRun: a hook error stops the run after its tick.
+func TestRunTickHookStopsRun(t *testing.T) {
+	const n = 3
+	muxes, _, _ := buildMuxes(t, n, 1, 0, []int{5})
+	sentinel := errors.New("stop here")
+	ticks := 0
+	_, err := fabric.Run(newSim(t, n), muxes, fabric.WithTickHook(func(tick int) error {
+		ticks = tick
+		if tick == 2 {
+			return sentinel
+		}
+		return nil
+	}))
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("hook error not surfaced: %v", err)
+	}
+	if ticks != 2 {
+		t.Fatalf("hook last saw tick %d, want 2", ticks)
+	}
+}
+
+// TestRunValidatesInputs: mux/local mismatches are rejected up front.
+func TestRunValidatesInputs(t *testing.T) {
+	muxes, _, _ := buildMuxes(t, 3, 1, 0, []int{1})
+	f := newSim(t, 3)
+	if _, err := fabric.Run(f, muxes[:2]); err == nil {
+		t.Error("short mux list accepted")
+	}
+	if _, err := fabric.Run(f, []*sim.Mux{muxes[1], muxes[0], muxes[2]}); err == nil {
+		t.Error("misordered muxes accepted")
+	}
+	if _, err := fabric.Run(f, muxes, fabric.WithAdvisoryErrors([]bool{true})); err == nil {
+		t.Error("short advisory mask accepted")
+	}
+}

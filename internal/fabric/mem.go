@@ -1,0 +1,355 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+
+	"shiftgears/internal/sim"
+)
+
+// Plan is a deterministic, seeded per-link fault schedule for the Mem
+// fabric. Every decision is a pure function of (Seed, tick, link,
+// instance), so two runs of the same plan — and the same plan replayed
+// against a different engine configuration — fault exactly the same
+// frames regardless of iteration order.
+//
+// The faults split into two classes:
+//
+//   - Omission-class loss (Drop, Late, Partitions, Crashes): frames that
+//     never reach their receiver. Within the paper's synchronous model a
+//     lost or too-late message is read as silence — the "inappropriate
+//     message → default" rule — so a node whose outbound links lose
+//     frames is indistinguishable from an omission-faulty processor.
+//     Agreement is guaranteed only while the apparently-faulty set
+//     (Affected, plus any Byzantine-configured replicas) stays within
+//     the protocol's resilience t; schedules beyond that explore the
+//     model's edge and the engine must still terminate and report
+//     rather than wedge.
+//   - Invisible-by-construction stress (Delay, Reorder): frames held to
+//     the end of the tick's exchange or delivered in shuffled order.
+//     The synchrony bound is the tick barrier, so any delay within it —
+//     and any within-tick reordering — must not change a single
+//     committed byte. The Mem property tests assert exactly that, which
+//     is what makes these knobs useful: they flush hidden dependencies
+//     on arrival order out of the stack.
+type Plan struct {
+	// Seed drives every probabilistic decision below.
+	Seed int64
+	// Victims are the nodes whose outbound links suffer Drop and Late
+	// loss. Keeping the victim set (plus partitioned and crashed nodes)
+	// within the protocol's resilience t keeps the run inside the
+	// paper's fault model.
+	Victims []int
+	// Drop is the per-frame probability that a victim's outbound frame
+	// is lost outright.
+	Drop float64
+	// Late is the per-frame probability that a victim's outbound frame
+	// misses the synchrony bound: the bytes "arrive" after the round
+	// closed, which the synchronous model reads as absence.
+	Late float64
+	// Delay is the per-frame probability (on every link) that a frame is
+	// held to the end of the tick's exchange — within the bound, so the
+	// barrier absorbs it and nothing observable may change.
+	Delay float64
+	// Reorder shuffles each receiver's within-tick delivery order
+	// (deterministically from Seed). Delivery is positional, so this too
+	// must be invisible.
+	Reorder bool
+	// Partitions cut the network into sides for tick ranges; frames
+	// crossing a cut are lost. A partition heals when its window ends.
+	Partitions []Partition
+	// Crashes sever single nodes — every inbound and outbound link —
+	// for tick ranges. The node's local computation keeps running (the
+	// synchronous automaton never halts), so when the window ends it
+	// resumes speaking from its own state: peers experience the gap as
+	// omission faults, the node itself as total isolation.
+	Crashes []Crash
+}
+
+// Partition is one tick-ranged network split: during ticks [From, Until)
+// the Group nodes and the remaining nodes cannot exchange frames. Nodes
+// within the same side communicate normally.
+type Partition struct {
+	From, Until int
+	Group       []int
+}
+
+// Crash is one tick-ranged single-node outage: during ticks [From,
+// Until) node Node neither sends nor receives (self-delivery excepted —
+// a node always hears itself).
+type Crash struct {
+	Node        int
+	From, Until int
+}
+
+// Affected returns the sorted set of nodes the plan's omission-class
+// faults touch: Victims, every partitioned Group member, and every
+// crashed node. These nodes' own views of the run are degraded beyond
+// the fault model's guarantee (a fully isolated node sees n-1 silent
+// peers), so callers checking agreement should treat them like faulty
+// processors and compare the remaining replicas only.
+func (p Plan) Affected() []int {
+	set := map[int]bool{}
+	for _, v := range p.Victims {
+		set[v] = true
+	}
+	for _, part := range p.Partitions {
+		for _, v := range part.Group {
+			set[v] = true
+		}
+	}
+	for _, c := range p.Crashes {
+		set[c.Node] = true
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// validate checks the plan against the cluster size.
+func (p Plan) validate(n int) error {
+	for _, prob := range []struct {
+		name string
+		v    float64
+	}{{"Drop", p.Drop}, {"Late", p.Late}, {"Delay", p.Delay}} {
+		if prob.v < 0 || prob.v > 1 {
+			return fmt.Errorf("fabric: mem plan %s probability %v outside [0, 1]", prob.name, prob.v)
+		}
+	}
+	if (p.Drop > 0 || p.Late > 0) && len(p.Victims) == 0 {
+		return fmt.Errorf("fabric: mem plan has Drop/Late but no Victims to apply them to")
+	}
+	for _, v := range p.Victims {
+		if v < 0 || v >= n {
+			return fmt.Errorf("fabric: mem plan victim %d out of range [0, %d)", v, n)
+		}
+	}
+	for i, part := range p.Partitions {
+		if part.From < 1 || part.Until < part.From {
+			return fmt.Errorf("fabric: mem plan partition %d window [%d, %d) invalid (ticks are 1-based)", i, part.From, part.Until)
+		}
+		if len(part.Group) == 0 || len(part.Group) >= n {
+			return fmt.Errorf("fabric: mem plan partition %d group of %d does not split %d nodes", i, len(part.Group), n)
+		}
+		for _, v := range part.Group {
+			if v < 0 || v >= n {
+				return fmt.Errorf("fabric: mem plan partition %d member %d out of range [0, %d)", i, v, n)
+			}
+		}
+	}
+	for i, c := range p.Crashes {
+		if c.From < 1 || c.Until < c.From {
+			return fmt.Errorf("fabric: mem plan crash %d window [%d, %d) invalid (ticks are 1-based)", i, c.From, c.Until)
+		}
+		if c.Node < 0 || c.Node >= n {
+			return fmt.Errorf("fabric: mem plan crash %d node %d out of range [0, %d)", i, c.Node, n)
+		}
+	}
+	return nil
+}
+
+// MemStats counts what the plan did to a run's frames.
+type MemStats struct {
+	// Delivered counts frames that reached their receiver on time
+	// (delayed-within-bound frames included).
+	Delivered int
+	// Dropped and Late count victim-link losses by cause; Cut counts
+	// frames lost to partitions and crashes.
+	Dropped, Late, Cut int
+	// Delayed counts frames held to the end of their tick — delivered,
+	// but through the second pass.
+	Delayed int
+}
+
+// Mem is the fault-injecting in-memory fabric: Sim's routing with a
+// deterministic adverse schedule layered on every link. A zero-value
+// Plan makes it byte-identical to Sim.
+type Mem struct {
+	n     int
+	local []int
+	plan  Plan
+	sides []map[int]bool // per partition, membership of Group
+	stats MemStats
+
+	order   []int     // per-receiver sender visit order (Reorder scratch)
+	held    []heldRef // Delay second-pass scratch
+	victims map[int]bool
+}
+
+// heldRef is one delayed frame waiting for its tick's second pass.
+type heldRef struct {
+	recv, sender, frame int
+	payload             []byte
+}
+
+var _ Fabric = (*Mem)(nil)
+
+// NewMem validates the plan and builds the chaos fabric for an n-node
+// cluster.
+func NewMem(n int, plan Plan) (*Mem, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("fabric: need at least 2 nodes, have %d", n)
+	}
+	if err := plan.validate(n); err != nil {
+		return nil, err
+	}
+	local := make([]int, n)
+	for i := range local {
+		local[i] = i
+	}
+	m := &Mem{n: n, local: local, plan: plan, victims: map[int]bool{}}
+	for _, v := range plan.Victims {
+		m.victims[v] = true
+	}
+	for _, part := range plan.Partitions {
+		side := make(map[int]bool, len(part.Group))
+		for _, v := range part.Group {
+			side[v] = true
+		}
+		m.sides = append(m.sides, side)
+	}
+	return m, nil
+}
+
+// N implements Fabric.
+func (m *Mem) N() int { return m.n }
+
+// Local implements Fabric: the Mem fabric hosts every node.
+func (m *Mem) Local() []int { return m.local }
+
+// Stats returns what the plan has done so far. Read it after the run;
+// Exchange updates it without locking.
+func (m *Mem) Stats() MemStats { return m.stats }
+
+// Exchange implements Fabric: Sim's positional routing, filtered and
+// scheduled by the plan.
+func (m *Mem) Exchange(tick int, outs [][]sim.MuxFrame, ins [][][][]byte) error {
+	if cap(m.order) < m.n {
+		m.order = make([]int, m.n)
+	}
+	order := m.order[:m.n]
+	m.held = m.held[:0]
+
+	for k := range ins {
+		inbox := ins[k]
+		for i := range order {
+			order[i] = i
+		}
+		if m.plan.Reorder {
+			m.shuffle(order, tick, k)
+		}
+		for _, i := range order {
+			slots := inbox[i]
+			src := outs[i]
+			if src == nil {
+				for f := range slots {
+					slots[f] = nil
+				}
+				continue
+			}
+			cut := m.cut(tick, i, k)
+			for f := range src {
+				var p []byte
+				if src[f].Outbox != nil {
+					p = src[f].Outbox[k]
+				}
+				if p != nil && i != k {
+					switch {
+					case cut:
+						p = nil
+						m.stats.Cut++
+					case m.victims[i] && m.plan.Drop > 0 && m.chance(1, tick, i, k, src[f].Instance) < m.plan.Drop:
+						p = nil
+						m.stats.Dropped++
+					case m.victims[i] && m.plan.Late > 0 && m.chance(2, tick, i, k, src[f].Instance) < m.plan.Late:
+						p = nil
+						m.stats.Late++
+					}
+				}
+				if p != nil {
+					m.stats.Delivered++
+					if m.plan.Delay > 0 && m.chance(3, tick, i, k, src[f].Instance) < m.plan.Delay {
+						// Held within the synchrony bound: route it in the
+						// second pass below, before the barrier opens.
+						slots[f] = nil
+						m.held = append(m.held, heldRef{recv: k, sender: i, frame: f, payload: p})
+						m.stats.Delayed++
+						continue
+					}
+				}
+				slots[f] = p
+			}
+		}
+	}
+
+	// Second pass: delayed frames arrive late but in time — the barrier
+	// (this function returning) absorbs the jitter, which is exactly the
+	// synchronous model's claim.
+	for _, h := range m.held {
+		ins[h.recv][h.sender][h.frame] = h.payload
+	}
+	return nil
+}
+
+// Close implements Fabric; the Mem fabric holds no resources.
+func (m *Mem) Close() error { return nil }
+
+// cut reports whether the link sender→recv is severed at tick by a
+// partition or crash. Self-links never cut: a node always hears itself.
+func (m *Mem) cut(tick, sender, recv int) bool {
+	if sender == recv {
+		return false
+	}
+	for _, c := range m.plan.Crashes {
+		if tick >= c.From && tick < c.Until && (sender == c.Node || recv == c.Node) {
+			return true
+		}
+	}
+	for i, part := range m.plan.Partitions {
+		if tick >= part.From && tick < part.Until && m.sides[i][sender] != m.sides[i][recv] {
+			return true
+		}
+	}
+	return false
+}
+
+// chance returns a uniform [0, 1) draw that is a pure function of the
+// plan seed and the frame's coordinates — order-independent, so the
+// schedule is identical however Exchange iterates.
+func (m *Mem) chance(kind uint64, tick, sender, recv, instance int) float64 {
+	h := mix(uint64(m.plan.Seed), kind, uint64(tick), uint64(sender), uint64(recv), uint64(instance))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// shuffle Fisher-Yates-shuffles order deterministically per (tick, recv).
+func (m *Mem) shuffle(order []int, tick, recv int) {
+	state := mix(uint64(m.plan.Seed), 4, uint64(tick), uint64(recv))
+	for i := len(order) - 1; i > 0; i-- {
+		state = splitmix64(state)
+		j := int(state % uint64(i+1))
+		order[i], order[j] = order[j], order[i]
+	}
+}
+
+// mix chains the coordinates through splitmix64 into one draw, so
+// distinct coordinate tuples cannot collide the way shifted XOR packing
+// would.
+func mix(seed uint64, coords ...uint64) uint64 {
+	h := splitmix64(seed)
+	for _, c := range coords {
+		h = splitmix64(h ^ c)
+	}
+	return h
+}
+
+// splitmix64 is the SplitMix64 finalizer — a tiny, high-quality bit
+// mixer, here the whole PRNG since every draw is keyed by coordinates.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	return x ^ x>>31
+}

@@ -1,0 +1,297 @@
+package fabric_test
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"shiftgears/internal/fabric"
+	"shiftgears/internal/sim"
+)
+
+func newMem(t *testing.T, n int, plan fabric.Plan) *fabric.Mem {
+	t.Helper()
+	f, err := fabric.NewMem(n, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// runTags drives a fresh tag-mux cluster over the given fabric and
+// returns every instance's observed inboxes plus the run stats.
+func runTags(t *testing.T, f fabric.Fabric, n, window int, rounds []int) ([][]*tagInstance, *sim.Stats) {
+	t.Helper()
+	muxes, insts, _ := buildMuxes(t, n, window, 0, rounds)
+	stats, err := fabric.Run(f, muxes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return insts, stats
+}
+
+// TestMemZeroFaultMatchesSim: with an empty plan the chaos fabric is the
+// Sim fabric, byte for byte — inboxes, tick counts, traffic totals.
+func TestMemZeroFaultMatchesSim(t *testing.T) {
+	const n, window = 4, 2
+	rounds := []int{3, 1, 2, 3, 2}
+	simInsts, simStats := runTags(t, newSim(t, n), n, window, rounds)
+	memInsts, memStats := runTags(t, newMem(t, n, fabric.Plan{Seed: 7}), n, window, rounds)
+
+	if simStats.Rounds != memStats.Rounds || simStats.Bytes != memStats.Bytes || simStats.Messages != memStats.Messages {
+		t.Fatalf("zero-fault mem stats diverge: %+v vs %+v", memStats, simStats)
+	}
+	for id := range simInsts {
+		for inst := range simInsts[id] {
+			if !reflect.DeepEqual(simInsts[id][inst].seen, memInsts[id][inst].seen) {
+				t.Fatalf("node %d instance %d: zero-fault mem inboxes diverge from sim", id, inst)
+			}
+		}
+	}
+}
+
+// TestMemDelayAndReorderInvisible: within-bound delay and within-tick
+// reordering are absorbed by the synchronous barrier — the whole point
+// of the synchrony claim — so even at 100% delay probability with
+// shuffled delivery the run is byte-identical to Sim.
+func TestMemDelayAndReorderInvisible(t *testing.T) {
+	const n, window = 4, 2
+	rounds := []int{3, 1, 2, 3, 2}
+	simInsts, simStats := runTags(t, newSim(t, n), n, window, rounds)
+	mem := newMem(t, n, fabric.Plan{Seed: 3, Delay: 1.0, Reorder: true})
+	memInsts, memStats := runTags(t, mem, n, window, rounds)
+
+	if simStats.Rounds != memStats.Rounds || simStats.Bytes != memStats.Bytes {
+		t.Fatalf("delayed/reordered stats diverge: %+v vs %+v", memStats, simStats)
+	}
+	for id := range simInsts {
+		for inst := range simInsts[id] {
+			if !reflect.DeepEqual(simInsts[id][inst].seen, memInsts[id][inst].seen) {
+				t.Fatalf("node %d instance %d: delay/reorder changed delivered bytes", id, inst)
+			}
+		}
+	}
+	if mem.Stats().Delayed == 0 {
+		t.Fatal("Delay=1.0 delayed nothing")
+	}
+}
+
+// TestMemDeterministic: the same plan produces the same faults — and the
+// same delivered bytes — on every run.
+func TestMemDeterministic(t *testing.T) {
+	const n, window = 4, 2
+	rounds := []int{3, 2, 3, 2}
+	plan := fabric.Plan{Seed: 11, Victims: []int{1}, Drop: 0.5, Late: 0.2}
+	a := newMem(t, n, plan)
+	aInsts, _ := runTags(t, a, n, window, rounds)
+	b := newMem(t, n, plan)
+	bInsts, _ := runTags(t, b, n, window, rounds)
+
+	if a.Stats() != b.Stats() {
+		t.Fatalf("same plan, different fault schedule: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if a.Stats().Dropped == 0 || a.Stats().Late == 0 {
+		t.Fatalf("plan injected nothing: %+v", a.Stats())
+	}
+	for id := range aInsts {
+		for inst := range aInsts[id] {
+			if !reflect.DeepEqual(aInsts[id][inst].seen, bInsts[id][inst].seen) {
+				t.Fatalf("node %d instance %d: runs diverge under the same plan", id, inst)
+			}
+		}
+	}
+}
+
+// TestMemDropsSilenceVictimLinks: a victim's outbound frames vanish for
+// others while its self-delivery — and every non-victim link — stays
+// intact.
+func TestMemDropsSilenceVictimLinks(t *testing.T) {
+	const n = 3
+	mem := newMem(t, n, fabric.Plan{Seed: 5, Victims: []int{1}, Drop: 1.0})
+	insts, _ := runTags(t, mem, n, 1, []int{2})
+	for id := 0; id < n; id++ {
+		for r := 0; r < 2; r++ {
+			seen := insts[id][0].seen[r]
+			// Each round every live sender contributes [0, round].
+			var want []byte
+			for sender := 0; sender < n; sender++ {
+				if sender == 1 && id != 1 {
+					continue // dropped on every victim link, kept on self
+				}
+				want = append(want, 0, byte(r+1))
+			}
+			if !reflect.DeepEqual(seen, want) {
+				t.Fatalf("node %d round %d inbox %v, want %v", id, r+1, seen, want)
+			}
+		}
+	}
+	if got := mem.Stats().Dropped; got != 2*2 { // 2 rounds × 2 non-self receivers
+		t.Fatalf("dropped %d frames, want 4", got)
+	}
+}
+
+// TestMemPartitionHealsOnSchedule: frames cross a partition in neither
+// direction during its window and flow again after it heals.
+func TestMemPartitionHealsOnSchedule(t *testing.T) {
+	const n = 4
+	// One instance, 6 rounds; ticks 3-4 partition {0, 1} | {2, 3}.
+	mem := newMem(t, n, fabric.Plan{
+		Partitions: []fabric.Partition{{From: 3, Until: 5, Group: []int{0, 1}}},
+	})
+	insts, _ := runTags(t, mem, n, 1, []int{6})
+	for id := 0; id < n; id++ {
+		for r := 0; r < 6; r++ {
+			tick := r + 1
+			var want []byte
+			for sender := 0; sender < n; sender++ {
+				sameSide := (sender <= 1) == (id <= 1)
+				if tick >= 3 && tick < 5 && !sameSide {
+					continue // cut
+				}
+				want = append(want, 0, byte(tick))
+			}
+			if got := insts[id][0].seen[r]; !reflect.DeepEqual(got, want) {
+				t.Fatalf("node %d tick %d inbox %v, want %v", id, tick, got, want)
+			}
+		}
+	}
+	if mem.Stats().Cut != 2*2*2*2 { // 2 ticks × 2×2 cross pairs × both directions
+		t.Fatalf("cut %d frames, want 16", mem.Stats().Cut)
+	}
+}
+
+// TestMemCrashSeversNode: a crashed node neither sends nor receives
+// (self-delivery excepted) during its window and resumes after restart.
+func TestMemCrashSeversNode(t *testing.T) {
+	const n = 3
+	mem := newMem(t, n, fabric.Plan{
+		Crashes: []fabric.Crash{{Node: 2, From: 2, Until: 4}},
+	})
+	insts, _ := runTags(t, mem, n, 1, []int{5})
+	for id := 0; id < n; id++ {
+		for r := 0; r < 5; r++ {
+			tick := r + 1
+			var want []byte
+			for sender := 0; sender < n; sender++ {
+				crashed := tick >= 2 && tick < 4 && (sender == 2 || id == 2) && sender != id
+				if crashed {
+					continue
+				}
+				want = append(want, 0, byte(tick))
+			}
+			if got := insts[id][0].seen[r]; !reflect.DeepEqual(got, want) {
+				t.Fatalf("node %d tick %d inbox %v, want %v", id, tick, got, want)
+			}
+		}
+	}
+}
+
+// TestMemPlanValidation rejects malformed plans.
+func TestMemPlanValidation(t *testing.T) {
+	bad := []fabric.Plan{
+		{Drop: 1.5, Victims: []int{0}},
+		{Drop: 0.5},               // loss without victims
+		{Victims: []int{9}},       // out of range
+		{Late: -0.1, Victims: []int{0}},
+		{Partitions: []fabric.Partition{{From: 0, Until: 2, Group: []int{0}}}},   // 0-based tick
+		{Partitions: []fabric.Partition{{From: 1, Until: 2, Group: []int{0, 1, 2, 3}}}}, // no split
+		{Crashes: []fabric.Crash{{Node: 4, From: 1, Until: 2}}},
+	}
+	for i, plan := range bad {
+		if _, err := fabric.NewMem(4, plan); err == nil {
+			t.Errorf("plan %d accepted: %+v", i, plan)
+		}
+	}
+	if _, err := fabric.NewMem(4, fabric.Plan{}); err != nil {
+		t.Errorf("empty plan rejected: %v", err)
+	}
+}
+
+// TestMemAffected aggregates victims, partitioned nodes, and crashed
+// nodes — the set a caller excludes from agreement checks.
+func TestMemAffected(t *testing.T) {
+	plan := fabric.Plan{
+		Victims:    []int{5, 1},
+		Partitions: []fabric.Partition{{From: 1, Until: 2, Group: []int{2}}},
+		Crashes:    []fabric.Crash{{Node: 1, From: 1, Until: 2}},
+	}
+	if got := plan.Affected(); !reflect.DeepEqual(got, []int{1, 2, 5}) {
+		t.Fatalf("Affected() = %v, want [1 2 5]", got)
+	}
+	if got := (fabric.Plan{}).Affected(); len(got) != 0 {
+		t.Fatalf("empty plan affects %v", got)
+	}
+}
+
+// TestMemWedgeErrorMentionsWedged: documentation-level pin for the
+// runtime error classes surfaced through the chaos fabric path.
+func TestMemWedgeErrorMentionsWedged(t *testing.T) {
+	if !strings.Contains(fabric.ErrWedged.Error(), "wedged") {
+		t.Fatal("ErrWedged lost its name")
+	}
+}
+
+// BenchmarkFabricTick measures one global tick of the full in-process
+// hot path — every node's Outboxes, the fabric route, every node's
+// Deliver — at a steady-state window. allocs/op is allocs per tick per
+// cluster and must stay in single digits (the PR 4 scorecard, now
+// without the section codec on the path at all).
+func BenchmarkFabricTick(b *testing.B) {
+	for _, bc := range []struct{ n, window, payload int }{
+		{4, 4, 64},
+		{7, 8, 64},
+		{7, 8, 1024},
+	} {
+		b.Run(fmt.Sprintf("n=%d/window=%d/payload=%d", bc.n, bc.window, bc.payload), func(b *testing.B) {
+			muxes := make([]*sim.Mux, bc.n)
+			for id := 0; id < bc.n; id++ {
+				out := sim.Broadcast(bc.n, make([]byte, bc.payload))
+				m, err := sim.NewMux(sim.MuxConfig{
+					ID: id, N: bc.n, Window: bc.window,
+					Rounds: repeatRounds(bc.window, b.N+1),
+					Start: func(inst int) (sim.Instance, error) {
+						return &benchInstance{out: out}, nil
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				muxes[id] = m
+			}
+			f, err := fabric.NewSim(bc.n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if _, err := fabric.Run(f, muxes, fabric.WithMaxTicks(b.N)); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func repeatRounds(k, rounds int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = rounds
+	}
+	return out
+}
+
+// benchInstance broadcasts a fixed prebuilt outbox every round and reads
+// its inbox without allocating — so the benchmark measures the
+// runtime/fabric machinery, not the instances.
+type benchInstance struct {
+	out  [][]byte
+	sink int
+}
+
+func (bi *benchInstance) PrepareRound(round int) [][]byte { return bi.out }
+
+func (bi *benchInstance) DeliverRound(round int, inbox [][]byte) {
+	for _, p := range inbox {
+		bi.sink += len(p)
+	}
+}

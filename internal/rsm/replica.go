@@ -13,10 +13,11 @@ import (
 // queued commands into the slots it sources, and commits entries in strict
 // slot order.
 //
-// A Replica is driven either by the in-process network (RunSim) or by a
-// TCP mesh (RunTCP, cmd/logserver); Submit may be called concurrently with
-// the run. Commands submitted after the node's last sourced slot has
-// started stay queued and never commit (Pending reports them).
+// A Replica is driven over any fabric by Run — the in-process router
+// (RunSim), the chaos network, or a TCP mesh (RunTCP, cmd/logserver);
+// Submit may be called concurrently with the run. Commands submitted
+// after the node's last sourced slot has started stay queued and never
+// commit (Pending reports them).
 type Replica struct {
 	cfg   Config
 	id    int
@@ -163,8 +164,8 @@ func (r *Replica) resolveSlot(slot int) int {
 // ID returns the replica's processor id.
 func (r *Replica) ID() int { return r.id }
 
-// Mux returns the replica's multiplexed schedule — the sim.Processor to
-// hand to sim.NewNetwork or transport.Listen.
+// Mux returns the replica's multiplexed schedule — what the fabric
+// runtime (fabric.Run) drives over any substrate.
 func (r *Replica) Mux() *sim.Mux { return r.mux }
 
 // TotalTicks returns the global tick count the full log needs, or 0 when
@@ -365,10 +366,10 @@ func (r *Replica) finishSlot(slot int) {
 // Abort ends the replica's run: it records err (when non-nil, retrievable
 // via Err) and closes the Committed channel, so consumers ranging over it
 // observe end-of-log instead of hanging forever on a run that died short
-// of its final slot. The drive loops (RunSim, RunTCP) abort every replica
-// when a run ends early; external drive loops (cmd/logserver-style
-// deployments) should do the same when transport.Node.RunMux fails.
-// Abort is idempotent and safe to call after a normal completion.
+// of its final slot. Run (and its RunSim/RunTCP wrappers) aborts every
+// replica when a run ends, on every fabric; external drive loops
+// (cmd/logserver-style deployments) should do the same when fabric.Run
+// fails. Abort is idempotent and safe to call after a normal completion.
 func (r *Replica) Abort(err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -22,7 +22,7 @@
 //     network (sim.Mux); S equal-length slots of R rounds finish in
 //     R·⌈S/W⌉ global ticks instead of the sequential S·R.
 //   - One mesh: over TCP, the frame header's instance id lets a single
-//     connection mesh carry the whole pipeline (transport.Node.RunMux).
+//     connection mesh carry the whole pipeline (transport.Mesh).
 //
 // The per-slot agreement protocol is pluggable (Protocol); the top-level
 // shiftgears package wires any of the paper's algorithms per slot.

@@ -10,7 +10,9 @@ import (
 
 	"shiftgears/internal/adversary"
 	"shiftgears/internal/core"
+	"shiftgears/internal/fabric"
 	"shiftgears/internal/sim"
+	"shiftgears/internal/transport"
 )
 
 // coreProto adapts a compiled core plan to the slot Protocol.
@@ -589,8 +591,12 @@ func TestGearDivergenceSurfacesSim(t *testing.T) {
 	}
 }
 
-// TestGearDivergenceSurfacesTCP: the same divergence fails fast over TCP
-// with the frame instance/round mismatch protocol error.
+// TestGearDivergenceSurfacesTCP: the same divergence fails fast over the
+// loopback TCP fabric with the same schedule-divergence diagnosis as the
+// in-process fabrics — the runtime compares the local schedules before a
+// byte moves. (In a true multi-process mesh no runtime sees more than
+// its own schedule; the wire-level frame instance/round mismatch guard
+// covering that path is tested in the transport package.)
 func TestGearDivergenceSurfacesTCP(t *testing.T) {
 	const n, slots = 4, 3
 	base := exponentialFactory(t, n, 1)
@@ -612,8 +618,8 @@ func TestGearDivergenceSurfacesTCP(t *testing.T) {
 		if err == nil {
 			t.Fatal("divergent gear schedule not surfaced over TCP")
 		}
-		if !strings.Contains(err.Error(), "sent frame") {
-			t.Fatalf("want the frame round-mismatch protocol error, got: %v", err)
+		if !strings.Contains(err.Error(), "divergence") {
+			t.Fatalf("want the schedule-divergence diagnosis, got: %v", err)
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("RunTCP hung on a divergent gear schedule")
@@ -987,6 +993,200 @@ func TestByzantineWrapperFailureFailsSlot(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "byzantine wrapper") || !strings.Contains(err.Error(), "rejects 2 rounds") {
 		t.Fatalf("slot failure not surfaced with the strategy error: %v", err)
+	}
+}
+
+// newTestFabric builds one of the three fabrics for n nodes.
+func newTestFabric(t *testing.T, kind string, n int) fabric.Fabric {
+	t.Helper()
+	switch kind {
+	case "sim":
+		f, err := fabric.NewSim(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	case "mem":
+		f, err := fabric.NewMem(n, fabric.Plan{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	case "tcp":
+		f, err := transport.NewMesh(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	t.Fatalf("unknown fabric %q", kind)
+	return nil
+}
+
+// TestAbortMidRunUniformAcrossFabrics: a Replica.Abort fired mid-run (an
+// operator or consumer pulling the plug between ticks) must stop the run
+// with that error, close every replica's Committed channel, and leave
+// the error retrievable via Err — identically on all three fabrics.
+// Before the fabric unification the sim loop stopped promptly while the
+// TCP loop ran the whole schedule and only surfaced the error at the
+// end: different teardown paths, now one.
+func TestAbortMidRunUniformAcrossFabrics(t *testing.T) {
+	for _, kind := range []string{"sim", "mem", "tcp"} {
+		t.Run(kind, func(t *testing.T) {
+			const n, slots = 4, 8
+			abortErr := fmt.Errorf("operator abort")
+			replicas := make([]*Replica, n)
+			for id := 0; id < n; id++ {
+				var opts []ReplicaOption
+				if id == 1 {
+					// Fires from the engine's own commit path, mid-tick of
+					// a live run: the first committed entry pulls the plug.
+					var once sync.Once
+					opts = append(opts, WithApply(func(e Entry) {
+						once.Do(func() { replicas[1].Abort(abortErr) })
+					}))
+				}
+				r, err := NewReplica(Config{
+					N: n, Slots: slots, Window: 2, BatchSize: 1,
+					Protocol: exponentialFactory(t, n, 1),
+				}, id, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				replicas[id] = r
+			}
+
+			// Consumers attach before the run, as examples do.
+			var wg sync.WaitGroup
+			counts := make([]int, n)
+			for id, r := range replicas {
+				wg.Add(1)
+				go func(id int, r *Replica) {
+					defer wg.Done()
+					for range r.Committed() {
+						counts[id]++
+					}
+				}(id, r)
+			}
+
+			done := make(chan error, 1)
+			go func() {
+				_, err := Run(newTestFabric(t, kind, n), replicas, false)
+				done <- err
+			}()
+			var runErr error
+			select {
+			case runErr = <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatalf("%s fabric hung on a mid-run abort", kind)
+			}
+			if runErr == nil || !strings.Contains(runErr.Error(), "operator abort") {
+				t.Fatalf("%s fabric: abort not surfaced as the run error: %v", kind, runErr)
+			}
+
+			consumed := make(chan struct{})
+			go func() { wg.Wait(); close(consumed) }()
+			select {
+			case <-consumed:
+			case <-time.After(30 * time.Second):
+				t.Fatalf("%s fabric: Committed consumers still hanging after the abort", kind)
+			}
+			for id, r := range replicas {
+				if r.Err() == nil {
+					t.Fatalf("%s fabric: replica %d has no retrievable error", kind, id)
+				}
+				if counts[id] >= slots {
+					t.Fatalf("%s fabric: consumer %d drained a full log from an aborted run", kind, id)
+				}
+			}
+		})
+	}
+}
+
+// TestMemFabricChaosCommitsFullLog: the acceptance scenario — a seeded
+// chaos schedule with drops on one victim's links plus a partition that
+// isolates it and heals — still commits every slot with the correct,
+// unaffected replicas in full agreement, and the committed log matches
+// the fault-free sim run outside the victim's slots.
+func TestMemFabricChaosCommitsFullLog(t *testing.T) {
+	const n, tt, slots = 4, 1, 8
+	build := func() []*Replica {
+		cfg := Config{
+			N: n, Slots: slots, Window: 2, BatchSize: 2,
+			Protocol: exponentialFactory(t, n, tt),
+		}
+		replicas := make([]*Replica, n)
+		for id := 0; id < n; id++ {
+			r, err := NewReplica(cfg, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, cmd := range []Value{Value(10*id + 1), Value(10*id + 2), Value(10*id + 3)} {
+				if err := r.Submit(cmd); err != nil {
+					t.Fatal(err)
+				}
+			}
+			replicas[id] = r
+		}
+		return replicas
+	}
+
+	plan := fabric.Plan{
+		Seed:       1,
+		Victims:    []int{3},
+		Drop:       0.4,
+		Partitions: []fabric.Partition{{From: 3, Until: 7, Group: []int{3}}},
+	}
+	mem, err := fabric.NewMem(n, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaotic := build()
+	if _, err := Run(mem, chaotic, false); err != nil {
+		t.Fatal(err)
+	}
+	affected := map[int]bool{}
+	for _, id := range plan.Affected() {
+		affected[id] = true
+	}
+
+	var ref []Entry
+	for id, r := range chaotic {
+		if affected[id] {
+			continue // degraded beyond the fault model; excluded like a faulty node
+		}
+		if err := r.Err(); err != nil {
+			t.Fatalf("replica %d: %v", id, err)
+		}
+		entries := r.Entries()
+		if len(entries) != slots {
+			t.Fatalf("replica %d committed %d slots under chaos, want %d", id, len(entries), slots)
+		}
+		if ref == nil {
+			ref = entries
+		} else if !reflect.DeepEqual(entries, ref) {
+			t.Fatalf("replica %d log diverges under chaos", id)
+		}
+	}
+	if mem.Stats().Dropped == 0 || mem.Stats().Cut == 0 {
+		t.Fatalf("chaos plan injected nothing: %+v", mem.Stats())
+	}
+
+	// Slots sourced by unaffected replicas must commit exactly what a
+	// fault-free run commits — the chaos only touched the victim.
+	clean := build()
+	if _, err := RunSim(clean, false); err != nil {
+		t.Fatal(err)
+	}
+	cleanRef := clean[0].Entries()
+	for slot := range ref {
+		if affected[ref[slot].Source] {
+			continue
+		}
+		if !reflect.DeepEqual(ref[slot].Batch, cleanRef[slot].Batch) {
+			t.Fatalf("slot %d (unaffected source %d): chaos batch %v, clean batch %v",
+				slot, ref[slot].Source, ref[slot].Batch, cleanRef[slot].Batch)
+		}
 	}
 }
 

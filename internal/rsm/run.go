@@ -1,21 +1,23 @@
 package rsm
 
 import (
+	"errors"
 	"fmt"
 
+	"shiftgears/internal/fabric"
 	"shiftgears/internal/sim"
 	"shiftgears/internal/transport"
 )
 
-// muxes validates the replica set and returns their schedules as
-// processors 0..n-1. Beyond ids, it checks that every replica was built
-// against the same lockstep schedule (N, Slots, Window, BatchSize, and —
-// for statically configured logs — every slot's round count): mismatched
+// muxes validates the replica set and returns their schedules as muxes
+// 0..n-1. Beyond ids, it checks that every replica was built against the
+// same lockstep schedule (N, Slots, Window, BatchSize, and — for
+// statically configured logs — every slot's round count): mismatched
 // configurations would not fail fast on their own, they would silently
 // desynchronize the pipeline. Gear-scheduled logs resolve round counts at
 // runtime, so only the shape is checked here; a divergent GearProtocol is
-// caught by the drive loops instead.
-func muxes(replicas []*Replica) ([]sim.Processor, error) {
+// caught by the fabric runtime instead.
+func muxes(replicas []*Replica) ([]*sim.Mux, error) {
 	if len(replicas) == 0 {
 		return nil, fmt.Errorf("rsm: no replicas")
 	}
@@ -26,12 +28,12 @@ func muxes(replicas []*Replica) ([]sim.Processor, error) {
 		}
 	}
 	// An all-fault-injected set has no replica whose errors or schedule
-	// the drive loops trust: a wedge could spin forever with nothing to
+	// the drive loop trusts: a wedge could spin forever with nothing to
 	// report. It is also meaningless — there is no correct log to read.
 	if correct == 0 {
 		return nil, fmt.Errorf("rsm: no correct replicas: every replica is fault-injected")
 	}
-	procs := make([]sim.Processor, len(replicas))
+	ms := make([]*sim.Mux, len(replicas))
 	var refKey string
 	for i, r := range replicas {
 		if r == nil {
@@ -49,27 +51,57 @@ func muxes(replicas []*Replica) ([]sim.Processor, error) {
 		} else if key != refKey {
 			return nil, fmt.Errorf("rsm: replica %d schedule (%s) differs from replica 0 (%s): all replicas must share identical Window/Slots/rounds configurations", i, key, refKey)
 		}
-		procs[i] = r.Mux()
+		ms[i] = r.Mux()
 	}
-	return procs, nil
+	return ms, nil
 }
 
-// RunSim drives a full replica set over the in-process synchronous
-// network until every slot has committed. Engine errors surface promptly:
-// a replica whose mux or protocol fails (e.g. a poisoned slot factory)
-// stops the run with that error instead of leaving the replica silently
-// mute, and replicas finishing at different ticks — the signature of a
-// divergent gear schedule — stop the run with a divergence error. The
-// caller still checks each correct replica's Err and Entries afterwards.
+// Run drives a full replica set over the given fabric until every slot
+// has committed — the single drive path: RunSim, RunTCP, and the chaos
+// (mem-fabric) runs are all this function with a different substrate.
+// The fabric must host every replica (Local() == 0..n-1). Engine errors
+// surface promptly: a correct replica whose mux or protocol fails stops
+// the run with that error; a fault-injected replica's failure merely
+// mutes it (its errors are shadow-state artifacts) and the run ends with
+// the wedge attributed to it. Divergent gear schedules surface as a
+// schedule-divergence error. Whatever the outcome, every replica is
+// sealed afterwards (Committed closed, the error retrievable via Err) —
+// identical abort semantics on every fabric — and the fabric is closed.
+func Run(f fabric.Fabric, replicas []*Replica, parallel bool) (*sim.Stats, error) {
+	ms, err := muxes(replicas)
+	if err != nil {
+		finishRun(replicas, err)
+		_ = f.Close()
+		return nil, err
+	}
+	stats, err := run(f, ms, replicas, parallel)
+	finishRun(replicas, err)
+	_ = f.Close()
+	return stats, err
+}
+
+// RunSim drives the replica set over the in-process fabric. The caller
+// still checks each correct replica's Err and Entries afterwards.
 func RunSim(replicas []*Replica, parallel bool) (*sim.Stats, error) {
-	procs, err := muxes(replicas)
+	f, err := fabric.NewSim(len(replicas))
 	if err != nil {
 		finishRun(replicas, err)
 		return nil, err
 	}
-	stats, err := runSim(replicas, procs, parallel)
-	finishRun(replicas, err)
-	return stats, err
+	return Run(f, replicas, parallel)
+}
+
+// RunTCP drives the replica set over a loopback TCP mesh — the same
+// lockstep pipeline as RunSim, with every frame crossing a real socket.
+// Multi-host deployments run one cmd/logserver process per replica
+// instead (transport.JoinMesh + fabric.Run).
+func RunTCP(replicas []*Replica, opts ...transport.Option) (*sim.Stats, error) {
+	mesh, err := transport.NewMesh(len(replicas), opts...)
+	if err != nil {
+		finishRun(replicas, err)
+		return nil, err
+	}
+	return Run(mesh, replicas, false)
 }
 
 // finishRun seals every replica after a drive loop ends — including runs
@@ -88,55 +120,73 @@ func finishRun(replicas []*Replica, err error) {
 	}
 }
 
-func runSim(replicas []*Replica, procs []sim.Processor, parallel bool) (*sim.Stats, error) {
-	var opts []sim.Option
-	if parallel {
-		opts = append(opts, sim.Parallel())
+func run(f fabric.Fabric, ms []*sim.Mux, replicas []*Replica, parallel bool) (*sim.Stats, error) {
+	if len(f.Local()) != len(replicas) {
+		return nil, fmt.Errorf("rsm: fabric hosts %d nodes for %d replicas", len(f.Local()), len(replicas))
 	}
-	nw, err := sim.NewNetwork(procs, opts...)
-	if err != nil {
-		return nil, err
+	// Fault-injected replicas run shadow state; their mux errors are not
+	// engine failures — the runtime mutes them instead of tearing the
+	// correct replicas' run down, and the wedge is reported below.
+	advisory := make([]bool, len(replicas))
+	for i, r := range replicas {
+		advisory[i] = r.faultInjected()
 	}
-	// A statically configured log's schedule length is known up front —
-	// bound the run by it so a wedged replica (e.g. a fault-injected one
-	// whose slot factory failed) cannot spin the loop past the schedule.
-	// Gear-scheduled logs report 0 (unknown) and run until the predicate
-	// stops them.
-	maxTicks := replicas[0].TotalTicks()
 	geared := replicas[0].cfg.GearProtocol != nil
-	var runErr error
-	stats, err := nw.RunUntil(maxTicks, func(round int) bool {
+	lastTick := 0
+	hook := func(tick int) error {
+		lastTick = tick
 		done := 0
 		for _, r := range replicas {
-			// Fault-injected replicas run shadow state; their errors are
-			// not engine failures and are ignored, as Run callers do.
 			if !r.faultInjected() {
 				if rerr := r.Err(); rerr != nil {
-					runErr = rerr
-					return true
+					return rerr
 				}
 			}
 			if r.Mux().Done() {
 				done++
 			}
 		}
-		if done == len(replicas) {
-			return true
-		}
-		if done > 0 {
+		// Under the lockstep contract every replica finishes on the same
+		// tick; a partial finish is a divergent gear schedule — or, on a
+		// static schedule, a wedged (muted fault-injected) replica.
+		if done > 0 && done < len(replicas) {
 			if geared {
-				runErr = fmt.Errorf("rsm: schedule divergence after %d ticks: %d of %d replicas finished early (gear policies must be identical pure functions of the committed prefix)", round, done, len(replicas))
-			} else {
-				runErr = wedgeErr(replicas, round)
+				return divergenceErr(tick, done, len(replicas), nil)
 			}
-			return true
+			return wedgeErr(replicas, tick)
 		}
-		return false
-	})
-	if runErr != nil {
-		return nil, runErr
+		return nil
 	}
+	opts := []fabric.Option{
+		fabric.WithTickHook(hook),
+		fabric.WithAdvisoryErrors(advisory),
+		// A statically configured log's schedule length is known up front —
+		// bound the run by it so a wedged replica cannot spin the loop past
+		// the schedule. Gear-scheduled logs report 0 (unknown) and run until
+		// every mux completes.
+		fabric.WithMaxTicks(replicas[0].TotalTicks()),
+	}
+	if parallel {
+		opts = append(opts, fabric.WithParallel())
+	}
+	stats, err := fabric.Run(f, ms, opts...)
 	if err != nil {
+		// Translate the runtime's generic classifications into this
+		// package's diagnoses: divergence means an impure gear policy,
+		// and a fabric that cannot mute a wedged replica (the TCP mesh)
+		// reports the wedge the in-process fabrics report directly.
+		switch {
+		case errors.Is(err, fabric.ErrDiverged) && geared:
+			done := 0
+			for _, r := range replicas {
+				if r.Mux().Done() {
+					done++
+				}
+			}
+			return nil, divergenceErr(lastTick, done, len(replicas), err)
+		case errors.Is(err, fabric.ErrWedged):
+			return nil, wedgeErr(replicas, lastTick)
+		}
 		return nil, err
 	}
 	// A bounded run that exhausted its schedule without every replica
@@ -150,9 +200,18 @@ func runSim(replicas []*Replica, procs []sim.Processor, parallel bool) (*sim.Sta
 	return stats, nil
 }
 
-// wedgeErr describes replicas stuck short of their static schedule,
-// preferring a stuck replica's own error (a fault-injected replica's
-// failed slot factory, say) over the generic description.
+// divergenceErr is the gear-policy diagnosis of a schedule divergence.
+func divergenceErr(tick, done, total int, cause error) error {
+	msg := fmt.Sprintf("rsm: schedule divergence after %d ticks: %d of %d replicas finished early (gear policies must be identical pure functions of the committed prefix)", tick, done, total)
+	if cause != nil {
+		return fmt.Errorf("%s: %w", msg, cause)
+	}
+	return errors.New(msg)
+}
+
+// wedgeErr describes replicas stuck short of their schedule, preferring
+// a stuck replica's own error (a fault-injected replica's failed slot
+// factory, say) over the generic description.
 func wedgeErr(replicas []*Replica, round int) error {
 	stuck := 0
 	for _, r := range replicas {
@@ -168,26 +227,4 @@ func wedgeErr(replicas []*Replica, round int) error {
 		}
 	}
 	return fmt.Errorf("rsm: %d of %d replicas wedged after %d ticks of the static schedule", stuck, len(replicas), round)
-}
-
-// RunTCP drives a full replica set over a loopback TCP mesh — the same
-// lockstep pipeline as RunSim, with every frame crossing a real socket.
-// Multi-host deployments run one cmd/logserver process per replica
-// instead. A divergent gear schedule fails fast with the transport's
-// frame instance/round mismatch error.
-func RunTCP(replicas []*Replica, opts ...transport.Option) (*sim.Stats, error) {
-	procs, err := muxes(replicas)
-	if err != nil {
-		finishRun(replicas, err)
-		return nil, err
-	}
-	cluster, err := transport.NewCluster(procs, opts...)
-	if err != nil {
-		finishRun(replicas, err)
-		return nil, err
-	}
-	defer cluster.Close()
-	stats, err := cluster.RunMux()
-	finishRun(replicas, err)
-	return stats, err
 }

@@ -1,21 +1,17 @@
-// Instance-multiplexed execution: one Network (or one transport mesh)
-// drives many concurrent protocol instances. The Mux schedules instances
-// with a pipelining window — at every global tick the first `window`
-// unfinished instances each advance one local round — and speaks a framed
-// wire format that tags every sub-payload with its instance id and local
-// round:
-//
-//	uvarint(instance) uvarint(round) uvarint(len+1) payload...   // len+1 = 0 encodes "no message"
-//
-// The same section encoding is used inside a combined per-tick payload
-// (sim mode, where the Mux itself is the sim.Processor) and as the frame
-// header over TCP (transport mode, one frame per instance per tick). The
-// schedule is a pure function of the instance round counts and the window,
-// so every correct node runs instances in lockstep without coordination.
+// Instance-multiplexed execution: one fabric drives many concurrent
+// protocol instances. The Mux schedules instances with a pipelining
+// window — at every global tick the first `window` unfinished instances
+// each advance one local round — exposing the tick as Outboxes (one
+// MuxFrame per active instance, tagged with instance id and local round)
+// and Deliver (the per-instance inbox matrix). The drive loop lives in
+// internal/fabric.Run, written once for every substrate; over TCP each
+// frame's (instance, round) tag rides in the wire header (one frame per
+// instance per tick). The schedule is a pure function of the instance
+// round counts and the window, so every correct node runs instances in
+// lockstep without coordination.
 package sim
 
 import (
-	"encoding/binary"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -93,10 +89,9 @@ type MuxFrame struct {
 	Outbox [][]byte
 }
 
-// Mux multiplexes instances over a single processor's synchronous stream.
-// It implements Processor (combined-payload mode, for Network) and exposes
-// Outboxes/Deliver for drivers that frame instances individually (the TCP
-// transport).
+// Mux multiplexes instances over a single node's synchronous stream,
+// exposing each tick as Outboxes (frames out) and Deliver (inboxes in)
+// for the fabric drive loop.
 type Mux struct {
 	cfg       MuxConfig
 	instances int // total instance count
@@ -109,16 +104,14 @@ type Mux struct {
 	// Per-tick scratch, owned by the Mux and reused across ticks so the
 	// hot path stays allocation-free at steady state. Receivers must not
 	// retain payloads past their DeliverRound (the sim.Processor
-	// contract), which is exactly what makes the reuse sound.
-	frames      []MuxFrame // Outboxes result
-	combined    [][]byte   // PrepareRound result, one per destination
-	sectionBufs [][]byte   // backing arrays for combined payloads
-	inboxes     [][][]byte // Deliver scratch, one inbox per active slot
-	decoded     [][][]byte // DeliverRound scratch, one section set per sender
-	sectionSets [][][]byte // backing arrays for decoded section sets
+	// contract), which is exactly what makes the reuse sound. The two
+	// worker callbacks are built once here: closing over the Mux inside
+	// the tick would put one heap allocation per tick on the hot path.
+	frames    []MuxFrame // Outboxes result
+	inboxes   [][][]byte // Deliver scratch, one inbox per active slot
+	prepareFn func(k int, ru *running)
+	deliverFn func(k int, ru *running)
 }
-
-var _ Processor = (*Mux)(nil)
 
 // NewMux validates the configuration and builds the multiplexer.
 func NewMux(cfg MuxConfig) (*Mux, error) {
@@ -149,7 +142,10 @@ func NewMux(cfg MuxConfig) (*Mux, error) {
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("sim: mux worker count %d must be ≥ 0", cfg.Workers)
 	}
-	return &Mux{cfg: cfg, instances: instances}, nil
+	m := &Mux{cfg: cfg, instances: instances}
+	m.prepareFn = func(k int, ru *running) { ru.out = ru.proc.PrepareRound(ru.round) }
+	m.deliverFn = func(k int, ru *running) { ru.proc.DeliverRound(ru.round, m.inboxes[k]) }
+	return m, nil
 }
 
 // forEachActive applies fn to every active instance: sequentially, or —
@@ -211,7 +207,7 @@ func MuxTicks(rounds []int, window int) int {
 	return ticks
 }
 
-// ID implements Processor.
+// ID returns the node id the mux schedules for.
 func (m *Mux) ID() int { return m.cfg.ID }
 
 // Ticks returns the number of completed global ticks.
@@ -276,9 +272,7 @@ func (m *Mux) Outboxes() ([]MuxFrame, error) {
 	if len(m.active) == 0 {
 		return nil, m.fail(fmt.Errorf("sim: mux is done after %d ticks", m.ticks))
 	}
-	m.forEachActive(func(k int, ru *running) {
-		ru.out = ru.proc.PrepareRound(ru.round)
-	})
+	m.forEachActive(m.prepareFn)
 	if cap(m.frames) < len(m.active) {
 		m.frames = make([]MuxFrame, len(m.active))
 	}
@@ -330,9 +324,7 @@ func (m *Mux) Deliver(in [][][]byte) error {
 			}
 		}
 	}
-	m.forEachActive(func(k int, ru *running) {
-		ru.proc.DeliverRound(ru.round, m.inboxes[k])
-	})
+	m.forEachActive(m.deliverFn)
 
 	// Advance: bump local rounds, retire finished instances in order.
 	keep := m.active[:0]
@@ -360,132 +352,3 @@ func (m *Mux) fail(err error) error {
 	return err
 }
 
-// PrepareRound implements Processor: one combined payload per destination,
-// holding a section per active instance. The tick argument is the global
-// round number and is not interpreted (the schedule is positional). The
-// returned outbox and its payloads are scratch owned by the Mux, reused
-// every tick — receivers must consume them within their DeliverRound (the
-// Processor contract).
-func (m *Mux) PrepareRound(tick int) [][]byte {
-	frames, err := m.Outboxes()
-	if err != nil {
-		return nil
-	}
-	if len(m.combined) != m.cfg.N {
-		m.combined = make([][]byte, m.cfg.N)
-		m.sectionBufs = make([][]byte, m.cfg.N)
-	}
-	out := m.combined
-	anyDest := false
-	for j := 0; j < m.cfg.N; j++ {
-		buf := m.sectionBufs[j][:0]
-		any := false
-		for _, f := range frames {
-			var p []byte
-			if f.Outbox != nil {
-				p = f.Outbox[j]
-			}
-			if p != nil {
-				any = true
-			}
-			buf = AppendMuxSection(buf, f.Instance, f.Round, p)
-		}
-		m.sectionBufs[j] = buf // keep the (possibly grown) backing array
-		if any {
-			out[j] = buf
-			anyDest = true
-		} else {
-			out[j] = nil
-		}
-	}
-	if !anyDest {
-		return nil
-	}
-	return out
-}
-
-// DeliverRound implements Processor: it splits every sender's combined
-// payload back into per-instance payloads and completes the tick. A
-// malformed or misaligned payload makes its sender silent for every
-// instance this tick — the multiplexed analogue of the paper's
-// "inappropriate message → default" rule.
-func (m *Mux) DeliverRound(tick int, inbox [][]byte) {
-	if m.err != nil {
-		return
-	}
-	if len(m.decoded) < len(inbox) {
-		m.decoded = make([][][]byte, len(inbox))
-		m.sectionSets = make([][][]byte, len(inbox))
-	}
-	in := m.decoded[:len(inbox)]
-	for i, payload := range inbox {
-		if len(m.sectionSets[i]) < len(m.active) {
-			m.sectionSets[i] = make([][]byte, len(m.active))
-		}
-		in[i] = m.decodeSections(m.sectionSets[i][:len(m.active)], payload)
-	}
-	_ = m.Deliver(in)
-}
-
-// AppendMuxSection appends one instance section to buf:
-// uvarint(instance) uvarint(round) uvarint(len+1) payload. A nil payload
-// is encoded as len+1 = 0 ("no message"); an empty non-nil payload as
-// len+1 = 1.
-func AppendMuxSection(buf []byte, instance, round int, payload []byte) []byte {
-	buf = binary.AppendUvarint(buf, uint64(instance))
-	buf = binary.AppendUvarint(buf, uint64(round))
-	if payload == nil {
-		return binary.AppendUvarint(buf, 0)
-	}
-	buf = binary.AppendUvarint(buf, uint64(len(payload))+1)
-	return append(buf, payload...)
-}
-
-// decodeSections parses a combined payload against the current active set
-// into out, which must hold one slot per active instance: the payload
-// must contain exactly one section per active instance, in order, with
-// matching instance ids and local rounds. nil payloads and any malformed
-// or misaligned encoding yield nil (silence everywhere). The returned
-// sections alias the payload; out is caller-owned scratch.
-func (m *Mux) decodeSections(out [][]byte, payload []byte) [][]byte {
-	if payload == nil {
-		return nil
-	}
-	for k := range out {
-		out[k] = nil
-	}
-	rest := payload
-	for k, ru := range m.active {
-		inst, i := binary.Uvarint(rest)
-		if i <= 0 {
-			return nil
-		}
-		rest = rest[i:]
-		round, i := binary.Uvarint(rest)
-		if i <= 0 {
-			return nil
-		}
-		rest = rest[i:]
-		ln, i := binary.Uvarint(rest)
-		if i <= 0 {
-			return nil
-		}
-		rest = rest[i:]
-		if inst != uint64(ru.inst) || round != uint64(ru.round) {
-			return nil
-		}
-		if ln == 0 {
-			continue
-		}
-		size := ln - 1
-		if uint64(len(rest)) < size {
-			return nil
-		}
-		out[k] = rest[:size:size]
-		rest = rest[size:]
-	}
-	if len(rest) != 0 {
-		return nil
-	}
-	return out
-}

@@ -1,63 +1,23 @@
 package sim
 
 import (
-	"bytes"
 	"fmt"
-	"sync"
 	"testing"
 )
 
-// tagInstance broadcasts [instance, round] every local round and records
-// every inbox it receives.
+// tagInstance is a minimal Instance for configuration-level tests; the
+// schedule-behavior tests (pipelining, lazy rounds, worker pools) drive
+// real muxes through the fabric runtime and live in internal/fabric.
 type tagInstance struct {
-	mu     sync.Mutex
-	inst   int
-	n      int
-	rounds []int    // local rounds delivered, in order
-	seen   [][]byte // flattened inbox per local round
+	inst int
+	n    int
 }
 
 func (ti *tagInstance) PrepareRound(round int) [][]byte {
 	return Broadcast(ti.n, []byte{byte(ti.inst), byte(round)})
 }
 
-func (ti *tagInstance) DeliverRound(round int, inbox [][]byte) {
-	ti.mu.Lock()
-	defer ti.mu.Unlock()
-	ti.rounds = append(ti.rounds, round)
-	var flat []byte
-	for _, p := range inbox {
-		flat = append(flat, p...)
-	}
-	ti.seen = append(ti.seen, flat)
-}
-
-// buildMuxes wires n muxes over the same schedule and returns the per-node
-// instance tables for inspection.
-func buildMuxes(t *testing.T, n, window int, rounds []int) ([]Processor, [][]*tagInstance, [][]int) {
-	t.Helper()
-	procs := make([]Processor, n)
-	insts := make([][]*tagInstance, n)
-	finished := make([][]int, n)
-	for id := 0; id < n; id++ {
-		id := id
-		insts[id] = make([]*tagInstance, len(rounds))
-		m, err := NewMux(MuxConfig{
-			ID: id, N: n, Window: window, Rounds: rounds,
-			Start: func(inst int) (Instance, error) {
-				ti := &tagInstance{inst: inst, n: n}
-				insts[id][inst] = ti
-				return ti, nil
-			},
-			Finish: func(inst int) { finished[id] = append(finished[id], inst) },
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		procs[id] = m
-	}
-	return procs, insts, finished
-}
+func (ti *tagInstance) DeliverRound(round int, inbox [][]byte) {}
 
 func TestMuxTicks(t *testing.T) {
 	cases := []struct {
@@ -76,149 +36,6 @@ func TestMuxTicks(t *testing.T) {
 		if got := MuxTicks(c.rounds, c.window); got != c.want {
 			t.Errorf("MuxTicks(%v, %d) = %d, want %d", c.rounds, c.window, got, c.want)
 		}
-	}
-}
-
-func TestMuxPipelinesInstances(t *testing.T) {
-	const n, window = 4, 2
-	rounds := []int{3, 3, 3, 3, 3, 3}
-	procs, insts, finished := buildMuxes(t, n, window, rounds)
-
-	nw, err := NewNetwork(procs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ticks := MuxTicks(rounds, window)
-	stats, err := nw.Run(ticks)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if stats.Rounds != ticks {
-		t.Fatalf("ran %d ticks, want %d", stats.Rounds, ticks)
-	}
-
-	for id := 0; id < n; id++ {
-		if mux := procs[id].(*Mux); !mux.Done() || mux.Err() != nil {
-			t.Fatalf("node %d: done=%v err=%v", id, mux.Done(), mux.Err())
-		}
-		if len(finished[id]) != len(rounds) {
-			t.Fatalf("node %d finished %v", id, finished[id])
-		}
-		for k, inst := range finished[id] {
-			if inst != k {
-				t.Fatalf("node %d finish order %v, want identity", id, finished[id])
-			}
-		}
-		for inst, ti := range insts[id] {
-			if len(ti.rounds) != rounds[inst] {
-				t.Fatalf("node %d instance %d ran rounds %v", id, inst, ti.rounds)
-			}
-			for r := 0; r < rounds[inst]; r++ {
-				if ti.rounds[r] != r+1 {
-					t.Fatalf("node %d instance %d local rounds %v", id, inst, ti.rounds)
-				}
-				// Every sender's broadcast for this instance and round must
-				// arrive intact: n copies of [instance, round].
-				want := bytes.Repeat([]byte{byte(inst), byte(r + 1)}, n)
-				if !bytes.Equal(ti.seen[r], want) {
-					t.Fatalf("node %d instance %d round %d inbox %v, want %v", id, inst, r+1, ti.seen[r], want)
-				}
-			}
-		}
-	}
-}
-
-// TestMuxStaggeredWindow checks the greedy schedule with unequal round
-// counts: short instances retire and later ones slide into the window.
-func TestMuxStaggeredWindow(t *testing.T) {
-	const n, window = 3, 2
-	rounds := []int{4, 1, 2, 1}
-	procs, insts, _ := buildMuxes(t, n, window, rounds)
-	nw, err := NewNetwork(procs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := nw.Run(MuxTicks(rounds, window)); err != nil {
-		t.Fatal(err)
-	}
-	for id := 0; id < n; id++ {
-		for inst, ti := range insts[id] {
-			if len(ti.rounds) != rounds[inst] {
-				t.Fatalf("node %d instance %d delivered %d rounds, want %d", id, inst, len(ti.rounds), rounds[inst])
-			}
-		}
-	}
-}
-
-func TestMuxParallelMatchesSequential(t *testing.T) {
-	rounds := []int{2, 2, 2, 2}
-	run := func(parallel bool) [][]*tagInstance {
-		procs, insts, _ := buildMuxes(t, 3, 2, rounds)
-		var opts []Option
-		if parallel {
-			opts = append(opts, Parallel())
-		}
-		nw, err := NewNetwork(procs, opts...)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if _, err := nw.Run(MuxTicks(rounds, 2)); err != nil {
-			t.Fatal(err)
-		}
-		return insts
-	}
-	seq, par := run(false), run(true)
-	for id := range seq {
-		for inst := range seq[id] {
-			for r := range seq[id][inst].seen {
-				if !bytes.Equal(seq[id][inst].seen[r], par[id][inst].seen[r]) {
-					t.Fatalf("node %d instance %d round %d: engines diverge", id, inst, r+1)
-				}
-			}
-		}
-	}
-}
-
-func TestMuxSectionCodec(t *testing.T) {
-	var buf []byte
-	buf = AppendMuxSection(buf, 7, 2, []byte{1, 2, 3})
-	buf = AppendMuxSection(buf, 8, 1, nil)
-	buf = AppendMuxSection(buf, 9, 4, []byte{})
-
-	m := &Mux{cfg: MuxConfig{N: 2}, active: []*running{
-		{inst: 7, round: 2}, {inst: 8, round: 1}, {inst: 9, round: 4},
-	}}
-	got := m.decodeSections(make([][]byte, len(m.active)), buf)
-	if got == nil {
-		t.Fatal("well-formed sections rejected")
-	}
-	if !bytes.Equal(got[0], []byte{1, 2, 3}) {
-		t.Fatalf("section 0 = %v", got[0])
-	}
-	if got[1] != nil {
-		t.Fatalf("nil payload not preserved: %v", got[1])
-	}
-	if got[2] == nil || len(got[2]) != 0 {
-		t.Fatalf("empty payload not preserved: %v", got[2])
-	}
-
-	// Instance mismatch, round mismatch, truncation, trailing garbage: all
-	// must read as silence.
-	bad := [][]byte{
-		AppendMuxSection(AppendMuxSection(nil, 6, 2, []byte{1}), 8, 1, nil), // wrong instance
-		AppendMuxSection(AppendMuxSection(nil, 7, 3, []byte{1}), 8, 1, nil), // wrong round
-		buf[:len(buf)-1],                       // truncated
-		append(append([]byte{}, buf...), 0xff), // trailing byte
-		{0xff},                                 // truncated uvarint
-		AppendMuxSection(nil, 7, 2, []byte{1}), // too few sections
-	}
-	for i, p := range bad {
-		if res := m.decodeSections(make([][]byte, len(m.active)), p); res != nil {
-			t.Errorf("malformed payload %d accepted: %v", i, res)
-		}
-	}
-	if m.decodeSections(make([][]byte, len(m.active)), nil) != nil {
-		t.Error("nil payload must decode to silence")
 	}
 }
 
@@ -241,100 +58,6 @@ func TestMuxValidation(t *testing.T) {
 	}
 	if _, err := NewMux(MuxConfig{ID: 0, N: 2, Window: 1, RoundsFor: roundsFor, Instances: 3, Start: start}); err != nil {
 		t.Errorf("lazy-rounds config rejected: %v", err)
-	}
-}
-
-// TestMuxLazyRounds: RoundsFor resolves an instance's round count at the
-// moment the instance enters the window — not before — and the resulting
-// schedule is byte-identical to the equivalent static Rounds schedule.
-func TestMuxLazyRounds(t *testing.T) {
-	const n, window = 3, 2
-	rounds := []int{4, 1, 2, 3}
-
-	build := func(lazy bool, resolved *[][]int) []Processor {
-		procs := make([]Processor, n)
-		for id := 0; id < n; id++ {
-			id := id
-			cfg := MuxConfig{
-				ID: id, N: n, Window: window,
-				Start: func(inst int) (Instance, error) {
-					return &tagInstance{inst: inst, n: n}, nil
-				},
-			}
-			if lazy {
-				cfg.Instances = len(rounds)
-				cfg.RoundsFor = func(inst int) int {
-					(*resolved)[id] = append((*resolved)[id], inst)
-					return rounds[inst]
-				}
-			} else {
-				cfg.Rounds = rounds
-			}
-			m, err := NewMux(cfg)
-			if err != nil {
-				t.Fatal(err)
-			}
-			procs[id] = m
-		}
-		return procs
-	}
-
-	resolved := make([][]int, n)
-	lazyProcs := build(true, &resolved)
-
-	// Nothing resolves before the first tick (lazy, not eager).
-	for id := range resolved {
-		if len(resolved[id]) != 0 {
-			t.Fatalf("node %d resolved %v before any tick", id, resolved[id])
-		}
-	}
-	nw, err := NewNetwork(lazyProcs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := MuxTicks(rounds, window)
-	stats, err := nw.Run(want)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if stats.Rounds != want {
-		t.Fatalf("lazy schedule ran %d ticks, want %d", stats.Rounds, want)
-	}
-	for id := 0; id < n; id++ {
-		m := lazyProcs[id].(*Mux)
-		if !m.Done() || m.Err() != nil {
-			t.Fatalf("node %d: done=%v err=%v", id, m.Done(), m.Err())
-		}
-		// Instances resolve in schedule order, each exactly once.
-		if len(resolved[id]) != len(rounds) {
-			t.Fatalf("node %d resolved %v", id, resolved[id])
-		}
-		for k, inst := range resolved[id] {
-			if inst != k {
-				t.Fatalf("node %d resolution order %v, want identity", id, resolved[id])
-			}
-		}
-		if m.TotalTicks() != 0 {
-			t.Fatalf("lazy mux claims TotalTicks %d, want 0 (unknown)", m.TotalTicks())
-		}
-	}
-
-	// With RoundsFor resolving lazily, instance 2's count could have
-	// depended on instance 1's outcome: it resolves strictly after
-	// instance 1 finished (rounds[1]=1, window 2 → instance 2 enters at
-	// tick 2).
-	// The wire behavior must match the static schedule exactly.
-	staticProcs := build(false, nil)
-	nw2, err := NewNetwork(staticProcs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	stats2, err := nw2.Run(want)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if stats2.Rounds != stats.Rounds || stats2.Bytes != stats.Bytes || stats2.Messages != stats.Messages {
-		t.Fatalf("lazy and static schedules diverge: %+v vs %+v", stats, stats2)
 	}
 }
 
@@ -373,53 +96,28 @@ func TestMuxStartFailureSurfaces(t *testing.T) {
 	}
 }
 
-// TestMuxWorkersMatchSequential: the per-instance worker pool is purely an
-// execution detail — the same schedule at Workers 0 and Workers 3, over
-// the parallel network engine, must deliver byte-identical inboxes. Run
-// with -race this also exercises concurrent PrepareRound/DeliverRound
-// across the window's instances.
-func TestMuxWorkersMatchSequential(t *testing.T) {
-	const n, window = 4, 3
-	rounds := []int{2, 3, 1, 4, 2, 3}
-	run := func(workers int) [][]*tagInstance {
-		procs := make([]Processor, n)
-		insts := make([][]*tagInstance, n)
-		for id := 0; id < n; id++ {
-			id := id
-			insts[id] = make([]*tagInstance, len(rounds))
-			m, err := NewMux(MuxConfig{
-				ID: id, N: n, Window: window, Rounds: rounds, Workers: workers,
-				Start: func(inst int) (Instance, error) {
-					ti := &tagInstance{inst: inst, n: n}
-					insts[id][inst] = ti
-					return ti, nil
-				},
-			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			procs[id] = m
-		}
-		nw, err := NewNetwork(procs, Parallel())
+// TestMuxTickProtocol: Outboxes twice without a Deliver, or Deliver
+// without Outboxes, is a driver bug and fails loudly.
+func TestMuxTickProtocol(t *testing.T) {
+	mk := func() *Mux {
+		m, err := NewMux(MuxConfig{
+			ID: 0, N: 2, Window: 1, Rounds: []int{2},
+			Start: func(inst int) (Instance, error) { return &tagInstance{inst: inst, n: 2}, nil },
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := nw.Run(MuxTicks(rounds, window)); err != nil {
-			t.Fatal(err)
-		}
-		return insts
+		return m
 	}
-	seq, par := run(0), run(3)
-	for id := range seq {
-		for inst := range seq[id] {
-			if len(seq[id][inst].seen) != len(par[id][inst].seen) {
-				t.Fatalf("node %d instance %d: %d vs %d rounds", id, inst, len(seq[id][inst].seen), len(par[id][inst].seen))
-			}
-			for r := range seq[id][inst].seen {
-				if !bytes.Equal(seq[id][inst].seen[r], par[id][inst].seen[r]) {
-					t.Fatalf("node %d instance %d round %d: worker pool diverges from sequential", id, inst, r+1)
-				}
-			}
-		}
+	m := mk()
+	if err := m.Deliver(make([][][]byte, 2)); err == nil {
+		t.Fatal("Deliver before Outboxes accepted")
+	}
+	m = mk()
+	if _, err := m.Outboxes(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Outboxes(); err == nil {
+		t.Fatal("double Outboxes accepted")
 	}
 }

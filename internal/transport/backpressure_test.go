@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"shiftgears/internal/fabric"
 	"shiftgears/internal/sim"
 )
 
@@ -30,14 +31,14 @@ func (fi *floodInstance) DeliverRound(round int, inbox [][]byte) {
 	}
 }
 
-// TestRunMuxLargePayloadBackpressure is the send-all-then-read deadlock
+// TestMeshLargePayloadBackpressure is the send-all-then-read deadlock
 // reproducer: every node broadcasts a per-tick payload that exceeds the
-// deliberately shrunken kernel socket buffers, so a drive loop that
+// deliberately shrunken kernel socket buffers, so an exchange that
 // finishes all its sends before its first read wedges the whole mesh —
 // each node blocked in Flush because its peers, also blocked in Flush,
-// never drain it. The concurrent writer pool overlaps sends with reads
+// never drain it. The per-peer writer pool overlaps sends with reads
 // and must complete the schedule.
-func TestRunMuxLargePayloadBackpressure(t *testing.T) {
+func TestMeshLargePayloadBackpressure(t *testing.T) {
 	const (
 		n       = 3
 		rounds  = 3
@@ -46,7 +47,7 @@ func TestRunMuxLargePayloadBackpressure(t *testing.T) {
 	)
 	big := bytes.Repeat([]byte{0xAB}, payload)
 
-	procs := make([]sim.Processor, n)
+	muxes := make([]*sim.Mux, n)
 	insts := make([]*floodInstance, n)
 	for id := 0; id < n; id++ {
 		id := id
@@ -61,13 +62,13 @@ func TestRunMuxLargePayloadBackpressure(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		procs[id] = m
+		muxes[id] = m
 	}
-	cluster, err := NewCluster(procs, WithWriteBufferSize(sockBuf))
+	mesh, err := NewMesh(n, WithWriteBufferSize(sockBuf))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer cluster.Close()
+	defer func() { _ = mesh.Close() }()
 
 	type result struct {
 		stats *sim.Stats
@@ -75,7 +76,7 @@ func TestRunMuxLargePayloadBackpressure(t *testing.T) {
 	}
 	done := make(chan result, 1)
 	go func() {
-		stats, err := cluster.RunMux()
+		stats, err := fabric.Run(mesh, muxes)
 		done <- result{stats, err}
 	}()
 	select {
@@ -166,14 +167,14 @@ func (fn *floodNode) DeliverRound(round int, inbox [][]byte) {
 	}
 }
 
-// TestRunMuxTeardownUnderBackpressure: a node whose (divergent) schedule
-// ends early closes its connections while its peers are mid-tick with
-// payloads larger than the shrunken send buffers. The stragglers' reads
-// from the finished node fail while their writers to each other are
-// still blocked in Flush — the error path must tear the tick down and
-// return (writerPool.abortTick), not hang joining writers no one will
-// ever drain.
-func TestRunMuxTeardownUnderBackpressure(t *testing.T) {
+// TestMeshTeardownUnderBackpressure: a node dies mid-tick (its
+// connections close) while its peers are pushing payloads larger than
+// the shrunken send buffers. The survivors' reads from the dead node
+// fail while their writers to each other are still blocked in Flush —
+// the error path must tear the tick down and return
+// (writerPool.abortTick), not hang joining writers no one will ever
+// drain.
+func TestMeshTeardownUnderBackpressure(t *testing.T) {
 	const (
 		n       = 3
 		payload = 1 << 20
@@ -181,18 +182,10 @@ func TestRunMuxTeardownUnderBackpressure(t *testing.T) {
 	)
 	big := bytes.Repeat([]byte{0xEF}, payload)
 
-	procs := make([]sim.Processor, n)
+	muxes := make([]*sim.Mux, n)
 	for id := 0; id < n; id++ {
-		id := id
 		m, err := sim.NewMux(sim.MuxConfig{
-			ID: id, N: n, Window: 1,
-			Instances: 1,
-			RoundsFor: func(inst int) int {
-				if id == 0 {
-					return 1 // node 0 finishes a tick early and closes
-				}
-				return 3
-			},
+			ID: id, N: n, Window: 1, Rounds: []int{64},
 			Start: func(inst int) (sim.Instance, error) {
 				return &floodInstance{n: n, payload: big}, nil
 			},
@@ -200,23 +193,27 @@ func TestRunMuxTeardownUnderBackpressure(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		procs[id] = m
+		muxes[id] = m
 	}
-	cluster, err := NewCluster(procs, WithWriteBufferSize(sockBuf))
+	mesh, err := NewMesh(n, WithWriteBufferSize(sockBuf))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer cluster.Close()
+	defer func() { _ = mesh.Close() }()
 
 	done := make(chan error, 1)
 	go func() {
-		_, err := cluster.RunMux()
+		_, err := fabric.Run(mesh, muxes)
 		done <- err
 	}()
+	// Sever node 0 a few ticks in, mid-flood.
+	time.Sleep(150 * time.Millisecond)
+	_ = mesh.nodes[0].Close()
+
 	select {
 	case err := <-done:
 		if err == nil {
-			t.Fatal("divergent schedule not surfaced")
+			t.Fatal("severed node not surfaced")
 		}
 	case <-time.After(60 * time.Second):
 		t.Fatal("mesh hung joining writers after a read failure (error path must tear the tick down)")

@@ -36,9 +36,19 @@ func NewCluster(procs []sim.Processor, opts ...Option) (*Cluster, error) {
 		addrs[i] = node.Addr()
 	}
 
+	if err := connectAll(c.nodes, addrs); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// connectAll establishes every node's full mesh concurrently (nodes dial
+// smaller ids and accept larger ones, so they must connect in parallel).
+func connectAll(nodes []*Node, addrs []string) error {
 	var wg sync.WaitGroup
-	errs := make([]error, n)
-	for i, node := range c.nodes {
+	errs := make([]error, len(nodes))
+	for i, node := range nodes {
 		wg.Add(1)
 		go func(i int, node *Node) {
 			defer wg.Done()
@@ -48,11 +58,10 @@ func NewCluster(procs []sim.Processor, opts ...Option) (*Cluster, error) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			c.Close()
-			return nil, err
+			return err
 		}
 	}
-	return c, nil
+	return nil
 }
 
 // runAll drives every node concurrently. The first node to fail tears
@@ -96,15 +105,10 @@ func (c *Cluster) runAll(run func(*Node) (*sim.Stats, error)) (*sim.Stats, error
 // Run drives all nodes through the given number of rounds concurrently and
 // returns node 0's traffic statistics: the frames node 0 received (all
 // nodes see the same totals on a correct mesh up to per-destination
-// payload differences).
+// payload differences). Multiplexed schedules are driven by the fabric
+// runtime instead: fabric.Run over a NewMesh.
 func (c *Cluster) Run(rounds int) (*sim.Stats, error) {
 	return c.runAll(func(node *Node) (*sim.Stats, error) { return node.Run(rounds) })
-}
-
-// RunMux drives every node's multiplexed schedule concurrently (all
-// processors must be *sim.Mux) and returns node 0's traffic statistics.
-func (c *Cluster) RunMux() (*sim.Stats, error) {
-	return c.runAll(func(node *Node) (*sim.Stats, error) { return node.RunMux() })
 }
 
 // Close shuts every node down.

@@ -149,99 +149,45 @@ func (wp *writerPool) exchange(label string, frames []sim.MuxFrame, read func() 
 	return nil
 }
 
-// RunMux drives the node's processor — which must be a *sim.Mux — through
-// its full multiplexed schedule: at every global tick the node exchanges
-// one frame per active instance with every peer, each frame carrying the
-// instance id and local round in its header, so one TCP mesh pipelines
-// many concurrent agreement instances. All nodes of the mesh must run
-// identical schedules (same Rounds and Window); a peer frame whose
-// instance or round disagrees with the local schedule is a protocol error.
-//
-// Sends and receives overlap: one writer goroutine per peer pushes the
-// tick's frames while this goroutine reads, so the mesh cannot deadlock
-// when a tick's payload exceeds the kernel socket buffers (see
-// writerPool for the ordering guarantees).
-func (nd *Node) RunMux() (*sim.Stats, error) {
-	m, ok := nd.proc.(*sim.Mux)
-	if !ok {
-		return nil, fmt.Errorf("transport: RunMux needs a *sim.Mux processor, have %T", nd.proc)
-	}
-	nd.stats = sim.Stats{}
-	in := make([][][]byte, nd.n)
-	self := make([][]byte, 0)
-	wp := newWriterPool(nd)
-	defer wp.close()
-
-	for !m.Done() {
-		frames, err := m.Outboxes()
-		if err != nil {
-			return nil, err
+// exchangeTick runs one lockstep tick of a multiplexed schedule over the
+// mesh: the writers push one frame per active instance to every peer —
+// each frame carrying its instance id and local round in the header, so
+// one TCP mesh pipelines many concurrent agreement instances — while
+// this goroutine reads every peer's frames for exactly the same active
+// set, in instance order (TCP is FIFO, peers send in the same order).
+// ins[sender][f] receives sender's payload for the f-th frame; the
+// caller (fabric.Run) sized ins to the active set. A peer frame whose
+// instance or round disagrees with the local schedule is a protocol
+// error — the wire-level divergence guard of a multi-process mesh,
+// where no runtime can compare the schedules directly.
+func (nd *Node) exchangeTick(wp *writerPool, tick int, frames []sim.MuxFrame, ins [][][]byte) error {
+	// Self-delivery is direct; the writers push to the peers while the
+	// read closure below collects from them (writerPool.exchange).
+	self := ins[nd.id]
+	for f, fr := range frames {
+		if fr.Outbox != nil {
+			self[f] = fr.Outbox[nd.id]
+		} else {
+			self[f] = nil
 		}
-		tick := m.Ticks() + 1
-
-		// Self-delivery is direct; the writers push to the peers while the
-		// read closure below collects from them (writerPool.exchange).
-		self = self[:0]
-		for _, f := range frames {
-			var payload []byte
-			if f.Outbox != nil {
-				payload = f.Outbox[nd.id]
+	}
+	return wp.exchange(fmt.Sprintf("tick %d", tick), frames, func() error {
+		for id, p := range nd.peers {
+			if id == nd.id {
+				continue
 			}
-			self = append(self, payload)
-		}
-		in[nd.id] = self
-
-		// Barrier: collect every peer's frames for exactly the active set,
-		// in instance order (TCP is FIFO, peers send in the same order).
-		rs := sim.RoundStats{Round: tick}
-		err = wp.exchange(fmt.Sprintf("tick %d", tick), frames, func() error {
-			for id, p := range nd.peers {
-				if id == nd.id {
-					for _, payload := range in[id] {
-						countPayload(&rs, payload)
-					}
-					continue
+			got := ins[id]
+			for f, fr := range frames {
+				instance, round, payload, err := readFrame(p.r)
+				if err != nil {
+					return fmt.Errorf("transport: tick %d: recv from %d: %w", tick, id, err)
 				}
-				// Reuse the peer's slice across ticks (like self above):
-				// Deliver consumes it within the tick, and the payloads
-				// themselves are fresh from readFrame.
-				got := in[id][:0]
-				for _, f := range frames {
-					instance, round, payload, err := readFrame(p.r)
-					if err != nil {
-						return fmt.Errorf("transport: tick %d: recv from %d: %w", tick, id, err)
-					}
-					if instance != f.Instance || round != f.Round {
-						return fmt.Errorf("transport: peer %d sent frame (instance %d, round %d), want (instance %d, round %d)", id, instance, round, f.Instance, f.Round)
-					}
-					got = append(got, payload)
-					countPayload(&rs, payload)
+				if instance != fr.Instance || round != fr.Round {
+					return fmt.Errorf("transport: peer %d sent frame (instance %d, round %d), want (instance %d, round %d)", id, instance, round, fr.Instance, fr.Round)
 				}
-				in[id] = got
+				got[f] = payload
 			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
 		}
-
-		if err := m.Deliver(in); err != nil {
-			return nil, err
-		}
-		nd.stats.Rounds = tick
-		nd.stats.Messages += rs.Messages
-		nd.stats.Bytes += rs.Bytes
-		if rs.MaxPayload > nd.stats.MaxPayload {
-			nd.stats.MaxPayload = rs.MaxPayload
-		}
-		if nd.perRound {
-			nd.stats.PerRound = append(nd.stats.PerRound, rs)
-		}
-	}
-	if err := m.Err(); err != nil {
-		return nil, err
-	}
-	out := nd.stats
-	out.PerRound = append([]sim.RoundStats(nil), nd.stats.PerRound...)
-	return &out, nil
+		return nil
+	})
 }

@@ -2,16 +2,18 @@ package transport
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"shiftgears/internal/fabric"
 	"shiftgears/internal/sim"
 )
 
 // muxTag broadcasts [instance, round] per local round and records inboxes
-// (the transport twin of the sim package's mux test instance).
+// (the transport twin of the fabric package's test instance).
 type muxTag struct {
 	mu   sync.Mutex
 	inst int
@@ -33,9 +35,9 @@ func (ti *muxTag) DeliverRound(round int, inbox [][]byte) {
 	ti.seen = append(ti.seen, flat)
 }
 
-func buildTagMuxes(t *testing.T, n, window int, rounds []int) ([]sim.Processor, [][]*muxTag) {
+func buildTagMuxes(t *testing.T, n, window int, rounds []int) ([]*sim.Mux, [][]*muxTag) {
 	t.Helper()
-	procs := make([]sim.Processor, n)
+	muxes := make([]*sim.Mux, n)
 	insts := make([][]*muxTag, n)
 	for id := 0; id < n; id++ {
 		id := id
@@ -51,35 +53,35 @@ func buildTagMuxes(t *testing.T, n, window int, rounds []int) ([]sim.Processor, 
 		if err != nil {
 			t.Fatal(err)
 		}
-		procs[id] = m
+		muxes[id] = m
 	}
-	return procs, insts
+	return muxes, insts
 }
 
 // TestMuxOverTCPMatchesSim pipelines the same multiplexed schedule over a
-// loopback mesh and over the in-process network; every instance must see
-// byte-identical inboxes in both modes.
+// loopback mesh and over the in-process fabric — the same drive loop,
+// different substrate; every instance must see byte-identical inboxes.
 func TestMuxOverTCPMatchesSim(t *testing.T) {
 	const n, window = 4, 2
 	rounds := []int{2, 3, 2, 3, 2}
 
-	simProcs, simInsts := buildTagMuxes(t, n, window, rounds)
-	nw, err := sim.NewNetwork(simProcs)
+	simMuxes, simInsts := buildTagMuxes(t, n, window, rounds)
+	simFab, err := fabric.NewSim(n)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ticks := sim.MuxTicks(rounds, window)
-	if _, err := nw.Run(ticks); err != nil {
+	if _, err := fabric.Run(simFab, simMuxes); err != nil {
 		t.Fatal(err)
 	}
 
-	tcpProcs, tcpInsts := buildTagMuxes(t, n, window, rounds)
-	cluster, err := NewCluster(tcpProcs)
+	tcpMuxes, tcpInsts := buildTagMuxes(t, n, window, rounds)
+	mesh, err := NewMesh(n)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer cluster.Close()
-	stats, err := cluster.RunMux()
+	defer func() { _ = mesh.Close() }()
+	stats, err := fabric.Run(mesh, tcpMuxes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,29 +104,15 @@ func TestMuxOverTCPMatchesSim(t *testing.T) {
 	}
 }
 
-// TestRunMuxRequiresMuxProcessor: a plain processor cannot drive the
-// multiplexed schedule.
-func TestRunMuxRequiresMuxProcessor(t *testing.T) {
-	procs := []sim.Processor{&echoNode{id: 0, n: 2}, &echoNode{id: 1, n: 2}}
-	cluster, err := NewCluster(procs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer cluster.Close()
-	if _, err := cluster.nodes[0].RunMux(); err == nil {
-		t.Fatal("RunMux accepted a non-mux processor")
-	}
-}
-
-// TestRunMuxLazyRoundsMatchesStatic: a mesh whose round counts resolve
+// TestMeshLazyRoundsMatchesStatic: a mesh whose round counts resolve
 // lazily (RoundsFor) behaves identically to the static schedule — the
 // wire format carries instance+round already, so nothing changes on the
 // frames.
-func TestRunMuxLazyRoundsMatchesStatic(t *testing.T) {
+func TestMeshLazyRoundsMatchesStatic(t *testing.T) {
 	const n, window = 3, 2
 	rounds := []int{2, 1, 3}
 
-	procs := make([]sim.Processor, n)
+	muxes := make([]*sim.Mux, n)
 	insts := make([][]*muxTag, n)
 	for id := 0; id < n; id++ {
 		id := id
@@ -142,14 +130,14 @@ func TestRunMuxLazyRoundsMatchesStatic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		procs[id] = m
+		muxes[id] = m
 	}
-	cluster, err := NewCluster(procs)
+	mesh, err := NewMesh(n)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer cluster.Close()
-	stats, err := cluster.RunMux()
+	defer func() { _ = mesh.Close() }()
+	stats, err := fabric.Run(mesh, muxes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,13 +153,12 @@ func TestRunMuxLazyRoundsMatchesStatic(t *testing.T) {
 	}
 }
 
-// TestRunMuxDivergentLazyRoundsFailsFast: nodes resolving different round
+// TestMeshDivergentLazyRoundsFailsFast: nodes resolving different round
 // counts for the same instance — a divergent gear policy — must fail the
-// mesh loudly, not deadlock. Mid-schedule divergence hits the frame
-// instance/round mismatch check; divergence that ends one node's schedule
-// early surfaces as a teardown error when the finished node closes its
-// connections and the stragglers' reads fail.
-func TestRunMuxDivergentLazyRoundsFailsFast(t *testing.T) {
+// mesh loudly, not deadlock. On an in-process mesh the runtime's
+// cross-node validation catches both shapes (mid-schedule mismatch and
+// early finish) before a byte moves, uniformly with the other fabrics.
+func TestMeshDivergentLazyRoundsFailsFast(t *testing.T) {
 	cases := []struct {
 		name string
 		// divergent round count node 0 resolves for instance 1 (others use
@@ -179,11 +166,7 @@ func TestRunMuxDivergentLazyRoundsFailsFast(t *testing.T) {
 		// meaning no third instance.
 		rounds, followup int
 	}{
-		// Node 0 still has instance 2 after the mismatch: its frames for
-		// instance 2 arrive while peers expect instance 1 → header check.
 		{"mid-schedule mismatch", 1, 3},
-		// Instance 1 is last: node 0 finishes early and closes; peers'
-		// reads fail instead of blocking forever.
 		{"early finish", 1, 0},
 	}
 	for _, c := range cases {
@@ -193,7 +176,7 @@ func TestRunMuxDivergentLazyRoundsFailsFast(t *testing.T) {
 			if c.followup > 0 {
 				instances = 3
 			}
-			procs := make([]sim.Processor, n)
+			muxes := make([]*sim.Mux, n)
 			for id := 0; id < n; id++ {
 				id := id
 				m, err := sim.NewMux(sim.MuxConfig{
@@ -216,16 +199,16 @@ func TestRunMuxDivergentLazyRoundsFailsFast(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				procs[id] = m
+				muxes[id] = m
 			}
-			cluster, err := NewCluster(procs)
+			mesh, err := NewMesh(n)
 			if err != nil {
 				t.Fatal(err)
 			}
-			defer cluster.Close()
+			defer func() { _ = mesh.Close() }()
 			done := make(chan error, 1)
 			go func() {
-				_, err := cluster.RunMux()
+				_, err := fabric.Run(mesh, muxes)
 				done <- err
 			}()
 			select {
@@ -233,9 +216,7 @@ func TestRunMuxDivergentLazyRoundsFailsFast(t *testing.T) {
 				if err == nil {
 					t.Fatal("divergent schedules not surfaced")
 				}
-				if !strings.Contains(err.Error(), "sent frame") &&
-					!strings.Contains(err.Error(), "recv from") &&
-					!strings.Contains(err.Error(), "send") {
+				if !errors.Is(err, fabric.ErrDiverged) {
 					t.Fatalf("divergence error unclear: %v", err)
 				}
 			case <-time.After(30 * time.Second):
@@ -245,18 +226,82 @@ func TestRunMuxDivergentLazyRoundsFailsFast(t *testing.T) {
 	}
 }
 
-// TestRunMuxPerRoundStatsOptIn: the transport's per-round trail mirrors
-// the sim network's — opt-in via WithPerRoundStats, aggregates always on.
-func TestRunMuxPerRoundStatsOptIn(t *testing.T) {
+// TestJoinMeshWireDivergenceGuard: in a multi-process deployment no
+// runtime sees more than its own schedule, so divergence must surface at
+// the wire — the frame instance/round mismatch error — instead of
+// deadlocking. Three single-node fabrics (one per "process") run
+// divergent lazy schedules over one real mesh.
+func TestJoinMeshWireDivergenceGuard(t *testing.T) {
+	const n = 3
+	nodes := make([]*Node, n)
+	addrs := make([]string, n)
+	for id := 0; id < n; id++ {
+		node, err := ListenNode(id, n, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[id] = node
+		addrs[id] = node.Addr()
+	}
+	if err := connectAll(nodes, addrs); err != nil {
+		t.Fatal(err)
+	}
+
+	errs := make(chan error, n)
+	for id := 0; id < n; id++ {
+		id := id
+		m, err := sim.NewMux(sim.MuxConfig{
+			ID: id, N: n, Window: 1,
+			Instances: 3,
+			RoundsFor: func(inst int) int {
+				if inst == 1 && id == 0 {
+					return 1 // node 0's gear resolves short: divergence
+				}
+				return 3
+			},
+			Start: func(inst int) (sim.Instance, error) {
+				return &muxTag{inst: inst, n: n}, nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			mesh := JoinMesh(nodes[id])
+			defer func() { _ = mesh.Close() }()
+			_, err := fabric.Run(mesh, []*sim.Mux{m})
+			errs <- err
+		}()
+	}
+
+	sawWireGuard := false
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-errs:
+			if err != nil && strings.Contains(err.Error(), "sent frame") {
+				sawWireGuard = true
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("divergent multi-process mesh deadlocked")
+		}
+	}
+	if !sawWireGuard {
+		t.Fatal("no node reported the frame instance/round mismatch wire guard")
+	}
+}
+
+// TestMeshPerRoundStatsOptIn: the runtime's per-round trail over the
+// mesh mirrors the other fabrics' — opt-in, aggregates always on.
+func TestMeshPerRoundStatsOptIn(t *testing.T) {
 	const n, window = 3, 2
 	rounds := []int{2, 2, 2}
-	procs, _ := buildTagMuxes(t, n, window, rounds)
-	cluster, err := NewCluster(procs, WithPerRoundStats())
+	muxes, _ := buildTagMuxes(t, n, window, rounds)
+	mesh, err := NewMesh(n)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer cluster.Close()
-	stats, err := cluster.RunMux()
+	defer func() { _ = mesh.Close() }()
+	stats, err := fabric.Run(mesh, muxes, fabric.WithPerRoundStats())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,8 +15,9 @@
 //	uvarint(instance) uvarint(round) uvarint(len+1) payload...   // len+1 = 0 encodes "no message"
 //
 // The instance field lets one mesh carry a whole pipeline of concurrent
-// agreement instances (see Node.RunMux and sim.Mux); single-instance runs
-// use instance 0. Each ordered pair of nodes uses one direction of a
+// agreement instances (see Mesh and sim.Mux — the fabric runtime drives
+// multiplexed schedules over the mesh); single-instance runs use
+// instance 0. Each ordered pair of nodes uses one direction of a
 // dedicated connection, so per-destination (two-faced) payloads work
 // naturally.
 package transport
@@ -89,17 +90,30 @@ type peer struct {
 	w    *bufio.Writer
 }
 
-// Listen opens the node's listener on addr (e.g. "127.0.0.1:9001"). The
-// returned node must then Connect before Run.
+// Listen opens the node's listener on addr (e.g. "127.0.0.1:9001") for a
+// processor driven by the node's own Run loop. The returned node must
+// then Connect before Run.
 func Listen(proc sim.Processor, n int, addr string, opts ...Option) (*Node, error) {
-	if proc.ID() < 0 || proc.ID() >= n || n < 2 || n > 255 {
-		return nil, fmt.Errorf("transport: bad id/n: %d/%d", proc.ID(), n)
+	nd, err := ListenNode(proc.ID(), n, addr, opts...)
+	if err != nil {
+		return nil, err
+	}
+	nd.proc = proc
+	return nd, nil
+}
+
+// ListenNode opens a processor-less mesh node — the transport endpoint a
+// fabric drives (JoinMesh, NewMesh): the schedule lives with the caller,
+// the node only moves frames. The returned node must Connect before use.
+func ListenNode(id, n int, addr string, opts ...Option) (*Node, error) {
+	if id < 0 || id >= n || n < 2 || n > 255 {
+		return nil, fmt.Errorf("transport: bad id/n: %d/%d", id, n)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	nd := &Node{proc: proc, id: proc.ID(), n: n, ln: ln, peers: make([]*peer, n), dialRetry: defaultDialRetry}
+	nd := &Node{id: id, n: n, ln: ln, peers: make([]*peer, n), dialRetry: defaultDialRetry}
 	for _, opt := range opts {
 		opt(nd)
 	}
@@ -196,6 +210,9 @@ func dialWithRetry(addr string, retry time.Duration) (net.Conn, error) {
 // writerPool) — so the mesh cannot deadlock when a round's payload
 // exceeds the kernel socket buffers.
 func (nd *Node) Run(rounds int) (*sim.Stats, error) {
+	if nd.proc == nil {
+		return nil, fmt.Errorf("transport: node %d has no processor (built with ListenNode; drive it through a fabric instead)", nd.id)
+	}
 	if rounds < 1 {
 		return nil, fmt.Errorf("transport: round count %d must be positive", rounds)
 	}

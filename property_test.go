@@ -1,7 +1,9 @@
 package shiftgears_test
 
 import (
+	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -146,5 +148,86 @@ func TestPropertyDeterminism(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: count}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPropertyMemFabricMatchesSim is the fabric-equivalence property:
+// the mem fabric with a zero-fault plan — and even with its
+// invisible-by-construction stress (within-bound delay, within-tick
+// reorder) at full probability — produces byte-identical committed
+// logs, gear schedules (GearRuns output), tick counts, and traffic
+// totals to the sim fabric, across window × batch × gear-policy
+// combinations. The synchronous barrier must absorb everything the
+// zero-loss plan throws.
+func TestPropertyMemFabricMatchesSim(t *testing.T) {
+	policies := []struct {
+		name   string
+		policy shiftgears.GearPolicy
+	}{
+		{"static", nil},
+		{"downshift", shiftgears.Downshift{}},
+		{"blacklist", shiftgears.Blacklist{}},
+	}
+	plans := []struct {
+		name string
+		plan *shiftgears.Chaos
+	}{
+		{"zero-fault", &shiftgears.Chaos{Seed: 9}},
+		{"delay+reorder", &shiftgears.Chaos{Seed: 9, Delay: 1.0, Reorder: true}},
+	}
+	run := func(fabricName string, plan *shiftgears.Chaos, policy shiftgears.GearPolicy, window, batch int) *shiftgears.LogResult {
+		t.Helper()
+		cfg := shiftgears.LogConfig{
+			N: 13, T: 3, B: 3,
+			Slots: 13, Window: window, BatchSize: batch,
+			Faulty: []int{2, 5}, Strategy: "silent", Seed: 7,
+			Fabric: fabricName,
+		}
+		if fabricName == "mem" {
+			cfg.Chaos = plan
+		}
+		if policy == nil {
+			cfg.Algorithm = shiftgears.Exponential
+		} else {
+			cfg.GearPolicy = shiftgears.GearPolicyWithBase(policy, shiftgears.Exponential)
+		}
+		l, err := shiftgears.NewReplicatedLog(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < 26; c++ {
+			if err := l.Submit(c%13, shiftgears.Value(1+c%255)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := l.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Agreement {
+			t.Fatal("correct replicas committed diverging logs")
+		}
+		return res
+	}
+	for _, window := range []int{1, 4} {
+		for _, batch := range []int{1, 2} {
+			for _, pc := range policies {
+				sim := run("sim", nil, pc.policy, window, batch)
+				for _, pl := range plans {
+					name := fmt.Sprintf("w%d/b%d/%s/%s", window, batch, pc.name, pl.name)
+					mem := run("mem", pl.plan, pc.policy, window, batch)
+					if !reflect.DeepEqual(mem.Entries, sim.Entries) {
+						t.Fatalf("%s: mem fabric committed a different log than sim", name)
+					}
+					if got, want := shiftgears.GearRuns(mem.Gears), shiftgears.GearRuns(sim.Gears); got != want {
+						t.Fatalf("%s: gear schedules diverge: mem %s vs sim %s", name, got, want)
+					}
+					if mem.Ticks != sim.Ticks || mem.TotalBytes != sim.TotalBytes || mem.Messages != sim.Messages {
+						t.Fatalf("%s: mem stats diverge: ticks %d/%d bytes %d/%d msgs %d/%d",
+							name, mem.Ticks, sim.Ticks, mem.TotalBytes, sim.TotalBytes, mem.Messages, sim.Messages)
+					}
+				}
+			}
+		}
 	}
 }

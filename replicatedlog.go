@@ -8,12 +8,25 @@ import (
 	"shiftgears/internal/core"
 	"shiftgears/internal/eigtree"
 	"shiftgears/internal/extensions"
+	"shiftgears/internal/fabric"
 	"shiftgears/internal/rsm"
 	"shiftgears/internal/sim"
 )
 
 // LogEntry is one committed slot of a replicated log.
 type LogEntry = rsm.Entry
+
+// Chaos is a deterministic fault schedule for the "mem" fabric: seeded
+// per-link drops and late frames on victim nodes, within-bound delivery
+// jitter, partitions that heal, and crash/restart windows. See
+// fabric.Plan for the semantics and the fault-model caveats.
+type Chaos = fabric.Plan
+
+// ChaosPartition is one tick-ranged network split of a Chaos plan.
+type ChaosPartition = fabric.Partition
+
+// ChaosCrash is one tick-ranged single-node outage of a Chaos plan.
+type ChaosCrash = fabric.Crash
 
 // LogConfig describes a replicated log: a pipeline of agreement slots,
 // each slot batching client commands under a rotating source, executed by
@@ -45,10 +58,27 @@ type LogConfig struct {
 	Faulty   []int
 	Strategy string
 	Seed     int64
-	// Parallel selects the goroutine-per-processor sim engine; TCP runs
-	// the whole pipeline over a loopback TCP mesh instead.
+	// Parallel fans the drive loop's per-replica work across goroutines.
 	Parallel bool
-	TCP      bool
+	// Fabric selects the substrate the pipeline runs over: "sim" (or
+	// empty — the in-process fabric), "mem" (the fault-injecting
+	// in-memory fabric, configured by Chaos), or "tcp" (a loopback TCP
+	// mesh). All fabrics run the same drive loop and commit the same
+	// logs on fault-free schedules.
+	Fabric string
+	// TCP is the legacy spelling of Fabric: "tcp".
+	TCP bool
+	// Chaos is the "mem" fabric's fault plan (nil = fault-free, which is
+	// byte-identical to "sim"). Replicas the plan's omission-class
+	// faults touch (Chaos.Affected) are degraded beyond the fault
+	// model's guarantee, so they are excluded from the agreement check
+	// like Byzantine replicas and reported in LogResult.ChaosVictims;
+	// keeping len(Affected ∪ Faulty) ≤ T keeps the run inside the
+	// paper's model, where the remaining replicas must agree. On a
+	// gear-scheduled log every affected replica must also be listed in
+	// Faulty: an honest replica with a degraded prefix would resolve
+	// divergent gears.
+	Chaos *Chaos
 }
 
 // LogResult reports a completed replicated-log run.
@@ -76,10 +106,15 @@ type LogResult struct {
 	// about the committed prefix; check Pending for liveness.
 	Pending int
 
-	// Traffic counters. In sim mode they aggregate every delivery
-	// cluster-wide (one combined multi-slot payload per sender per tick);
-	// in TCP mode they count only the per-slot frames replica 0 received,
-	// so the two modes' numbers are not directly comparable.
+	// ChaosVictims lists the replicas the Chaos plan's omission-class
+	// faults touched: their local logs are degraded beyond the fault
+	// model's guarantee, so Agreement is checked over the rest.
+	ChaosVictims []int
+
+	// Traffic counters, fabric-uniform: every fabric counts the
+	// per-instance frames delivered to the replicas it hosts
+	// (cluster-wide on sim/mem/loopback-tcp), so the fabrics' numbers
+	// are directly comparable.
 	MaxMessageBytes, TotalBytes, Messages int
 }
 
@@ -88,6 +123,8 @@ type LogResult struct {
 type ReplicatedLog struct {
 	cfg      LogConfig
 	faulty   map[int]bool
+	affected []int // chaos victims, excluded from the agreement check
+	mem      *fabric.Mem
 	replicas []*rsm.Replica
 	ran      bool
 
@@ -221,6 +258,27 @@ func NewReplicatedLog(cfg LogConfig, opts ...LogOption) (*ReplicatedLog, error) 
 		stratName = "splitbrain"
 	}
 
+	// Normalize and validate the fabric selection.
+	fabricName := cfg.Fabric
+	if fabricName == "" {
+		fabricName = "sim"
+	}
+	if cfg.TCP {
+		if cfg.Fabric != "" && cfg.Fabric != "tcp" {
+			return nil, fmt.Errorf("shiftgears: TCP conflicts with Fabric %q", cfg.Fabric)
+		}
+		fabricName = "tcp"
+	}
+	switch fabricName {
+	case "sim", "mem", "tcp":
+	default:
+		return nil, fmt.Errorf("shiftgears: unknown fabric %q (want sim, mem, or tcp)", fabricName)
+	}
+	if cfg.Chaos != nil && fabricName != "mem" {
+		return nil, fmt.Errorf("shiftgears: Chaos requires the mem fabric, not %q", fabricName)
+	}
+	cfg.Fabric = fabricName
+
 	var o logOptions
 	for _, opt := range opts {
 		opt(&o)
@@ -230,6 +288,44 @@ func NewReplicatedLog(cfg LogConfig, opts ...LogOption) (*ReplicatedLog, error) 
 		cfg: cfg, faulty: faulty,
 		replicas: make([]*rsm.Replica, cfg.N),
 		gears:    make([]Algorithm, cfg.Slots),
+	}
+	if fabricName == "mem" {
+		plan := Chaos{}
+		if cfg.Chaos != nil {
+			plan = *cfg.Chaos
+		}
+		mem, err := fabric.NewMem(cfg.N, plan)
+		if err != nil {
+			return nil, fmt.Errorf("shiftgears: %w", err)
+		}
+		l.mem = mem
+		l.affected = plan.Affected()
+		unaffectedCorrect := 0
+		for id := 0; id < cfg.N; id++ {
+			hit := faulty[id]
+			for _, v := range l.affected {
+				if v == id {
+					hit = true
+				}
+			}
+			if !hit {
+				unaffectedCorrect++
+			}
+		}
+		if unaffectedCorrect == 0 {
+			return nil, fmt.Errorf("shiftgears: chaos plan and faulty set cover all %d replicas: no unaffected correct replica left to agree", cfg.N)
+		}
+		// A chaos-degraded but honest replica holds a degraded committed
+		// prefix; on a gear-scheduled log it would resolve divergent gears
+		// and kill the run, so the plan's victims must be Byzantine-
+		// configured (whose gear handling already runs on shadow state).
+		if cfg.GearPolicy != nil {
+			for _, v := range l.affected {
+				if !faulty[v] {
+					return nil, fmt.Errorf("shiftgears: gear-scheduled log: chaos victim %d must also be in Faulty (a degraded honest prefix diverges the gear schedule)", v)
+				}
+			}
+		}
 	}
 
 	rcfg := rsm.Config{
@@ -341,9 +437,10 @@ func (l *ReplicatedLog) Submit(receiver int, cmd Value) error {
 // and Pending count).
 func (l *ReplicatedLog) Replica(id int) *rsm.Replica { return l.replicas[id] }
 
-// Run executes the full pipeline — in-process, or over a loopback TCP
-// mesh with LogConfig.TCP — and reports the committed logs. It can run
-// once.
+// Run executes the full pipeline over the configured fabric — the
+// in-process router, the chaos network, or a loopback TCP mesh, all
+// through the same drive loop — and reports the committed logs. It can
+// run once.
 func (l *ReplicatedLog) Run() (*LogResult, error) {
 	if l.ran {
 		return nil, fmt.Errorf("shiftgears: log already ran")
@@ -355,9 +452,12 @@ func (l *ReplicatedLog) Run() (*LogResult, error) {
 
 	var stats *sim.Stats
 	var err error
-	if l.cfg.TCP {
+	switch l.cfg.Fabric {
+	case "tcp":
 		stats, err = rsm.RunTCP(l.replicas)
-	} else {
+	case "mem":
+		stats, err = rsm.Run(l.mem, l.replicas, l.cfg.Parallel)
+	default:
 		stats, err = rsm.RunSim(l.replicas, l.cfg.Parallel)
 	}
 	if err != nil {
@@ -366,6 +466,7 @@ func (l *ReplicatedLog) Run() (*LogResult, error) {
 
 	res := &LogResult{
 		Agreement:       true,
+		ChaosVictims:    append([]int(nil), l.affected...),
 		Ticks:           stats.Rounds,
 		MaxMessageBytes: stats.MaxPayload,
 		TotalBytes:      stats.Bytes,
@@ -383,9 +484,16 @@ func (l *ReplicatedLog) Run() (*LogResult, error) {
 	res.Gears = append([]Algorithm(nil), l.gears...)
 	l.gearMu.Unlock()
 
+	affected := make(map[int]bool, len(l.affected))
+	for _, v := range l.affected {
+		affected[v] = true
+	}
 	var ref []LogEntry
 	for id, rep := range l.replicas {
-		if l.faulty[id] {
+		// Byzantine replicas run shadow state; chaos victims run honest
+		// state over a network degraded beyond the fault model's
+		// guarantee. Neither's log is checked.
+		if l.faulty[id] || affected[id] {
 			continue
 		}
 		if err := rep.Err(); err != nil {

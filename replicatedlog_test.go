@@ -198,3 +198,106 @@ func TestReplicatedLogValidation(t *testing.T) {
 		t.Error("second Run accepted")
 	}
 }
+
+// TestReplicatedLogChaosFabric is the chaos acceptance run at the public
+// API: a seeded mem-fabric plan drops frames from one victim and
+// partitions it away for a window that heals mid-log. Every slot still
+// commits, the unaffected correct replicas agree, and the victim is
+// reported rather than silently trusted.
+func TestReplicatedLogChaosFabric(t *testing.T) {
+	cfg := shiftgears.LogConfig{
+		Algorithm: shiftgears.Exponential,
+		N:         7, T: 2,
+		Slots: 14, Window: 4, BatchSize: 2,
+		Fabric: "mem",
+		Chaos: &shiftgears.Chaos{
+			Seed:    1,
+			Victims: []int{5},
+			Drop:    0.3,
+			Partitions: []shiftgears.ChaosPartition{
+				{From: 4, Until: 10, Group: []int{5}},
+			},
+		},
+	}
+	l, err := shiftgears.NewReplicatedLog(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 28; c++ {
+		if err := l.Submit(c%7, shiftgears.Value(1+c%255)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement {
+		t.Fatal("unaffected correct replicas committed diverging logs under chaos")
+	}
+	if len(res.Entries) != cfg.Slots {
+		t.Fatalf("committed %d slots under chaos, want %d", len(res.Entries), cfg.Slots)
+	}
+	if len(res.ChaosVictims) != 1 || res.ChaosVictims[0] != 5 {
+		t.Fatalf("ChaosVictims = %v, want [5]", res.ChaosVictims)
+	}
+	// Slots sourced outside the victim must carry their commands despite
+	// the ambient chaos.
+	for _, e := range res.Entries {
+		if e.Source != 5 && len(e.Commands) == 0 {
+			t.Fatalf("slot %d (source %d) lost its commands to chaos aimed at node 5", e.Slot, e.Source)
+		}
+	}
+}
+
+// TestReplicatedLogFabricValidation pins the fabric-selection rules.
+func TestReplicatedLogFabricValidation(t *testing.T) {
+	base := shiftgears.LogConfig{Algorithm: shiftgears.Exponential, N: 4, T: 1, Slots: 2}
+
+	cfg := base
+	cfg.Fabric = "carrier-pigeon"
+	if _, err := shiftgears.NewReplicatedLog(cfg); err == nil {
+		t.Error("unknown fabric accepted")
+	}
+	cfg = base
+	cfg.TCP = true
+	cfg.Fabric = "mem"
+	if _, err := shiftgears.NewReplicatedLog(cfg); err == nil {
+		t.Error("TCP + Fabric=mem conflict accepted")
+	}
+	cfg = base
+	cfg.Chaos = &shiftgears.Chaos{Seed: 1}
+	if _, err := shiftgears.NewReplicatedLog(cfg); err == nil {
+		t.Error("Chaos without the mem fabric accepted")
+	}
+	cfg = base
+	cfg.Fabric = "mem"
+	cfg.Chaos = &shiftgears.Chaos{Victims: []int{0, 1, 2, 3}, Drop: 0.5}
+	if _, err := shiftgears.NewReplicatedLog(cfg); err == nil {
+		t.Error("chaos plan covering every replica accepted")
+	}
+	cfg = base
+	cfg.Fabric = "mem"
+	cfg.GearPolicy = shiftgears.GearPolicyWithBase(shiftgears.Blacklist{}, shiftgears.Exponential)
+	cfg.Algorithm = 0
+	cfg.Chaos = &shiftgears.Chaos{Victims: []int{1}, Drop: 0.5}
+	if _, err := shiftgears.NewReplicatedLog(cfg); err == nil {
+		t.Error("gear-scheduled log with an honest chaos victim accepted")
+	}
+	// The same victim Byzantine-configured is fine: its gear handling
+	// already runs on shadow state.
+	cfg.Faulty = []int{1}
+	if _, err := shiftgears.NewReplicatedLog(cfg); err != nil {
+		t.Errorf("gear-scheduled log with a Byzantine chaos victim rejected: %v", err)
+	}
+	// Fabric "mem" with no plan is the zero-fault chaos fabric.
+	cfg = base
+	cfg.Fabric = "mem"
+	log, err := shiftgears.NewReplicatedLog(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := log.Run(); err != nil || !res.Agreement {
+		t.Fatalf("zero-fault mem run: res=%+v err=%v", res, err)
+	}
+}
