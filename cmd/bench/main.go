@@ -3,14 +3,21 @@
 // network, a loopback TCP mesh) — and writes a BENCH_*.json trajectory
 // file, so every change to the engine leaves a comparable perf record:
 //
-//	bench -out BENCH_5.json          # the full matrix (~seconds)
+//	bench -out BENCH_6.json          # the full matrix (~seconds)
 //	bench -short -out bench.json     # CI smoke: three small cases
 //
 // Per case it records committed commands, ticks, cmds/tick, wall time,
-// message/byte totals, and the heap allocation count across the run
-// (runtime.MemStats.Mallocs delta) — the allocs/tick trend is the mux hot
-// path's scorecard. See the README's Performance section for the schema
-// and the current numbers.
+// message/byte totals, submit→commit latency percentiles (in ticks), and
+// the heap allocation count across the run (runtime.MemStats.Mallocs
+// delta) — the allocs/tick trend is the mux hot path's scorecard. Cases
+// with "traced" run the same workload with the full flight-recorder sink
+// stack installed, pricing the tracer against its untraced twin. See the
+// README's Performance section for the schema and the current numbers.
+//
+// -guard compares two trajectory files and fails when the sim-fabric
+// allocs/tick regress, which is what CI runs on every change:
+//
+//	bench -guard BENCH_5.json -in BENCH_6.json
 package main
 
 import (
@@ -40,6 +47,10 @@ type Case struct {
 	Faulty   []int  `json:"faulty,omitempty"`
 	Strategy string `json:"strategy,omitempty"`
 	Cmds     int    `json:"cmds"`
+	// Traced runs the case with the flight recorder's full sink stack
+	// (ring + metrics + JSONL to io.Discard) installed, so the matrix
+	// prices tracing against the untraced twin case.
+	Traced bool `json:"traced,omitempty"`
 }
 
 // Result is a Case plus its measurements.
@@ -56,11 +67,18 @@ type Result struct {
 	Allocs          uint64  `json:"allocs"`
 	AllocsPerTick   float64 `json:"allocs_per_tick"`
 	WallMS          float64 `json:"wall_ms"`
+	// Submit→commit latency in synchronous ticks, merged across the
+	// correct replicas' source-side histograms.
+	LatencyMean float64 `json:"latency_mean_ticks"`
+	LatencyP50  int     `json:"latency_p50_ticks"`
+	LatencyP90  int     `json:"latency_p90_ticks"`
+	LatencyP99  int     `json:"latency_p99_ticks"`
+	LatencyMax  int     `json:"latency_max_ticks"`
 }
 
-// File is the BENCH_*.json schema ("shiftgears-bench/v2": v1 plus the
-// fabric dimension in mode/chaos, with traffic counters now
-// fabric-uniform — frames delivered to all hosted replicas).
+// File is the BENCH_*.json schema ("shiftgears-bench/v3": v2 plus
+// commit-latency percentiles per case and the traced dimension —
+// flight-recorder-on twin cases that price the tracer).
 type File struct {
 	Schema    string   `json:"schema"`
 	Generated string   `json:"generated"`
@@ -112,6 +130,12 @@ func matrix(short bool) []Case {
 		{Name: "tcp-seq", Mode: "tcp", N: 4, T: 1, Window: 1, Batch: 1, Alg: "exponential", Cmds: 32},
 		{Name: "tcp-both", Mode: "tcp", N: 4, T: 1, Window: 4, Batch: 4, Alg: "exponential", Cmds: 32},
 		{Name: "tcp-n7", Mode: "tcp", N: 7, T: 2, Window: 4, Batch: 4, Alg: "exponential", Cmds: 96},
+		// The flight recorder priced against its untraced twins: "both" and
+		// "mem-chaos" rerun with every sink attached. The tracer's cost IS
+		// these deltas; the nil-tracer overhead is bounded separately by
+		// BenchmarkFabricTick staying at 0 allocs/tick.
+		{Name: "both-traced", Mode: "sim", N: 7, T: 2, Window: 4, Batch: 4, Alg: "exponential", Cmds: 96, Traced: true},
+		{Name: "mem-chaos-traced", Mode: "mem", Chaos: true, N: 7, T: 2, Window: 4, Batch: 4, Alg: "exponential", Cmds: 96, Traced: true},
 	}
 	return cases
 }
@@ -160,6 +184,13 @@ func runCase(c Case) (Result, error) {
 		}
 		lcfg.GearPolicy = shiftgears.GearPolicyWithBase(policy, alg)
 	}
+	if c.Traced {
+		lcfg.Tracer = shiftgears.TraceTee(
+			shiftgears.NewTraceRing(0),
+			shiftgears.NewTraceMetrics(),
+			shiftgears.NewTraceJSONL(io.Discard),
+		)
+	}
 	log, err := shiftgears.NewReplicatedLog(lcfg)
 	if err != nil {
 		return Result{}, err
@@ -197,21 +228,43 @@ func runCase(c Case) (Result, error) {
 		Allocs:          allocs,
 		AllocsPerTick:   float64(allocs) / float64(res.Ticks),
 		WallMS:          float64(elapsed.Microseconds()) / 1000,
+		LatencyMean:     res.Latency.Mean,
+		LatencyP50:      res.Latency.P50,
+		LatencyP90:      res.Latency.P90,
+		LatencyP99:      res.Latency.P99,
+		LatencyMax:      res.Latency.Max,
 	}, nil
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	var (
-		outPath = fs.String("out", "", "write the bench JSON to this file (default stdout only)")
-		short   = fs.Bool("short", false, "CI smoke: three small cases")
+		outPath  = fs.String("out", "", "write the bench JSON to this file (default stdout only)")
+		short    = fs.Bool("short", false, "CI smoke: three small cases")
+		guardPth = fs.String("guard", "", "baseline BENCH_*.json: fail if sim allocs/tick regress against it")
+		inPath   = fs.String("in", "", "with -guard: compare this trajectory file instead of running the matrix")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *inPath != "" && *guardPth == "" {
+		return fmt.Errorf("-in only makes sense with -guard")
+	}
+	if *guardPth != "" && *inPath != "" {
+		// Pure compare mode: no runs, just the two files.
+		baseline, err := readFile(*guardPth)
+		if err != nil {
+			return err
+		}
+		candidate, err := readFile(*inPath)
+		if err != nil {
+			return err
+		}
+		return guard(out, *guardPth, baseline, *inPath, candidate)
+	}
 
 	file := File{
-		Schema:    "shiftgears-bench/v2",
+		Schema:    "shiftgears-bench/v3",
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Go:        runtime.Version(),
 	}
@@ -235,9 +288,69 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "bench: wrote %s (%d cases)\n", *outPath, len(file.Results))
-	} else {
-		_, err = out.Write(blob)
-		return err
+	} else if *guardPth == "" {
+		if _, err := out.Write(blob); err != nil {
+			return err
+		}
 	}
+	if *guardPth != "" {
+		baseline, err := readFile(*guardPth)
+		if err != nil {
+			return err
+		}
+		return guard(out, *guardPth, baseline, "this run", file)
+	}
+	return nil
+}
+
+func readFile(path string) (File, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	var f File
+	if err := json.Unmarshal(blob, &f); err != nil {
+		return File{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// guard compares the candidate's sim-fabric allocation rates against the
+// baseline's, case by case (matched by name), and fails on regression.
+// Only the sim fabric guards: its allocs/tick is deterministic
+// engine-owned work, while tcp counts transport goroutines and wall-clock
+// scheduling noise. The tolerance — 10% plus one alloc/tick — absorbs
+// measurement jitter on runs short enough for CI.
+func guard(out io.Writer, basePath string, baseline File, candPath string, candidate File) error {
+	byName := make(map[string]Result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		byName[r.Name] = r
+	}
+	compared, failed := 0, 0
+	for _, r := range candidate.Results {
+		if r.Mode != "sim" || r.Traced {
+			continue
+		}
+		base, ok := byName[r.Name]
+		if !ok || base.Mode != "sim" {
+			continue
+		}
+		compared++
+		limit := base.AllocsPerTick*1.10 + 1
+		status := "ok"
+		if r.AllocsPerTick > limit {
+			status = "REGRESSED"
+			failed++
+		}
+		fmt.Fprintf(out, "bench: guard %-18s %8.1f -> %8.1f allocs/tick (limit %8.1f) %s\n",
+			r.Name, base.AllocsPerTick, r.AllocsPerTick, limit, status)
+	}
+	if compared == 0 {
+		return fmt.Errorf("guard: no comparable sim cases between %s and %s", basePath, candPath)
+	}
+	if failed > 0 {
+		return fmt.Errorf("guard: %d of %d sim cases regressed allocs/tick vs %s", failed, compared, basePath)
+	}
+	fmt.Fprintf(out, "bench: guard passed, %d sim cases within limits of %s\n", compared, basePath)
 	return nil
 }

@@ -30,7 +30,7 @@ func TestBenchShortWritesValidJSON(t *testing.T) {
 	if err := json.Unmarshal(blob, &file); err != nil {
 		t.Fatalf("bench JSON does not parse: %v", err)
 	}
-	if file.Schema != "shiftgears-bench/v2" {
+	if file.Schema != "shiftgears-bench/v3" {
 		t.Fatalf("schema = %q", file.Schema)
 	}
 	if len(file.Results) != 3 {
@@ -54,6 +54,9 @@ func TestBenchShortWritesValidJSON(t *testing.T) {
 		if r.Allocs == 0 || r.WallMS <= 0 {
 			t.Fatalf("case %s has empty cost measurements: %+v", r.Name, r)
 		}
+		if r.Committed > 0 && (r.LatencyP50 < 1 || r.LatencyMax < r.LatencyP50 || r.LatencyP99 > r.LatencyMax) {
+			t.Fatalf("case %s has implausible latency percentiles: %+v", r.Name, r)
+		}
 	}
 	if !modes["sim"] || !modes["mem"] || !modes["tcp"] {
 		t.Fatalf("short matrix must cover all three fabrics, got %v", modes)
@@ -66,5 +69,61 @@ func TestBenchRejectsBadFlags(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-definitely-not-a-flag"}, &buf); err == nil {
 		t.Fatal("unknown flag accepted")
+	}
+	if err := run([]string{"-in", "x.json"}, &buf); err == nil {
+		t.Fatal("-in without -guard accepted")
+	}
+}
+
+// TestBenchGuard: the compare mode passes identical trajectories, fails a
+// sim allocs/tick regression beyond the tolerance, and ignores tcp noise.
+func TestBenchGuard(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, f File) string {
+		t.Helper()
+		blob, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	mk := func(name, mode string, apt float64) Result {
+		return Result{Case: Case{Name: name, Mode: mode}, AllocsPerTick: apt}
+	}
+	baseline := File{Schema: "shiftgears-bench/v3", Results: []Result{
+		mk("seq", "sim", 100), mk("both", "sim", 50), mk("tcp-seq", "tcp", 500),
+	}}
+	basePath := write("base.json", baseline)
+
+	same := write("same.json", baseline)
+	var buf bytes.Buffer
+	if err := run([]string{"-guard", basePath, "-in", same}, &buf); err != nil {
+		t.Fatalf("identical trajectories failed the guard: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "guard passed") {
+		t.Fatalf("no pass summary:\n%s", buf.String())
+	}
+
+	// A 50% sim regression fails; a huge tcp swing alone would not.
+	regressed := write("regressed.json", File{Schema: "shiftgears-bench/v3", Results: []Result{
+		mk("seq", "sim", 150), mk("both", "sim", 50), mk("tcp-seq", "tcp", 5000),
+	}})
+	buf.Reset()
+	if err := run([]string{"-guard", basePath, "-in", regressed}, &buf); err == nil {
+		t.Fatalf("regression passed the guard:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSED") {
+		t.Fatalf("no regression line:\n%s", buf.String())
+	}
+
+	tcpOnly := write("tcponly.json", File{Schema: "shiftgears-bench/v3", Results: []Result{
+		mk("tcp-seq", "tcp", 5000),
+	}})
+	if err := run([]string{"-guard", basePath, "-in", tcpOnly}, &bytes.Buffer{}); err == nil {
+		t.Fatal("guard passed with zero comparable sim cases")
 	}
 }

@@ -21,6 +21,12 @@
 // schedules are reproducible load tests:
 //
 //	logload -n 7 -t 2 -fabric mem -seed 1 -victims 5 -drop 0.3 -partition 5@4:10
+//
+// -trace streams the run's flight-recorder events (ticks, gear
+// decisions, commits, per-link traffic, every seeded fault) to a JSONL
+// file that cmd/tracecheck can audit:
+//
+//	logload -fabric mem -victims 5 -drop 0.3 -trace run.jsonl
 package main
 
 import (
@@ -67,6 +73,7 @@ func run(args []string, out io.Writer) error {
 		reorder  = fs.Bool("reorder", false, "mem fabric: shuffle within-tick delivery order (must be invisible)")
 		partCS   = fs.String("partition", "", "mem fabric: partitions as ids@from:until (e.g. 2,5@4:10), comma-free ranges, semicolon-separated")
 		crashCS  = fs.String("crash", "", "mem fabric: crash windows as id@from:until, semicolon-separated")
+		tracePth = fs.String("trace", "", "write the flight-recorder trace to this JSONL file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,6 +131,23 @@ func run(args []string, out io.Writer) error {
 		// -alg is the gear the log starts in; the policy picks the rest.
 		lcfg.GearPolicy = shiftgears.GearPolicyWithBase(policy, alg)
 	}
+	// -trace installs the flight recorder: a JSONL sink on the file, plus
+	// a counting sink so the summary line below has totals.
+	var (
+		traceJSONL   *shiftgears.TraceJSONL
+		traceMetrics *shiftgears.TraceMetrics
+	)
+	if *tracePth != "" {
+		traceFile, err := os.Create(*tracePth)
+		if err != nil {
+			return err
+		}
+		// The JSONL sink owns the file: its Close closes the writer too.
+		traceJSONL = shiftgears.NewTraceJSONL(traceFile)
+		defer func() { _ = traceJSONL.Close() }()
+		traceMetrics = shiftgears.NewTraceMetrics()
+		lcfg.Tracer = shiftgears.TraceTee(traceJSONL, traceMetrics)
+	}
 	log, err := shiftgears.NewReplicatedLog(lcfg)
 	if err != nil {
 		return err
@@ -159,6 +183,20 @@ func run(args []string, out io.Writer) error {
 		res.Committed, res.Ticks, res.SequentialTicks, speedup)
 	fmt.Fprintf(out, "logload: %.2f commands/tick, %.0f commands/sec, %d msgs, %d bytes, max frame %dB, wall %v\n",
 		perTick, perSec, res.Messages, res.TotalBytes, res.MaxMessageBytes, elapsed.Round(time.Millisecond))
+	if res.Latency.Count > 0 {
+		fmt.Fprintf(out, "logload: commit latency %s\n", res.Latency)
+	}
+	if traceJSONL != nil {
+		if err := traceJSONL.Close(); err != nil {
+			return fmt.Errorf("trace %s: %w", *tracePth, err)
+		}
+		var chaosEvents uint64
+		for _, c := range traceMetrics.ChaosCounts() {
+			chaosEvents += c
+		}
+		fmt.Fprintf(out, "logload: trace %s: %d commits, %d gear decisions, %d chaos events over %d ticks\n",
+			*tracePth, traceMetrics.Commits(), traceMetrics.CountOf(shiftgears.TraceGearResolved), chaosEvents, traceMetrics.Ticks())
+	}
 	if *gears != "" {
 		fmt.Fprintf(out, "logload: gear schedule %s\n", shiftgears.GearRuns(res.Gears))
 	}

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"shiftgears"
 )
 
 func TestLogLoadSim(t *testing.T) {
@@ -68,6 +72,49 @@ func TestLogLoadMemFabric(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "chaos victims [5]") {
 		t.Fatalf("chaos victims not reported:\n%s", out.String())
+	}
+}
+
+// TestLogLoadTrace: -trace leaves a parseable JSONL flight record whose
+// chaos events are nonzero under a lossy plan, and the latency summary
+// line is printed.
+func TestLogLoadTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	var out strings.Builder
+	err := run([]string{
+		"-n", "7", "-t", "2", "-cmds", "28", "-window", "4", "-batch", "2",
+		// The victim must not be the silent Byzantine replica — silence
+		// leaves no outbound frames to drop, hence no chaos events.
+		"-fabric", "mem", "-seed", "1", "-victims", "4", "-drop", "0.3",
+		"-faulty", "5", "-strategy", "silent",
+		"-trace", path,
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "commit latency") {
+		t.Fatalf("no latency summary:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "chaos events") {
+		t.Fatalf("no trace summary:\n%s", out.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	events, err := shiftgears.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos := 0
+	for _, ev := range events {
+		if ev.Type.Chaos() {
+			chaos++
+		}
+	}
+	if chaos == 0 {
+		t.Fatalf("lossy plan left no chaos events in %d-event trace", len(events))
 	}
 }
 

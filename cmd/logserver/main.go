@@ -14,12 +14,22 @@
 //
 // Each process prints its committed log; correct replicas print identical
 // logs, slot by slot.
+//
+// -debug serves the live observability surface while the replica runs —
+// /metrics (Prometheus text), /debug/vars (expvar), /debug/pprof,
+// /debug/gears (gear schedule + chaos history), /debug/trace (retained
+// events) — and -linger keeps it up after the run so the final state can
+// be scraped. -trace streams the same events to a JSONL file:
+//
+//	logserver -id 0 ... -debug 127.0.0.1:8080 -linger 1m -trace rep0.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -27,6 +37,7 @@ import (
 
 	"shiftgears"
 	"shiftgears/internal/fabric"
+	"shiftgears/internal/obs"
 	"shiftgears/internal/rsm"
 	"shiftgears/internal/sim"
 	"shiftgears/internal/transport"
@@ -55,6 +66,9 @@ func run(args []string, out io.Writer) error {
 		byzantine = fs.String("byzantine", "", "run THIS replica Byzantine with the given strategy")
 		seed      = fs.Int64("seed", 1, "adversary seed")
 		retry     = fs.Duration("retry", 10*time.Second, "how long to retry dialing peers at startup")
+		debug     = fs.String("debug", "", "serve the live debug surface (/metrics, /debug/...) on this address")
+		linger    = fs.Duration("linger", 0, "keep the debug surface up this long after the run")
+		tracePth  = fs.String("trace", "", "write the flight-recorder trace to this JSONL file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,10 +83,35 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("%d addresses for n=%d", len(addrs), *n)
 	}
 
+	// The flight recorder: ring + counting sinks back the -debug surface,
+	// the JSONL sink streams to disk; all of it is off (nil tracer, zero
+	// overhead) unless asked for.
+	var (
+		sinks   []obs.Tracer
+		ring    *obs.Ring
+		metrics *obs.Metrics
+	)
+	if *debug != "" {
+		ring = obs.NewRing(0)
+		metrics = obs.NewMetrics()
+		sinks = append(sinks, ring, metrics)
+	}
+	if *tracePth != "" {
+		f, err := os.Create(*tracePth)
+		if err != nil {
+			return err
+		}
+		jsonl := obs.NewJSONL(f) // owns f; Close flushes and closes it
+		defer func() { _ = jsonl.Close() }()
+		sinks = append(sinks, jsonl)
+	}
+	tracer := obs.Tee(sinks...)
+
 	// Slots with the same source share one compiled protocol.
 	protos := make(map[int]rsm.Protocol)
 	cfg := rsm.Config{
 		N: *n, Slots: *slots, Window: *window, BatchSize: *batch,
+		Tracer: tracer,
 		Protocol: func(slot, source int) (rsm.Protocol, error) {
 			if p, ok := protos[source]; ok {
 				return p, nil
@@ -109,6 +148,26 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	if *debug != "" {
+		ln, err := net.Listen("tcp", *debug)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = ln.Close() }()
+		handler := obs.NewHandler(obs.DebugState{
+			Metrics: metrics, Ring: ring, Latency: rep.Latency(),
+			Info: func() map[string]any {
+				return map[string]any{
+					"replica": *id, "n": *n, "t": *t, "alg": alg.String(),
+					"slots": *slots, "window": *window, "batch": *batch,
+					"fabric": "tcp", "addr": addrs[*id],
+				}
+			},
+		})
+		go func() { _ = http.Serve(ln, handler) }()
+		fmt.Fprintf(out, "replica %d: debug surface on http://%s/\n", *id, ln.Addr())
+	}
+
 	node, err := transport.ListenNode(*id, *n, addrs[*id], transport.WithDialRetry(*retry))
 	if err != nil {
 		return err
@@ -125,8 +184,11 @@ func run(args []string, out io.Writer) error {
 	// replica's schedule over it, exactly the loop every other fabric runs.
 	mesh := transport.JoinMesh(node)
 	defer func() { _ = mesh.Close() }()
-	stats, err := fabric.Run(mesh, []*sim.Mux{rep.Mux()},
-		fabric.WithMaxTicks(rep.TotalTicks()))
+	runOpts := []fabric.Option{fabric.WithMaxTicks(rep.TotalTicks())}
+	if tracer != nil {
+		runOpts = append(runOpts, fabric.WithTracer(tracer))
+	}
+	stats, err := fabric.Run(mesh, []*sim.Mux{rep.Mux()}, runOpts...)
 	if err != nil {
 		// Seal the replica so any Committed consumers unblock with the
 		// log cut short, then surface the mesh error.
@@ -142,5 +204,17 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "replica %d: COMMITTED %d commands in %d slots over %d ticks (snapshot %v)\n",
 		*id, len(rep.Snapshot()), *slots, stats.Rounds, rep.Snapshot())
+	// Latency is per-replica (each samples the commands it sourced), so
+	// only print it when observability was asked for — the default output
+	// stays identical across correct replicas, snapshot line last.
+	if *debug != "" || *tracePth != "" {
+		if s := rep.Latency().Summarize(); s.Count > 0 {
+			fmt.Fprintf(out, "replica %d: commit latency %s\n", *id, s)
+		}
+	}
+	if *debug != "" && *linger > 0 {
+		fmt.Fprintf(out, "replica %d: lingering %v for the debug surface\n", *id, *linger)
+		time.Sleep(*linger)
+	}
 	return nil
 }

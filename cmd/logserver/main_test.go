@@ -2,10 +2,17 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"net"
+	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
+
+	"shiftgears/internal/obs"
 )
 
 // reservePorts grabs n ephemeral loopback ports and releases them, so the
@@ -83,6 +90,100 @@ func TestLogServerEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(outs[3].String(), "BYZANTINE (splitbrain)") {
 		t.Error("byzantine banner missing")
+	}
+}
+
+// TestLogServerDebugSurface: a replica started with -debug serves live
+// metrics while the mesh runs, and -trace leaves a parseable JSONL
+// flight record covering the whole schedule.
+func TestLogServerDebugSurface(t *testing.T) {
+	const n, slots = 4, 8
+	addrs := reservePorts(t, n)
+	debugAddr := reservePorts(t, 1)[0]
+	tracePath := filepath.Join(t.TempDir(), "rep0.jsonl")
+	list := strings.Join(addrs, ",")
+
+	cmds := []string{"11,12,13", "21", "", ""}
+	var wg sync.WaitGroup
+	outs := make([]strings.Builder, n)
+	errs := make([]error, n)
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			args := []string{
+				"-id", fmt.Sprint(id), "-n", "4", "-t", "1",
+				"-slots", fmt.Sprint(slots), "-window", "2", "-batch", "2",
+				"-addrs", list, "-cmds", cmds[id],
+			}
+			if id == 0 {
+				args = append(args, "-debug", debugAddr, "-linger", "2s", "-trace", tracePath)
+			}
+			errs[id] = run(args, &outs[id])
+		}(id)
+	}
+
+	// Scrape the surface while replica 0 is up (run + linger window).
+	deadline := time.Now().Add(10 * time.Second)
+	var metricsBody string
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + debugAddr + "/metrics")
+		if err == nil {
+			b, _ := io.ReadAll(resp.Body)
+			_ = resp.Body.Close()
+			metricsBody = string(b)
+			if strings.Contains(metricsBody, fmt.Sprintf("shiftgears_commits_total %d", slots)) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !strings.Contains(metricsBody, fmt.Sprintf("shiftgears_commits_total %d", slots)) {
+		t.Fatalf("/metrics never showed %d commits:\n%s", slots, metricsBody)
+	}
+	if !strings.Contains(metricsBody, "shiftgears_commit_latency_ticks_count") {
+		t.Errorf("/metrics missing the latency histogram:\n%s", metricsBody)
+	}
+	resp, err := http.Get("http://" + debugAddr + "/debug/gears")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gears, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if !strings.Contains(string(gears), "gear exponential") {
+		t.Errorf("/debug/gears missing the gear schedule:\n%s", gears)
+	}
+
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			t.Fatalf("replica %d: %v\n%s", id, err, outs[id].String())
+		}
+	}
+	if !strings.Contains(outs[0].String(), "commit latency") {
+		t.Errorf("replica 0 printed no latency summary:\n%s", outs[0].String())
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commits, ticks := 0, 0
+	for _, ev := range events {
+		switch ev.Type {
+		case obs.SlotCommitted:
+			commits++
+		case obs.TickStart:
+			ticks++
+		}
+	}
+	if commits != slots || ticks == 0 {
+		t.Fatalf("trace has %d commits over %d ticks, want %d commits over >0 ticks (%d events)", commits, ticks, slots, len(events))
 	}
 }
 

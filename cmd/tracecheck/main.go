@@ -1,0 +1,234 @@
+// Command tracecheck audits a flight-recorder JSONL trace (what `logload
+// -trace` or `logserver -trace` wrote): it validates every line parses,
+// checks the structural invariants any trace must satisfy (ticks strictly
+// increasing, commits in slot order per node, chaos events carrying their
+// (tick, link, instance) keys), and prints a summary:
+//
+//	tracecheck run.jsonl
+//	cat run.jsonl | tracecheck -
+//
+// Given the chaos plan the run used (the same flags logload takes), it
+// replays every per-frame fault event through the plan's pure decision
+// function and fails unless the trace matches decision for decision — the
+// proof that a trace is a faithful record of the seeded schedule, not a
+// narration of it:
+//
+//	logload -n 7 -t 2 -fabric mem -seed 1 -victims 5 -drop 0.3 -trace run.jsonl
+//	tracecheck -n 7 -seed 1 -victims 5 -drop 0.3 run.jsonl
+//
+// -want-chaos additionally fails a trace with zero chaos events, which is
+// how CI smokes the mem fabric's audit trail end to end.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"shiftgears"
+	"shiftgears/internal/fabric"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
+	var (
+		n         = fs.Int("n", 0, "replica count (enables chaos replay together with the plan flags)")
+		seed      = fs.Int64("seed", 1, "chaos plan seed the traced run used")
+		victims   = fs.String("victims", "", "chaos plan: comma-separated victim nodes")
+		drop      = fs.Float64("drop", 0, "chaos plan: per-frame drop probability")
+		late      = fs.Float64("late", 0, "chaos plan: per-frame late probability")
+		delay     = fs.Float64("delay", 0, "chaos plan: per-frame delay probability")
+		reorder   = fs.Bool("reorder", false, "chaos plan: within-tick reorder")
+		partCS    = fs.String("partition", "", "chaos plan: partitions as ids@from:until, semicolon-separated")
+		crashCS   = fs.String("crash", "", "chaos plan: crash windows as id@from:until, semicolon-separated")
+		wantChaos = fs.Bool("want-chaos", false, "fail unless the trace records at least one chaos event")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("want exactly one trace file argument (or - for stdin)")
+	}
+
+	var r io.Reader = os.Stdin
+	path := fs.Arg(0)
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		r = f
+	}
+	events, err := shiftgears.ReadTrace(r)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("%s: empty trace", path)
+	}
+
+	// Structural invariants every trace satisfies, plan or no plan.
+	counts := map[shiftgears.TraceEventType]int{}
+	lastTick := 0
+	lastSlot := map[int]int{} // node -> last committed slot
+	chaosEvents := 0
+	for i, ev := range events {
+		counts[ev.Type]++
+		if ev.Tick < 1 {
+			return fmt.Errorf("event %d: tick %d before the clock started: %+v", i, ev.Tick, ev)
+		}
+		if ev.Type.Chaos() {
+			chaosEvents++
+		}
+		switch ev.Type {
+		case shiftgears.TraceTickStart:
+			if ev.Tick != lastTick+1 {
+				return fmt.Errorf("event %d: tick %d follows tick %d — the clock must advance by one", i, ev.Tick, lastTick)
+			}
+			lastTick = ev.Tick
+		case shiftgears.TraceSlotCommitted:
+			if last, seen := lastSlot[ev.Node]; seen && ev.Slot != last+1 {
+				return fmt.Errorf("event %d: node %d committed slot %d after slot %d — commits are in-order", i, ev.Node, ev.Slot, last)
+			}
+			lastSlot[ev.Node] = ev.Slot
+		case shiftgears.TraceChaosDrop, shiftgears.TraceChaosLate,
+			shiftgears.TraceChaosDelay, shiftgears.TraceChaosCut:
+			if ev.From < 0 || ev.To < 0 || ev.Slot < 0 {
+				return fmt.Errorf("event %d: chaos event missing its (link, instance) key: %+v", i, ev)
+			}
+		}
+	}
+	if *wantChaos && chaosEvents == 0 {
+		return fmt.Errorf("%s: no chaos events recorded (-want-chaos)", path)
+	}
+
+	// With the plan in hand, replay every per-frame fault decision.
+	replayed := 0
+	if *n > 0 {
+		plan, err := buildPlan(*seed, *victims, *drop, *late, *delay, *reorder, *partCS, *crashCS)
+		if err != nil {
+			return err
+		}
+		rep, err := fabric.NewReplayer(*n, *plan)
+		if err != nil {
+			return err
+		}
+		for i, ev := range events {
+			switch ev.Type {
+			case shiftgears.TraceChaosDrop, shiftgears.TraceChaosLate,
+				shiftgears.TraceChaosDelay, shiftgears.TraceChaosCut:
+				if got := rep.Decide(ev.Tick, ev.From, ev.To, ev.Slot); got != ev.Type {
+					return fmt.Errorf("event %d does not replay: trace says %s, plan decides %s for tick %d link %d->%d instance %d",
+						i, ev.Type, got, ev.Tick, ev.From, ev.To, ev.Slot)
+				}
+				replayed++
+			}
+		}
+	}
+
+	types := make([]shiftgears.TraceEventType, 0, len(counts))
+	for t := range counts {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	fmt.Fprintf(out, "tracecheck: %s: %d events over %d ticks OK\n", path, len(events), lastTick)
+	for _, t := range types {
+		fmt.Fprintf(out, "tracecheck:   %-16s %d\n", t, counts[t])
+	}
+	if replayed > 0 {
+		fmt.Fprintf(out, "tracecheck: replayed %d chaos decisions against the plan, all match\n", replayed)
+	}
+	return nil
+}
+
+// buildPlan mirrors cmd/logload's chaos flags, so the flags that produced
+// a trace are the flags that audit it.
+func buildPlan(seed int64, victimsCS string, drop, late, delay float64, reorder bool, partCS, crashCS string) (*shiftgears.Chaos, error) {
+	victims, err := parseIDs(victimsCS)
+	if err != nil {
+		return nil, fmt.Errorf("victims: %w", err)
+	}
+	plan := &shiftgears.Chaos{
+		Seed: seed, Victims: victims,
+		Drop: drop, Late: late, Delay: delay, Reorder: reorder,
+	}
+	for _, spec := range splitSpecs(partCS) {
+		ids, from, until, err := parseWindowSpec(spec)
+		if err != nil {
+			return nil, fmt.Errorf("partition %q: %w", spec, err)
+		}
+		plan.Partitions = append(plan.Partitions, shiftgears.ChaosPartition{From: from, Until: until, Group: ids})
+	}
+	for _, spec := range splitSpecs(crashCS) {
+		ids, from, until, err := parseWindowSpec(spec)
+		if err != nil {
+			return nil, fmt.Errorf("crash %q: %w", spec, err)
+		}
+		for _, id := range ids {
+			plan.Crashes = append(plan.Crashes, shiftgears.ChaosCrash{Node: id, From: from, Until: until})
+		}
+	}
+	return plan, nil
+}
+
+func splitSpecs(s string) []string {
+	var out []string
+	for _, field := range strings.Split(s, ";") {
+		if field = strings.TrimSpace(field); field != "" {
+			out = append(out, field)
+		}
+	}
+	return out
+}
+
+// parseWindowSpec parses "ids@from:until" (e.g. "2,5@4:10").
+func parseWindowSpec(spec string) (ids []int, from, until int, err error) {
+	at := strings.SplitN(spec, "@", 2)
+	if len(at) != 2 {
+		return nil, 0, 0, fmt.Errorf("want ids@from:until")
+	}
+	ids, err = parseIDs(at[0])
+	if err != nil || len(ids) == 0 {
+		return nil, 0, 0, fmt.Errorf("bad ids %q", at[0])
+	}
+	var window [2]int
+	ticks := strings.SplitN(at[1], ":", 2)
+	if len(ticks) != 2 {
+		return nil, 0, 0, fmt.Errorf("want ids@from:until")
+	}
+	for i, f := range ticks {
+		window[i], err = strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("tick %q: %w", f, err)
+		}
+	}
+	return ids, window[0], window[1], nil
+}
+
+func parseIDs(s string) ([]int, error) {
+	var ids []int
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		id, err := strconv.Atoi(field)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"shiftgears"
+)
+
+// writeTrace runs a chaos-mem log with a JSONL tracer and returns the
+// trace path plus the flags that reproduce its plan.
+func writeTrace(t *testing.T) (string, []string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonl := shiftgears.NewTraceJSONL(f)
+	cfg := shiftgears.LogConfig{
+		Algorithm: shiftgears.Exponential,
+		N:         7, T: 2,
+		Slots: 7, Window: 2, BatchSize: 2,
+		Faulty: []int{5}, Strategy: "silent", Seed: 3,
+		Fabric: "mem",
+		Chaos: &shiftgears.Chaos{
+			Seed: 3, Victims: []int{5}, Drop: 0.3, Late: 0.1, Delay: 0.2,
+			Partitions: []shiftgears.ChaosPartition{{From: 4, Until: 6, Group: []int{5}}},
+			Crashes:    []shiftgears.ChaosCrash{{Node: 5, From: 7, Until: 9}},
+		},
+		Tracer: jsonl,
+	}
+	l, err := shiftgears.NewReplicatedLog(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 14; c++ {
+		if err := l.Submit(c%7, shiftgears.Value(1+c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jsonl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	planFlags := []string{
+		"-n", "7", "-seed", "3", "-victims", "5",
+		"-drop", "0.3", "-late", "0.1", "-delay", "0.2",
+		"-partition", "5@4:6", "-crash", "5@7:9",
+	}
+	return path, planFlags
+}
+
+func TestTracecheckAuditsRealTrace(t *testing.T) {
+	path, planFlags := writeTrace(t)
+
+	// Structural pass, no plan.
+	var buf bytes.Buffer
+	if err := run([]string{path}, &buf); err != nil {
+		t.Fatalf("structural audit failed: %v", err)
+	}
+	if !strings.Contains(buf.String(), "events over") {
+		t.Fatalf("no summary:\n%s", buf.String())
+	}
+
+	// Full replay against the plan, chaos required.
+	buf.Reset()
+	args := append(append([]string{}, planFlags...), "-want-chaos", path)
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("plan replay failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "all match") {
+		t.Fatalf("no replay summary:\n%s", buf.String())
+	}
+
+	// The wrong seed must not replay: the decisions diverge.
+	wrong := append([]string{"-n", "7", "-seed", "99", "-victims", "5",
+		"-drop", "0.3", "-late", "0.1", "-delay", "0.2",
+		"-partition", "5@4:6", "-crash", "5@7:9"}, path)
+	if err := run(wrong, &bytes.Buffer{}); err == nil {
+		t.Fatal("trace replayed under the wrong seed")
+	}
+}
+
+func TestTracecheckRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{}, &buf); err == nil {
+		t.Fatal("no file argument accepted")
+	}
+	garbage := filepath.Join(dir, "garbage.jsonl")
+	if err := os.WriteFile(garbage, []byte("{\"ev\":\"nonsense\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{garbage}, &buf); err == nil {
+		t.Fatal("unknown event type accepted")
+	}
+	empty := filepath.Join(dir, "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{empty}, &buf); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+// TestTracecheckWantChaos: a fault-free trace passes the audit but fails
+// -want-chaos.
+func TestTracecheckWantChaos(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "quiet.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonl := shiftgears.NewTraceJSONL(f)
+	l, err := shiftgears.NewReplicatedLog(shiftgears.LogConfig{
+		Algorithm: shiftgears.Exponential, N: 4, T: 1,
+		Slots: 4, Window: 2, BatchSize: 1, Tracer: jsonl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jsonl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{path}, &buf); err != nil {
+		t.Fatalf("quiet trace failed the audit: %v", err)
+	}
+	if err := run([]string{"-want-chaos", path}, &buf); err == nil {
+		t.Fatal("quiet trace passed -want-chaos")
+	}
+}

@@ -126,4 +126,31 @@
 // schedule-divergence error, and in a multi-process mesh — where no
 // runtime sees more than its own schedule — the wire-level frame
 // instance/round mismatch check catches it instead.
+//
+// # The flight recorder
+//
+// LogConfig.Tracer installs zero-overhead event tracing over the whole
+// stack: the drive runtime's ticks and per-link frame batches, every
+// replica's slot openings, gear resolutions, and commits, terminal
+// outcomes, and — on the mem fabric — every seeded fault decision
+// (drops, late frames, delays, partition cuts, crash windows) keyed by
+// (tick, link, instance) so a trace replays against its chaos plan
+// decision for decision (cmd/tracecheck automates the audit). Sinks
+// compose through TraceTee: TraceRing retains recent history, TraceJSONL
+// streams to disk, TraceMetrics counts in O(1) space and feeds the live
+// HTTP surface (NewDebugHandler: Prometheus-text /metrics, expvar,
+// pprof, and a human-readable /debug/gears). Derived from the same
+// stream, every LogResult carries submit→commit latency percentiles in
+// ticks (LogResult.Latency), measured at each command's source replica
+// and merged across the correct ones.
+//
+// The zero-overhead contract: a nil Tracer is tracing off, and off means
+// off — every emission site is guarded by a nil check on a plain struct
+// field, events are flat values passed without boxing, and the drive
+// loop's hot path stays at zero allocations per tick (enforced by
+// BenchmarkFabricTick and the CI alloc guard). With a tracer installed,
+// the run's observable behavior must not change: committed logs, gear
+// schedules, tick counts, traffic totals, and fault decisions are
+// byte-identical to the untraced run (enforced by the tracer
+// zero-interference property test across all three fabrics).
 package shiftgears

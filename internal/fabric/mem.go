@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"shiftgears/internal/obs"
 	"shiftgears/internal/sim"
 )
 
@@ -177,6 +178,7 @@ type Mem struct {
 	order   []int     // per-receiver sender visit order (Reorder scratch)
 	held    []heldRef // Delay second-pass scratch
 	victims map[int]bool
+	tracer  obs.Tracer
 }
 
 // heldRef is one delayed frame waiting for its tick's second pass.
@@ -224,6 +226,14 @@ func (m *Mem) Local() []int { return m.local }
 // Exchange updates it without locking.
 func (m *Mem) Stats() MemStats { return m.stats }
 
+// SetTracer installs a flight recorder on the fabric: every fault
+// decision the plan makes — drops, late losses, within-bound delays,
+// partition cuts, reorders, and the window boundaries of partitions and
+// crashes — is emitted as a chaos event carrying its (tick, link,
+// instance) coordinates, so a trace replays the seeded schedule exactly.
+// A nil tracer (the default) keeps Exchange on its untraced path.
+func (m *Mem) SetTracer(tr obs.Tracer) { m.tracer = tr }
+
 // Exchange implements Fabric: Sim's positional routing, filtered and
 // scheduled by the plan.
 func (m *Mem) Exchange(tick int, outs [][]sim.MuxFrame, ins [][][][]byte) error {
@@ -233,6 +243,10 @@ func (m *Mem) Exchange(tick int, outs [][]sim.MuxFrame, ins [][][][]byte) error 
 	order := m.order[:m.n]
 	m.held = m.held[:0]
 
+	if m.tracer != nil {
+		m.emitBoundaries(tick)
+	}
+
 	for k := range ins {
 		inbox := ins[k]
 		for i := range order {
@@ -240,6 +254,11 @@ func (m *Mem) Exchange(tick int, outs [][]sim.MuxFrame, ins [][][][]byte) error 
 		}
 		if m.plan.Reorder {
 			m.shuffle(order, tick, k)
+			if m.tracer != nil {
+				ev := obs.At(obs.ChaosReorder, tick)
+				ev.To = k
+				m.tracer.Emit(ev)
+			}
 		}
 		for _, i := range order {
 			slots := inbox[i]
@@ -261,12 +280,21 @@ func (m *Mem) Exchange(tick int, outs [][]sim.MuxFrame, ins [][][][]byte) error 
 					case cut:
 						p = nil
 						m.stats.Cut++
+						if m.tracer != nil {
+							m.emitFrame(obs.ChaosCut, tick, i, k, src[f].Instance)
+						}
 					case m.victims[i] && m.plan.Drop > 0 && m.chance(1, tick, i, k, src[f].Instance) < m.plan.Drop:
 						p = nil
 						m.stats.Dropped++
+						if m.tracer != nil {
+							m.emitFrame(obs.ChaosDrop, tick, i, k, src[f].Instance)
+						}
 					case m.victims[i] && m.plan.Late > 0 && m.chance(2, tick, i, k, src[f].Instance) < m.plan.Late:
 						p = nil
 						m.stats.Late++
+						if m.tracer != nil {
+							m.emitFrame(obs.ChaosLate, tick, i, k, src[f].Instance)
+						}
 					}
 				}
 				if p != nil {
@@ -277,6 +305,9 @@ func (m *Mem) Exchange(tick int, outs [][]sim.MuxFrame, ins [][][][]byte) error 
 						slots[f] = nil
 						m.held = append(m.held, heldRef{recv: k, sender: i, frame: f, payload: p})
 						m.stats.Delayed++
+						if m.tracer != nil {
+							m.emitFrame(obs.ChaosDelay, tick, i, k, src[f].Instance)
+						}
 						continue
 					}
 				}
@@ -296,6 +327,90 @@ func (m *Mem) Exchange(tick int, outs [][]sim.MuxFrame, ins [][][][]byte) error 
 
 // Close implements Fabric; the Mem fabric holds no resources.
 func (m *Mem) Close() error { return nil }
+
+// emitFrame emits one per-frame chaos event with its full (tick, link,
+// instance) key. Only called with a tracer installed.
+func (m *Mem) emitFrame(t obs.Type, tick, sender, recv, instance int) {
+	ev := obs.At(t, tick)
+	ev.From, ev.To, ev.Slot = sender, recv, instance
+	m.tracer.Emit(ev)
+}
+
+// emitBoundaries emits the partition and crash window edges that land on
+// this tick: Start when the window opens (tick == From), Heal/End on the
+// first tick after it closed (tick == Until — windows are [From, Until)).
+// Only called with a tracer installed.
+func (m *Mem) emitBoundaries(tick int) {
+	for _, part := range m.plan.Partitions {
+		if tick == part.From {
+			ev := obs.At(obs.PartitionStart, tick)
+			ev.Note = fmt.Sprintf("group %v until tick %d", part.Group, part.Until)
+			m.tracer.Emit(ev)
+		}
+		if tick == part.Until {
+			ev := obs.At(obs.PartitionHeal, tick)
+			ev.Note = fmt.Sprintf("group %v", part.Group)
+			m.tracer.Emit(ev)
+		}
+	}
+	for _, c := range m.plan.Crashes {
+		if tick == c.From {
+			ev := obs.At(obs.CrashStart, tick)
+			ev.Node = c.Node
+			ev.Note = fmt.Sprintf("until tick %d", c.Until)
+			m.tracer.Emit(ev)
+		}
+		if tick == c.Until {
+			ev := obs.At(obs.CrashEnd, tick)
+			ev.Node = c.Node
+			m.tracer.Emit(ev)
+		}
+	}
+}
+
+// Replayer recomputes a plan's fault decisions as a pure function of
+// frame coordinates — the audit hook behind trace verification: given a
+// chaos event's (tick, link, instance) key, Decide reports exactly which
+// fault the plan inflicts there, using the same decision chain (and the
+// same keyed draws) Exchange runs. Because every decision is
+// order-independent, a Replayer built from the plan alone replays the
+// schedule of any run of that plan.
+type Replayer struct {
+	m *Mem
+}
+
+// NewReplayer builds the audit view of a plan for an n-node cluster.
+func NewReplayer(n int, plan Plan) (*Replayer, error) {
+	m, err := NewMem(n, plan)
+	if err != nil {
+		return nil, err
+	}
+	return &Replayer{m: m}, nil
+}
+
+// Decide returns the fault the plan inflicts on a frame crossing
+// sender→recv at tick for the given instance: obs.ChaosCut,
+// obs.ChaosDrop, obs.ChaosLate, obs.ChaosDelay, or 0 for clean
+// delivery. The chain mirrors Exchange exactly: cuts dominate, then
+// victim-link drop and late loss, then within-bound delay (which also
+// applies to self-links).
+func (r *Replayer) Decide(tick, sender, recv, instance int) obs.Type {
+	m := r.m
+	if sender != recv {
+		switch {
+		case m.cut(tick, sender, recv):
+			return obs.ChaosCut
+		case m.victims[sender] && m.plan.Drop > 0 && m.chance(1, tick, sender, recv, instance) < m.plan.Drop:
+			return obs.ChaosDrop
+		case m.victims[sender] && m.plan.Late > 0 && m.chance(2, tick, sender, recv, instance) < m.plan.Late:
+			return obs.ChaosLate
+		}
+	}
+	if m.plan.Delay > 0 && m.chance(3, tick, sender, recv, instance) < m.plan.Delay {
+		return obs.ChaosDelay
+	}
+	return 0
+}
 
 // cut reports whether the link sender→recv is severed at tick by a
 // partition or crash. Self-links never cut: a node always hears itself.

@@ -1,0 +1,228 @@
+package fabric_test
+
+import (
+	"reflect"
+	"testing"
+
+	"shiftgears/internal/fabric"
+	"shiftgears/internal/obs"
+	"shiftgears/internal/sim"
+)
+
+// chaosTracePlan exercises every fault class at once: victim-link drop
+// and late loss, within-bound delay on every link, per-receiver reorder,
+// one partition window, one crash window.
+func chaosTracePlan() fabric.Plan {
+	return fabric.Plan{
+		Seed:       41,
+		Victims:    []int{1},
+		Drop:       0.4,
+		Late:       0.2,
+		Delay:      0.3,
+		Reorder:    true,
+		Partitions: []fabric.Partition{{From: 3, Until: 5, Group: []int{0, 1}}},
+		Crashes:    []fabric.Crash{{Node: 3, From: 2, Until: 4}},
+	}
+}
+
+// TestMemTraceMatchesPlanDecisions is the chaos audit-trail contract:
+// a traced chaos run emits exactly one event per fault the plan
+// inflicted — counts equal to the fabric's own MemStats counters — and
+// every per-frame event's (tick, link, instance) key replays to the
+// same decision through the pure Replayer. The trace IS the seeded
+// schedule.
+func TestMemTraceMatchesPlanDecisions(t *testing.T) {
+	const n, window = 4, 2
+	rounds := []int{3, 2, 3, 2, 3}
+	plan := chaosTracePlan()
+
+	mem := newMem(t, n, plan)
+	ring := obs.NewRing(1 << 16)
+	mem.SetTracer(ring)
+	muxes, _, _ := buildMuxes(t, n, window, 0, rounds)
+	if _, err := fabric.Run(mem, muxes, fabric.WithTracer(ring)); err != nil {
+		t.Fatal(err)
+	}
+
+	st := mem.Stats()
+	if st.Dropped == 0 || st.Late == 0 || st.Delayed == 0 || st.Cut == 0 {
+		t.Fatalf("plan exercised nothing: %+v", st)
+	}
+
+	counts := map[obs.Type]int{}
+	for _, ev := range ring.Events() {
+		counts[ev.Type]++
+	}
+	for _, c := range []struct {
+		typ  obs.Type
+		want int
+	}{
+		{obs.ChaosDrop, st.Dropped},
+		{obs.ChaosLate, st.Late},
+		{obs.ChaosDelay, st.Delayed},
+		{obs.ChaosCut, st.Cut},
+		{obs.PartitionStart, 1},
+		{obs.PartitionHeal, 1},
+		{obs.CrashStart, 1},
+		{obs.CrashEnd, 1},
+	} {
+		if counts[c.typ] != c.want {
+			t.Errorf("%v events: %d, want %d (MemStats %+v)", c.typ, counts[c.typ], c.want, st)
+		}
+	}
+
+	// Every per-frame chaos event must replay: the pure decision function
+	// of (Seed, tick, link, instance) yields the same fault the trace
+	// recorded. This is what makes a JSONL trace a faithful record of the
+	// seeded schedule rather than a narration of it.
+	rep, err := fabric.NewReplayer(n, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := 0
+	for _, ev := range ring.Events() {
+		switch ev.Type {
+		case obs.ChaosDrop, obs.ChaosLate, obs.ChaosDelay, obs.ChaosCut:
+			frames++
+			if ev.From < 0 || ev.To < 0 || ev.Slot < 0 || ev.Tick < 1 {
+				t.Fatalf("chaos event missing its key: %+v", ev)
+			}
+			if got := rep.Decide(ev.Tick, ev.From, ev.To, ev.Slot); got != ev.Type {
+				t.Fatalf("event %+v does not replay: Decide = %v", ev, got)
+			}
+		case obs.PartitionStart:
+			if ev.Tick != plan.Partitions[0].From {
+				t.Fatalf("partition start at tick %d, want %d", ev.Tick, plan.Partitions[0].From)
+			}
+		case obs.PartitionHeal:
+			if ev.Tick != plan.Partitions[0].Until {
+				t.Fatalf("partition heal at tick %d, want %d", ev.Tick, plan.Partitions[0].Until)
+			}
+		case obs.CrashStart:
+			if ev.Tick != plan.Crashes[0].From || ev.Node != plan.Crashes[0].Node {
+				t.Fatalf("crash start %+v, want node %d tick %d", ev, plan.Crashes[0].Node, plan.Crashes[0].From)
+			}
+		case obs.CrashEnd:
+			if ev.Tick != plan.Crashes[0].Until || ev.Node != plan.Crashes[0].Node {
+				t.Fatalf("crash end %+v, want node %d tick %d", ev, plan.Crashes[0].Node, plan.Crashes[0].Until)
+			}
+		}
+	}
+	if frames != st.Dropped+st.Late+st.Delayed+st.Cut {
+		t.Fatalf("per-frame chaos events %d, MemStats total %d", frames, st.Dropped+st.Late+st.Delayed+st.Cut)
+	}
+
+	// Reorder fires once per receiver per tick, unconditionally.
+	ticks := 0
+	for _, ev := range ring.Events() {
+		if ev.Type == obs.TickStart {
+			ticks++
+		}
+	}
+	if want := ticks * n; counts[obs.ChaosReorder] != want {
+		t.Errorf("reorder events %d, want %d (%d ticks × %d receivers)", counts[obs.ChaosReorder], want, ticks, n)
+	}
+}
+
+// TestMemTracerOnOffIdentical: installing a tracer must not change a
+// single delivered byte, tick, or fault decision — the zero-interference
+// half of the zero-overhead contract, at the fabric level.
+func TestMemTracerOnOffIdentical(t *testing.T) {
+	const n, window = 4, 2
+	rounds := []int{3, 2, 3, 2, 3}
+	plan := chaosTracePlan()
+
+	plain := newMem(t, n, plan)
+	plainInsts, plainStats := runTags(t, plain, n, window, rounds)
+
+	traced := newMem(t, n, plan)
+	traced.SetTracer(obs.NewRing(1 << 16))
+	muxes, tracedInsts, _ := buildMuxes(t, n, window, 0, rounds)
+	tracedStats, err := fabric.Run(traced, muxes, fabric.WithTracer(obs.NewMetrics()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.Stats() != traced.Stats() {
+		t.Fatalf("tracer changed the fault schedule: %+v vs %+v", traced.Stats(), plain.Stats())
+	}
+	if plainStats.Rounds != tracedStats.Rounds || plainStats.Bytes != tracedStats.Bytes || plainStats.Messages != tracedStats.Messages {
+		t.Fatalf("tracer changed traffic: %+v vs %+v", tracedStats, plainStats)
+	}
+	for id := range plainInsts {
+		for inst := range plainInsts[id] {
+			if !reflect.DeepEqual(plainInsts[id][inst].seen, tracedInsts[id][inst].seen) {
+				t.Fatalf("node %d instance %d: tracer changed delivered bytes", id, inst)
+			}
+		}
+	}
+}
+
+// TestRunTraceSchedule: the runtime's own events — one TickStart per
+// tick, per-link FrameBatch totals equal to the run's traffic counters,
+// SlotOpen/WindowAdvance bracketing every instance on every node.
+func TestRunTraceSchedule(t *testing.T) {
+	const n, window = 4, 2
+	rounds := []int{3, 2, 3, 2, 3}
+
+	ring := obs.NewRing(1 << 16)
+	muxes := make([]*sim.Mux, n)
+	for id := 0; id < n; id++ {
+		m, err := sim.NewMux(sim.MuxConfig{
+			ID: id, N: n, Window: window, Rounds: rounds, Tracer: ring,
+			Start: func(inst int) (sim.Instance, error) {
+				return &tagInstance{inst: inst, n: n}, nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		muxes[id] = m
+	}
+	stats, err := fabric.Run(newSim(t, n), muxes, fabric.WithTracer(ring))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tickEvents, frames, bytes := 0, 0, 0
+	opens := map[int]map[int]bool{}  // node -> slot opened
+	closes := map[int]map[int]bool{} // node -> slot retired
+	for _, ev := range ring.Events() {
+		switch ev.Type {
+		case obs.TickStart:
+			tickEvents++
+		case obs.FrameBatch:
+			frames += ev.Frames
+			bytes += ev.Bytes
+			if ev.From < 0 || ev.To < 0 {
+				t.Fatalf("frame batch missing its link: %+v", ev)
+			}
+		case obs.SlotOpen:
+			if opens[ev.Node] == nil {
+				opens[ev.Node] = map[int]bool{}
+			}
+			opens[ev.Node][ev.Slot] = true
+		case obs.WindowAdvance:
+			if closes[ev.Node] == nil {
+				closes[ev.Node] = map[int]bool{}
+			}
+			closes[ev.Node][ev.Slot] = true
+			if ev.Round != rounds[ev.Slot] {
+				t.Fatalf("instance %d retired after %d rounds, want %d", ev.Slot, ev.Round, rounds[ev.Slot])
+			}
+		}
+	}
+	if tickEvents != stats.Rounds {
+		t.Fatalf("TickStart events %d, run ticks %d", tickEvents, stats.Rounds)
+	}
+	if frames != stats.Messages || bytes != stats.Bytes {
+		t.Fatalf("frame batches total %d frames/%d bytes, stats %d/%d", frames, bytes, stats.Messages, stats.Bytes)
+	}
+	for id := 0; id < n; id++ {
+		for inst := range rounds {
+			if !opens[id][inst] || !closes[id][inst] {
+				t.Fatalf("node %d instance %d missing open/retire events (open %v, retire %v)", id, inst, opens[id][inst], closes[id][inst])
+			}
+		}
+	}
+}

@@ -1,9 +1,11 @@
 package fabric
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
+	"shiftgears/internal/obs"
 	"shiftgears/internal/sim"
 )
 
@@ -19,8 +21,27 @@ func WithParallel() Option { return func(r *runner) { r.parallel = true } }
 // WithPerRoundStats records a RoundStats entry per tick in the run's
 // Stats. Off by default: aggregates are always-on and O(1), while the
 // per-round trail grows with the schedule — unbounded memory on long
-// logs.
+// logs. Cap the trail with WithPerRoundStatsCap.
 func WithPerRoundStats() Option { return func(r *runner) { r.perRound = true } }
+
+// WithPerRoundStatsCap records per-round stats like WithPerRoundStats
+// but keeps only the last k entries (a ring), bounding memory on
+// schedules whose length is the log's whole lifetime. k ≤ 0 means
+// unbounded (identical to WithPerRoundStats). Implies per-round
+// recording.
+func WithPerRoundStatsCap(k int) Option {
+	return func(r *runner) {
+		r.perRound = true
+		r.perRoundCap = k
+	}
+}
+
+// WithTracer installs a flight recorder on the run: tick starts,
+// per-link frame batches, and terminal outcomes (diverged / wedged /
+// aborted) are emitted to tr. A nil tr is tracing-off — the loop runs
+// its untraced instructions (the zero-overhead contract pinned by
+// BenchmarkFabricTick's 0 allocs/tick).
+func WithTracer(tr obs.Tracer) Option { return func(r *runner) { r.tracer = tr } }
 
 // WithMaxTicks bounds the run (0 = unbounded): a run that exhausts the
 // bound stops cleanly with whatever progress it made, and the caller
@@ -51,11 +72,13 @@ func WithAdvisoryErrors(advisory []bool) Option {
 
 // runner holds one Run's configuration and reusable per-tick scratch.
 type runner struct {
-	parallel bool
-	perRound bool
-	maxTicks int
-	hook     func(tick int) error
-	advisory []bool
+	parallel    bool
+	perRound    bool
+	perRoundCap int
+	maxTicks    int
+	hook        func(tick int) error
+	advisory    []bool
+	tracer      obs.Tracer
 }
 
 // Run is the mux drive loop — the only one: every fabric (in-process,
@@ -102,7 +125,21 @@ func Run(f Fabric, muxes []*sim.Mux, opts ...Option) (*sim.Stats, error) {
 	muted := make([]bool, L)
 
 	var stats sim.Stats
+	prOldest := 0 // ring cursor into stats.PerRound when capped
+	curTick := 0
 	fail := func(err error) (*sim.Stats, error) {
+		if r.tracer != nil {
+			typ := obs.Aborted
+			switch {
+			case errors.Is(err, ErrDiverged):
+				typ = obs.Diverged
+			case errors.Is(err, ErrWedged):
+				typ = obs.Wedged
+			}
+			ev := obs.At(typ, curTick)
+			ev.Note = err.Error()
+			r.tracer.Emit(ev)
+		}
 		_ = f.Close()
 		return nil, err
 	}
@@ -150,6 +187,10 @@ func Run(f Fabric, muxes []*sim.Mux, opts ...Option) (*sim.Stats, error) {
 		}
 		if r.maxTicks > 0 && tick > r.maxTicks {
 			break
+		}
+		curTick = tick
+		if r.tracer != nil {
+			r.tracer.Emit(obs.At(obs.TickStart, tick))
 		}
 
 		// Send half: every local mux prepares its tick's frames. Advisory
@@ -212,7 +253,11 @@ func Run(f Fabric, muxes []*sim.Mux, opts ...Option) (*sim.Stats, error) {
 			return fail(err)
 		}
 
-		// Traffic accounting over what local nodes received.
+		// Traffic accounting over what local nodes received. The per-link
+		// counters ride the same pass; with a tracer installed each live
+		// link (sender i → local node k) emits one FrameBatch per tick —
+		// the fabric-uniform traffic trail (identical shape on sim, mem,
+		// and TCP, because it is measured here, not in the fabrics).
 		rs := sim.RoundStats{Round: tick}
 		for k := range ins {
 			if muted[k] {
@@ -220,11 +265,14 @@ func Run(f Fabric, muxes []*sim.Mux, opts ...Option) (*sim.Stats, error) {
 			}
 			for i := range ins[k] {
 				sent := false
+				linkFrames, linkBytes := 0, 0
 				for _, p := range ins[k][i] {
 					if p == nil {
 						continue
 					}
 					sent = true
+					linkFrames++
+					linkBytes += len(p)
 					rs.Messages++
 					rs.Bytes += len(p)
 					if len(p) > rs.MaxPayload {
@@ -233,6 +281,12 @@ func Run(f Fabric, muxes []*sim.Mux, opts ...Option) (*sim.Stats, error) {
 				}
 				if sent && k == ref {
 					rs.DistinctSrc++
+				}
+				if sent && r.tracer != nil {
+					ev := obs.At(obs.FrameBatch, tick)
+					ev.From, ev.To = i, local[k]
+					ev.Frames, ev.Bytes = linkFrames, linkBytes
+					r.tracer.Emit(ev)
 				}
 			}
 		}
@@ -257,7 +311,12 @@ func Run(f Fabric, muxes []*sim.Mux, opts ...Option) (*sim.Stats, error) {
 			stats.MaxPayload = rs.MaxPayload
 		}
 		if r.perRound {
-			stats.PerRound = append(stats.PerRound, rs)
+			if r.perRoundCap > 0 && len(stats.PerRound) >= r.perRoundCap {
+				stats.PerRound[prOldest] = rs
+				prOldest = (prOldest + 1) % r.perRoundCap
+			} else {
+				stats.PerRound = append(stats.PerRound, rs)
+			}
 		}
 
 		if r.hook != nil {
@@ -267,7 +326,9 @@ func Run(f Fabric, muxes []*sim.Mux, opts ...Option) (*sim.Stats, error) {
 		}
 	}
 	out := stats
-	out.PerRound = append([]sim.RoundStats(nil), stats.PerRound...)
+	out.PerRound = make([]sim.RoundStats, 0, len(stats.PerRound))
+	out.PerRound = append(out.PerRound, stats.PerRound[prOldest:]...)
+	out.PerRound = append(out.PerRound, stats.PerRound[:prOldest]...)
 	return &out, nil
 }
 

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DebugState is what the live /debug surface renders: the counting sink,
+// the bounded event history, and optional run description hooks. All
+// fields are optional; absent pieces render as empty sections.
+type DebugState struct {
+	// Metrics backs /metrics and the counters on /debug/gears.
+	Metrics *Metrics
+	// Ring backs /debug/trace and the histories on /debug/gears.
+	Ring *Ring
+	// Latency backs the commit-latency histogram series; when nil,
+	// Metrics.Latency() is used.
+	Latency *Histogram
+	// Info contributes free-form run description (n, t, fabric, ...)
+	// rendered on /debug/gears and exported under expvar.
+	Info func() map[string]any
+}
+
+func (st DebugState) latency() *Histogram {
+	if st.Latency != nil {
+		return st.Latency
+	}
+	if st.Metrics != nil {
+		return st.Metrics.Latency()
+	}
+	return nil
+}
+
+// current is the DebugState snapshot the process-wide expvar hooks read.
+// expvar.Publish is append-only (re-publishing a name panics), so the
+// published Funcs indirect through this pointer and NewHandler swaps it —
+// tests and successive runs each install their own state without
+// tripping the expvar registry.
+var (
+	current     atomic.Pointer[DebugState]
+	expvarOnce  sync.Once
+	expvarNames = "shiftgears"
+)
+
+func publishExpvars() {
+	expvar.Publish(expvarNames, expvar.Func(func() any {
+		st := current.Load()
+		if st == nil {
+			return nil
+		}
+		out := map[string]any{}
+		if st.Metrics != nil {
+			out["ticks"] = st.Metrics.Ticks()
+			out["commits"] = st.Metrics.Commits()
+			out["gear_shifts"] = st.Metrics.GearShifts()
+			out["gears"] = st.Metrics.Gears()
+			out["chaos"] = st.Metrics.ChaosCounts()
+		}
+		if h := st.latency(); h != nil {
+			out["latency"] = h.Summarize()
+		}
+		if st.Ring != nil {
+			out["events_seen"] = st.Ring.Total()
+		}
+		if st.Info != nil {
+			out["run"] = st.Info()
+		}
+		return out
+	}))
+}
+
+// NewHandler builds the live observability surface:
+//
+//	/metrics          Prometheus text exposition of the Metrics sink
+//	/debug/vars       expvar JSON (includes the "shiftgears" tree)
+//	/debug/pprof/...  net/http/pprof
+//	/debug/gears      human-readable gear schedule + chaos history
+//	/debug/trace      retained flight-recorder events as JSON
+//
+// The state is also installed as the process-wide expvar source; calling
+// NewHandler again rebinds expvar to the newest state (last one wins).
+func NewHandler(st DebugState) http.Handler {
+	stCopy := st
+	current.Store(&stCopy)
+	expvarOnce.Do(publishExpvars)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePrometheus(w, stCopy)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/gears", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeGears(w, stCopy)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var evs []Event
+		if stCopy.Ring != nil {
+			evs = stCopy.Ring.Events()
+		}
+		_ = json.NewEncoder(w).Encode(evs)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "shiftgears debug surface")
+		fmt.Fprintln(w, "  /metrics       Prometheus text metrics")
+		fmt.Fprintln(w, "  /debug/vars    expvar JSON")
+		fmt.Fprintln(w, "  /debug/pprof/  runtime profiles")
+		fmt.Fprintln(w, "  /debug/gears   gear schedule + chaos history")
+		fmt.Fprintln(w, "  /debug/trace   retained flight-recorder events")
+	})
+	return mux
+}
+
+func writePrometheus(w http.ResponseWriter, st DebugState) {
+	m := st.Metrics
+	if m == nil {
+		fmt.Fprintln(w, "# no metrics sink installed")
+		return
+	}
+	fmt.Fprintln(w, "# HELP shiftgears_ticks Highest global tick observed.")
+	fmt.Fprintln(w, "# TYPE shiftgears_ticks gauge")
+	fmt.Fprintf(w, "shiftgears_ticks %d\n", m.Ticks())
+
+	fmt.Fprintln(w, "# HELP shiftgears_commits_total Slots committed (node-scoped events).")
+	fmt.Fprintln(w, "# TYPE shiftgears_commits_total counter")
+	fmt.Fprintf(w, "shiftgears_commits_total %d\n", m.Commits())
+
+	fmt.Fprintln(w, "# HELP shiftgears_gear_shifts_total Consecutive-slot gear changes at node 0.")
+	fmt.Fprintln(w, "# TYPE shiftgears_gear_shifts_total counter")
+	fmt.Fprintf(w, "shiftgears_gear_shifts_total %d\n", m.GearShifts())
+
+	gears := m.Gears()
+	names := make([]string, 0, len(gears))
+	for g := range gears {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "# HELP shiftgears_gear_slots_total Slots resolved per gear at node 0.")
+	fmt.Fprintln(w, "# TYPE shiftgears_gear_slots_total counter")
+	for _, g := range names {
+		fmt.Fprintf(w, "shiftgears_gear_slots_total{gear=%q} %d\n", g, gears[g])
+	}
+
+	fmt.Fprintln(w, "# HELP shiftgears_events_total Flight-recorder events by type.")
+	fmt.Fprintln(w, "# TYPE shiftgears_events_total counter")
+	for t := Type(1); t < numTypes; t++ {
+		if c := m.CountOf(t); c > 0 {
+			fmt.Fprintf(w, "shiftgears_events_total{ev=%q} %d\n", t.String(), c)
+		}
+	}
+
+	links := m.Links()
+	fmt.Fprintln(w, "# HELP shiftgears_link_frames_total Frames delivered per directed link.")
+	fmt.Fprintln(w, "# TYPE shiftgears_link_frames_total counter")
+	for _, lt := range links {
+		fmt.Fprintf(w, "shiftgears_link_frames_total{from=\"%d\",to=\"%d\"} %d\n", lt.From, lt.To, lt.Frames)
+	}
+	fmt.Fprintln(w, "# HELP shiftgears_link_bytes_total Bytes delivered per directed link.")
+	fmt.Fprintln(w, "# TYPE shiftgears_link_bytes_total counter")
+	for _, lt := range links {
+		fmt.Fprintf(w, "shiftgears_link_bytes_total{from=\"%d\",to=\"%d\"} %d\n", lt.From, lt.To, lt.Bytes)
+	}
+
+	if h := st.latency(); h != nil && h.Count() > 0 {
+		bounds, cum, total := h.Buckets()
+		fmt.Fprintln(w, "# HELP shiftgears_commit_latency_ticks Submit-to-commit latency in ticks.")
+		fmt.Fprintln(w, "# TYPE shiftgears_commit_latency_ticks histogram")
+		for i, b := range bounds {
+			fmt.Fprintf(w, "shiftgears_commit_latency_ticks_bucket{le=\"%d\"} %d\n", b, cum[i])
+		}
+		fmt.Fprintf(w, "shiftgears_commit_latency_ticks_bucket{le=\"+Inf\"} %d\n", total)
+		fmt.Fprintf(w, "shiftgears_commit_latency_ticks_sum %d\n", h.Sum())
+		fmt.Fprintf(w, "shiftgears_commit_latency_ticks_count %d\n", total)
+	}
+}
+
+func writeGears(w http.ResponseWriter, st DebugState) {
+	fmt.Fprintln(w, "== gear schedule ==")
+	if st.Info != nil {
+		info := st.Info()
+		keys := make([]string, 0, len(info))
+		for k := range info {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%-10s %v\n", k, info[k])
+		}
+		fmt.Fprintln(w)
+	}
+	if m := st.Metrics; m != nil {
+		gears := m.Gears()
+		names := make([]string, 0, len(gears))
+		for g := range gears {
+			names = append(names, g)
+		}
+		sort.Strings(names)
+		for _, g := range names {
+			fmt.Fprintf(w, "gear %-14s %d slots\n", g, gears[g])
+		}
+		fmt.Fprintf(w, "shifts: %d  commits: %d  ticks: %d\n", m.GearShifts(), m.Commits(), m.Ticks())
+		if h := st.latency(); h != nil && h.Count() > 0 {
+			fmt.Fprintf(w, "commit latency: %s\n", h.Summarize())
+		}
+	}
+	if st.Ring != nil {
+		fmt.Fprintln(w, "\n== recent gear decisions ==")
+		for _, ev := range st.Ring.Events() {
+			if ev.Type == GearResolved && ev.Node <= 0 {
+				fmt.Fprintf(w, "tick %4d  slot %3d  -> %s (%d rounds)\n", ev.Tick, ev.Slot, ev.Gear, ev.Round)
+			}
+		}
+		fmt.Fprintln(w, "\n== chaos history ==")
+		seen := false
+		for _, ev := range st.Ring.Events() {
+			if !ev.Type.Chaos() {
+				continue
+			}
+			seen = true
+			switch ev.Type {
+			case PartitionStart, PartitionHeal:
+				fmt.Fprintf(w, "tick %4d  %-15s %s\n", ev.Tick, ev.Type, ev.Note)
+			case CrashStart, CrashEnd:
+				fmt.Fprintf(w, "tick %4d  %-15s node %d\n", ev.Tick, ev.Type, ev.Node)
+			case ChaosReorder:
+				fmt.Fprintf(w, "tick %4d  %-15s recv %d\n", ev.Tick, ev.Type, ev.To)
+			default:
+				fmt.Fprintf(w, "tick %4d  %-15s link %d->%d slot %d\n", ev.Tick, ev.Type, ev.From, ev.To, ev.Slot)
+			}
+		}
+		if !seen {
+			fmt.Fprintln(w, "(none retained)")
+		}
+	}
+}

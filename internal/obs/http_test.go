@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func debugFixture() DebugState {
+	m := NewMetrics()
+	r := NewRing(64)
+	emit := func(ev Event) { m.Emit(ev); r.Emit(ev) }
+
+	emit(At(TickStart, 1))
+	emit(At(TickStart, 2))
+	g := At(GearResolved, 1)
+	g.Node, g.Slot, g.Round, g.Gear = 0, 0, 5, "exp"
+	emit(g)
+	g2 := At(GearResolved, 2)
+	g2.Node, g2.Slot, g2.Round, g2.Gear = 0, 1, 3, "algA"
+	emit(g2)
+	fb := At(FrameBatch, 1)
+	fb.From, fb.To, fb.Frames, fb.Bytes = 0, 1, 2, 64
+	emit(fb)
+	c := At(SlotCommitted, 2)
+	c.Node, c.Slot = 0, 0
+	emit(c)
+	d := At(ChaosDrop, 2)
+	d.From, d.To, d.Slot = 1, 2, 0
+	emit(d)
+	p := At(PartitionStart, 3)
+	p.Note = "{0 1}|{2 3}"
+	emit(p)
+	m.Latency().Observe(6)
+	m.Latency().Observe(9)
+	return DebugState{
+		Metrics: m,
+		Ring:    r,
+		Info:    func() map[string]any { return map[string]any{"fabric": "mem", "n": 4} },
+	}
+}
+
+func TestHandlerMetricsEndpoint(t *testing.T) {
+	h := NewHandler(debugFixture())
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	body := get(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		"shiftgears_ticks 2",
+		"shiftgears_commits_total 1",
+		"shiftgears_gear_shifts_total 1",
+		`shiftgears_gear_slots_total{gear="algA"} 1`,
+		`shiftgears_events_total{ev="drop"} 1`,
+		`shiftgears_link_bytes_total{from="0",to="1"} 64`,
+		"shiftgears_commit_latency_ticks_count 2",
+		`shiftgears_commit_latency_ticks_bucket{le="+Inf"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestHandlerGearsEndpoint(t *testing.T) {
+	h := NewHandler(debugFixture())
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	body := get(t, srv.URL+"/debug/gears")
+	for _, want := range []string{
+		"gear schedule", "exp", "algA", "shifts: 1",
+		"chaos history", "drop", "partition_start", "fabric", "mem",
+		"commit latency",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/gears missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestHandlerTraceEndpoint(t *testing.T) {
+	h := NewHandler(debugFixture())
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	body := get(t, srv.URL+"/debug/trace")
+	var evs []Event
+	if err := json.Unmarshal([]byte(body), &evs); err != nil {
+		t.Fatalf("/debug/trace is not an event array: %v", err)
+	}
+	if len(evs) != 8 {
+		t.Fatalf("retained %d events, want 8", len(evs))
+	}
+	if evs[0].Type != TickStart || evs[len(evs)-1].Type != PartitionStart {
+		t.Fatalf("event order wrong: first %v last %v", evs[0].Type, evs[len(evs)-1].Type)
+	}
+}
+
+func TestHandlerExpvarRebinds(t *testing.T) {
+	// Install one state, then another: /debug/vars must reflect the
+	// latest without an expvar duplicate-publish panic.
+	_ = NewHandler(debugFixture())
+	st2 := debugFixture()
+	st2.Metrics.Emit(At(TickStart, 99))
+	h := NewHandler(st2)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	body := get(t, srv.URL+"/debug/vars")
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	var sg struct {
+		Ticks      int    `json:"ticks"`
+		Commits    uint64 `json:"commits"`
+		EventsSeen uint64 `json:"events_seen"`
+	}
+	if err := json.Unmarshal(vars["shiftgears"], &sg); err != nil {
+		t.Fatalf("shiftgears expvar: %v", err)
+	}
+	if sg.Ticks != 99 {
+		t.Fatalf("expvar ticks = %d, want 99 (latest handler wins)", sg.Ticks)
+	}
+}
+
+func TestHandlerPprofAndIndex(t *testing.T) {
+	h := NewHandler(debugFixture())
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	if body := get(t, srv.URL+"/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Error("/debug/pprof/ index should list profiles")
+	}
+	if body := get(t, srv.URL+"/"); !strings.Contains(body, "/debug/gears") {
+		t.Error("index should advertise /debug/gears")
+	}
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -1,0 +1,272 @@
+// Package obs is the engine's flight recorder: a structured, typed event
+// stream threaded through the one drive loop (fabric.Run), the mux
+// schedule, the replicated-log engine, and the chaos fabric, so the
+// paper's central artifact — the runtime decision of which algorithm each
+// slot runs, and the fault evidence that drove it — is auditable while
+// the system runs instead of reconstructable only post mortem.
+//
+// The zero-overhead contract: tracing is off by default (a nil Tracer
+// everywhere), and every emission site guards with a nil check before
+// building its Event, so the traced hot paths — fabric.Run's tick loop,
+// sim.Mux's window machinery, fabric.Mem's per-frame fault filter — run
+// the exact instructions they ran before this package existed.
+// BenchmarkFabricTick pins the consequence: 0 allocs/tick with tracing
+// disabled. With a tracer installed, Event values are flat structs passed
+// by value (no boxing, no per-event allocation in the runtime itself);
+// whatever a sink allocates is the sink's honest, opt-in cost.
+//
+// Sinks: Ring (bounded in-memory history, for tests and the /debug
+// surface), JSONL (one event per line, for `logload -trace` and offline
+// replay), Metrics (counters, per-link traffic, gear shifts — the
+// Prometheus/expvar substrate), composed with Tee. Histogram is the
+// fixed-bucket latency store behind commit-latency percentiles.
+package obs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Type classifies an Event. The taxonomy follows the run's anatomy:
+// schedule events (tick and window motion), slot events (the gear
+// decision trail), traffic events (per-link frame batches), terminal
+// events (how a run died), and chaos events (every seeded fault decision
+// the Mem fabric makes, keyed so a trace replays the plan exactly).
+type Type uint8
+
+const (
+	// TickStart opens global tick Tick in the drive runtime.
+	TickStart Type = iota + 1
+	// WindowAdvance records an instance retiring from a node's pipeline
+	// window: Node finished Slot after Round local rounds, making room
+	// for the next instance at the following fill.
+	WindowAdvance
+	// SlotOpen records Slot entering Node's window with Round resolved
+	// local rounds — for gear-scheduled logs, the moment the gear
+	// decision took effect.
+	SlotOpen
+	// GearResolved records the engine resolving Slot's protocol at Node:
+	// Round is the resolved round count, Gear the algorithm's name when
+	// the protocol exposes one (shiftgears protocols all do).
+	GearResolved
+	// SlotCommitted records Node committing Slot (in log order) at Tick.
+	SlotCommitted
+	// FrameBatch aggregates one link's delivery for one tick: From's
+	// frames into To — Frames of them, Bytes total. Links silent in a
+	// tick emit nothing.
+	FrameBatch
+	// Diverged, Wedged, and Aborted are terminal: the run died with a
+	// schedule divergence, a wedged node on a fabric that cannot mute,
+	// or any other error (Note carries the message).
+	Diverged
+	Wedged
+	Aborted
+	// ChaosDrop: the Mem plan lost From→To's frame for Slot outright.
+	ChaosDrop
+	// ChaosLate: the frame missed the synchrony bound (read as silence).
+	ChaosLate
+	// ChaosDelay: the frame was held to the end of the tick's exchange —
+	// within the bound, so delivery happened and nothing observable may
+	// change.
+	ChaosDelay
+	// ChaosCut: the frame was severed by an active partition or crash
+	// window on the From→To link.
+	ChaosCut
+	// ChaosReorder: receiver To's within-tick delivery order was
+	// shuffled this tick (must be invisible; one event per receiver).
+	ChaosReorder
+	// PartitionStart and PartitionHeal bracket one Partition window
+	// (Note names the group); CrashStart and CrashEnd bracket one
+	// crash window (Node is the crashed node).
+	PartitionStart
+	PartitionHeal
+	CrashStart
+	CrashEnd
+
+	numTypes
+)
+
+var typeNames = [numTypes]string{
+	TickStart:      "tick",
+	WindowAdvance:  "window",
+	SlotOpen:       "slot_open",
+	GearResolved:   "gear",
+	SlotCommitted:  "commit",
+	FrameBatch:     "frames",
+	Diverged:       "diverged",
+	Wedged:         "wedged",
+	Aborted:        "aborted",
+	ChaosDrop:      "drop",
+	ChaosLate:      "late",
+	ChaosDelay:     "delay",
+	ChaosCut:       "cut",
+	ChaosReorder:   "reorder",
+	PartitionStart: "partition_start",
+	PartitionHeal:  "partition_heal",
+	CrashStart:     "crash_start",
+	CrashEnd:       "crash_end",
+}
+
+// String names the type (the JSONL "ev" field).
+func (t Type) String() string {
+	if int(t) < len(typeNames) && typeNames[t] != "" {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// MarshalText encodes the type as its name.
+func (t Type) MarshalText() ([]byte, error) {
+	if int(t) >= len(typeNames) || typeNames[t] == "" {
+		return nil, fmt.Errorf("obs: unknown event type %d", int(t))
+	}
+	return []byte(typeNames[t]), nil
+}
+
+// UnmarshalText decodes a type name; unknown names are an error, which is
+// what makes a JSONL trace checkable line by line.
+func (t *Type) UnmarshalText(b []byte) error {
+	s := string(b)
+	for typ, name := range typeNames {
+		if name != "" && name == s {
+			*t = Type(typ)
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown event type %q", s)
+}
+
+// Chaos reports whether the type is one of the Mem fabric's fault-plan
+// events — the audit trail a chaos trace must carry.
+func (t Type) Chaos() bool {
+	switch t {
+	case ChaosDrop, ChaosLate, ChaosDelay, ChaosCut, ChaosReorder,
+		PartitionStart, PartitionHeal, CrashStart, CrashEnd:
+		return true
+	}
+	return false
+}
+
+// Event is one flight-recorder record: a flat value (no pointers, no
+// boxing) so emitting costs nothing beyond the sink's own work. Fields
+// not named by the event's Type documentation are -1 (ids) or zero
+// (counts); At builds the canonical blank.
+type Event struct {
+	Type Type `json:"ev"`
+	// Tick is the 1-based global tick the event belongs to.
+	Tick int `json:"tick"`
+	// Node is the emitting/affected node id, -1 when not node-scoped.
+	Node int `json:"node"`
+	// Slot is the instance (log slot) id, -1 when not slot-scoped.
+	Slot int `json:"slot"`
+	// Round is a round count or local round, 0 when unused.
+	Round int `json:"round,omitempty"`
+	// From and To are the link endpoints (sender, receiver) of traffic
+	// and chaos events, -1 otherwise.
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Frames and Bytes aggregate a FrameBatch.
+	Frames int `json:"frames,omitempty"`
+	Bytes  int `json:"bytes,omitempty"`
+	// Gear is the resolved algorithm name of a GearResolved event.
+	Gear string `json:"gear,omitempty"`
+	// Note carries free-form detail (terminal errors, partition groups).
+	Note string `json:"note,omitempty"`
+}
+
+// At returns the canonical blank event of a type at a tick: every
+// id field -1, counts zero. Emission sites fill in what their type
+// defines.
+func At(t Type, tick int) Event {
+	return Event{Type: t, Tick: tick, Node: -1, Slot: -1, From: -1, To: -1}
+}
+
+// Tracer receives the event stream. Implementations must be safe for
+// concurrent Emit calls: under parallel drive loops, every hosted node's
+// half-tick runs on its own goroutine and they all share one tracer. A
+// nil Tracer means tracing is off; emission sites must check before
+// building events (the zero-overhead contract).
+type Tracer interface {
+	Emit(Event)
+}
+
+// tee fans events out to several tracers in order.
+type tee []Tracer
+
+func (t tee) Emit(ev Event) {
+	for _, tr := range t {
+		tr.Emit(ev)
+	}
+}
+
+// Tee composes tracers: every event goes to each non-nil tracer in
+// order. Nil members are dropped; zero live members yield a nil Tracer
+// (tracing off), one yields it directly.
+func Tee(tracers ...Tracer) Tracer {
+	live := make(tee, 0, len(tracers))
+	for _, tr := range tracers {
+		if tr != nil {
+			live = append(live, tr)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+// Ring is a bounded in-memory sink: it keeps the last cap events and
+// counts everything it ever saw. It is the test and /debug substrate —
+// cheap enough to leave on, bounded so long runs cannot grow it.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	cap   int
+	next  int
+	total uint64
+}
+
+// DefaultRingCap bounds a Ring built with NewRing(0).
+const DefaultRingCap = 4096
+
+// NewRing builds a ring keeping the last cap events (cap ≤ 0 =
+// DefaultRingCap).
+func NewRing(cap int) *Ring {
+	if cap <= 0 {
+		cap = DefaultRingCap
+	}
+	return &Ring{cap: cap}
+}
+
+// Emit implements Tracer.
+func (r *Ring) Emit(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % r.cap
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total returns how many events the ring has seen (retained or evicted).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// JSONL streams events as one JSON object per line — the offline trace
+// format `logload -trace` writes and cmd/tracecheck audits. Writes are
+// buffered and serialized; call Close (or at least Flush) when the run
+// ends or the tail of the trace stays in the buffer.
+type JSONL struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer
+	err error
+}
+
+// NewJSONL wraps w in a line-buffered JSONL sink. If w is also an
+// io.Closer, Close closes it.
+func NewJSONL(w io.Writer) *JSONL {
+	j := &JSONL{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		j.c = c
+	}
+	return j
+}
+
+// Emit implements Tracer. The first write error sticks and suppresses
+// further writes; Err / Close report it.
+func (j *JSONL) Emit(ev Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.w.Write(b); err != nil {
+		j.err = err
+		return
+	}
+	j.err = j.w.WriteByte('\n')
+}
+
+// Err returns the first write error, if any.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Flush drains the buffer.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	j.err = j.w.Flush()
+	return j.err
+}
+
+// Close flushes and closes the underlying writer when it is closable.
+func (j *JSONL) Close() error {
+	err := j.Flush()
+	j.mu.Lock()
+	c := j.c
+	j.c = nil
+	j.mu.Unlock()
+	if c != nil {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// ReadJSONL parses a JSONL trace back into events, validating every
+// line (unknown event types and malformed JSON are errors). It is the
+// replay half of the trace contract: what JSONL wrote, ReadJSONL
+// returns verbatim.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var evs []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		if ev.Type == 0 {
+			return nil, fmt.Errorf("obs: trace line %d: missing event type", line)
+		}
+		evs = append(evs, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return evs, nil
+}
+
+// Link identifies one directed link (sender→receiver).
+type Link struct {
+	From, To int
+}
+
+// LinkTraffic aggregates one link's lifetime traffic.
+type LinkTraffic struct {
+	Link
+	Frames int
+	Bytes  int
+}
+
+// Metrics is the counting sink: O(1) state per event type, gear, and
+// link, regardless of run length. It backs the Prometheus/expvar
+// surface and the gear-shift counters, and is safe to share across the
+// parallel drive loop's goroutines.
+type Metrics struct {
+	mu        sync.Mutex
+	byType    [numTypes]uint64
+	ticks     int
+	commits   uint64
+	gearCount map[string]uint64 // resolved gear name → slots
+	shifts    uint64            // GearResolved events whose gear != previous slot's (per node 0)
+	lastGear  string
+	links     map[Link]*LinkTraffic
+	latency   Histogram
+}
+
+// NewMetrics builds an empty metrics sink.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		gearCount: make(map[string]uint64),
+		links:     make(map[Link]*LinkTraffic),
+	}
+}
+
+// Emit implements Tracer.
+func (m *Metrics) Emit(ev Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(ev.Type) < len(m.byType) {
+		m.byType[ev.Type]++
+	}
+	switch ev.Type {
+	case TickStart:
+		if ev.Tick > m.ticks {
+			m.ticks = ev.Tick
+		}
+	case SlotCommitted:
+		m.commits++
+	case GearResolved:
+		// Count shifts from one node's perspective (node 0 when present)
+		// so an N-node run doesn't count each shift N times.
+		if ev.Node <= 0 {
+			m.gearCount[ev.Gear]++
+			if m.lastGear != "" && ev.Gear != m.lastGear {
+				m.shifts++
+			}
+			m.lastGear = ev.Gear
+		}
+	case FrameBatch:
+		k := Link{From: ev.From, To: ev.To}
+		lt := m.links[k]
+		if lt == nil {
+			lt = &LinkTraffic{Link: k}
+			m.links[k] = lt
+		}
+		lt.Frames += ev.Frames
+		lt.Bytes += ev.Bytes
+	}
+}
+
+// Latency returns the sink's commit-latency histogram, for drivers that
+// want to Observe into the same store the HTTP surface renders.
+func (m *Metrics) Latency() *Histogram { return &m.latency }
+
+// CountOf returns how many events of one type were seen.
+func (m *Metrics) CountOf(t Type) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(t) < len(m.byType) {
+		return m.byType[t]
+	}
+	return 0
+}
+
+// Ticks returns the highest tick observed.
+func (m *Metrics) Ticks() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ticks
+}
+
+// Commits returns the number of SlotCommitted events.
+func (m *Metrics) Commits() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.commits
+}
+
+// GearShifts returns how many times consecutive slots (as resolved at
+// node 0) changed gear.
+func (m *Metrics) GearShifts() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.shifts
+}
+
+// Gears returns the per-gear slot counts (resolved at node 0), as a
+// copied map.
+func (m *Metrics) Gears() map[string]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]uint64, len(m.gearCount))
+	for k, v := range m.gearCount {
+		out[k] = v
+	}
+	return out
+}
+
+// Links returns per-link lifetime traffic, sorted by (From, To).
+func (m *Metrics) Links() []LinkTraffic {
+	m.mu.Lock()
+	out := make([]LinkTraffic, 0, len(m.links))
+	for _, lt := range m.links {
+		out = append(out, *lt)
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// ChaosCounts returns the per-type counts of chaos events, keyed by
+// type name — the audit summary a chaos smoke asserts on.
+func (m *Metrics) ChaosCounts() map[string]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]uint64)
+	for t := Type(1); t < numTypes; t++ {
+		if t.Chaos() && m.byType[t] > 0 {
+			out[t.String()] = m.byType[t]
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package rsm
+
+import (
+	"testing"
+
+	"shiftgears/internal/obs"
+)
+
+// TestLatencyHistogramMatchesCommitTicks: the submit→commit histogram is
+// anchored at the source — a command submitted before the run starts
+// (tick 0) measures exactly the commit tick of the slot that carried it,
+// which the SlotCommitted trace independently records.
+func TestLatencyHistogramMatchesCommitTicks(t *testing.T) {
+	const n, slots, window, batch = 4, 8, 2, 2
+	ring := obs.NewRing(1 << 16)
+	cfg := Config{
+		N: n, Slots: slots, Window: window, BatchSize: batch,
+		Protocol: exponentialFactory(t, n, 1),
+		Tracer:   ring,
+	}
+	replicas := make([]*Replica, n)
+	for id := 0; id < n; id++ {
+		r, err := NewReplica(cfg, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[id] = r
+	}
+	// Two commands on replica 0, batch size 2: both ride slot 0 (the
+	// first slot replica 0 sources), submitted at tick 0.
+	for _, cmd := range []Value{7, 8} {
+		if err := replicas[0].Submit(cmd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := RunSim(replicas, false); err != nil {
+		t.Fatal(err)
+	}
+	for id, r := range replicas {
+		if err := r.Err(); err != nil {
+			t.Fatalf("replica %d: %v", id, err)
+		}
+	}
+
+	// The trace knows when slot 0 committed at replica 0.
+	commitTick := 0
+	commits := 0
+	for _, ev := range ring.Events() {
+		if ev.Type == obs.SlotCommitted && ev.Node == 0 {
+			commits++
+			if ev.Slot == 0 {
+				commitTick = ev.Tick
+			}
+		}
+	}
+	if commits != slots {
+		t.Fatalf("replica 0 committed %d slots in the trace, want %d", commits, slots)
+	}
+	if commitTick < 1 {
+		t.Fatalf("slot 0 commit tick %d, want ≥ 1", commitTick)
+	}
+
+	h := replicas[0].Latency()
+	if got := h.Count(); got != 2 {
+		t.Fatalf("replica 0 latency samples = %d, want 2", got)
+	}
+	s := h.Summarize()
+	// Both samples are exactly commitTick; the quantile read is the
+	// bucket upper bound, so check mean and max, which are exact.
+	if s.Max != commitTick {
+		t.Fatalf("latency max = %d, want commit tick %d", s.Max, commitTick)
+	}
+	if s.Mean != float64(commitTick) {
+		t.Fatalf("latency mean = %v, want %d", s.Mean, commitTick)
+	}
+
+	// Replicas that sourced no commands sampled nothing.
+	for id := 1; id < n; id++ {
+		if got := replicas[id].Latency().Count(); got != 0 {
+			t.Fatalf("replica %d sourced nothing but has %d samples", id, got)
+		}
+	}
+}
+
+// TestGearResolvedEventsNameEveryslot: a traced static log emits one
+// GearResolved per slot per replica with the protocol's round count; the
+// commit trail is strictly in slot order per node.
+func TestGearResolvedEventsCoverSchedule(t *testing.T) {
+	const n, slots = 4, 6
+	ring := obs.NewRing(1 << 16)
+	cfg := Config{
+		N: n, Slots: slots, Window: 2, BatchSize: 1,
+		Protocol: exponentialFactory(t, n, 1),
+		Tracer:   ring,
+	}
+	replicas := make([]*Replica, n)
+	for id := 0; id < n; id++ {
+		r, err := NewReplica(cfg, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[id] = r
+	}
+	if _, err := RunSim(replicas, false); err != nil {
+		t.Fatal(err)
+	}
+
+	resolved := map[int]map[int]int{} // node -> slot -> rounds
+	lastSlot := map[int]int{}         // node -> last committed slot
+	for _, ev := range ring.Events() {
+		switch ev.Type {
+		case obs.GearResolved:
+			if resolved[ev.Node] == nil {
+				resolved[ev.Node] = map[int]int{}
+			}
+			resolved[ev.Node][ev.Slot] = ev.Round
+		case obs.SlotCommitted:
+			if last, seen := lastSlot[ev.Node]; seen && ev.Slot != last+1 {
+				t.Fatalf("node %d committed slot %d after slot %d: commits must be in order", ev.Node, ev.Slot, last)
+			}
+			lastSlot[ev.Node] = ev.Slot
+		}
+	}
+	for id := 0; id < n; id++ {
+		for slot := 0; slot < slots; slot++ {
+			want := replicas[id].SlotRounds(slot)
+			if got := resolved[id][slot]; got != want {
+				t.Fatalf("node %d slot %d resolved %d rounds in trace, engine says %d", id, slot, got, want)
+			}
+		}
+		if lastSlot[id] != slots-1 {
+			t.Fatalf("node %d last committed slot %d, want %d", id, lastSlot[id], slots-1)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"shiftgears/internal/adversary"
+	"shiftgears/internal/obs"
 	"shiftgears/internal/sim"
 )
 
@@ -32,12 +33,15 @@ type Replica struct {
 	protos     []Protocol    // per slot; static: filled at construction, gear: resolved lazily
 	gearErrs   map[int]error // per-slot gear resolution failures, surfaced by startSlot
 	queue      []Value
+	queueTicks []int         // per queued command, the tick it was submitted at
+	slotTicks  map[int][]int // per sourced slot, its batch's submit ticks
 	slots      map[int]*slotInstance
 	pending    map[int]Entry // finished but waiting for in-order commit
 	commitNext int
 	entries    []Entry
 	snapshot   []Value
 	err        error
+	lat        obs.Histogram // submit→commit latency of commands this replica sourced
 
 	committed       chan Entry
 	committedClosed bool
@@ -84,6 +88,7 @@ func NewReplica(cfg Config, id int, opts ...ReplicaOption) (*Replica, error) {
 		id:        id,
 		protos:    make([]Protocol, cfg.Slots),
 		gearErrs:  make(map[int]error),
+		slotTicks: make(map[int][]int),
 		slots:     make(map[int]*slotInstance),
 		pending:   make(map[int]Entry),
 		committed: make(chan Entry, cfg.Slots),
@@ -95,6 +100,7 @@ func NewReplica(cfg Config, id int, opts ...ReplicaOption) (*Replica, error) {
 		ID: id, N: cfg.N, Window: cfg.Window, Workers: cfg.Workers,
 		Start:  r.startSlot,
 		Finish: r.finishSlot,
+		Tracer: cfg.Tracer,
 	}
 	if cfg.GearProtocol != nil {
 		mcfg.Instances = cfg.Slots
@@ -196,11 +202,24 @@ func (r *Replica) Submit(cmd Value) error {
 	if cmd == NoOp {
 		return fmt.Errorf("rsm: command 0 is the reserved no-op")
 	}
+	// The submit tick anchors the command's latency sample: mux ticks are
+	// 0 before the run starts, so commands queued up front measure
+	// latency from the first tick — the queueing delay is part of the
+	// number, which is what a service front end wants to know.
+	tick := r.mux.Ticks()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.queue = append(r.queue, cmd)
+	r.queueTicks = append(r.queueTicks, tick)
 	return nil
 }
+
+// Latency returns the replica's submit→commit latency histogram, in
+// global ticks. Only the commands this replica sourced are sampled (the
+// source is the one node that knows the submit tick); merge the correct
+// replicas' histograms for the log-level view. Always on: the histogram
+// is O(1) fixed-bucket state updated once per committed command.
+func (r *Replica) Latency() *obs.Histogram { return &r.lat }
 
 // Pending returns the number of queued commands not yet proposed.
 func (r *Replica) Pending() int {
@@ -265,8 +284,25 @@ func (r *Replica) startSlot(slot int) (sim.Instance, error) {
 			take = r.cfg.BatchSize
 		}
 		copy(batch, r.queue[:take])
+		if take > 0 {
+			// Keep the taken commands' submit ticks until the slot commits:
+			// the source is the only replica that can anchor latency.
+			r.slotTicks[slot] = append([]int(nil), r.queueTicks[:take]...)
+		}
 		r.queue = r.queue[take:]
+		r.queueTicks = r.queueTicks[take:]
 		r.mu.Unlock()
+	}
+	if r.cfg.Tracer != nil {
+		// GearResolved is emitted here — for static and gear-scheduled
+		// logs alike — because this is the moment the slot's protocol is
+		// irrevocably fixed on this replica.
+		ev := obs.At(obs.GearResolved, r.mux.Ticks()+1)
+		ev.Node, ev.Slot, ev.Round = r.id, slot, proto.Rounds()
+		if gn, ok := proto.(GearNamer); ok {
+			ev.Gear = gn.GearName()
+		}
+		r.cfg.Tracer.Emit(ev)
 	}
 	si := &slotInstance{slot: slot, id: r.id, n: r.cfg.N, source: source}
 	for pos := 0; pos < r.cfg.BatchSize; pos++ {
@@ -325,6 +361,9 @@ func (r *Replica) finishSlot(slot int) {
 		return
 	}
 	r.pending[slot] = entry
+	// Finish callbacks run during Deliver, before the mux advances its
+	// tick counter, so the committing tick is Ticks()+1.
+	commitTick := r.mux.Ticks() + 1
 	var ready []Entry
 	for {
 		e, have := r.pending[r.commitNext]
@@ -335,10 +374,25 @@ func (r *Replica) finishSlot(slot int) {
 		r.entries = append(r.entries, e)
 		r.snapshot = append(r.snapshot, e.Commands...)
 		ready = append(ready, e)
+		// Latency closes here — at the in-order commit, not the slot's
+		// last round: an out-of-order finish is not yet a commit.
+		if st, have := r.slotTicks[r.commitNext]; have {
+			delete(r.slotTicks, r.commitNext)
+			for _, t := range st {
+				r.lat.Observe(commitTick - t)
+			}
+		}
 		r.commitNext++
 	}
 	final := r.commitNext == r.cfg.Slots
 	r.mu.Unlock()
+	if r.cfg.Tracer != nil {
+		for _, e := range ready {
+			ev := obs.At(obs.SlotCommitted, commitTick)
+			ev.Node, ev.Slot = r.id, e.Slot
+			r.cfg.Tracer.Emit(ev)
+		}
+	}
 
 	// Apply callbacks run outside the lock (they may consult the
 	// replica's public API). Channel sends take the lock again so they

@@ -33,6 +33,7 @@ import (
 
 	"shiftgears/internal/consensus"
 	"shiftgears/internal/eigtree"
+	"shiftgears/internal/obs"
 	"shiftgears/internal/sim"
 )
 
@@ -112,6 +113,20 @@ type Config struct {
 	// protocol error, and RunSim stops with a schedule-divergence error as
 	// soon as one replica's pipeline finishes while another's is running.
 	GearProtocol func(slot, source int, prefix []Entry) (Protocol, error)
+	// Tracer, if non-nil, receives the replica's flight-recorder events —
+	// GearResolved when a slot's protocol is fixed (with the algorithm's
+	// name when the protocol implements GearNamer), SlotCommitted per
+	// in-order commit, and the mux's schedule events — and is forwarded
+	// to the fabric runtime by the drive wrappers. Nil (the default) is
+	// tracing off: every emission site skips its work entirely.
+	Tracer obs.Tracer
+}
+
+// GearNamer is the optional Protocol extension the flight recorder uses
+// to name a slot's resolved gear in GearResolved events. The public
+// shiftgears protocol constructors all implement it.
+type GearNamer interface {
+	GearName() string
 }
 
 func (cfg Config) validate() error {

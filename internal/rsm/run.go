@@ -169,6 +169,9 @@ func run(f fabric.Fabric, ms []*sim.Mux, replicas []*Replica, parallel bool) (*s
 	if parallel {
 		opts = append(opts, fabric.WithParallel())
 	}
+	if tr := replicas[0].cfg.Tracer; tr != nil {
+		opts = append(opts, fabric.WithTracer(tr))
+	}
 	stats, err := fabric.Run(f, ms, opts...)
 	if err != nil {
 		// Translate the runtime's generic classifications into this

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"shiftgears/internal/obs"
 )
 
 // Instance is one multiplexed sub-protocol: a processor-like participant
@@ -59,6 +61,11 @@ type MuxConfig struct {
 	// Finish, if non-nil, is invoked when an instance completes its last
 	// round (before any later instance starts).
 	Finish func(instance int)
+	// Tracer, if non-nil, receives the mux's schedule events: SlotOpen
+	// when an instance enters the window (its resolved round count in
+	// hand) and WindowAdvance when it retires. Nil means tracing off —
+	// the schedule runs its untraced instructions.
+	Tracer obs.Tracer
 	// Workers bounds the worker pool that fans the per-instance
 	// PrepareRound/DeliverRound calls of a tick across goroutines (0 or 1
 	// = sequential). Instances are independent — the schedule, ordering
@@ -247,6 +254,11 @@ func (m *Mux) fill() error {
 		if err != nil {
 			return fmt.Errorf("sim: start instance %d: %w", m.next, err)
 		}
+		if m.cfg.Tracer != nil {
+			ev := obs.At(obs.SlotOpen, m.ticks+1)
+			ev.Node, ev.Slot, ev.Round = m.cfg.ID, m.next, rounds
+			m.cfg.Tracer.Emit(ev)
+		}
 		m.active = append(m.active, &running{inst: m.next, round: 1, rounds: rounds, proc: proc})
 		m.next++
 	}
@@ -334,6 +346,11 @@ func (m *Mux) Deliver(in [][][]byte) error {
 		if ru.round > ru.rounds {
 			if m.cfg.Finish != nil {
 				m.cfg.Finish(ru.inst)
+			}
+			if m.cfg.Tracer != nil {
+				ev := obs.At(obs.WindowAdvance, m.ticks+1)
+				ev.Node, ev.Slot, ev.Round = m.cfg.ID, ru.inst, ru.rounds
+				m.cfg.Tracer.Emit(ev)
 			}
 			continue
 		}

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"testing"
+
+	"shiftgears/internal/obs"
+)
+
+// TestPerRoundStatsCapKeepsLastK: the capped per-round trail retains
+// exactly the last K rounds, oldest first, with identical entries to the
+// uncapped run's tail — bounded memory without changing what is kept.
+func TestPerRoundStatsCapKeepsLastK(t *testing.T) {
+	const n, rounds, cap = 3, 12, 5
+	build := func(opts ...Option) *Stats {
+		procs := make([]Processor, n)
+		for i := range procs {
+			procs[i] = &echoProc{id: i, n: n}
+		}
+		nw, err := NewNetwork(procs, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := nw.Run(rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	full := build(WithPerRoundStats())
+	capped := build(WithPerRoundStatsCap(cap))
+
+	if len(full.PerRound) != rounds {
+		t.Fatalf("uncapped trail has %d entries, want %d", len(full.PerRound), rounds)
+	}
+	if len(capped.PerRound) != cap {
+		t.Fatalf("capped trail has %d entries, want %d", len(capped.PerRound), cap)
+	}
+	for i, rs := range capped.PerRound {
+		want := full.PerRound[rounds-cap+i]
+		if rs != want {
+			t.Fatalf("capped entry %d = %+v, want %+v (last-%d window, oldest first)", i, rs, want, cap)
+		}
+	}
+	// Aggregates are unaffected by the cap.
+	if capped.Messages != full.Messages || capped.Bytes != full.Bytes || capped.Rounds != full.Rounds {
+		t.Fatalf("cap changed aggregates: %+v vs %+v", capped, full)
+	}
+}
+
+// TestPerRoundStatsCapShorterRun: a run shorter than the cap keeps every
+// round; cap ≤ 0 is unbounded.
+func TestPerRoundStatsCapShorterRun(t *testing.T) {
+	procs := make([]Processor, 3)
+	for i := range procs {
+		procs[i] = &echoProc{id: i, n: 3}
+	}
+	nw, err := NewNetwork(procs, WithPerRoundStatsCap(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := nw.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.PerRound) != 4 {
+		t.Fatalf("short run trail has %d entries, want 4", len(st.PerRound))
+	}
+	for i, rs := range st.PerRound {
+		if rs.Round != i+1 {
+			t.Fatalf("entry %d is round %d, want %d", i, rs.Round, i+1)
+		}
+	}
+}
+
+// TestMuxTracerEmitsSchedule: the mux-level SlotOpen/WindowAdvance trail
+// covers every instance with its resolved round count.
+func TestMuxTracerEmitsSchedule(t *testing.T) {
+	const n, window = 2, 2
+	rounds := []int{2, 1, 3}
+	ring := obs.NewRing(0)
+	mk := func(id int, tr obs.Tracer) *Mux {
+		m, err := NewMux(MuxConfig{
+			ID: id, N: n, Window: window, Rounds: rounds, Tracer: tr,
+			Start: func(inst int) (Instance, error) {
+				return &countInstance{n: n}, nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := mk(0, ring), mk(1, nil)
+	for !a.Done() {
+		outs := make([][]MuxFrame, 2)
+		var err error
+		if outs[0], err = a.Outboxes(); err != nil {
+			t.Fatal(err)
+		}
+		if outs[1], err = b.Outboxes(); err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range []*Mux{a, b} {
+			ins := make([][][]byte, n)
+			for s := range ins {
+				ins[s] = make([][]byte, len(outs[s]))
+				for f := range outs[s] {
+					if outs[s][f].Outbox != nil {
+						ins[s][f] = outs[s][f].Outbox[m.ID()]
+					}
+				}
+			}
+			if err := m.Deliver(ins); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	opened, retired := map[int]int{}, map[int]int{}
+	for _, ev := range ring.Events() {
+		switch ev.Type {
+		case obs.SlotOpen:
+			opened[ev.Slot] = ev.Round
+		case obs.WindowAdvance:
+			retired[ev.Slot] = ev.Round
+		}
+	}
+	for inst, r := range rounds {
+		if opened[inst] != r {
+			t.Errorf("instance %d opened with %d rounds, want %d", inst, opened[inst], r)
+		}
+		if retired[inst] != r {
+			t.Errorf("instance %d retired with %d rounds, want %d", inst, retired[inst], r)
+		}
+	}
+}
+
+// countInstance broadcasts one byte per round.
+type countInstance struct{ n int }
+
+func (c *countInstance) PrepareRound(round int) [][]byte {
+	return Broadcast(c.n, []byte{byte(round)})
+}
+func (c *countInstance) DeliverRound(round int, inbox [][]byte) {}

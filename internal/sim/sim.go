@@ -57,11 +57,13 @@ type Stats struct {
 
 // Network executes processors in synchronous rounds.
 type Network struct {
-	procs    []Processor
-	parallel bool
-	perRound bool
-	hook     func(round int)
-	stats    Stats
+	procs       []Processor
+	parallel    bool
+	perRound    bool
+	perRoundCap int
+	hook        func(round int)
+	stats       Stats
+	prOldest    int // ring cursor into stats.PerRound when capped
 }
 
 // Option configures a Network.
@@ -73,8 +75,20 @@ func Parallel() Option { return func(nw *Network) { nw.parallel = true } }
 // WithPerRoundStats records a RoundStats entry per round in the run's
 // Stats. Off by default: aggregate totals are always maintained, but the
 // per-round trail is one entry per tick forever — unbounded memory when
-// the schedule is long (a replicated log's whole lifetime).
+// the schedule is long (a replicated log's whole lifetime). Cap the
+// trail with WithPerRoundStatsCap.
 func WithPerRoundStats() Option { return func(nw *Network) { nw.perRound = true } }
+
+// WithPerRoundStatsCap records per-round stats like WithPerRoundStats
+// but retains only the last k rounds (a keep-last-K ring), so opt-in
+// per-round visibility no longer implies unbounded growth on long runs.
+// k ≤ 0 means unbounded. Implies per-round recording.
+func WithPerRoundStatsCap(k int) Option {
+	return func(nw *Network) {
+		nw.perRound = true
+		nw.perRoundCap = k
+	}
+}
 
 // WithRoundHook installs a callback invoked after each round completes
 // (all deliveries done). Used by traces and lemma-level tests to snapshot
@@ -133,8 +147,13 @@ func (nw *Network) run(maxRounds int, stop func(round int) bool) (*Stats, error)
 	}
 
 	nw.stats = Stats{}
+	nw.prOldest = 0
 	if nw.perRound && maxRounds > 0 {
-		nw.stats.PerRound = make([]RoundStats, 0, maxRounds)
+		capHint := maxRounds
+		if nw.perRoundCap > 0 && nw.perRoundCap < capHint {
+			capHint = nw.perRoundCap
+		}
+		nw.stats.PerRound = make([]RoundStats, 0, capHint)
 	}
 	for r := 1; maxRounds <= 0 || r <= maxRounds; r++ {
 		// Send half: collect every processor's outbox for this round.
@@ -206,7 +225,12 @@ func (nw *Network) run(maxRounds int, stop func(round int) bool) (*Stats, error)
 			nw.stats.MaxPayload = rs.MaxPayload
 		}
 		if nw.perRound {
-			nw.stats.PerRound = append(nw.stats.PerRound, rs)
+			if nw.perRoundCap > 0 && len(nw.stats.PerRound) >= nw.perRoundCap {
+				nw.stats.PerRound[nw.prOldest] = rs
+				nw.prOldest = (nw.prOldest + 1) % nw.perRoundCap
+			} else {
+				nw.stats.PerRound = append(nw.stats.PerRound, rs)
+			}
 		}
 
 		if nw.hook != nil {
@@ -217,7 +241,9 @@ func (nw *Network) run(maxRounds int, stop func(round int) bool) (*Stats, error)
 		}
 	}
 	out := nw.stats
-	out.PerRound = append([]RoundStats(nil), nw.stats.PerRound...)
+	out.PerRound = make([]RoundStats, 0, len(nw.stats.PerRound))
+	out.PerRound = append(out.PerRound, nw.stats.PerRound[nw.prOldest:]...)
+	out.PerRound = append(out.PerRound, nw.stats.PerRound[:nw.prOldest]...)
 	return &out, nil
 }
 

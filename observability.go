@@ -1,0 +1,92 @@
+package shiftgears
+
+// The flight recorder's public face: internal/obs re-exported as type
+// aliases (the same pattern that exposes fabric.Plan as Chaos), so
+// drivers install tracers and read traces without importing internals.
+
+import (
+	"io"
+	"net/http"
+
+	"shiftgears/internal/obs"
+)
+
+// Tracer receives flight-recorder events; install one via
+// LogConfig.Tracer. Implementations must be safe for concurrent Emit —
+// the parallel drive loop shares one tracer across goroutines. The
+// package's sinks (TraceRing, TraceJSONL, TraceMetrics) all are.
+type Tracer = obs.Tracer
+
+// TraceEvent is one flight-recorder record. Unused id fields (Node,
+// Slot, From, To) are -1, so 0 always means processor 0.
+type TraceEvent = obs.Event
+
+// TraceEventType classifies a TraceEvent; the names below mirror
+// internal/obs.
+type TraceEventType = obs.Type
+
+// Event types: the run's anatomy (ticks, window motion, gear decisions,
+// commits, per-link traffic, terminal outcomes) and the mem fabric's
+// chaos audit trail.
+const (
+	TraceTickStart      = obs.TickStart
+	TraceWindowAdvance  = obs.WindowAdvance
+	TraceSlotOpen       = obs.SlotOpen
+	TraceGearResolved   = obs.GearResolved
+	TraceSlotCommitted  = obs.SlotCommitted
+	TraceFrameBatch     = obs.FrameBatch
+	TraceDiverged       = obs.Diverged
+	TraceWedged         = obs.Wedged
+	TraceAborted        = obs.Aborted
+	TraceChaosDrop      = obs.ChaosDrop
+	TraceChaosLate      = obs.ChaosLate
+	TraceChaosDelay     = obs.ChaosDelay
+	TraceChaosCut       = obs.ChaosCut
+	TraceChaosReorder   = obs.ChaosReorder
+	TracePartitionStart = obs.PartitionStart
+	TracePartitionHeal  = obs.PartitionHeal
+	TraceCrashStart     = obs.CrashStart
+	TraceCrashEnd       = obs.CrashEnd
+)
+
+// TraceRing is the bounded in-memory sink (tests, /debug surface).
+type TraceRing = obs.Ring
+
+// TraceJSONL streams events as JSON lines (`logload -trace`).
+type TraceJSONL = obs.JSONL
+
+// TraceMetrics is the counting sink behind the Prometheus/expvar
+// surface: event counts, gear-shift counters, per-link traffic.
+type TraceMetrics = obs.Metrics
+
+// Histogram is the fixed-bucket latency store; LatencySummary its
+// rendered percentile view (LogResult.Latency).
+type Histogram = obs.Histogram
+
+// LatencySummary reports count, mean, p50/p90/p99, and max in ticks.
+type LatencySummary = obs.LatencySummary
+
+// DebugState feeds the live HTTP surface (NewDebugHandler).
+type DebugState = obs.DebugState
+
+// NewTraceRing builds a ring sink retaining the last cap events
+// (cap ≤ 0 uses the default, obs.DefaultRingCap).
+func NewTraceRing(cap int) *TraceRing { return obs.NewRing(cap) }
+
+// NewTraceJSONL builds a JSONL sink over w. Close (or Flush) it when the
+// run ends — the tail of the trace is buffered.
+func NewTraceJSONL(w io.Writer) *TraceJSONL { return obs.NewJSONL(w) }
+
+// NewTraceMetrics builds a counting sink.
+func NewTraceMetrics() *TraceMetrics { return obs.NewMetrics() }
+
+// ReadTrace parses a JSONL trace, validating every line.
+func ReadTrace(r io.Reader) ([]TraceEvent, error) { return obs.ReadJSONL(r) }
+
+// TraceTee fans events to every non-nil tracer; nil when none survive.
+func TraceTee(tracers ...Tracer) Tracer { return obs.Tee(tracers...) }
+
+// NewDebugHandler builds the live observability surface (/metrics,
+// /debug/vars, /debug/pprof, /debug/gears, /debug/trace) over the given
+// state — what cmd/logserver mounts with -debug.
+func NewDebugHandler(st DebugState) http.Handler { return obs.NewHandler(st) }

@@ -79,6 +79,14 @@ type LogConfig struct {
 	// Faulty: an honest replica with a degraded prefix would resolve
 	// divergent gears.
 	Chaos *Chaos
+	// Tracer, if non-nil, installs the flight recorder on the run: the
+	// drive runtime's tick and traffic events, every replica's gear and
+	// commit events, and — on the mem fabric — every seeded fault
+	// decision stream into it (see the obs sinks re-exported by this
+	// package: TraceRing, TraceJSONL, TraceMetrics). Nil is tracing off:
+	// the hot paths run their untraced instructions (zero overhead, see
+	// doc.go).
+	Tracer Tracer
 }
 
 // LogResult reports a completed replicated-log run.
@@ -116,6 +124,12 @@ type LogResult struct {
 	// (cluster-wide on sim/mem/loopback-tcp), so the fabrics' numbers
 	// are directly comparable.
 	MaxMessageBytes, TotalBytes, Messages int
+
+	// Latency summarizes submit→commit latency in global ticks, merged
+	// over the correct, unaffected replicas (each replica samples the
+	// commands it sourced — the submit tick is only known there). Always
+	// measured; Count is 0 when no commands were submitted.
+	Latency LatencySummary
 }
 
 // ReplicatedLog is multi-shot agreement as a service: Submit commands to
@@ -152,6 +166,17 @@ func WithLogApply(f func(replica int, e LogEntry)) LogOption {
 // between this package's algorithm catalog and internal/rsm, exported for
 // cmd/logserver-style deployments that wire rsm.Config directly.
 func SlotProtocol(alg Algorithm, n, t, b, source int) (rsm.Protocol, error) {
+	proto, err := slotProtocol(alg, n, t, b, source)
+	if err != nil {
+		return nil, err
+	}
+	// The wrapper carries the algorithm's name to the flight recorder
+	// (rsm.GearNamer): GearResolved events name the gear a slot actually
+	// ran, which is the trace's whole point on a gear-scheduled log.
+	return namedProtocol{Protocol: proto, name: alg.String()}, nil
+}
+
+func slotProtocol(alg Algorithm, n, t, b, source int) (rsm.Protocol, error) {
 	if alg == NoOpSlot {
 		return noopSlotProtocol{}, nil
 	}
@@ -178,6 +203,16 @@ func SlotProtocol(alg Algorithm, n, t, b, source int) (rsm.Protocol, error) {
 		return coreSlotProtocol{env: env, rounds: info.rounds}, nil
 	}
 }
+
+// namedProtocol decorates a slot protocol with its algorithm name for
+// the flight recorder.
+type namedProtocol struct {
+	rsm.Protocol
+	name string
+}
+
+// GearName implements rsm.GearNamer.
+func (p namedProtocol) GearName() string { return p.name }
 
 type coreSlotProtocol struct {
 	env    *core.Env
@@ -330,7 +365,10 @@ func NewReplicatedLog(cfg LogConfig, opts ...LogOption) (*ReplicatedLog, error) 
 
 	rcfg := rsm.Config{
 		N: cfg.N, Slots: cfg.Slots, Window: cfg.Window, BatchSize: cfg.BatchSize,
-		Workers: cfg.Workers,
+		Workers: cfg.Workers, Tracer: cfg.Tracer,
+	}
+	if l.mem != nil && cfg.Tracer != nil {
+		l.mem.SetTracer(cfg.Tracer)
 	}
 	type protoKey struct {
 		alg    Algorithm
@@ -489,6 +527,7 @@ func (l *ReplicatedLog) Run() (*LogResult, error) {
 		affected[v] = true
 	}
 	var ref []LogEntry
+	var lat Histogram
 	for id, rep := range l.replicas {
 		// Byzantine replicas run shadow state; chaos victims run honest
 		// state over a network degraded beyond the fault model's
@@ -500,6 +539,9 @@ func (l *ReplicatedLog) Run() (*LogResult, error) {
 			return nil, fmt.Errorf("shiftgears: replica %d: %w", id, err)
 		}
 		res.Pending += rep.Pending()
+		// Each correct replica holds the latency samples of the commands
+		// it sourced; fixed buckets make the merge a vector addition.
+		lat.Merge(rep.Latency())
 		entries := rep.Entries()
 		if ref == nil {
 			ref = entries
@@ -510,6 +552,7 @@ func (l *ReplicatedLog) Run() (*LogResult, error) {
 		}
 	}
 	res.Entries = ref
+	res.Latency = lat.Summarize()
 	for _, e := range ref {
 		res.Committed += len(e.Commands)
 	}

@@ -1,0 +1,136 @@
+package shiftgears_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"shiftgears"
+	"shiftgears/internal/fabric"
+)
+
+// traceTestConfig is one static log under faults the tracer must record
+// without perturbing: two Byzantine replicas, and (on the mem fabric) a
+// chaos plan exercising every fault class against the same two nodes.
+func traceTestConfig(fabricName string) shiftgears.LogConfig {
+	cfg := shiftgears.LogConfig{
+		Algorithm: shiftgears.Exponential,
+		N:         7, T: 2,
+		Slots: 8, Window: 2, BatchSize: 2,
+		Faulty: []int{2, 5}, Strategy: "silent", Seed: 11,
+		Fabric: fabricName,
+	}
+	if fabricName == "mem" {
+		cfg.Chaos = &shiftgears.Chaos{
+			Seed:    41,
+			Victims: []int{2},
+			Drop:    0.3, Late: 0.2, Delay: 0.5,
+			Reorder:    true,
+			Partitions: []shiftgears.ChaosPartition{{From: 3, Until: 5, Group: []int{2, 5}}},
+			Crashes:    []shiftgears.ChaosCrash{{Node: 5, From: 2, Until: 4}},
+		}
+	}
+	return cfg
+}
+
+func runTraced(t *testing.T, cfg shiftgears.LogConfig) *shiftgears.LogResult {
+	t.Helper()
+	l, err := shiftgears.NewReplicatedLog(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 16; c++ {
+		if err := l.Submit(c%cfg.N, shiftgears.Value(1+c%255)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := l.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement {
+		t.Fatalf("correct replicas diverged on fabric %q", cfg.Fabric)
+	}
+	return res
+}
+
+// TestPropertyTracerZeroInterference is the zero-overhead contract's
+// correctness half, end to end: on every fabric, running with the full
+// sink stack installed (ring + metrics + JSONL through a Tee) produces a
+// byte-identical committed log, gear schedule, tick count, traffic
+// totals, and latency summary to the untraced run — and the trace the
+// sinks captured is internally consistent.
+func TestPropertyTracerZeroInterference(t *testing.T) {
+	for _, fabricName := range []string{"sim", "mem", "tcp"} {
+		t.Run(fabricName, func(t *testing.T) {
+			plain := runTraced(t, traceTestConfig(fabricName))
+
+			ring := shiftgears.NewTraceRing(1 << 18)
+			metrics := shiftgears.NewTraceMetrics()
+			var buf bytes.Buffer
+			jsonl := shiftgears.NewTraceJSONL(&buf)
+			cfg := traceTestConfig(fabricName)
+			cfg.Tracer = shiftgears.TraceTee(ring, metrics, jsonl)
+			traced := runTraced(t, cfg)
+			if err := jsonl.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			if !reflect.DeepEqual(traced.Entries, plain.Entries) {
+				t.Fatal("tracer changed the committed log")
+			}
+			if got, want := shiftgears.GearRuns(traced.Gears), shiftgears.GearRuns(plain.Gears); got != want {
+				t.Fatalf("tracer changed the gear schedule: %s vs %s", got, want)
+			}
+			if traced.Ticks != plain.Ticks || traced.TotalBytes != plain.TotalBytes || traced.Messages != plain.Messages {
+				t.Fatalf("tracer changed traffic: ticks %d/%d bytes %d/%d msgs %d/%d",
+					traced.Ticks, plain.Ticks, traced.TotalBytes, plain.TotalBytes, traced.Messages, plain.Messages)
+			}
+			if traced.Latency != plain.Latency {
+				t.Fatalf("tracer changed latency: %v vs %v", traced.Latency, plain.Latency)
+			}
+
+			// All three sinks saw the same stream: the JSONL round-trips to
+			// exactly the ring's contents, and the counting sink agrees with
+			// the run's own results.
+			events, err := shiftgears.ReadTrace(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ring.Total() != uint64(len(events)) || !reflect.DeepEqual(ring.Events(), events) {
+				t.Fatalf("JSONL (%d events) and ring (%d) diverge", len(events), ring.Total())
+			}
+			if metrics.Ticks() != traced.Ticks {
+				t.Fatalf("metrics saw %d ticks, run took %d", metrics.Ticks(), traced.Ticks)
+			}
+			if want := uint64(cfg.N * cfg.Slots); metrics.Commits() != want {
+				t.Fatalf("metrics saw %d commits, want %d (%d replicas × %d slots)", metrics.Commits(), want, cfg.N, cfg.Slots)
+			}
+
+			if fabricName != "mem" {
+				return
+			}
+			// On the mem fabric the trace must be a faithful record of the
+			// seeded chaos schedule: every per-frame fault event replays to
+			// the same decision through the plan's pure decision function.
+			rep, err := fabric.NewReplayer(cfg.N, *cfg.Chaos)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chaosFrames := 0
+			for _, ev := range events {
+				switch ev.Type {
+				case shiftgears.TraceChaosDrop, shiftgears.TraceChaosLate,
+					shiftgears.TraceChaosDelay, shiftgears.TraceChaosCut:
+					chaosFrames++
+					if got := rep.Decide(ev.Tick, ev.From, ev.To, ev.Slot); got != ev.Type {
+						t.Fatalf("chaos event %+v does not replay: Decide = %v", ev, got)
+					}
+				}
+			}
+			if chaosFrames == 0 {
+				t.Fatal("mem trace recorded no chaos frame events under a lossy plan")
+			}
+		})
+	}
+}
