@@ -14,8 +14,8 @@
 // stack installed, pricing the tracer against its untraced twin. See the
 // README's Performance section for the schema and the current numbers.
 //
-// -guard compares two trajectory files and fails when the sim-fabric
-// allocs/tick regress, which is what CI runs on every change:
+// -guard compares two trajectory files and fails when the sim- or
+// tcp-fabric allocs/tick regress, which is what CI runs on every change:
 //
 //	bench -guard BENCH_5.json -in BENCH_6.json
 package main
@@ -130,6 +130,7 @@ func matrix(short bool) []Case {
 		{Name: "tcp-seq", Mode: "tcp", N: 4, T: 1, Window: 1, Batch: 1, Alg: "exponential", Cmds: 32},
 		{Name: "tcp-both", Mode: "tcp", N: 4, T: 1, Window: 4, Batch: 4, Alg: "exponential", Cmds: 32},
 		{Name: "tcp-n7", Mode: "tcp", N: 7, T: 2, Window: 4, Batch: 4, Alg: "exponential", Cmds: 96},
+		{Name: "tcp-wide", Mode: "tcp", N: 7, T: 2, Window: 8, Batch: 4, Alg: "exponential", Cmds: 192},
 		// The flight recorder priced against its untraced twins: "both" and
 		// "mem-chaos" rerun with every sink attached. The tracer's cost IS
 		// these deltas; the nil-tracer overhead is bounded separately by
@@ -315,12 +316,13 @@ func readFile(path string) (File, error) {
 	return f, nil
 }
 
-// guard compares the candidate's sim-fabric allocation rates against the
-// baseline's, case by case (matched by name), and fails on regression.
-// Only the sim fabric guards: its allocs/tick is deterministic
-// engine-owned work, while tcp counts transport goroutines and wall-clock
-// scheduling noise. The tolerance — 10% plus one alloc/tick — absorbs
-// measurement jitter on runs short enough for CI.
+// guard compares the candidate's allocation rates against the baseline's,
+// case by case (matched by name), and fails on regression. Sim cases
+// guard at 10% plus one alloc/tick: their allocs/tick is deterministic
+// engine-owned work. Since the wire hot path went zero-copy (read
+// arenas, vectored writes), tcp cases guard too — at a wider 25% plus
+// sixteen allocs/tick, because they also count transport goroutines and
+// wall-clock scheduling noise.
 func guard(out io.Writer, basePath string, baseline File, candPath string, candidate File) error {
 	byName := make(map[string]Result, len(baseline.Results))
 	for _, r := range baseline.Results {
@@ -328,29 +330,32 @@ func guard(out io.Writer, basePath string, baseline File, candPath string, candi
 	}
 	compared, failed := 0, 0
 	for _, r := range candidate.Results {
-		if r.Mode != "sim" || r.Traced {
+		if (r.Mode != "sim" && r.Mode != "tcp") || r.Traced {
 			continue
 		}
 		base, ok := byName[r.Name]
-		if !ok || base.Mode != "sim" {
+		if !ok || base.Mode != r.Mode {
 			continue
 		}
 		compared++
 		limit := base.AllocsPerTick*1.10 + 1
+		if r.Mode == "tcp" {
+			limit = base.AllocsPerTick*1.25 + 16
+		}
 		status := "ok"
 		if r.AllocsPerTick > limit {
 			status = "REGRESSED"
 			failed++
 		}
-		fmt.Fprintf(out, "bench: guard %-18s %8.1f -> %8.1f allocs/tick (limit %8.1f) %s\n",
-			r.Name, base.AllocsPerTick, r.AllocsPerTick, limit, status)
+		fmt.Fprintf(out, "bench: guard %-18s %s %8.1f -> %8.1f allocs/tick (limit %8.1f) %s\n",
+			r.Name, r.Mode, base.AllocsPerTick, r.AllocsPerTick, limit, status)
 	}
 	if compared == 0 {
-		return fmt.Errorf("guard: no comparable sim cases between %s and %s", basePath, candPath)
+		return fmt.Errorf("guard: no comparable sim/tcp cases between %s and %s", basePath, candPath)
 	}
 	if failed > 0 {
-		return fmt.Errorf("guard: %d of %d sim cases regressed allocs/tick vs %s", failed, compared, basePath)
+		return fmt.Errorf("guard: %d of %d cases regressed allocs/tick vs %s", failed, compared, basePath)
 	}
-	fmt.Fprintf(out, "bench: guard passed, %d sim cases within limits of %s\n", compared, basePath)
+	fmt.Fprintf(out, "bench: guard passed, %d cases within limits of %s\n", compared, basePath)
 	return nil
 }

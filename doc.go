@@ -107,6 +107,36 @@
 // interleaving across connections differs. The lockstep barrier (finish
 // tick t only once every peer's tick-t frames arrived) is untouched.
 //
+// # Wire hot path
+//
+// The TCP exchange moves a tick without per-frame heap work, resting on
+// one ownership rule that holds across the whole stack: a payload is
+// valid for exactly one tick. Outbound, each writer goroutine packs its
+// peer's frame headers into a contiguous scratch, points a net.Buffers
+// at the headers and the payload slices in place, and issues the whole
+// tick as a single vectored write (writev) — one syscall per peer per
+// tick, no assembly buffer, and the one-flush-per-peer guarantee above
+// becomes structural rather than a Flush discipline. Inbound, each peer
+// connection owns a read arena: the reader slices every payload of the
+// tick out of it and rewinds it at the next tick's start. When a tick
+// outgrows the arena, a larger block is installed without copying — the
+// already-handed-out payloads keep referencing the old block, which
+// stays intact until the rewind.
+//
+// Consumers therefore must use or copy an inbound payload within the
+// tick that delivered it; that is the same contract the sim.Processor
+// interface already imposes (sim's router hands instances its own
+// per-tick scratch) and the encode side mirrors (rsm slot payloads
+// slice into per-slot arenas reset every PrepareRound). Retaining a
+// payload across ticks is a use-after-rewind and shows up under the
+// race detector: the reader goroutine overwrites the arena while the
+// retainer reads it (see TestReplicatedLogTCPWorkersArenaLifetime).
+// Everything above the fabrics pools the rest of a slot's footprint —
+// consensus instances (core.Env.GetReplica/Release), their trees and
+// fault lists, and the codec scratch — so steady-state ticks on every
+// fabric run within a few hundred allocations at n=7 (see the README's
+// Performance section and cmd/bench's -guard gate).
+//
 // # Gear policies: shifting algorithms across the log
 //
 // A LogConfig.GearPolicy makes the per-slot algorithm a runtime

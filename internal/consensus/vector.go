@@ -178,24 +178,34 @@ func broadcastPayload(outbox [][]byte) []byte {
 // uvarint(length) followed by the bytes, per instance in order; length 0
 // encodes "no message". A payload with no frames at all is nil.
 func EncodeFrames(frames [][]byte) []byte {
+	out, ok := AppendFrames(nil, frames)
+	if !ok {
+		return nil
+	}
+	return out
+}
+
+// AppendFrames appends the EncodeFrames encoding of frames to dst and
+// reports whether any frame was non-nil; when none is, nothing is
+// appended and the encoded payload is "no message" (callers send nil).
+// Appending into a caller-owned arena keeps the per-destination encode of
+// a hot tick allocation-free once the arena has grown to steady state.
+func AppendFrames(dst []byte, frames [][]byte) ([]byte, bool) {
 	any := false
-	size := 0
-	var tmp [binary.MaxVarintLen64]byte
 	for _, f := range frames {
-		size += binary.PutUvarint(tmp[:], uint64(len(f))) + len(f)
 		if f != nil {
 			any = true
+			break
 		}
 	}
 	if !any {
-		return nil
+		return dst, false
 	}
-	out := make([]byte, 0, size)
 	for _, f := range frames {
-		out = binary.AppendUvarint(out, uint64(len(f)))
-		out = append(out, f...)
+		dst = binary.AppendUvarint(dst, uint64(len(f)))
+		dst = append(dst, f...)
 	}
-	return out
+	return dst, true
 }
 
 // DecodeFrames unpacks a wire payload into n per-instance payloads. It
@@ -204,15 +214,34 @@ func EncodeFrames(frames [][]byte) []byte {
 // sender as silent everywhere — the multiplexed analogue of the paper's
 // "inappropriate message → default" rule.
 func DecodeFrames(payload []byte, n int) [][]byte {
-	if payload == nil {
+	out := make([][]byte, n)
+	if !DecodeFramesInto(out, payload) {
 		return nil
 	}
-	out := make([][]byte, n)
+	return out
+}
+
+// DecodeFramesInto is DecodeFrames into caller-owned scratch: it fills
+// out (whose length is the expected frame count) with subslices of
+// payload and reports whether the payload was well-formed. On a missing
+// or malformed payload it returns false with every entry nil — the
+// caller treats the sender as silent everywhere. The decoded frames
+// alias payload; they live exactly as long as it does.
+func DecodeFramesInto(out [][]byte, payload []byte) bool {
+	for s := range out {
+		out[s] = nil
+	}
+	if payload == nil {
+		return false
+	}
 	rest := payload
-	for s := 0; s < n; s++ {
+	for s := range out {
 		ln, k := binary.Uvarint(rest)
 		if k <= 0 || uint64(len(rest)-k) < ln {
-			return nil
+			for q := 0; q < s; q++ {
+				out[q] = nil
+			}
+			return false
 		}
 		rest = rest[k:]
 		if ln > 0 {
@@ -221,7 +250,10 @@ func DecodeFrames(payload []byte, n int) [][]byte {
 		}
 	}
 	if len(rest) != 0 {
-		return nil
+		for s := range out {
+			out[s] = nil
+		}
+		return false
 	}
-	return out
+	return true
 }

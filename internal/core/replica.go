@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"shiftgears/internal/eigtree"
 	"shiftgears/internal/faults"
@@ -51,6 +52,14 @@ type Env struct {
 	Opts   Options
 	gather *eigtree.Enum
 	echo   *eigtree.Enum
+
+	// Replica free list for GetReplica/Release. The instance-per-slot
+	// lifecycle of the replicated log builds hundreds of short-lived
+	// replicas per run; pooling keeps each one's tree arena, fault list,
+	// and codec scratch warm. Synchronized: one Env is shared by every
+	// node of a run, and slots start and finish on concurrent drive loops.
+	mu   sync.Mutex
+	free []*Replica
 }
 
 // NewEnv builds the enumerations the plan requires.
@@ -95,6 +104,17 @@ type Replica struct {
 	err      error
 
 	counters Counters
+
+	// Per-round scratch: the broadcast outbox (every destination shares
+	// one payload) and the payload buffer it points at, both reused across
+	// rounds. Sound under the sim.Processor contract — outbox payloads are
+	// consumed or copied within their tick — and under the adversary
+	// Strategy contract (strategies never retain or mutate honest
+	// payloads in place).
+	bcast   [][]byte
+	payload []byte
+	srcbuf  [1]byte
+	cvals   []eigtree.Value // echoRound's converted mid-level scratch
 }
 
 var _ sim.Processor = (*Replica)(nil)
@@ -119,6 +139,69 @@ func NewReplica(env *Env, id int, initial eigtree.Value, log *trace.Log) (*Repli
 		r.tree = eigtree.NewTree(r.enumFor(env.Plan.Segments[0].Kind))
 	}
 	return r, nil
+}
+
+// GetReplica returns a replica for the given id, reusing a pooled one when
+// available. Pooled replicas keep their tree arena, resolution scratch,
+// fault-list storage, and outbox buffers, so in steady state a fresh
+// consensus instance costs no allocation at all. Pair with Release.
+func (env *Env) GetReplica(id int, initial eigtree.Value, log *trace.Log) (*Replica, error) {
+	env.mu.Lock()
+	var r *Replica
+	if n := len(env.free); n > 0 {
+		r = env.free[n-1]
+		env.free = env.free[:n-1]
+	}
+	env.mu.Unlock()
+	if r == nil {
+		return NewReplica(env, id, initial, log)
+	}
+	if err := r.reset(id, initial, log); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Release returns the replica to its Env's pool for reuse by a later
+// GetReplica. The caller must not touch the replica afterwards.
+func (r *Replica) Release() {
+	env := r.env
+	env.mu.Lock()
+	env.free = append(env.free, r)
+	env.mu.Unlock()
+}
+
+// reset restores a pooled replica to its just-constructed state for a new
+// (id, initial) run, keeping every reusable buffer.
+func (r *Replica) reset(id int, initial eigtree.Value, log *trace.Log) error {
+	if id < 0 || id >= r.env.Plan.N {
+		return fmt.Errorf("core: replica id %d out of range [0, %d)", id, r.env.Plan.N)
+	}
+	r.id = id
+	r.initial = initial
+	r.log = log
+	r.list.Reset()
+	r.segIdx = 0
+	r.segDone = 0
+	r.decided = false
+	r.decision = 0
+	r.err = nil
+	r.counters = Counters{}
+	if id != r.env.Plan.Source {
+		if len(r.env.Plan.Segments) == 0 {
+			return fmt.Errorf("core: plan has no segments")
+		}
+		want := r.enumFor(r.env.Plan.Segments[0].Kind)
+		// A replica that last ran as the source has no tree; one whose run
+		// ended in an echo segment has a tree of the wrong shape. Either
+		// way the old arena is useless for the new enumeration.
+		if r.tree == nil || r.tree.Enum() != want {
+			r.tree = eigtree.NewTree(want)
+		} else {
+			r.tree.Reset()
+		}
+	}
+	return nil
 }
 
 func (r *Replica) enumFor(kind SegmentKind) *eigtree.Enum {
@@ -160,18 +243,33 @@ func (r *Replica) Counters() Counters { return r.counters }
 // which is precisely the "execute from round 2" semantics of the paper's
 // shift operator.
 func (r *Replica) PrepareRound(round int) [][]byte {
-	n := r.env.Plan.N
 	if r.id == r.env.Plan.Source {
 		if round != 1 {
 			return nil
 		}
 		r.decide(1, r.initial)
-		return sim.Broadcast(n, []byte{byte(r.initial)})
+		r.srcbuf[0] = byte(r.initial)
+		return r.broadcast(r.srcbuf[:])
 	}
 	if round == 1 || r.decided || r.err != nil {
 		return nil
 	}
-	return sim.Broadcast(n, r.tree.LeafPayload())
+	r.payload = r.tree.AppendLeafPayload(r.payload[:0])
+	return r.broadcast(r.payload)
+}
+
+// broadcast fills the replica's reusable outbox with payload for every
+// destination (the behavior of a correct processor) — sim.Broadcast
+// without the per-round allocation. The outbox and payload are valid for
+// one tick.
+func (r *Replica) broadcast(payload []byte) [][]byte {
+	if r.bcast == nil {
+		r.bcast = make([][]byte, r.env.Plan.N)
+	}
+	for j := range r.bcast {
+		r.bcast[j] = payload
+	}
+	return r.bcast
 }
 
 // DeliverRound implements sim.Processor.
@@ -204,12 +302,10 @@ func (r *Replica) DeliverRound(round int, inbox [][]byte) {
 // per-round ordering prescribed in Section 3.
 func (r *Replica) storeRound(round int, inbox [][]byte) bool {
 	plan := r.env.Plan
-	h, err := r.tree.AddLevel()
-	if err != nil {
+	if _, err := r.tree.AddLevel(); err != nil {
 		r.fail(err)
 		return false
 	}
-	want := r.tree.Enum().Size(h - 1)
 	for q := 0; q < plan.N; q++ {
 		if q == plan.Source {
 			continue // the source halts after round 1; later messages are ignored
@@ -217,8 +313,10 @@ func (r *Replica) storeRound(round int, inbox [][]byte) bool {
 		if r.list.Contains(q) && !r.env.Opts.DisableMasking {
 			continue // Fault Masking Rule: treat as all default values
 		}
-		claimed := eigtree.DecodeClaim(inbox[q], want)
-		if err := r.tree.StoreFrom(q, claimed); err != nil {
+		// StoreFromPayload fuses DecodeClaim with the store: a wrong-length
+		// payload is a missing message (defaults kept), and the wire bytes
+		// are read in place — no claim slice materializes.
+		if err := r.tree.StoreFromPayload(q, inbox[q]); err != nil {
 			r.fail(err)
 			return false
 		}
@@ -289,7 +387,10 @@ func (r *Replica) echoRound(round int, inbox [][]byte, seg Segment) {
 		}
 		r.counters.ResolveOps += res.Ops()
 		mid := res.LevelValues(1)
-		vals := make([]eigtree.Value, len(mid))
+		if cap(r.cvals) < len(mid) {
+			r.cvals = make([]eigtree.Value, len(mid))
+		}
+		vals := r.cvals[:len(mid)]
 		for i, cv := range mid {
 			vals[i] = cv.Value()
 		}

@@ -125,6 +125,16 @@ func (e *Enum) Repeat() bool { return e.repeat }
 // MaxLevel returns the deepest enumerated level.
 func (e *Enum) MaxLevel() int { return len(e.levels) - 1 }
 
+// TotalNodes returns the node count of a fully grown tree — the sum of
+// every level's size. Tree uses it to size its value arena once.
+func (e *Enum) TotalNodes() int {
+	total := 0
+	for _, lvl := range e.levels {
+		total += len(lvl)
+	}
+	return total
+}
+
 // Size returns the number of nodes at level h.
 func (e *Enum) Size(h int) int { return len(e.levels[h]) }
 

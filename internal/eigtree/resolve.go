@@ -35,16 +35,22 @@ func (k ResolveKind) String() string {
 // bottom-up in one pass. Keeping all intermediate converted values (rather
 // than just the root) serves Algorithm A's Fault Discovery Rule During
 // Conversion and Algorithm C's per-subtree shifts.
+//
+// A Resolution returned by Tree.Resolve is owned by the tree and reused
+// by that tree's next Resolve call: consume it (or copy what you need)
+// before resolving again.
 type Resolution struct {
-	kind ResolveKind
-	enum *Enum
-	vals [][]CValue
-	ops  int
+	kind   ResolveKind
+	enum   *Enum
+	vals   [][]CValue
+	carena []CValue // vals backing store, grown once per tree shape
+	ops    int
 }
 
 // Resolve applies the conversion function to the whole tree and returns the
 // converted values of every node. tparam is the protocol resilience t,
-// used only by ResolveSupport's t+1 threshold.
+// used only by ResolveSupport's t+1 threshold. The returned Resolution is
+// scratch owned by the tree, valid until the tree's next Resolve.
 func (t *Tree) Resolve(kind ResolveKind, tparam int) (*Resolution, error) {
 	if len(t.levels) == 0 {
 		return nil, fmt.Errorf("eigtree: Resolve on empty tree")
@@ -52,15 +58,21 @@ func (t *Tree) Resolve(kind ResolveKind, tparam int) (*Resolution, error) {
 	if kind != ResolveMajority && kind != ResolveSupport {
 		return nil, fmt.Errorf("eigtree: unknown resolve kind %d", int(kind))
 	}
-	res := &Resolution{
-		kind: kind,
-		enum: t.enum,
-		vals: make([][]CValue, len(t.levels)),
+	res := &t.res
+	res.kind, res.enum, res.ops = kind, t.enum, 0
+	if need := t.NodeCount(); cap(res.carena) < need {
+		res.carena = make([]CValue, need)
 	}
+	if cap(res.vals) < len(t.levels) {
+		res.vals = make([][]CValue, len(t.levels))
+	}
+	res.vals = res.vals[:len(t.levels)]
+	coff := 0
 
 	// Leaves convert to their stored values.
 	deepest := len(t.levels) - 1
-	leafVals := make([]CValue, len(t.levels[deepest]))
+	leafVals := res.carena[coff : coff+len(t.levels[deepest]) : coff+len(t.levels[deepest])]
+	coff += len(leafVals)
 	for i, v := range t.levels[deepest] {
 		leafVals[i] = CV(v)
 	}
@@ -73,7 +85,8 @@ func (t *Tree) Resolve(kind ResolveKind, tparam int) (*Resolution, error) {
 	for h := deepest - 1; h >= 0; h-- {
 		cc := t.enum.ChildCount(h)
 		children := res.vals[h+1]
-		out := make([]CValue, t.enum.Size(h))
+		out := res.carena[coff : coff+t.enum.Size(h) : coff+t.enum.Size(h)]
+		coff += len(out)
 		for i := range out {
 			var touched [8]int
 			tn := 0

@@ -9,9 +9,17 @@ import "fmt"
 //
 // A Tree grows one level per round of Information Gathering and collapses
 // back to a single root when a shift operator is applied (Section 4).
+//
+// Level storage is carved from a single arena sized by the enumeration
+// (Enum.TotalNodes), grabbed in level order and rewound by SetRoot's
+// collapse and DropLeaves — so a tree's whole grow/shift/regrow life
+// costs one value allocation, however many segments the plan runs.
 type Tree struct {
 	enum   *Enum
 	levels [][]Value
+	arena  []Value // level backing store; levels slice into it in order
+	aoff   int     // arena bytes handed out to the current levels
+	res    Resolution
 }
 
 // NewTree returns an empty tree (height -1 by the paper's convention: not
@@ -20,8 +28,39 @@ func NewTree(enum *Enum) *Tree {
 	return &Tree{enum: enum}
 }
 
+// grab carves the next size values off the arena, cleared to the default
+// value. Levels are grabbed in level order and released LIFO (DropLeaves,
+// SetRoot), so the arena — sized for the fully grown tree — always fits;
+// the defensive fallback never triggers for enum-conforming growth.
+func (t *Tree) grab(size int) []Value {
+	if t.arena == nil {
+		total := t.enum.TotalNodes()
+		if total < size {
+			total = size
+		}
+		t.arena = make([]Value, total)
+	}
+	if t.aoff+size > len(t.arena) {
+		return make([]Value, size)
+	}
+	lvl := t.arena[t.aoff : t.aoff+size : t.aoff+size]
+	t.aoff += size
+	for i := range lvl {
+		lvl[i] = Default
+	}
+	return lvl
+}
+
 // Enum returns the enumeration that fixes this tree's shape.
 func (t *Tree) Enum() *Enum { return t.enum }
+
+// Reset empties the tree back to its NewTree state (height -1) while
+// keeping the arena and resolution scratch, so a pooled tree's next run
+// allocates nothing.
+func (t *Tree) Reset() {
+	t.levels = t.levels[:0]
+	t.aoff = 0
+}
 
 // Levels returns the number of stored levels (root counts as one).
 func (t *Tree) Levels() int { return len(t.levels) }
@@ -35,7 +74,10 @@ func (t *Tree) Height() int { return len(t.levels) - 1 }
 // the shift operator's collapse back to a one-level tree.
 func (t *Tree) SetRoot(v Value) {
 	t.levels = t.levels[:0]
-	t.levels = append(t.levels, []Value{v})
+	t.aoff = 0
+	lvl := t.grab(1)
+	lvl[0] = v
+	t.levels = append(t.levels, lvl)
 }
 
 // Root returns the root value (the preferred value). It is Default on an
@@ -58,7 +100,7 @@ func (t *Tree) AddLevel() (int, error) {
 	if h > t.enum.MaxLevel() {
 		return 0, fmt.Errorf("eigtree: level %d exceeds enumeration depth %d", h, t.enum.MaxLevel())
 	}
-	t.levels = append(t.levels, make([]Value, t.enum.Size(h)))
+	t.levels = append(t.levels, t.grab(t.enum.Size(h)))
 	return h, nil
 }
 
@@ -120,12 +162,19 @@ func (t *Tree) LevelValues(h int) []Value { return t.levels[h] }
 // the next round of Information Gathering, so payload length equals the
 // number of leaves — making the paper's message-length bounds observable.
 func (t *Tree) LeafPayload() []byte {
+	return t.AppendLeafPayload(nil)
+}
+
+// AppendLeafPayload appends the LeafPayload encoding to dst and returns
+// it — the zero-alloc variant for callers that reuse a payload buffer
+// across rounds (the payload is consumed within its tick, so a
+// per-replica scratch is safe).
+func (t *Tree) AppendLeafPayload(dst []byte) []byte {
 	leaves := t.levels[len(t.levels)-1]
-	out := make([]byte, len(leaves))
-	for i, v := range leaves {
-		out[i] = byte(v)
+	for _, v := range leaves {
+		dst = append(dst, byte(v))
 	}
-	return out
+	return dst
 }
 
 // DecodeClaim decodes a received payload that should describe `want` tree
@@ -140,6 +189,29 @@ func DecodeClaim(payload []byte, want int) []Value {
 		out[i] = Value(b)
 	}
 	return out
+}
+
+// StoreFromPayload is StoreFrom reading values straight off the wire
+// payload — DecodeClaim fused with the store, so the hot gather path
+// materializes no intermediate claim slice. A nil or wrong-length payload
+// stands for a missing message and leaves the default values in place
+// (the paper's "default value is used if an inappropriate message is
+// received").
+func (t *Tree) StoreFromPayload(r int, payload []byte) error {
+	hNew := len(t.levels) - 1
+	if hNew < 1 {
+		return fmt.Errorf("eigtree: StoreFrom before AddLevel")
+	}
+	if payload == nil || len(payload) != t.enum.Size(hNew-1) {
+		return nil // missing or inappropriate message: keep defaults
+	}
+	level := t.levels[hNew]
+	for i, b := range payload {
+		if ci, ok := t.enum.ChildIndex(hNew-1, i, r); ok {
+			level[ci] = Value(b)
+		}
+	}
+	return nil
 }
 
 // Reorder applies Algorithm C's leaf reordering (Section 4.3): in a
@@ -167,7 +239,14 @@ func (t *Tree) Reorder() error {
 // three-level to a two-level tree after conversion).
 func (t *Tree) DropLeaves() {
 	if len(t.levels) > 1 {
+		dropped := t.levels[len(t.levels)-1]
 		t.levels = t.levels[:len(t.levels)-1]
+		// The deepest level was the last arena grab: rewind so the next
+		// AddLevel reuses its space. (Guarded for the defensive non-arena
+		// fallback, whose levels never advanced aoff.)
+		if t.aoff >= len(dropped) {
+			t.aoff -= len(dropped)
+		}
 	}
 }
 
@@ -182,11 +261,13 @@ func (t *Tree) SetLevelValues(h int, vals []Value) error {
 }
 
 // Clone returns a deep copy of the tree (used by adversary shadows and by
-// tests).
+// tests). The copy has its own arena and resolution scratch.
 func (t *Tree) Clone() *Tree {
-	c := &Tree{enum: t.enum, levels: make([][]Value, len(t.levels))}
-	for i, lvl := range t.levels {
-		c.levels[i] = append([]Value(nil), lvl...)
+	c := NewTree(t.enum)
+	for _, lvl := range t.levels {
+		cl := c.grab(len(lvl))
+		copy(cl, lvl)
+		c.levels = append(c.levels, cl)
 	}
 	return c
 }

@@ -36,16 +36,23 @@ func DiscoverStored(tr *eigtree.Tree, lst *List, t, round int) ([]int, PassStats
 	parents := deepest - 1
 	cc := enum.ChildCount(parents)
 	children := tr.LevelValues(deepest)
-	snap := lst.snap()
-	budget := t - snap.size
+	// Accusations are applied only after the scan (below), so the list's
+	// membership and size are stable for the whole pass — the "snapshot"
+	// the rule requires is the list itself, read directly.
+	budget := t - lst.Len()
 
 	var accused []int
-	vals := make([]eigtree.CValue, cc)
+	var valsBuf [64]eigtree.CValue
+	vals := valsBuf[:]
+	if cc > len(valsBuf) {
+		vals = make([]eigtree.CValue, cc)
+	}
+	vals = vals[:cc]
 	for j := 0; j < enum.Size(parents); j++ {
 		r := enum.LastLabel(parents, j)
 		stats.NodesChecked++
 		stats.ChildReads += cc
-		if snap.contains(r) || contains(accused, r) {
+		if lst.Contains(r) || contains(accused, r) {
 			continue // already known or already accused this pass
 		}
 		for k := 0; k < cc; k++ {
@@ -66,7 +73,7 @@ func DiscoverStored(tr *eigtree.Tree, lst *List, t, round int) ([]int, PassStats
 			if q == enum.Source() {
 				continue
 			}
-			if !snap.contains(q) && vals[k] != maj {
+			if !lst.Contains(q) && vals[k] != maj {
 				dissent++
 			}
 		}
@@ -102,8 +109,9 @@ func DiscoverConverted(res *eigtree.Resolution, lst *List, t, round int) ([]int,
 		return nil, stats
 	}
 	enum := res.Enum()
-	snap := lst.snap()
-	budget := t - snap.size
+	// As in DiscoverStored: adds happen after the scan, so the live list
+	// is the pass snapshot.
+	budget := t - lst.Len()
 
 	var accused []int
 	for h := 0; h < levels-1; h++ {
@@ -113,7 +121,7 @@ func DiscoverConverted(res *eigtree.Resolution, lst *List, t, round int) ([]int,
 			r := enum.LastLabel(h, j)
 			stats.NodesChecked++
 			stats.ChildReads += cc
-			if snap.contains(r) || contains(accused, r) {
+			if lst.Contains(r) || contains(accused, r) {
 				continue
 			}
 			vals := children[j*cc : (j+1)*cc]
@@ -128,7 +136,7 @@ func DiscoverConverted(res *eigtree.Resolution, lst *List, t, round int) ([]int,
 				if q == enum.Source() {
 					continue // see DiscoverStored: dead source slots
 				}
-				if !snap.contains(q) && vals[k] != maj {
+				if !lst.Contains(q) && vals[k] != maj {
 					dissent++
 				}
 			}

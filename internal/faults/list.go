@@ -34,6 +34,15 @@ func NewList(n int) *List {
 	return &List{member: make([]bool, n)}
 }
 
+// Reset empties the list back to its NewList state, keeping its storage
+// for reuse by a pooled replica.
+func (l *List) Reset() {
+	for i := range l.member {
+		l.member[i] = false
+	}
+	l.log = l.log[:0]
+}
+
 // Contains reports whether p has been discovered faulty.
 func (l *List) Contains(p int) bool {
 	return p >= 0 && p < len(l.member) && l.member[p]
@@ -85,21 +94,6 @@ func (l *List) String() string {
 	return fmt.Sprintf("L%v", l.Members())
 }
 
-// snapshot captures membership and size at the start of a discovery pass:
-// the rule's thresholds use |L_p| as of the pass, and all accusations in a
-// pass are judged against the same snapshot so that the pass is independent
-// of node visiting order.
-type snapshot struct {
-	member []bool
-	size   int
-}
-
-func (l *List) snap() snapshot {
-	return snapshot{member: append([]bool(nil), l.member...), size: len(l.log)}
-}
-
-func (s snapshot) contains(p int) bool { return s.member[p] }
-
 // sortedUnique sorts and deduplicates accused ids for deterministic passes.
 func sortedUnique(ids []int) []int {
 	sort.Ints(ids)
@@ -115,13 +109,28 @@ func sortedUnique(ids []int) []int {
 // majorityOf returns the value held by a strict majority of the cc slots of
 // vals, if any. Bottom (⊥) counts as an ordinary symbol, matching the
 // conversion-time rule's "majority value among the converted values".
+// Counting is O(len(vals)²) by rescanning — fan-outs are at most n, and
+// staying off the heap matters more on this per-node path than the
+// quadratic constant.
 func majorityOf(vals []eigtree.CValue, cc int) (eigtree.CValue, bool) {
-	counts := make(map[eigtree.CValue]int, 4)
-	for _, v := range vals {
-		counts[v]++
-	}
-	for v, c := range counts {
-		if 2*c > cc {
+	for k, v := range vals {
+		seen := false
+		for j := 0; j < k; j++ {
+			if vals[j] == v {
+				seen = true
+				break
+			}
+		}
+		if seen {
+			continue
+		}
+		count := 0
+		for _, w := range vals {
+			if w == v {
+				count++
+			}
+		}
+		if 2*count > cc {
 			return v, true
 		}
 	}

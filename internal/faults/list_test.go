@@ -66,13 +66,17 @@ func TestListString(t *testing.T) {
 	}
 }
 
-func TestSnapshotIsolation(t *testing.T) {
-	l := NewList(4)
-	l.Add(1, 1)
-	s := l.snap()
-	l.Add(2, 2)
-	if !s.contains(1) || s.contains(2) || s.size != 1 {
-		t.Fatalf("snapshot sees later additions: %+v", s)
+func TestMajorityOfAllocFree(t *testing.T) {
+	// majorityOf sits on the per-node discovery path; it must stay off
+	// the heap (it used to build a count map per call).
+	vals := []eigtree.CValue{1, 1, 2, 1, eigtree.Bottom, 1}
+	allocs := testing.AllocsPerRun(100, func() {
+		if v, ok := majorityOf(vals, len(vals)); !ok || v != 1 {
+			t.Fatalf("majorityOf = %v %v", v, ok)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("majorityOf allocates %v per call", allocs)
 	}
 }
 

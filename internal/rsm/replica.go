@@ -40,6 +40,7 @@ type Replica struct {
 	commitNext int
 	entries    []Entry
 	snapshot   []Value
+	scratches  []*slotScratch // free list; see slotScratch
 	err        error
 	lat        obs.Histogram // submit→commit latency of commands this replica sourced
 
@@ -268,7 +269,15 @@ func (r *Replica) startSlot(slot int) (sim.Instance, error) {
 		return nil, fmt.Errorf("rsm: slot %d: %w", slot, gearErr)
 	}
 	source := slot % r.cfg.N
-	batch := make([]Value, r.cfg.BatchSize)
+	// The scratch carries the batch buffer and the position replica
+	// slice along with the codec working memory; in steady state a slot
+	// starts without touching the heap.
+	scratch := r.takeScratch()
+	batch := scratch.batch[:r.cfg.BatchSize]
+	var noop Value
+	for i := range batch {
+		batch[i] = noop
+	}
 	// A fault-injected replica in a gear-scheduled log proposes no-op
 	// batches for the slots it sources (its queue stays pending): its
 	// shadow then commits all-no-op self-sourced entries, matching what
@@ -304,7 +313,8 @@ func (r *Replica) startSlot(slot int) (sim.Instance, error) {
 		}
 		r.cfg.Tracer.Emit(ev)
 	}
-	si := &slotInstance{slot: slot, id: r.id, n: r.cfg.N, source: source}
+	si := &slotInstance{slot: slot, id: r.id, n: r.cfg.N, source: source, scratch: scratch}
+	si.reps = scratch.reps[:0]
 	for pos := 0; pos < r.cfg.BatchSize; pos++ {
 		rep, err := proto.NewReplica(r.id, batch[pos])
 		if err != nil {
@@ -340,6 +350,21 @@ func (r *Replica) startSlot(slot int) (sim.Instance, error) {
 // inject strategies that reject their resolved round count.
 var newStrategy = adversary.New
 
+// takeScratch pops a slot scratch off the free list (or builds one). The
+// list holds at most Window entries — the retired scratches of finished
+// slots — so after the first window fills, slot turnover allocates no
+// codec working memory at all.
+func (r *Replica) takeScratch() *slotScratch {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := len(r.scratches); n > 0 {
+		s := r.scratches[n-1]
+		r.scratches = r.scratches[:n-1]
+		return s
+	}
+	return newSlotScratch(r.cfg.BatchSize, r.cfg.N)
+}
+
 // finishSlot runs when a slot completes its last round: it assembles the
 // decided entry and flushes the in-order commit prefix.
 func (r *Replica) finishSlot(slot int) {
@@ -355,6 +380,20 @@ func (r *Replica) finishSlot(slot int) {
 		r.setErrLocked(err)
 	}
 	entry, ok := si.entry()
+	// The entry holds copies of the decided values, so the position
+	// replicas are done: hand poolable ones back to their protocol.
+	for i, rep := range si.reps {
+		if rel, can := rep.(interface{ Release() }); can {
+			rel.Release()
+		}
+		si.reps[i] = nil
+	}
+	// Only now recycle the codec scratch — reps' backing array lives in
+	// it, so the scratch must not reenter the free list while the
+	// instance's replicas are still reachable through it.
+	si.reps = nil
+	r.scratches = append(r.scratches, si.scratch)
+	si.scratch = nil
 	if !ok {
 		r.setErrLocked(fmt.Errorf("rsm: slot %d finished undecided", slot))
 		r.mu.Unlock()

@@ -151,6 +151,51 @@ func (cfg Config) validate() error {
 	return nil
 }
 
+// slotScratch is the reusable per-slot working memory of the codec hot
+// path: PrepareRound's outbox gathering and arena-encoded payloads,
+// DeliverRound's per-position routing matrix and decode row. A Replica
+// keeps a free list of them (capacity bounded by the window): a slot
+// takes one at startSlot and returns it at finishSlot, so steady-state
+// ticks run the whole inner codec with zero allocations.
+//
+// Lifetime contract: the encode arena is reset at every PrepareRound, so
+// payloads sliced from it are valid for exactly one tick — the same
+// ownership rule the fabrics guarantee for inbound payloads (see
+// fabric.Fabric and the transport read arena). Slots of one replica
+// never share a scratch, so Workers > 1 stays race-free.
+type slotScratch struct {
+	outs   [][][]byte // per position: its outbox for the current round
+	result [][]byte   // per destination: the encoded slot payload
+	frames [][]byte   // per position: the inner frame for one destination
+	per    [][][]byte // per position: inbox routed from each sender
+	dec    [][]byte   // decode row, reused across senders
+	arena  []byte     // encode arena; result[j] slices into it
+
+	// startSlot working memory, reused with the rest of the scratch:
+	// the batch drawn from the queue and the position replica slice the
+	// slotInstance adopts (reps is abandoned to the instance and
+	// re-sliced to zero length on reuse; its backing array only ever
+	// holds k pointers).
+	batch []Value
+	reps  []InstanceReplica
+}
+
+func newSlotScratch(k, n int) *slotScratch {
+	s := &slotScratch{
+		outs:   make([][][]byte, k),
+		result: make([][]byte, n),
+		frames: make([][]byte, k),
+		per:    make([][][]byte, k),
+		dec:    make([][]byte, k),
+		batch:  make([]Value, k),
+		reps:   make([]InstanceReplica, 0, k),
+	}
+	for p := range s.per {
+		s.per[p] = make([][]byte, n)
+	}
+	return s
+}
+
 // slotInstance is one replica's view of one slot: BatchSize position
 // instances multiplexed over the slot's rounds with an inner frame per
 // position (uvarint length-prefixed, the interactive-consistency codec).
@@ -160,21 +205,26 @@ func (cfg Config) validate() error {
 type slotInstance struct {
 	slot, id, n, source int
 	reps                []InstanceReplica
+	scratch             *slotScratch
 }
 
 // ID implements sim.Processor.
 func (si *slotInstance) ID() int { return si.id }
 
 // PrepareRound implements sim.Processor: it gathers every position's
-// outbox and packs one inner-framed payload per destination.
+// outbox and packs one inner-framed payload per destination, encoding
+// into the slot's reusable arena. The returned payloads are valid for
+// one tick (until this slot's next PrepareRound) — exactly the window
+// the fabrics need to copy them to the wire or route them in process.
 func (si *slotInstance) PrepareRound(round int) [][]byte {
-	k := len(si.reps)
-	outs := make([][][]byte, k)
+	s := si.scratch
+	outs := s.outs[:len(si.reps)]
 	for p, rep := range si.reps {
 		outs[p] = rep.PrepareRound(round)
 	}
-	result := make([][]byte, si.n)
-	frames := make([][]byte, k)
+	result := s.result[:si.n]
+	frames := s.frames[:len(si.reps)]
+	s.arena = s.arena[:0]
 	any := false
 	for j := 0; j < si.n; j++ {
 		for p := range si.reps {
@@ -184,10 +234,17 @@ func (si *slotInstance) PrepareRound(round int) [][]byte {
 				frames[p] = outs[p][j]
 			}
 		}
-		result[j] = consensus.EncodeFrames(frames)
-		if result[j] != nil {
-			any = true
+		// The arena may move as it grows; payloads already sliced out keep
+		// referencing the retired block, which stays intact for the tick.
+		start := len(s.arena)
+		arena, ok := consensus.AppendFrames(s.arena, frames)
+		s.arena = arena
+		if !ok {
+			result[j] = nil
+			continue
 		}
+		result[j] = arena[start:len(arena):len(arena)]
+		any = true
 	}
 	if !any {
 		return nil
@@ -200,21 +257,25 @@ func (si *slotInstance) PrepareRound(round int) [][]byte {
 // delivers each position's inbox.
 func (si *slotInstance) DeliverRound(round int, inbox [][]byte) {
 	k := len(si.reps)
-	per := make([][][]byte, k)
+	s := si.scratch
+	per := s.per[:k]
 	for p := range per {
-		per[p] = make([][]byte, si.n)
+		row := per[p][:si.n]
+		for q := range row {
+			row[q] = nil
+		}
 	}
+	dec := s.dec[:k]
 	for q, payload := range inbox {
-		fr := consensus.DecodeFrames(payload, k)
-		if fr == nil {
+		if !consensus.DecodeFramesInto(dec, payload) {
 			continue
 		}
 		for p := 0; p < k; p++ {
-			per[p][q] = fr[p]
+			per[p][q] = dec[p]
 		}
 	}
 	for p, rep := range si.reps {
-		rep.DeliverRound(round, per[p])
+		rep.DeliverRound(round, per[p][:si.n])
 	}
 }
 

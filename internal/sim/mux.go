@@ -116,6 +116,7 @@ type Mux struct {
 	// the tick would put one heap allocation per tick on the hot path.
 	frames    []MuxFrame // Outboxes result
 	inboxes   [][][]byte // Deliver scratch, one inbox per active slot
+	free      []*running // retired running headers, reused by fill
 	prepareFn func(k int, ru *running)
 	deliverFn func(k int, ru *running)
 }
@@ -259,7 +260,13 @@ func (m *Mux) fill() error {
 			ev.Node, ev.Slot, ev.Round = m.cfg.ID, m.next, rounds
 			m.cfg.Tracer.Emit(ev)
 		}
-		m.active = append(m.active, &running{inst: m.next, round: 1, rounds: rounds, proc: proc})
+		ru := &running{}
+		if n := len(m.free); n > 0 {
+			ru = m.free[n-1]
+			m.free = m.free[:n-1]
+		}
+		*ru = running{inst: m.next, round: 1, rounds: rounds, proc: proc}
+		m.active = append(m.active, ru)
 		m.next++
 	}
 	return nil
@@ -352,6 +359,8 @@ func (m *Mux) Deliver(in [][][]byte) error {
 				ev.Node, ev.Slot, ev.Round = m.cfg.ID, ru.inst, ru.rounds
 				m.cfg.Tracer.Emit(ev)
 			}
+			ru.proc = nil // release the instance; the header is recycled
+			m.free = append(m.free, ru)
 			continue
 		}
 		keep = append(keep, ru)

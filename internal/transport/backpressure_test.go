@@ -39,11 +39,25 @@ func (fi *floodInstance) DeliverRound(round int, inbox [][]byte) {
 // never drain it. The per-peer writer pool overlaps sends with reads
 // and must complete the schedule.
 func TestMeshLargePayloadBackpressure(t *testing.T) {
+	floodMesh(t, WithWriteBufferSize(16<<10))
+}
+
+// TestMeshSmallReadBufferBackpressure re-runs the deadlock reproducer
+// with the read side also squeezed: a 512-byte bufio layer under the
+// shrunken kernel buffers, so every 1 MiB frame crosses the reader in
+// thousands of short reads straight into the arena. The vectored writer
+// must still overlap those reads with its own sends — buffer sizing on
+// either side must never reintroduce the send-all-then-read wedge.
+func TestMeshSmallReadBufferBackpressure(t *testing.T) {
+	floodMesh(t, WithWriteBufferSize(16<<10), WithReadBufferSize(512))
+}
+
+func floodMesh(t *testing.T, opts ...Option) {
+	t.Helper()
 	const (
 		n       = 3
 		rounds  = 3
 		payload = 1 << 20 // 1 MiB per destination per tick
-		sockBuf = 16 << 10
 	)
 	big := bytes.Repeat([]byte{0xAB}, payload)
 
@@ -64,7 +78,7 @@ func TestMeshLargePayloadBackpressure(t *testing.T) {
 		}
 		muxes[id] = m
 	}
-	mesh, err := NewMesh(n, WithWriteBufferSize(sockBuf))
+	mesh, err := NewMesh(n, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,54 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"shiftgears/internal/sim"
+)
+
+// BenchmarkMeshTick drives one lockstep tick of a loopback mesh per
+// iteration — four active instances, 1KiB payloads to every destination —
+// so allocs/op reads directly as allocs/tick for the wire hot path
+// (arena reads, vectored writes, self-delivery). The bench -guard gate
+// watches the full-stack number; this one isolates the transport's own
+// contribution.
+func BenchmarkMeshTick(b *testing.B) {
+	for _, n := range []int{4, 7} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			mesh, err := NewMesh(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() { _ = mesh.Close() }()
+			const insts = 4
+			payload := bytes.Repeat([]byte{0xa5}, 1024)
+			outs := make([][]sim.MuxFrame, n)
+			ins := make([][][][]byte, n)
+			for id := 0; id < n; id++ {
+				frames := make([]sim.MuxFrame, insts)
+				for f := range frames {
+					out := make([][]byte, n)
+					for j := range out {
+						out[j] = payload
+					}
+					frames[f] = sim.MuxFrame{Instance: f, Round: 1, Outbox: out}
+				}
+				outs[id] = frames
+				ins[id] = make([][][]byte, n)
+				for s := range ins[id] {
+					ins[id][s] = make([][]byte, insts)
+				}
+			}
+			b.SetBytes(int64(insts * (n - 1) * len(payload)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := mesh.Exchange(i, outs, ins); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

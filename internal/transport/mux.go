@@ -1,15 +1,21 @@
 package transport
 
 import (
+	"encoding/binary"
 	"fmt"
+	"net"
 
 	"shiftgears/internal/sim"
 )
 
-// sendJob is one tick's worth of frames for one peer: the writer emits
-// every frame in order, then flushes, so each peer connection carries one
-// coalesced burst per tick.
+// sendJob is one tick's worth of frames for one peer: the writer
+// assembles every frame into a single vectored write, so each peer
+// connection carries one coalesced burst per tick. kind/seq label the
+// tick ("tick 7", "round 3") so a mid-tick send failure reports with
+// tick context on its own, without waiting for exchange to wrap it.
 type sendJob struct {
+	kind   string
+	seq    int
 	frames []sim.MuxFrame
 	peer   int
 }
@@ -26,11 +32,12 @@ type sendJob struct {
 // connections are doing.
 //
 // Ordering guarantee: within a tick, frames to one peer are written in
-// increasing instance order and flushed once; across ticks, tick t's
-// writes complete (wait returns) before tick t+1's are dispatched. Each
-// connection therefore carries exactly the byte stream of the sequential
-// loop — receivers still read frames in instance order, tick by tick —
-// only the interleaving across connections changed.
+// increasing instance order as one net.Buffers (writev) burst; across
+// ticks, tick t's writes complete (wait returns) before tick t+1's are
+// dispatched. Each connection therefore carries exactly the byte stream
+// of the sequential loop — receivers still read frames in instance
+// order, tick by tick — only the interleaving across connections
+// changed.
 type writerPool struct {
 	nd   *Node
 	jobs []chan sendJob // per peer; nil at self
@@ -51,27 +58,65 @@ func newWriterPool(nd *Node) *writerPool {
 		errs := make(chan error, 1)
 		wp.jobs[id], wp.errs[id] = jobs, errs
 		go func(p *peer) {
+			var w meshWriter // per-goroutine scratch, reused every tick
 			for job := range jobs {
-				errs <- wp.send(p, job)
+				errs <- w.send(p, job)
 			}
 		}(p)
 	}
 	return wp
 }
 
-// send writes one tick's frames to one peer and flushes.
-func (wp *writerPool) send(p *peer, job sendJob) error {
+// meshWriter is one writer goroutine's reusable scratch: the header bytes
+// of a tick's frames packed contiguously, the vector of header/payload
+// slices, and the net.Buffers view handed to writev. vecs keeps the
+// backing array across sends — WriteTo consumes the Buffers it is called
+// on (reslicing it forward as iovecs drain), which would otherwise leak
+// the array's prefix every tick. All three are grow-only, so steady state
+// assembles and issues a whole tick with zero allocations and a single
+// writev call.
+type meshWriter struct {
+	hdr  []byte
+	vecs [][]byte
+	bufs net.Buffers
+}
+
+// send writes one tick's frames to one peer as a single vectored write.
+// Headers are appended to the contiguous hdr scratch (capacity ensured up
+// front, so the subslices handed to net.Buffers stay valid) and payloads
+// are referenced in place — no per-frame copy, no intermediate buffer.
+func (w *meshWriter) send(p *peer, job sendJob) error {
+	need := len(job.frames) * 3 * binary.MaxVarintLen64
+	if cap(w.hdr) < need {
+		w.hdr = make([]byte, 0, need)
+	}
+	w.hdr = w.hdr[:0]
+	vecs := w.vecs[:0]
 	for _, f := range job.frames {
 		var payload []byte
 		if f.Outbox != nil {
 			payload = f.Outbox[job.peer]
 		}
-		if err := writeFrame(p.w, f.Instance, f.Round, payload); err != nil {
-			return fmt.Errorf("send instance %d to %d: %w", f.Instance, job.peer, err)
+		start := len(w.hdr)
+		w.hdr = binary.AppendUvarint(w.hdr, uint64(f.Instance))
+		w.hdr = binary.AppendUvarint(w.hdr, uint64(f.Round))
+		ln := uint64(0)
+		if payload != nil {
+			ln = uint64(len(payload)) + 1
+		}
+		w.hdr = binary.AppendUvarint(w.hdr, ln)
+		vecs = append(vecs, w.hdr[start:len(w.hdr):len(w.hdr)])
+		if len(payload) > 0 {
+			vecs = append(vecs, payload)
 		}
 	}
-	if err := p.w.Flush(); err != nil {
-		return fmt.Errorf("send to %d: %w", job.peer, err)
+	w.vecs = vecs
+	// WriteTo must go through the struct field: calling it on a local
+	// net.Buffers forces the slice header to escape (pointer receiver),
+	// one heap box per send.
+	w.bufs = net.Buffers(vecs)
+	if _, err := w.bufs.WriteTo(p.conn); err != nil {
+		return fmt.Errorf("%s %d: send to %d: %w", job.kind, job.seq, job.peer, err)
 	}
 	return nil
 }
@@ -79,10 +124,10 @@ func (wp *writerPool) send(p *peer, job sendJob) error {
 // dispatch hands every writer its tick's frames. The job channels are
 // unbuffered, but each writer is guaranteed idle here: wait consumed its
 // previous error before the caller dispatched again.
-func (wp *writerPool) dispatch(frames []sim.MuxFrame) {
+func (wp *writerPool) dispatch(kind string, seq int, frames []sim.MuxFrame) {
 	for id, jobs := range wp.jobs {
 		if jobs != nil {
-			jobs <- sendJob{frames: frames, peer: id}
+			jobs <- sendJob{kind: kind, seq: seq, frames: frames, peer: id}
 		}
 	}
 }
@@ -113,10 +158,10 @@ func (wp *writerPool) close() {
 }
 
 // abortTick unblocks the tick after a read failure: a writer may be stuck
-// in Flush toward a peer that stopped reading (mesh going down in the
-// large-payload regime), and joining it would hang this node forever —
-// with the cluster teardown that would free it only firing once this
-// node returns its error. Closing the peer connections fails those
+// in its vectored write toward a peer that stopped reading (mesh going
+// down in the large-payload regime), and joining it would hang this node
+// forever — with the cluster teardown that would free it only firing once
+// this node returns its error. Closing the peer connections fails those
 // writes promptly, so wait() is guaranteed to return.
 func (wp *writerPool) abortTick() {
 	for _, p := range wp.nd.peers {
@@ -129,12 +174,12 @@ func (wp *writerPool) abortTick() {
 // exchange runs one tick's overlapped halves: it hands the writers the
 // tick's frames, runs the read half concurrently in this goroutine, and
 // joins the writers — tearing the connections down first when the read
-// half failed, so the join cannot hang on a writer blocked in Flush
+// half failed, so the join cannot hang on a writer blocked mid-write
 // toward a peer that stopped reading. The read error wins (it usually
-// names the root cause: the mesh going down); label names the tick in a
-// send error.
-func (wp *writerPool) exchange(label string, frames []sim.MuxFrame, read func() error) error {
-	wp.dispatch(frames)
+// names the root cause: the mesh going down); send errors already carry
+// the kind/seq tick label from the writer itself.
+func (wp *writerPool) exchange(kind string, seq int, frames []sim.MuxFrame, read func() error) error {
+	wp.dispatch(kind, seq, frames)
 	readErr := read()
 	if readErr != nil {
 		wp.abortTick()
@@ -144,7 +189,7 @@ func (wp *writerPool) exchange(label string, frames []sim.MuxFrame, read func() 
 		return readErr
 	}
 	if sendErr != nil {
-		return fmt.Errorf("transport: %s: %w", label, sendErr)
+		return fmt.Errorf("transport: %w", sendErr)
 	}
 	return nil
 }
@@ -160,6 +205,12 @@ func (wp *writerPool) exchange(label string, frames []sim.MuxFrame, read func() 
 // instance or round disagrees with the local schedule is a protocol
 // error — the wire-level divergence guard of a multi-process mesh,
 // where no runtime can compare the schedules directly.
+//
+// Received payloads slice into the per-peer read arenas (peer.readFrame)
+// and are valid only until the next exchangeTick: consumers up the stack
+// (fabric.Run → sim.Mux.Deliver → the instances' DeliverRound) must use
+// or copy them within the tick, which the sim.Processor contract already
+// requires.
 func (nd *Node) exchangeTick(wp *writerPool, tick int, frames []sim.MuxFrame, ins [][][]byte) error {
 	// Self-delivery is direct; the writers push to the peers while the
 	// read closure below collects from them (writerPool.exchange).
@@ -171,14 +222,15 @@ func (nd *Node) exchangeTick(wp *writerPool, tick int, frames []sim.MuxFrame, in
 			self[f] = nil
 		}
 	}
-	return wp.exchange(fmt.Sprintf("tick %d", tick), frames, func() error {
+	return wp.exchange("tick", tick, frames, func() error {
 		for id, p := range nd.peers {
 			if id == nd.id {
 				continue
 			}
 			got := ins[id]
+			p.beginTick()
 			for f, fr := range frames {
-				instance, round, payload, err := readFrame(p.r)
+				instance, round, payload, err := p.readFrame()
 				if err != nil {
 					return fmt.Errorf("transport: tick %d: recv from %d: %w", tick, id, err)
 				}

@@ -41,6 +41,15 @@ const defaultDialRetry = 10 * time.Second
 // length prefixes.
 const maxFrame = 16 << 20
 
+// defaultReadBuf sizes each connection's bufio read buffer; a tick's worth
+// of frames usually fits, so the reader drains the socket in few syscalls.
+// WithReadBufferSize overrides it.
+const defaultReadBuf = 64 << 10
+
+// minReadArena is the smallest read-arena block a peer allocates; typical
+// ticks fit in one block, so steady state performs no allocation at all.
+const minReadArena = 4 << 10
+
 // Node runs one sim.Processor over the mesh.
 type Node struct {
 	proc      sim.Processor
@@ -51,6 +60,7 @@ type Node struct {
 	stats     sim.Stats
 	dialRetry time.Duration
 	sockBuf   int
+	readBuf   int
 	perRound  bool
 }
 
@@ -75,6 +85,17 @@ func WithWriteBufferSize(bytes int) Option {
 	return func(nd *Node) { nd.sockBuf = bytes }
 }
 
+// WithReadBufferSize sets each peer connection's user-space read buffer
+// (the bufio layer between the socket and the frame decoder; default
+// 64 KiB, 0 keeps the default). It pairs with WithWriteBufferSize for
+// back-pressure tests: a tiny read buffer forces the decoder back to the
+// socket every few bytes, exercising the overlapped send/receive halves
+// at maximum interleaving. The kernel receive buffer (SO_RCVBUF) is
+// deliberately not touched — see WithWriteBufferSize.
+func WithReadBufferSize(bytes int) Option {
+	return func(nd *Node) { nd.readBuf = bytes }
+}
+
 // WithPerRoundStats records a RoundStats entry per round/tick in the
 // run's Stats. Off by default: aggregate totals are always maintained,
 // but the per-round trail grows with the schedule and is unbounded
@@ -83,11 +104,83 @@ func WithPerRoundStats() Option {
 	return func(nd *Node) { nd.perRound = true }
 }
 
-// peer is one bidirectional link.
+// appendFrame appends one encoded frame to dst and returns it: the wire
+// format is uvarint(instance) uvarint(round) uvarint(len+1) payload,
+// where len+1 = 0 encodes a nil payload. The mesh hot path never builds
+// frames contiguously — meshWriter.send hands headers and payloads to
+// writev separately — but the encoding is the single source of truth for
+// tests and any future non-vectored writer.
+func appendFrame(dst []byte, instance, round int, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(instance))
+	dst = binary.AppendUvarint(dst, uint64(round))
+	ln := uint64(0)
+	if payload != nil {
+		ln = uint64(len(payload)) + 1
+	}
+	dst = binary.AppendUvarint(dst, ln)
+	return append(dst, payload...)
+}
+
+// peer is one bidirectional link. Inbound payloads are sliced out of a
+// grow-only read arena whose lifetime is one tick (beginTick resets it),
+// so the receive hot path performs no per-frame allocation; see the
+// "Wire hot path" section of the package comment in doc.go.
 type peer struct {
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	conn  net.Conn
+	r     *bufio.Reader
+	arena []byte // current read-arena block
+	off   int    // bytes of arena handed out this tick
+}
+
+// beginTick resets the peer's read arena: every payload readFrame returned
+// before this call is dead. Callers (the per-tick read loops) invoke it
+// once per peer per tick, which is exactly the ownership contract the
+// stack above guarantees — payloads are consumed or copied before the
+// next tick begins.
+func (p *peer) beginTick() { p.off = 0 }
+
+// readFrame reads one frame. The payload slices into the peer's read
+// arena and is valid only until the peer's next beginTick. When a tick
+// outgrows the current block, a fresh larger block is installed without
+// copying — payloads already handed out keep referencing the old block,
+// which stays alive (and untouched) until they die with the tick.
+func (p *peer) readFrame() (instance, round int, payload []byte, err error) {
+	iu, err := binary.ReadUvarint(p.r)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	ru, err := binary.ReadUvarint(p.r)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	ln, err := binary.ReadUvarint(p.r)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if ln == 0 {
+		return int(iu), int(ru), nil, nil
+	}
+	size := int(ln - 1)
+	if ln-1 > maxFrame {
+		return 0, 0, nil, fmt.Errorf("frame of %d bytes exceeds limit", ln-1)
+	}
+	if p.off+size > len(p.arena) {
+		grow := 2 * len(p.arena)
+		if grow < minReadArena {
+			grow = minReadArena
+		}
+		if grow < size {
+			grow = size
+		}
+		p.arena = make([]byte, grow)
+		p.off = 0
+	}
+	payload = p.arena[p.off : p.off+size : p.off+size]
+	p.off += size
+	if _, err := io.ReadFull(p.r, payload); err != nil {
+		return 0, 0, nil, err
+	}
+	return int(iu), int(ru), payload, nil
 }
 
 // Listen opens the node's listener on addr (e.g. "127.0.0.1:9001") for a
@@ -152,7 +245,7 @@ func (nd *Node) Connect(addrs []string) error {
 				errc <- fmt.Errorf("transport: bad handshake id %d at node %d", id, nd.id)
 				return
 			}
-			nd.peers[id] = newPeer(conn, nd.sockBuf)
+			nd.peers[id] = nd.newPeer(conn)
 		}
 		errc <- nil
 	}()
@@ -166,19 +259,23 @@ func (nd *Node) Connect(addrs []string) error {
 		if _, err := conn.Write([]byte{byte(nd.id)}); err != nil {
 			return fmt.Errorf("transport: handshake write to %d: %w", id, err)
 		}
-		nd.peers[id] = newPeer(conn, nd.sockBuf)
+		nd.peers[id] = nd.newPeer(conn)
 	}
 	return <-errc
 }
 
-func newPeer(conn net.Conn, sockBuf int) *peer {
+func (nd *Node) newPeer(conn net.Conn) *peer {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		_ = tc.SetNoDelay(true) // round latency matters more than throughput
-		if sockBuf > 0 {
-			_ = tc.SetWriteBuffer(sockBuf)
+		if nd.sockBuf > 0 {
+			_ = tc.SetWriteBuffer(nd.sockBuf)
 		}
 	}
-	return &peer{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	readBuf := nd.readBuf
+	if readBuf <= 0 {
+		readBuf = defaultReadBuf
+	}
+	return &peer{conn: conn, r: bufio.NewReaderSize(conn, readBuf)}
 }
 
 func dialWithRetry(addr string, retry time.Duration) (net.Conn, error) {
@@ -242,13 +339,14 @@ func (nd *Node) Run(rounds int) (*sim.Stats, error) {
 		// peer sends exactly one frame per round in order, so sequential
 		// reads suffice.
 		rs := sim.RoundStats{Round: r}
-		err := wp.exchange(fmt.Sprintf("round %d", r), frame, func() error {
+		err := wp.exchange("round", r, frame, func() error {
 			for id, p := range nd.peers {
 				if id == nd.id {
 					countPayload(&rs, inbox[id])
 					continue
 				}
-				instance, round, payload, err := readFrame(p.r)
+				p.beginTick()
+				instance, round, payload, err := p.readFrame()
 				if err != nil {
 					return fmt.Errorf("transport: round %d: recv from %d: %w", r, id, err)
 				}
@@ -307,58 +405,3 @@ func (nd *Node) Close() error {
 	return err
 }
 
-// writeFrame emits one frame (without flushing the writer); len+1 = 0
-// encodes a nil payload. Single-instance runs use instance 0.
-func writeFrame(w *bufio.Writer, instance, round int, payload []byte) error {
-	var tmp [binary.MaxVarintLen64]byte
-	k := binary.PutUvarint(tmp[:], uint64(instance))
-	if _, err := w.Write(tmp[:k]); err != nil {
-		return err
-	}
-	k = binary.PutUvarint(tmp[:], uint64(round))
-	if _, err := w.Write(tmp[:k]); err != nil {
-		return err
-	}
-	ln := uint64(0)
-	if payload != nil {
-		ln = uint64(len(payload)) + 1
-	}
-	k = binary.PutUvarint(tmp[:], ln)
-	if _, err := w.Write(tmp[:k]); err != nil {
-		return err
-	}
-	if payload != nil {
-		if _, err := w.Write(payload); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// readFrame reads one frame.
-func readFrame(r *bufio.Reader) (instance, round int, payload []byte, err error) {
-	iu, err := binary.ReadUvarint(r)
-	if err != nil {
-		return 0, 0, nil, err
-	}
-	ru, err := binary.ReadUvarint(r)
-	if err != nil {
-		return 0, 0, nil, err
-	}
-	ln, err := binary.ReadUvarint(r)
-	if err != nil {
-		return 0, 0, nil, err
-	}
-	if ln == 0 {
-		return int(iu), int(ru), nil, nil
-	}
-	size := ln - 1
-	if size > maxFrame {
-		return 0, 0, nil, fmt.Errorf("frame of %d bytes exceeds limit", size)
-	}
-	payload = make([]byte, size)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, 0, nil, err
-	}
-	return int(iu), int(ru), payload, nil
-}

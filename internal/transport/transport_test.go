@@ -15,33 +15,52 @@ import (
 	"shiftgears/internal/trace"
 )
 
+// framePeer wraps raw bytes as a read-side peer for codec tests.
+func framePeer(raw []byte) *peer {
+	p := &peer{r: bufio.NewReader(bytes.NewReader(raw))}
+	p.beginTick()
+	return p
+}
+
 func TestFrameRoundTrip(t *testing.T) {
-	var buf bytes.Buffer
-	w := bufio.NewWriter(&buf)
-	if err := writeFrame(w, 0, 7, []byte{1, 2, 3}); err != nil {
-		t.Fatal(err)
-	}
-	if err := writeFrame(w, 3, 8, nil); err != nil {
-		t.Fatal(err)
-	}
-	if err := writeFrame(w, 300, 9, []byte{}); err != nil {
-		t.Fatal(err)
-	}
-	if err := w.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	r := bufio.NewReader(&buf)
-	instance, round, payload, err := readFrame(r)
+	raw := appendFrame(nil, 0, 7, []byte{1, 2, 3})
+	raw = appendFrame(raw, 3, 8, nil)
+	raw = appendFrame(raw, 300, 9, []byte{})
+	p := framePeer(raw)
+	instance, round, payload, err := p.readFrame()
 	if err != nil || instance != 0 || round != 7 || !bytes.Equal(payload, []byte{1, 2, 3}) {
 		t.Fatalf("frame 1: %d %d %v %v", instance, round, payload, err)
 	}
-	instance, round, payload, err = readFrame(r)
+	instance, round, payload, err = p.readFrame()
 	if err != nil || instance != 3 || round != 8 || payload != nil {
 		t.Fatalf("frame 2: %d %d %v %v (nil payload must survive)", instance, round, payload, err)
 	}
-	instance, round, payload, err = readFrame(r)
+	instance, round, payload, err = p.readFrame()
 	if err != nil || instance != 300 || round != 9 || payload == nil || len(payload) != 0 {
 		t.Fatalf("frame 3: %d %d %v %v (empty non-nil payload must survive)", instance, round, payload, err)
+	}
+}
+
+func TestFrameArenaPreservesEarlierPayloads(t *testing.T) {
+	// Frames of one tick slice into the peer's grow-only arena; when a
+	// tick outgrows the current block, already-returned payloads must keep
+	// their bytes (the old block is replaced, not recycled).
+	big := bytes.Repeat([]byte{7}, minReadArena)
+	raw := appendFrame(nil, 0, 1, []byte{1, 2, 3})
+	raw = appendFrame(raw, 1, 1, big)
+	raw = appendFrame(raw, 2, 1, big)
+	p := framePeer(raw)
+	_, _, first, err := p.readFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 1; f <= 2; f++ {
+		if _, _, payload, err := p.readFrame(); err != nil || !bytes.Equal(payload, big) {
+			t.Fatalf("frame %d after arena growth: %v", f, err)
+		}
+	}
+	if !bytes.Equal(first, []byte{1, 2, 3}) {
+		t.Fatalf("arena growth corrupted an earlier payload: %v", first)
 	}
 }
 
@@ -52,24 +71,16 @@ func TestFrameRejectsOversize(t *testing.T) {
 	raw := binary.AppendUvarint(nil, 0)                 // instance
 	raw = binary.AppendUvarint(raw, 1)                  // round
 	raw = binary.AppendUvarint(raw, uint64(maxFrame)+2) // len+1 → maxFrame+1 bytes
-	_, _, _, err := readFrame(bufio.NewReader(bytes.NewReader(raw)))
+	_, _, _, err := framePeer(raw).readFrame()
 	if err == nil {
 		t.Fatal("oversize frame accepted")
 	}
 }
 
 func TestFrameRejectsTruncation(t *testing.T) {
-	var buf bytes.Buffer
-	w := bufio.NewWriter(&buf)
-	if err := writeFrame(w, 1, 2, []byte{9, 9, 9, 9}); err != nil {
-		t.Fatal(err)
-	}
-	if err := w.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	raw := buf.Bytes()
+	raw := appendFrame(nil, 1, 2, []byte{9, 9, 9, 9})
 	for cut := 1; cut < len(raw); cut++ {
-		if _, _, _, err := readFrame(bufio.NewReader(bytes.NewReader(raw[:cut]))); err == nil {
+		if _, _, _, err := framePeer(raw[:cut]).readFrame(); err == nil {
 			t.Fatalf("frame truncated to %d bytes accepted", cut)
 		}
 	}
@@ -306,15 +317,7 @@ func rawPeerRun(t *testing.T, frame []byte) error {
 // TestRunRejectsInstanceMismatch: a frame tagged with a non-zero instance
 // id must fail a single-instance run (round/instance mismatch handling).
 func TestRunRejectsInstanceMismatch(t *testing.T) {
-	var buf bytes.Buffer
-	w := bufio.NewWriter(&buf)
-	if err := writeFrame(w, 5, 1, []byte{1, 1}); err != nil {
-		t.Fatal(err)
-	}
-	if err := w.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	if err := rawPeerRun(t, buf.Bytes()); err == nil {
+	if err := rawPeerRun(t, appendFrame(nil, 5, 1, []byte{1, 1})); err == nil {
 		t.Fatal("instance mismatch accepted")
 	}
 }
@@ -322,15 +325,7 @@ func TestRunRejectsInstanceMismatch(t *testing.T) {
 // TestRunRejectsRoundMismatch: a frame for the wrong round must fail the
 // lockstep barrier.
 func TestRunRejectsRoundMismatch(t *testing.T) {
-	var buf bytes.Buffer
-	w := bufio.NewWriter(&buf)
-	if err := writeFrame(w, 0, 9, []byte{1, 1}); err != nil {
-		t.Fatal(err)
-	}
-	if err := w.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	if err := rawPeerRun(t, buf.Bytes()); err == nil {
+	if err := rawPeerRun(t, appendFrame(nil, 0, 9, []byte{1, 1})); err == nil {
 		t.Fatal("round mismatch accepted")
 	}
 }

@@ -158,7 +158,10 @@ func TestPropertyDeterminism(t *testing.T) {
 // logs, gear schedules (GearRuns output), tick counts, and traffic
 // totals to the sim fabric, across window × batch × gear-policy
 // combinations. The synchronous barrier must absorb everything the
-// zero-loss plan throws.
+// zero-loss plan throws. The tcp fabric runs the same equivalence over
+// real loopback sockets — with the zero-copy wire path (per-peer read
+// arenas, vectored writes) the frames cross a kernel boundary and come
+// back byte-identical.
 func TestPropertyMemFabricMatchesSim(t *testing.T) {
 	policies := []struct {
 		name   string
@@ -226,6 +229,18 @@ func TestPropertyMemFabricMatchesSim(t *testing.T) {
 						t.Fatalf("%s: mem stats diverge: ticks %d/%d bytes %d/%d msgs %d/%d",
 							name, mem.Ticks, sim.Ticks, mem.TotalBytes, sim.TotalBytes, mem.Messages, sim.Messages)
 					}
+				}
+				name := fmt.Sprintf("w%d/b%d/%s/tcp", window, batch, pc.name)
+				tcp := run("tcp", nil, pc.policy, window, batch)
+				if !reflect.DeepEqual(tcp.Entries, sim.Entries) {
+					t.Fatalf("%s: tcp fabric committed a different log than sim", name)
+				}
+				if got, want := shiftgears.GearRuns(tcp.Gears), shiftgears.GearRuns(sim.Gears); got != want {
+					t.Fatalf("%s: gear schedules diverge: tcp %s vs sim %s", name, got, want)
+				}
+				if tcp.Ticks != sim.Ticks || tcp.TotalBytes != sim.TotalBytes || tcp.Messages != sim.Messages {
+					t.Fatalf("%s: tcp stats diverge: ticks %d/%d bytes %d/%d msgs %d/%d",
+						name, tcp.Ticks, sim.Ticks, tcp.TotalBytes, sim.TotalBytes, tcp.Messages, sim.Messages)
 				}
 			}
 		}

@@ -2,6 +2,7 @@ package shiftgears
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"shiftgears/internal/baseline"
@@ -49,8 +50,12 @@ type LogConfig struct {
 	Slots, Window, BatchSize int
 	// Workers bounds each replica's per-tick slot worker pool: the
 	// window's active slots prepare and consume their rounds concurrently
-	// (0 or 1 = sequential). Wire bytes and schedules are identical at
-	// any worker count.
+	// (1 = sequential). Wire bytes and schedules are identical at any
+	// worker count. Zero picks a default: sequential on the in-process
+	// fabrics (where the replicas already run concurrently and more
+	// goroutines just contend), and GOMAXPROCS/N per replica — at least
+	// 1, at most Window — on the "tcp" fabric, where real sockets leave
+	// cores idle during the exchange.
 	Workers int
 	// Faulty lists Byzantine replicas; Strategy and Seed drive them as in
 	// Config. Faulty replicas are Byzantine in every slot, including the
@@ -221,7 +226,10 @@ type coreSlotProtocol struct {
 
 func (p coreSlotProtocol) Rounds() int { return p.rounds }
 func (p coreSlotProtocol) NewReplica(id int, initial Value) (rsm.InstanceReplica, error) {
-	return core.NewReplica(p.env, id, initial, nil)
+	// GetReplica draws from the Env's pool: slots released at finishSlot
+	// donate their whole allocation footprint (tree arena, fault list,
+	// outbox scratch) to the slots that follow them through the window.
+	return p.env.GetReplica(id, initial, nil)
 }
 
 type pslSlotProtocol struct {
@@ -366,6 +374,18 @@ func NewReplicatedLog(cfg LogConfig, opts ...LogOption) (*ReplicatedLog, error) 
 	rcfg := rsm.Config{
 		N: cfg.N, Slots: cfg.Slots, Window: cfg.Window, BatchSize: cfg.BatchSize,
 		Workers: cfg.Workers, Tracer: cfg.Tracer,
+	}
+	if rcfg.Workers == 0 && cfg.Fabric == "tcp" {
+		// All N replicas share this process, so split the cores among
+		// them; more workers than window slots cannot be used.
+		w := runtime.GOMAXPROCS(0) / cfg.N
+		if w < 1 {
+			w = 1
+		}
+		if w > cfg.Window {
+			w = cfg.Window
+		}
+		rcfg.Workers = w
 	}
 	if l.mem != nil && cfg.Tracer != nil {
 		l.mem.SetTracer(cfg.Tracer)

@@ -125,6 +125,40 @@ func TestReplicatedLogOverTCP(t *testing.T) {
 	}
 }
 
+// TestReplicatedLogTCPWorkersArenaLifetime pushes a pipelined, batched
+// log over TCP with an explicit multi-worker pool. Inbound payloads
+// slice into per-peer read arenas that the reader goroutine rewinds
+// every tick, and outbound payloads slice into per-slot encode arenas
+// reset every PrepareRound — so if any consumer retained a pooled
+// payload past its tick, the worker goroutines re-reading it while the
+// owner overwrites would be a data race. Run under -race (CI does) this
+// is the lifetime regression test for the zero-copy wire path; without
+// -race it still checks the multi-worker TCP stack commits correctly.
+func TestReplicatedLogTCPWorkersArenaLifetime(t *testing.T) {
+	log, err := shiftgears.NewReplicatedLog(shiftgears.LogConfig{
+		Algorithm: shiftgears.Exponential,
+		N:         7, T: 2,
+		Slots: 14, Window: 4, BatchSize: 2, Workers: 4,
+		Fabric: "tcp",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cmds = 28
+	for i := 0; i < cmds; i++ {
+		if err := log.Submit(i%7, shiftgears.Value(1+i%255)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := log.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement || res.Committed != cmds {
+		t.Fatalf("agreement=%v committed=%d want %d", res.Agreement, res.Committed, cmds)
+	}
+}
+
 // TestReplicatedLogMixedAlgorithms shifts gears across the log itself:
 // different slots run different algorithms (with different round counts),
 // and the pipeline staggers them correctly.
