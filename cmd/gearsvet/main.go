@@ -1,0 +1,31 @@
+// Command gearsvet is the repo's vet tool: a suite of analyzers that
+// mechanically enforce three documented contracts — determinism in the
+// gear-shifting core (gearsdeterminism), the wire hot path's one-tick
+// payload lifetime (arenalifetime), and the flight recorder's
+// zero-overhead / zero-alloc rule (zeroalloc).
+//
+// Run it through the standard vet driver:
+//
+//	go build -o /tmp/gearsvet ./cmd/gearsvet
+//	go vet -vettool=/tmp/gearsvet ./...
+//
+// Findings are suppressed per line with //gearsvet:allow <reason>; a
+// bare directive (no reason) is itself an error. See
+// internal/analysis for the framework and each analyzer's package doc
+// for the contract it enforces.
+package main
+
+import (
+	"shiftgears/internal/analysis"
+	"shiftgears/internal/analysis/arenalifetime"
+	"shiftgears/internal/analysis/gearsdeterminism"
+	"shiftgears/internal/analysis/zeroalloc"
+)
+
+func main() {
+	analysis.Main(
+		gearsdeterminism.Analyzer,
+		arenalifetime.Analyzer,
+		zeroalloc.Analyzer,
+	)
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles gearsvet into a temp dir and returns its path —
+// the vet protocol can only be exercised against a real executable
+// (go vet fingerprints it with -V=full before every run).
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "gearsvet")
+	cmd := exec.Command("go", "build", "-o", bin, "shiftgears/cmd/gearsvet")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build gearsvet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule lays out a throwaway module named shiftgears (the
+// analyzers scope by that module path) holding one policy package.
+func writeModule(t *testing.T, policySrc string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module shiftgears\n\ngo 1.24\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	pkg := filepath.Join(dir, "internal", "policy")
+	if err := os.MkdirAll(pkg, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(pkg, "policy.go"), []byte(policySrc), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func govet(t *testing.T, tool, dir string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+const brokenPolicy = `package policy
+
+import "time"
+
+type LogEntry struct{ Slot int }
+
+type WallClock struct{}
+
+// Pick breaks the determinism contract: the schedule depends on when
+// the replica computed it.
+func (WallClock) Pick(slot, source int, prefix []LogEntry) int {
+	return int(time.Now().Unix()) % 2
+}
+`
+
+const cleanPolicy = `package policy
+
+type LogEntry struct{ Slot int }
+
+type Downshift struct{ Threshold int }
+
+func (d Downshift) Pick(slot, source int, prefix []LogEntry) int {
+	if len(prefix) >= d.Threshold {
+		return 1
+	}
+	return 0
+}
+`
+
+// TestVetToolFlagsBrokenPolicy is the acceptance fixture: go vet with
+// the gearsvet vettool must fail a GearPolicy that calls time.Now.
+func TestVetToolFlagsBrokenPolicy(t *testing.T) {
+	tool := buildTool(t)
+	out, err := govet(t, tool, writeModule(t, brokenPolicy))
+	if err == nil {
+		t.Fatalf("go vet passed a wall-clock policy; output:\n%s", out)
+	}
+	if !strings.Contains(out, "time.Now in the deterministic core") {
+		t.Fatalf("missing gearsdeterminism diagnostic in vet output:\n%s", out)
+	}
+}
+
+// TestVetToolPassesCleanPolicy pins the other direction: a pure policy
+// package vets clean through the same protocol.
+func TestVetToolPassesCleanPolicy(t *testing.T) {
+	tool := buildTool(t)
+	out, err := govet(t, tool, writeModule(t, cleanPolicy))
+	if err != nil {
+		t.Fatalf("go vet failed a pure policy: %v\n%s", err, out)
+	}
+}

@@ -131,6 +131,10 @@
 // payload across ticks is a use-after-rewind and shows up under the
 // race detector: the reader goroutine overwrites the arena while the
 // retainer reads it (see TestReplicatedLogTCPWorkersArenaLifetime).
+// The one-tick rule is also enforced statically: the arenalifetime
+// analyzer in cmd/gearsvet flags payloads stored into fields, globals,
+// or channels outside the documented holders (go vet -vettool, see
+// internal/analysis/arenalifetime).
 // Everything above the fabrics pools the rest of a slot's footprint —
 // consensus instances (core.Env.GetReplica/Release), their trees and
 // fault lists, and the codec scratch — so steady-state ticks on every
@@ -155,7 +159,12 @@
 // compares the hosted schedules every tick and stops with a
 // schedule-divergence error, and in a multi-process mesh — where no
 // runtime sees more than its own schedule — the wire-level frame
-// instance/round mismatch check catches it instead.
+// instance/round mismatch check catches it instead. The contract is
+// also enforced statically: the gearsdeterminism analyzer in
+// cmd/gearsvet flags wall-clock reads, unproven PRNG seeds, escaping
+// map-iteration order, and global mutable state anywhere in the
+// library packages (go vet -vettool, see
+// internal/analysis/gearsdeterminism).
 //
 // # The flight recorder
 //
@@ -182,5 +191,9 @@
 // the run's observable behavior must not change: committed logs, gear
 // schedules, tick counts, traffic totals, and fault decisions are
 // byte-identical to the untraced run (enforced by the tracer
-// zero-interference property test across all three fabrics).
+// zero-interference property test across all three fabrics). The
+// guard discipline is also enforced statically: the zeroalloc analyzer
+// in cmd/gearsvet flags unguarded tracer emissions and per-tick
+// allocation idioms in the hot-path packages (go vet -vettool, see
+// internal/analysis/zeroalloc).
 package shiftgears

@@ -50,7 +50,7 @@ func NewProcessor(shadow sim.Processor, strat Strategy, seed int64, n int) *Proc
 	return &Processor{
 		shadow: shadow,
 		strat:  strat,
-		rng:    rand.New(rand.NewSource(seed ^ int64(shadow.ID()+1)*0x9e3779b9)),
+		rng:    rand.New(rand.NewSource(seed ^ int64(shadow.ID()+1)*0x9e3779b9)), //gearsvet:allow seed derives from the run seed and the shadow's ID (golden-ratio mixed), so the stream replays identically per configuration
 		n:      n,
 	}
 }

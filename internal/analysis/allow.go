@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces a suppression directive. The canonical form is
+//
+//	//gearsvet:allow <reason>
+//
+// following the compiler's `//go:` directive convention: no space after
+// the slashes, so gofmt leaves it alone and it reads as machinery, not
+// prose.
+const allowPrefix = "gearsvet:allow"
+
+// Directive is one //gearsvet:allow occurrence.
+type Directive struct {
+	// Pos is the directive's position.
+	Pos token.Pos
+	// Line is the 1-based line the directive sits on.
+	Line int
+	// Alone reports whether the directive is the only thing on its
+	// line; it then covers the following line instead.
+	Alone bool
+	// Reason is the justification text after the directive name.
+	Reason string
+}
+
+// Directives collects every //gearsvet:allow directive in the files.
+func Directives(fset *token.FileSet, files []*ast.File) []Directive {
+	var out []Directive
+	for _, f := range files {
+		var occupied map[int]bool // lines on which code (not comments) appears
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+allowPrefix)
+				if !ok {
+					// Tolerate the spaced spelling so a hand-typed
+					// "// gearsvet:allow ..." still counts (and still
+					// demands a reason).
+					text, ok = strings.CutPrefix(c.Text, "// "+allowPrefix)
+				}
+				if !ok {
+					continue
+				}
+				if occupied == nil {
+					occupied = codeLines(fset, f)
+				}
+				line := fset.Position(c.Pos()).Line
+				out = append(out, Directive{
+					Pos:    c.Pos(),
+					Line:   line,
+					Alone:  !occupied[line],
+					Reason: strings.TrimSpace(text),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// codeLines reports the lines of f on which non-comment syntax appears,
+// so a directive can tell "trailing after code" from "alone on its
+// line".
+func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup, *ast.File:
+			return true
+		}
+		lines[fset.Position(n.Pos()).Line] = true
+		lines[fset.Position(n.End()).Line] = true
+		return true
+	})
+	return lines
+}
+
+// Filter drops diagnostics covered by a reasoned directive: findings
+// on a directive's line, or on the line after a standalone directive.
+// Bare (reasonless) directives cover nothing — BareDirectives turns
+// them into findings of their own.
+func Filter(fset *token.FileSet, dirs []Directive, diags []Diagnostic) []Diagnostic {
+	type key struct {
+		file string
+		line int
+	}
+	covered := make(map[key]bool)
+	for _, d := range dirs {
+		if d.Reason == "" {
+			continue
+		}
+		p := fset.Position(d.Pos)
+		covered[key{p.Filename, d.Line}] = true
+		if d.Alone {
+			covered[key{p.Filename, d.Line + 1}] = true
+		}
+	}
+	out := diags[:0:0]
+	for _, dg := range diags {
+		p := fset.Position(dg.Pos)
+		if covered[key{p.Filename, p.Line}] {
+			continue
+		}
+		out = append(out, dg)
+	}
+	return out
+}
+
+// BareDirectives reports every directive that states no reason: an
+// unexplained mute defeats the directive's purpose as a review record,
+// so it is rejected rather than honored.
+func BareDirectives(dirs []Directive) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range dirs {
+		if d.Reason == "" {
+			out = append(out, Diagnostic{
+				Pos:     d.Pos,
+				Message: "bare //gearsvet:allow: a suppression must state its reason (//gearsvet:allow <why this is safe>)",
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"shiftgears/internal/analysis"
+)
+
+// callFlagger flags every call expression — a synthetic analyzer that
+// lets the test pin the suppression semantics without depending on any
+// real checker's logic.
+var callFlagger = &analysis.Analyzer{
+	Name: "callflagger",
+	Doc:  "flag every call (test analyzer)",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					pass.Reportf(call.Pos(), "call")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestAllowDirectives(t *testing.T) {
+	loader := analysis.NewLoader("testdata/src")
+	p, err := loader.Load("allowfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunOn(callFlagger, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type finding struct {
+		line int
+		bare bool
+	}
+	var got []finding
+	for _, d := range diags {
+		got = append(got, finding{
+			line: p.Fset.Position(d.Pos).Line,
+			bare: strings.Contains(d.Message, "bare //gearsvet:allow"),
+		})
+	}
+
+	// Fixture lines: 9 unsuppressed call, 10 reasoned trailing
+	// (suppressed), 12 covered by the standalone directive on 11
+	// (suppressed), 13 bare directive (call kept + bare finding).
+	want := map[finding]int{
+		{line: 9, bare: false}:  1,
+		{line: 13, bare: false}: 1,
+		{line: 13, bare: true}:  1,
+	}
+	gotCount := make(map[finding]int)
+	for _, f := range got {
+		gotCount[f]++
+	}
+	for f, n := range want {
+		if gotCount[f] != n {
+			t.Errorf("line %d (bare=%v): got %d findings, want %d", f.line, f.bare, gotCount[f], n)
+		}
+	}
+	for f, n := range gotCount {
+		if want[f] == 0 {
+			t.Errorf("line %d (bare=%v): %d unexpected findings (suppression failed?)", f.line, f.bare, n)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Package analysis is the contract-checking substrate behind
+// cmd/gearsvet: a minimal, dependency-free reimplementation of the
+// go/analysis analyzer shape (golang.org/x/tools is deliberately not a
+// dependency of this module) plus the driver glue that speaks the `go
+// vet -vettool` protocol.
+//
+// The three contracts this tree documents in prose — the determinism
+// contract on gear policies and adversary strategies (doc.go "Gear
+// policies"), the one-tick payload lifetime of the wire hot path
+// (doc.go "Wire hot path"), and the zero-overhead tracing contract
+// (doc.go "The flight recorder") — are machine-checked by the analyzers
+// in the subpackages gearsdeterminism, arenalifetime, and zeroalloc.
+// Each analyzer inspects one typed package at a time (the modular model
+// go vet imposes), reports Diagnostics, and is exercised by
+// vettest-driven fixtures under its testdata directory.
+//
+// # Suppression
+//
+// A finding that is correct-by-construction rather than by mechanism —
+// a PRNG seeded from the run's configuration, a wall-clock read on a
+// connection-setup path that precedes the lockstep schedule — is
+// suppressed in place with a reasoned directive:
+//
+//	rng: rand.New(rand.NewSource(seed)), //gearsvet:allow seeded from cfg: deterministic by construction
+//
+// The directive suppresses gearsvet diagnostics on its own line, or on
+// the line directly below when it stands alone on a line. A bare
+// //gearsvet:allow with no reason is itself a diagnostic: the point of
+// the directive is the recorded justification, not the mute.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one contract checker: a name (the diagnostic
+// prefix and the -<name> enable flag under go vet), documentation, and
+// the Run function applied to each package.
+type Analyzer struct {
+	// Name identifies the analyzer; it must be a valid Go identifier
+	// (go vet exposes it as the flag -<name>).
+	Name string
+	// Doc is the analyzer's documentation: a one-line summary, a blank
+	// line, then detail.
+	Doc string
+	// Run inspects one package and reports findings through
+	// pass.Report. The returned error aborts the whole vet run — it is
+	// for broken invariants of the analyzer itself, not for findings.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	// Analyzer is the checker being run.
+	Analyzer *Analyzer
+	// Fset resolves token positions for the package's files.
+	Fset *token.FileSet
+	// Files are the package's parsed syntax trees, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo maps syntax to types, objects, and selections.
+	TypesInfo *types.Info
+	// TypesSizes reports the compiler's type layout (fieldalignment-
+	// style checks need sizes and offsets).
+	TypesSizes types.Sizes
+	// Report delivers one finding.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position and a message. The driver
+// prefixes the analyzer name when printing.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// TestFile reports whether the position's file is a _test.go file. The
+// contracts govern library code; tests freely use clocks, randomness,
+// and allocation, so every analyzer in this suite skips test files.
+func TestFile(fset *token.FileSet, pos token.Pos) bool {
+	f := fset.File(pos)
+	if f == nil {
+		return false
+	}
+	name := f.Name()
+	const suffix = "_test.go"
+	return len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix
+}

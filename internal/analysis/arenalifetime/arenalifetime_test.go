@@ -1,0 +1,16 @@
+package arenalifetime_test
+
+import (
+	"testing"
+
+	"shiftgears/internal/analysis/arenalifetime"
+	"shiftgears/internal/analysis/vettest"
+)
+
+func TestArenaLifetime(t *testing.T) {
+	vettest.Run(t, "testdata", arenalifetime.Analyzer,
+		"shiftgears/internal/rsm",     // documented slotScratch holder
+		"shiftgears/internal/eigtree", // documented Tree holder
+		"shiftgears/internal/router",  // every escape kind + copies + suppression
+	)
+}

@@ -1,0 +1,11 @@
+// Package eigtree is an arenalifetime fixture for the Tree holder:
+// the tree owns within-tick payload storage by design.
+package eigtree
+
+type Tree struct {
+	leaves [][]byte
+}
+
+func (t *Tree) StoreFromPayload(payload []byte) {
+	t.leaves = append(t.leaves, payload) // documented holder: no finding
+}

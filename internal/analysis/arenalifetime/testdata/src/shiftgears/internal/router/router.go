@@ -1,0 +1,54 @@
+// Package router is an arenalifetime fixture: a non-holder type that
+// leaks inbound payloads every way the analyzer must catch, plus the
+// copies and suppressions it must accept.
+package router
+
+var lastPayload []byte
+
+type Frame struct {
+	Round  int
+	Outbox []byte
+}
+
+type Router struct {
+	held   [][]byte
+	frames []Frame
+	out    chan []byte
+}
+
+func (r *Router) Deliver(tick int, payload []byte) {
+	r.held = append(r.held, payload) // want `stored into field of shiftgears/internal/router\.Router`
+	lastPayload = payload            // want `stored into package-level variable lastPayload`
+	r.out <- payload                 // want `sent on a channel`
+	sub := payload[4:]
+	r.held[0] = sub // want `stored into field of shiftgears/internal/router\.Router`
+
+	// Copies break the taint.
+	cp := string(payload)
+	_ = cp
+	fresh := append([]byte(nil), payload...)
+	r.held[0] = fresh
+}
+
+func (r *Router) DeliverRound(round int, inbox [][]byte) {
+	for _, p := range inbox {
+		r.held = append(r.held, p) // want `stored into field of shiftgears/internal/router\.Router`
+	}
+}
+
+func (r *Router) Exchange(tick int, outs [][]Frame) {
+	r.frames = outs[0] // want `stored into field of shiftgears/internal/router\.Router`
+}
+
+// delayedStore is the reasoned-suppression path: an intentional
+// within-tick holder outside the built-in list.
+func (r *Router) delayedStore(tick int, payload []byte) {
+	r.held = append(r.held, payload) //gearsvet:allow held is drained and reset before this tick's barrier opens
+}
+
+// unrelated parameters with payload-free shapes are never tainted.
+func (r *Router) Configure(names []string, payloadBudget int) {
+	r.held = nil
+	_ = names
+	_ = payloadBudget
+}

@@ -1,0 +1,21 @@
+// Package rsm is an arenalifetime fixture modeling the documented
+// slotScratch holder: stores into it are the design, stores into any
+// other field of the same package are still flagged.
+package rsm
+
+type slotScratch struct {
+	per [][]byte
+	dec []byte
+}
+
+type Machine struct {
+	s     slotScratch
+	stash []byte
+}
+
+func (m *Machine) DeliverRound(round int, inbox [][]byte) {
+	m.s.per = append(m.s.per, inbox[0]) // documented holder: no finding
+	m.s.dec = inbox[1]                  // documented holder: no finding
+	m.stash = inbox[2]                  // want `stored into field of shiftgears/internal/rsm\.Machine`
+	m.stash = append([]byte(nil), inbox[3]...)
+}

@@ -1,0 +1,282 @@
+// Package gearsdeterminism enforces the determinism contract of the
+// deterministic core (doc.go "Gear policies: shifting algorithms across
+// the log"): every replica must compute the same gear schedule from the
+// same committed prefix, adversary strategies must replay identically
+// from their seeds, and the chaos fabric's fault decisions must be pure
+// in (seed, tick, link, instance). A nondeterminism source anywhere in
+// the library packages can leak into frames or gear decisions three
+// layers away and surface only as a schedule divergence at runtime —
+// this analyzer fails `go vet` instead.
+//
+// Flagged sources:
+//   - wall-clock reads: time.Now, time.Since, time.Until
+//   - the global math/rand source (rand.Intn and friends — shared,
+//     unseeded state), for math/rand and math/rand/v2 alike
+//   - PRNG construction (rand.New, rand.NewSource, rand.NewPCG,
+//     rand.NewChaCha8): deterministic only when the seed derives from
+//     configuration, which the analyzer cannot prove — so construction
+//     sites must carry a //gearsvet:allow <reason> once verified
+//   - map iteration whose order escapes: a range over a map that
+//     appends to a slice never sorted in the same function, or sends
+//     on a channel
+//   - writes to package-level variables outside init (global mutable
+//     state shared across replicas in-process)
+//
+// Scope: packages of this module outside cmd/ and examples/ (tools may
+// use clocks freely), skipping _test.go files.
+package gearsdeterminism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"shiftgears/internal/analysis"
+)
+
+// Analyzer is the determinism-contract checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "gearsdeterminism",
+	Doc: "flag nondeterminism sources (clocks, global or unproven PRNGs, escaping map order, global state) in the deterministic core\n\n" +
+		"The determinism contract requires gear policies, adversary strategies, and chaos decisions to be pure functions of configuration and committed state.",
+	Run: run,
+}
+
+// inScope reports whether the package is part of the deterministic
+// core: the module root or internal packages, not tools or examples.
+func inScope(path string) bool {
+	if strings.Contains(path, "/cmd/") || strings.HasPrefix(path, "cmd/") ||
+		strings.Contains(path, "/examples/") {
+		return false
+	}
+	// The analysis machinery itself is tooling, not core.
+	if strings.Contains(path, "/analysis") {
+		return false
+	}
+	return path == "shiftgears" || strings.HasPrefix(path, "shiftgears/")
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if analysis.TestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			isInit := fn.Name.Name == "init" && fn.Recv == nil
+			checkFunc(pass, fn, isInit)
+		}
+	}
+	return nil
+}
+
+// checkFunc applies every determinism check to one function body.
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, isInit bool) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.RangeStmt:
+			checkMapRange(pass, fn, n)
+		case *ast.AssignStmt:
+			if !isInit {
+				for _, lhs := range n.Lhs {
+					checkGlobalWrite(pass, lhs)
+				}
+			}
+		case *ast.IncDecStmt:
+			if !isInit {
+				checkGlobalWrite(pass, n.X)
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags wall-clock reads and math/rand usage.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(), "time.%s in the deterministic core: wall-clock reads differ across replicas, so they cannot feed frames or gear decisions (//gearsvet:allow <reason> if provably off the decision path)", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		switch fn.Name() {
+		case "New", "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
+			pass.Reportf(call.Pos(), "PRNG constructed in the deterministic core: deterministic only if the seed derives from configuration — verify and annotate //gearsvet:allow <how the seed is derived>")
+		default:
+			// Package-level rand functions draw from the shared global
+			// source: unseeded (or racily shared) across replicas.
+			// Methods (e.g. (*Rand).Intn) are fine — their source was
+			// vetted at construction.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+				pass.Reportf(call.Pos(), "global math/rand source in the deterministic core: %s.%s draws from shared unseeded state and diverges across replicas — use a seeded *rand.Rand from the run's configuration", fn.Pkg().Name(), fn.Name())
+			}
+		}
+	}
+}
+
+// calleeFunc resolves a call's static callee, nil for indirect calls.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// checkMapRange flags map iterations whose nondeterministic order can
+// escape: appending to a slice that the function never sorts, or
+// sending on a channel from inside the loop.
+func checkMapRange(pass *analysis.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.Types[rng.X].Type
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside a map range: map iteration order is nondeterministic and escapes through the channel — iterate a sorted key slice instead")
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(n.Lhs) {
+					continue
+				}
+				target, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					pass.Reportf(n.Pos(), "append inside a map range stores iteration order into %s: map order is nondeterministic — collect and sort, or iterate sorted keys", types.ExprString(n.Lhs[i]))
+					continue
+				}
+				obj := pass.TypesInfo.ObjectOf(target)
+				if obj == nil || sortedLater(pass, fn, obj) {
+					continue
+				}
+				pass.Reportf(n.Pos(), "map iteration order escapes into %s, which this function never sorts: append inside a map range is nondeterministic — sort %s before it is used, or iterate sorted keys", target.Name, target.Name)
+			}
+		}
+		return true
+	})
+}
+
+// isBuiltinAppend reports whether the call is the append builtin.
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedLater reports whether fn contains a sort/slices call whose
+// first argument (or closure arguments) mention obj — the "collect
+// then sort" idiom that makes a map range deterministic.
+func sortedLater(pass *analysis.Pass, fn *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(pass, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		switch callee.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			mentioned := false
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+					mentioned = true
+				}
+				return !mentioned
+			})
+			if mentioned {
+				found = true
+				break
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkGlobalWrite flags assignments whose target is (or is reached
+// through) a package-level variable.
+func checkGlobalWrite(pass *analysis.Pass, lhs ast.Expr) {
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	root := rootIdent(pass, lhs)
+	if root == nil {
+		return
+	}
+	obj, ok := pass.TypesInfo.ObjectOf(root).(*types.Var)
+	if !ok || obj.IsField() {
+		return
+	}
+	// Package-level: parented directly by its package's scope (the
+	// variable may belong to another package, e.g. otherpkg.Var = x).
+	if obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "write to package-level variable %s in the deterministic core: global mutable state is shared by every in-process replica and breaks schedule purity — thread state through the run's configuration instead", root.Name)
+}
+
+// rootIdent walks selector/index/star/paren chains to the base
+// identifier, nil when the base is not an identifier (e.g. a call).
+// A qualified reference (otherpkg.Var) resolves to the selected
+// variable itself.
+func rootIdent(pass *analysis.Pass, e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			if base, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := pass.TypesInfo.ObjectOf(base).(*types.PkgName); isPkg {
+					return x.Sel
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package gearsdeterminism_test
+
+import (
+	"testing"
+
+	"shiftgears/internal/analysis/gearsdeterminism"
+	"shiftgears/internal/analysis/vettest"
+)
+
+func TestGearsDeterminism(t *testing.T) {
+	vettest.Run(t, "testdata", gearsdeterminism.Analyzer,
+		"shiftgears/internal/policy", // every flagged source + accepted idioms
+		"shiftgears/cmd/clock",       // tools are out of scope: no findings
+	)
+}

@@ -1,0 +1,13 @@
+// Package clock is a scoping fixture: cmd/ packages are tools, outside
+// the deterministic core, so wall clocks and global rand are fine here.
+package clock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp may read the wall clock: tools are out of scope.
+func Stamp() int64 {
+	return time.Now().UnixNano() + int64(rand.Intn(10))
+}

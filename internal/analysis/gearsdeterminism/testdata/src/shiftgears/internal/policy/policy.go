@@ -1,0 +1,100 @@
+// Package policy is a gearsdeterminism fixture: a deliberately broken
+// gear policy plus the catalog of nondeterminism sources the analyzer
+// must flag, and the deterministic idioms it must accept.
+package policy
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// LogEntry mirrors the shape a GearPolicy's committed prefix carries.
+type LogEntry struct{ Slot int }
+
+// Algorithm mirrors the gear identifier a policy returns.
+type Algorithm int
+
+// BrokenPolicy is the acceptance-criteria fixture: a GearPolicy whose
+// Pick consults the wall clock, so two replicas computing the schedule
+// for the same prefix can pick different gears.
+type BrokenPolicy struct{}
+
+// Pick violates the determinism contract.
+func (BrokenPolicy) Pick(slot, source int, prefix []LogEntry) Algorithm {
+	if time.Now().Unix()%2 == 0 { // want `time\.Now in the deterministic core`
+		return 1
+	}
+	return 0
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in the deterministic core`
+}
+
+func globalSource() int {
+	return rand.Intn(6) // want `global math/rand source`
+}
+
+func freshPRNG() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want `PRNG constructed` `PRNG constructed`
+}
+
+// seededPRNG shows the accepted idiom: construction is suppressed with
+// a reasoned directive once the seed's provenance is verified.
+func seededPRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) //gearsvet:allow seed is threaded from the run's configuration
+}
+
+// seededDraws shows that methods on a vetted *rand.Rand are fine: only
+// package-level draws hit the shared global source.
+func seededDraws(rng *rand.Rand) int {
+	return rng.Intn(6)
+}
+
+var counter int
+
+func bumpGlobal() {
+	counter++ // want `write to package-level variable counter`
+}
+
+func assignGlobal(n int) {
+	counter = n // want `write to package-level variable counter`
+}
+
+func localShadow() {
+	counter := 0
+	counter++
+	_ = counter
+}
+
+func mapOrderEscapes(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `map iteration order escapes into keys`
+	}
+	return keys
+}
+
+func mapOrderSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside a map range`
+	}
+}
+
+func sliceRangeFine(s []string) []string {
+	var out []string
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}

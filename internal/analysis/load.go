@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadedPackage is one type-checked package produced by Loader.Load —
+// everything a Pass needs, plus the parse artifacts tests match
+// diagnostics against.
+type LoadedPackage struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	Sizes types.Sizes
+}
+
+// Loader type-checks packages rooted at a GOPATH-style source tree:
+// the import path "a/b" resolves to <Root>/a/b/*.go. Imports that do
+// not exist under Root fall back to compiling the standard library
+// from source, so fixtures may import fmt, time, or math/rand without
+// any build cache. It exists for the vettest fixture harness and for
+// driving analyzers in-process; the production path is the vet
+// protocol in Main.
+type Loader struct {
+	// Root is the source tree root (testdata/src in fixtures).
+	Root string
+
+	fset  *token.FileSet
+	std   types.Importer
+	cache map[string]*LoadedPackage
+}
+
+// NewLoader builds a loader over root.
+func NewLoader(root string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:  root,
+		fset:  fset,
+		std:   importer.ForCompiler(fset, "source", nil),
+		cache: make(map[string]*LoadedPackage),
+	}
+}
+
+// Load type-checks the package at import path path (relative to Root).
+func (l *Loader) Load(path string) (*LoadedPackage, error) {
+	if p, ok := l.cache[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %q", path)
+		}
+		return p, nil
+	}
+	l.cache[path] = nil // cycle marker
+
+	dir := filepath.Join(l.Root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	conf := types.Config{
+		Importer: importerFunc(func(imp string) (*types.Package, error) {
+			if _, err := os.Stat(filepath.Join(l.Root, filepath.FromSlash(imp))); err == nil {
+				p, err := l.Load(imp)
+				if err != nil {
+					return nil, err
+				}
+				return p.Pkg, nil
+			}
+			return l.std.Import(imp)
+		}),
+		Sizes: types.SizesFor("gc", build.Default.GOARCH),
+	}
+	info := newInfo()
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	lp := &LoadedPackage{Fset: l.fset, Files: files, Pkg: pkg, Info: info, Sizes: conf.Sizes}
+	l.cache[path] = lp
+	return lp, nil
+}
+
+// RunOn executes one analyzer over a loaded package and returns its
+// findings after //gearsvet:allow filtering, with bare directives
+// appended as findings — exactly the unit driver's semantics, so
+// fixtures exercise the directive path end to end.
+func RunOn(a *Analyzer, p *LoadedPackage) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:   a,
+		Fset:       p.Fset,
+		Files:      p.Files,
+		Pkg:        p.Pkg,
+		TypesInfo:  p.Info,
+		TypesSizes: p.Sizes,
+		Report:     func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	dirs := Directives(p.Fset, p.Files)
+	out := Filter(p.Fset, dirs, diags)
+	out = append(out, BareDirectives(dirs)...)
+	return out, nil
+}

@@ -1,0 +1,14 @@
+// Package allowfix exercises //gearsvet:allow semantics: a reasoned
+// directive suppresses its own line (trailing) or the next (standalone);
+// a bare directive suppresses nothing and is itself a finding.
+package allowfix
+
+func f() {}
+
+func g() {
+	f()
+	f() //gearsvet:allow reasoned trailing suppression
+	//gearsvet:allow reasoned standalone directive covers the next line
+	f()
+	f() //gearsvet:allow
+}

@@ -1,0 +1,348 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Config mirrors the JSON compilation-unit description `go vet` hands a
+// -vettool for each package (the unpublished but stable vet protocol;
+// x/tools' unitchecker documents the same shape). Only the fields this
+// driver consumes are declared.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string // import path → package path
+	PackageFile               map[string]string // package path → export data file
+	Standard                  map[string]bool
+	VetxOnly                  bool   // facts-only run for a dependency
+	VetxOutput                string // where the driver must write its facts file
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of a vet-compatible analysis tool built from
+// this package's analyzers. The protocol `go vet -vettool=...` speaks:
+//
+//	tool -V=full     print an executable fingerprint (build caching)
+//	tool -flags      print supported flags as JSON
+//	tool foo.cfg     analyze the one compilation unit foo.cfg describes
+//
+// Diagnostics go to stderr as file:line:col lines; a nonzero exit says
+// findings (or errors) occurred. The driver runs entirely on the
+// standard library: types for dependencies come from the export-data
+// files the build system lists in the config, facts are not used (an
+// empty vetx file is written to satisfy the cache), and suppression is
+// applied after all analyzers ran so one //gearsvet:allow covers its
+// line regardless of which checker fired.
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	for _, a := range analyzers {
+		if a.Name == "" || a.Run == nil {
+			log.Fatalf("invalid analyzer registration: %+v", a)
+		}
+	}
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	fs.Var(versionFlag{}, "V", "print version and exit (-V=full)")
+	printflags := fs.Bool("flags", false, "print analyzer flags in JSON")
+	jsonOut := fs.Bool("json", false, "emit JSON output")
+	fs.Int("c", -1, "display offending line with this many lines of context (accepted, unused)")
+	enabled := make(map[string]*string, len(analyzers))
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		// Tri-state via string default "": "" unset, else ParseBool.
+		enabled[a.Name] = fs.String(a.Name, "", "enable "+a.Name+" analysis: "+doc)
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+
+	if *printflags {
+		printFlags(fs)
+		os.Exit(0)
+	}
+
+	args := fs.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		log.Fatalf("usage: run via go vet -vettool=$(which %s); direct invocation takes a single .cfg file", progname)
+	}
+
+	// Honor -<analyzer>=true/false selection the way vet drivers do: any
+	// explicit true runs only those; otherwise explicit falses are dropped.
+	selected := analyzers
+	anyTrue := false
+	for _, a := range analyzers {
+		if *enabled[a.Name] == "true" {
+			anyTrue = true
+		}
+	}
+	if anyTrue {
+		selected = nil
+		for _, a := range analyzers {
+			if *enabled[a.Name] == "true" {
+				selected = append(selected, a)
+			}
+		}
+	} else {
+		selected = nil
+		for _, a := range analyzers {
+			if *enabled[a.Name] != "false" {
+				selected = append(selected, a)
+			}
+		}
+	}
+
+	code, err := runUnit(args[0], selected, *jsonOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Exit(code)
+}
+
+// runUnit analyzes the compilation unit configFile describes and
+// reports the process exit code: 0 clean, 1 findings.
+func runUnit(configFile string, analyzers []*Analyzer, jsonOut bool) (int, error) {
+	data, err := os.ReadFile(configFile)
+	if err != nil {
+		return 0, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return 0, fmt.Errorf("cannot decode JSON config file %s: %v", configFile, err)
+	}
+
+	// The cache expects a facts file for every unit, dependencies
+	// included; this suite defines no facts, so an empty one settles
+	// the contract and lets facts-only dependency runs return at once.
+	writeVetx := func() error {
+		if cfg.VetxOutput == "" {
+			return nil
+		}
+		return os.WriteFile(cfg.VetxOutput, nil, 0666)
+	}
+	if cfg.VetxOnly {
+		return 0, writeVetx()
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, writeVetx()
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				return nil, fmt.Errorf("can't resolve import %q", importPath)
+			}
+			return compilerImporter.Import(path)
+		}),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := newInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, writeVetx()
+		}
+		return 0, err
+	}
+
+	perAnalyzer, err := runAnalyzers(analyzers, fset, files, pkg, info, tc.Sizes)
+	if err != nil {
+		return 0, err
+	}
+	if err := writeVetx(); err != nil {
+		return 0, err
+	}
+
+	if jsonOut {
+		tree := map[string]map[string][]jsonDiagnostic{cfg.ID: {}}
+		for name, diags := range perAnalyzer {
+			for _, d := range diags {
+				tree[cfg.ID][name] = append(tree[cfg.ID][name], jsonDiagnostic{
+					Posn:    fset.Position(d.Pos).String(),
+					Message: d.Message,
+				})
+			}
+		}
+		enc, err := json.MarshalIndent(tree, "", "\t")
+		if err != nil {
+			return 0, err
+		}
+		os.Stdout.Write(enc)
+		os.Stdout.Write([]byte{'\n'})
+		return 0, nil
+	}
+
+	exit := 0
+	for _, name := range sortedKeys(perAnalyzer) {
+		for _, d := range perAnalyzer[name] {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+			exit = 1
+		}
+	}
+	return exit, nil
+}
+
+// runAnalyzers executes the analyzers over one loaded package and
+// returns the per-analyzer diagnostics that survive //gearsvet:allow
+// filtering; bare (reasonless) directives surface under the synthetic
+// analyzer name "allow".
+func runAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, sizes types.Sizes) (map[string][]Diagnostic, error) {
+	dirs := Directives(fset, files)
+	out := make(map[string][]Diagnostic)
+	for _, a := range analyzers {
+		var diags []Diagnostic
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: sizes,
+			Report:     func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+		// A reasoned directive covers its line for whichever analyzer
+		// fired there.
+		out[a.Name] = Filter(fset, dirs, diags)
+	}
+	if bare := BareDirectives(dirs); len(bare) > 0 {
+		out["allow"] = bare
+	}
+	return out, nil
+}
+
+// newInfo builds a fully-populated types.Info (analyzers rely on Uses,
+// Selections, and Types being present).
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		FileVersions: make(map[*ast.File]string),
+	}
+}
+
+type jsonDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+func sortedKeys(m map[string][]Diagnostic) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// printFlags emits the JSON flag inventory `go vet` requests with
+// -flags before its first real invocation.
+func printFlags(fs *flag.FlagSet) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// versionFlag implements the -V=full fingerprint handshake: the go
+// command hashes the response into its action cache key, so the
+// fingerprint must change when the tool's behavior does — hashing the
+// executable achieves that.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	progname, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(progname)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel gearsvet buildID=%02x\n", progname, string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,153 @@
+// Package vettest runs a gearsvet analyzer over fixture packages and
+// checks its findings against // want expectations in the fixture
+// source — the analysistest workflow, reimplemented on the standard
+// library so the suite stays dependency-free.
+//
+// Fixtures live in a GOPATH-style tree: <testdata>/src/<importpath>/.
+// A line that should be flagged carries a trailing expectation whose
+// quoted argument is a regular expression matched against the
+// diagnostic message:
+//
+//	x := time.Now() // want `time\.Now`
+//
+// Several expectations on one line each consume one diagnostic. Lines
+// with no expectation must produce no diagnostic. Because the harness
+// routes findings through the same //gearsvet:allow filtering as the
+// vet driver, fixtures also pin the suppression semantics: an allowed
+// line wants nothing, a bare directive wants the bare-directive error.
+package vettest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"shiftgears/internal/analysis"
+)
+
+// Run loads each fixture package under dir/src, applies the analyzer,
+// and reports every mismatch between findings and // want comments as
+// a test error.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := analysis.NewLoader(filepath.Join(dir, "src"))
+	for _, pkg := range pkgs {
+		p, err := loader.Load(pkg)
+		if err != nil {
+			t.Errorf("%s: load %s: %v", a.Name, pkg, err)
+			continue
+		}
+		diags, err := analysis.RunOn(a, p)
+		if err != nil {
+			t.Errorf("%s: run on %s: %v", a.Name, pkg, err)
+			continue
+		}
+		checkExpectations(t, a.Name, p, diags)
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// checkExpectations matches diagnostics against want comments
+// line-by-line.
+func checkExpectations(t *testing.T, name string, p *analysis.LoadedPackage, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[lineKey][]*regexp.Regexp)
+	for _, f := range p.Files {
+		fname := p.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+				if !ok {
+					continue
+				}
+				key := lineKey{fname, p.Fset.Position(c.Pos()).Line}
+				for _, pat := range splitQuoted(rest) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", posn(p.Fset, c.Pos()), pat, err)
+						continue
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := p.Fset.Position(d.Pos)
+		key := lineKey{pos.Filename, pos.Line}
+		matched := false
+		for i, re := range wants[key] {
+			if re != nil && re.MatchString(d.Message) {
+				wants[key][i] = nil // consumed
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected %s diagnostic: %s", pos, name, d.Message)
+		}
+	}
+	for key, res := range wants {
+		for _, re := range res {
+			if re != nil {
+				t.Errorf("%s:%d: no %s diagnostic matched %q", key.file, key.line, name, re)
+			}
+		}
+	}
+}
+
+// splitQuoted parses the arguments of a want comment: a sequence of
+// double-quoted or backquoted strings.
+func splitQuoted(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				return append(out, s) // unterminated; surface as-is
+			}
+			unq, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				unq = s[1:end]
+			}
+			out = append(out, unq)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return append(out, s[1:])
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[2+end:])
+		default:
+			// Unquoted tail: treat the rest as one pattern.
+			return append(out, s)
+		}
+	}
+	return out
+}
+
+func posn(fset *token.FileSet, pos token.Pos) string {
+	return fmt.Sprint(fset.Position(pos))
+}

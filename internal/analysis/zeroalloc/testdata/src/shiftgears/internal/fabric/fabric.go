@@ -1,0 +1,64 @@
+// Package fabric is a zeroalloc fixture: unguarded and guarded tracer
+// emissions, the emit-helper idiom, and every per-tick allocation
+// idiom in hot regions alongside the exemptions (setup code, error
+// branches, traced paths, suppressions).
+package fabric
+
+import (
+	"fmt"
+
+	"shiftgears/internal/obs"
+)
+
+type Mem struct {
+	tr    obs.Tracer
+	names []string
+}
+
+func (m *Mem) Exchange(tick int) {
+	m.tr.Emit(obs.Event{Tick: tick}) // want `tracer emission not behind a nil guard`
+	if m.tr != nil {
+		m.tr.Emit(obs.Event{Tick: tick})
+		m.emitFrame(tick)
+	}
+	m.emitFrame(tick) // want `emit helper emitFrame called without a tracer nil guard`
+}
+
+// emitFrame follows the emit-helper idiom: unguarded inside, so every
+// call site must carry the guard.
+func (m *Mem) emitFrame(tick int) {
+	m.tr.Emit(obs.Event{Tick: tick, Note: "frame"})
+}
+
+func (m *Mem) Deliver(tick int, err error) {
+	s := fmt.Sprintf("tick %d", tick) // want `fmt\.Sprintf in a hot region`
+	name := "node-" + s               // want `string concatenation in a hot region`
+	m.names = append(make([]string, 0, 4), name) // want `append onto a freshly allocated slice`
+	f := func() {}                               // want `function literal in a hot region`
+	f()
+	if err != nil {
+		_ = fmt.Sprintf("fail %d", tick) // error path: allocation allowed
+	}
+	if m.tr != nil {
+		m.tr.Emit(obs.Event{Tick: tick, Note: fmt.Sprintf("traced %d", tick)}) // traced path: allocation allowed
+	}
+}
+
+// Run's setup may allocate; only its loop bodies are hot.
+func (m *Mem) Run(n int) {
+	setup := fmt.Sprintf("setup %d", n)
+	_ = setup
+	for i := 0; i < n; i++ {
+		_ = fmt.Sprintf("tick %d", i) // want `fmt\.Sprintf in a hot region`
+	}
+}
+
+// Tick shows the reasoned-suppression path for a deliberate allocation.
+func (m *Mem) Tick(n int) {
+	_ = fmt.Sprintf("warm %d", n) //gearsvet:allow one-time warmup allocation, amortized across the run
+}
+
+// cold functions are not hot regions: allocation is fine.
+func (m *Mem) report(n int) string {
+	return fmt.Sprintf("ran %d ticks", n)
+}

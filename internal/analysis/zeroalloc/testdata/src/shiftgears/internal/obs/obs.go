@@ -1,0 +1,12 @@
+// Package obs is a zeroalloc fixture dependency: the Tracer interface
+// the analyzer recognizes by name and package suffix.
+package obs
+
+type Event struct {
+	Tick int
+	Note string
+}
+
+type Tracer interface {
+	Emit(Event)
+}

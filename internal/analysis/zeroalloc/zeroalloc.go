@@ -1,0 +1,423 @@
+// Package zeroalloc enforces the flight recorder's zero-overhead
+// contract (doc.go "The flight recorder") on the hot-path packages:
+// with no tracer attached, a tick must not pay for observability, and
+// the per-tick loop must not allocate (BenchmarkFabricTick pins
+// 0 allocs/op in CI).
+//
+// Two checks:
+//
+//  1. Tracer emissions. Every call to Emit on an obs.Tracer-typed
+//     value must sit inside an `if <recv> != nil` guard on that same
+//     receiver expression. Functions following the emit-helper idiom
+//     (name starts with "emit") may keep the guard at their call
+//     sites instead: the helper's own Emit calls go unchecked, and
+//     every intra-package call of the helper must be guarded by a
+//     tracer nil check. An unguarded helper call site is flagged.
+//
+//  2. Per-tick allocators. Inside hot regions — the full body of the
+//     per-tick methods (Outboxes, Deliver, Exchange, PrepareRound,
+//     DeliverRound, Tick) and the loop bodies of functions named Run —
+//     the analyzer flags the obvious allocation idioms: fmt.Sprintf /
+//     Sprint / Sprintln, string concatenation with +, function
+//     literals (a closure allocated every tick — hoist it before the
+//     loop), and append onto a freshly made slice. Code behind a
+//     tracer nil guard or an `err != nil` branch is exempt: traced
+//     runs and failure paths may allocate.
+//
+// Scope: shiftgears/internal/{fabric,sim,transport,rsm,obs}, skipping
+// _test.go files. A deliberate allocation in a hot region (e.g. a
+// once-per-run warmup) carries //gearsvet:allow <reason>.
+package zeroalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"shiftgears/internal/analysis"
+)
+
+// Analyzer is the zero-overhead / zero-alloc hot-path checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "zeroalloc",
+	Doc: "flag unguarded tracer emissions and per-tick allocation idioms in hot-path packages\n\n" +
+		"The zero-overhead contract: a nil tracer costs one nil check, and the tick loop runs at 0 allocs/op.",
+	Run: run,
+}
+
+// hotPkgs are the package-path suffixes the contract covers.
+var hotPkgs = []string{
+	"internal/fabric",
+	"internal/sim",
+	"internal/transport",
+	"internal/rsm",
+	"internal/obs",
+}
+
+// hotMethods are per-tick entry points: their whole body is hot.
+var hotMethods = map[string]bool{
+	"Outboxes":     true,
+	"Deliver":      true,
+	"Exchange":     true,
+	"PrepareRound": true,
+	"DeliverRound": true,
+	"Tick":         true,
+}
+
+func inScope(path string) bool {
+	for _, s := range hotPkgs {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	// First pass: find emit helpers (name "emit*" containing an Emit
+	// call on a tracer) so their call sites can be checked instead.
+	helpers := make(map[types.Object]bool)
+	var fns []*ast.FuncDecl
+	for _, file := range pass.Files {
+		if analysis.TestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			fns = append(fns, fn)
+			if strings.HasPrefix(fn.Name.Name, "emit") && hasTracerEmit(pass, fn.Body) {
+				if obj := pass.TypesInfo.ObjectOf(fn.Name); obj != nil {
+					helpers[obj] = true
+				}
+			}
+		}
+	}
+	for _, fn := range fns {
+		isHelper := helpers[pass.TypesInfo.ObjectOf(fn.Name)]
+		checkEmits(pass, fn, isHelper, helpers)
+		checkAllocs(pass, fn)
+	}
+	return nil
+}
+
+// isTracerType reports whether t is the obs.Tracer interface.
+func isTracerType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != "Tracer" || obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "obs") {
+		return false
+	}
+	_, isIface := n.Underlying().(*types.Interface)
+	return isIface
+}
+
+// tracerEmitRecv returns the receiver expression of an Emit call on an
+// obs.Tracer value, nil otherwise.
+func tracerEmitRecv(pass *analysis.Pass, call *ast.CallExpr) ast.Expr {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Emit" {
+		return nil
+	}
+	t := pass.TypesInfo.Types[sel.X].Type
+	if t == nil || !isTracerType(t) {
+		return nil
+	}
+	return sel.X
+}
+
+// hasTracerEmit reports whether the body contains any tracer Emit call.
+func hasTracerEmit(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && tracerEmitRecv(pass, call) != nil {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// guardSet tracks the rendered expressions nil-guarded on the current
+// path, plus whether any tracer guard or error branch encloses it.
+type guardSet struct {
+	exprs       map[string]bool
+	tracerGuard bool
+	errBranch   bool
+}
+
+func (g guardSet) with(expr string, tracer, err bool) guardSet {
+	ng := guardSet{
+		exprs:       make(map[string]bool, len(g.exprs)+1),
+		tracerGuard: g.tracerGuard || tracer,
+		errBranch:   g.errBranch || err,
+	}
+	for k := range g.exprs {
+		ng.exprs[k] = true
+	}
+	if expr != "" {
+		ng.exprs[expr] = true
+	}
+	return ng
+}
+
+// checkEmits walks fn flagging unguarded tracer emissions and
+// unguarded emit-helper call sites. Inside an emit helper the Emit
+// calls themselves are exempt (the guard lives at the call sites).
+func checkEmits(pass *analysis.Pass, fn *ast.FuncDecl, isHelper bool, helpers map[types.Object]bool) {
+	var walk func(n ast.Node, g guardSet)
+	walk = func(n ast.Node, g guardSet) {
+		if n == nil {
+			return
+		}
+		if ifs, ok := n.(*ast.IfStmt); ok {
+			if ifs.Init != nil {
+				walk(ifs.Init, g)
+			}
+			walk(ifs.Cond, g)
+			expr, tracer := nilGuardedExpr(pass, ifs.Cond)
+			errB := errCond(ifs.Cond)
+			walk(ifs.Body, g.with(expr, tracer, errB))
+			if ifs.Else != nil {
+				// The else branch inverts the guard: nothing gained.
+				walk(ifs.Else, g)
+			}
+			return
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if recv := tracerEmitRecv(pass, call); recv != nil && !isHelper {
+				if !g.exprs[types.ExprString(recv)] {
+					pass.Reportf(call.Pos(), "tracer emission not behind a nil guard: %s.Emit runs even with no tracer attached, breaking the zero-overhead contract (doc.go \"The flight recorder\") — wrap in `if %s != nil { ... }`, move it into an emit* helper with guarded call sites, or annotate //gearsvet:allow <reason>", types.ExprString(recv), types.ExprString(recv))
+				}
+			}
+			if callee := staticCallee(pass, call); callee != nil && helpers[callee] {
+				if !g.tracerGuard {
+					pass.Reportf(call.Pos(), "emit helper %s called without a tracer nil guard: the helper emits unconditionally, so every call site must sit inside `if <tracer> != nil` (zero-overhead contract) — guard the call or annotate //gearsvet:allow <reason>", callee.Name())
+				}
+			}
+		}
+		for _, c := range childNodes(n) {
+			walk(c, g)
+		}
+	}
+	walk(fn.Body, guardSet{exprs: make(map[string]bool)})
+}
+
+// nilGuardedExpr extracts from a condition the expression proven
+// non-nil in the then-branch (`x != nil`, possibly conjoined with &&),
+// and whether that expression is tracer-typed.
+func nilGuardedExpr(pass *analysis.Pass, cond ast.Expr) (expr string, tracer bool) {
+	switch c := cond.(type) {
+	case *ast.BinaryExpr:
+		switch c.Op.String() {
+		case "&&":
+			// Either conjunct's guard holds in the body; prefer a
+			// tracer guard.
+			le, lt := nilGuardedExpr(pass, c.X)
+			re, rt := nilGuardedExpr(pass, c.Y)
+			if lt {
+				return le, true
+			}
+			if rt {
+				return re, true
+			}
+			if le != "" {
+				return le, false
+			}
+			return re, false
+		case "!=":
+			var guarded ast.Expr
+			if isNilIdent(c.Y) {
+				guarded = c.X
+			} else if isNilIdent(c.X) {
+				guarded = c.Y
+			}
+			if guarded == nil {
+				return "", false
+			}
+			t := pass.TypesInfo.Types[guarded].Type
+			return types.ExprString(guarded), t != nil && isTracerType(t)
+		}
+	case *ast.ParenExpr:
+		return nilGuardedExpr(pass, c.X)
+	}
+	return "", false
+}
+
+// errCond reports whether the condition is (or conjoins) an
+// `err != nil` style test — a failure branch allowed to allocate.
+func errCond(cond ast.Expr) bool {
+	switch c := cond.(type) {
+	case *ast.BinaryExpr:
+		if c.Op.String() == "&&" || c.Op.String() == "||" {
+			return errCond(c.X) || errCond(c.Y)
+		}
+		if c.Op.String() != "!=" {
+			return false
+		}
+		for _, side := range []ast.Expr{c.X, c.Y} {
+			if id, ok := side.(*ast.Ident); ok && strings.Contains(strings.ToLower(id.Name), "err") {
+				return true
+			}
+		}
+	case *ast.ParenExpr:
+		return errCond(c.X)
+	}
+	return false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// staticCallee resolves a direct call target within the package.
+func staticCallee(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[f]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[f.Sel]
+	}
+	return nil
+}
+
+// checkAllocs flags allocation idioms inside hot regions.
+func checkAllocs(pass *analysis.Pass, fn *ast.FuncDecl) {
+	var regions []ast.Node
+	if hotMethods[fn.Name.Name] && fn.Recv != nil {
+		regions = append(regions, fn.Body)
+	} else if fn.Name.Name == "Run" {
+		// Only the tick loop is hot; setup before it may allocate.
+		for _, stmt := range fn.Body.List {
+			switch s := stmt.(type) {
+			case *ast.ForStmt:
+				regions = append(regions, s.Body)
+			case *ast.RangeStmt:
+				regions = append(regions, s.Body)
+			}
+		}
+	}
+	for _, region := range regions {
+		checkAllocRegion(pass, region)
+	}
+}
+
+// checkAllocRegion walks a hot region flagging allocators, honoring
+// tracer-guard and error-branch exemptions.
+func checkAllocRegion(pass *analysis.Pass, region ast.Node) {
+	var walk func(n ast.Node, exempt bool)
+	walk = func(n ast.Node, exempt bool) {
+		if n == nil {
+			return
+		}
+		if ifs, ok := n.(*ast.IfStmt); ok {
+			if ifs.Init != nil {
+				walk(ifs.Init, exempt)
+			}
+			walk(ifs.Cond, exempt)
+			_, tracer := nilGuardedExpr(pass, ifs.Cond)
+			walk(ifs.Body, exempt || tracer || errCond(ifs.Cond))
+			if ifs.Else != nil {
+				walk(ifs.Else, exempt)
+			}
+			return
+		}
+		if !exempt {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if fn, ok := staticCallee(pass, x).(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+					switch fn.Name() {
+					case "Sprintf", "Sprint", "Sprintln":
+						pass.Reportf(x.Pos(), "fmt.%s in a hot region: formats and allocates every tick, breaking the 0 allocs/op contract — precompute the string, or move it behind a tracer guard (//gearsvet:allow <reason> if per-tick allocation is intended)", fn.Name())
+					}
+				}
+				if isAppendToFresh(pass, x) {
+					pass.Reportf(x.Pos(), "append onto a freshly allocated slice in a hot region: allocates every tick — reuse a scratch slice sized once (//gearsvet:allow <reason> if intended)")
+				}
+			case *ast.BinaryExpr:
+				if x.Op.String() == "+" && isStringConcat(pass, x) {
+					pass.Reportf(x.Pos(), "string concatenation in a hot region: allocates every tick — precompute the string or use a reused buffer (//gearsvet:allow <reason> if intended)")
+				}
+			case *ast.FuncLit:
+				pass.Reportf(x.Pos(), "function literal in a hot region: the closure is allocated every tick — hoist it before the loop (//gearsvet:allow <reason> if intended)")
+				// Don't descend: the closure body runs later, and its
+				// contents were already implicitly flagged by the hoist
+				// message.
+				return
+			}
+		}
+		for _, c := range childNodes(n) {
+			walk(c, exempt)
+		}
+	}
+	walk(region, false)
+}
+
+// isAppendToFresh reports append whose destination is allocated in
+// place: append(make(...), ...) or append([]T{...}, ...).
+func isAppendToFresh(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	switch dst := call.Args[0].(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		if did, ok := dst.Fun.(*ast.Ident); ok {
+			if b, ok := pass.TypesInfo.Uses[did].(*types.Builtin); ok && b.Name() == "make" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isStringConcat reports a + whose result is a string and whose
+// operands are not both constants (constant folding is free).
+func isStringConcat(pass *analysis.Pass, bin *ast.BinaryExpr) bool {
+	tv, ok := pass.TypesInfo.Types[bin]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+		return false
+	}
+	return tv.Value == nil // non-constant result
+}
+
+// childNodes enumerates a node's direct children (ast.Inspect cannot
+// carry per-path state down the walk).
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}

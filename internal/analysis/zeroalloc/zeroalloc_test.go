@@ -1,0 +1,14 @@
+package zeroalloc_test
+
+import (
+	"testing"
+
+	"shiftgears/internal/analysis/vettest"
+	"shiftgears/internal/analysis/zeroalloc"
+)
+
+func TestZeroAlloc(t *testing.T) {
+	vettest.Run(t, "testdata", zeroalloc.Analyzer,
+		"shiftgears/internal/fabric", // emissions, helpers, hot-region allocators
+	)
+}

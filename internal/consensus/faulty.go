@@ -28,7 +28,7 @@ func NewFaultyVector(shadow *VectorReplica, strat adversary.Strategy, seed int64
 	return &FaultyVector{
 		shadow: shadow,
 		strat:  strat,
-		rng:    rand.New(rand.NewSource(seed ^ int64(shadow.ID()+1)*0x517cc1b7)),
+		rng:    rand.New(rand.NewSource(seed ^ int64(shadow.ID()+1)*0x517cc1b7)), //gearsvet:allow seed derives from the run seed and the shadow's ID, so faulty behavior replays identically per configuration
 		n:      shadow.env.n,
 	}
 }

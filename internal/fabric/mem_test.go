@@ -191,10 +191,10 @@ func TestMemCrashSeversNode(t *testing.T) {
 func TestMemPlanValidation(t *testing.T) {
 	bad := []fabric.Plan{
 		{Drop: 1.5, Victims: []int{0}},
-		{Drop: 0.5},               // loss without victims
-		{Victims: []int{9}},       // out of range
+		{Drop: 0.5},         // loss without victims
+		{Victims: []int{9}}, // out of range
 		{Late: -0.1, Victims: []int{0}},
-		{Partitions: []fabric.Partition{{From: 0, Until: 2, Group: []int{0}}}},   // 0-based tick
+		{Partitions: []fabric.Partition{{From: 0, Until: 2, Group: []int{0}}}},          // 0-based tick
 		{Partitions: []fabric.Partition{{From: 1, Until: 2, Group: []int{0, 1, 2, 3}}}}, // no split
 		{Crashes: []fabric.Crash{{Node: 4, From: 1, Until: 2}}},
 	}

@@ -377,4 +377,3 @@ func (m *Mux) fail(err error) error {
 	}
 	return err
 }
-

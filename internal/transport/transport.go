@@ -279,7 +279,7 @@ func (nd *Node) newPeer(conn net.Conn) *peer {
 }
 
 func dialWithRetry(addr string, retry time.Duration) (net.Conn, error) {
-	deadline := time.Now().Add(retry)
+	deadline := time.Now().Add(retry) //gearsvet:allow wall-clock dial-retry deadline during connection setup, before the deterministic schedule starts
 	timeout := time.Second
 	if timeout > retry {
 		timeout = retry
@@ -294,7 +294,7 @@ func dialWithRetry(addr string, retry time.Duration) (net.Conn, error) {
 		if err == nil {
 			return conn, nil
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //gearsvet:allow wall-clock retry-window check during connection setup, off the deterministic schedule
 			return nil, err
 		}
 		time.Sleep(20 * time.Millisecond)
@@ -339,7 +339,7 @@ func (nd *Node) Run(rounds int) (*sim.Stats, error) {
 		// peer sends exactly one frame per round in order, so sequential
 		// reads suffice.
 		rs := sim.RoundStats{Round: r}
-		err := wp.exchange("round", r, frame, func() error {
+		err := wp.exchange("round", r, frame, func() error { //gearsvet:allow invoked synchronously by wp.exchange and never stored, so the closure does not escape the round
 			for id, p := range nd.peers {
 				if id == nd.id {
 					countPayload(&rs, inbox[id])
@@ -404,4 +404,3 @@ func (nd *Node) Close() error {
 	}
 	return err
 }
-
