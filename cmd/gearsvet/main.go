@@ -1,16 +1,25 @@
 // Command gearsvet is the repo's vet tool: a suite of analyzers that
-// mechanically enforce three documented contracts — determinism in the
+// mechanically enforce four documented contracts — determinism in the
 // gear-shifting core (gearsdeterminism), the wire hot path's one-tick
-// payload lifetime (arenalifetime), and the flight recorder's
-// zero-overhead / zero-alloc rule (zeroalloc).
+// payload lifetime (arenalifetime), the flight recorder's
+// zero-overhead / zero-alloc rule (zeroalloc), and the fabric layer's
+// concurrency contract (fabricconc).
 //
 // Run it through the standard vet driver:
 //
 //	go build -o /tmp/gearsvet ./cmd/gearsvet
 //	go vet -vettool=/tmp/gearsvet ./...
 //
-// Findings are suppressed per line with //gearsvet:allow <reason>; a
-// bare directive (no reason) is itself an error. See
+// The suite is inter-procedural: each unit exports per-function
+// escape summaries (and other facts) into its vetx file, and
+// importing units consult them — a payload that leaks inside a helper
+// three packages away is flagged at the entry point's call site. Pass
+// -json to emit one JSON object per finding (suppressed ones
+// included, with their allow reasons) on stdout instead of text on
+// stderr; the exit code is unchanged.
+//
+// Findings are suppressed per statement with //gearsvet:allow
+// <reason>; a bare directive (no reason) is itself an error. See
 // internal/analysis for the framework and each analyzer's package doc
 // for the contract it enforces.
 package main
@@ -18,6 +27,7 @@ package main
 import (
 	"shiftgears/internal/analysis"
 	"shiftgears/internal/analysis/arenalifetime"
+	"shiftgears/internal/analysis/fabricconc"
 	"shiftgears/internal/analysis/gearsdeterminism"
 	"shiftgears/internal/analysis/zeroalloc"
 )
@@ -27,5 +37,6 @@ func main() {
 		gearsdeterminism.Analyzer,
 		arenalifetime.Analyzer,
 		zeroalloc.Analyzer,
+		fabricconc.Analyzer,
 	)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -24,24 +25,35 @@ func buildTool(t *testing.T) string {
 // writeModule lays out a throwaway module named shiftgears (the
 // analyzers scope by that module path) holding one policy package.
 func writeModule(t *testing.T, policySrc string) string {
+	return writeModuleFiles(t, map[string]string{"internal/policy/policy.go": policySrc})
+}
+
+// writeModuleFiles lays out a throwaway shiftgears module from a
+// relative-path → source map, so tests can build multi-package trees
+// and exercise the cross-unit fact flow of a real vet run.
+func writeModuleFiles(t *testing.T, files map[string]string) string {
 	t.Helper()
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module shiftgears\n\ngo 1.24\n"), 0o666); err != nil {
 		t.Fatal(err)
 	}
-	pkg := filepath.Join(dir, "internal", "policy")
-	if err := os.MkdirAll(pkg, 0o777); err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(filepath.Join(pkg, "policy.go"), []byte(policySrc), 0o666); err != nil {
-		t.Fatal(err)
+	for rel, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
 	}
 	return dir
 }
 
-func govet(t *testing.T, tool, dir string) (string, error) {
+func govet(t *testing.T, tool, dir string, extra ...string) (string, error) {
 	t.Helper()
-	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	args := append([]string{"vet", "-vettool=" + tool}, extra...)
+	args = append(args, "./...")
+	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	out, err := cmd.CombinedOutput()
 	return string(out), err
@@ -96,5 +108,127 @@ func TestVetToolPassesCleanPolicy(t *testing.T) {
 	out, err := govet(t, tool, writeModule(t, cleanPolicy))
 	if err != nil {
 		t.Fatalf("go vet failed a pure policy: %v\n%s", err, out)
+	}
+}
+
+// TestVetToolCrossPackageArena is the inter-procedural acceptance
+// fixture: the leak lives inside a helper in one package, the entry
+// point in another, and the finding must surface at the entry point's
+// call site — which only works if the helper's escape summary rode the
+// vetx facts file between the two vet units.
+func TestVetToolCrossPackageArena(t *testing.T) {
+	tool := buildTool(t)
+	dir := writeModuleFiles(t, map[string]string{
+		"internal/sink/sink.go": `package sink
+
+type Cache struct{ slots [][]byte }
+
+// Store retains p beyond the call.
+func (c *Cache) Store(p []byte) { c.slots = append(c.slots, p) }
+`,
+		"internal/entry/entry.go": `package entry
+
+import "shiftgears/internal/sink"
+
+type Entry struct{ c sink.Cache }
+
+// Deliver hands the arena-backed payload to another package's sink.
+func (e *Entry) Deliver(p []byte) {
+	e.c.Store(p)
+}
+`,
+	})
+	out, err := govet(t, tool, dir)
+	if err == nil {
+		t.Fatalf("go vet passed a cross-package payload leak; output:\n%s", out)
+	}
+	if !strings.Contains(out, "passed to (sink.Cache).Store") {
+		t.Fatalf("missing call-site arenalifetime diagnostic in vet output:\n%s", out)
+	}
+	if !strings.Contains(out, "entry.go") || strings.Contains(out, "sink.go:") {
+		t.Fatalf("finding should anchor at the entry call site, not the sink:\n%s", out)
+	}
+}
+
+// TestVetToolFlagsFabricDeadlock pins the fabricconc acceptance shape:
+// an unguarded per-tick loop send toward a channel nobody receives —
+// the writer-pool deadlock — must fail the vet run.
+func TestVetToolFlagsFabricDeadlock(t *testing.T) {
+	tool := buildTool(t)
+	dir := writeModuleFiles(t, map[string]string{
+		"internal/transport/pool.go": `package transport
+
+type Pool struct{ stop chan struct{} }
+
+// Exchange dispatches the tick with no select guard and no receiver.
+func (p *Pool) Exchange(ticks []int) {
+	for range ticks {
+		p.stop <- struct{}{}
+	}
+}
+`,
+	})
+	out, err := govet(t, tool, dir)
+	if err == nil {
+		t.Fatalf("go vet passed an unguarded loop send; output:\n%s", out)
+	}
+	if !strings.Contains(out, "unguarded channel send inside a loop") {
+		t.Fatalf("missing fabricconc diagnostic in vet output:\n%s", out)
+	}
+}
+
+// TestVetToolJSON pins the -json contract: one JSON object per line,
+// suppressed findings included with their allow state and reason, and
+// the exit code still reflecting only reported findings.
+func TestVetToolJSON(t *testing.T) {
+	tool := buildTool(t)
+	dir := writeModule(t, `package policy
+
+import "time"
+
+// Reported: a bare wall-clock read.
+func Bad() int64 { return time.Now().Unix() }
+
+// Suppressed: the same read behind a reasoned allow.
+func Logged() int64 {
+	return time.Now().Unix() //gearsvet:allow metrics label only, never feeds a frame
+}
+`)
+	out, err := govet(t, tool, dir, "-json")
+	if err == nil {
+		t.Fatalf("go vet -json passed a module with a reported finding; output:\n%s", out)
+	}
+	var reported, suppressed bool
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "{") {
+			continue
+		}
+		var f struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+			Allow    string `json:"allow"`
+			Reason   string `json:"reason"`
+		}
+		if jerr := json.Unmarshal([]byte(line), &f); jerr != nil {
+			t.Fatalf("non-JSON finding line %q: %v", line, jerr)
+		}
+		if f.Analyzer != "gearsdeterminism" || !strings.HasSuffix(f.File, "policy.go") || f.Line == 0 {
+			t.Fatalf("malformed finding: %+v", f)
+		}
+		switch f.Allow {
+		case "reported":
+			reported = true
+		case "suppressed":
+			suppressed = true
+			if !strings.Contains(f.Reason, "metrics label") {
+				t.Fatalf("suppressed finding lost its allow reason: %+v", f)
+			}
+		}
+	}
+	if !reported || !suppressed {
+		t.Fatalf("want both a reported and a suppressed JSON finding, got reported=%v suppressed=%v in:\n%s", reported, suppressed, out)
 	}
 }

@@ -131,15 +131,41 @@
 // payload across ticks is a use-after-rewind and shows up under the
 // race detector: the reader goroutine overwrites the arena while the
 // retainer reads it (see TestReplicatedLogTCPWorkersArenaLifetime).
-// The one-tick rule is also enforced statically: the arenalifetime
-// analyzer in cmd/gearsvet flags payloads stored into fields, globals,
-// or channels outside the documented holders (go vet -vettool, see
-// internal/analysis/arenalifetime).
+// The one-tick rule is also enforced statically, and
+// inter-procedurally: the arenalifetime analyzer in cmd/gearsvet seeds
+// the payload parameters of the Exchange/Deliver/DeliverRound entry
+// points and follows them through per-function escape summaries
+// (internal/analysis/summary) that each vet unit exports as facts in
+// its .vetx file — so a payload handed to a helper that stores it in a
+// field is flagged at the entry point's call site, even when the
+// helper lives in another package. Stores the engine proves
+// within-tick (documented holders, fields reset at the top of the
+// function, scratch refilled in place, sends on channels whose
+// receivers finish with the value inside the tick) are exempt; prefer
+// restructuring toward one of those proofs over adding a
+// //gearsvet:allow, because a proof tracks the code and an annotation
+// goes stale silently.
 // Everything above the fabrics pools the rest of a slot's footprint —
 // consensus instances (core.Env.GetReplica/Release), their trees and
 // fault lists, and the codec scratch — so steady-state ticks on every
 // fabric run within a few hundred allocations at n=7 (see the README's
 // Performance section and cmd/bench's -guard gate).
+//
+// # Concurrency contract of the fabric layer
+//
+// The transport and fabric packages are the only place the tree spawns
+// goroutines on the data path, and they do it under one discipline:
+// every goroutine has a bounded join visible in its package (a
+// Wait()ed sync.WaitGroup, a worker loop ranging over a channel the
+// package closes, or a result send the package receives), a channel
+// send issued inside a per-tick loop is either a select comm clause or
+// aimed at a channel the package demonstrably drains, and no teardown
+// path sends on a channel while holding a lock. Each rule is the
+// static shadow of a failure the wire layer has actually hit — the
+// distributed flush deadlock that motivated the per-peer writer pool,
+// and the lock-across-send teardown hang its first implementation
+// risked. The fabricconc analyzer in cmd/gearsvet enforces all three
+// (go vet -vettool, see internal/analysis/fabricconc).
 //
 // # Gear policies: shifting algorithms across the log
 //

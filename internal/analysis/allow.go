@@ -22,7 +22,7 @@ type Directive struct {
 	// Line is the 1-based line the directive sits on.
 	Line int
 	// Alone reports whether the directive is the only thing on its
-	// line; it then covers the following line instead.
+	// line; it then covers the following statement instead.
 	Alone bool
 	// Reason is the justification text after the directive name.
 	Reason string
@@ -78,43 +78,140 @@ func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
 	return lines
 }
 
-// Filter drops diagnostics covered by a reasoned directive: findings
-// on a directive's line, or on the line after a standalone directive.
-// Bare (reasonless) directives cover nothing — BareDirectives turns
-// them into findings of their own.
-func Filter(fset *token.FileSet, dirs []Directive, diags []Diagnostic) []Diagnostic {
-	type key struct {
-		file string
-		line int
+// lineKey addresses one source line across the file set.
+type lineKey struct {
+	file string
+	line int
+}
+
+// lineRange is a statement's line extent within one file.
+type lineRange struct {
+	start, end int
+}
+
+// Suppressor applies //gearsvet:allow directives to diagnostics. A
+// directive attaches to the full extent of a statement, not just one
+// line: a trailing directive covers the smallest statement that ends on
+// its line (so the closing-paren line of a multi-line call suppresses
+// the diagnostic reported at the call's opening line), and a standalone
+// directive covers the whole statement beginning on the next line. Bare
+// (reasonless) directives cover nothing and surface as findings of
+// their own.
+type Suppressor struct {
+	fset *token.FileSet
+	dirs []Directive
+	// starts/ends index, per line, the smallest statement extent that
+	// begins/ends there.
+	starts map[lineKey]lineRange
+	ends   map[lineKey]lineRange
+	// covered maps every suppressed line to the reason of the directive
+	// that covers it.
+	covered map[lineKey]string
+}
+
+// NewSuppressor indexes the files' directives and statement extents.
+func NewSuppressor(fset *token.FileSet, files []*ast.File) *Suppressor {
+	s := &Suppressor{
+		fset:    fset,
+		dirs:    Directives(fset, files),
+		starts:  make(map[lineKey]lineRange),
+		ends:    make(map[lineKey]lineRange),
+		covered: make(map[lineKey]string),
 	}
-	covered := make(map[key]bool)
-	for _, d := range dirs {
+	for _, f := range files {
+		fname := fset.Position(f.Pos()).Filename
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case ast.Stmt, *ast.GenDecl:
+				// Statements and non-func declarations anchor extents;
+				// whole functions deliberately do not, so a directive
+				// above a FuncDecl cannot mute its entire body.
+			default:
+				return true
+			}
+			ext := lineRange{fset.Position(n.Pos()).Line, fset.Position(n.End()).Line}
+			s.index(lineKey{fname, ext.start}, ext, s.starts)
+			s.index(lineKey{fname, ext.end}, ext, s.ends)
+			return true
+		})
+	}
+	for _, d := range s.dirs {
 		if d.Reason == "" {
 			continue
 		}
-		p := fset.Position(d.Pos)
-		covered[key{p.Filename, d.Line}] = true
+		fname := fset.Position(d.Pos).Filename
+		anchor := lineKey{fname, d.Line}
+		ext := lineRange{d.Line, d.Line}
 		if d.Alone {
-			covered[key{p.Filename, d.Line + 1}] = true
+			// Standalone: the directive covers the statement starting
+			// on the next line (or just that line, when no statement
+			// starts there).
+			anchor = lineKey{fname, d.Line + 1}
+			ext = lineRange{d.Line + 1, d.Line + 1}
+			if e, ok := s.starts[anchor]; ok {
+				ext = e
+			}
+		} else if e, ok := s.ends[anchor]; ok {
+			// Trailing: the directive covers the statement ending on
+			// its line — the whole extent, so multi-line statements are
+			// suppressible at their closing line.
+			ext = e
+		}
+		for line := ext.start; line <= ext.end; line++ {
+			if _, dup := s.covered[lineKey{anchor.file, line}]; !dup {
+				s.covered[lineKey{anchor.file, line}] = d.Reason
+			}
 		}
 	}
-	out := diags[:0:0]
-	for _, dg := range diags {
-		p := fset.Position(dg.Pos)
-		if covered[key{p.Filename, p.Line}] {
-			continue
-		}
-		out = append(out, dg)
-	}
-	return out
+	return s
 }
 
-// BareDirectives reports every directive that states no reason: an
-// unexplained mute defeats the directive's purpose as a review record,
-// so it is rejected rather than honored.
-func BareDirectives(dirs []Directive) []Diagnostic {
+// index records ext at key, keeping the smallest (fewest-lines) extent
+// when several statements share a boundary line.
+func (s *Suppressor) index(key lineKey, ext lineRange, m map[lineKey]lineRange) {
+	if cur, ok := m[key]; ok && cur.end-cur.start <= ext.end-ext.start {
+		return
+	}
+	m[key] = ext
+}
+
+// Covers reports whether a reasoned directive suppresses findings at
+// pos, and with what reason. Analyzers that derive facts from flagged
+// shapes consult it so an allowed site also reads as proven-safe to
+// callers (the summary of a helper whose store is allowed is clean).
+func (s *Suppressor) Covers(pos token.Pos) (string, bool) {
+	p := s.fset.Position(pos)
+	reason, ok := s.covered[lineKey{p.Filename, p.Line}]
+	return reason, ok
+}
+
+// Allowed is one diagnostic a reasoned directive suppressed, with the
+// recorded justification — surfaced by the -json output so CI can
+// render the allow-state of every finding.
+type Allowed struct {
+	Diagnostic
+	Reason string
+}
+
+// Filter splits diagnostics into those that survive and those a
+// reasoned directive covers.
+func (s *Suppressor) Filter(diags []Diagnostic) (kept []Diagnostic, allowed []Allowed) {
+	for _, d := range diags {
+		if reason, ok := s.Covers(d.Pos); ok {
+			allowed = append(allowed, Allowed{Diagnostic: d, Reason: reason})
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, allowed
+}
+
+// Bare reports every directive that states no reason: an unexplained
+// mute defeats the directive's purpose as a review record, so it is
+// rejected rather than honored.
+func (s *Suppressor) Bare() []Diagnostic {
 	var out []Diagnostic
-	for _, d := range dirs {
+	for _, d := range s.dirs {
 		if d.Reason == "" {
 			out = append(out, Diagnostic{
 				Pos:     d.Pos,

@@ -50,13 +50,19 @@ func TestAllowDirectives(t *testing.T) {
 		})
 	}
 
-	// Fixture lines: 9 unsuppressed call, 10 reasoned trailing
-	// (suppressed), 12 covered by the standalone directive on 11
-	// (suppressed), 13 bare directive (call kept + bare finding).
+	// Fixture lines: 12 unsuppressed call, 13 reasoned trailing
+	// (suppressed), 15 covered by the standalone directive on 14
+	// (suppressed), 16 bare directive (call kept + bare finding),
+	// 17-20 multi-line call fully covered by its trailing directive
+	// (inner calls included — the statement-extent regression), 22-24
+	// multi-line call covered by the standalone directive on 21, and
+	// 25-27 an uncovered multi-line call (outer + inner findings kept).
 	want := map[finding]int{
-		{line: 9, bare: false}:  1,
-		{line: 13, bare: false}: 1,
-		{line: 13, bare: true}:  1,
+		{line: 12, bare: false}: 1,
+		{line: 16, bare: false}: 1,
+		{line: 16, bare: true}:  1,
+		{line: 25, bare: false}: 1,
+		{line: 26, bare: false}: 1,
 	}
 	gotCount := make(map[finding]int)
 	for _, f := range got {

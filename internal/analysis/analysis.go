@@ -50,6 +50,16 @@ type Analyzer struct {
 	// pass.Report. The returned error aborts the whole vet run — it is
 	// for broken invariants of the analyzer itself, not for findings.
 	Run func(pass *Pass) error
+	// FactTypes lists the concrete fact types (pointers to zero values)
+	// this analyzer exports and imports; they are registered for the
+	// vetx wire encoding before any unit runs.
+	FactTypes []Fact
+	// Scope, when non-nil, reports whether the analyzer has any work —
+	// diagnostics or facts — in the package at importPath. When every
+	// registered analyzer is out of scope the driver skips parsing and
+	// type-checking the unit entirely (the fast path that keeps
+	// facts-only runs over the standard library free).
+	Scope func(importPath string) bool
 }
 
 // Pass carries one analyzer's view of one type-checked package.
@@ -69,6 +79,31 @@ type Pass struct {
 	TypesSizes types.Sizes
 	// Report delivers one finding.
 	Report func(Diagnostic)
+
+	// facts backs the Export/Import fact methods; nil means facts are
+	// disabled for this pass (exports vanish, imports find nothing).
+	facts *FactStore
+	// sup is the unit's //gearsvet:allow index; analyzers that derive
+	// facts from flagged shapes consult it via AllowedAt so an allowed
+	// sink reads as proven-safe to callers too.
+	sup *Suppressor
+}
+
+// SetFacts attaches a fact store to the pass. Drivers call it before
+// Run; a pass without a store still works, with facts disabled.
+func (p *Pass) SetFacts(s *FactStore) { p.facts = s }
+
+// SetSuppressor attaches the unit's directive index to the pass.
+func (p *Pass) SetSuppressor(s *Suppressor) { p.sup = s }
+
+// AllowedAt reports whether a reasoned //gearsvet:allow directive
+// covers pos in this unit.
+func (p *Pass) AllowedAt(pos token.Pos) bool {
+	if p.sup == nil {
+		return false
+	}
+	_, ok := p.sup.Covers(pos)
+	return ok
 }
 
 // Reportf reports a formatted finding at pos.

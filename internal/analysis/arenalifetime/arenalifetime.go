@@ -5,47 +5,54 @@
 // of it — beyond the tick is a use-after-rewind that surfaces as data
 // corruption under load and a race under -race.
 //
-// The analyzer taints the payload-carrying values a function receives —
-// the inbox of a DeliverRound/Deliver method, an Exchange method's
-// frame matrices, parameters named payload/inbox/sections/frames with
-// byte-slice shapes — follows them through local assignments, index and
-// slice expressions, range statements, and composite literals, and
-// flags stores that give a tainted value a life beyond the tick:
+// The analyzer seeds the payload-carrying parameters of the contract's
+// entry points — Exchange, Deliver, and DeliverRound methods, whose
+// signatures carry byte-slice matrices or frame slices — and follows
+// them through the summary engine (see internal/analysis/summary):
+// taint propagates through local assignments, index and slice
+// expressions, range statements, composite literals, and — the
+// inter-procedural step — through calls, using the callee's
+// parameter-to-sink summary whether the callee lives in this package
+// or arrived as a fact from another unit's vetx file. A payload handed
+// to a helper that stores it in a struct field is flagged at the call
+// site, even when the helper is three packages away.
 //
-//   - into a struct field (x.f = p, x.f[i] = p, x.f = append(x.f, p))
-//   - into a package-level variable
-//   - into a channel send
+// Flagged sinks:
+//
+//   - a store into a struct field (x.f = p, x.f[i] = p, x.f = append(x.f, p))
+//   - a store into a package-level variable
+//   - a channel send
+//   - a call whose argument reaches one of the above inside the callee
 //
 // Copies break the taint: append onto a fresh slice, string(p), or an
-// explicit copy into an untainted destination are all fine.
-//
-// The documented holders are exempt: internal/eigtree.Tree and
-// internal/rsm.slotScratch own within-tick storage by design (both are
-// rewound/reset on the tick boundary). Any other intentional holder —
-// e.g. the chaos fabric's delayed-frame list, cleared every Exchange —
-// must carry a //gearsvet:allow <reason> stating why its lifetime is
-// bounded by the tick.
-//
-// The check is intra-procedural (the modular go vet model sees one
-// package at a time): a store through a helper call is out of reach,
-// which is why the holder list is short and the hot path keeps payload
-// handling inline.
+// explicit copy into an untainted destination are all fine. So do the
+// engine's within-tick proofs — the documented holders
+// (internal/eigtree.Tree, internal/rsm.slotScratch), fields
+// unconditionally reset at the top of the function, scratch slices
+// truncated and refilled in place, and sends on channels whose every
+// receiver provably consumes the value within the tick. Anything else
+// that is intentionally held must carry a //gearsvet:allow <reason>
+// stating why its lifetime is bounded by the tick — though with the
+// proofs above, prefer restructuring the code so the proof applies and
+// the annotation can be deleted.
 package arenalifetime
 
 import (
 	"go/ast"
-	"go/types"
 	"strings"
 
 	"shiftgears/internal/analysis"
+	"shiftgears/internal/analysis/summary"
 )
 
 // Analyzer is the one-tick payload-lifetime checker.
 var Analyzer = &analysis.Analyzer{
 	Name: "arenalifetime",
 	Doc: "flag inbound frame payloads stored into holders that outlive the tick\n\n" +
-		"Payloads slice into per-tick arenas; storing one into a struct field, global, or channel outside the documented holders is a use-after-rewind.",
-	Run: run,
+		"Payloads slice into per-tick arenas; storing one into a struct field, global, or channel outside the documented holders — directly or through any helper call, cross-package included — is a use-after-rewind.",
+	Run:       run,
+	FactTypes: []analysis.Fact{&summary.Summary{}},
+	Scope:     inScope,
 }
 
 // holders are the documented within-tick payload owners: stores into
@@ -68,279 +75,50 @@ func run(pass *analysis.Pass) error {
 	if !inScope(pass.Pkg.Path()) {
 		return nil
 	}
-	for _, file := range pass.Files {
-		if analysis.TestFile(pass.Fset, file.Pos()) {
+	info := summary.Compute(pass, summary.Config{Holders: holders})
+	for _, fn := range info.Decls() {
+		seeds := entrySeeds(info, fn)
+		if seeds == 0 {
 			continue
 		}
-		for _, decl := range file.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil {
+		for _, ev := range info.Events(fn) {
+			if ev.Tags&seeds == 0 {
 				continue
 			}
-			if tainted := taintSources(pass, fn); len(tainted) > 0 {
-				checkFunc(pass, fn, tainted)
+			switch ev.Kind {
+			case summary.FieldStore:
+				pass.Reportf(ev.Pos, "inbound frame payload stored into %s: the holder outlives the tick's arena rewind (one-tick payload rule, doc.go \"Wire hot path\") — copy the payload, or document the holder and annotate //gearsvet:allow <why its lifetime is within-tick>", ev.Detail)
+			case summary.GlobalStore:
+				pass.Reportf(ev.Pos, "inbound frame payload stored into %s: it outlives the tick's arena rewind (one-tick payload rule) — copy the payload first", ev.Detail)
+			case summary.ChanSend:
+				pass.Reportf(ev.Pos, "inbound frame payload sent on a channel: the receiver may read it after the tick's arena rewind (one-tick payload rule, doc.go \"Wire hot path\") — copy it first")
+			case summary.CallEscape, summary.CallSend:
+				pass.Reportf(ev.Pos, "inbound frame payload passed to %s: the payload outlives the tick's arena rewind (one-tick payload rule, doc.go \"Wire hot path\") — copy it before the call, or make the helper's handling provably within-tick", ev.Detail)
 			}
 		}
 	}
 	return nil
 }
 
-// byteSliceDepth reports how many slice layers wrap a byte element:
-// []byte → 1, [][]byte → 2, ... 0 when t is not a byte-slice shape.
-func byteSliceDepth(t types.Type) int {
-	depth := 0
-	for {
-		s, ok := t.Underlying().(*types.Slice)
-		if !ok {
-			break
-		}
-		depth++
-		t = s.Elem()
-	}
-	if depth == 0 {
+// entrySeeds returns the tag bits of fn's payload-carrying parameters
+// when fn is a contract entry point (Exchange/Deliver/DeliverRound),
+// 0 otherwise. Helpers are deliberately not seeded: their summaries
+// carry the taint to the entry points' call sites, which is where the
+// contract is stated and where the finding belongs.
+func entrySeeds(info *summary.Info, fn *ast.FuncDecl) uint64 {
+	switch fn.Name.Name {
+	case "Exchange", "Deliver", "DeliverRound":
+	default:
 		return 0
 	}
-	b, ok := t.Underlying().(*types.Basic)
-	if !ok || b.Kind() != types.Byte && b.Kind() != types.Uint8 {
-		return 0
-	}
-	return depth
-}
-
-// taintSources collects the function's payload-carrying parameters.
-func taintSources(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object]bool {
-	tainted := make(map[types.Object]bool)
-	name := fn.Name.Name
-	deliverLike := name == "DeliverRound" || name == "Deliver" || name == "Exchange" ||
-		name == "StoreFromPayload" || name == "DecodeFramesInto"
-	if fn.Type.Params == nil {
-		return nil
-	}
-	for _, field := range fn.Type.Params.List {
-		for _, pname := range field.Names {
-			obj := pass.TypesInfo.ObjectOf(pname)
-			if obj == nil {
-				continue
-			}
-			byName := false
-			switch pname.Name {
-			case "payload", "inbox", "sections", "frames", "ins", "outs":
-				byName = true
-			}
-			carriesBytes := byteSliceDepth(obj.Type()) > 0 || carriesPayloadSlices(obj.Type())
-			if carriesBytes && (deliverLike || byName) {
-				tainted[obj] = true
-			}
-		}
-	}
-	if len(tainted) == 0 {
-		return nil
-	}
-	return tainted
-}
-
-// carriesPayloadSlices reports whether t transitively contains []byte
-// through slices of structs with a []byte-shaped field (the MuxFrame
-// outbox shape an Exchange method receives).
-func carriesPayloadSlices(t types.Type) bool {
-	seen := 0
-	for {
-		s, ok := t.Underlying().(*types.Slice)
-		if !ok {
-			break
-		}
-		seen++
-		t = s.Elem()
-	}
-	if seen == 0 {
-		return false
-	}
-	st, ok := t.Underlying().(*types.Struct)
-	if !ok {
-		return false
-	}
-	for i := 0; i < st.NumFields(); i++ {
-		if byteSliceDepth(st.Field(i).Type()) > 0 {
-			return true
-		}
-	}
-	return false
-}
-
-// checkFunc runs the flow-insensitive taint pass over one function:
-// first propagate taint through local assignments (iterating to a
-// fixed point), then flag escaping stores.
-func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, tainted map[types.Object]bool) {
-	// Propagate: x := taintedExpr, including range over tainted.
-	for changed := true; changed; {
-		changed = false
-		ast.Inspect(fn.Body, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.AssignStmt:
-				if len(n.Lhs) == len(n.Rhs) {
-					for i := range n.Lhs {
-						id, ok := n.Lhs[i].(*ast.Ident)
-						if !ok {
-							continue
-						}
-						obj := pass.TypesInfo.ObjectOf(id)
-						if obj == nil || tainted[obj] {
-							continue
-						}
-						if exprTainted(pass, tainted, n.Rhs[i]) {
-							tainted[obj] = true
-							changed = true
-						}
-					}
-				}
-			case *ast.RangeStmt:
-				if exprTainted(pass, tainted, n.X) {
-					if id, ok := n.Value.(*ast.Ident); ok && id.Name != "_" {
-						obj := pass.TypesInfo.ObjectOf(id)
-						if obj != nil && !tainted[obj] {
-							tainted[obj] = true
-							changed = true
-						}
-					}
-				}
-			}
-			return true
-		})
-	}
-
-	// Flag escapes.
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.SendStmt:
-			if exprTainted(pass, tainted, n.Value) {
-				pass.Reportf(n.Pos(), "inbound frame payload sent on a channel: the receiver may read it after the tick's arena rewind (one-tick payload rule, doc.go \"Wire hot path\") — copy it first")
-			}
-		case *ast.AssignStmt:
-			for i, lhs := range n.Lhs {
-				if i >= len(n.Rhs) && len(n.Rhs) != 1 {
-					break
-				}
-				rhs := n.Rhs[0]
-				if len(n.Rhs) == len(n.Lhs) {
-					rhs = n.Rhs[i]
-				}
-				if !exprTainted(pass, tainted, rhs) {
-					continue
-				}
-				checkStore(pass, lhs, rhs)
-			}
-		}
-		return true
-	})
-}
-
-// checkStore flags a tainted RHS stored into a field or global LHS.
-func checkStore(pass *analysis.Pass, lhs, rhs ast.Expr) {
-	// Unwrap element stores: x.f[i] = p stores into x.f.
-	base := lhs
-	for {
-		if ix, ok := base.(*ast.IndexExpr); ok {
-			base = ix.X
+	var seeds uint64
+	for _, obj := range info.Inputs(fn) {
+		if obj == nil {
 			continue
 		}
-		break
-	}
-	switch b := base.(type) {
-	case *ast.SelectorExpr:
-		sel := pass.TypesInfo.Selections[b]
-		if sel == nil || sel.Kind() != types.FieldVal {
-			return
+		if summary.ByteSliceDepth(obj.Type()) > 0 || summary.CarriesPayloadSlices(obj.Type()) {
+			seeds |= info.InputTag(fn, obj)
 		}
-		owner := namedOf(sel.Recv())
-		if owner != "" && holders[owner] {
-			return
-		}
-		where := "struct field"
-		if owner != "" {
-			where = "field of " + owner
-		}
-		pass.Reportf(lhs.Pos(), "inbound frame payload stored into %s: the holder outlives the tick's arena rewind (one-tick payload rule, doc.go \"Wire hot path\") — copy the payload, or document the holder and annotate //gearsvet:allow <why its lifetime is within-tick>", where)
-	case *ast.Ident:
-		obj, ok := pass.TypesInfo.ObjectOf(b).(*types.Var)
-		if !ok || obj.IsField() || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
-			return
-		}
-		pass.Reportf(lhs.Pos(), "inbound frame payload stored into package-level variable %s: it outlives the tick's arena rewind (one-tick payload rule) — copy the payload first", b.Name)
 	}
-}
-
-// exprTainted reports whether the expression's value derives from a
-// tainted payload: the tainted object itself, or an index / slice /
-// selector / paren chain rooted at one, or a composite literal or
-// append carrying one.
-func exprTainted(pass *analysis.Pass, tainted map[types.Object]bool, e ast.Expr) bool {
-	switch x := e.(type) {
-	case *ast.Ident:
-		return tainted[pass.TypesInfo.ObjectOf(x)]
-	case *ast.IndexExpr:
-		return exprTainted(pass, tainted, x.X)
-	case *ast.SliceExpr:
-		return exprTainted(pass, tainted, x.X)
-	case *ast.SelectorExpr:
-		return exprTainted(pass, tainted, x.X)
-	case *ast.ParenExpr:
-		return exprTainted(pass, tainted, x.X)
-	case *ast.StarExpr:
-		return exprTainted(pass, tainted, x.X)
-	case *ast.UnaryExpr:
-		return exprTainted(pass, tainted, x.X)
-	case *ast.CompositeLit:
-		for _, el := range x.Elts {
-			if kv, ok := el.(*ast.KeyValueExpr); ok {
-				el = kv.Value
-			}
-			if exprTainted(pass, tainted, el) {
-				return true
-			}
-		}
-	case *ast.CallExpr:
-		if id, ok := x.Fun.(*ast.Ident); ok {
-			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
-				if len(x.Args) > 0 && exprTainted(pass, tainted, x.Args[0]) {
-					return true
-				}
-				// Appending a payload slice header aliases its bytes;
-				// append(dst, p...) with byte elements copies them.
-				// Spreading a [][]byte still copies headers, which alias.
-				for i, a := range x.Args[1:] {
-					if !exprTainted(pass, tainted, a) {
-						continue
-					}
-					if x.Ellipsis.IsValid() && i == len(x.Args)-2 {
-						t := pass.TypesInfo.Types[a].Type
-						if t != nil && byteSliceDepth(t) <= 1 && !carriesPayloadSlices(t) {
-							continue
-						}
-					}
-					return true
-				}
-				return false
-			}
-		}
-		// A conversion or call result is a new value (string(p) copies;
-		// helper calls are out of intra-procedural reach).
-		return false
-	}
-	return false
-}
-
-// namedOf renders a (possibly pointered) named type as pkgpath.Name.
-func namedOf(t types.Type) string {
-	if p, ok := t.(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	n, ok := t.(*types.Named)
-	if !ok {
-		return ""
-	}
-	obj := n.Obj()
-	if obj.Pkg() == nil {
-		return obj.Name()
-	}
-	return obj.Pkg().Path() + "." + obj.Name()
+	return seeds
 }

@@ -9,8 +9,10 @@ import (
 
 func TestArenaLifetime(t *testing.T) {
 	vettest.Run(t, "testdata", arenalifetime.Analyzer,
-		"shiftgears/internal/rsm",     // documented slotScratch holder
-		"shiftgears/internal/eigtree", // documented Tree holder
-		"shiftgears/internal/router",  // every escape kind + copies + suppression
+		"shiftgears/internal/rsm",       // documented slotScratch holder
+		"shiftgears/internal/eigtree",   // documented Tree holder
+		"shiftgears/internal/router",    // every escape kind + copies + suppression
+		"shiftgears/internal/wirecache", // cross-package sink: facts only, no findings
+		"shiftgears/internal/gateway",   // entry point flagged at call sites via imported facts
 	)
 }

@@ -1,0 +1,30 @@
+// Package gateway is the source half of the cross-package taint
+// fixture: its Deliver entry point receives an arena-backed payload
+// and hands it to helpers — one in this package, one imported — whose
+// summaries decide whether the call site is a leak.
+package gateway
+
+import "shiftgears/internal/wirecache"
+
+var held []byte
+
+// Gateway owns a cross-package cache.
+type Gateway struct {
+	cache wirecache.Cache
+}
+
+// keep retains p in a global: the same-package helper sink, reached
+// purely through its summary (helpers are not entry-seeded).
+func keep(p []byte) { // want keep:`p\(escapes\)`
+	held = p
+}
+
+// Deliver is a contract entry point: p slices into the tick's arena.
+// The leak is inside (*wirecache.Cache).Store — a different package —
+// and must surface here, at the call site, via the imported fact.
+func (g *Gateway) Deliver(p []byte) {
+	g.cache.Store(p) // want `inbound frame payload passed to \(wirecache\.Cache\)\.Store`
+	g.cache.Discard(p)
+	keep(p) // want `inbound frame payload passed to gateway\.keep`
+	keep(append([]byte(nil), p...))
+}

@@ -1,0 +1,23 @@
+// Package wirecache is the sink half of the cross-package taint
+// fixture: it exports no entry points, so arenalifetime reports
+// nothing here — but the summary engine must export facts saying that
+// Store retains its parameter, and the importing package's entry
+// points must be flagged at their call sites.
+package wirecache
+
+// Cache retains payloads across ticks — the leak target.
+type Cache struct {
+	slots [][]byte
+}
+
+// Store retains p beyond the call: its exported summary carries the
+// escape, asserted here as a fact expectation.
+func (c *Cache) Store(p []byte) { // want Store:`p\(escapes\)`
+	c.slots = append(c.slots, p)
+}
+
+// Discard copies p before retaining it, so its summary is clean and
+// callers are never flagged.
+func (c *Cache) Discard(p []byte) {
+	c.slots = append(c.slots, append([]byte(nil), p...))
+}

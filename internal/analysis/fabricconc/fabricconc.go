@@ -1,0 +1,392 @@
+// Package fabricconc enforces the transport/fabric concurrency
+// contract (doc.go "Concurrency contract of the fabric layer"): the
+// wire layer runs persistent per-peer goroutines in lockstep with the
+// tick barrier, and its three historical failure modes are all static
+// shapes this analyzer flags before they ship.
+//
+// Checks:
+//
+//  1. Bounded join. Every goroutine spawned in a fabric package must
+//     have a join the analyzer can see: the body Done()s a
+//     sync.WaitGroup that is Wait()ed on, the body ranges over a
+//     channel that this package close()s, or the body sends its result
+//     on a channel this package receives from. A goroutine with none
+//     of these outlives the tick and the fabric's teardown — the leak
+//     only surfaces as a -race hit or a wedged shutdown much later.
+//
+//  2. Guarded loop sends. A channel send inside a loop (the per-tick
+//     dispatch shape) must be a select comm clause or target a channel
+//     whose element type this package provably receives. An unguarded
+//     send toward a consumer that is gone blocks the tick forever —
+//     the distributed-deadlock shape the writer pool was built to
+//     break (see writerPool in internal/transport/mux.go).
+//
+//  3. No send under a lock on the Close path. A function named Close
+//     or close must not send on a channel while a sync mutex is held:
+//     if the receiver needs that lock to drain, neither side can make
+//     progress. The sweep is linear over the body in source order
+//     (deferred unlocks hold to the end), a deliberate approximation
+//     that exactly matches how teardown code is actually written.
+//
+// The receive- and close-based proofs are keyed by channel element
+// type, not channel identity — a weak liveness argument, chosen
+// deliberately: the writer pool's error channel is received through a
+// range-loop variable three bindings away from its make site, and any
+// identity-precise analysis either misses it or needs the full
+// points-to machinery this tree does not carry. Element types in the
+// fabric layer are purpose-built (sendJob, meshTick), so the
+// weakening is cheap in practice.
+//
+// Scope: the transport and fabric packages only — the contract is
+// theirs; the deterministic core above them is single-goroutine by
+// design and the sim layer has its own rules.
+package fabricconc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"shiftgears/internal/analysis"
+)
+
+// Analyzer is the fabric concurrency-contract checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "fabricconc",
+	Doc: "enforce the fabric layer's concurrency contract: bounded goroutine joins, guarded per-tick loop sends, no send under a lock on Close paths\n\n" +
+		"Each check is the static shadow of a deadlock or leak the wire layer has actually hit; see the package doc for the proofs the analyzer accepts.",
+	Run:   run,
+	Scope: inScope,
+}
+
+// inScope restricts the contract to the wire layer: the transport and
+// fabric packages (and their subpackages) of this module.
+func inScope(path string) bool {
+	if !strings.HasPrefix(path, "shiftgears") {
+		return false
+	}
+	for _, seg := range []string{"/transport", "/fabric"} {
+		if strings.HasSuffix(path, seg) || strings.Contains(path, seg+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	c := &checker{
+		pass:          pass,
+		closedElems:   map[string]bool{},
+		receivedElems: map[string]bool{},
+		waitKeys:      map[types.Object]bool{},
+		guarded:       map[*ast.SendStmt]bool{},
+	}
+	c.collect()
+	for _, file := range pass.Files {
+		if analysis.TestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			c.checkFunc(fn)
+			if fn.Name.Name == "Close" || fn.Name.Name == "close" {
+				c.checkClosePath(fn)
+			}
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+
+	// closedElems holds the element-type strings of every channel the
+	// package close()s; receivedElems those of every channel it
+	// receives from (unary receive or range). Both are the weak keys
+	// of the join and liveness proofs.
+	closedElems   map[string]bool
+	receivedElems map[string]bool
+
+	// waitKeys holds the variables (locals or fields) whose
+	// sync.WaitGroup Wait method is called somewhere in the package.
+	waitKeys map[types.Object]bool
+
+	// guarded marks sends that are select comm clauses.
+	guarded map[*ast.SendStmt]bool
+}
+
+// collect gathers the package-wide proof sets from non-test files.
+func (c *checker) collect() {
+	for _, file := range c.pass.Files {
+		if analysis.TestFile(c.pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && len(n.Args) == 1 {
+					if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+						if e := c.chanElem(n.Args[0]); e != "" {
+							c.closedElems[e] = true
+						}
+					}
+				}
+				if c.isSyncMethod(n, "Wait", "WaitGroup") {
+					if key := c.recvKey(n); key != nil {
+						c.waitKeys[key] = true
+					}
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					if e := c.chanElem(n.X); e != "" {
+						c.receivedElems[e] = true
+					}
+				}
+			case *ast.RangeStmt:
+				if e := c.chanElem(n.X); e != "" {
+					c.receivedElems[e] = true
+				}
+			case *ast.SelectStmt:
+				for _, cl := range n.Body.List {
+					if comm, ok := cl.(*ast.CommClause); ok {
+						if s, ok := comm.Comm.(*ast.SendStmt); ok {
+							c.guarded[s] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkFunc walks one function, flagging unproven goroutine spawns and
+// unguarded loop sends. The stack tracks whether a send sits inside a
+// loop of its own function literal (loops outside a `go func` body do
+// not make the goroutine's sends per-tick).
+func (c *checker) checkFunc(fn *ast.FuncDecl) {
+	var stack []ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch s := n.(type) {
+		case *ast.GoStmt:
+			c.checkGo(s)
+		case *ast.SendStmt:
+			if !c.guarded[s] && inLoop(stack) {
+				c.checkLoopSend(s)
+			}
+		}
+		return true
+	})
+}
+
+// inLoop reports whether the innermost node sits inside a for or range
+// statement within its nearest enclosing function literal.
+func inLoop(stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}
+
+// checkGo verifies a spawned goroutine has a visible bounded join.
+func (c *checker) checkGo(g *ast.GoStmt) {
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		// A named function's body is out of reach here; the spawn site
+		// must carry the proof, and it cannot.
+		c.pass.Reportf(g.Pos(), "goroutine spawned without a provable bounded join: the body is a named function, so no WaitGroup, closed-channel range, or result send is visible at the spawn site — inline the body or annotate //gearsvet:allow <how it is joined>")
+		return
+	}
+	if c.hasWaitGroupJoin(lit) || c.rangesClosedChan(lit) || c.sendsReceivedChan(lit) {
+		return
+	}
+	c.pass.Reportf(g.Pos(), "goroutine spawned without a provable bounded join: no Done on a Wait()ed sync.WaitGroup, no range over a channel this package closes, and no send on a channel this package receives — a leaked goroutine outlives the tick and the fabric's teardown (//gearsvet:allow <how it is joined> if the join lives elsewhere)")
+}
+
+// hasWaitGroupJoin reports whether the goroutine body calls Done on a
+// sync.WaitGroup whose Wait is called somewhere in the package.
+func (c *checker) hasWaitGroupJoin(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !c.isSyncMethod(call, "Done", "WaitGroup") {
+			return true
+		}
+		if key := c.recvKey(call); key != nil && c.waitKeys[key] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// rangesClosedChan reports whether the goroutine body ranges over a
+// channel whose element type the package closes — the worker-loop
+// shape, joined by close().
+func (c *checker) rangesClosedChan(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if rng, ok := n.(*ast.RangeStmt); ok {
+			if e := c.chanElem(rng.X); e != "" && c.closedElems[e] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// sendsReceivedChan reports whether the goroutine body sends on a
+// channel whose element type the package receives — the result-channel
+// shape, joined by the receive.
+func (c *checker) sendsReceivedChan(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if s, ok := n.(*ast.SendStmt); ok {
+			if e := c.chanElem(s.Chan); e != "" && c.receivedElems[e] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkLoopSend flags an unguarded send inside a loop whose channel's
+// element type is never received in this package.
+func (c *checker) checkLoopSend(s *ast.SendStmt) {
+	e := c.chanElem(s.Chan)
+	if e == "" || c.receivedElems[e] {
+		return
+	}
+	c.pass.Reportf(s.Pos(), "unguarded channel send inside a loop with no receiver in this package: if the consumer is gone the send blocks the tick forever (the distributed-deadlock shape writerPool exists to break) — guard it with a select, or keep the receive loop in this package")
+}
+
+// checkClosePath sweeps a Close function linearly, flagging channel
+// sends issued while a sync lock is held. Deferred unlocks hold to the
+// end of the function; nested function literals (e.g. a sync.Once.Do
+// body) run synchronously on this path and are swept in place.
+func (c *checker) checkClosePath(fn *ast.FuncDecl) {
+	var held []string
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// A deferred Unlock releases after the function body — the
+			// lock is held for the rest of the sweep. Skip the call so
+			// the Unlock below does not pop it.
+			return false
+		case *ast.CallExpr:
+			switch {
+			case c.isSyncMethod(n, "Lock", "Mutex", "RWMutex"),
+				c.isSyncMethod(n, "RLock", "RWMutex"):
+				held = append(held, types.ExprString(recvExpr(n)))
+			case c.isSyncMethod(n, "Unlock", "Mutex", "RWMutex"),
+				c.isSyncMethod(n, "RUnlock", "RWMutex"):
+				name := types.ExprString(recvExpr(n))
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == name {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			}
+		case *ast.GoStmt:
+			// A spawned goroutine's sends do not run under this lock.
+			return false
+		case *ast.SendStmt:
+			if len(held) > 0 {
+				c.pass.Reportf(n.Pos(), "channel send on the Close path while %s is held: a blocked send keeps the lock, and a receiver that needs the lock to drain deadlocks the teardown — release the lock before the send, or make the send nonblocking", held[len(held)-1])
+			}
+		}
+		return true
+	})
+}
+
+// chanElem returns the element-type string of a channel-typed
+// expression, "" when e is not a channel.
+func (c *checker) chanElem(e ast.Expr) string {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	ch, ok := tv.Type.Underlying().(*types.Chan)
+	if !ok {
+		return ""
+	}
+	return ch.Elem().String()
+}
+
+// isSyncMethod reports whether the call invokes the named method of
+// one of the named sync types (sync.WaitGroup, sync.Mutex, ...).
+func (c *checker) isSyncMethod(call *ast.CallExpr, method string, recvNames ...string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	for _, name := range recvNames {
+		if named.Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// recvKey resolves the receiver expression of a method call to the
+// variable that owns it: the field for p.wg.Done(), the local for
+// wg.Done(). nil when the receiver is not a simple variable path —
+// callers then have no key to match a Wait against.
+func (c *checker) recvKey(call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		return c.pass.TypesInfo.ObjectOf(x)
+	case *ast.SelectorExpr:
+		return c.pass.TypesInfo.ObjectOf(x.Sel)
+	}
+	return nil
+}
+
+// recvExpr returns the receiver expression of a method call for
+// diagnostics ("p.mu" in p.mu.Lock()).
+func recvExpr(call *ast.CallExpr) ast.Expr {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return call.Fun
+}

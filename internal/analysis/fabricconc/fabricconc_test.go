@@ -1,0 +1,14 @@
+package fabricconc_test
+
+import (
+	"testing"
+
+	"shiftgears/internal/analysis/fabricconc"
+	"shiftgears/internal/analysis/vettest"
+)
+
+func TestFabricConc(t *testing.T) {
+	vettest.Run(t, "testdata", fabricconc.Analyzer,
+		"shiftgears/internal/transport", // every join proof, the dispatch loop, the Close path
+	)
+}

@@ -1,0 +1,107 @@
+// Package transport is the fabricconc fixture: every concurrency shape
+// the analyzer rules on, good and bad, in the vocabulary of the real
+// writer pool (workers draining a job channel, a tick dispatch loop, a
+// Close path that tears the pool down).
+package transport
+
+import "sync"
+
+// Pool mirrors the writer-pool shape: worker goroutines, a job
+// channel drained by range, a stop channel nobody receives from (the
+// deliberate deadlock bait), and an error channel the joiner drains.
+type Pool struct {
+	mu   sync.Mutex
+	n    int
+	jobs chan int
+	stop chan struct{}
+	errs chan error
+}
+
+func (p *Pool) poll() error { return nil }
+
+// Leak: an anonymous goroutine with no WaitGroup, no closed-channel
+// range, and no result send — nothing ever joins it.
+func (p *Pool) Run() {
+	go func() { // want `goroutine spawned without a provable bounded join`
+		for {
+			_ = p.poll()
+		}
+	}()
+}
+
+// Named spawn: the body is out of reach, so no proof is visible.
+func (p *Pool) RunNamed() {
+	go p.drain() // want `the body is a named function`
+}
+
+func (p *Pool) drain() {
+	for range p.jobs {
+	}
+}
+
+// Joined by WaitGroup: Done in the body, Wait on the same variable.
+func (p *Pool) fanout(work []int) {
+	var wg sync.WaitGroup
+	for range work {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = p.poll()
+		}()
+	}
+	wg.Wait()
+}
+
+// Joined by close: the worker ranges over jobs, and Close closes it.
+func (p *Pool) workers() {
+	go func() {
+		for j := range p.jobs {
+			_ = j
+		}
+	}()
+}
+
+// Joined by its result: the body parks its error in errs, which
+// waitErr drains.
+func (p *Pool) connect() {
+	go func() {
+		p.errs <- p.poll()
+	}()
+}
+
+func (p *Pool) waitErr() error { return <-p.errs }
+
+// The per-tick dispatch loop. jobs is fine — this package receives
+// ints (the worker range). stop's element type is never received, so
+// a bare send toward an absent consumer wedges the tick.
+func (p *Pool) Exchange(ticks []int) {
+	for _, t := range ticks {
+		p.jobs <- t
+		p.stop <- struct{}{} // want `unguarded channel send inside a loop with no receiver in this package`
+	}
+}
+
+// Close holds the lock across a send: the writer-pool teardown
+// deadlock. The close() builtin is fine under the lock — only sends
+// can block.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	close(p.jobs)
+	p.stop <- struct{}{} // want `channel send on the Close path while p\.mu is held`
+	return nil
+}
+
+// close releases the lock first and guards its sends with a select:
+// both contracts satisfied.
+func (p *Pool) close() {
+	p.mu.Lock()
+	n := p.n
+	p.mu.Unlock()
+	for i := 0; i < n; i++ {
+		select {
+		case p.stop <- struct{}{}:
+		default:
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Fact is a datum one analysis of one package leaves behind for the
+// analyses of the packages that import it — the modular go vet model's
+// only cross-package channel. A fact type is a pointer to a
+// gob-encodable struct carrying the AFact marker method; facts attach
+// to package-level objects (or methods of package-level named types)
+// and travel in the vetx files the vet protocol threads between
+// compilation units.
+type Fact interface {
+	AFact() // marker method
+}
+
+// factKey addresses one fact: the analyzer that owns it (facts are
+// namespaced per analyzer, so two checkers never read each other's
+// state), the package, the object path within the package ("" for a
+// package-level fact), and the concrete fact type.
+type factKey struct {
+	analyzer string
+	pkg      string
+	obj      string
+	typ      string
+}
+
+// FactStore holds the facts visible to one analysis run: everything
+// decoded from dependency vetx files plus everything exported while
+// analyzing the current unit. The store is string-keyed (package path +
+// object path), so facts decoded before their package's types.Package
+// exists resolve lazily at import time.
+type FactStore struct {
+	m map[factKey]Fact
+}
+
+// NewFactStore builds an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[factKey]Fact)}
+}
+
+// factTypeName renders a fact's concrete type as its stable wire name.
+func factTypeName(fact Fact) string {
+	return reflect.TypeOf(fact).String()
+}
+
+// wireFact is the vetx file entry: one fact with its full address.
+type wireFact struct {
+	Analyzer string
+	Pkg      string
+	Obj      string
+	Fact     Fact
+}
+
+// Encode serializes every fact in the store — imported facts included,
+// so a unit's vetx file transitively re-exports its dependencies'
+// facts (the driver may hand importers only their direct dependencies'
+// files). The entry order is canonicalized so identical fact sets
+// produce identical bytes.
+func (s *FactStore) Encode() ([]byte, error) {
+	facts := make([]wireFact, 0, len(s.m))
+	for k, f := range s.m {
+		facts = append(facts, wireFact{Analyzer: k.analyzer, Pkg: k.pkg, Obj: k.obj, Fact: f})
+	}
+	sort.Slice(facts, func(i, j int) bool {
+		a, b := facts[i], facts[j]
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Obj != b.Obj {
+			return a.Obj < b.Obj
+		}
+		return factTypeName(a.Fact) < factTypeName(b.Fact)
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(facts); err != nil {
+		return nil, fmt.Errorf("analysis: encoding facts: %v", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode merges a vetx file's facts into the store. An empty file is a
+// valid empty fact set (the shape this driver wrote before facts
+// existed, and what it still writes for out-of-scope units).
+func (s *FactStore) Decode(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var facts []wireFact
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&facts); err != nil {
+		return fmt.Errorf("analysis: decoding facts: %v", err)
+	}
+	for _, wf := range facts {
+		s.m[factKey{wf.Analyzer, wf.Pkg, wf.Obj, factTypeName(wf.Fact)}] = wf.Fact
+	}
+	return nil
+}
+
+// ObjectFactRecord is one exported object fact, string-addressed — the
+// enumeration shape the vettest harness matches want expectations
+// against.
+type ObjectFactRecord struct {
+	Pkg  string
+	Obj  string
+	Fact Fact
+}
+
+// ObjectFacts lists the facts one analyzer holds about one package's
+// objects, in canonical order.
+func (s *FactStore) ObjectFacts(analyzer, pkg string) []ObjectFactRecord {
+	var out []ObjectFactRecord
+	for k, f := range s.m {
+		if k.analyzer == analyzer && k.pkg == pkg && k.obj != "" {
+			out = append(out, ObjectFactRecord{Pkg: k.pkg, Obj: k.obj, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Obj < out[j].Obj })
+	return out
+}
+
+// ObjectPath names a fact-addressable object stably across
+// compilations: "F" for a package-level func/var/type, "T.M" for method
+// M of package-level named type T. Locals, struct fields, and methods
+// of unnamed or foreign types have no path and are not
+// fact-addressable.
+func ObjectPath(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	if obj.Parent() == obj.Pkg().Scope() {
+		return obj.Name(), true
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if n, ok := t.(*types.Named); ok && n.Obj().Pkg() == obj.Pkg() {
+				return n.Obj().Name() + "." + fn.Name(), true
+			}
+		}
+	}
+	return "", false
+}
+
+// FindObject resolves an ObjectPath within a package: the inverse
+// lookup the fixture harness needs to position facts decoded from the
+// store.
+func FindObject(pkg *types.Package, path string) types.Object {
+	if tname, mname, ok := strings.Cut(path, "."); ok {
+		tn, _ := pkg.Scope().Lookup(tname).(*types.TypeName)
+		if tn == nil {
+			return nil
+		}
+		named, _ := tn.Type().(*types.Named)
+		if named == nil {
+			return nil
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); m.Name() == mname {
+				return m
+			}
+		}
+		return nil
+	}
+	return pkg.Scope().Lookup(path)
+}
+
+// registerFactTypes registers every analyzer's declared fact types with
+// gob so interface-typed wireFact entries round-trip. Registration is
+// idempotent for a given concrete type.
+func registerFactTypes(analyzers []*Analyzer) {
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			gob.Register(f)
+		}
+	}
+}
+
+// ExportObjectFact associates fact with obj for importers of this
+// package. obj must belong to the package under analysis and be
+// fact-addressable (ObjectPath); other objects are silently skipped —
+// facts on locals are meaningless to importers.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts == nil || obj == nil || obj.Pkg() != p.Pkg {
+		return
+	}
+	path, ok := ObjectPath(obj)
+	if !ok {
+		return
+	}
+	p.facts.m[factKey{p.Analyzer.Name, p.Pkg.Path(), path, factTypeName(fact)}] = fact
+}
+
+// ImportObjectFact copies into fact the fact of fact's concrete type
+// previously exported for obj — by this unit or by the analysis of the
+// package that declares obj — and reports whether one existed.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.facts == nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path, ok := ObjectPath(obj)
+	if !ok {
+		return false
+	}
+	found, ok := p.facts.m[factKey{p.Analyzer.Name, obj.Pkg().Path(), path, factTypeName(fact)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(found).Elem())
+	return true
+}
+
+// ExportPackageFact associates fact with the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.facts == nil {
+		return
+	}
+	p.facts.m[factKey{p.Analyzer.Name, p.Pkg.Path(), "", factTypeName(fact)}] = fact
+}
+
+// ImportPackageFact copies into fact the package-level fact previously
+// exported for pkg and reports whether one existed.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	if p.facts == nil || pkg == nil {
+		return false
+	}
+	found, ok := p.facts.m[factKey{p.Analyzer.Name, pkg.Path(), "", factTypeName(fact)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(found).Elem())
+	return true
+}

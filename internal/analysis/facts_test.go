@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// markFact is the object fact of the round-trip test: it carries a
+// payload so the test can verify values, not just presence.
+type markFact struct{ Tag string }
+
+func (*markFact) AFact() {}
+
+// originFact is the package fact of the round-trip test.
+type originFact struct{ Pkg string }
+
+func (*originFact) AFact() {}
+
+// TestFactsRoundTrip drives the full modular-analysis fact path the
+// way the vet protocol does: analyze the dependency, gob-encode its
+// facts to vetx bytes, decode them into a fresh store (the importing
+// unit's view), and analyze the dependent — which must see both the
+// object facts (plain function and method paths) and the package fact,
+// with payloads intact.
+func TestFactsRoundTrip(t *testing.T) {
+	probe := &Analyzer{
+		Name:      "factprobe",
+		Doc:       "export facts from lib, verify them from app (test analyzer)",
+		FactTypes: []Fact{&markFact{}, &originFact{}},
+		Run: func(pass *Pass) error {
+			if pass.Pkg.Path() == "factpair/lib" {
+				scope := pass.Pkg.Scope()
+				pass.ExportObjectFact(scope.Lookup("Answer"), &markFact{Tag: "Answer"})
+				box := scope.Lookup("Box").Type().(*types.Named)
+				for i := 0; i < box.NumMethods(); i++ {
+					m := box.Method(i)
+					pass.ExportObjectFact(m, &markFact{Tag: "Box." + m.Name()})
+				}
+				pass.ExportPackageFact(&originFact{Pkg: pass.Pkg.Path()})
+				return nil
+			}
+			// Importing side: report one diagnostic per fact found, so
+			// the test asserts on ordinary findings.
+			for _, imp := range pass.Pkg.Imports() {
+				if imp.Path() != "factpair/lib" {
+					continue
+				}
+				for _, path := range []string{"Answer", "Box.Get"} {
+					var mark markFact
+					if pass.ImportObjectFact(FindObject(imp, path), &mark) {
+						pass.Reportf(pass.Files[0].Pos(), "object fact %s=%s", path, mark.Tag)
+					}
+				}
+				var origin originFact
+				if pass.ImportPackageFact(imp, &origin) {
+					pass.Reportf(pass.Files[0].Pos(), "package fact from %s", origin.Pkg)
+				}
+			}
+			return nil
+		},
+	}
+	registerFactTypes([]*Analyzer{probe})
+
+	loader := NewLoader("testdata/src")
+	lib, err := loader.Load("factpair/lib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := loader.Load("factpair/app")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Dependency unit: export, then serialize to vetx bytes.
+	exportStore := NewFactStore()
+	if _, err := runPass(probe, lib, exportStore); err != nil {
+		t.Fatal(err)
+	}
+	data, err := exportStore.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("Encode returned no bytes for a store with facts")
+	}
+
+	// Importing unit: a fresh store seeded only from the wire bytes —
+	// nothing may leak through shared memory.
+	importStore := NewFactStore()
+	if err := importStore.Decode(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := importStore.Decode(nil); err != nil {
+		t.Fatalf("empty vetx must decode cleanly: %v", err)
+	}
+	if got := len(importStore.ObjectFacts("factprobe", "factpair/lib")); got != 2 {
+		t.Fatalf("decoded store holds %d object facts for lib, want 2", got)
+	}
+
+	diags, err := runPass(probe, app, importStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Message)
+	}
+	want := []string{
+		"object fact Answer=Answer",
+		"object fact Box.Get=Box.Get",
+		"package fact from factpair/lib",
+	}
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if g == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing finding %q in %s", w, strings.Join(got, "; "))
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("got %d findings (%s), want %d", len(got), strings.Join(got, "; "), len(want))
+	}
+}

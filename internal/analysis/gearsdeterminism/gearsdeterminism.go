@@ -39,8 +39,21 @@ var Analyzer = &analysis.Analyzer{
 	Name: "gearsdeterminism",
 	Doc: "flag nondeterminism sources (clocks, global or unproven PRNGs, escaping map order, global state) in the deterministic core\n\n" +
 		"The determinism contract requires gear policies, adversary strategies, and chaos decisions to be pure functions of configuration and committed state.",
-	Run: run,
+	Run:       run,
+	FactTypes: []analysis.Fact{&UsesClock{}},
+	Scope:     inScope,
 }
+
+// UsesClock is exported for every function that reads the wall clock
+// directly (time.Now/Since/Until) — whether or not the site carries an
+// allow. It gives importing units (and future checks on the schedule
+// path) a cross-package view of where real time enters the tree.
+type UsesClock struct{}
+
+// AFact marks UsesClock as a vetx-encodable fact.
+func (*UsesClock) AFact() {}
+
+func (*UsesClock) String() string { return "uses-clock" }
 
 // inScope reports whether the package is part of the deterministic
 // core: the module root or internal packages, not tools or examples.
@@ -78,10 +91,11 @@ func run(pass *analysis.Pass) error {
 
 // checkFunc applies every determinism check to one function body.
 func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, isInit bool) {
+	owner, _ := pass.TypesInfo.Defs[fn.Name].(*types.Func)
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			checkCall(pass, n)
+			checkCall(pass, owner, n)
 		case *ast.RangeStmt:
 			checkMapRange(pass, fn, n)
 		case *ast.AssignStmt:
@@ -99,8 +113,9 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, isInit bool) {
 	})
 }
 
-// checkCall flags wall-clock reads and math/rand usage.
-func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+// checkCall flags wall-clock reads and math/rand usage, and exports a
+// UsesClock fact on owner when the call reads the wall clock.
+func checkCall(pass *analysis.Pass, owner *types.Func, call *ast.CallExpr) {
 	fn := calleeFunc(pass, call)
 	if fn == nil || fn.Pkg() == nil {
 		return
@@ -109,6 +124,9 @@ func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
 	case "time":
 		switch fn.Name() {
 		case "Now", "Since", "Until":
+			if owner != nil {
+				pass.ExportObjectFact(owner, &UsesClock{})
+			}
 			pass.Reportf(call.Pos(), "time.%s in the deterministic core: wall-clock reads differ across replicas, so they cannot feed frames or gear decisions (//gearsvet:allow <reason> if provably off the decision path)", fn.Name())
 		}
 	case "math/rand", "math/rand/v2":

@@ -109,11 +109,21 @@ func (l *Loader) Load(path string) (*LoadedPackage, error) {
 	return lp, nil
 }
 
-// RunOn executes one analyzer over a loaded package and returns its
-// findings after //gearsvet:allow filtering, with bare directives
-// appended as findings — exactly the unit driver's semantics, so
-// fixtures exercise the directive path end to end.
-func RunOn(a *Analyzer, p *LoadedPackage) ([]Diagnostic, error) {
+// UnderRoot reports whether the import path resolves to a fixture
+// directory under the loader's root (as opposed to the standard
+// library).
+func (l *Loader) UnderRoot(path string) bool {
+	fi, err := os.Stat(filepath.Join(l.Root, filepath.FromSlash(path)))
+	return err == nil && fi.IsDir()
+}
+
+// runPass executes one analyzer over one loaded package with the given
+// fact store (nil disables facts) and returns the findings that survive
+// //gearsvet:allow filtering, with bare directives appended — exactly
+// the unit driver's semantics, so fixtures exercise the directive path
+// end to end.
+func runPass(a *Analyzer, p *LoadedPackage, store *FactStore) ([]Diagnostic, error) {
+	sup := NewSuppressor(p.Fset, p.Files)
 	var diags []Diagnostic
 	pass := &Pass{
 		Analyzer:   a,
@@ -124,11 +134,84 @@ func RunOn(a *Analyzer, p *LoadedPackage) ([]Diagnostic, error) {
 		TypesSizes: p.Sizes,
 		Report:     func(d Diagnostic) { diags = append(diags, d) },
 	}
+	pass.SetFacts(store)
+	pass.SetSuppressor(sup)
 	if err := a.Run(pass); err != nil {
 		return nil, err
 	}
-	dirs := Directives(p.Fset, p.Files)
-	out := Filter(p.Fset, dirs, diags)
-	out = append(out, BareDirectives(dirs)...)
+	out, _ := sup.Filter(diags)
+	out = append(out, sup.Bare()...)
 	return out, nil
+}
+
+// RunOn executes one analyzer over a loaded package, facts disabled.
+// Cross-package tests need a Runner; this entry point serves
+// single-package fixtures and unit tests.
+func RunOn(a *Analyzer, p *LoadedPackage) ([]Diagnostic, error) {
+	return runPass(a, p, nil)
+}
+
+// Runner drives an analyzer over fixture packages the way the vet
+// protocol does over real builds: every under-root dependency is
+// analyzed first (facts-only, diagnostics discarded) in dependency
+// order, against one shared fact store, so the target package's run
+// imports exactly the facts a real `go vet` unit would.
+type Runner struct {
+	loader *Loader
+	store  *FactStore
+	done   map[string]bool // "<analyzer>\x00<pkg>" fact runs already performed
+}
+
+// NewRunner builds a runner over a GOPATH-style fixture root.
+func NewRunner(root string) *Runner {
+	return &Runner{loader: NewLoader(root), store: NewFactStore(), done: make(map[string]bool)}
+}
+
+// Store exposes the shared fact store, for asserting on exported facts.
+func (r *Runner) Store() *FactStore { return r.store }
+
+// Run analyzes the package at path with a, after fact-analyzing its
+// under-root dependencies bottom-up, and returns the loaded package
+// together with its surviving findings.
+func (r *Runner) Run(a *Analyzer, path string) (*LoadedPackage, []Diagnostic, error) {
+	registerFactTypes([]*Analyzer{a})
+	p, err := r.loader.Load(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := r.factDeps(a, p.Pkg); err != nil {
+		return nil, nil, err
+	}
+	r.done[a.Name+"\x00"+path] = true // the target's own run exports its facts
+	diags, err := runPass(a, p, r.store)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, diags, nil
+}
+
+// factDeps runs a over every under-root dependency of pkg, deepest
+// first, recording facts into the shared store.
+func (r *Runner) factDeps(a *Analyzer, pkg *types.Package) error {
+	for _, imp := range pkg.Imports() {
+		if !r.loader.UnderRoot(imp.Path()) {
+			continue
+		}
+		key := a.Name + "\x00" + imp.Path()
+		if r.done[key] {
+			continue
+		}
+		r.done[key] = true
+		p, err := r.loader.Load(imp.Path())
+		if err != nil {
+			return err
+		}
+		if err := r.factDeps(a, p.Pkg); err != nil {
+			return err
+		}
+		if _, err := runPass(a, p, r.store); err != nil {
+			return err
+		}
+	}
+	return nil
 }

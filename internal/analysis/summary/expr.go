@@ -1,0 +1,294 @@
+package summary
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"shiftgears/internal/analysis"
+)
+
+// exprTags computes the taint tags an expression's value may carry:
+// which seeds it aliases or derives from without an intervening copy.
+// A value whose static type cannot hold a reference (an int decoded
+// out of a frame, a bool derived from it) is a copy by construction —
+// it can never alias the arena, so its tags are dropped no matter how
+// tainted its operands were.
+func (w *walker) exprTags(e ast.Expr) uint64 {
+	if tv, ok := w.in.pass.TypesInfo.Types[e]; ok && tv.Type != nil && !Aliasable(tv.Type) {
+		return 0
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		return w.taint[w.in.pass.TypesInfo.ObjectOf(x)]
+	case *ast.ParenExpr:
+		return w.exprTags(x.X)
+	case *ast.IndexExpr:
+		return w.exprTags(x.X)
+	case *ast.SliceExpr:
+		return w.exprTags(x.X)
+	case *ast.SelectorExpr:
+		return w.exprTags(x.X)
+	case *ast.StarExpr:
+		return w.exprTags(x.X)
+	case *ast.TypeAssertExpr:
+		return w.exprTags(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW {
+			// A receive's value is seeded at its binding site; the
+			// expression itself introduces no channel-carried tags.
+			return 0
+		}
+		return w.exprTags(x.X) // &x aliases x
+	case *ast.CompositeLit:
+		var tags uint64
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			tags |= w.exprTags(el)
+		}
+		return tags
+	case *ast.CallExpr:
+		return w.callTags(x)
+	}
+	// Binary expressions, literals, and func literals produce fresh
+	// scalar/closure values.
+	return 0
+}
+
+// callTags computes the tags of a call expression's result: builtin
+// aliasing rules, conversions, and Returned flows through known
+// callees.
+func (w *walker) callTags(call *ast.CallExpr) uint64 {
+	info := w.in.pass.TypesInfo
+	// Conversion: T(x). Conversions to string copy the bytes; slice,
+	// pointer, and struct conversions alias the operand.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+			return 0
+		}
+		return w.exprTags(call.Args[0])
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			return w.builtinTags(b.Name(), call)
+		}
+	}
+	fn := StaticCallee(w.in.pass, call)
+	if fn == nil {
+		return 0 // unknown callee: a fresh result (documented philosophy)
+	}
+	sum := w.in.Of(fn)
+	if sum == nil {
+		return 0
+	}
+	var tags uint64
+	idx := 0
+	if sum.Recv {
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && sum.Inputs[0].Returned {
+			tags |= w.exprTags(sel.X)
+		}
+		idx = 1
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	for ai, arg := range call.Args {
+		j := idx + ai
+		if j >= len(sum.Inputs) {
+			if sig != nil && sig.Variadic() && len(sum.Inputs) > 0 {
+				j = len(sum.Inputs) - 1
+			} else {
+				break
+			}
+		}
+		if sum.Inputs[j].Returned {
+			tags |= w.exprTags(arg)
+		}
+	}
+	return tags
+}
+
+// builtinTags applies the builtin aliasing rules.
+func (w *walker) builtinTags(name string, call *ast.CallExpr) uint64 {
+	switch name {
+	case "append":
+		if len(call.Args) == 0 {
+			return 0
+		}
+		tags := w.exprTags(call.Args[0])
+		for i, a := range call.Args[1:] {
+			t := w.exprTags(a)
+			if t == 0 {
+				continue
+			}
+			// append(dst, p...) with byte elements copies the bytes:
+			// the result aliases dst's backing array, not p. Spreading
+			// a [][]byte still copies slice headers, which alias.
+			if call.Ellipsis.IsValid() && i == len(call.Args)-2 {
+				at := w.in.pass.TypesInfo.Types[a].Type
+				if at != nil && ByteSliceDepth(at) <= 1 && !CarriesPayloadSlices(at) {
+					continue
+				}
+			}
+			tags |= t
+		}
+		return tags
+	default:
+		// len, cap, copy, make, new, delete, min, max: fresh values or
+		// byte copies.
+		return 0
+	}
+}
+
+// StaticCallee resolves a call expression to the concrete *types.Func
+// it invokes, or nil for interface methods, func values, builtins, and
+// conversions.
+func StaticCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel := pass.TypesInfo.Selections[fun]; sel != nil {
+			if sel.Kind() != types.MethodVal || types.IsInterface(sel.Recv()) {
+				return nil
+			}
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Package-qualified: pkg.F.
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// CalleeName renders a function for diagnostics: "dispatch" for a
+// same-file-feeling plain name, "(meshWriter).send" for a method, with
+// the package name prefixed for foreign functions.
+func CalleeName(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if n := NamedOf(sig.Recv().Type()); n != "" {
+			// Strip the package path down to the last element for
+			// readability; the position already localizes the finding.
+			if i := lastSlash(n); i >= 0 {
+				n = n[i+1:]
+			}
+			return "(" + n + ")." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}
+
+// NamedOf renders a (possibly pointered) named type as pkgpath.Name.
+func NamedOf(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// Aliasable reports whether a value of type t can hold a reference to
+// memory it did not copy: slices, pointers, maps, channels, funcs,
+// interfaces, and aggregates containing any of those. Basic values
+// (including strings — safe Go cannot build a string that aliases a
+// byte slice) and aggregates of basics are copies by construction.
+func Aliasable(t types.Type) bool {
+	return aliasable(t, make(map[*types.Named]bool))
+}
+
+func aliasable(t types.Type, seen map[*types.Named]bool) bool {
+	if n, ok := t.(*types.Named); ok {
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return false
+	case *types.Array:
+		return aliasable(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if aliasable(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+		return false
+	default:
+		// Slice, pointer, map, chan, signature, interface, tuple.
+		return true
+	}
+}
+
+// ByteSliceDepth reports how many slice layers wrap a byte element:
+// []byte → 1, [][]byte → 2, ... 0 when t is not a byte-slice shape.
+func ByteSliceDepth(t types.Type) int {
+	depth := 0
+	for {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			break
+		}
+		depth++
+		t = s.Elem()
+	}
+	if depth == 0 {
+		return 0
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Kind() != types.Byte && b.Kind() != types.Uint8 {
+		return 0
+	}
+	return depth
+}
+
+// CarriesPayloadSlices reports whether t transitively contains []byte
+// through slices of structs with a []byte-shaped field (the MuxFrame
+// outbox shape an Exchange method receives).
+func CarriesPayloadSlices(t types.Type) bool {
+	seen := 0
+	for {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			break
+		}
+		seen++
+		t = s.Elem()
+	}
+	if seen == 0 {
+		return false
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if ByteSliceDepth(st.Field(i).Type()) > 0 {
+			return true
+		}
+	}
+	return false
+}

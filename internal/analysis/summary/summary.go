@@ -1,0 +1,502 @@
+// Package summary computes parameter-to-sink escape summaries: for
+// every function of a package, which of its inputs (receiver and
+// parameters) may be stored into a struct field or global, sent on a
+// channel, or returned. Summaries are computed bottom-up to a fixed
+// point within the package — a helper's summary is consulted at each of
+// its call sites, so taint crosses function boundaries — and exported
+// as facts, so it crosses package boundaries too: the modular go vet
+// model analyzes one package at a time, and the vetx facts files are
+// the only channel between units.
+//
+// An unknown callee — an interface method, a func value, a function in
+// a package that exported no summary — is treated as clean. That is a
+// deliberate philosophy, not an accident: the analyzers built on this
+// layer enforce repository-local contracts on repository-local code,
+// and a conservative "unknown escapes everything" default would drown
+// the hot path in false positives the moment it called fmt or net.
+// The contract surface (Exchange/Deliver entry points, the transport
+// and fabric packages) is fully in-repo, so every call that matters
+// resolves to a summarized function.
+//
+// # Exemptions
+//
+// A store that the engine can prove stays within the tick is not a
+// sink. Four proofs are implemented, mirroring the idioms the hot path
+// actually uses:
+//
+//   - holder: fields of configured arena-owner types (Config.Holders)
+//     hold payloads by design and are rewound at the tick boundary.
+//   - tick-reset: a store into x.f is exempt when the function
+//     unconditionally resets x.f (x.f = x.f[:0] or x.f = nil) as a
+//     top-level statement before it — the field demonstrably lives one
+//     call.
+//   - scratch-reuse: a local rooted in x.f[:0] that is stored back
+//     into a field of the same x is the truncate-refill idiom; the
+//     backing array is overwritten on the next call.
+//   - drain: a send is exempt when every receive of that element type
+//     in the package provably consumes the value without re-escaping
+//     it — ownership transfers to a reader that finishes with it.
+//
+// A store covered by a reasoned //gearsvet:allow is excluded from
+// summaries too: the annotation is a reviewed claim that the site is
+// safe, so callers of the annotated helper should not be flagged for
+// reaching it. (The event is still surfaced to analyzers, which report
+// it and let the driver's suppressor record it as allowed.)
+//
+// Config.Strict disables every exemption and the allow filter. The
+// strict view answers a different question — "may this value reach the
+// heap at all?" — which is what zeroalloc needs to prove a closure
+// non-escaping; the arena exemptions above are contract arguments, not
+// heap-escape proofs.
+package summary
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"shiftgears/internal/analysis"
+)
+
+// Input is one function input's summary: Name for diagnostics, and
+// whether the input may escape into a field or global, be sent on a
+// channel, or flow to a return value.
+type Input struct {
+	Name     string
+	Escapes  bool
+	Sent     bool
+	Returned bool
+}
+
+// Summary is the exported per-function fact: input 0 is the receiver
+// when Recv is set, parameters follow in declaration order.
+type Summary struct {
+	Recv   bool
+	Inputs []Input
+}
+
+// AFact marks Summary as a vetx-encodable fact.
+func (*Summary) AFact() {}
+
+// Clean reports whether no input reaches any sink.
+func (s *Summary) Clean() bool {
+	for _, in := range s.Inputs {
+		if in.Escapes || in.Sent || in.Returned {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the summary compactly — "p(escapes,sent) q(returned)",
+// or "clean" — which is also what fixture fact expectations match.
+func (s *Summary) String() string {
+	var parts []string
+	for i, in := range s.Inputs {
+		var flags []string
+		if in.Escapes {
+			flags = append(flags, "escapes")
+		}
+		if in.Sent {
+			flags = append(flags, "sent")
+		}
+		if in.Returned {
+			flags = append(flags, "returned")
+		}
+		if len(flags) == 0 {
+			continue
+		}
+		name := in.Name
+		if name == "" {
+			name = fmt.Sprintf("#%d", i)
+		}
+		if s.Recv && i == 0 {
+			name = "recv " + name
+		}
+		parts = append(parts, name+"("+strings.Join(flags, ",")+")")
+	}
+	if len(parts) == 0 {
+		return "clean"
+	}
+	return strings.Join(parts, " ")
+}
+
+// Config selects the exemption regime.
+type Config struct {
+	// Holders names arena-owner types ("pkg/path.Type") whose field
+	// stores are the design, not a leak.
+	Holders map[string]bool
+	// Strict disables all exemptions and the allow filter: the raw
+	// may-reach-heap view.
+	Strict bool
+}
+
+// Kind classifies a sink event.
+type Kind int
+
+const (
+	// FieldStore is a store into a struct field.
+	FieldStore Kind = iota
+	// GlobalStore is a store into a package-level variable.
+	GlobalStore
+	// ChanSend is a send on a channel (not proven drained).
+	ChanSend
+	// ReturnSink is a flow into a return value.
+	ReturnSink
+	// CallEscape is a tainted argument passed to a callee whose
+	// corresponding input escapes (per its summary).
+	CallEscape
+	// CallSend is a tainted argument passed to a callee whose
+	// corresponding input is sent on a channel.
+	CallSend
+)
+
+// Event is one sink occurrence: which inputs reach it (Tags is a
+// bitmask over the function's seeds), where, and a human detail
+// fragment for diagnostics. Allowed events are excluded from summaries
+// but still handed to analyzers, so the suppressor can record them.
+type Event struct {
+	Kind    Kind
+	Pos     token.Pos
+	Tags    uint64
+	Detail  string
+	Allowed bool
+}
+
+// Info is the computed summary state of one package.
+type Info struct {
+	pass *analysis.Pass
+	cfg  Config
+
+	decls    []*ast.FuncDecl
+	sums     map[*types.Func]*Summary
+	inputs   map[*ast.FuncDecl][]types.Object
+	events   map[*ast.FuncDecl][]Event
+	seedBits map[*ast.FuncDecl]map[types.Object]uint64
+	drained  map[string]bool
+	received map[string]bool
+}
+
+// receiveSite is one channel receive: where, what element type, and
+// the objects the received value binds to (empty for a pure drain).
+type receiveSite struct {
+	fn   *ast.FuncDecl
+	elem string
+	objs []types.Object
+}
+
+// Compute summarizes every function of the pass's package, exports the
+// summaries as facts, and returns the package info for the analyzer to
+// walk.
+func Compute(pass *analysis.Pass, cfg Config) *Info {
+	in := &Info{
+		pass:     pass,
+		cfg:      cfg,
+		sums:     make(map[*types.Func]*Summary),
+		inputs:   make(map[*ast.FuncDecl][]types.Object),
+		events:   make(map[*ast.FuncDecl][]Event),
+		seedBits: make(map[*ast.FuncDecl]map[types.Object]uint64),
+		drained:  make(map[string]bool),
+		received: make(map[string]bool),
+	}
+	for _, file := range pass.Files {
+		if analysis.TestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, d := range file.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			in.decls = append(in.decls, fn)
+			in.inputs[fn] = inputObjs(pass, fn)
+		}
+	}
+
+	// Collect receives and start the drain analysis optimistic: every
+	// element type with a receiver in the package is assumed drained,
+	// then receives whose bound value re-escapes knock their type out
+	// until the set is stable.
+	var receives []receiveSite
+	for _, fn := range in.decls {
+		receives = append(receives, collectReceives(pass, fn)...)
+	}
+	for _, r := range receives {
+		in.received[r.elem] = true
+		if !cfg.Strict {
+			in.drained[r.elem] = true
+		}
+	}
+
+	for {
+		// Summaries to a fixed point under the current drain set.
+		// Flags only grow (taint and callee summaries are monotone),
+		// so this terminates.
+		for {
+			changed := false
+			for _, fn := range in.decls {
+				w := in.walk(fn)
+				in.events[fn] = w.events
+				in.seedBits[fn] = w.seeds
+				def, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				s := in.summaryFrom(fn, w)
+				merged, grew := mergeSummary(in.sums[def], s)
+				in.sums[def] = merged
+				if grew {
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+		// Drain check: a receive whose bound value reaches a sink
+		// voids the drain proof for its element type.
+		drainChanged := false
+		for _, r := range receives {
+			if !in.drained[r.elem] || len(r.objs) == 0 {
+				continue
+			}
+			var bits uint64
+			for _, o := range r.objs {
+				bits |= in.seedBits[r.fn][o]
+			}
+			for _, ev := range in.events[r.fn] {
+				if !ev.Allowed && ev.Tags&bits != 0 {
+					delete(in.drained, r.elem)
+					drainChanged = true
+					break
+				}
+			}
+		}
+		if !drainChanged {
+			break
+		}
+	}
+
+	for def, s := range in.sums {
+		pass.ExportObjectFact(def, s)
+	}
+	return in
+}
+
+// Of returns fn's summary: from this package's computation, or imported
+// from the fact store for foreign functions. nil means unknown (treated
+// as clean by the engine).
+func (in *Info) Of(fn *types.Func) *Summary {
+	if fn == nil {
+		return nil
+	}
+	if fn.Pkg() == in.pass.Pkg {
+		return in.sums[fn]
+	}
+	var s Summary
+	if in.pass.ImportObjectFact(fn, &s) {
+		return &s
+	}
+	return nil
+}
+
+// Events returns the final sink events of one function declaration.
+func (in *Info) Events(fn *ast.FuncDecl) []Event { return in.events[fn] }
+
+// Decls lists the package's analyzed function declarations.
+func (in *Info) Decls() []*ast.FuncDecl { return in.decls }
+
+// InputTag returns the seed bit of one input object of fn (0 if obj is
+// not an input).
+func (in *Info) InputTag(fn *ast.FuncDecl, obj types.Object) uint64 {
+	var i int
+	var o types.Object
+	for i, o = range in.inputs[fn] {
+		if o != nil && o == obj {
+			return bitOf(i)
+		}
+	}
+	return 0
+}
+
+// Inputs returns fn's input objects, receiver first (entries may be nil
+// for unnamed inputs).
+func (in *Info) Inputs(fn *ast.FuncDecl) []types.Object { return in.inputs[fn] }
+
+// Drained reports the strong drain proof for a channel element type:
+// every receive of it in this package consumes the value without
+// re-escaping it.
+func (in *Info) Drained(elem types.Type) bool { return in.drained[elem.String()] }
+
+// Received reports the weak liveness fact: at least one receive of the
+// element type exists in this package.
+func (in *Info) Received(elem types.Type) bool { return in.received[elem.String()] }
+
+// bitOf maps seed index i to its tag bit, saturating at 63 so functions
+// with pathological arity stay sound (extra seeds share the last bit).
+func bitOf(i int) uint64 {
+	if i > 63 {
+		i = 63
+	}
+	return 1 << uint(i)
+}
+
+// inputObjs lists fn's inputs: receiver (if any) then parameters, nil
+// for unnamed/blank slots so indexes align with Summary.Inputs.
+func inputObjs(pass *analysis.Pass, fn *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fn.Recv != nil {
+		var o types.Object
+		if len(fn.Recv.List) == 1 && len(fn.Recv.List[0].Names) == 1 {
+			o = pass.TypesInfo.ObjectOf(fn.Recv.List[0].Names[0])
+		}
+		out = append(out, o)
+	}
+	if fn.Type.Params != nil {
+		for _, f := range fn.Type.Params.List {
+			if len(f.Names) == 0 {
+				out = append(out, nil)
+				continue
+			}
+			for _, n := range f.Names {
+				out = append(out, pass.TypesInfo.ObjectOf(n))
+			}
+		}
+	}
+	return out
+}
+
+// chanElem returns the element type of a channel type, nil otherwise.
+func chanElem(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return nil
+	}
+	return ch.Elem()
+}
+
+// collectReceives finds every channel receive in fn with the objects it
+// binds.
+func collectReceives(pass *analysis.Pass, fn *ast.FuncDecl) []receiveSite {
+	var out []receiveSite
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			u, ok := unparen(n.Rhs[0]).(*ast.UnaryExpr)
+			if !ok || u.Op != token.ARROW {
+				return true
+			}
+			elem := chanElem(pass.TypesInfo.TypeOf(u.X))
+			if elem == nil {
+				return true
+			}
+			site := receiveSite{fn: fn, elem: elem.String()}
+			if id, ok := n.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+				if o := pass.TypesInfo.ObjectOf(id); o != nil {
+					site.objs = append(site.objs, o)
+				}
+			}
+			out = append(out, site)
+		case *ast.UnaryExpr:
+			// Bare <-ch in expression position (ExprStmt, select case
+			// without binding): a pure drain, no bound value.
+			if n.Op == token.ARROW {
+				if elem := chanElem(pass.TypesInfo.TypeOf(n.X)); elem != nil {
+					out = append(out, receiveSite{fn: fn, elem: elem.String()})
+				}
+			}
+		case *ast.RangeStmt:
+			elem := chanElem(pass.TypesInfo.TypeOf(n.X))
+			if elem == nil {
+				return true
+			}
+			site := receiveSite{fn: fn, elem: elem.String()}
+			if id, ok := n.Key.(*ast.Ident); ok && id.Name != "_" {
+				if o := pass.TypesInfo.ObjectOf(id); o != nil {
+					site.objs = append(site.objs, o)
+				}
+			}
+			out = append(out, site)
+		}
+		return true
+	})
+	// Deduplicate the AssignStmt/UnaryExpr double-visit: a bound
+	// receive's UnaryExpr is also walked. Pure-drain duplicates are
+	// harmless (no objs), so no dedup needed beyond that.
+	return out
+}
+
+// mergeSummary ors b into a and reports whether any flag grew — a
+// first-time clean summary is stored but does not count as growth
+// (callers already treat unknown as clean).
+func mergeSummary(a, b *Summary) (*Summary, bool) {
+	if a == nil {
+		return b, !b.Clean()
+	}
+	grew := false
+	for i := range a.Inputs {
+		if i >= len(b.Inputs) {
+			break
+		}
+		bi := b.Inputs[i]
+		ai := &a.Inputs[i]
+		if bi.Escapes && !ai.Escapes {
+			ai.Escapes, grew = true, true
+		}
+		if bi.Sent && !ai.Sent {
+			ai.Sent, grew = true, true
+		}
+		if bi.Returned && !ai.Returned {
+			ai.Returned, grew = true, true
+		}
+	}
+	return a, grew
+}
+
+// summaryFrom folds a walk's events into per-input flags.
+func (in *Info) summaryFrom(fn *ast.FuncDecl, w *walker) *Summary {
+	inputs := in.inputs[fn]
+	s := &Summary{Recv: fn.Recv != nil, Inputs: make([]Input, len(inputs))}
+	for i, o := range inputs {
+		if o != nil {
+			s.Inputs[i].Name = o.Name()
+		}
+	}
+	for _, ev := range w.events {
+		if ev.Allowed {
+			continue
+		}
+		for i := range inputs {
+			if ev.Tags&bitOf(i) == 0 || i > 63 {
+				continue
+			}
+			switch ev.Kind {
+			case FieldStore, GlobalStore, CallEscape:
+				s.Inputs[i].Escapes = true
+			case ChanSend, CallSend:
+				s.Inputs[i].Sent = true
+			case ReturnSink:
+				s.Inputs[i].Returned = true
+			}
+		}
+	}
+	return s
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

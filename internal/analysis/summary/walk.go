@@ -1,0 +1,511 @@
+package summary
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"shiftgears/internal/analysis"
+)
+
+// resetKey addresses a field of a specific base object, for the
+// tick-reset and scratch-reuse proofs.
+type resetKey struct {
+	root  types.Object
+	field *types.Var
+}
+
+// walker is one taint pass over one function: seeds (inputs and
+// receive-bound values) carry tag bits, tags propagate through locals
+// to a fixed point, then a final scan emits sink events.
+type walker struct {
+	in     *Info
+	fn     *ast.FuncDecl
+	seeds  map[types.Object]uint64
+	taint  map[types.Object]uint64
+	events []Event
+	// resets maps fields unconditionally reset by a top-level
+	// statement to the reset's position; later stores into them are
+	// within-tick by construction.
+	resets map[resetKey]token.Pos
+	// scratch maps locals initialized from base.field[:0] to that
+	// field; storing such a local back into a field of the same base
+	// is the truncate-refill idiom.
+	scratch map[types.Object]resetKey
+	nbits   int
+	emit    bool
+	changed bool
+}
+
+// walk runs the engine over one function with every input and every
+// receive-bound value seeded.
+func (in *Info) walk(fn *ast.FuncDecl) *walker {
+	w := &walker{
+		in:      in,
+		fn:      fn,
+		seeds:   make(map[types.Object]uint64),
+		taint:   make(map[types.Object]uint64),
+		resets:  make(map[resetKey]token.Pos),
+		scratch: make(map[types.Object]resetKey),
+	}
+	inputs := in.inputs[fn]
+	w.nbits = len(inputs)
+	for i, o := range inputs {
+		if o != nil {
+			w.seeds[o] = bitOf(i)
+		}
+	}
+	for _, r := range collectReceives(in.pass, fn) {
+		for _, o := range r.objs {
+			if _, ok := w.seeds[o]; !ok {
+				w.seeds[o] = bitOf(w.nbits)
+				w.nbits++
+			}
+		}
+	}
+	for o, bits := range w.seeds {
+		w.taint[o] = bits
+	}
+	w.collectResets()
+
+	for {
+		w.changed = false
+		w.scan()
+		if !w.changed {
+			break
+		}
+	}
+	w.emit = true
+	w.scan()
+	// Named results that end up tainted count as returned.
+	if fn.Type.Results != nil {
+		for _, f := range fn.Type.Results.List {
+			for _, n := range f.Names {
+				if o := in.pass.TypesInfo.ObjectOf(n); o != nil && w.taint[o] != 0 {
+					w.event(ReturnSink, fn.Name.Pos(), w.taint[o], "named result "+n.Name)
+				}
+			}
+		}
+	}
+	return w
+}
+
+// collectResets records top-level `x.f = x.f[:0]` and `x.f = nil`
+// statements: unconditional per-call resets that bound the lifetime of
+// anything stored into x.f afterwards.
+func (w *walker) collectResets() {
+	for _, st := range w.fn.Body.List {
+		as, ok := st.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			continue
+		}
+		key, ok := w.fieldKey(as.Lhs[0])
+		if !ok {
+			continue
+		}
+		rhs := unparen(as.Rhs[0])
+		isReset := false
+		if id, okID := rhs.(*ast.Ident); okID && id.Name == "nil" {
+			isReset = true
+		} else if src, okSrc := w.scratchSource(rhs); okSrc && src == key {
+			isReset = true // x.f = x.f[:0]
+		}
+		if isReset {
+			w.resets[key] = as.Pos()
+		}
+	}
+}
+
+// fieldKey resolves an expression of the form root.f (root an
+// identifier chain) to its (root object, field) key.
+func (w *walker) fieldKey(e ast.Expr) (resetKey, bool) {
+	sel, ok := unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return resetKey{}, false
+	}
+	s := w.in.pass.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return resetKey{}, false
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok {
+		return resetKey{}, false
+	}
+	root := w.rootObj(sel.X)
+	if root == nil {
+		return resetKey{}, false
+	}
+	return resetKey{root, field}, true
+}
+
+// scratchSource recognizes base.field[:0] (possibly parenthesized) and
+// returns its field key.
+func (w *walker) scratchSource(e ast.Expr) (resetKey, bool) {
+	sl, ok := unparen(e).(*ast.SliceExpr)
+	if !ok || sl.Low != nil || sl.Slice3 {
+		return resetKey{}, false
+	}
+	lit, ok := sl.High.(*ast.BasicLit)
+	if !ok || lit.Value != "0" {
+		return resetKey{}, false
+	}
+	return w.fieldKey(sl.X)
+}
+
+// rootObj unwraps selectors, indexes, stars, and parens down to the
+// base identifier's object.
+func (w *walker) rootObj(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return w.in.pass.TypesInfo.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// addTaint merges tags into obj's taint set.
+func (w *walker) addTaint(obj types.Object, tags uint64) {
+	if obj == nil || tags == 0 {
+		return
+	}
+	if w.taint[obj]|tags != w.taint[obj] {
+		w.taint[obj] |= tags
+		w.changed = true
+	}
+}
+
+// event records a sink occurrence (emit phase only).
+func (w *walker) event(kind Kind, pos token.Pos, tags uint64, detail string) {
+	if !w.emit || tags == 0 {
+		return
+	}
+	allowed := !w.in.cfg.Strict && w.in.pass.AllowedAt(pos)
+	w.events = append(w.events, Event{Kind: kind, Pos: pos, Tags: tags, Detail: detail, Allowed: allowed})
+}
+
+// scan makes one pass over the body: propagation always, events when
+// w.emit is set.
+func (w *walker) scan() {
+	ast.Inspect(w.fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			w.assign(n)
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					w.addTaint(w.in.pass.TypesInfo.ObjectOf(name), w.exprTags(n.Values[i]))
+				}
+			}
+		case *ast.RangeStmt:
+			if chanElem(w.in.pass.TypesInfo.TypeOf(n.X)) != nil {
+				return true // receive: the key object is a seed already
+			}
+			tags := w.exprTags(n.X)
+			if tags != 0 {
+				if id, ok := n.Key.(*ast.Ident); ok {
+					w.addTaint(w.in.pass.TypesInfo.ObjectOf(id), tags)
+				}
+				if id, ok := n.Value.(*ast.Ident); ok {
+					w.addTaint(w.in.pass.TypesInfo.ObjectOf(id), tags)
+				}
+			}
+		case *ast.SendStmt:
+			w.send(n)
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				w.event(ReturnSink, r.Pos(), w.exprTags(r), "return value")
+			}
+		case *ast.CallExpr:
+			w.bindFuncLit(n)
+			w.callEvents(n)
+		}
+		return true
+	})
+}
+
+// assign handles one assignment statement: taint propagation into
+// locals, scratch-marker bookkeeping, and store events.
+func (w *walker) assign(n *ast.AssignStmt) {
+	for i, lhs := range n.Lhs {
+		var rhs ast.Expr
+		switch {
+		case len(n.Rhs) == len(n.Lhs):
+			rhs = n.Rhs[i]
+		case len(n.Rhs) == 1:
+			rhs = n.Rhs[0] // tuple: every lhs conservatively gets the rhs tags
+		default:
+			continue
+		}
+		tags := w.exprTags(rhs)
+		switch l := unparen(lhs).(type) {
+		case *ast.Ident:
+			obj := w.in.pass.TypesInfo.ObjectOf(l)
+			if obj == nil {
+				continue
+			}
+			if isGlobal(obj) {
+				w.event(GlobalStore, lhs.Pos(), tags, "package-level variable "+l.Name)
+				continue
+			}
+			// Scratch bookkeeping: v := base.f[:0] marks v; any other
+			// reassignment clears the mark unless it is append(v, ...).
+			if src, ok := w.scratchSource(rhs); ok {
+				w.scratch[obj] = src
+			} else if !isAppendTo(w.in.pass, rhs, obj) {
+				delete(w.scratch, obj)
+			}
+			w.addTaint(obj, tags)
+		default:
+			w.store(lhs, rhs, tags)
+		}
+	}
+}
+
+// store handles an assignment whose target is not a plain local:
+// x.f = v, x.f[i] = v, x[i] = v, *p = v, g[i] = v.
+func (w *walker) store(lhs, rhs ast.Expr, tags uint64) {
+	// Unwrap element stores: x.f[i] = v stores into x.f.
+	base := unparen(lhs)
+	for {
+		if ix, ok := base.(*ast.IndexExpr); ok {
+			base = unparen(ix.X)
+			continue
+		}
+		if st, ok := base.(*ast.StarExpr); ok {
+			base = unparen(st.X)
+			continue
+		}
+		break
+	}
+	if sel, ok := base.(*ast.SelectorExpr); ok {
+		if key, ok := w.fieldKey(sel); ok {
+			w.fieldStore(lhs, rhs, key, sel, tags)
+			return
+		}
+		// Qualified global: pkg.Var = v.
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if _, isPkg := w.in.pass.TypesInfo.ObjectOf(id).(*types.PkgName); isPkg {
+				w.event(GlobalStore, lhs.Pos(), tags, "package-level variable "+sel.Sel.Name)
+			}
+		}
+		return
+	}
+	if id, ok := base.(*ast.Ident); ok {
+		obj := w.in.pass.TypesInfo.ObjectOf(id)
+		if obj == nil {
+			return
+		}
+		if isGlobal(obj) {
+			w.event(GlobalStore, lhs.Pos(), tags, "package-level variable "+id.Name)
+			return
+		}
+		// Element store into a local or parameter container: the
+		// container now carries the tags. A store into an input
+		// container (ins[q] = payload) is the delivery API, not a
+		// sink — the caller's contract covers it.
+		w.addTaint(obj, tags)
+	}
+}
+
+// fieldStore applies the exemption proofs and emits a FieldStore event
+// for what remains.
+func (w *walker) fieldStore(lhs, rhs ast.Expr, key resetKey, sel *ast.SelectorExpr, tags uint64) {
+	owner := NamedOf(w.in.pass.TypesInfo.Selections[sel].Recv())
+	strict := w.in.cfg.Strict
+	if !strict {
+		if w.in.cfg.Holders[owner] {
+			return // arena-owner type: within-tick by design
+		}
+		if reset, ok := w.resets[key]; ok && reset < lhs.Pos() {
+			return // tick-reset: the field is truncated every call
+		}
+		if src := w.scratchRoot(rhs); src != nil && src == key.root {
+			return // scratch-reuse: base.f[:0]-rooted local stored back
+		}
+	}
+	// The base object itself now reaches the stored value.
+	w.addTaint(key.root, tags)
+	// Storing an input into the input's own base is containment, not
+	// escape: w.buf = w.tmp does not leak w's caller anything new.
+	escTags := tags &^ w.seeds[key.root]
+	where := "struct field"
+	if owner != "" {
+		where = "field of " + owner
+	}
+	w.event(FieldStore, lhs.Pos(), escTags, where)
+}
+
+// scratchRoot reports the base object when rhs is (a conversion of) a
+// scratch-marked local.
+func (w *walker) scratchRoot(rhs ast.Expr) types.Object {
+	e := unparen(rhs)
+	for {
+		call, ok := e.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			break
+		}
+		if tv, ok := w.in.pass.TypesInfo.Types[call.Fun]; !ok || !tv.IsType() {
+			break
+		}
+		e = unparen(call.Args[0]) // net.Buffers(vecs) and friends
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := w.in.pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return nil
+	}
+	if src, ok := w.scratch[obj]; ok {
+		return src.root
+	}
+	return nil
+}
+
+// send handles ch <- v: a ChanSend event unless the element type is
+// proven drained.
+func (w *walker) send(n *ast.SendStmt) {
+	tags := w.exprTags(n.Value)
+	if tags == 0 {
+		return
+	}
+	elem := chanElem(w.in.pass.TypesInfo.TypeOf(n.Chan))
+	if elem != nil && !w.in.cfg.Strict && w.in.drained[elem.String()] {
+		return
+	}
+	w.event(ChanSend, n.Pos(), tags, "a channel")
+}
+
+// bindFuncLit propagates call-site argument tags into the parameters
+// of a directly-invoked function literal (go fl(args), defer fl(args),
+// fl(args)). The literal's body is scanned as part of the enclosing
+// function, so its sinks are already this function's sinks; only the
+// parameter binding needs help.
+func (w *walker) bindFuncLit(call *ast.CallExpr) {
+	fl, ok := unparen(call.Fun).(*ast.FuncLit)
+	if !ok || fl.Type.Params == nil {
+		return
+	}
+	var params []types.Object
+	for _, f := range fl.Type.Params.List {
+		if len(f.Names) == 0 {
+			params = append(params, nil)
+			continue
+		}
+		for _, nm := range f.Names {
+			params = append(params, w.in.pass.TypesInfo.ObjectOf(nm))
+		}
+	}
+	for i, arg := range call.Args {
+		if i < len(params) {
+			w.addTaint(params[i], w.exprTags(arg))
+		} else if len(params) > 0 {
+			w.addTaint(params[len(params)-1], w.exprTags(arg)) // variadic tail
+		}
+	}
+}
+
+// callEvents consults the callee's summary and emits call-site events
+// for tainted arguments that reach the callee's sinks.
+func (w *walker) callEvents(call *ast.CallExpr) {
+	fn := StaticCallee(w.in.pass, call)
+	if fn == nil {
+		return
+	}
+	sum := w.in.Of(fn)
+	if sum == nil || sum.Clean() {
+		return
+	}
+	// Gather the call-site expression(s) feeding each callee input.
+	exprs := make([][]ast.Expr, len(sum.Inputs))
+	idx := 0
+	if sum.Recv {
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			exprs[0] = []ast.Expr{sel.X}
+		}
+		idx = 1
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	for ai, arg := range call.Args {
+		j := idx + ai
+		if j >= len(exprs) {
+			if sig != nil && sig.Variadic() && len(exprs) > 0 {
+				j = len(exprs) - 1 // extra args feed the variadic input
+			} else {
+				break
+			}
+		}
+		exprs[j] = append(exprs[j], arg)
+	}
+	for j, inp := range sum.Inputs {
+		if !inp.Escapes && !inp.Sent {
+			continue
+		}
+		var tags uint64
+		var pos token.Pos = call.Pos()
+		for _, e := range exprs[j] {
+			if t := w.exprTags(e); t != 0 {
+				tags |= t
+				pos = e.Pos()
+			}
+		}
+		// As with direct field stores, an input flowing back into the
+		// callee's own receiver argument is containment.
+		if sum.Recv && j != 0 && len(exprs[0]) == 1 {
+			if recvObj := w.rootObj(exprs[0][0]); recvObj != nil {
+				tags &^= w.seeds[recvObj]
+			}
+		}
+		if tags == 0 {
+			continue
+		}
+		name := inp.Name
+		if name == "" {
+			name = fmt.Sprintf("#%d", j)
+		}
+		if inp.Escapes {
+			w.event(CallEscape, pos, tags, fmt.Sprintf("%s, whose parameter %s is stored beyond the call", CalleeName(fn), name))
+		}
+		if inp.Sent {
+			w.event(CallSend, pos, tags, fmt.Sprintf("%s, whose parameter %s is sent on a channel", CalleeName(fn), name))
+		}
+	}
+}
+
+// isGlobal reports whether obj is a package-level variable.
+func isGlobal(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && !v.IsField() && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// isAppendTo reports whether rhs is append(obj, ...): the one
+// reassignment shape that preserves a scratch marker.
+func isAppendTo(pass *analysis.Pass, rhs ast.Expr, obj types.Object) bool {
+	call, ok := unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	first, ok := unparen(call.Args[0]).(*ast.Ident)
+	return ok && pass.TypesInfo.ObjectOf(first) == obj
+}

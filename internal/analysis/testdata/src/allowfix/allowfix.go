@@ -1,9 +1,12 @@
 // Package allowfix exercises //gearsvet:allow semantics: a reasoned
-// directive suppresses its own line (trailing) or the next (standalone);
-// a bare directive suppresses nothing and is itself a finding.
+// directive suppresses the full extent of the statement ending on its
+// line (trailing) or starting on the next (standalone); a bare
+// directive suppresses nothing and is itself a finding.
 package allowfix
 
 func f() {}
+
+func h(...int) int { return 0 }
 
 func g() {
 	f()
@@ -11,4 +14,15 @@ func g() {
 	//gearsvet:allow reasoned standalone directive covers the next line
 	f()
 	f() //gearsvet:allow
+	h(
+		h(),
+		h(),
+	) //gearsvet:allow trailing directive covers the whole multi-line call
+	//gearsvet:allow standalone directive covers the whole multi-line call
+	h(
+		h(),
+	)
+	h(
+		h(),
+	)
 }

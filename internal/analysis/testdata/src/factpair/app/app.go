@@ -1,0 +1,8 @@
+// Package app is the fact-importing half of the facts round-trip
+// fixture.
+package app
+
+import "factpair/lib"
+
+// Use depends on lib so the type checker records the import.
+func Use() int { return lib.Answer() + lib.Box{}.Get() }

@@ -1,0 +1,14 @@
+// Package lib is the fact-exporting half of the facts round-trip
+// fixture: the test analyzer attaches facts to its functions and
+// methods, encodes them to vetx bytes, and re-imports them while
+// analyzing package app.
+package lib
+
+// Answer is a package-level function the probe marks with a fact.
+func Answer() int { return 42 }
+
+// Box carries a method so the T.M object path is exercised too.
+type Box struct{}
+
+// Get is a method the probe marks with a fact.
+func (Box) Get() int { return 1 }

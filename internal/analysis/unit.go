@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -33,6 +34,7 @@ type Config struct {
 	IgnoredFiles              []string
 	ImportMap                 map[string]string // import path → package path
 	PackageFile               map[string]string // package path → export data file
+	PackageVetx               map[string]string // package path → dependency facts file
 	Standard                  map[string]bool
 	VetxOnly                  bool   // facts-only run for a dependency
 	VetxOutput                string // where the driver must write its facts file
@@ -49,10 +51,12 @@ type Config struct {
 // Diagnostics go to stderr as file:line:col lines; a nonzero exit says
 // findings (or errors) occurred. The driver runs entirely on the
 // standard library: types for dependencies come from the export-data
-// files the build system lists in the config, facts are not used (an
-// empty vetx file is written to satisfy the cache), and suppression is
-// applied after all analyzers ran so one //gearsvet:allow covers its
-// line regardless of which checker fired.
+// files the build system lists in the config, facts come from the
+// dependency vetx files the config names (and this unit's facts — plus
+// its dependencies', transitively — are written back to VetxOutput),
+// and suppression is applied after all analyzers ran so one
+// //gearsvet:allow covers its statement regardless of which checker
+// fired.
 func Main(analyzers ...*Analyzer) {
 	progname := filepath.Base(os.Args[0])
 	log.SetFlags(0)
@@ -63,6 +67,7 @@ func Main(analyzers ...*Analyzer) {
 			log.Fatalf("invalid analyzer registration: %+v", a)
 		}
 	}
+	registerFactTypes(analyzers)
 
 	fs := flag.NewFlagSet(progname, flag.ExitOnError)
 	fs.Var(versionFlag{}, "V", "print version and exit (-V=full)")
@@ -136,16 +141,43 @@ func runUnit(configFile string, analyzers []*Analyzer, jsonOut bool) (int, error
 		return 0, fmt.Errorf("cannot decode JSON config file %s: %v", configFile, err)
 	}
 
-	// The cache expects a facts file for every unit, dependencies
-	// included; this suite defines no facts, so an empty one settles
-	// the contract and lets facts-only dependency runs return at once.
+	// Merge the facts of every dependency vetx file the build system
+	// hands us. go vet lists only direct imports here, so Encode writes
+	// the whole merged store back out: each unit's vetx transitively
+	// re-exports its dependencies' facts.
+	store := NewFactStore()
+	for path, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			return 0, fmt.Errorf("reading facts of %s: %v", path, err)
+		}
+		if err := store.Decode(data); err != nil {
+			return 0, fmt.Errorf("facts of %s: %v", path, err)
+		}
+	}
 	writeVetx := func() error {
 		if cfg.VetxOutput == "" {
 			return nil
 		}
-		return os.WriteFile(cfg.VetxOutput, nil, 0666)
+		data, err := store.Encode()
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(cfg.VetxOutput, data, 0666)
 	}
-	if cfg.VetxOnly {
+
+	// Fast path: when every analyzer declares this unit out of scope,
+	// there are no diagnostics and no new facts to compute — pass the
+	// dependencies' facts through without parsing or type-checking.
+	// This is what keeps facts-only runs over the standard library free.
+	outOfScope := true
+	for _, a := range analyzers {
+		if a.Scope == nil || a.Scope(cfg.ImportPath) {
+			outOfScope = false
+			break
+		}
+	}
+	if outOfScope {
 		return 0, writeVetx()
 	}
 
@@ -192,50 +224,73 @@ func runUnit(configFile string, analyzers []*Analyzer, jsonOut bool) (int, error
 		return 0, err
 	}
 
-	perAnalyzer, err := runAnalyzers(analyzers, fset, files, pkg, info, tc.Sizes)
+	findings, err := runAnalyzers(analyzers, fset, files, pkg, info, tc.Sizes, store)
 	if err != nil {
 		return 0, err
 	}
 	if err := writeVetx(); err != nil {
 		return 0, err
 	}
-
-	if jsonOut {
-		tree := map[string]map[string][]jsonDiagnostic{cfg.ID: {}}
-		for name, diags := range perAnalyzer {
-			for _, d := range diags {
-				tree[cfg.ID][name] = append(tree[cfg.ID][name], jsonDiagnostic{
-					Posn:    fset.Position(d.Pos).String(),
-					Message: d.Message,
-				})
-			}
-		}
-		enc, err := json.MarshalIndent(tree, "", "\t")
-		if err != nil {
-			return 0, err
-		}
-		os.Stdout.Write(enc)
-		os.Stdout.Write([]byte{'\n'})
+	if cfg.VetxOnly {
+		// Facts-only dependency run: the analyzers ran for their
+		// exports; the diagnostics belong to the unit that will be
+		// analyzed in its own right.
 		return 0, nil
 	}
 
 	exit := 0
-	for _, name := range sortedKeys(perAnalyzer) {
-		for _, d := range perAnalyzer[name] {
-			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	for _, f := range findings {
+		if !f.Suppressed {
 			exit = 1
+		}
+	}
+	if jsonOut {
+		// NDJSON: one finding per line, suppressed ones included with
+		// their allow reason, so CI can render the full allow-state of
+		// the tree. The exit code is the same as in text mode.
+		enc := json.NewEncoder(os.Stdout)
+		for _, f := range findings {
+			pos := fset.Position(f.Pos)
+			if err := enc.Encode(jsonFinding{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+				Allow:    map[bool]string{false: "reported", true: "suppressed"}[f.Suppressed],
+				Reason:   f.Reason,
+			}); err != nil {
+				return 0, err
+			}
+		}
+		return exit, nil
+	}
+
+	for _, f := range findings {
+		if !f.Suppressed {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(f.Pos), f.Message)
 		}
 	}
 	return exit, nil
 }
 
+// Finding is one diagnostic with its analyzer and allow-state attached.
+type Finding struct {
+	Analyzer string
+	Diagnostic
+	// Suppressed marks a finding a reasoned //gearsvet:allow covers;
+	// Reason carries the directive's justification.
+	Suppressed bool
+	Reason     string
+}
+
 // runAnalyzers executes the analyzers over one loaded package and
-// returns the per-analyzer diagnostics that survive //gearsvet:allow
-// filtering; bare (reasonless) directives surface under the synthetic
-// analyzer name "allow".
-func runAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, sizes types.Sizes) (map[string][]Diagnostic, error) {
-	dirs := Directives(fset, files)
-	out := make(map[string][]Diagnostic)
+// returns every finding — suppressed ones included, tagged with their
+// allow reason — in position order. Bare (reasonless) directives
+// surface under the synthetic analyzer name "allow".
+func runAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, sizes types.Sizes, store *FactStore) ([]Finding, error) {
+	sup := NewSuppressor(fset, files)
+	var out []Finding
 	for _, a := range analyzers {
 		var diags []Diagnostic
 		pass := &Pass{
@@ -247,16 +302,35 @@ func runAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
 			TypesSizes: sizes,
 			Report:     func(d Diagnostic) { diags = append(diags, d) },
 		}
+		pass.SetFacts(store)
+		pass.SetSuppressor(sup)
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %v", a.Name, err)
 		}
-		// A reasoned directive covers its line for whichever analyzer
-		// fired there.
-		out[a.Name] = Filter(fset, dirs, diags)
+		kept, allowed := sup.Filter(diags)
+		for _, d := range kept {
+			out = append(out, Finding{Analyzer: a.Name, Diagnostic: d})
+		}
+		for _, d := range allowed {
+			out = append(out, Finding{Analyzer: a.Name, Diagnostic: d.Diagnostic, Suppressed: true, Reason: d.Reason})
+		}
 	}
-	if bare := BareDirectives(dirs); len(bare) > 0 {
-		out["allow"] = bare
+	for _, d := range sup.Bare() {
+		out = append(out, Finding{Analyzer: "allow", Diagnostic: d})
 	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
 	return out, nil
 }
 
@@ -275,22 +349,16 @@ func newInfo() *types.Info {
 	}
 }
 
-type jsonDiagnostic struct {
-	Posn    string `json:"posn"`
-	Message string `json:"message"`
-}
-
-func sortedKeys(m map[string][]Diagnostic) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
-	return keys
+// jsonFinding is the -json wire shape: one object per line (NDJSON),
+// so CI shell steps can grep and jq without buffering a document.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Allow    string `json:"allow"` // "reported" | "suppressed"
+	Reason   string `json:"reason,omitempty"`
 }
 
 // printFlags emits the JSON flag inventory `go vet` requests with

@@ -15,6 +15,19 @@
 // routes findings through the same //gearsvet:allow filtering as the
 // vet driver, fixtures also pin the suppression semantics: an allowed
 // line wants nothing, a bare directive wants the bare-directive error.
+//
+// An expectation of the form name:"pattern" asserts a fact instead of
+// a diagnostic: the analyzer must export, for the object called name
+// declared on that line, a fact whose fmt.Sprint rendering matches the
+// pattern:
+//
+//	func Sink(p []byte) { ... } // want Sink:`p escapes`
+//
+// Packages are analyzed through a Runner, so a fixture package's
+// under-root imports are fact-analyzed first — fact expectations hold
+// across package boundaries exactly as they do under `go vet`.
+// Unexpected facts are not errors (summaries annotate liberally);
+// unmatched fact expectations are.
 package vettest
 
 import (
@@ -29,24 +42,19 @@ import (
 	"shiftgears/internal/analysis"
 )
 
-// Run loads each fixture package under dir/src, applies the analyzer,
-// and reports every mismatch between findings and // want comments as
-// a test error.
+// Run loads each fixture package under dir/src, applies the analyzer
+// (dependencies first, sharing one fact store), and reports every
+// mismatch between findings and // want comments as a test error.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
-	loader := analysis.NewLoader(filepath.Join(dir, "src"))
+	runner := analysis.NewRunner(filepath.Join(dir, "src"))
 	for _, pkg := range pkgs {
-		p, err := loader.Load(pkg)
-		if err != nil {
-			t.Errorf("%s: load %s: %v", a.Name, pkg, err)
-			continue
-		}
-		diags, err := analysis.RunOn(a, p)
+		p, diags, err := runner.Run(a, pkg)
 		if err != nil {
 			t.Errorf("%s: run on %s: %v", a.Name, pkg, err)
 			continue
 		}
-		checkExpectations(t, a.Name, p, diags)
+		checkExpectations(t, a.Name, p, diags, runner.Store().ObjectFacts(a.Name, pkg))
 	}
 }
 
@@ -55,11 +63,23 @@ type lineKey struct {
 	line int
 }
 
-// checkExpectations matches diagnostics against want comments
-// line-by-line.
-func checkExpectations(t *testing.T, name string, p *analysis.LoadedPackage, diags []analysis.Diagnostic) {
+// expectation is one parsed want argument: a diagnostic pattern when
+// Name is empty, a fact assertion otherwise.
+type expectation struct {
+	Name    string
+	Pattern string
+}
+
+// checkExpectations matches diagnostics and facts against want
+// comments line-by-line.
+func checkExpectations(t *testing.T, name string, p *analysis.LoadedPackage, diags []analysis.Diagnostic, facts []analysis.ObjectFactRecord) {
 	t.Helper()
-	wants := make(map[lineKey][]*regexp.Regexp)
+	diagWants := make(map[lineKey][]*regexp.Regexp)
+	type factWant struct {
+		obj string
+		re  *regexp.Regexp
+	}
+	factWants := make(map[lineKey][]*factWant)
 	for _, f := range p.Files {
 		fname := p.Fset.Position(f.Pos()).Filename
 		for _, cg := range f.Comments {
@@ -69,13 +89,17 @@ func checkExpectations(t *testing.T, name string, p *analysis.LoadedPackage, dia
 					continue
 				}
 				key := lineKey{fname, p.Fset.Position(c.Pos()).Line}
-				for _, pat := range splitQuoted(rest) {
-					re, err := regexp.Compile(pat)
+				for _, exp := range parseWants(rest) {
+					re, err := regexp.Compile(exp.Pattern)
 					if err != nil {
-						t.Errorf("%s: bad want pattern %q: %v", posn(p.Fset, c.Pos()), pat, err)
+						t.Errorf("%s: bad want pattern %q: %v", posn(p.Fset, c.Pos()), exp.Pattern, err)
 						continue
 					}
-					wants[key] = append(wants[key], re)
+					if exp.Name == "" {
+						diagWants[key] = append(diagWants[key], re)
+					} else {
+						factWants[key] = append(factWants[key], &factWant{exp.Name, re})
+					}
 				}
 			}
 		}
@@ -85,9 +109,9 @@ func checkExpectations(t *testing.T, name string, p *analysis.LoadedPackage, dia
 		pos := p.Fset.Position(d.Pos)
 		key := lineKey{pos.Filename, pos.Line}
 		matched := false
-		for i, re := range wants[key] {
+		for i, re := range diagWants[key] {
 			if re != nil && re.MatchString(d.Message) {
-				wants[key][i] = nil // consumed
+				diagWants[key][i] = nil // consumed
 				matched = true
 				break
 			}
@@ -96,56 +120,108 @@ func checkExpectations(t *testing.T, name string, p *analysis.LoadedPackage, dia
 			t.Errorf("%s: unexpected %s diagnostic: %s", pos, name, d.Message)
 		}
 	}
-	for key, res := range wants {
+	for key, res := range diagWants {
 		for _, re := range res {
 			if re != nil {
 				t.Errorf("%s:%d: no %s diagnostic matched %q", key.file, key.line, name, re)
 			}
 		}
 	}
-}
 
-// splitQuoted parses the arguments of a want comment: a sequence of
-// double-quoted or backquoted strings.
-func splitQuoted(s string) []string {
-	var out []string
-	s = strings.TrimSpace(s)
-	for s != "" {
-		switch s[0] {
-		case '"':
-			end := 1
-			for end < len(s) {
-				if s[end] == '\\' {
-					end += 2
-					continue
-				}
-				if s[end] == '"' {
-					break
-				}
-				end++
+	// Facts: every expectation must be met by some exported fact on the
+	// named object declared at that line; facts without expectations
+	// are fine.
+	for _, rec := range facts {
+		obj := analysis.FindObject(p.Pkg, rec.Obj)
+		if obj == nil {
+			continue
+		}
+		pos := p.Fset.Position(obj.Pos())
+		key := lineKey{pos.Filename, pos.Line}
+		for _, fw := range factWants[key] {
+			if fw.re != nil && fw.obj == obj.Name() && fw.re.MatchString(fmt.Sprint(rec.Fact)) {
+				fw.re = nil // consumed
 			}
-			if end >= len(s) {
-				return append(out, s) // unterminated; surface as-is
-			}
-			unq, err := strconv.Unquote(s[:end+1])
-			if err != nil {
-				unq = s[1:end]
-			}
-			out = append(out, unq)
-			s = strings.TrimSpace(s[end+1:])
-		case '`':
-			end := strings.IndexByte(s[1:], '`')
-			if end < 0 {
-				return append(out, s[1:])
-			}
-			out = append(out, s[1:1+end])
-			s = strings.TrimSpace(s[2+end:])
-		default:
-			// Unquoted tail: treat the rest as one pattern.
-			return append(out, s)
 		}
 	}
+	for key, fws := range factWants {
+		for _, fw := range fws {
+			if fw.re != nil {
+				t.Errorf("%s:%d: no %s fact on %q matched %q", key.file, key.line, name, fw.obj, fw.re)
+			}
+		}
+	}
+}
+
+// parseWants parses the arguments of a want comment: a sequence of
+// double-quoted or backquoted diagnostic patterns and name:"pattern"
+// fact expectations.
+func parseWants(s string) []expectation {
+	var out []expectation
+	s = strings.TrimSpace(s)
+	for s != "" {
+		name := ""
+		if i := identEnd(s); i > 0 && i < len(s) && s[i] == ':' {
+			name, s = s[:i], s[i+1:]
+		}
+		if s == "" || (s[0] != '"' && s[0] != '`') {
+			// Unquoted tail: treat the rest as one pattern.
+			return append(out, expectation{Name: name, Pattern: s})
+		}
+		var pat string
+		pat, s = cutQuoted(s)
+		out = append(out, expectation{Name: name, Pattern: pat})
+		s = strings.TrimSpace(s)
+	}
 	return out
+}
+
+// identEnd reports the length of the leading Go identifier of s, 0 if
+// none.
+func identEnd(s string) int {
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if c == '_' || 'a' <= c|0x20 && c|0x20 <= 'z' || i > 0 && '0' <= c && c <= '9' {
+			i++
+			continue
+		}
+		break
+	}
+	return i
+}
+
+// cutQuoted splits one leading double-quoted or backquoted string off
+// s, returning its unquoted value and the remainder.
+func cutQuoted(s string) (pat, rest string) {
+	switch s[0] {
+	case '"':
+		end := 1
+		for end < len(s) {
+			if s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			return s, "" // unterminated; surface as-is
+		}
+		unq, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			unq = s[1:end]
+		}
+		return unq, s[end+1:]
+	default: // '`'
+		end := strings.IndexByte(s[1:], '`')
+		if end < 0 {
+			return s[1:], ""
+		}
+		return s[1 : 1+end], s[2+end:]
+	}
 }
 
 func posn(fset *token.FileSet, pos token.Pos) string {

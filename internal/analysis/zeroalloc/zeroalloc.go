@@ -22,7 +22,11 @@
 //     literals (a closure allocated every tick — hoist it before the
 //     loop), and append onto a freshly made slice. Code behind a
 //     tracer nil guard or an `err != nil` branch is exempt: traced
-//     runs and failure paths may allocate.
+//     runs and failure paths may allocate. A function literal passed
+//     directly to a callee whose strict escape summary (see
+//     internal/analysis/summary) proves the parameter reaches no sink
+//     is exempt too: the closure never escapes, so the compiler keeps
+//     it on the stack — its body is still walked as hot code.
 //
 // Scope: shiftgears/internal/{fabric,sim,transport,rsm,obs}, skipping
 // _test.go files. A deliberate allocation in a hot region (e.g. a
@@ -35,6 +39,7 @@ import (
 	"strings"
 
 	"shiftgears/internal/analysis"
+	"shiftgears/internal/analysis/summary"
 )
 
 // Analyzer is the zero-overhead / zero-alloc hot-path checker.
@@ -42,7 +47,9 @@ var Analyzer = &analysis.Analyzer{
 	Name: "zeroalloc",
 	Doc: "flag unguarded tracer emissions and per-tick allocation idioms in hot-path packages\n\n" +
 		"The zero-overhead contract: a nil tracer costs one nil check, and the tick loop runs at 0 allocs/op.",
-	Run: run,
+	Run:       run,
+	FactTypes: []analysis.Fact{&summary.Summary{}},
+	Scope:     inScope,
 }
 
 // hotPkgs are the package-path suffixes the contract covers.
@@ -77,6 +84,10 @@ func run(pass *analysis.Pass) error {
 	if !inScope(pass.Pkg.Path()) {
 		return nil
 	}
+	// Strict summaries (no arena exemptions, no allow filter): the raw
+	// may-reach-heap view, used to prove closures non-escaping. An
+	// arena annotation must not be able to hide a heap allocation.
+	info := summary.Compute(pass, summary.Config{Strict: true})
 	// First pass: find emit helpers (name "emit*" containing an Emit
 	// call on a tracer) so their call sites can be checked instead.
 	helpers := make(map[types.Object]bool)
@@ -101,7 +112,7 @@ func run(pass *analysis.Pass) error {
 	for _, fn := range fns {
 		isHelper := helpers[pass.TypesInfo.ObjectOf(fn.Name)]
 		checkEmits(pass, fn, isHelper, helpers)
-		checkAllocs(pass, fn)
+		checkAllocs(pass, fn, info)
 	}
 	return nil
 }
@@ -294,7 +305,7 @@ func staticCallee(pass *analysis.Pass, call *ast.CallExpr) types.Object {
 }
 
 // checkAllocs flags allocation idioms inside hot regions.
-func checkAllocs(pass *analysis.Pass, fn *ast.FuncDecl) {
+func checkAllocs(pass *analysis.Pass, fn *ast.FuncDecl, info *summary.Info) {
 	var regions []ast.Node
 	if hotMethods[fn.Name.Name] && fn.Recv != nil {
 		regions = append(regions, fn.Body)
@@ -310,13 +321,17 @@ func checkAllocs(pass *analysis.Pass, fn *ast.FuncDecl) {
 		}
 	}
 	for _, region := range regions {
-		checkAllocRegion(pass, region)
+		checkAllocRegion(pass, region, info)
 	}
 }
 
 // checkAllocRegion walks a hot region flagging allocators, honoring
 // tracer-guard and error-branch exemptions.
-func checkAllocRegion(pass *analysis.Pass, region ast.Node) {
+func checkAllocRegion(pass *analysis.Pass, region ast.Node, info *summary.Info) {
+	// proven marks function literals the summaries show non-escaping:
+	// passed directly to a callee whose corresponding input reaches no
+	// sink, so the compiler keeps the closure on the stack.
+	proven := make(map[*ast.FuncLit]bool)
 	var walk func(n ast.Node, exempt bool)
 	walk = func(n ast.Node, exempt bool) {
 		if n == nil {
@@ -346,11 +361,19 @@ func checkAllocRegion(pass *analysis.Pass, region ast.Node) {
 				if isAppendToFresh(pass, x) {
 					pass.Reportf(x.Pos(), "append onto a freshly allocated slice in a hot region: allocates every tick — reuse a scratch slice sized once (//gearsvet:allow <reason> if intended)")
 				}
+				markProvenClosures(pass, x, info, proven)
 			case *ast.BinaryExpr:
 				if x.Op.String() == "+" && isStringConcat(pass, x) {
 					pass.Reportf(x.Pos(), "string concatenation in a hot region: allocates every tick — precompute the string or use a reused buffer (//gearsvet:allow <reason> if intended)")
 				}
 			case *ast.FuncLit:
+				if proven[x] {
+					// The callee's strict summary proves the func param
+					// clean: the closure never escapes, so the compiler
+					// stack-allocates it. Its body still runs in the hot
+					// region — keep walking it.
+					break
+				}
 				pass.Reportf(x.Pos(), "function literal in a hot region: the closure is allocated every tick — hoist it before the loop (//gearsvet:allow <reason> if intended)")
 				// Don't descend: the closure body runs later, and its
 				// contents were already implicitly flagged by the hoist
@@ -363,6 +386,43 @@ func checkAllocRegion(pass *analysis.Pass, region ast.Node) {
 		}
 	}
 	walk(region, false)
+}
+
+// markProvenClosures records the function-literal arguments of call
+// whose callee summary shows the receiving parameter reaches no sink.
+// The parent call is visited before its arguments, so the marks land
+// before the walk reaches the literals.
+func markProvenClosures(pass *analysis.Pass, call *ast.CallExpr, info *summary.Info, proven map[*ast.FuncLit]bool) {
+	callee := summary.StaticCallee(pass, call)
+	if callee == nil {
+		return
+	}
+	sum := info.Of(callee)
+	if sum == nil {
+		return
+	}
+	idx := 0
+	if sum.Recv {
+		idx = 1
+	}
+	sig, _ := callee.Type().(*types.Signature)
+	for ai, arg := range call.Args {
+		lit, ok := arg.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		j := idx + ai
+		if j >= len(sum.Inputs) {
+			if sig == nil || !sig.Variadic() || len(sum.Inputs) == 0 {
+				continue
+			}
+			j = len(sum.Inputs) - 1
+		}
+		in := sum.Inputs[j]
+		if !in.Escapes && !in.Sent && !in.Returned {
+			proven[lit] = true
+		}
+	}
 }
 
 // isAppendToFresh reports append whose destination is allocated in

@@ -267,7 +267,7 @@ func (r *Replica) broadcast(payload []byte) [][]byte {
 		r.bcast = make([][]byte, r.env.Plan.N)
 	}
 	for j := range r.bcast {
-		r.bcast[j] = payload //gearsvet:allow outbound payload built from the replica's own tree, not an inbound frame; bcast is refilled every round and read within the tick
+		r.bcast[j] = payload
 	}
 	return r.bcast
 }

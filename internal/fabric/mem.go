@@ -303,7 +303,7 @@ func (m *Mem) Exchange(tick int, outs [][]sim.MuxFrame, ins [][][][]byte) error 
 						// Held within the synchrony bound: route it in the
 						// second pass below, before the barrier opens.
 						slots[f] = nil
-						m.held = append(m.held, heldRef{recv: k, sender: i, frame: f, payload: p}) //gearsvet:allow held is drained by the second routing pass and reset at the start of every Exchange, within the tick
+						m.held = append(m.held, heldRef{recv: k, sender: i, frame: f, payload: p})
 						m.stats.Delayed++
 						if m.tracer != nil {
 							m.emitFrame(obs.ChaosDelay, tick, i, k, src[f].Instance)

@@ -122,7 +122,7 @@ func (m *Mesh) Exchange(tick int, outs [][]sim.MuxFrame, ins [][][][]byte) error
 		return m.nodes[0].exchangeTick(m.pools[0], tick, outs[0], ins[0])
 	}
 	for k := range m.nodes {
-		m.reqs[k] <- meshTick{tick: tick, frames: outs[k], ins: ins[k]} //gearsvet:allow mesh workers consume the tick's frames before the ack barrier below releases the tick
+		m.reqs[k] <- meshTick{tick: tick, frames: outs[k], ins: ins[k]}
 	}
 	failed := false
 	for k := range m.nodes {

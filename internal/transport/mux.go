@@ -127,7 +127,7 @@ func (w *meshWriter) send(p *peer, job sendJob) error {
 func (wp *writerPool) dispatch(kind string, seq int, frames []sim.MuxFrame) {
 	for id, jobs := range wp.jobs {
 		if jobs != nil {
-			jobs <- sendJob{kind: kind, seq: seq, frames: frames, peer: id} //gearsvet:allow writers drain the job before wait joins the tick; frames are not retained across ticks
+			jobs <- sendJob{kind: kind, seq: seq, frames: frames, peer: id}
 		}
 	}
 }

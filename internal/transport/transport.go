@@ -339,7 +339,7 @@ func (nd *Node) Run(rounds int) (*sim.Stats, error) {
 		// peer sends exactly one frame per round in order, so sequential
 		// reads suffice.
 		rs := sim.RoundStats{Round: r}
-		err := wp.exchange("round", r, frame, func() error { //gearsvet:allow invoked synchronously by wp.exchange and never stored, so the closure does not escape the round
+		err := wp.exchange("round", r, frame, func() error {
 			for id, p := range nd.peers {
 				if id == nd.id {
 					countPayload(&rs, inbox[id])
