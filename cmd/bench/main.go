@@ -47,6 +47,10 @@ type Case struct {
 	Faulty   []int  `json:"faulty,omitempty"`
 	Strategy string `json:"strategy,omitempty"`
 	Cmds     int    `json:"cmds"`
+	// Shards > 0 runs the case as a sharded MultiLog with that many
+	// independent agreement groups (N, Window, Batch are then per shard);
+	// 0 is the plain unsharded log.
+	Shards int `json:"shards,omitempty"`
 	// Traced runs the case with the flight recorder's full sink stack
 	// (ring + metrics + JSONL to io.Discard) installed, so the matrix
 	// prices tracing against the untraced twin case.
@@ -131,6 +135,15 @@ func matrix(short bool) []Case {
 		{Name: "tcp-both", Mode: "tcp", N: 4, T: 1, Window: 4, Batch: 4, Alg: "exponential", Cmds: 32},
 		{Name: "tcp-n7", Mode: "tcp", N: 7, T: 2, Window: 4, Batch: 4, Alg: "exponential", Cmds: 96},
 		{Name: "tcp-wide", Mode: "tcp", N: 7, T: 2, Window: 8, Batch: 4, Alg: "exponential", Cmds: 192},
+		// The shard ladder: the "wide" workload behind a router, then the
+		// same per-shard workload times four. K=1 must price like "wide"
+		// (the router and one drive goroutine are the only additions); K=4
+		// aggregate cmds/tick should approach 4× on the sim fabric, where
+		// shards only share the scheduler.
+		{Name: "sharded-sim-k1", Mode: "sim", N: 7, T: 2, Window: 8, Batch: 4, Alg: "exponential", Cmds: 192, Shards: 1},
+		{Name: "sharded-sim-k4", Mode: "sim", N: 7, T: 2, Window: 8, Batch: 4, Alg: "exponential", Cmds: 768, Shards: 4},
+		{Name: "sharded-tcp-k1", Mode: "tcp", N: 7, T: 2, Window: 8, Batch: 4, Alg: "exponential", Cmds: 192, Shards: 1},
+		{Name: "sharded-tcp-k4", Mode: "tcp", N: 7, T: 2, Window: 8, Batch: 4, Alg: "exponential", Cmds: 768, Shards: 4},
 		// The flight recorder priced against its untraced twins: "both" and
 		// "mem-chaos" rerun with every sink attached. The tracer's cost IS
 		// these deltas; the nil-tracer overhead is bounded separately by
@@ -156,8 +169,103 @@ func chaosPlan(n int) *shiftgears.Chaos {
 	}
 }
 
+// runShardedCase builds and runs one sharded multi-log and measures it.
+// The workload is the same open-loop stream the unsharded cases submit
+// (command i is Value(1+i%255)); the router is pure, so the case can
+// pre-route the stream to size each shard's Slots exactly, and each
+// shard's receivers rotate independently — at Shards=1 this reduces
+// byte-for-byte to the unsharded sizing and submission pattern.
+func runShardedCase(c Case) (Result, error) {
+	const routerSeed = 1
+	alg, err := shiftgears.ParseAlgorithm(c.Alg)
+	if err != nil {
+		return Result{}, err
+	}
+	counts := make([]int, c.Shards)
+	for i := 0; i < c.Cmds; i++ {
+		counts[shiftgears.ShardOf(routerSeed, c.Shards, shiftgears.Value(1+i%255))]++
+	}
+	slots := make([]int, c.Shards)
+	totalSlots := 0
+	for s, cnt := range counts {
+		if cnt == 0 {
+			cnt = 1 // a log needs ≥ 1 slot even if the router starved the shard
+		}
+		perReplica := (cnt + c.N - 1) / c.N
+		slots[s] = c.N * ((perReplica + c.Batch - 1) / c.Batch)
+		totalSlots += slots[s]
+	}
+	ml, err := shiftgears.NewMultiLog(shiftgears.MultiLogConfig{
+		Shards:     c.Shards,
+		RouterSeed: routerSeed,
+		Log: shiftgears.LogConfig{
+			Algorithm: alg,
+			N:         c.N, T: c.T, B: 3,
+			Window: c.Window, BatchSize: c.Batch, Workers: c.Workers,
+			Fabric: c.Mode,
+		},
+		PerShard: func(s int, cfg *shiftgears.LogConfig) { cfg.Slots = slots[s] },
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	recv := make([]int, c.Shards)
+	for i := 0; i < c.Cmds; i++ {
+		cmd := shiftgears.Value(1 + i%255)
+		s, err := ml.ShardOf(cmd)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := ml.Submit(recv[s]%c.N, cmd); err != nil {
+			return Result{}, err
+		}
+		recv[s]++
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := ml.Run()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return Result{}, err
+	}
+	if !res.Agreement {
+		return Result{}, fmt.Errorf("case %s: correct replicas committed diverging logs", c.Name)
+	}
+
+	seq := 0
+	for _, sr := range res.Shards {
+		seq += sr.SequentialTicks
+	}
+	allocs := after.Mallocs - before.Mallocs
+	return Result{
+		Case:            c,
+		Slots:           totalSlots,
+		Ticks:           res.Ticks,
+		SequentialTicks: seq,
+		Committed:       res.Committed,
+		CmdsPerTick:     res.CmdsPerTick(),
+		Messages:        res.Messages,
+		Bytes:           res.TotalBytes,
+		MaxMessageBytes: res.MaxMessageBytes,
+		Allocs:          allocs,
+		AllocsPerTick:   float64(allocs) / float64(res.Ticks),
+		WallMS:          float64(elapsed.Microseconds()) / 1000,
+		LatencyMean:     res.Latency.Mean,
+		LatencyP50:      res.Latency.P50,
+		LatencyP90:      res.Latency.P90,
+		LatencyP99:      res.Latency.P99,
+		LatencyMax:      res.Latency.Max,
+	}, nil
+}
+
 // runCase builds and runs one log and measures it.
 func runCase(c Case) (Result, error) {
+	if c.Shards > 0 {
+		return runShardedCase(c)
+	}
 	// The busiest replica gets ⌈cmds/n⌉ commands and needs ⌈that/batch⌉
 	// sourced slots; sources rotate, so the log is n times that (the
 	// cmd/logload sizing rule).
@@ -322,7 +430,10 @@ func readFile(path string) (File, error) {
 // engine-owned work. Since the wire hot path went zero-copy (read
 // arenas, vectored writes), tcp cases guard too — at a wider 25% plus
 // sixteen allocs/tick, because they also count transport goroutines and
-// wall-clock scheduling noise.
+// wall-clock scheduling noise. Cases present only in the candidate (a
+// growing matrix — e.g. the sharded cases against a pre-shard baseline)
+// are reported as new and pass; they start guarding once a baseline
+// records them.
 func guard(out io.Writer, basePath string, baseline File, candPath string, candidate File) error {
 	byName := make(map[string]Result, len(baseline.Results))
 	for _, r := range baseline.Results {
@@ -335,6 +446,8 @@ func guard(out io.Writer, basePath string, baseline File, candPath string, candi
 		}
 		base, ok := byName[r.Name]
 		if !ok || base.Mode != r.Mode {
+			fmt.Fprintf(out, "bench: guard %-18s %s %8.1f allocs/tick — new case, no baseline in %s\n",
+				r.Name, r.Mode, r.AllocsPerTick, basePath)
 			continue
 		}
 		compared++

@@ -127,3 +127,51 @@ func TestBenchGuard(t *testing.T) {
 		t.Fatal("guard passed with zero comparable sim cases")
 	}
 }
+
+// TestBenchGuardToleratesNewCases: a candidate case absent from the
+// baseline (a growing matrix, e.g. sharded cases guarded against a
+// pre-shard file) is reported as new and passes, while a regression in a
+// shared case still fails the same compare.
+func TestBenchGuardToleratesNewCases(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, f File) string {
+		t.Helper()
+		blob, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	mk := func(name, mode string, shards int, apt float64) Result {
+		return Result{Case: Case{Name: name, Mode: mode, Shards: shards}, AllocsPerTick: apt}
+	}
+	basePath := write("base.json", File{Schema: "shiftgears-bench/v3", Results: []Result{
+		mk("wide", "sim", 0, 100),
+	}})
+	grown := write("grown.json", File{Schema: "shiftgears-bench/v3", Results: []Result{
+		mk("wide", "sim", 0, 100),
+		mk("sharded-sim-k4", "sim", 4, 400),
+	}})
+
+	var buf bytes.Buffer
+	if err := run([]string{"-guard", basePath, "-in", grown}, &buf); err != nil {
+		t.Fatalf("new case failed the guard: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "new case") {
+		t.Fatalf("new case not reported:\n%s", buf.String())
+	}
+
+	// The shared case regressing must still fail even with new cases around.
+	regressed := write("regressed.json", File{Schema: "shiftgears-bench/v3", Results: []Result{
+		mk("wide", "sim", 0, 150),
+		mk("sharded-sim-k4", "sim", 4, 400),
+	}})
+	buf.Reset()
+	if err := run([]string{"-guard", basePath, "-in", regressed}, &buf); err == nil {
+		t.Fatalf("shared-case regression passed the guard:\n%s", buf.String())
+	}
+}

@@ -27,6 +27,14 @@
 // file that cmd/tracecheck can audit:
 //
 //	logload -fabric mem -victims 5 -drop 0.3 -trace run.jsonl
+//
+// -shards K partitions the command space across K independent agreement
+// groups (each its own fabric instance, -n/-window/-batch sized) behind
+// a deterministic router and drives them concurrently; aggregate
+// commands/tick scales with K. Chaos flags apply per shard, reseeded to
+// seed+shard; traced events carry a shard id:
+//
+//	logload -shards 4 -n 7 -t 2 -cmds 768 -window 8 -batch 4
 package main
 
 import (
@@ -57,6 +65,7 @@ func run(args []string, out io.Writer) error {
 		algName  = fs.String("alg", "exponential", "per-slot algorithm")
 		gears    = fs.String("gears", "", "gear policy (blacklist, downshift): pick each slot's algorithm on the fly; -alg is the base/high gear")
 		cmds     = fs.Int("cmds", 96, "commands to submit")
+		shards   = fs.Int("shards", 0, "shard the log across this many independent agreement groups (0 = unsharded; -n, -window, -batch are then per shard)")
 		window   = fs.Int("window", 4, "pipelining depth")
 		batch    = fs.Int("batch", 4, "commands per slot")
 		faultyCS = fs.String("faulty", "", "comma-separated Byzantine replica ids")
@@ -87,6 +96,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *cmds < 1 {
 		return fmt.Errorf("need at least 1 command")
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards %d: want 0 (unsharded) or a positive shard count", *shards)
 	}
 	faulty, err := parseIDs(*faultyCS)
 	if err != nil {
@@ -148,6 +160,9 @@ func run(args []string, out io.Writer) error {
 		traceMetrics = shiftgears.NewTraceMetrics()
 		lcfg.Tracer = shiftgears.TraceTee(traceJSONL, traceMetrics)
 	}
+	if *shards > 0 {
+		return runSharded(out, *shards, lcfg, alg, *gears, *cmds, traceJSONL, traceMetrics, *tracePth)
+	}
 	log, err := shiftgears.NewReplicatedLog(lcfg)
 	if err != nil {
 		return err
@@ -202,6 +217,112 @@ func run(args []string, out io.Writer) error {
 	}
 	if len(res.ChaosVictims) > 0 {
 		fmt.Fprintf(out, "logload: chaos victims %v excluded from the agreement check (their links were faulted)\n", res.ChaosVictims)
+	}
+	if res.Pending > 0 {
+		fmt.Fprintf(out, "logload: WARNING: %d commands never got a slot (log too short, or a gear policy no-op'd their slots)\n", res.Pending)
+	}
+	return nil
+}
+
+// runSharded drives the sharded multi-log: the same open-loop command
+// stream, pre-routed (the router is a pure function of the command, so
+// sizing and submission agree) to size each shard's log exactly, with
+// receivers rotating independently within each shard. Every shard gets
+// its own fabric instance; with -fabric mem, shard s runs the chaos
+// template reseeded to seed+s, so shards draw distinct but reproducible
+// fault schedules from one flag set.
+func runSharded(out io.Writer, k int, lcfg shiftgears.LogConfig, alg shiftgears.Algorithm, gears string, cmds int,
+	traceJSONL *shiftgears.TraceJSONL, traceMetrics *shiftgears.TraceMetrics, tracePth string) error {
+	n, batch := lcfg.N, lcfg.BatchSize
+	routerSeed := uint64(lcfg.Seed)
+	counts := make([]int, k)
+	for i := 0; i < cmds; i++ {
+		counts[shiftgears.ShardOf(routerSeed, k, shiftgears.Value(1+i%255))]++
+	}
+	slots := make([]int, k)
+	total := 0
+	for s, cnt := range counts {
+		if cnt == 0 {
+			cnt = 1 // a log needs ≥ 1 slot even if the router starved the shard
+		}
+		perReplica := (cnt + n - 1) / n
+		slots[s] = n * ((perReplica + batch - 1) / batch)
+		total += slots[s]
+	}
+	ml, err := shiftgears.NewMultiLog(shiftgears.MultiLogConfig{
+		Shards: k,
+		Log:    lcfg,
+		PerShard: func(s int, cfg *shiftgears.LogConfig) {
+			cfg.Slots = slots[s]
+			if cfg.Chaos != nil {
+				plan := *cfg.Chaos
+				plan.Seed += int64(s)
+				cfg.Chaos = &plan
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	recv := make([]int, k)
+	for i := 0; i < cmds; i++ {
+		cmd := shiftgears.Value(1 + i%255)
+		s, err := ml.ShardOf(cmd)
+		if err != nil {
+			return err
+		}
+		if err := ml.Submit(recv[s]%n, cmd); err != nil {
+			return err
+		}
+		recv[s]++
+	}
+
+	algDesc := alg.String()
+	if gears != "" {
+		algDesc = fmt.Sprintf("%s gears from %s", gears, alg)
+	}
+	fmt.Fprintf(out, "logload: %d commands over %d shards × %d replicas (%s, %s), %d slots total, window %d, batch %d\n",
+		cmds, k, n, algDesc, lcfg.Fabric, total, lcfg.Window, batch)
+
+	start := time.Now()
+	res, err := ml.Run()
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	if !res.Agreement {
+		return fmt.Errorf("correct replicas committed diverging logs")
+	}
+
+	perSec := float64(res.Committed) / elapsed.Seconds()
+	fmt.Fprintf(out, "logload: committed %d commands in %d ticks, %.2f commands/tick aggregate, %.0f commands/sec, wall %v\n",
+		res.Committed, res.Ticks, res.CmdsPerTick(), perSec, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "logload: %d msgs, %d bytes, max frame %dB\n", res.Messages, res.TotalBytes, res.MaxMessageBytes)
+	if res.Latency.Count > 0 {
+		fmt.Fprintf(out, "logload: commit latency %s\n", res.Latency)
+	}
+	for s, sr := range res.Shards {
+		line := fmt.Sprintf("logload: shard %d: %d commands, %d ticks, %.2f cmds/tick", s, sr.Committed, sr.Ticks,
+			float64(sr.Committed)/float64(sr.Ticks))
+		if gears != "" {
+			line += fmt.Sprintf(", gears %s", shiftgears.GearRuns(sr.Gears))
+		}
+		if len(sr.ChaosVictims) > 0 {
+			line += fmt.Sprintf(", chaos victims %v excluded from the agreement check", sr.ChaosVictims)
+		}
+		fmt.Fprintln(out, line)
+	}
+	if traceJSONL != nil {
+		if err := traceJSONL.Close(); err != nil {
+			return fmt.Errorf("trace %s: %w", tracePth, err)
+		}
+		var chaosEvents uint64
+		for _, c := range traceMetrics.ChaosCounts() {
+			chaosEvents += c
+		}
+		fmt.Fprintf(out, "logload: trace %s: %d commits, %d gear decisions, %d chaos events over %d ticks across %d shards\n",
+			tracePth, traceMetrics.Commits(), traceMetrics.CountOf(shiftgears.TraceGearResolved), chaosEvents,
+			traceMetrics.Ticks(), len(traceMetrics.Shards()))
 	}
 	if res.Pending > 0 {
 		fmt.Fprintf(out, "logload: WARNING: %d commands never got a slot (log too short, or a gear policy no-op'd their slots)\n", res.Pending)

@@ -54,6 +54,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("logserver", flag.ContinueOnError)
 	var (
 		id        = fs.Int("id", 0, "this replica's id")
+		shard     = fs.Int("shard", -1, "this replica's shard id in a sharded deployment: tags traced events and the debug surface (-1 = unsharded)")
 		n         = fs.Int("n", 4, "total replicas")
 		t         = fs.Int("t", 1, "resilience")
 		b         = fs.Int("b", 3, "block parameter (A/B/hybrid)")
@@ -106,6 +107,12 @@ func run(args []string, out io.Writer) error {
 		sinks = append(sinks, jsonl)
 	}
 	tracer := obs.Tee(sinks...)
+	if *shard >= 0 {
+		// One mesh per shard: each process of a sharded deployment stamps
+		// its shard id so fleet-wide trace/metric collection can keep the
+		// K streams apart.
+		tracer = obs.WithShard(tracer, *shard)
+	}
 
 	// Slots with the same source share one compiled protocol.
 	protos := make(map[int]rsm.Protocol)
@@ -157,11 +164,15 @@ func run(args []string, out io.Writer) error {
 		handler := obs.NewHandler(obs.DebugState{
 			Metrics: metrics, Ring: ring, Latency: rep.Latency(),
 			Info: func() map[string]any {
-				return map[string]any{
+				info := map[string]any{
 					"replica": *id, "n": *n, "t": *t, "alg": alg.String(),
 					"slots": *slots, "window": *window, "batch": *batch,
 					"fabric": "tcp", "addr": addrs[*id],
 				}
+				if *shard >= 0 {
+					info["shard"] = *shard
+				}
+				return info
 			},
 		})
 		go func() { _ = http.Serve(ln, handler) }()

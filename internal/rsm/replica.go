@@ -97,6 +97,18 @@ func NewReplica(cfg Config, id int, opts ...ReplicaOption) (*Replica, error) {
 	for _, opt := range opts {
 		opt(r)
 	}
+	// Warm one window's worth of slot scratch up front: the free list
+	// otherwise fills only as the first window's slots retire, charging
+	// pool-warmup allocations to the run's first ticks instead of to
+	// construction (which is where the alloc benches say it belongs).
+	warm := cfg.Window
+	if cfg.Slots < warm {
+		warm = cfg.Slots
+	}
+	r.scratches = make([]*slotScratch, 0, warm)
+	for i := 0; i < warm; i++ {
+		r.scratches = append(r.scratches, newSlotScratch(cfg.BatchSize, cfg.N))
+	}
 	mcfg := sim.MuxConfig{
 		ID: id, N: cfg.N, Window: cfg.Window, Workers: cfg.Workers,
 		Start:  r.startSlot,

@@ -1,0 +1,136 @@
+// Package shard scales the replicated log out past one agreement group:
+// it partitions the command space across K independent gear-shifted logs
+// and drives them side by side, so aggregate throughput grows with K
+// instead of stalling at one n-node group's ceiling.
+//
+// The package holds the shard layer's substrate — the deterministic
+// command router and the concurrent drive harness with its cross-shard
+// ordering barrier — while the composition with the public ReplicatedLog
+// lives in the top-level shiftgears package (shiftgears.MultiLog), which
+// this package cannot import.
+//
+// Determinism contract: a routing Func must be a pure function of the
+// command value — no clocks, randomness, counters, or per-process state —
+// because every client, sizing tool, and replay must agree on where a
+// command lives. The default router is a seeded SplitMix64 mix of the
+// command byte: the same coordinate-keyed construction the chaos fabric
+// uses for its fault draws, so equal seeds route identically on every
+// run and every machine.
+//
+// The committee framing (King–Saia, "Breaking the O(n²) Bit Barrier"):
+// each shard's n-node agreement group is a committee sampled from a
+// larger processor universe. Per-shard work is the old single-log work;
+// per-universe-processor work stays sublinear as the universe grows,
+// because each processor sits in O(1) committees.
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"shiftgears/internal/eigtree"
+)
+
+// Value is one client command, as in the log engine.
+type Value = eigtree.Value
+
+// Func maps one command to its shard in [0, K). It must be pure (see the
+// package determinism contract); a value outside [0, K) is a
+// configuration error the Router surfaces at routing time.
+type Func func(cmd Value) int
+
+// DefaultFunc is the default routing function: a seeded SplitMix64 mix
+// of the command byte, reduced mod k. Distinct seeds decorrelate the
+// partition; equal seeds reproduce it exactly.
+func DefaultFunc(seed uint64, k int) Func {
+	return func(cmd Value) int {
+		return int(mix(seed, uint64(cmd)) % uint64(k))
+	}
+}
+
+// Router maps commands to shards through a validated Func.
+type Router struct {
+	k  int
+	fn Func
+}
+
+// NewRouter builds a router over k shards. A nil fn installs
+// DefaultFunc(seed, k); seed is ignored otherwise.
+func NewRouter(k int, seed uint64, fn Func) (*Router, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, have %d", k)
+	}
+	if fn == nil {
+		fn = DefaultFunc(seed, k)
+	}
+	return &Router{k: k, fn: fn}, nil
+}
+
+// Shards returns the shard count K.
+func (r *Router) Shards() int { return r.k }
+
+// Route returns cmd's shard, rejecting an out-of-range Func result.
+func (r *Router) Route(cmd Value) (int, error) {
+	s := r.fn(cmd)
+	if s < 0 || s >= r.k {
+		return 0, fmt.Errorf("shard: routing function sent command %d to shard %d, want [0, %d)", cmd, s, r.k)
+	}
+	return s, nil
+}
+
+// Drive runs k shard drivers concurrently — one goroutine per shard over
+// whatever drive loop run wraps — and joins them all before returning
+// (the bounded-join contract the fabricconc analyzer enforces). Each
+// shard's error lands at its index in the returned slice.
+//
+// meta, when ≥ 0, names the cross-shard ordering barrier's meta shard:
+// it runs first, on the caller's goroutine, and every shard s with
+// fenced[s] set waits for its completion before starting — the meta
+// shard's committed entries are thereby sequenced before every entry of
+// the shards they fence. Shards left unfenced run concurrently with the
+// meta shard. With meta < 0 the fence is inert and all k shards run
+// concurrently.
+func Drive(k int, meta int, fenced []bool, run func(s int) error) []error {
+	errs := make([]error, k)
+	metaDone := make(chan struct{})
+	var wg sync.WaitGroup
+	for s := 0; s < k; s++ {
+		if s == meta {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			if meta >= 0 && s < len(fenced) && fenced[s] {
+				<-metaDone
+			}
+			errs[s] = run(s)
+		}(s)
+	}
+	if meta >= 0 && meta < k {
+		errs[meta] = run(meta)
+	}
+	close(metaDone)
+	wg.Wait()
+	return errs
+}
+
+// mix chains the coordinates through splitmix64 into one draw — the
+// fabric.Mem construction, so distinct (seed, command) pairs cannot
+// collide the way shifted XOR packing would.
+func mix(seed uint64, coords ...uint64) uint64 {
+	h := splitmix64(seed)
+	for _, c := range coords {
+		h = splitmix64(h ^ c)
+	}
+	return h
+}
+
+// splitmix64 is the SplitMix64 finalizer — a tiny, high-quality bit
+// mixer, here the whole PRNG since every draw is keyed by coordinates.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	return x ^ x>>31
+}

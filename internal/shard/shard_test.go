@@ -1,0 +1,153 @@
+package shard
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDefaultFuncDeterministicAndInRange: the determinism contract — the
+// same (seed, k) must route every command identically across independent
+// constructions, always into [0, k).
+func TestDefaultFuncDeterministicAndInRange(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 1 << 40} {
+		for _, k := range []int{1, 2, 4, 7} {
+			a, b := DefaultFunc(seed, k), DefaultFunc(seed, k)
+			for v := 0; v < 256; v++ {
+				cmd := Value(v)
+				sa, sb := a(cmd), b(cmd)
+				if sa != sb {
+					t.Fatalf("seed %d k %d cmd %d: two constructions disagree (%d vs %d)", seed, k, v, sa, sb)
+				}
+				if sa < 0 || sa >= k {
+					t.Fatalf("seed %d k %d cmd %d: shard %d out of range", seed, k, v, sa)
+				}
+			}
+		}
+	}
+}
+
+// TestDefaultFuncSeedDecorrelates: distinct seeds must not reproduce the
+// same partition (that is the point of seeding the router).
+func TestDefaultFuncSeedDecorrelates(t *testing.T) {
+	a, b := DefaultFunc(1, 4), DefaultFunc(2, 4)
+	for v := 0; v < 256; v++ {
+		if a(Value(v)) != b(Value(v)) {
+			return
+		}
+	}
+	t.Fatal("seeds 1 and 2 routed all 256 commands identically")
+}
+
+// TestDefaultFuncSpreads: at k=4 over all 256 command values, no shard
+// may be starved — a sanity floor on the mix, not a uniformity proof.
+func TestDefaultFuncSpreads(t *testing.T) {
+	counts := make([]int, 4)
+	fn := DefaultFunc(1, 4)
+	for v := 0; v < 256; v++ {
+		counts[fn(Value(v))]++
+	}
+	for s, c := range counts {
+		if c < 256/4/2 {
+			t.Fatalf("shard %d starved: %d of 256 commands (counts %v)", s, c, counts)
+		}
+	}
+}
+
+func TestRouterValidation(t *testing.T) {
+	if _, err := NewRouter(0, 1, nil); err == nil {
+		t.Fatal("k=0 router built")
+	}
+	r, err := NewRouter(2, 1, func(Value) int { return 7 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Route(3); err == nil {
+		t.Fatal("out-of-range routing function result not surfaced")
+	}
+	ok, err := NewRouter(4, 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", ok.Shards())
+	}
+	s, err := ok.Route(5)
+	if err != nil || s != DefaultFunc(9, 4)(5) {
+		t.Fatalf("nil fn did not install DefaultFunc: shard %d err %v", s, err)
+	}
+}
+
+// TestDriveRunsAllAndJoins: every shard's run executes exactly once, and
+// Drive returns only after all of them finish (the bounded-join
+// contract), with each shard's error at its own index.
+func TestDriveRunsAllAndJoins(t *testing.T) {
+	const k = 8
+	var ran [k]atomic.Int32
+	errs := Drive(k, -1, nil, func(s int) error {
+		ran[s].Add(1)
+		if s == 3 {
+			return fmt.Errorf("shard %d boom", s)
+		}
+		return nil
+	})
+	if len(errs) != k {
+		t.Fatalf("got %d errors, want %d", len(errs), k)
+	}
+	for s := 0; s < k; s++ {
+		if got := ran[s].Load(); got != 1 {
+			t.Fatalf("shard %d ran %d times", s, got)
+		}
+		if (s == 3) != (errs[s] != nil) {
+			t.Fatalf("shard %d error = %v", s, errs[s])
+		}
+	}
+}
+
+// TestDriveFenceOrdersAfterMeta: a fenced shard must observe the meta
+// shard's completed run before its own starts; unfenced shards carry no
+// such ordering. Run under -race this also exercises the happens-before
+// edge through the fence channel.
+func TestDriveFenceOrdersAfterMeta(t *testing.T) {
+	const k, meta = 4, 3
+	fenced := []bool{true, false, true, false}
+	var metaDone atomic.Bool
+	errs := Drive(k, meta, fenced, func(s int) error {
+		if s == meta {
+			metaDone.Store(true)
+			return nil
+		}
+		if fenced[s] && !metaDone.Load() {
+			return fmt.Errorf("fenced shard %d started before the meta shard finished", s)
+		}
+		return nil
+	})
+	for s, err := range errs {
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+	}
+}
+
+// TestDriveMetaErrorStillJoins: the meta shard failing must not wedge
+// the fenced shards — the fence lifts either way and every goroutine
+// joins.
+func TestDriveMetaErrorStillJoins(t *testing.T) {
+	const k, meta = 3, 2
+	var ran [k]atomic.Int32
+	errs := Drive(k, meta, []bool{true, true, false}, func(s int) error {
+		ran[s].Add(1)
+		if s == meta {
+			return fmt.Errorf("meta boom")
+		}
+		return nil
+	})
+	for s := 0; s < k; s++ {
+		if ran[s].Load() != 1 {
+			t.Fatalf("shard %d ran %d times", s, ran[s].Load())
+		}
+	}
+	if errs[meta] == nil {
+		t.Fatal("meta error lost")
+	}
+}

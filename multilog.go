@@ -1,0 +1,260 @@
+package shiftgears
+
+// The sharded multi-log: many gear-shifted replicated logs side by side.
+// One ReplicatedLog is one n-node agreement group with a hard throughput
+// ceiling (BENCH_7's 9.14 cmds/tick at n=7 w=8 b=4, on sim and tcp
+// alike); a MultiLog partitions the command space across K independent
+// groups — each with its own fabric instance, gear policy, and
+// window/batch settings — and drives them concurrently, so aggregate
+// cmds/tick scales ~linearly with K. The router, the drive harness, and
+// the cross-shard ordering barrier live in internal/shard; this file
+// composes them with the public log.
+
+import (
+	"fmt"
+
+	"shiftgears/internal/shard"
+)
+
+// ShardFunc maps one command to its shard in [0, Shards). It must be a
+// pure function of the command value — the same determinism contract as
+// GearPolicy, for the same reason: every client, sizing tool, and replay
+// must agree on where a command lives. The default (a nil ShardFunc) is
+// a seeded SplitMix64 mix of the command byte.
+type ShardFunc = shard.Func
+
+// ShardOf returns the shard the default router assigns cmd to — exported
+// so drivers (cmd/logload, cmd/bench) can pre-route a workload and size
+// each shard's Slots before the MultiLog exists.
+func ShardOf(seed uint64, shards int, cmd Value) int {
+	return shard.DefaultFunc(seed, shards)(cmd)
+}
+
+// MultiLogConfig describes a sharded multi-log: K independent
+// ReplicatedLogs behind a deterministic command router.
+type MultiLogConfig struct {
+	// Shards is K, the number of independent agreement groups (≥ 1).
+	Shards int
+	// Log is the per-shard configuration template: every shard gets its
+	// own fabric instance, gear policy state, and replica set built from
+	// it. Slots is per shard. A non-nil Tracer is shared by all shards,
+	// with each shard's events stamped with its shard id (TraceEvent.
+	// Shard) so one sink can tell the streams apart.
+	Log LogConfig
+	// PerShard, when non-nil, edits one shard's configuration after the
+	// template is copied — per-shard gear policies, window/batch
+	// settings, slot counts, or chaos plans. With Barrier set it is also
+	// called for the meta shard, with s == Shards.
+	PerShard func(s int, cfg *LogConfig)
+	// ShardFunc overrides the default router (see ShardFunc).
+	ShardFunc ShardFunc
+	// RouterSeed seeds the default router; 0 falls back to Log.Seed. It
+	// is ignored when ShardFunc is set.
+	RouterSeed uint64
+	// Barrier enables the cross-shard ordering barrier: an extra meta
+	// shard (index Shards) sequences multi-key commands (SubmitMulti),
+	// and its committed entries fence the affected shards — a fenced
+	// shard's window does not open until the meta shard's log has fully
+	// committed, so every meta entry orders before every entry of the
+	// shards it touches.
+	Barrier bool
+}
+
+// MultiLogResult reports a completed multi-log run: the per-shard
+// results plus the aggregate view.
+type MultiLogResult struct {
+	// Shards holds each shard's LogResult, indexed by shard id; with
+	// Barrier, the final entry (index Meta) is the meta shard's.
+	Shards []*LogResult
+	// Meta is the meta shard's index in Shards, or -1 without Barrier.
+	Meta int
+	// Agreement: every shard's correct replicas agreed.
+	Agreement bool
+	// Committed and Pending aggregate the shards' counts.
+	Committed, Pending int
+	// Ticks is the run's synchronous duration: shards run concurrently,
+	// so it is the maximum over shards of each shard's tick count — with
+	// a fenced shard charged the meta shard's ticks first, since its
+	// window cannot open until the barrier lifts.
+	Ticks int
+	// Traffic totals across shards (each shard is its own fabric; the
+	// per-fabric counters are in Shards).
+	MaxMessageBytes, TotalBytes, Messages int
+	// Latency merges every shard's submit→commit histogram — fixed
+	// buckets make the fold a vector addition.
+	Latency LatencySummary
+}
+
+// CmdsPerTick is the aggregate throughput: total committed commands over
+// the concurrent duration. This is the number that should scale
+// ~linearly with K on the sim fabric.
+func (r *MultiLogResult) CmdsPerTick() float64 {
+	if r.Ticks == 0 {
+		return 0
+	}
+	return float64(r.Committed) / float64(r.Ticks)
+}
+
+// MultiLog is K independent gear-shifted replicated logs behind one
+// deterministic command router. Submit routes each command to its shard;
+// Run drives every shard concurrently (one drive goroutine per shard
+// over the shard's own fabric) and merges the results.
+type MultiLog struct {
+	cfg    MultiLogConfig
+	router *shard.Router
+	logs   []*ReplicatedLog // Shards of them, +1 meta shard with Barrier
+	meta   int              // index of the meta shard in logs, -1 without Barrier
+	fenced []bool           // per shard: must wait for the meta shard
+	ran    bool
+}
+
+// NewMultiLog validates the configuration and builds every shard's log.
+// Submit (and, with Barrier, SubmitMulti) commands, then Run.
+func NewMultiLog(cfg MultiLogConfig) (*MultiLog, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shiftgears: multi-log needs at least 1 shard, have %d", cfg.Shards)
+	}
+	seed := cfg.RouterSeed
+	if seed == 0 {
+		seed = uint64(cfg.Log.Seed)
+	}
+	router, err := shard.NewRouter(cfg.Shards, seed, cfg.ShardFunc)
+	if err != nil {
+		return nil, fmt.Errorf("shiftgears: %w", err)
+	}
+	m := &MultiLog{cfg: cfg, router: router, meta: -1}
+	total := cfg.Shards
+	if cfg.Barrier {
+		m.meta = cfg.Shards
+		total++
+	}
+	m.logs = make([]*ReplicatedLog, total)
+	m.fenced = make([]bool, total)
+	for s := 0; s < total; s++ {
+		scfg := cfg.Log
+		if cfg.PerShard != nil {
+			cfg.PerShard(s, &scfg)
+		}
+		// Every shard's events carry its shard id, so one sink (ring,
+		// JSONL, metrics — and through them /debug/gears) can keep K
+		// concurrent streams apart.
+		scfg.Tracer = TraceWithShard(scfg.Tracer, s)
+		l, err := NewReplicatedLog(scfg)
+		if err != nil {
+			if cfg.Barrier && s == m.meta {
+				return nil, fmt.Errorf("shiftgears: meta shard: %w", err)
+			}
+			return nil, fmt.Errorf("shiftgears: shard %d: %w", s, err)
+		}
+		m.logs[s] = l
+	}
+	return m, nil
+}
+
+// Shards returns K (the meta shard, when present, is not counted).
+func (m *MultiLog) Shards() int { return m.cfg.Shards }
+
+// ShardOf returns the shard the router assigns cmd to.
+func (m *MultiLog) ShardOf(cmd Value) (int, error) { return m.router.Route(cmd) }
+
+// Shard exposes one shard's log (index Shards() is the meta shard when
+// Barrier is set) — its replicas, their Committed channels, Pending.
+func (m *MultiLog) Shard(s int) *ReplicatedLog { return m.logs[s] }
+
+// Submit routes cmd to its shard and queues it at that shard's receiver
+// replica — the replica that "received the client request"; receiver
+// indexes within the shard's N replicas.
+func (m *MultiLog) Submit(receiver int, cmd Value) error {
+	s, err := m.router.Route(cmd)
+	if err != nil {
+		return fmt.Errorf("shiftgears: %w", err)
+	}
+	if err := m.logs[s].Submit(receiver, cmd); err != nil {
+		return fmt.Errorf("shard %d: %w", s, err)
+	}
+	return nil
+}
+
+// SubmitMulti queues a multi-key command: cmd is sequenced through the
+// meta shard (requires Barrier), and the shards owning each key are
+// fenced — their windows open only after the meta shard's log has fully
+// committed, so this command (and every other meta entry) orders before
+// everything those shards commit. Keys route through the same router as
+// Submit; a command whose keys all live in one shard does not need the
+// barrier — plain Submit keeps it ordered for free.
+func (m *MultiLog) SubmitMulti(receiver int, cmd Value, keys ...Value) error {
+	if m.meta < 0 {
+		return fmt.Errorf("shiftgears: SubmitMulti requires MultiLogConfig.Barrier")
+	}
+	if len(keys) == 0 {
+		return fmt.Errorf("shiftgears: SubmitMulti needs at least one key")
+	}
+	for _, k := range keys {
+		s, err := m.router.Route(k)
+		if err != nil {
+			return fmt.Errorf("shiftgears: %w", err)
+		}
+		m.fenced[s] = true
+	}
+	if err := m.logs[m.meta].Submit(receiver, cmd); err != nil {
+		return fmt.Errorf("meta shard: %w", err)
+	}
+	return nil
+}
+
+// Run drives every shard concurrently — one goroutine per shard, each
+// over the shard's own fabric instance through the one drive runtime —
+// and merges the per-shard results. With Barrier, the meta shard runs
+// first and fenced shards wait for it (see SubmitMulti); unfenced shards
+// overlap it. It can run once.
+func (m *MultiLog) Run() (*MultiLogResult, error) {
+	if m.ran {
+		return nil, fmt.Errorf("shiftgears: multi-log already ran")
+	}
+	m.ran = true
+
+	results := make([]*LogResult, len(m.logs))
+	errs := shard.Drive(len(m.logs), m.meta, m.fenced, func(s int) error {
+		res, err := m.logs[s].Run()
+		if err != nil {
+			return err
+		}
+		results[s] = res
+		return nil
+	})
+	for s, err := range errs {
+		if err != nil {
+			if s == m.meta {
+				return nil, fmt.Errorf("shiftgears: meta shard: %w", err)
+			}
+			return nil, fmt.Errorf("shiftgears: shard %d: %w", s, err)
+		}
+	}
+
+	agg := &MultiLogResult{Shards: results, Meta: m.meta, Agreement: true}
+	var lat Histogram
+	for s, r := range results {
+		dur := r.Ticks
+		if m.meta >= 0 && s != m.meta && m.fenced[s] {
+			// The barrier serializes this shard behind the meta shard: its
+			// first tick happened after the meta shard's last.
+			dur += results[m.meta].Ticks
+		}
+		if dur > agg.Ticks {
+			agg.Ticks = dur
+		}
+		if !r.Agreement {
+			agg.Agreement = false
+		}
+		agg.Committed += r.Committed
+		agg.Pending += r.Pending
+		agg.Messages += r.Messages
+		agg.TotalBytes += r.TotalBytes
+		if r.MaxMessageBytes > agg.MaxMessageBytes {
+			agg.MaxMessageBytes = r.MaxMessageBytes
+		}
+		lat.Merge(&m.logs[s].lat)
+	}
+	agg.Latency = lat.Summarize()
+	return agg, nil
+}

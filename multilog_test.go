@@ -1,0 +1,354 @@
+package shiftgears_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"shiftgears"
+)
+
+// submitPattern is the canonical open-loop workload every driver uses:
+// command i is Value(1+i%255), received round-robin — by the whole log
+// when unsharded, within each shard when sharded.
+func submitPattern(cmds, n int) []shiftgears.Value {
+	out := make([]shiftgears.Value, cmds)
+	for i := range out {
+		out[i] = shiftgears.Value(1 + i%255)
+	}
+	_ = n
+	return out
+}
+
+// sizeSlots is the rotating-source sizing rule from cmd/logload.
+func sizeSlots(cmds, n, batch int) int {
+	perReplica := (cmds + n - 1) / n
+	return n * ((perReplica + batch - 1) / batch)
+}
+
+// TestMultiLogK1MatchesPlainLog: a 1-shard MultiLog is the plain
+// ReplicatedLog behind a router that has nothing to decide — entries,
+// gear schedule, tick count, and traffic must be byte-identical across
+// window × batch × policy.
+func TestMultiLogK1MatchesPlainLog(t *testing.T) {
+	type combo struct {
+		n, t, b       int
+		window, batch int
+		gears         string
+		faulty        []int
+		strategy      string
+	}
+	combos := []combo{
+		{n: 7, t: 2, b: 3, window: 1, batch: 1},
+		{n: 7, t: 2, b: 3, window: 1, batch: 4},
+		{n: 7, t: 2, b: 3, window: 4, batch: 1},
+		{n: 7, t: 2, b: 3, window: 4, batch: 4},
+		// Downshift's low gear (Algorithm B) needs n ≥ 4t+1 and 1 < b ≤ t.
+		{n: 9, t: 2, b: 2, window: 4, batch: 2, gears: "downshift", faulty: []int{2}, strategy: "silent"},
+		{n: 9, t: 2, b: 2, window: 4, batch: 2, gears: "blacklist", faulty: []int{2}, strategy: "silent"},
+	}
+	const cmds = 56
+	for _, c := range combos {
+		c := c
+		name := fmt.Sprintf("w%d_b%d_%s", c.window, c.batch, c.gears)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			n := c.n
+			mk := func() shiftgears.LogConfig {
+				cfg := shiftgears.LogConfig{
+					Algorithm: shiftgears.Exponential,
+					N:         c.n, T: c.t, B: c.b,
+					Slots:  sizeSlots(cmds, c.n, c.batch),
+					Window: c.window, BatchSize: c.batch,
+					Faulty: c.faulty, Strategy: c.strategy, Seed: 1,
+				}
+				if c.gears != "" {
+					policy, err := shiftgears.ParseGearPolicy(c.gears)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg.GearPolicy = shiftgears.GearPolicyWithBase(policy, shiftgears.Exponential)
+				}
+				return cfg
+			}
+			workload := submitPattern(cmds, n)
+
+			plain, err := shiftgears.NewReplicatedLog(mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, cmd := range workload {
+				if err := plain.Submit(i%n, cmd); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := plain.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ml, err := shiftgears.NewMultiLog(shiftgears.MultiLogConfig{Shards: 1, Log: mk()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// With one shard the router routes everything to shard 0, and
+			// the per-shard receiver rotation reduces to the plain i%n.
+			for i, cmd := range workload {
+				if err := ml.Submit(i%n, cmd); err != nil {
+					t.Fatal(err)
+				}
+			}
+			res, err := ml.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			got := res.Shards[0]
+			if !reflect.DeepEqual(got.Entries, want.Entries) {
+				t.Errorf("entries diverge:\n sharded %v\n plain   %v", got.Entries, want.Entries)
+			}
+			if !reflect.DeepEqual(got.Gears, want.Gears) {
+				t.Errorf("gear schedules diverge: sharded %v plain %v", got.Gears, want.Gears)
+			}
+			if got.Ticks != want.Ticks || res.Ticks != want.Ticks {
+				t.Errorf("ticks diverge: shard %d agg %d plain %d", got.Ticks, res.Ticks, want.Ticks)
+			}
+			if got.Messages != want.Messages || got.TotalBytes != want.TotalBytes ||
+				got.MaxMessageBytes != want.MaxMessageBytes {
+				t.Errorf("traffic diverges: sharded %d msgs %dB (max %d), plain %d msgs %dB (max %d)",
+					got.Messages, got.TotalBytes, got.MaxMessageBytes,
+					want.Messages, want.TotalBytes, want.MaxMessageBytes)
+			}
+			if res.Committed != want.Committed || res.Pending != want.Pending {
+				t.Errorf("commit counts diverge: sharded %d/%d pending, plain %d/%d",
+					res.Committed, res.Pending, want.Committed, want.Pending)
+			}
+			if res.Latency != want.Latency {
+				t.Errorf("latency diverges: sharded %v plain %v", res.Latency, want.Latency)
+			}
+		})
+	}
+}
+
+// TestMultiLogK4Deterministic: two K=4 runs from the same seed commit
+// identical per-shard logs with identical schedules and traffic.
+func TestMultiLogK4Deterministic(t *testing.T) {
+	run := func() *shiftgears.MultiLogResult {
+		const k, n, batch, cmds = 4, 4, 2, 64
+		counts := make([]int, k)
+		for i := 0; i < cmds; i++ {
+			counts[shiftgears.ShardOf(1, k, shiftgears.Value(1+i%255))]++
+		}
+		slots := make([]int, k)
+		for s, cnt := range counts {
+			if cnt == 0 {
+				cnt = 1
+			}
+			slots[s] = sizeSlots(cnt, n, batch)
+		}
+		ml, err := shiftgears.NewMultiLog(shiftgears.MultiLogConfig{
+			Shards:     k,
+			RouterSeed: 1,
+			Log: shiftgears.LogConfig{
+				Algorithm: shiftgears.Exponential,
+				N:         n, T: 1, B: 3,
+				Window: 2, BatchSize: batch, Seed: 1,
+			},
+			PerShard: func(s int, cfg *shiftgears.LogConfig) { cfg.Slots = slots[s] },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recv := make([]int, k)
+		for i := 0; i < cmds; i++ {
+			cmd := shiftgears.Value(1 + i%255)
+			s, err := ml.ShardOf(cmd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ml.Submit(recv[s]%n, cmd); err != nil {
+				t.Fatal(err)
+			}
+			recv[s]++
+		}
+		res, err := ml.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Agreement {
+			t.Fatal("agreement lost")
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Shards) != len(b.Shards) {
+		t.Fatalf("shard counts diverge: %d vs %d", len(a.Shards), len(b.Shards))
+	}
+	for s := range a.Shards {
+		if !reflect.DeepEqual(a.Shards[s].Entries, b.Shards[s].Entries) {
+			t.Errorf("shard %d logs diverge across identical runs", s)
+		}
+		if a.Shards[s].Ticks != b.Shards[s].Ticks || a.Shards[s].Messages != b.Shards[s].Messages {
+			t.Errorf("shard %d schedule diverges: %d ticks %d msgs vs %d ticks %d msgs",
+				s, a.Shards[s].Ticks, a.Shards[s].Messages, b.Shards[s].Ticks, b.Shards[s].Messages)
+		}
+	}
+	if a.Ticks != b.Ticks || a.Committed != b.Committed || a.TotalBytes != b.TotalBytes {
+		t.Errorf("aggregates diverge: %+v vs %+v", a, b)
+	}
+}
+
+// TestMultiLogBarrier: a multi-key command sequences through the meta
+// shard, the shards owning its keys are fenced behind it (their ticks
+// are charged after the meta shard's), and everyone still agrees.
+func TestMultiLogBarrier(t *testing.T) {
+	const n = 4
+	evenOdd := func(cmd shiftgears.Value) int { return int(cmd) % 2 }
+	ml, err := shiftgears.NewMultiLog(shiftgears.MultiLogConfig{
+		Shards:    2,
+		ShardFunc: evenOdd,
+		Barrier:   true,
+		Log: shiftgears.LogConfig{
+			Algorithm: shiftgears.Exponential,
+			N:         n, T: 1, B: 3,
+			Slots: n, Window: 2, BatchSize: 1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ml.Submit(0, 2); err != nil { // even → shard 0
+		t.Fatal(err)
+	}
+	if err := ml.Submit(0, 3); err != nil { // odd → shard 1
+		t.Fatal(err)
+	}
+	// Cross-shard command touching keys in both shards: rides the meta
+	// shard, fences shards 0 and 1.
+	if err := ml.SubmitMulti(0, 9, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ml.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Agreement {
+		t.Fatal("agreement lost")
+	}
+	if res.Meta != 2 || len(res.Shards) != 3 {
+		t.Fatalf("meta shard bookkeeping: Meta=%d len(Shards)=%d", res.Meta, len(res.Shards))
+	}
+	metaRes := res.Shards[res.Meta]
+	found := false
+	for _, e := range metaRes.Entries {
+		for _, cmd := range e.Commands {
+			if cmd == 9 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("multi-key command missing from the meta shard's log")
+	}
+	// Both data shards were fenced, so the aggregate duration charges the
+	// meta shard's ticks before theirs.
+	wantTicks := metaRes.Ticks
+	maxShard := 0
+	for s := 0; s < 2; s++ {
+		if res.Shards[s].Ticks > maxShard {
+			maxShard = res.Shards[s].Ticks
+		}
+	}
+	wantTicks += maxShard
+	if res.Ticks != wantTicks {
+		t.Fatalf("fenced duration: got %d ticks, want meta %d + max shard %d = %d",
+			res.Ticks, metaRes.Ticks, maxShard, wantTicks)
+	}
+}
+
+// TestMultiLogValidation: configuration and routing errors surface with
+// shard context instead of panicking mid-run.
+func TestMultiLogValidation(t *testing.T) {
+	tmpl := shiftgears.LogConfig{
+		Algorithm: shiftgears.Exponential,
+		N:         4, T: 1, B: 3, Slots: 4,
+	}
+	if _, err := shiftgears.NewMultiLog(shiftgears.MultiLogConfig{Shards: 0, Log: tmpl}); err == nil {
+		t.Fatal("0-shard multi-log built")
+	}
+
+	bad, err := shiftgears.NewMultiLog(shiftgears.MultiLogConfig{
+		Shards:    2,
+		ShardFunc: func(shiftgears.Value) int { return 5 },
+		Log:       tmpl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Submit(0, 1); err == nil {
+		t.Fatal("out-of-range ShardFunc result not surfaced")
+	}
+
+	ml, err := shiftgears.NewMultiLog(shiftgears.MultiLogConfig{Shards: 2, Log: tmpl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ml.SubmitMulti(0, 1, 2); err == nil {
+		t.Fatal("SubmitMulti allowed without Barrier")
+	}
+	if _, err := ml.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ml.Run(); err == nil {
+		t.Fatal("multi-log ran twice")
+	}
+
+	withBarrier, err := shiftgears.NewMultiLog(shiftgears.MultiLogConfig{Shards: 2, Barrier: true, Log: tmpl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := withBarrier.SubmitMulti(0, 1); err == nil {
+		t.Fatal("SubmitMulti allowed with zero keys")
+	}
+}
+
+// TestMultiLogTracerShardIds: K shards sharing one sink stamp every
+// event with their shard id, so the streams stay distinguishable.
+func TestMultiLogTracerShardIds(t *testing.T) {
+	ring := shiftgears.NewTraceRing(0)
+	ml, err := shiftgears.NewMultiLog(shiftgears.MultiLogConfig{
+		Shards: 2,
+		Log: shiftgears.LogConfig{
+			Algorithm: shiftgears.Exponential,
+			N:         4, T: 1, B: 3, Slots: 4, Window: 2,
+			Tracer: ring,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		cmd := shiftgears.Value(1 + i)
+		s, err := ml.ShardOf(cmd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ml.Submit(0, cmd); err != nil {
+			t.Fatal(err)
+		}
+		_ = s
+	}
+	if _, err := ml.Run(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	for _, ev := range ring.Events() {
+		if ev.Shard < 0 || ev.Shard > 1 {
+			t.Fatalf("event with unstamped/out-of-range shard id: %+v", ev)
+		}
+		seen[ev.Shard]++
+	}
+	if len(seen) != 2 {
+		t.Fatalf("expected events from both shards, saw %v", seen)
+	}
+}

@@ -18,7 +18,8 @@ import (
 type Tracer = obs.Tracer
 
 // TraceEvent is one flight-recorder record. Unused id fields (Node,
-// Slot, From, To) are -1, so 0 always means processor 0.
+// Slot, From, To, Shard) are -1, so 0 always means processor 0 (and
+// shard 0 of a sharded run).
 type TraceEvent = obs.Event
 
 // TraceEventType classifies a TraceEvent; the names below mirror
@@ -85,6 +86,13 @@ func ReadTrace(r io.Reader) ([]TraceEvent, error) { return obs.ReadJSONL(r) }
 
 // TraceTee fans events to every non-nil tracer; nil when none survive.
 func TraceTee(tracers ...Tracer) Tracer { return obs.Tee(tracers...) }
+
+// TraceWithShard stamps a shard id onto every event flowing to tr, so K
+// shards can share one sink without their streams blurring (events
+// already stamped keep their id). MultiLog applies it to each shard's
+// tracer automatically; it is exported for drivers that add their own
+// out-of-band events to a sharded trace. A nil tracer stays nil.
+func TraceWithShard(tr Tracer, shard int) Tracer { return obs.WithShard(tr, shard) }
 
 // NewDebugHandler builds the live observability surface (/metrics,
 // /debug/vars, /debug/pprof, /debug/gears, /debug/trace) over the given

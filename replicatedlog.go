@@ -149,6 +149,11 @@ type ReplicatedLog struct {
 
 	gearMu sync.Mutex
 	gears  []Algorithm // per-slot resolved algorithm (replica 0's picks)
+
+	// lat is the run's merged submit→commit histogram, kept on the struct
+	// (not a Run local) so MultiLog can fold shard histograms together —
+	// LogResult.Latency is its summarized, no-longer-mergeable view.
+	lat Histogram
 }
 
 // LogOption configures a ReplicatedLog.
@@ -231,6 +236,16 @@ func (p coreSlotProtocol) NewReplica(id int, initial Value) (rsm.InstanceReplica
 	// outbox scratch) to the slots that follow them through the window.
 	return p.env.GetReplica(id, initial, nil)
 }
+
+// Prewarm implements prewarmer by stocking the Env's replica pool.
+func (p coreSlotProtocol) Prewarm(n int) error { return p.env.Prewarm(n) }
+
+// prewarmer is the optional pool hook a slot protocol exposes so
+// NewReplicatedLog can pay pool-warmup allocations at construction
+// instead of during the first window's ticks. Only the core (tree-based)
+// protocols pool today; the baseline and extension replicas are small
+// enough that per-slot construction stays cheap.
+type prewarmer interface{ Prewarm(n int) error }
 
 type pslSlotProtocol struct {
 	enum      *eigtree.Enum
@@ -406,6 +421,13 @@ func NewReplicatedLog(cfg LogConfig, opts ...LogOption) (*ReplicatedLog, error) 
 		// same (algorithm, source) pair share one compilation.
 		protos := make([]rsm.Protocol, cfg.Slots)
 		cache := make(map[protoKey]rsm.Protocol)
+		// firstUse counts each key's slots in the first pipeline window —
+		// the pool-prewarm demand (× N nodes × BatchSize instances each).
+		warmWin := cfg.Window
+		if cfg.Slots < warmWin {
+			warmWin = cfg.Slots
+		}
+		firstUse := make(map[protoKey]int)
 		for slot := 0; slot < cfg.Slots; slot++ {
 			key := protoKey{algFor(slot), slot % cfg.N}
 			// A statically no-op'd slot silently discards its source's
@@ -425,6 +447,25 @@ func NewReplicatedLog(cfg LogConfig, opts ...LogOption) (*ReplicatedLog, error) 
 			}
 			protos[slot] = proto
 			l.gears[slot] = key.alg
+			if slot < warmWin {
+				firstUse[key]++
+			}
+		}
+		// Stock each pooled protocol with its first window's instance
+		// demand: every node builds BatchSize instance replicas per slot,
+		// all drawn from the key's one shared Env pool. Gear-scheduled logs
+		// skip this — their protocols are resolved lazily, mid-run, so
+		// there is nothing to warm at construction.
+		for key, slots := range firstUse {
+			np, ok := cache[key].(namedProtocol)
+			if !ok {
+				continue
+			}
+			if pw, ok := np.Protocol.(prewarmer); ok {
+				if err := pw.Prewarm(slots * cfg.N * cfg.BatchSize); err != nil {
+					return nil, fmt.Errorf("shiftgears: prewarm %v: %w", key.alg, err)
+				}
+			}
 		}
 		rcfg.Protocol = func(slot, source int) (rsm.Protocol, error) { return protos[slot], nil }
 	}
@@ -547,7 +588,6 @@ func (l *ReplicatedLog) Run() (*LogResult, error) {
 		affected[v] = true
 	}
 	var ref []LogEntry
-	var lat Histogram
 	for id, rep := range l.replicas {
 		// Byzantine replicas run shadow state; chaos victims run honest
 		// state over a network degraded beyond the fault model's
@@ -561,7 +601,7 @@ func (l *ReplicatedLog) Run() (*LogResult, error) {
 		res.Pending += rep.Pending()
 		// Each correct replica holds the latency samples of the commands
 		// it sourced; fixed buckets make the merge a vector addition.
-		lat.Merge(rep.Latency())
+		l.lat.Merge(rep.Latency())
 		entries := rep.Entries()
 		if ref == nil {
 			ref = entries
@@ -572,7 +612,7 @@ func (l *ReplicatedLog) Run() (*LogResult, error) {
 		}
 	}
 	res.Entries = ref
-	res.Latency = lat.Summarize()
+	res.Latency = l.lat.Summarize()
 	for _, e := range ref {
 		res.Committed += len(e.Commands)
 	}
